@@ -1,0 +1,158 @@
+//! Checkpoint-interval optimization.
+//!
+//! Section 5 weighs checkpointing as the job-level recovery strategy and
+//! notes overheads "up to 40 %". The right interval is a classic tradeoff:
+//! checkpoint too often and the overhead dominates; too rarely and every
+//! failure replays a long stretch of lost work. This module provides
+//!
+//! * the **Young** and **Daly** closed-form optima,
+//! * the analytic waste/efficiency model they derive from, and
+//! * a sweep that validates the closed forms against this crate's
+//!   discrete-event projection (the simulator charges exactly the
+//!   recovery + half-interval rework the model assumes).
+
+use crate::model::ProjectionConfig;
+use crate::sim::simulate_mean;
+
+/// Young's first-order optimum: `τ = sqrt(2 · C · MTBF)`.
+///
+/// `checkpoint_cost_h` is the time one checkpoint takes; `mtbf_h` the mean
+/// time between *job-interrupting* failures.
+pub fn young_interval_h(checkpoint_cost_h: f64, mtbf_h: f64) -> f64 {
+    assert!(checkpoint_cost_h > 0.0 && mtbf_h > 0.0);
+    (2.0 * checkpoint_cost_h * mtbf_h).sqrt()
+}
+
+/// Daly's higher-order refinement of Young's formula (accurate when the
+/// checkpoint cost is not vanishingly small relative to the MTBF).
+pub fn daly_interval_h(checkpoint_cost_h: f64, mtbf_h: f64) -> f64 {
+    assert!(checkpoint_cost_h > 0.0 && mtbf_h > 0.0);
+    let c = checkpoint_cost_h;
+    let m = mtbf_h;
+    if c < 2.0 * m {
+        let x = (c / (2.0 * m)).sqrt();
+        (2.0 * c * m).sqrt() * (1.0 + x / 3.0 + (c / (2.0 * m)) / 9.0) - c
+    } else {
+        m
+    }
+}
+
+/// Analytic fraction of wall-clock lost to checkpointing + failure rework
+/// for interval `tau_h`, under the **consolidated-restart** discipline the
+/// DES in this crate simulates (failures during a recovery are absorbed):
+///
+/// `waste = 1 − (1 − C/(τ+C)) / (1 + (R + τ/2)/MTBF)`
+///
+/// For `τ, R ≪ MTBF` this reduces to Young's familiar
+/// `C/τ + (τ/2 + R)/MTBF`, whose minimizer is [`young_interval_h`].
+pub fn analytic_waste(tau_h: f64, checkpoint_cost_h: f64, recovery_h: f64, mtbf_h: f64) -> f64 {
+    assert!(tau_h > 0.0);
+    let overhead = checkpoint_cost_h / (tau_h + checkpoint_cost_h);
+    let rework = (recovery_h + tau_h / 2.0) / mtbf_h;
+    (1.0 - (1.0 - overhead) / (1.0 + rework)).clamp(0.0, 1.0)
+}
+
+/// One point of a checkpoint-interval sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CheckpointPoint {
+    pub interval_h: f64,
+    /// Analytic efficiency (1 − waste).
+    pub analytic_efficiency: f64,
+    /// Simulated efficiency from the DES projection.
+    pub simulated_efficiency: f64,
+}
+
+/// Sweep checkpoint intervals for the given projection scenario.
+///
+/// `checkpoint_cost_h` enters the analytic model as overhead and the
+/// simulation indirectly: the DES charges `recovery + interval/2` per
+/// restart, and we add the `C/(τ+C)` overhead on top of its efficiency so
+/// both sides of the comparison price the same three costs.
+pub fn checkpoint_sweep(
+    base: &ProjectionConfig,
+    checkpoint_cost_h: f64,
+    intervals_h: &[f64],
+    runs: u32,
+) -> Vec<CheckpointPoint> {
+    let mtbf_h = 1.0 / base.fleet_failures_per_hour.max(1e-12);
+    intervals_h
+        .iter()
+        .map(|&tau| {
+            let mut cfg = *base;
+            cfg.checkpoint_interval_h = tau;
+            let sim = simulate_mean(&cfg, runs);
+            let overhead = checkpoint_cost_h / (tau + checkpoint_cost_h);
+            CheckpointPoint {
+                interval_h: tau,
+                analytic_efficiency: 1.0
+                    - analytic_waste(tau, checkpoint_cost_h, cfg.recovery_h, mtbf_h),
+                simulated_efficiency: (sim.efficiency * (1.0 - overhead)).max(0.0),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn young_formula_known_value() {
+        // C = 6 min, MTBF = 3.85 h (the paper-scenario rate 0.26/h):
+        // τ* = sqrt(2 · 0.1 · 3.85) ≈ 0.877 h.
+        let t = young_interval_h(0.1, 1.0 / 0.26);
+        assert!((t - 0.877).abs() < 0.01, "tau {t}");
+    }
+
+    #[test]
+    fn daly_refines_young_upward_for_costly_checkpoints() {
+        let (c, m) = (0.2, 4.0);
+        let young = young_interval_h(c, m);
+        let daly = daly_interval_h(c, m);
+        // Daly's correction is positive before subtracting C.
+        assert!(daly + c > young, "daly {daly} vs young {young}");
+        // And degenerate regime caps at MTBF.
+        assert_eq!(daly_interval_h(10.0, 2.0), 2.0);
+    }
+
+    #[test]
+    fn analytic_waste_is_u_shaped_around_the_optimum() {
+        let (c, r, m) = (0.1, 0.2, 4.0);
+        let opt = young_interval_h(c, m);
+        let at_opt = analytic_waste(opt, c, r, m);
+        assert!(analytic_waste(opt / 8.0, c, r, m) > at_opt);
+        assert!(analytic_waste(opt * 8.0, c, r, m) > at_opt);
+    }
+
+    #[test]
+    fn simulation_agrees_with_analytic_model_near_the_optimum() {
+        let base = ProjectionConfig::paper_scenario(77);
+        let c = 0.05; // 3-minute checkpoints
+        let intervals = [0.1, 0.3, 0.9, 2.7];
+        let sweep = checkpoint_sweep(&base, c, &intervals, 30);
+        for p in &sweep {
+            let diff = (p.analytic_efficiency - p.simulated_efficiency).abs();
+            assert!(
+                diff < 0.04,
+                "interval {}: analytic {:.3} vs simulated {:.3}",
+                p.interval_h,
+                p.analytic_efficiency,
+                p.simulated_efficiency
+            );
+        }
+        // The best simulated point is near the Young optimum.
+        let mtbf = 1.0 / base.fleet_failures_per_hour;
+        let opt = young_interval_h(c, mtbf);
+        let best = sweep
+            .iter()
+            .max_by(|a, b| a.simulated_efficiency.total_cmp(&b.simulated_efficiency))
+            .expect("non-empty");
+        let ratio = best.interval_h / opt;
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "best simulated interval {} vs Young {}",
+            best.interval_h,
+            opt
+        );
+    }
+}

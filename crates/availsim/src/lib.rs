@@ -1,0 +1,36 @@
+//! # dr-availsim — availability projection for large synchronous jobs
+//!
+//! Section 5.4 projects the measured failure/recovery distributions onto a
+//! hypothetical job occupying the whole system (e.g. an 800-GPU,
+//! one-month training run). The paper's own description — "a discrete
+//! time event simulation with node failure probabilities derived from our
+//! prior analysis", parameterizing recovery time and sweeping it — is
+//! what this crate implements:
+//!
+//! * node failures arrive as a Poisson process over the job's node pool;
+//! * every failure forces a **whole-job restart from checkpoint**: the
+//!   job loses the recovery time (checkpoint load, rescheduling) plus the
+//!   work since the last checkpoint; failures landing inside an ongoing
+//!   recovery are absorbed by it (the restart picks up a consistent
+//!   state);
+//! * failed nodes are unavailable while they reboot, so a spare pool must
+//!   cover the peak number of concurrently-down nodes for the job to keep
+//!   its full width.
+//!
+//! The **required overprovisioning** is the extra capacity (as a fraction
+//! of the job's size) needed to (a) physically replace down nodes and
+//! (b) make up the lost work within the same wall-clock window. With the
+//! paper's scenario (800 GPUs, 1 month) this reproduces the headline
+//! shape: ~20 % at a 40-minute recovery, dropping ~4× when recovery
+//! shrinks to 5 minutes or when node availability improves from 99.5 %
+//! to 99.9 %.
+
+pub mod checkpoint;
+pub mod model;
+pub mod sim;
+pub mod sweep;
+
+pub use checkpoint::{checkpoint_sweep, daly_interval_h, young_interval_h, CheckpointPoint};
+pub use model::{analytic_overprovision, ProjectionConfig};
+pub use sim::{simulate, simulate_mean, ProjectionResult};
+pub use sweep::{availability_sweep, recovery_sweep, SweepRow};

@@ -1,0 +1,118 @@
+//! Projection configuration and the closed-form sanity model.
+
+/// Scenario parameters for one projection run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProjectionConfig {
+    /// GPUs the job occupies (800 in the paper's scenario).
+    pub job_gpus: u32,
+    /// GPUs per node (4 for Delta's A100 nodes).
+    pub gpus_per_node: u32,
+    /// Job duration in hours (1 month ≈ 720 h).
+    pub horizon_h: f64,
+    /// Fleet-wide node failure rate per hour. The paper's scenario quotes
+    /// "a 1 % chance of a single GPU failure per hour"; we expose the
+    /// fleet-level Poisson rate directly so the sweep can tie it to the
+    /// measured node MTBE (rate = nodes / MTBE for the pessimistic
+    /// every-error-interrupts assumption, or a derated fraction for
+    /// restart-worthy failures only).
+    pub fleet_failures_per_hour: f64,
+    /// Recovery time per failure: checkpoint load + rescheduling (hours).
+    pub recovery_h: f64,
+    /// Checkpoint interval: work since the last checkpoint is lost on a
+    /// failure (mean loss = interval / 2).
+    pub checkpoint_interval_h: f64,
+    /// How long a failed node stays down before rejoining the pool.
+    pub node_return_h: f64,
+    pub seed: u64,
+}
+
+impl ProjectionConfig {
+    /// The paper's headline scenario: 800 GPUs, one month, 40-minute
+    /// recovery. The failure rate is calibrated so the projection lands
+    /// on the paper's reported ~20 % overprovisioning (and ~5 % at a
+    /// five-minute recovery) — the paper's own rate parameter is
+    /// under-specified, so we pin it to its reported outputs and sweep
+    /// around it.
+    pub fn paper_scenario(seed: u64) -> Self {
+        ProjectionConfig {
+            job_gpus: 800,
+            gpus_per_node: 4,
+            horizon_h: 720.0,
+            fleet_failures_per_hour: 0.26,
+            recovery_h: 40.0 / 60.0,
+            checkpoint_interval_h: 13.0 / 60.0,
+            node_return_h: 1.0,
+            seed,
+        }
+    }
+
+    /// Same scenario with a different recovery time (minutes).
+    pub fn with_recovery_minutes(mut self, minutes: f64) -> Self {
+        self.recovery_h = minutes / 60.0;
+        self
+    }
+
+    /// Scale the failure rate by a factor (availability what-ifs: moving
+    /// node MTBE from 67 h to 223 h scales the rate by 67/223).
+    pub fn with_rate_factor(mut self, factor: f64) -> Self {
+        self.fleet_failures_per_hour *= factor;
+        self
+    }
+
+    /// Number of nodes the job occupies.
+    pub fn job_nodes(&self) -> u32 {
+        self.job_gpus.div_ceil(self.gpus_per_node)
+    }
+}
+
+/// Closed-form approximation of the work-loss overprovisioning for the
+/// consolidated-restart model:
+///
+/// effective loss per restart = recovery + checkpoint_interval / 2, and
+/// restarts occur at rate λ/(1 + λ·loss) (failures inside a recovery are
+/// absorbed), giving a stall fraction `λ·loss / (1 + λ·loss)` and a
+/// required extra-capacity fraction `stall / (1 − stall)`.
+pub fn analytic_overprovision(cfg: &ProjectionConfig) -> f64 {
+    let loss = cfg.recovery_h + cfg.checkpoint_interval_h / 2.0;
+    let lam = cfg.fleet_failures_per_hour;
+    let stall = lam * loss / (1.0 + lam * loss);
+    stall / (1.0 - stall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scenario_shape() {
+        let cfg = ProjectionConfig::paper_scenario(1);
+        assert_eq!(cfg.job_nodes(), 200);
+        // ~20 % at 40 min recovery.
+        let op40 = analytic_overprovision(&cfg);
+        assert!((op40 - 0.20).abs() < 0.05, "40-min overprovision {op40}");
+        // ~5 % at 5 min recovery.
+        let op5 = analytic_overprovision(&cfg.with_recovery_minutes(5.0));
+        assert!((op5 - 0.05).abs() < 0.02, "5-min overprovision {op5}");
+        // The improvement is roughly 4x.
+        assert!(op40 / op5 > 3.0 && op40 / op5 < 6.5);
+    }
+
+    #[test]
+    fn better_availability_cuts_overprovision() {
+        let base = ProjectionConfig::paper_scenario(1);
+        let improved = base.with_rate_factor(67.0 / 223.0);
+        let ratio = analytic_overprovision(&base) / analytic_overprovision(&improved);
+        assert!(ratio > 2.5 && ratio < 5.0, "reduction ratio {ratio}");
+    }
+
+    #[test]
+    fn overprovision_monotone_in_recovery_and_rate() {
+        let cfg = ProjectionConfig::paper_scenario(1);
+        let a = analytic_overprovision(&cfg.with_recovery_minutes(5.0));
+        let b = analytic_overprovision(&cfg.with_recovery_minutes(20.0));
+        let c = analytic_overprovision(&cfg.with_recovery_minutes(60.0));
+        assert!(a < b && b < c);
+        let d = analytic_overprovision(&cfg.with_rate_factor(2.0));
+        assert!(d > analytic_overprovision(&cfg));
+    }
+}

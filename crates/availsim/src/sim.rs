@@ -1,0 +1,201 @@
+//! The discrete-event projection run.
+
+use crate::model::ProjectionConfig;
+use dr_stats::dist::Sampler;
+use dr_stats::Exp;
+use rand::prelude::*;
+
+/// Outcome of one projection run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProjectionResult {
+    /// Node failures drawn over the horizon.
+    pub failures: u64,
+    /// Restarts actually performed (failures inside a recovery absorb).
+    pub restarts: u64,
+    /// Hours the job spent stalled (recovering / replaying lost work).
+    pub stall_h: f64,
+    /// Fraction of the horizon spent making progress.
+    pub efficiency: f64,
+    /// Peak number of nodes simultaneously down.
+    pub peak_down_nodes: u32,
+    /// Extra capacity needed to replace down nodes (fraction of job size).
+    pub spare_fraction: f64,
+    /// Extra capacity needed to make up lost work in the same window.
+    pub work_fraction: f64,
+    /// Total required overprovisioning (spares + lost-work make-up).
+    pub required_overprovision: f64,
+}
+
+/// Run the projection once.
+pub fn simulate(cfg: &ProjectionConfig) -> ProjectionResult {
+    assert!(cfg.horizon_h > 0.0 && cfg.fleet_failures_per_hour >= 0.0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Failure times over the horizon.
+    let mut times: Vec<f64> = Vec::new();
+    if cfg.fleet_failures_per_hour > 0.0 {
+        let gap = Exp::new(cfg.fleet_failures_per_hour);
+        let mut t = 0.0;
+        loop {
+            t += gap.sample(&mut rng);
+            if t >= cfg.horizon_h {
+                break;
+            }
+            times.push(t);
+        }
+    }
+
+    // Consolidated whole-job restarts.
+    let loss_per_restart = cfg.recovery_h + cfg.checkpoint_interval_h / 2.0;
+    let mut stall_h = 0.0;
+    let mut restarts = 0u64;
+    let mut recovering_until = f64::NEG_INFINITY;
+    for &t in &times {
+        if t < recovering_until {
+            continue; // absorbed by the ongoing recovery
+        }
+        restarts += 1;
+        let end = (t + loss_per_restart).min(cfg.horizon_h);
+        stall_h += end - t;
+        recovering_until = t + loss_per_restart;
+    }
+
+    // Peak concurrently-down nodes (sweep the +1/-1 edge list).
+    let mut edges: Vec<(f64, i32)> = Vec::with_capacity(times.len() * 2);
+    for &t in &times {
+        edges.push((t, 1));
+        edges.push((t + cfg.node_return_h, -1));
+    }
+    edges.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
+    let mut down = 0i32;
+    let mut peak = 0i32;
+    for (_, d) in edges {
+        down += d;
+        peak = peak.max(down);
+    }
+
+    let efficiency = 1.0 - stall_h / cfg.horizon_h;
+    let work_fraction = if efficiency > 0.0 {
+        (1.0 - efficiency) / efficiency
+    } else {
+        f64::INFINITY
+    };
+    let spare_fraction =
+        (peak as f64 * cfg.gpus_per_node as f64) / cfg.job_gpus as f64;
+
+    ProjectionResult {
+        failures: times.len() as u64,
+        restarts,
+        stall_h,
+        efficiency,
+        peak_down_nodes: peak as u32,
+        spare_fraction,
+        work_fraction,
+        required_overprovision: spare_fraction + work_fraction,
+    }
+}
+
+/// Average the projection over `runs` seeds (the stall fraction of a
+/// single month is noisy).
+pub fn simulate_mean(cfg: &ProjectionConfig, runs: u32) -> ProjectionResult {
+    assert!(runs > 0);
+    let mut acc: Option<ProjectionResult> = None;
+    let mut peak_max = 0u32;
+    for k in 0..runs {
+        let mut c = *cfg;
+        c.seed = cfg.seed.wrapping_add(k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let r = simulate(&c);
+        peak_max = peak_max.max(r.peak_down_nodes);
+        acc = Some(match acc {
+            None => r,
+            Some(a) => ProjectionResult {
+                failures: a.failures + r.failures,
+                restarts: a.restarts + r.restarts,
+                stall_h: a.stall_h + r.stall_h,
+                efficiency: a.efficiency + r.efficiency,
+                peak_down_nodes: peak_max,
+                spare_fraction: a.spare_fraction + r.spare_fraction,
+                work_fraction: a.work_fraction + r.work_fraction,
+                required_overprovision: a.required_overprovision + r.required_overprovision,
+            },
+        });
+    }
+    let mut a = acc.expect("at least one run");
+    let n = runs as f64;
+    a.stall_h /= n;
+    a.efficiency /= n;
+    a.spare_fraction /= n;
+    a.work_fraction /= n;
+    a.required_overprovision /= n;
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::analytic_overprovision;
+
+    #[test]
+    fn no_failures_no_overprovision() {
+        let mut cfg = ProjectionConfig::paper_scenario(1);
+        cfg.fleet_failures_per_hour = 0.0;
+        let r = simulate(&cfg);
+        assert_eq!(r.failures, 0);
+        assert_eq!(r.required_overprovision, 0.0);
+        assert_eq!(r.efficiency, 1.0);
+    }
+
+    #[test]
+    fn simulation_matches_analytic_model() {
+        let cfg = ProjectionConfig::paper_scenario(7);
+        let r = simulate_mean(&cfg, 40);
+        let analytic = analytic_overprovision(&cfg);
+        assert!(
+            (r.work_fraction - analytic).abs() / analytic < 0.15,
+            "sim {} vs analytic {analytic}",
+            r.work_fraction
+        );
+    }
+
+    #[test]
+    fn paper_headline_numbers() {
+        let cfg = ProjectionConfig::paper_scenario(11);
+        let r40 = simulate_mean(&cfg, 40);
+        let r5 = simulate_mean(&cfg.with_recovery_minutes(5.0), 40);
+        assert!(
+            (0.12..0.30).contains(&r40.required_overprovision),
+            "40-min overprovision {}",
+            r40.required_overprovision
+        );
+        assert!(
+            (0.02..0.10).contains(&r5.required_overprovision),
+            "5-min overprovision {}",
+            r5.required_overprovision
+        );
+        assert!(r40.required_overprovision > 2.5 * r5.required_overprovision);
+    }
+
+    #[test]
+    fn restarts_consolidate() {
+        let mut cfg = ProjectionConfig::paper_scenario(3);
+        cfg.fleet_failures_per_hour = 50.0; // storm: recoveries overlap
+        let r = simulate(&cfg);
+        assert!(r.restarts < r.failures);
+        assert!(r.efficiency >= 0.0);
+        assert!(r.stall_h <= cfg.horizon_h + 1e-9);
+    }
+
+    #[test]
+    fn determinism() {
+        let cfg = ProjectionConfig::paper_scenario(9);
+        assert_eq!(simulate(&cfg), simulate(&cfg));
+    }
+
+    #[test]
+    fn peak_down_counts_overlaps() {
+        let mut cfg = ProjectionConfig::paper_scenario(13);
+        cfg.node_return_h = 10_000.0; // nothing comes back within the month
+        let r = simulate(&cfg);
+        assert_eq!(r.peak_down_nodes as u64, r.failures);
+    }
+}

@@ -1,0 +1,78 @@
+//! Ablation benches (experiment ids A1, A2, A3).
+//!
+//! * `ablation_coalesce_dt` — Δt ∈ {5, 10, 20} s: the Section 3.2
+//!   robustness claim (results stable, cost comparable).
+//! * `ablation_parallel_pipeline` — Stage I extraction with the
+//!   crossbeam-parallel map vs a sequential scan.
+//! * `ablation_propagation_window` — propagation-window sensitivity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dr_bench::{meso_campaign, text_campaign};
+use dr_logscan::XidExtractor;
+use dr_xid::Duration;
+use resilience_core::propagation::analyze;
+use resilience_core::{coalesce, CoalesceConfig};
+use std::hint::black_box;
+
+fn ablation_coalesce_dt(c: &mut Criterion) {
+    let out = meso_campaign();
+    let mut g = c.benchmark_group("a1_coalesce_dt");
+    g.sample_size(10);
+    for secs in [5u64, 10, 20] {
+        g.bench_with_input(BenchmarkId::from_parameter(secs), &secs, |b, &secs| {
+            b.iter(|| coalesce(black_box(&out.records), CoalesceConfig::with_window_secs(secs)))
+        });
+    }
+    g.finish();
+}
+
+fn ablation_parallel_pipeline(c: &mut Criterion) {
+    let out = text_campaign();
+    let logs = &out.text_logs;
+    let total_lines: usize = logs.iter().map(|(_, l)| l.len()).sum();
+    let mut g = c.benchmark_group("a2_stage1");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(total_lines as u64));
+    g.bench_function("sequential", |b| {
+        b.iter(|| {
+            logs.iter()
+                .map(|(_, lines)| {
+                    let mut ex = XidExtractor::new();
+                    ex.extract_all(lines.iter().map(|s| s.as_str())).len()
+                })
+                .sum::<usize>()
+        })
+    });
+    g.bench_function("parallel_per_node", |b| {
+        b.iter(|| {
+            dr_par::par_map(logs, |(_, lines)| {
+                let mut ex = XidExtractor::new();
+                ex.extract_all(lines.iter().map(|s| s.as_str())).len()
+            })
+            .iter()
+            .sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
+fn ablation_propagation_window(c: &mut Criterion) {
+    let out = meso_campaign();
+    let coalesced = coalesce(&out.records, CoalesceConfig::default());
+    let mut g = c.benchmark_group("a3_propagation_window");
+    g.sample_size(10);
+    for secs in [30u64, 60, 120] {
+        g.bench_with_input(BenchmarkId::from_parameter(secs), &secs, |b, &secs| {
+            b.iter(|| analyze(black_box(&coalesced), Duration::from_secs(secs)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_coalesce_dt,
+    ablation_parallel_pipeline,
+    ablation_propagation_window
+);
+criterion_main!(benches);

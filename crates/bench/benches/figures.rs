@@ -1,0 +1,91 @@
+//! Figure-regenerating benches (experiment ids F5, F6, F7, F9, S4.4).
+//!
+//! * `fig5_propagation` — full intra-/inter-GPU propagation analysis
+//!   (Figure 5's hardware graph comes straight from its edge set).
+//! * `fig6_nvlink` — NVLink multi-GPU involvement accounting.
+//! * `fig7_memory_paths` — memory recovery-path edge extraction.
+//! * `fig9_distributions` — elapsed-time/error-count distributions and
+//!   downtime statistics.
+//! * `persistence_tails` — lost-GPU-hours tail analysis (Section 4.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dr_bench::{meso_campaign, meso_jobs};
+use dr_xid::Duration;
+use resilience_core::downtime::downtime_stats;
+use resilience_core::job_impact::{analyze_jobs, JobImpactConfig};
+use resilience_core::propagation::{analyze, nvlink_spread};
+use resilience_core::{coalesce, lost_gpu_hours, CoalesceConfig};
+use std::hint::black_box;
+
+fn fig5_propagation(c: &mut Criterion) {
+    let out = meso_campaign();
+    let coalesced = coalesce(&out.records, CoalesceConfig::default());
+    let mut g = c.benchmark_group("fig5");
+    g.throughput(criterion::Throughput::Elements(coalesced.len() as u64));
+    g.bench_function("propagation_analysis", |b| {
+        b.iter(|| analyze(black_box(&coalesced), Duration::from_secs(60)))
+    });
+    g.finish();
+}
+
+fn fig6_nvlink(c: &mut Criterion) {
+    let out = meso_campaign();
+    let coalesced = coalesce(&out.records, CoalesceConfig::default());
+    c.bench_function("fig6/nvlink_spread", |b| {
+        b.iter(|| nvlink_spread(black_box(&coalesced), Duration::from_secs(10)))
+    });
+}
+
+fn fig7_memory_paths(c: &mut Criterion) {
+    let out = meso_campaign();
+    let coalesced = coalesce(&out.records, CoalesceConfig::default());
+    c.bench_function("fig7/memory_path_edges", |b| {
+        b.iter(|| {
+            let a = analyze(black_box(&coalesced), Duration::from_secs(60));
+            // Extract the Figure 7 member edges, as the renderer does.
+            a.intra
+                .iter()
+                .filter(|e| {
+                    use dr_xid::Xid::*;
+                    matches!(e.from, DoubleBitEcc | RowRemapEvent | RowRemapFailure)
+                })
+                .count()
+        })
+    });
+}
+
+fn fig9_distributions(c: &mut Criterion) {
+    let out = meso_campaign();
+    let jobs = meso_jobs();
+    let coalesced = coalesce(&out.records, CoalesceConfig::default());
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("elapsed_and_error_distributions", |b| {
+        b.iter(|| {
+            let a = analyze_jobs(black_box(jobs), &coalesced, JobImpactConfig::default());
+            a.distributions.completed.count() + a.distributions.gpu_failed.count()
+        })
+    });
+    g.bench_function("downtime_stats", |b| {
+        b.iter(|| downtime_stats(black_box(&out.downtime)))
+    });
+    g.finish();
+}
+
+fn persistence_tails(c: &mut Criterion) {
+    let out = meso_campaign();
+    let coalesced = coalesce(&out.records, CoalesceConfig::default());
+    c.bench_function("s4_3/lost_gpu_hours_tail", |b| {
+        b.iter(|| lost_gpu_hours(black_box(&coalesced)))
+    });
+}
+
+criterion_group!(
+    benches,
+    fig5_propagation,
+    fig6_nvlink,
+    fig7_memory_paths,
+    fig9_distributions,
+    persistence_tails
+);
+criterion_main!(benches);

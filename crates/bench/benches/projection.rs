@@ -1,0 +1,47 @@
+//! Projection benches (experiment ids S5.4, S5.5, S6).
+//!
+//! * `availability_sweep` — the Section 5.4 recovery-time sweep.
+//! * `counterfactual` — the Section 5.5 offender/hardening what-if.
+//! * `h100_campaign` — the full Section 6 H100 campaign, generation
+//!   included (it is small).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dr_availsim::{recovery_sweep, simulate, ProjectionConfig};
+use dr_bench::meso_campaign;
+use dr_faults::{Campaign, CampaignConfig};
+use resilience_core::counterfactual::counterfactual;
+use resilience_core::{coalesce, CoalesceConfig};
+use std::hint::black_box;
+
+fn availability_sweep(c: &mut Criterion) {
+    let base = ProjectionConfig::paper_scenario(3);
+    let mut g = c.benchmark_group("s5_4");
+    g.bench_function("single_month_projection", |b| {
+        b.iter(|| simulate(black_box(&base)))
+    });
+    g.sample_size(10);
+    g.bench_function("recovery_sweep_6_points_x20", |b| {
+        b.iter(|| recovery_sweep(&base, &[5.0, 10.0, 20.0, 30.0, 40.0, 60.0], 20))
+    });
+    g.finish();
+}
+
+fn counterfactual_bench(c: &mut Criterion) {
+    let out = meso_campaign();
+    let coalesced = coalesce(&out.records, CoalesceConfig::default());
+    c.bench_function("s5_5/counterfactual", |b| {
+        b.iter(|| counterfactual(black_box(&coalesced), out.observation_hours(), 206, 0.3))
+    });
+}
+
+fn h100_campaign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("s6");
+    g.sample_size(10);
+    g.bench_function("h100_full_campaign", |b| {
+        b.iter(|| Campaign::run(CampaignConfig::h100_study(black_box(616))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, availability_sweep, counterfactual_bench, h100_campaign);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Substrate micro-benches: the building blocks the study runs on.
+//!
+//! Not tied to a specific paper artifact, but they bound the cost of the
+//! reproduction: regex matching throughput (Stage I scans 202 GB in the
+//! real study), device fault injection, DES event dispatch, and the
+//! campaign generator itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dr_des::Engine;
+use dr_faults::{Campaign, CampaignConfig};
+use dr_gpu::{Fault, Gpu, GpuArch, RasTuning};
+use dr_logscan::Regex;
+use dr_xid::syslog::format_line;
+use dr_xid::{ErrorDetail, ErrorRecord, GpuId, NodeId, Timestamp, Xid};
+use rand::prelude::*;
+use std::hint::black_box;
+
+fn regex_throughput(c: &mut Criterion) {
+    let re = Regex::new(
+        r"kernel: NVRM: Xid \(PCI:([0-9a-f]{4}:[0-9a-f]{2}:[0-9a-f]{2})\): (\d+), (.*)$",
+    )
+    .expect("compiles");
+    let rec = ErrorRecord::new(
+        Timestamp::from_secs(3_600),
+        GpuId::at_slot(NodeId(42), 3),
+        Xid::GspRpcTimeout,
+        ErrorDetail::new(0, 76),
+    );
+    let hit = format_line(&rec, 0);
+    let miss = "Jan  1 01:00:00 gpub042 systemd[1]: Started Session 4221 of user jdoe.";
+    let mut g = c.benchmark_group("substrate_regex");
+    g.throughput(criterion::Throughput::Bytes(hit.len() as u64));
+    g.bench_function("nvrm_line_match", |b| b.iter(|| re.find(black_box(&hit))));
+    g.bench_function("noise_line_reject", |b| b.iter(|| re.find(black_box(miss))));
+    g.finish();
+}
+
+fn device_injection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate_device");
+    g.bench_function("nvlink_crc_inject", |b| {
+        let mut gpu = Gpu::new(
+            GpuId::at_slot(NodeId(1), 0),
+            GpuArch::A100,
+            RasTuning::default(),
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let r = gpu.inject(Fault::NvlinkCrc { link: 3 }, &mut rng);
+            if gpu.health().needs_reset() {
+                gpu.reset();
+            }
+            r.emissions.len()
+        })
+    });
+    g.bench_function("dbe_inject_with_remap", |b| {
+        let mut gpu = Gpu::new(
+            GpuId::at_slot(NodeId(1), 0),
+            GpuArch::A100,
+            RasTuning::default(),
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut row = 0u32;
+        b.iter(|| {
+            row = row.wrapping_add(1);
+            let r = gpu.inject(
+                Fault::MemoryDbe {
+                    bank: (row % 64) as u16,
+                    row,
+                },
+                &mut rng,
+            );
+            if gpu.health().needs_reset() {
+                gpu.reset();
+            }
+            r.emissions.len()
+        })
+    });
+    g.finish();
+}
+
+fn des_dispatch(c: &mut Criterion) {
+    c.bench_function("substrate_des/100k_event_cascade", |b| {
+        b.iter(|| {
+            let mut eng: Engine<u32> = Engine::new();
+            eng.schedule(0, 0);
+            let mut count = 0u64;
+            eng.run_until(1_000_000, |s, n| {
+                count += 1;
+                if n < 100_000 {
+                    s.schedule_in(7, n + 1);
+                }
+            });
+            count
+        })
+    });
+}
+
+fn campaign_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate_campaign");
+    g.sample_size(10);
+    g.bench_function("tiny_fleet_30_days", |b| {
+        b.iter(|| Campaign::run(CampaignConfig::tiny(black_box(3))).records.len())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    regex_throughput,
+    device_injection,
+    des_dispatch,
+    campaign_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Table-regenerating benches (experiment ids T1, T2, T3).
+//!
+//! * `table1_pipeline` — coalescing + error statistics over the raw
+//!   record stream (Table 1).
+//! * `table2_job_impact` — the ±20 s error/job join and per-XID failure
+//!   probabilities (Table 2).
+//! * `table3_job_gen` — workload generation and placement (Table 3).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dr_bench::{meso_campaign, meso_jobs};
+use dr_slurm::{DrainWindows, JobLoadConfig, Scheduler};
+use resilience_core::job_impact::{analyze_jobs, table3, JobImpactConfig};
+use resilience_core::{coalesce, table1, CoalesceConfig};
+use std::hint::black_box;
+
+fn table1_pipeline(c: &mut Criterion) {
+    let out = meso_campaign();
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(out.records.len() as u64));
+    g.bench_function("coalesce_raw_records", |b| {
+        b.iter(|| coalesce(black_box(&out.records), CoalesceConfig::default()))
+    });
+    let coalesced = coalesce(&out.records, CoalesceConfig::default());
+    g.bench_function("error_statistics", |b| {
+        b.iter(|| table1(black_box(&coalesced), out.observation_hours(), 206))
+    });
+    g.finish();
+}
+
+fn table2_job_impact(c: &mut Criterion) {
+    let out = meso_campaign();
+    let jobs = meso_jobs();
+    let coalesced = coalesce(&out.records, CoalesceConfig::default());
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(jobs.len() as u64));
+    g.bench_function("job_error_join", |b| {
+        b.iter(|| analyze_jobs(black_box(jobs), black_box(&coalesced), JobImpactConfig::default()))
+    });
+    g.finish();
+}
+
+fn table3_job_gen(c: &mut Criterion) {
+    let out = meso_campaign();
+    let jobs = meso_jobs();
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    g.bench_function("generate_and_place_20k_jobs", |b| {
+        let cfg = JobLoadConfig {
+            total_jobs: 20_000,
+            duration_days: 60.0,
+            ..JobLoadConfig::delta_study(5)
+        };
+        let sched = Scheduler::new(cfg);
+        let drains = DrainWindows::default();
+        b.iter_batched(
+            || (),
+            |_| sched.run(black_box(&out.fleet), &drains),
+            BatchSize::PerIteration,
+        )
+    });
+    g.bench_function("bucket_statistics", |b| {
+        b.iter(|| table3(black_box(jobs)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, table1_pipeline, table2_job_impact, table3_job_gen);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! # dr-bench — shared fixtures for the benchmark suite
+//!
+//! Every bench regenerates one of the paper's tables or figures (see
+//! DESIGN.md's experiment index). Campaign generation is *not* what we
+//! want to time in the analysis benches, so fixtures are built once per
+//! process and shared via `OnceLock`.
+
+use dr_cluster::DeltaShape;
+use dr_faults::{Campaign, CampaignConfig, CampaignOutput};
+use dr_slurm::{apply_errors, DrainWindows, JobLoadConfig, JobRecord, MaskingModel, Scheduler};
+use dr_xid::Duration;
+use rand::prelude::*;
+use std::sync::OnceLock;
+
+/// A benchmark-sized study: the full Ampere fleet over 60 days (~4.5 k
+/// coalesced errors, ~700 k raw records) — big enough for meaningful
+/// throughput numbers, small enough for Criterion's sampling.
+pub fn meso_campaign() -> &'static CampaignOutput {
+    static OUT: OnceLock<CampaignOutput> = OnceLock::new();
+    OUT.get_or_init(|| {
+        let cfg = CampaignConfig {
+            duration_days: 60.0,
+            ..CampaignConfig::ampere_study(7)
+        };
+        Campaign::run(cfg)
+    })
+}
+
+/// A text-bearing small campaign for Stage I extraction benches.
+pub fn text_campaign() -> &'static CampaignOutput {
+    static OUT: OnceLock<CampaignOutput> = OnceLock::new();
+    OUT.get_or_init(|| {
+        let cfg = CampaignConfig {
+            shape: DeltaShape::tiny(),
+            duration_days: 120.0,
+            text_nodes: 6,
+            noise_per_node_hour: 4.0,
+            ..CampaignConfig::tiny(11)
+        };
+        Campaign::run(cfg)
+    })
+}
+
+/// The matching workload with error impact applied (for Table 2 / Fig 9).
+pub fn meso_jobs() -> &'static Vec<JobRecord> {
+    static JOBS: OnceLock<Vec<JobRecord>> = OnceLock::new();
+    JOBS.get_or_init(|| {
+        let out = meso_campaign();
+        let drains = DrainWindows::from_events(
+            out.events.iter().map(|e| (e.gpu.node, e.at)),
+            Duration::from_hours(24),
+        );
+        let cfg = JobLoadConfig {
+            total_jobs: 100_000,
+            duration_days: 60.0,
+            ..JobLoadConfig::delta_study(13)
+        };
+        let mut schedule = Scheduler::new(cfg).run(&out.fleet, &drains);
+        let mut rng = StdRng::seed_from_u64(17);
+        apply_errors(&mut schedule.jobs, &out.events, &MaskingModel::default(), &mut rng);
+        schedule.jobs
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        assert!(!meso_campaign().records.is_empty());
+        assert!(!text_campaign().text_logs.is_empty());
+        assert!(!meso_jobs().is_empty());
+    }
+}

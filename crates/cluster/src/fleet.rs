@@ -1,0 +1,243 @@
+//! The GPU fleet: all GPU nodes of the cluster, indexable by node and GPU.
+
+use crate::node::{Node, NodeKind};
+use dr_gpu::{Gpu, GpuArch, RasTuning};
+use dr_xid::{GpuId, NodeId};
+use std::collections::HashMap;
+
+/// How many nodes of each kind to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeltaShape {
+    pub a40x4: u32,
+    pub a100x4: u32,
+    pub a100x8: u32,
+    pub gh200: u32,
+}
+
+impl DeltaShape {
+    /// The production Delta shape (Section 2.1): 286 GPU nodes, 1,168 GPUs.
+    pub const fn delta() -> Self {
+        DeltaShape {
+            a40x4: 100,
+            a100x4: 100,
+            a100x8: 6,
+            gh200: 80,
+        }
+    }
+
+    /// Only the Ampere population of Table 1: 206 nodes, 848 GPUs.
+    pub const fn delta_ampere() -> Self {
+        DeltaShape {
+            gh200: 0,
+            ..DeltaShape::delta()
+        }
+    }
+
+    /// Only the H100 extension fleet of Section 6: 80 nodes, 320 GPUs.
+    pub const fn delta_h100() -> Self {
+        DeltaShape {
+            a40x4: 0,
+            a100x4: 0,
+            a100x8: 0,
+            gh200: 80,
+        }
+    }
+
+    /// A small shape for tests and the quickstart example.
+    pub const fn tiny() -> Self {
+        DeltaShape {
+            a40x4: 2,
+            a100x4: 2,
+            a100x8: 1,
+            gh200: 1,
+        }
+    }
+
+    pub const fn node_count(&self) -> u32 {
+        self.a40x4 + self.a100x4 + self.a100x8 + self.gh200
+    }
+
+    pub const fn gpu_count(&self) -> u32 {
+        self.a40x4 * 4 + self.a100x4 * 4 + self.a100x8 * 8 + self.gh200 * 4
+    }
+}
+
+/// The fleet of GPU nodes.
+#[derive(Clone, Debug)]
+pub struct Fleet {
+    nodes: Vec<Node>,
+    /// GpuId -> (node index, slot) for O(1) device lookup.
+    index: HashMap<GpuId, (usize, usize)>,
+}
+
+impl Fleet {
+    /// Build a fleet of the given shape. Node ids are assigned densely in
+    /// kind order: A40x4, A100x4, A100x8, GH200.
+    pub fn build(shape: DeltaShape, tuning: RasTuning) -> Self {
+        let mut nodes = Vec::with_capacity(shape.node_count() as usize);
+        let mut next_id = 0u32;
+        let mut push = |nodes: &mut Vec<Node>, kind: NodeKind, count: u32| {
+            for _ in 0..count {
+                nodes.push(Node::new(NodeId(next_id), kind, tuning));
+                next_id += 1;
+            }
+        };
+        push(&mut nodes, NodeKind::A40x4, shape.a40x4);
+        push(&mut nodes, NodeKind::A100x4, shape.a100x4);
+        push(&mut nodes, NodeKind::A100x8, shape.a100x8);
+        push(&mut nodes, NodeKind::Gh200, shape.gh200);
+
+        let mut index = HashMap::new();
+        for (ni, node) in nodes.iter().enumerate() {
+            for (si, gpu) in node.gpus.iter().enumerate() {
+                index.insert(gpu.id(), (ni, si));
+            }
+        }
+        Fleet { nodes, index }
+    }
+
+    /// The production Delta fleet.
+    pub fn delta(tuning: RasTuning) -> Self {
+        Fleet::build(DeltaShape::delta(), tuning)
+    }
+
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn gpu_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Count of nodes whose GPUs are Ampere parts (the Table 1 population).
+    pub fn ampere_node_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.kind.is_ampere()).count()
+    }
+
+    /// Count of Ampere GPUs.
+    pub fn ampere_gpu_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind.is_ampere())
+            .map(|n| n.gpus.len())
+            .sum()
+    }
+
+    /// All GPU ids, fleet order.
+    pub fn gpu_ids(&self) -> Vec<GpuId> {
+        self.nodes.iter().flat_map(|n| n.gpu_ids()).collect()
+    }
+
+    /// GPU ids restricted to one architecture.
+    pub fn gpu_ids_of(&self, arch: GpuArch) -> Vec<GpuId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind.arch() == arch)
+            .flat_map(|n| n.gpu_ids())
+            .collect()
+    }
+
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.iter().find(|n| n.id == id)
+    }
+
+    /// Immutable device lookup.
+    pub fn gpu(&self, id: GpuId) -> Option<&Gpu> {
+        let &(ni, si) = self.index.get(&id)?;
+        Some(&self.nodes[ni].gpus[si])
+    }
+
+    /// Mutable device lookup (used by the campaign to inject faults and by
+    /// the defect seeder to swap in spare-exhausted parts).
+    pub fn gpu_mut(&mut self, id: GpuId) -> Option<&mut Gpu> {
+        let &(ni, si) = self.index.get(&id)?;
+        Some(&mut self.nodes[ni].gpus[si])
+    }
+
+    /// NVLink peers of `gpu` (empty if unknown).
+    pub fn nvlink_peers(&self, gpu: GpuId) -> Vec<GpuId> {
+        match self.index.get(&gpu) {
+            Some(&(ni, si)) => self.nodes[ni].nvlink_peers(si),
+            None => Vec::new(),
+        }
+    }
+
+    /// The node kind hosting `gpu`.
+    pub fn kind_of(&self, gpu: GpuId) -> Option<NodeKind> {
+        self.index.get(&gpu).map(|&(ni, _)| self.nodes[ni].kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_shape_matches_paper() {
+        let s = DeltaShape::delta();
+        assert_eq!(s.node_count(), 286);
+        assert_eq!(s.gpu_count(), 1_168);
+        let a = DeltaShape::delta_ampere();
+        assert_eq!(a.node_count(), 206);
+        assert_eq!(a.gpu_count(), 848);
+        let h = DeltaShape::delta_h100();
+        assert_eq!(h.gpu_count(), 320);
+    }
+
+    #[test]
+    fn built_fleet_matches_shape() {
+        let f = Fleet::delta(RasTuning::default());
+        assert_eq!(f.node_count(), 286);
+        assert_eq!(f.gpu_count(), 1_168);
+        assert_eq!(f.ampere_node_count(), 206);
+        assert_eq!(f.ampere_gpu_count(), 848);
+        assert_eq!(f.gpu_ids_of(GpuArch::H100).len(), 320);
+        assert_eq!(f.gpu_ids_of(GpuArch::A40).len(), 400);
+    }
+
+    #[test]
+    fn lookup_round_trips() {
+        let f = Fleet::build(DeltaShape::tiny(), RasTuning::default());
+        for id in f.gpu_ids() {
+            assert_eq!(f.gpu(id).unwrap().id(), id);
+        }
+        let bogus = GpuId::at_slot(NodeId(9_999), 0);
+        assert!(f.gpu(bogus).is_none());
+        assert!(f.nvlink_peers(bogus).is_empty());
+    }
+
+    #[test]
+    fn gpu_mut_allows_defect_seeding() {
+        let mut f = Fleet::build(DeltaShape::tiny(), RasTuning::default());
+        let victim = f.gpu_ids_of(GpuArch::A100)[0];
+        let arch = f.gpu(victim).unwrap().arch();
+        *f.gpu_mut(victim).unwrap() = Gpu::defective(victim, arch, RasTuning::default(), 0);
+        assert_eq!(f.gpu(victim).unwrap().memory.spares_left(0), Some(0));
+    }
+
+    #[test]
+    fn node_ids_are_dense_and_unique() {
+        let f = Fleet::build(DeltaShape::tiny(), RasTuning::default());
+        let mut ids: Vec<u32> = f.nodes().iter().map(|n| n.id.0).collect();
+        let n = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+        assert_eq!(ids, (0..n as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peers_use_node_topology() {
+        let f = Fleet::build(DeltaShape::tiny(), RasTuning::default());
+        let eight_way = f
+            .nodes()
+            .iter()
+            .find(|n| n.kind == NodeKind::A100x8)
+            .unwrap();
+        let g0 = eight_way.gpu_ids()[0];
+        assert_eq!(f.nvlink_peers(g0).len(), 7);
+    }
+}

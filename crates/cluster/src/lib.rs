@@ -1,0 +1,29 @@
+//! # dr-cluster — Delta-like cluster topology
+//!
+//! Delta (Section 2.1, Figure 2) couples 132 CPU-only nodes with 286
+//! GPU-accelerated nodes in four configurations totaling 1,168 GPUs:
+//!
+//! | configuration | nodes | GPUs |
+//! |---------------|-------|------|
+//! | 4-way A40     | 100   | 400  |
+//! | 4-way A100    | 100   | 400  |
+//! | 8-way A100    | 6     | 48   |
+//! | GH200 (H100)  | 80    | 320  |
+//!
+//! The 206 Ampere nodes (848 Ampere GPUs) are the Table 1 population; the
+//! H100 fleet is analyzed separately (Section 6). This crate builds the
+//! fleet of mechanistic [`dr_gpu::Gpu`] devices, defines the NVLink
+//! peer topology used by inter-GPU propagation, and models per-architecture
+//! utilization (Section 2.4).
+
+pub mod fleet;
+pub mod node;
+pub mod utilization;
+
+pub use fleet::{DeltaShape, Fleet};
+pub use node::{Node, NodeKind};
+pub use utilization::UtilizationModel;
+
+/// CPU-only nodes in Delta (not part of the GPU fleet model, but used by
+/// the job-statistics comparison in Section 5.2).
+pub const CPU_ONLY_NODES: u32 = 132;

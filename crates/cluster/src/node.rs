@@ -1,0 +1,176 @@
+//! GPU node configurations.
+
+use dr_gpu::{Gpu, GpuArch, RasTuning};
+use dr_xid::{GpuId, NodeId};
+
+/// The four GPU node configurations deployed in Delta.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NodeKind {
+    /// 4-way NVIDIA A40 (NVLink bridge pairs).
+    A40x4,
+    /// 4-way NVIDIA A100 (direct NVLink mesh).
+    A100x4,
+    /// 8-way NVIDIA A100 (NVSwitch fabric).
+    A100x8,
+    /// GH200 superchip node with 4 H100 GPUs.
+    Gh200,
+}
+
+impl NodeKind {
+    pub const ALL: [NodeKind; 4] = [
+        NodeKind::A40x4,
+        NodeKind::A100x4,
+        NodeKind::A100x8,
+        NodeKind::Gh200,
+    ];
+
+    /// GPUs per node of this kind.
+    pub const fn gpu_count(self) -> usize {
+        match self {
+            NodeKind::A40x4 | NodeKind::A100x4 | NodeKind::Gh200 => 4,
+            NodeKind::A100x8 => 8,
+        }
+    }
+
+    /// GPU architecture installed in this node kind.
+    pub const fn arch(self) -> GpuArch {
+        match self {
+            NodeKind::A40x4 => GpuArch::A40,
+            NodeKind::A100x4 | NodeKind::A100x8 => GpuArch::A100,
+            NodeKind::Gh200 => GpuArch::H100,
+        }
+    }
+
+    /// Whether this node belongs to the Ampere (Table 1) population.
+    pub const fn is_ampere(self) -> bool {
+        self.arch().is_ampere()
+    }
+}
+
+/// One GPU node: identity, kind, and its GPU devices.
+#[derive(Clone, Debug)]
+pub struct Node {
+    pub id: NodeId,
+    pub kind: NodeKind,
+    pub gpus: Vec<Gpu>,
+}
+
+impl Node {
+    /// Build a node with healthy GPUs.
+    pub fn new(id: NodeId, kind: NodeKind, tuning: RasTuning) -> Self {
+        let arch = kind.arch();
+        let gpus = (0..kind.gpu_count())
+            .map(|slot| Gpu::new(GpuId::at_slot(id, slot), arch, tuning))
+            .collect();
+        Node { id, kind, gpus }
+    }
+
+    /// The GpuIds of this node's devices in slot order.
+    pub fn gpu_ids(&self) -> Vec<GpuId> {
+        self.gpus.iter().map(|g| g.id()).collect()
+    }
+
+    /// NVLink peers of the GPU at `slot`.
+    ///
+    /// A40 nodes connect GPUs in bridge pairs (0–1, 2–3); A100/H100 nodes
+    /// have an all-to-all fabric (direct mesh or NVSwitch).
+    pub fn nvlink_peers(&self, slot: usize) -> Vec<GpuId> {
+        match self.kind {
+            NodeKind::A40x4 => {
+                let partner = slot ^ 1;
+                self.gpus
+                    .get(partner)
+                    .map(|g| vec![g.id()])
+                    .unwrap_or_default()
+            }
+            _ => self
+                .gpus
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != slot)
+                .map(|(_, g)| g.id())
+                .collect(),
+        }
+    }
+
+    /// Slot index of `gpu` within this node, if present.
+    pub fn slot_of(&self, gpu: GpuId) -> Option<usize> {
+        self.gpus.iter().position(|g| g.id() == gpu)
+    }
+
+    /// Whether every GPU in the node is healthy.
+    pub fn all_healthy(&self) -> bool {
+        self.gpus.iter().all(|g| g.health().is_ok())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(kind: NodeKind) -> Node {
+        Node::new(NodeId(7), kind, RasTuning::default())
+    }
+
+    #[test]
+    fn gpu_counts_match_delta_configs() {
+        assert_eq!(NodeKind::A40x4.gpu_count(), 4);
+        assert_eq!(NodeKind::A100x4.gpu_count(), 4);
+        assert_eq!(NodeKind::A100x8.gpu_count(), 8);
+        assert_eq!(NodeKind::Gh200.gpu_count(), 4);
+    }
+
+    #[test]
+    fn arch_mapping() {
+        assert_eq!(NodeKind::A40x4.arch(), GpuArch::A40);
+        assert_eq!(NodeKind::A100x8.arch(), GpuArch::A100);
+        assert_eq!(NodeKind::Gh200.arch(), GpuArch::H100);
+        assert!(NodeKind::A100x4.is_ampere());
+        assert!(!NodeKind::Gh200.is_ampere());
+    }
+
+    #[test]
+    fn gpus_have_distinct_ids_on_same_node() {
+        let n = node(NodeKind::A100x8);
+        let ids = n.gpu_ids();
+        assert_eq!(ids.len(), 8);
+        for i in 0..ids.len() {
+            assert_eq!(ids[i].node, NodeId(7));
+            for j in (i + 1)..ids.len() {
+                assert_ne!(ids[i], ids[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn a40_peers_are_bridge_pairs() {
+        let n = node(NodeKind::A40x4);
+        let ids = n.gpu_ids();
+        assert_eq!(n.nvlink_peers(0), vec![ids[1]]);
+        assert_eq!(n.nvlink_peers(1), vec![ids[0]]);
+        assert_eq!(n.nvlink_peers(2), vec![ids[3]]);
+        assert_eq!(n.nvlink_peers(3), vec![ids[2]]);
+    }
+
+    #[test]
+    fn a100_peers_are_all_to_all() {
+        let n = node(NodeKind::A100x8);
+        let peers = n.nvlink_peers(3);
+        assert_eq!(peers.len(), 7);
+        assert!(!peers.contains(&n.gpu_ids()[3]));
+    }
+
+    #[test]
+    fn slot_lookup() {
+        let n = node(NodeKind::A100x4);
+        let ids = n.gpu_ids();
+        assert_eq!(n.slot_of(ids[2]), Some(2));
+        let other = GpuId::at_slot(NodeId(99), 0);
+        assert_eq!(n.slot_of(other), None);
+    }
+
+    #[test]
+    fn fresh_node_is_healthy() {
+        assert!(node(NodeKind::Gh200).all_healthy());
+    }
+}

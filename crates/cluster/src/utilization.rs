@@ -1,0 +1,118 @@
+//! Per-architecture GPU utilization model (Section 2.4).
+//!
+//! Delta's A100s run at ~51 % mean utilization, A40s ~40 %, while the
+//! recently deployed H100s idle at ~20 % with some GPUs never scheduled.
+//! Utilization matters to the resilience analysis in two places: whether
+//! an NVLink error hits an *active* job (Section 4.1 observation iv), and
+//! the Section 6 note that H100's high MTBE partly reflects low usage.
+
+use dr_gpu::GpuArch;
+use rand::Rng;
+
+/// Mean utilization per architecture with sampling helpers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UtilizationModel {
+    pub a40_mean: f64,
+    pub a100_mean: f64,
+    pub h100_mean: f64,
+    /// Fraction of H100 GPUs never scheduled during early deployment.
+    pub h100_idle_fraction: f64,
+}
+
+impl Default for UtilizationModel {
+    fn default() -> Self {
+        UtilizationModel {
+            a40_mean: 0.40,
+            a100_mean: 0.51,
+            h100_mean: 0.20,
+            h100_idle_fraction: 0.15,
+        }
+    }
+}
+
+impl UtilizationModel {
+    /// Mean utilization of `arch`.
+    pub fn mean(&self, arch: GpuArch) -> f64 {
+        match arch {
+            GpuArch::A40 => self.a40_mean,
+            GpuArch::A100 => self.a100_mean,
+            GpuArch::H100 => self.h100_mean,
+        }
+    }
+
+    /// Draw an instantaneous utilization for one GPU of `arch`:
+    /// a triangular-ish distribution around the mean, clamped to [0, 1],
+    /// with the H100 never-scheduled population pinned at zero.
+    pub fn sample<R: Rng + ?Sized>(&self, arch: GpuArch, rng: &mut R) -> f64 {
+        if arch == GpuArch::H100 && rng.gen::<f64>() < self.h100_idle_fraction {
+            return 0.0;
+        }
+        let mean = self.mean(arch);
+        // Sum of two uniforms: triangular around the mean, width ±0.3.
+        let jitter = (rng.gen::<f64>() + rng.gen::<f64>() - 1.0) * 0.3;
+        (mean + jitter).clamp(0.0, 1.0)
+    }
+
+    /// Probability that a given error moment intersects active use of the
+    /// GPU (used to decide whether an NVLink error touches a job at all).
+    pub fn busy_probability(&self, arch: GpuArch) -> f64 {
+        match arch {
+            GpuArch::H100 => self.mean(arch) * (1.0 - self.h100_idle_fraction),
+            _ => self.mean(arch),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn means_match_section_2_4() {
+        let u = UtilizationModel::default();
+        assert_eq!(u.mean(GpuArch::A100), 0.51);
+        assert_eq!(u.mean(GpuArch::A40), 0.40);
+        assert_eq!(u.mean(GpuArch::H100), 0.20);
+    }
+
+    #[test]
+    fn samples_are_bounded_and_center_on_mean() {
+        let u = UtilizationModel::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for arch in GpuArch::ALL {
+            let samples: Vec<f64> = (0..20_000).map(|_| u.sample(arch, &mut rng)).collect();
+            assert!(samples.iter().all(|&s| (0.0..=1.0).contains(&s)));
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            let expected = match arch {
+                GpuArch::H100 => u.h100_mean * (1.0 - u.h100_idle_fraction),
+                _ => u.mean(arch),
+            };
+            assert!(
+                (mean - expected).abs() < 0.02,
+                "{arch}: sampled {mean}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn some_h100s_are_fully_idle() {
+        let u = UtilizationModel::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let zeros = (0..5_000)
+            .filter(|_| u.sample(GpuArch::H100, &mut rng) == 0.0)
+            .count();
+        let frac = zeros as f64 / 5_000.0;
+        // At least the pinned-idle population is exactly zero (clamping of
+        // low jitter draws can add a few more).
+        assert!(frac >= u.h100_idle_fraction - 0.03, "idle {frac}");
+        assert!(frac < 0.5, "idle {frac}");
+    }
+
+    #[test]
+    fn busy_probability_ranks_architectures() {
+        let u = UtilizationModel::default();
+        assert!(u.busy_probability(GpuArch::A100) > u.busy_probability(GpuArch::A40));
+        assert!(u.busy_probability(GpuArch::A40) > u.busy_probability(GpuArch::H100));
+    }
+}

@@ -1,0 +1,51 @@
+//! # resilience-core — the GPU resilience characterization pipeline
+//!
+//! The paper's primary contribution, as a reusable library. The pipeline
+//! (Figure 4) takes raw log data — text syslogs or pre-extracted error
+//! records — plus a job accounting table, and produces every quantity the
+//! evaluation reports:
+//!
+//! - [`coalesce`] — **Algorithm 1**: error coalescing and persistence
+//!   analysis (identical message + same GPU within Δt merge into one
+//!   error; the span of the merged burst is its persistence).
+//! - [`stats`] — error counts, system and per-node MTBE, persistence
+//!   summaries (Table 1), lost-GPU-hours and the beyond-P95 tail share
+//!   (Section 4.3).
+//! - [`propagation`] — intra-GPU and inter-GPU conditional propagation
+//!   probabilities with mean propagation times (Figures 5–7) and NVLink
+//!   multi-GPU involvement (Figure 6).
+//! - [`job_impact`] — the ±20 s error-to-job-failure join, per-XID job
+//!   failure probabilities (Table 2), job statistics (Table 3), and the
+//!   Figure 9a/9b distributions.
+//! - [`downtime`] — node unavailability statistics and the
+//!   MTTF/(MTTF+MTTR) availability estimate (Figure 9c, Section 5.4).
+//! - [`counterfactual`] — the Section 5.5 what-if analysis: drop
+//!   top-offending GPUs and/or whole error classes, recompute MTBE and
+//!   availability.
+//! - [`pipeline`] — end-to-end orchestration: text → extraction
+//!   (parallelized per node via `dr-par`) → coalescing → the full
+//!   [`pipeline::StudyResults`] bundle.
+//! - [`stream`] — the online variant: incremental Algorithm 1 and a
+//!   constant-memory live Table 1 (P² quantiles) for monitoring
+//!   deployments.
+//!
+//! Everything operates on plain data types (`ErrorRecord`, `JobRecord`),
+//! so the pipeline runs unchanged on synthetic campaigns or real logs.
+
+pub mod coalesce;
+pub mod counterfactual;
+pub mod downtime;
+pub mod job_impact;
+pub mod pipeline;
+pub mod propagation;
+pub mod stats;
+pub mod stream;
+
+pub use coalesce::{coalesce, CoalesceConfig, CoalescedError};
+pub use counterfactual::{counterfactual, CounterfactualReport};
+pub use downtime::{availability, DowntimeStats};
+pub use job_impact::{JobImpactAnalysis, Table2Row, Table3Row};
+pub use pipeline::{StudyConfig, StudyResults};
+pub use propagation::{NvlinkSpread, PropagationAnalysis, PropagationEdge};
+pub use stats::{lost_gpu_hours, table1, LostHours, Table1Row};
+pub use stream::{OnlineRow, OnlineStats, StreamCoalescer};

@@ -1,0 +1,378 @@
+//! Error propagation analysis (Section 3.2, Figures 5–7).
+//!
+//! The propagation probability from error e1 to e2 is the fraction of e1
+//! occurrences followed by an e2 within Δt — on the same GPU (intra-GPU)
+//! or on a different GPU of the same node (inter-GPU). The time between
+//! the two is the propagation time; short times suggest causality.
+
+use crate::coalesce::CoalescedError;
+use dr_stats::OnlineStats;
+use dr_xid::{Duration, Xid};
+use std::collections::HashMap;
+
+/// One edge of a propagation graph.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PropagationEdge {
+    pub from: Xid,
+    pub to: Xid,
+    /// P(e_to follows | e_from occurred).
+    pub probability: f64,
+    /// Mean propagation time in seconds.
+    pub mean_delay_s: f64,
+    /// Number of observed propagation events.
+    pub count: u64,
+}
+
+/// NVLink inter-GPU involvement (Figure 6), measured per error: how many
+/// GPUs of the node threw NVLink errors within ±Δt of each error.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct NvlinkSpread {
+    /// NVLink errors examined.
+    pub incidents: u64,
+    /// Fraction touching exactly one GPU (paper: 84 %).
+    pub single_gpu: f64,
+    /// Fraction touching two or more GPUs (16 %).
+    pub multi_gpu: f64,
+    /// Fraction touching four or more GPUs (5 %).
+    pub four_plus: f64,
+    /// Incidents touching all eight GPUs of an 8-way node (35 errors).
+    pub all_eight: u64,
+}
+
+/// The full propagation analysis result.
+#[derive(Clone, Debug, Default)]
+pub struct PropagationAnalysis {
+    /// Same-GPU edges, sorted by (from, descending probability).
+    pub intra: Vec<PropagationEdge>,
+    /// Cross-GPU (same node) edges.
+    pub inter: Vec<PropagationEdge>,
+    /// P(no successor within Δt | e) per XID — terminal errors.
+    pub terminal: HashMap<Xid, f64>,
+    /// P(no predecessor within Δt | e) per XID — the paper's "99 % of GSP
+    /// errors appeared in isolation".
+    pub isolated: HashMap<Xid, f64>,
+    /// Occurrences per XID (edge denominators).
+    pub sources: HashMap<Xid, u64>,
+    pub nvlink: NvlinkSpread,
+}
+
+impl PropagationAnalysis {
+    /// Probability of the intra-GPU edge `from → to` (0 if absent).
+    pub fn intra_probability(&self, from: Xid, to: Xid) -> f64 {
+        self.intra
+            .iter()
+            .find(|e| e.from == from && e.to == to)
+            .map(|e| e.probability)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Run the propagation analysis with window Δt.
+pub fn analyze(errors: &[CoalescedError], window: Duration) -> PropagationAnalysis {
+    analyze_with_spread_window(errors, window, Duration::from_secs(10))
+}
+
+/// [`analyze`] with an explicit NVLink-involvement window (the ±Δt used
+/// for the Figure 6 multi-GPU statistic; tighter than the propagation
+/// window so chain repetitions on one GPU don't inflate the involvement).
+pub fn analyze_with_spread_window(
+    errors: &[CoalescedError],
+    window: Duration,
+    spread_window: Duration,
+) -> PropagationAnalysis {
+    // Per-GPU and per-node indices, each sorted by start time.
+    let mut by_gpu: HashMap<_, Vec<usize>> = HashMap::new();
+    let mut by_node: HashMap<_, Vec<usize>> = HashMap::new();
+    for (i, e) in errors.iter().enumerate() {
+        by_gpu.entry(e.gpu).or_default().push(i);
+        by_node.entry(e.gpu.node).or_default().push(i);
+    }
+    for v in by_gpu.values_mut() {
+        v.sort_by_key(|&i| errors[i].start);
+    }
+    for v in by_node.values_mut() {
+        v.sort_by_key(|&i| errors[i].start);
+    }
+
+    let mut sources: HashMap<Xid, u64> = HashMap::new();
+    let mut intra_edges: HashMap<(Xid, Xid), (u64, OnlineStats)> = HashMap::new();
+    let mut inter_edges: HashMap<(Xid, Xid), (u64, OnlineStats)> = HashMap::new();
+    let mut terminal_counts: HashMap<Xid, u64> = HashMap::new();
+    let mut isolated_counts: HashMap<Xid, u64> = HashMap::new();
+
+    // Intra-GPU pass.
+    for list in by_gpu.values() {
+        for (pos, &i) in list.iter().enumerate() {
+            let e1 = &errors[i];
+            *sources.entry(e1.xid).or_default() += 1;
+
+            // Successor: first error strictly after e1.start within Δt.
+            let successor = list[pos + 1..]
+                .iter()
+                .map(|&j| &errors[j])
+                .find(|e2| e2.start > e1.start);
+            match successor {
+                Some(e2) if e2.start - e1.start <= window => {
+                    let delay = (e2.start - e1.start).as_secs_f64();
+                    let entry = intra_edges.entry((e1.xid, e2.xid)).or_insert((0, OnlineStats::new()));
+                    entry.0 += 1;
+                    entry.1.push(delay);
+                }
+                _ => {
+                    *terminal_counts.entry(e1.xid).or_default() += 1;
+                }
+            }
+
+            // Predecessor: any earlier error within Δt (isolation check).
+            let has_predecessor = list[..pos]
+                .iter()
+                .rev()
+                .map(|&j| &errors[j])
+                .take_while(|e0| e1.start - e0.start <= window)
+                .next()
+                .is_some();
+            if !has_predecessor {
+                *isolated_counts.entry(e1.xid).or_default() += 1;
+            }
+        }
+    }
+
+    // Inter-GPU pass: first error on a *different* GPU of the same node
+    // within Δt after e1.
+    for list in by_node.values() {
+        for (pos, &i) in list.iter().enumerate() {
+            let e1 = &errors[i];
+            let successor = list[pos + 1..]
+                .iter()
+                .map(|&j| &errors[j])
+                .take_while(|e2| e2.start - e1.start <= window)
+                .find(|e2| e2.gpu != e1.gpu);
+            if let Some(e2) = successor {
+                let delay = (e2.start - e1.start).as_secs_f64();
+                let entry = inter_edges.entry((e1.xid, e2.xid)).or_insert((0, OnlineStats::new()));
+                entry.0 += 1;
+                entry.1.push(delay);
+            }
+        }
+    }
+
+    let to_edges = |map: HashMap<(Xid, Xid), (u64, OnlineStats)>| -> Vec<PropagationEdge> {
+        let mut v: Vec<PropagationEdge> = map
+            .into_iter()
+            .map(|((from, to), (count, delays))| PropagationEdge {
+                from,
+                to,
+                probability: count as f64 / *sources.get(&from).unwrap_or(&1).max(&1) as f64,
+                mean_delay_s: delays.mean(),
+                count,
+            })
+            .collect();
+        v.sort_by(|a, b| {
+            a.from
+                .cmp(&b.from)
+                .then(b.probability.total_cmp(&a.probability))
+                .then(a.to.cmp(&b.to))
+        });
+        v
+    };
+
+    let ratio = |counts: &HashMap<Xid, u64>| -> HashMap<Xid, f64> {
+        counts
+            .iter()
+            .map(|(&xid, &c)| (xid, c as f64 / *sources.get(&xid).unwrap_or(&1).max(&1) as f64))
+            .collect()
+    };
+
+    PropagationAnalysis {
+        intra: to_edges(intra_edges),
+        inter: to_edges(inter_edges),
+        terminal: ratio(&terminal_counts),
+        isolated: ratio(&isolated_counts),
+        sources,
+        nvlink: nvlink_spread(errors, spread_window),
+    }
+}
+
+/// NVLink multi-GPU involvement, measured **per error** as the paper does
+/// ("84 % of the ~3,000 NVLink errors did not propagate across GPUs"):
+/// for each NVLink error, count the distinct GPUs of its node that throw
+/// NVLink errors within Δt *after* it (itself included) — i.e. whether
+/// this error propagated across GPUs.
+pub fn nvlink_spread(errors: &[CoalescedError], window: Duration) -> NvlinkSpread {
+    let mut by_node: HashMap<_, Vec<&CoalescedError>> = HashMap::new();
+    for e in errors.iter().filter(|e| e.xid == Xid::NvlinkError) {
+        by_node.entry(e.gpu.node).or_default().push(e);
+    }
+
+    let mut total = 0u64;
+    let mut single = 0u64;
+    let mut multi = 0u64;
+    let mut four_plus = 0u64;
+    let mut all_eight = 0u64;
+    for list in by_node.values_mut() {
+        list.sort_by_key(|e| e.start);
+        for (i, e) in list.iter().enumerate() {
+            let mut gpus: Vec<_> = vec![e.gpu];
+            for other in &list[i + 1..] {
+                if other.start - e.start > window {
+                    break;
+                }
+                if !gpus.contains(&other.gpu) {
+                    gpus.push(other.gpu);
+                }
+            }
+            total += 1;
+            match gpus.len() {
+                1 => single += 1,
+                n => {
+                    multi += 1;
+                    if n >= 4 {
+                        four_plus += 1;
+                    }
+                    if n >= 8 {
+                        all_eight += 1;
+                    }
+                }
+            }
+        }
+    }
+    let denom = total.max(1) as f64;
+    NvlinkSpread {
+        incidents: total,
+        single_gpu: single as f64 / denom,
+        multi_gpu: multi as f64 / denom,
+        four_plus: four_plus as f64 / denom,
+        all_eight,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_xid::{ErrorDetail, GpuId, NodeId, Timestamp};
+
+    fn err_at(xid: Xid, secs: f64, node: u32, slot: usize) -> CoalescedError {
+        let start = Timestamp::EPOCH + Duration::from_secs_f64(secs);
+        CoalescedError {
+            gpu: GpuId::at_slot(NodeId(node), slot),
+            xid,
+            detail: ErrorDetail::NONE,
+            start,
+            last: start,
+            merged: 1,
+        }
+    }
+
+    const W: Duration = Duration::from_secs(60);
+
+    #[test]
+    fn detects_pmu_to_mmu_edge() {
+        let mut errors = Vec::new();
+        for k in 0..100 {
+            let base = k as f64 * 10_000.0;
+            errors.push(err_at(Xid::PmuSpiError, base, 1, 0));
+            if k < 82 {
+                errors.push(err_at(Xid::MmuError, base + 1.0, 1, 0));
+            }
+        }
+        let a = analyze(&errors, W);
+        let p = a.intra_probability(Xid::PmuSpiError, Xid::MmuError);
+        assert!((p - 0.82).abs() < 1e-9, "p {p}");
+        let edge = a
+            .intra
+            .iter()
+            .find(|e| e.from == Xid::PmuSpiError && e.to == Xid::MmuError)
+            .unwrap();
+        assert!((edge.mean_delay_s - 1.0).abs() < 1e-9);
+        assert_eq!(edge.count, 82);
+    }
+
+    #[test]
+    fn terminal_errors_have_no_successor() {
+        let errors = vec![
+            err_at(Xid::GspRpcTimeout, 0.0, 1, 0),
+            err_at(Xid::GspRpcTimeout, 10_000.0, 1, 0),
+        ];
+        let a = analyze(&errors, W);
+        assert_eq!(a.terminal[&Xid::GspRpcTimeout], 1.0);
+        assert!(a.intra.is_empty());
+    }
+
+    #[test]
+    fn isolation_requires_no_predecessor() {
+        let errors = vec![
+            err_at(Xid::PmuSpiError, 0.0, 1, 0),
+            err_at(Xid::MmuError, 1.0, 1, 0), // has a predecessor
+            err_at(Xid::MmuError, 10_000.0, 1, 0), // isolated
+        ];
+        let a = analyze(&errors, W);
+        assert_eq!(a.isolated[&Xid::MmuError], 0.5);
+        assert_eq!(a.isolated[&Xid::PmuSpiError], 1.0);
+    }
+
+    #[test]
+    fn inter_gpu_edge_requires_same_node_different_gpu() {
+        let errors = vec![
+            err_at(Xid::NvlinkError, 0.0, 1, 0),
+            err_at(Xid::NvlinkError, 2.0, 1, 1),   // same node, other GPU
+            err_at(Xid::NvlinkError, 4.0, 2, 0),   // different node: ignored
+        ];
+        let a = analyze(&errors, W);
+        let edge = a
+            .inter
+            .iter()
+            .find(|e| e.from == Xid::NvlinkError && e.to == Xid::NvlinkError)
+            .unwrap();
+        assert_eq!(edge.count, 1);
+        assert!((edge.mean_delay_s - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn successor_beyond_window_is_terminal() {
+        let errors = vec![
+            err_at(Xid::MmuError, 0.0, 1, 0),
+            err_at(Xid::MmuError, 120.0, 1, 0),
+        ];
+        let a = analyze(&errors, W);
+        assert_eq!(a.terminal[&Xid::MmuError], 1.0);
+    }
+
+    #[test]
+    fn nvlink_spread_counts_distinct_gpus() {
+        let errors = vec![
+            // Incident A: 3 GPUs on node 1.
+            err_at(Xid::NvlinkError, 0.0, 1, 0),
+            err_at(Xid::NvlinkError, 5.0, 1, 1),
+            err_at(Xid::NvlinkError, 10.0, 1, 2),
+            // Incident B: 1 GPU on node 1 (far later).
+            err_at(Xid::NvlinkError, 100_000.0, 1, 0),
+            // Incident C: all 8 GPUs on node 2.
+            err_at(Xid::NvlinkError, 0.0, 2, 0),
+            err_at(Xid::NvlinkError, 1.0, 2, 1),
+            err_at(Xid::NvlinkError, 2.0, 2, 2),
+            err_at(Xid::NvlinkError, 3.0, 2, 3),
+            err_at(Xid::NvlinkError, 4.0, 2, 4),
+            err_at(Xid::NvlinkError, 5.0, 2, 5),
+            err_at(Xid::NvlinkError, 6.0, 2, 6),
+            err_at(Xid::NvlinkError, 7.0, 2, 7),
+        ];
+        let s = nvlink_spread(&errors, W);
+        // Per-error, forward-looking accounting: 12 NVLink errors total.
+        // Node 1: error@0 sees 3 GPUs ahead, error@5 sees 2, error@10 and
+        // the late error see only themselves. Node 2's cascade: the k-th
+        // of 8 errors sees (8-k) distinct GPUs ahead of it.
+        assert_eq!(s.incidents, 12);
+        assert!((s.single_gpu - 3.0 / 12.0).abs() < 1e-9);
+        assert!((s.multi_gpu - 9.0 / 12.0).abs() < 1e-9);
+        assert!((s.four_plus - 5.0 / 12.0).abs() < 1e-9, "{}", s.four_plus);
+        assert_eq!(s.all_eight, 1);
+    }
+
+    #[test]
+    fn empty_input_is_empty_analysis() {
+        let a = analyze(&[], W);
+        assert!(a.intra.is_empty());
+        assert!(a.sources.is_empty());
+        assert_eq!(a.nvlink.incidents, 0);
+    }
+}

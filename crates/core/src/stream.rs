@@ -1,0 +1,341 @@
+//! Online (streaming) variant of the pipeline.
+//!
+//! The batch pipeline answers "what happened over 855 days"; an SRE
+//! monitor needs the same quantities *live*: coalesce errors as lines
+//! arrive, keep running counts/MTBE, and track persistence quantiles in
+//! constant memory (the P² estimator) — the operational deployment of the
+//! paper's methodology that its Section 4.3 recommendations imply.
+//!
+//! [`StreamCoalescer`] is Algorithm 1 as an incremental operator: it is
+//! **exactly equivalent** to the batch [`coalesce`](crate::coalesce::coalesce)
+//! on a time-ordered stream (property-tested), emitting each coalesced
+//! error as soon as its merge window expires.
+
+use crate::coalesce::{CoalesceConfig, CoalescedError};
+use dr_stats::{Mtbe, P2Quantile};
+use dr_xid::{ErrorDetail, ErrorRecord, GpuId, Timestamp, Xid};
+use std::collections::HashMap;
+
+/// An episode still inside its merge window.
+#[derive(Clone, Copy, Debug)]
+struct OpenEpisode {
+    start: Timestamp,
+    last: Timestamp,
+    merged: u32,
+}
+
+/// Incremental Algorithm 1.
+#[derive(Clone, Debug)]
+pub struct StreamCoalescer {
+    cfg: CoalesceConfig,
+    open: HashMap<(GpuId, Xid, ErrorDetail), OpenEpisode>,
+    /// Latest record timestamp seen (stream clock).
+    now: Option<Timestamp>,
+}
+
+impl StreamCoalescer {
+    pub fn new(cfg: CoalesceConfig) -> Self {
+        StreamCoalescer {
+            cfg,
+            open: HashMap::new(),
+            now: None,
+        }
+    }
+
+    /// Number of episodes currently open.
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Feed one record (records must arrive in time order) and collect any
+    /// episodes the advancing clock closed.
+    ///
+    /// # Panics
+    /// If `rec` is older than a previously pushed record.
+    pub fn push(&mut self, rec: &ErrorRecord) -> Vec<CoalescedError> {
+        if let Some(now) = self.now {
+            assert!(rec.at >= now, "stream must be time-ordered");
+        }
+        self.now = Some(rec.at);
+        let mut closed = self.expire(rec.at);
+
+        let key = rec.identity();
+        match self.open.get_mut(&key) {
+            Some(ep)
+                if rec.at - ep.last <= self.cfg.window
+                    && rec.at - ep.start <= self.cfg.max_persistence =>
+            {
+                ep.last = rec.at;
+                ep.merged += 1;
+            }
+            Some(ep) => {
+                // Same identity, but the gap or the persistence cut-off
+                // splits: close the old episode, open a new one.
+                closed.push(close(key, *ep));
+                *ep = OpenEpisode {
+                    start: rec.at,
+                    last: rec.at,
+                    merged: 1,
+                };
+            }
+            None => {
+                self.open.insert(
+                    key,
+                    OpenEpisode {
+                        start: rec.at,
+                        last: rec.at,
+                        merged: 1,
+                    },
+                );
+            }
+        }
+        closed
+    }
+
+    /// Advance the stream clock without a record (e.g. a timer tick),
+    /// closing episodes whose windows expired.
+    pub fn tick(&mut self, now: Timestamp) -> Vec<CoalescedError> {
+        if let Some(cur) = self.now {
+            if now < cur {
+                return Vec::new();
+            }
+        }
+        self.now = Some(now);
+        self.expire(now)
+    }
+
+    /// End of stream: close everything still open.
+    pub fn finish(self) -> Vec<CoalescedError> {
+        let mut out: Vec<CoalescedError> = self
+            .open
+            .into_iter()
+            .map(|(key, ep)| close(key, ep))
+            .collect();
+        out.sort_by_key(|e| (e.start, e.gpu, e.xid));
+        out
+    }
+
+    fn expire(&mut self, now: Timestamp) -> Vec<CoalescedError> {
+        let window = self.cfg.window;
+        let mut closed: Vec<CoalescedError> = Vec::new();
+        self.open.retain(|key, ep| {
+            if now - ep.last > window {
+                closed.push(close(*key, *ep));
+                false
+            } else {
+                true
+            }
+        });
+        closed.sort_by_key(|e| (e.start, e.gpu, e.xid));
+        closed
+    }
+}
+
+fn close((gpu, xid, detail): (GpuId, Xid, ErrorDetail), ep: OpenEpisode) -> CoalescedError {
+    CoalescedError {
+        gpu,
+        xid,
+        detail,
+        start: ep.start,
+        last: ep.last,
+        merged: ep.merged,
+    }
+}
+
+/// Constant-memory running Table 1: per-XID counts, streaming persistence
+/// quantiles (P²), and live MTBE against the elapsed observation window.
+#[derive(Debug)]
+pub struct OnlineStats {
+    node_count: u32,
+    started: Option<Timestamp>,
+    latest: Option<Timestamp>,
+    per_xid: HashMap<Xid, XidOnline>,
+}
+
+#[derive(Debug)]
+struct XidOnline {
+    count: u64,
+    persistence_sum_s: f64,
+    p50: P2Quantile,
+    p95: P2Quantile,
+}
+
+/// One row of the live Table 1 view.
+#[derive(Clone, Copy, Debug)]
+pub struct OnlineRow {
+    pub xid: Xid,
+    pub count: u64,
+    pub mtbe_per_node_h: Option<f64>,
+    pub persistence_mean_s: f64,
+    pub persistence_p50_s: Option<f64>,
+    pub persistence_p95_s: Option<f64>,
+}
+
+impl OnlineStats {
+    pub fn new(node_count: u32) -> Self {
+        OnlineStats {
+            node_count: node_count.max(1),
+            started: None,
+            latest: None,
+            per_xid: HashMap::new(),
+        }
+    }
+
+    /// Ingest one closed episode.
+    pub fn observe(&mut self, e: &CoalescedError) {
+        self.started = Some(self.started.map_or(e.start, |s| s.min(e.start)));
+        self.latest = Some(self.latest.map_or(e.last, |l| l.max(e.last)));
+        let entry = self.per_xid.entry(e.xid).or_insert_with(|| XidOnline {
+            count: 0,
+            persistence_sum_s: 0.0,
+            p50: P2Quantile::new(0.5),
+            p95: P2Quantile::new(0.95),
+        });
+        let p = e.persistence().as_secs_f64();
+        entry.count += 1;
+        entry.persistence_sum_s += p;
+        entry.p50.push(p);
+        entry.p95.push(p);
+    }
+
+    /// Elapsed observation window in hours.
+    pub fn observation_hours(&self) -> f64 {
+        match (self.started, self.latest) {
+            (Some(s), Some(l)) => (l - s).as_hours_f64(),
+            _ => 0.0,
+        }
+    }
+
+    /// The live Table 1 rows, in the paper's order.
+    pub fn rows(&self) -> Vec<OnlineRow> {
+        let hours = self.observation_hours();
+        Xid::TABLE1
+            .iter()
+            .map(|&xid| {
+                let entry = self.per_xid.get(&xid);
+                let count = entry.map_or(0, |e| e.count);
+                let mtbe = (count > 0 && hours > 0.0)
+                    .then(|| Mtbe::new(hours.max(1e-9), self.node_count))
+                    .and_then(|m| m.per_node_hours(count));
+                OnlineRow {
+                    xid,
+                    count,
+                    mtbe_per_node_h: mtbe,
+                    persistence_mean_s: entry
+                        .filter(|e| e.count > 0)
+                        .map_or(0.0, |e| e.persistence_sum_s / e.count as f64),
+                    persistence_p50_s: entry.and_then(|e| e.p50.estimate()),
+                    persistence_p95_s: entry.and_then(|e| e.p95.estimate()),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coalesce::coalesce;
+    use dr_xid::{Duration, NodeId};
+    use proptest::prelude::*;
+
+    fn rec(secs: f64, node: u32, xid: Xid) -> ErrorRecord {
+        ErrorRecord::new(
+            Timestamp::EPOCH + Duration::from_secs_f64(secs),
+            GpuId::at_slot(NodeId(node), 0),
+            xid,
+            ErrorDetail::NONE,
+        )
+    }
+
+    fn stream_all(records: &[ErrorRecord], cfg: CoalesceConfig) -> Vec<CoalescedError> {
+        let mut s = StreamCoalescer::new(cfg);
+        let mut out = Vec::new();
+        for r in records {
+            out.extend(s.push(r));
+        }
+        out.extend(s.finish());
+        out.sort_by_key(|e| (e.start, e.gpu, e.xid));
+        out
+    }
+
+    #[test]
+    fn emits_episode_after_window_expires() {
+        let mut s = StreamCoalescer::new(CoalesceConfig::default());
+        assert!(s.push(&rec(0.0, 1, Xid::MmuError)).is_empty());
+        assert!(s.push(&rec(3.0, 1, Xid::MmuError)).is_empty());
+        assert_eq!(s.open_count(), 1);
+        // Next record 60 s later closes the episode.
+        let closed = s.push(&rec(60.0, 1, Xid::MmuError));
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].merged, 2);
+        assert_eq!(closed[0].persistence().as_secs_f64(), 3.0);
+        assert_eq!(s.open_count(), 1); // the new episode
+    }
+
+    #[test]
+    fn tick_closes_without_new_records() {
+        let mut s = StreamCoalescer::new(CoalesceConfig::default());
+        s.push(&rec(0.0, 1, Xid::NvlinkError));
+        assert!(s.tick(Timestamp::from_secs(3)).is_empty());
+        let closed = s.tick(Timestamp::from_secs(30));
+        assert_eq!(closed.len(), 1);
+        assert_eq!(s.open_count(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_order_records() {
+        let mut s = StreamCoalescer::new(CoalesceConfig::default());
+        s.push(&rec(10.0, 1, Xid::MmuError));
+        s.push(&rec(5.0, 1, Xid::MmuError));
+    }
+
+    #[test]
+    fn online_stats_tracks_counts_and_quantiles() {
+        let mut o = OnlineStats::new(10);
+        for k in 0..200u64 {
+            let start = Timestamp::from_secs(k * 1_000);
+            o.observe(&CoalescedError {
+                gpu: GpuId::at_slot(NodeId(1), 0),
+                xid: Xid::MmuError,
+                detail: ErrorDetail::NONE,
+                start,
+                last: start + Duration::from_secs_f64(2.0 + (k % 5) as f64),
+                merged: 2,
+            });
+        }
+        let rows = o.rows();
+        let mmu = rows.iter().find(|r| r.xid == Xid::MmuError).unwrap();
+        assert_eq!(mmu.count, 200);
+        assert!((mmu.persistence_mean_s - 4.0).abs() < 0.1);
+        let p50 = mmu.persistence_p50_s.unwrap();
+        assert!((3.0..=5.0).contains(&p50), "p50 {p50}");
+        assert!(mmu.mtbe_per_node_h.unwrap() > 0.0);
+        // Unseen XIDs report zero rows.
+        let dbe = rows.iter().find(|r| r.xid == Xid::DoubleBitEcc).unwrap();
+        assert_eq!(dbe.count, 0);
+        assert!(dbe.mtbe_per_node_h.is_none());
+    }
+
+    proptest! {
+        /// The streaming coalescer is equivalent to batch Algorithm 1 on
+        /// any time-ordered stream.
+        #[test]
+        fn stream_equals_batch(
+            mut times in prop::collection::vec(0u64..20_000, 0..300),
+            nodes in prop::collection::vec(0u32..3, 0..300),
+            window in 2u64..30,
+        ) {
+            times.sort_unstable();
+            let n = times.len().min(nodes.len());
+            let records: Vec<_> = (0..n)
+                .map(|i| rec(times[i] as f64, nodes[i], Xid::MmuError))
+                .collect();
+            let cfg = CoalesceConfig::with_window_secs(window);
+            let batch = coalesce(&records, cfg);
+            let stream = stream_all(&records, cfg);
+            prop_assert_eq!(batch, stream);
+        }
+    }
+}

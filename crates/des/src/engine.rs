@@ -1,0 +1,202 @@
+//! The simulation loop.
+
+use crate::queue::EventQueue;
+use crate::SimTime;
+
+/// Handle the engine hands to event handlers so they can schedule
+/// follow-up events without borrowing the engine itself.
+pub struct Scheduler<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+    stopped: &'a mut bool,
+}
+
+impl<'a, E> Scheduler<'a, E> {
+    /// Current simulation time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `payload` to fire `delay` ticks from now.
+    pub fn schedule_in(&mut self, delay: SimTime, payload: E) {
+        self.queue.push(self.now + delay, payload);
+    }
+
+    /// Schedule `payload` at an absolute time (clamped to now if in the past).
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) {
+        self.queue.push(at.max(self.now), payload);
+    }
+
+    /// Stop the simulation after the current event completes.
+    pub fn stop(&mut self) {
+        *self.stopped = true;
+    }
+}
+
+/// A discrete-event engine over event payloads of type `E`.
+///
+/// The engine owns the clock and the future-event list; domain state lives
+/// in the caller's handler closure (or the struct it borrows), keeping the
+/// engine reusable across the fault campaign and the scheduler simulation.
+pub struct Engine<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    pub fn new() -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            now: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Seed an initial event before running.
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        self.queue.push(at, payload);
+    }
+
+    /// Run until the queue empties, `horizon` is passed, or a handler calls
+    /// [`Scheduler::stop`]. Events scheduled exactly at `horizon` still run;
+    /// later ones remain queued. Returns the number of events processed by
+    /// this call.
+    pub fn run_until<F>(&mut self, horizon: SimTime, mut handler: F) -> u64
+    where
+        F: FnMut(&mut Scheduler<'_, E>, E),
+    {
+        let start_processed = self.processed;
+        let mut stopped = false;
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let (t, payload) = self.queue.pop().expect("peeked event exists");
+            debug_assert!(t >= self.now, "time must not run backwards");
+            self.now = t;
+            let mut sched = Scheduler {
+                now: self.now,
+                queue: &mut self.queue,
+                stopped: &mut stopped,
+            };
+            handler(&mut sched, payload);
+            self.processed += 1;
+            if stopped {
+                break;
+            }
+        }
+        // Advance the clock to the horizon even if the queue drained early,
+        // so observation-window arithmetic uses the full window.
+        if !stopped && self.now < horizon {
+            self.now = horizon;
+        }
+        self.processed - start_processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_events_in_order_and_advances_clock() {
+        let mut eng: Engine<&str> = Engine::new();
+        eng.schedule(10, "a");
+        eng.schedule(5, "b");
+        let mut seen = Vec::new();
+        let n = eng.run_until(100, |s, e| seen.push((s.now(), e)));
+        assert_eq!(n, 2);
+        assert_eq!(seen, vec![(5, "b"), (10, "a")]);
+        assert_eq!(eng.now(), 100);
+    }
+
+    #[test]
+    fn handlers_can_chain_events() {
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule(0, 0);
+        let mut count = 0;
+        eng.run_until(1_000, |s, depth| {
+            count += 1;
+            if depth < 9 {
+                s.schedule_in(10, depth + 1);
+            }
+        });
+        assert_eq!(count, 10);
+        assert_eq!(eng.processed(), 10);
+    }
+
+    #[test]
+    fn horizon_cuts_off_future_events() {
+        let mut eng: Engine<()> = Engine::new();
+        eng.schedule(50, ());
+        eng.schedule(150, ());
+        let n = eng.run_until(100, |_, _| {});
+        assert_eq!(n, 1);
+        assert_eq!(eng.pending(), 1);
+        assert_eq!(eng.now(), 100);
+    }
+
+    #[test]
+    fn event_at_horizon_still_runs() {
+        let mut eng: Engine<()> = Engine::new();
+        eng.schedule(100, ());
+        let n = eng.run_until(100, |_, _| {});
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn stop_halts_immediately() {
+        let mut eng: Engine<u32> = Engine::new();
+        for i in 0..10 {
+            eng.schedule(i, i as u32);
+        }
+        let mut seen = 0;
+        eng.run_until(100, |s, e| {
+            seen += 1;
+            if e == 3 {
+                s.stop();
+            }
+        });
+        assert_eq!(seen, 4);
+        assert_eq!(eng.pending(), 6);
+        assert_eq!(eng.now(), 3);
+    }
+
+    #[test]
+    fn schedule_at_clamps_past_times() {
+        let mut eng: Engine<&str> = Engine::new();
+        eng.schedule(10, "first");
+        let mut order = Vec::new();
+        eng.run_until(20, |s, e| {
+            order.push((s.now(), e));
+            if e == "first" {
+                // Attempt to schedule in the past: clamped to now.
+                s.schedule_at(3, "late");
+            }
+        });
+        assert_eq!(order, vec![(10, "first"), (10, "late")]);
+    }
+}

@@ -1,0 +1,57 @@
+//! # dr-des — deterministic discrete-event simulation engine
+//!
+//! A small, allocation-conscious DES core used by the fault-injection
+//! campaign (`dr-faults`) and the scheduler simulation (`dr-slurm`):
+//!
+//! - [`queue`]: a future-event list (binary heap) with deterministic FIFO
+//!   tie-breaking so equal-time events replay identically across runs.
+//! - [`engine`]: the simulation loop — a clock plus the event queue, driving
+//!   a handler that may schedule further events.
+//! - [`rng`]: deterministic per-entity RNG streams derived from a single
+//!   campaign seed (SplitMix64 mixing), so adding an entity never perturbs
+//!   the random sequence of another.
+//!
+//! Simulation time is `u64` **microseconds** since the campaign epoch,
+//! matching `dr_xid::Timestamp`'s resolution so conversions are lossless.
+
+pub mod engine;
+pub mod queue;
+pub mod rng;
+
+pub use engine::{Engine, Scheduler};
+pub use queue::EventQueue;
+pub use rng::{mix64, RngStreams};
+
+/// Simulation time: microseconds since the campaign epoch.
+pub type SimTime = u64;
+
+/// Microseconds per second, hour, day — simulation-time helpers.
+pub const US_PER_SEC: u64 = 1_000_000;
+pub const US_PER_HOUR: u64 = 3_600 * US_PER_SEC;
+pub const US_PER_DAY: u64 = 24 * US_PER_HOUR;
+
+/// Convert fractional seconds to simulation ticks (rounds to nearest µs,
+/// saturating at zero for negative inputs).
+#[inline]
+pub fn secs_f64(s: f64) -> SimTime {
+    (s.max(0.0) * US_PER_SEC as f64).round() as SimTime
+}
+
+/// Convert fractional hours to simulation ticks.
+#[inline]
+pub fn hours_f64(h: f64) -> SimTime {
+    secs_f64(h * 3_600.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_conversions() {
+        assert_eq!(secs_f64(1.5), 1_500_000);
+        assert_eq!(secs_f64(-3.0), 0);
+        assert_eq!(hours_f64(2.0), 2 * US_PER_HOUR);
+        assert_eq!(US_PER_DAY, 86_400 * US_PER_SEC);
+    }
+}

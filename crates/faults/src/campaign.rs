@@ -1,0 +1,1054 @@
+//! The injection campaign: drives an 855-day (configurable) fault history
+//! over a [`Fleet`] and produces everything the analysis pipeline and the
+//! scheduler simulation consume.
+//!
+//! Outputs, in increasing level of abstraction:
+//!
+//! 1. **Raw records** — every duplicated log occurrence, exactly what the
+//!    driver would have written (one [`dr_xid::ErrorRecord`] per line).
+//!    Bursts repeat the same message with sub-`Δt` gaps so the pipeline's
+//!    coalescing stage has real work to do.
+//! 2. **Raw text** — for a configurable subset of nodes, full syslog text
+//!    (NVRM lines interleaved with system noise) exercising Stage I
+//!    extraction end to end.
+//! 3. **Ground-truth events** — one [`ErrorEvent`] per coalesced-level
+//!    episode with its consequence and propagation chain id, used to
+//!    validate what the pipeline recovers and to drive the job simulation.
+//! 4. **Downtime intervals** — GPU repair windows for the availability
+//!    analysis (Figure 9c, Section 5.4).
+
+use crate::offenders::OffenderMix;
+use crate::persistence::PersistenceModel;
+use crate::rates::{ClassRates, ClassSpec, FaultClass};
+use dr_cluster::{DeltaShape, Fleet};
+use dr_des::{hours_f64, secs_f64, Engine, RngStreams, SimTime, US_PER_DAY};
+use dr_gpu::device::Consequence;
+use dr_gpu::{Emission, Fault, Gpu, GpuArch, RasTuning};
+use dr_stats::dist::{coin, Sampler};
+use dr_stats::{Exp, LogNormal};
+use dr_xid::syslog::{format_line, format_noise_line};
+use dr_xid::{Duration, ErrorDetail, ErrorRecord, GpuId, NodeId, Timestamp, Xid};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::{HashMap, HashSet};
+
+/// Campaign configuration.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    pub shape: DeltaShape,
+    pub duration_days: f64,
+    pub seed: u64,
+    pub tuning: RasTuning,
+    pub rates: ClassRates,
+    /// Gap between duplicated lines inside a burst (seconds). Must stay
+    /// below the pipeline's coalescing Δt or bursts split.
+    pub burst_gap_s: f64,
+    /// How many nodes (lowest ids first) also produce full syslog text.
+    pub text_nodes: usize,
+    /// Unrelated syslog noise per text node per hour.
+    pub noise_per_node_hour: f64,
+    /// Probability that an uncontained-storm error state triggers an
+    /// operator repair (the rest clear silently when the storm ends —
+    /// the paper's "lack of monitoring" observation).
+    pub p_storm_repair: f64,
+    /// Repair (drain + reboot) duration distribution — median/p95 hours.
+    pub repair_median_h: f64,
+    pub repair_p95_h: f64,
+}
+
+impl CampaignConfig {
+    /// The flagship configuration: the Ampere Table 1 study.
+    pub fn ampere_study(seed: u64) -> Self {
+        CampaignConfig {
+            shape: DeltaShape::delta_ampere(),
+            duration_days: 855.0,
+            seed,
+            tuning: RasTuning::default(),
+            rates: ClassRates::ampere_delta(),
+            burst_gap_s: 4.5,
+            text_nodes: 0,
+            noise_per_node_hour: 1.0,
+            p_storm_repair: 0.80,
+            repair_median_h: 0.2,
+            repair_p95_h: 1.0,
+        }
+    }
+
+    /// The Section 6 H100 early-deployment campaign.
+    pub fn h100_study(seed: u64) -> Self {
+        CampaignConfig {
+            shape: DeltaShape::delta_h100(),
+            duration_days: 240.0,
+            rates: ClassRates::h100_delta(),
+            ..CampaignConfig::ampere_study(seed)
+        }
+    }
+
+    /// A small, fast configuration for tests and the quickstart example:
+    /// tiny fleet, 30 days, rates scaled down to the fleet size.
+    pub fn tiny(seed: u64) -> Self {
+        CampaignConfig {
+            shape: DeltaShape::tiny(),
+            duration_days: 30.0,
+            rates: ClassRates::ampere_delta().scaled(0.3),
+            text_nodes: 6,
+            ..CampaignConfig::ampere_study(seed)
+        }
+    }
+}
+
+/// Ground truth for one coalesced-level error episode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ErrorEvent {
+    pub at: Timestamp,
+    pub gpu: GpuId,
+    pub xid: Xid,
+    pub detail: ErrorDetail,
+    /// How long the episode keeps re-logging.
+    pub persistence: Duration,
+    /// What the episode did beyond being logged.
+    pub consequence: Consequence,
+    /// Propagation chain this episode belongs to (primary + follow-ups).
+    pub chain: u64,
+    /// For MMU events: whether hardware (vs application) induced.
+    pub hw_induced: bool,
+}
+
+/// One GPU repair window (drain + reboot).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DowntimeInterval {
+    pub gpu: GpuId,
+    pub start: Timestamp,
+    pub end: Timestamp,
+    pub cause: Xid,
+}
+
+impl DowntimeInterval {
+    pub fn duration(&self) -> Duration {
+        self.end - self.start
+    }
+}
+
+/// Everything a campaign produces.
+pub struct CampaignOutput {
+    /// Every raw log occurrence, time-sorted.
+    pub records: Vec<ErrorRecord>,
+    /// Ground-truth episodes, time-sorted.
+    pub events: Vec<ErrorEvent>,
+    /// Repair windows.
+    pub downtime: Vec<DowntimeInterval>,
+    /// Full syslog text for the configured node subset, per node, in order.
+    pub text_logs: Vec<(NodeId, Vec<String>)>,
+    /// The fleet in its end-of-campaign state.
+    pub fleet: Fleet,
+    /// Campaign duration.
+    pub duration: Duration,
+    /// GPUs designated as defective offenders, per class.
+    pub offenders: HashMap<FaultClass, Vec<GpuId>>,
+}
+
+impl CampaignOutput {
+    /// Observation window in hours.
+    pub fn observation_hours(&self) -> f64 {
+        self.duration.as_hours_f64()
+    }
+
+    /// Ground-truth episode count for one XID.
+    pub fn event_count(&self, xid: Xid) -> usize {
+        self.events.iter().filter(|e| e.xid == xid).count()
+    }
+}
+
+/// Engine event payloads.
+enum Ev {
+    /// Next primary arrival of class `class_idx`.
+    Arrival { class_idx: usize },
+    /// A clustered repeat of a primary on the same victim.
+    ClusterRepeat { class_idx: usize, gpu: GpuId, left: u32 },
+    /// Propagated fault (NVLink chains).
+    Followup {
+        gpu: GpuId,
+        fault: Fault,
+        chain: u64,
+        depth: u32,
+    },
+    /// Operator repair completes for `gpu`.
+    Repair { gpu: GpuId, start: SimTime, cause: Xid },
+    /// A storm that nobody repaired clears on its own.
+    SilentClear { gpu: GpuId },
+}
+
+/// The campaign driver.
+pub struct Campaign {
+    cfg: CampaignConfig,
+    fleet: Fleet,
+    mixes: Vec<OffenderMix>,
+    persistence: HashMap<Xid, PersistenceModel>,
+    rng: StdRng,
+    records: Vec<ErrorRecord>,
+    events: Vec<ErrorEvent>,
+    downtime: Vec<DowntimeInterval>,
+    repair_pending: HashSet<GpuId>,
+    repair_dist: LogNormal,
+    next_chain: u64,
+    offenders: HashMap<FaultClass, Vec<GpuId>>,
+    horizon: SimTime,
+}
+
+impl Campaign {
+    /// Run a campaign to completion.
+    pub fn run(cfg: CampaignConfig) -> CampaignOutput {
+        let streams = RngStreams::new(cfg.seed);
+        let mut fleet = Fleet::build(cfg.shape, cfg.tuning);
+        let rng = streams.named("campaign-main");
+
+        let offenders = designate_offenders(&cfg, &mut fleet, &mut streams.named("offenders"));
+        let mixes = build_mixes(&cfg, &fleet, &offenders);
+        let persistence = persistence_models();
+
+        let horizon = (cfg.duration_days * US_PER_DAY as f64) as SimTime;
+        let mut this = Campaign {
+            repair_dist: LogNormal::from_median_p95(cfg.repair_median_h, cfg.repair_p95_h),
+            cfg,
+            fleet,
+            mixes,
+            persistence,
+            rng,
+            records: Vec::new(),
+            events: Vec::new(),
+            downtime: Vec::new(),
+            repair_pending: HashSet::new(),
+            next_chain: 0,
+            offenders,
+            horizon,
+        };
+
+        let mut engine: Engine<Ev> = Engine::new();
+        // Seed the first arrival of every class.
+        for class_idx in 0..this.cfg.rates.specs.len() {
+            if let Some(t) = this.next_arrival_time(0, class_idx) {
+                engine.schedule(t, Ev::Arrival { class_idx });
+            }
+        }
+
+        // The engine borrows `this` through the closure.
+        let this_ref = &mut this;
+        engine_run(engine, this_ref, horizon);
+
+        this.finish()
+    }
+
+    /// Draw the next arrival time for `class_idx` strictly after `now`,
+    /// honoring the two-phase (testing / steady-state) rate profile.
+    fn next_arrival_time(&mut self, now: SimTime, class_idx: usize) -> Option<SimTime> {
+        let spec = self.cfg.rates.specs[class_idx];
+        let (early, late) = self.cfg.rates.phase_rates(&spec, self.cfg.duration_days);
+        // Clustered classes schedule cluster heads at a reduced rate.
+        let cluster = spec.cluster_mean.max(1.0);
+        let (early, late) = (early / cluster, late / cluster);
+        let boundary = (self.cfg.rates.testing_boundary_days(self.cfg.duration_days)
+            * US_PER_DAY as f64) as SimTime;
+
+        let mut t = now;
+        loop {
+            let rate = if t < boundary { early } else { late };
+            if rate <= 0.0 {
+                if t < boundary && late > 0.0 {
+                    t = boundary;
+                    continue;
+                }
+                return None;
+            }
+            let gap = hours_f64(Exp::new(rate).sample(&mut self.rng));
+            let cand = t + gap.max(1);
+            if t < boundary && cand > boundary && late != early {
+                // Crossed into the steady-state phase: restart there
+                // (memorylessness makes this exact).
+                t = boundary;
+                continue;
+            }
+            return (cand <= self.horizon).then_some(cand);
+        }
+    }
+
+    /// Sample how many arrivals a clustered primary gets: the configured
+    /// mean with ±50 % uniform jitter (low variance keeps campaign totals
+    /// near their calibration even for heavy clustering like GSP's).
+    fn cluster_size(&mut self, spec: &ClassSpec) -> u32 {
+        let mean = spec.cluster_mean.max(1.0);
+        if mean <= 1.0 {
+            return 1;
+        }
+        let jitter = 0.5 + self.rng.gen::<f64>();
+        ((mean * jitter).round() as u32).max(1)
+    }
+
+    fn class_fault(&mut self, class: FaultClass, gpu: GpuId) -> Fault {
+        let arch = self
+            .fleet
+            .gpu(gpu)
+            .map(|g| g.arch())
+            .unwrap_or(GpuArch::A100);
+        let caps = arch.caps();
+        match class {
+            FaultClass::MmuApp => Fault::MmuFault { app_induced: true },
+            FaultClass::Dbe => Fault::MemoryDbe {
+                bank: self.rng.gen_range(0..caps.banks),
+                row: self.rng.gen_range(0..1 << 18),
+            },
+            FaultClass::SbePair => Fault::MemorySbe {
+                bank: self.rng.gen_range(0..caps.banks),
+                row: self.rng.gen_range(0..1 << 18),
+            },
+            FaultClass::Nvlink => Fault::NvlinkCrc {
+                link: self.rng.gen_range(0..caps.nvlink_links.max(1)),
+            },
+            FaultClass::BusDrop => Fault::BusDrop,
+            FaultClass::SramContained => Fault::MemoryDbe {
+                // Handled specially in `fire`: direct contained emission.
+                bank: 0,
+                row: 0,
+            },
+            FaultClass::UncontainedStorm => Fault::UncontainedEcc {
+                // Wide detail space: overlapping storms on the offender GPU
+                // must not alias into one coalesced error.
+                partition: self.rng.gen_range(0..64),
+                slice: self.rng.gen_range(0..1 << 16),
+            },
+            FaultClass::GspHang => Fault::GspHang {
+                function: [76, 103, 34][self.rng.gen_range(0..3)],
+            },
+            FaultClass::PmuSpi => Fault::PmuSpi {
+                addr: self.rng.gen_range(0x40..0x200),
+            },
+            FaultClass::SoftwareNoise | FaultClass::Event136 => {
+                // Synthesized directly in `fire` (no device state machine).
+                Fault::MmuFault { app_induced: true }
+            }
+        }
+    }
+
+    /// Fire one arrival of `class` on `gpu` at engine time `now`.
+    fn fire(&mut self, sched: &mut dr_des::Scheduler<'_, Ev>, class: FaultClass, gpu: GpuId) {
+        let now = sched.now();
+        let chain = self.next_chain;
+        self.next_chain += 1;
+
+        match class {
+            FaultClass::SoftwareNoise => {
+                let xid = if coin(&mut self.rng, 0.7) {
+                    Xid::GraphicsEngineException
+                } else {
+                    Xid::ResetChannelVerifError
+                };
+                let detail = ErrorDetail::new(
+                    self.rng.gen_range(0..32),
+                    self.rng.gen_range(0x1000..0x90000),
+                );
+                self.emit_episode(now, gpu, xid, detail, chain, Consequence::Masked, false);
+            }
+            FaultClass::Event136 => {
+                let detail = ErrorDetail::new(self.rng.gen_range(0..8), 0);
+                self.emit_episode(now, gpu, Xid::Xid136, detail, chain, Consequence::Masked, false);
+            }
+            FaultClass::SbePair => {
+                // Two corrected SBEs at one address, 1 ms apart: only the
+                // second (which triggers the proactive remap) emits.
+                let fault = self.class_fault(class, gpu);
+                self.inject(sched, gpu, fault, chain);
+                self.inject(sched, gpu, fault, chain);
+            }
+            FaultClass::SramContained => {
+                let detail = ErrorDetail::new(self.rng.gen_range(0..16), 0);
+                self.emit_episode(
+                    now,
+                    gpu,
+                    Xid::ContainedEcc,
+                    detail,
+                    chain,
+                    Consequence::KilledAffectedProcesses,
+                    false,
+                );
+            }
+            _ => {
+                let fault = self.class_fault(class, gpu);
+                self.inject(sched, gpu, fault, chain);
+            }
+        }
+    }
+
+    /// Push `fault` into the device, emit episodes for every resulting
+    /// XID, and schedule the consequences.
+    fn inject(
+        &mut self,
+        sched: &mut dr_des::Scheduler<'_, Ev>,
+        gpu: GpuId,
+        fault: Fault,
+        chain: u64,
+    ) {
+        let now = sched.now();
+        let Some(device) = self.fleet.gpu_mut(gpu) else {
+            return;
+        };
+        let result = device.inject(fault, &mut self.rng);
+        let hw_mmu = !matches!(fault, Fault::MmuFault { app_induced: true });
+
+        let mut first = true;
+        let mut storm_end = Duration::ZERO;
+        for Emission { delay, xid, detail } in result.emissions.clone() {
+            let at = now + secs_f64(delay.as_secs_f64());
+            let at_ts = Timestamp::from_micros(at);
+            let consequence = if first {
+                result.consequence
+            } else {
+                Consequence::Masked
+            };
+            let hw = xid == Xid::MmuError && hw_mmu;
+            let d = self.emit_episode_at(at_ts, gpu, xid, detail, chain, consequence, hw);
+            if first {
+                storm_end = d;
+            }
+            first = false;
+        }
+
+        // Consequence scheduling.
+        match result.consequence {
+            Consequence::GpuErrorState | Consequence::GpuLost => {
+                let is_storm = matches!(fault, Fault::UncontainedEcc { .. });
+                let repair_now = !is_storm || coin(&mut self.rng, self.cfg.p_storm_repair);
+                if repair_now {
+                    self.schedule_repair(sched, gpu, fault_xid(fault));
+                } else {
+                    // Unmonitored storm: clears silently when it ends.
+                    sched.schedule_in(secs_f64(storm_end.as_secs_f64()) + 1, Ev::SilentClear { gpu });
+                }
+            }
+            Consequence::SpreadToPeers => {
+                // Inter-GPU NVLink propagation: a peer sees its own error a
+                // few seconds later and the chain continues there (Figure 6
+                // branch weights are exclusive: self 0.66 / spread 0.14 /
+                // terminal error state 0.20, expected chain length 5).
+                let peers = self.fleet.nvlink_peers(gpu);
+                if !peers.is_empty() {
+                    let peer = peers[self.rng.gen_range(0..peers.len())];
+                    let delay = secs_f64(1.0 + Exp::new(0.5).sample(&mut self.rng));
+                    self.schedule_followup(sched, delay, peer, chain, 0);
+                }
+            }
+            Consequence::Masked if matches!(fault, Fault::NvlinkCrc { .. }) => {
+                // Figure 6 self-loop: the replayed error repeats shortly.
+                let delay = secs_f64(6.0 + Exp::new(0.1).sample(&mut self.rng));
+                self.schedule_followup(sched, delay, gpu, chain, 0);
+            }
+            Consequence::Masked if matches!(fault, Fault::PmuSpi { .. }) => {
+                // Figure 5's PMU->PMU self-edge (0.18): the SPI failure
+                // recurs as a fresh error that rolls the MMU branch anew.
+                let delay = secs_f64(6.0 + Exp::new(0.12).sample(&mut self.rng));
+                let addr = self.rng.gen_range(0x40..0x200);
+                sched.schedule_in(
+                    delay,
+                    Ev::Followup {
+                        gpu,
+                        fault: Fault::PmuSpi { addr },
+                        chain,
+                        depth: 1,
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+
+    fn schedule_followup(
+        &mut self,
+        sched: &mut dr_des::Scheduler<'_, Ev>,
+        delay: SimTime,
+        gpu: GpuId,
+        chain: u64,
+        depth: u32,
+    ) {
+        if depth >= 64 {
+            return;
+        }
+        let caps = self
+            .fleet
+            .gpu(gpu)
+            .map(|g| g.arch().caps())
+            .unwrap_or(GpuArch::A100.caps());
+        let fault = Fault::NvlinkCrc {
+            link: self.rng.gen_range(0..caps.nvlink_links.max(1)),
+        };
+        sched.schedule_in(
+            delay,
+            Ev::Followup {
+                gpu,
+                fault,
+                chain,
+                depth: depth + 1,
+            },
+        );
+    }
+
+    fn schedule_repair(&mut self, sched: &mut dr_des::Scheduler<'_, Ev>, gpu: GpuId, cause: Xid) {
+        if !self.repair_pending.insert(gpu) {
+            return; // repair already underway
+        }
+        let hours = self.repair_dist.sample(&mut self.rng).min(48.0);
+        sched.schedule_in(
+            hours_f64(hours),
+            Ev::Repair {
+                gpu,
+                start: sched.now(),
+                cause,
+            },
+        );
+    }
+
+    /// Emit one coalesced-level episode starting now.
+    fn emit_episode(
+        &mut self,
+        now: SimTime,
+        gpu: GpuId,
+        xid: Xid,
+        detail: ErrorDetail,
+        chain: u64,
+        consequence: Consequence,
+        hw_induced: bool,
+    ) -> Duration {
+        self.emit_episode_at(
+            Timestamp::from_micros(now),
+            gpu,
+            xid,
+            detail,
+            chain,
+            consequence,
+            hw_induced,
+        )
+    }
+
+    /// Emit one episode at an explicit wall-clock start. Returns the
+    /// sampled persistence.
+    fn emit_episode_at(
+        &mut self,
+        at: Timestamp,
+        gpu: GpuId,
+        xid: Xid,
+        detail: ErrorDetail,
+        chain: u64,
+        consequence: Consequence,
+        hw_induced: bool,
+    ) -> Duration {
+        let persistence = match self.persistence.get(&xid) {
+            Some(m) => m.sample(&mut self.rng),
+            None => Duration::ZERO,
+        };
+        self.events.push(ErrorEvent {
+            at,
+            gpu,
+            xid,
+            detail,
+            persistence,
+            consequence,
+            chain,
+            hw_induced,
+        });
+
+        // Burst of duplicated records: first at `at`, last at
+        // `at + persistence`, intermediate lines under the coalescing gap.
+        // Severe (long) episodes re-log faster — the signature the
+        // preventive-action predictor (dr-predict) keys on.
+        let gap = if persistence.as_secs_f64() > 600.0 {
+            self.cfg.burst_gap_s * 0.6
+        } else {
+            self.cfg.burst_gap_s
+        };
+        let total_s = persistence.as_secs_f64();
+        self.records.push(ErrorRecord::new(at, gpu, xid, detail));
+        if total_s > 0.01 {
+            let mut t = 0.0;
+            loop {
+                let step = gap * (0.6 + 0.4 * self.rng.gen::<f64>());
+                t += step;
+                if t >= total_s {
+                    break;
+                }
+                self.records.push(ErrorRecord::new(
+                    at + Duration::from_secs_f64(t),
+                    gpu,
+                    xid,
+                    detail,
+                ));
+            }
+            self.records
+                .push(ErrorRecord::new(at + persistence, gpu, xid, detail));
+        }
+        persistence
+    }
+
+    fn handle(&mut self, sched: &mut dr_des::Scheduler<'_, Ev>, ev: Ev) {
+        match ev {
+            Ev::Arrival { class_idx } => {
+                let spec = self.cfg.rates.specs[class_idx];
+                let gpu = self.mixes[class_idx].pick(&mut self.rng);
+                self.fire(sched, spec.class, gpu);
+                // Cluster repeats on the same victim.
+                let repeats = self.cluster_size(&spec) - 1;
+                if repeats > 0 {
+                    let delay =
+                        hours_f64(Exp::new(1.0 / spec.cluster_spread_h).sample(&mut self.rng));
+                    sched.schedule_in(
+                        delay.max(secs_f64(60.0)),
+                        Ev::ClusterRepeat {
+                            class_idx,
+                            gpu,
+                            left: repeats,
+                        },
+                    );
+                }
+                if let Some(t) = self.next_arrival_time(sched.now(), class_idx) {
+                    sched.schedule_at(t, Ev::Arrival { class_idx });
+                }
+            }
+            Ev::ClusterRepeat { class_idx, gpu, left } => {
+                let spec = self.cfg.rates.specs[class_idx];
+                self.fire(sched, spec.class, gpu);
+                if left > 1 {
+                    let delay =
+                        hours_f64(Exp::new(1.0 / spec.cluster_spread_h).sample(&mut self.rng));
+                    sched.schedule_in(
+                        delay.max(secs_f64(60.0)),
+                        Ev::ClusterRepeat {
+                            class_idx,
+                            gpu,
+                            left: left - 1,
+                        },
+                    );
+                }
+            }
+            Ev::Followup {
+                gpu,
+                fault,
+                chain,
+                depth,
+            } => {
+                // Depth is tracked by re-wrapping the consequence logic:
+                // inject() schedules further follow-ups at depth 0, so we
+                // bound chains here by dropping too-deep events.
+                if depth < 64 {
+                    self.inject(sched, gpu, fault, chain);
+                }
+            }
+            Ev::Repair { gpu, start, cause } => {
+                self.repair_pending.remove(&gpu);
+                if let Some(device) = self.fleet.gpu_mut(gpu) {
+                    device.reset();
+                }
+                self.downtime.push(DowntimeInterval {
+                    gpu,
+                    start: Timestamp::from_micros(start),
+                    end: Timestamp::from_micros(sched.now()),
+                    cause,
+                });
+            }
+            Ev::SilentClear { gpu } => {
+                // Only clears if no proper repair got scheduled meanwhile.
+                if !self.repair_pending.contains(&gpu) {
+                    if let Some(device) = self.fleet.gpu_mut(gpu) {
+                        if !device.health().is_ok() {
+                            device.reset();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(mut self) -> CampaignOutput {
+        dr_xid::record::sort_records(&mut self.records);
+        self.events.sort_by_key(|e| (e.at, e.gpu));
+        self.downtime.sort_by_key(|d| d.start);
+
+        let text_logs = self.render_text_logs();
+
+        CampaignOutput {
+            records: self.records,
+            events: self.events,
+            downtime: self.downtime,
+            text_logs,
+            fleet: self.fleet,
+            duration: Duration::from_micros(self.horizon),
+            offenders: self.offenders,
+        }
+    }
+
+    /// Render full syslog text for the configured node subset: NVRM lines
+    /// from the records plus Poisson background noise, per node, in order.
+    fn render_text_logs(&mut self) -> Vec<(NodeId, Vec<String>)> {
+        if self.cfg.text_nodes == 0 {
+            return Vec::new();
+        }
+        let selected: HashSet<NodeId> = self
+            .fleet
+            .nodes()
+            .iter()
+            .take(self.cfg.text_nodes)
+            .map(|n| n.id)
+            .collect();
+
+        let mut per_node: HashMap<NodeId, Vec<(Timestamp, String)>> = HashMap::new();
+        for rec in &self.records {
+            if selected.contains(&rec.gpu.node) {
+                let pid = if matches!(rec.xid, Xid::GraphicsEngineException) {
+                    self.rng.gen_range(1_000..60_000)
+                } else {
+                    0
+                };
+                per_node
+                    .entry(rec.gpu.node)
+                    .or_default()
+                    .push((rec.at, format_line(rec, pid)));
+            }
+        }
+        // Background noise.
+        let rate = self.cfg.noise_per_node_hour;
+        if rate > 0.0 {
+            let exp = Exp::new(rate);
+            // Deterministic iteration order: RNG consumption must not
+            // depend on HashSet ordering.
+            let mut ordered: Vec<NodeId> = selected.iter().copied().collect();
+            ordered.sort();
+            for node in ordered {
+                let entry = per_node.entry(node).or_default();
+                let mut t = 0.0f64;
+                let horizon_h = Duration::from_micros(self.horizon).as_hours_f64();
+                loop {
+                    t += exp.sample(&mut self.rng);
+                    if t >= horizon_h {
+                        break;
+                    }
+                    let at = Timestamp::EPOCH + Duration::from_secs_f64(t * 3_600.0);
+                    entry.push((at, format_noise_line(at, node, self.rng.gen())));
+                }
+            }
+        }
+
+        let mut out: Vec<(NodeId, Vec<String>)> = per_node
+            .into_iter()
+            .map(|(node, mut lines)| {
+                lines.sort_by_key(|(at, _)| *at);
+                (node, lines.into_iter().map(|(_, l)| l).collect())
+            })
+            .collect();
+        out.sort_by_key(|(node, _)| *node);
+        out
+    }
+}
+
+/// Which XID names a fault for downtime attribution.
+fn fault_xid(fault: Fault) -> Xid {
+    match fault {
+        Fault::MemoryDbe { .. } => Xid::DoubleBitEcc,
+        Fault::MemorySbe { .. } => Xid::RowRemapFailure,
+        Fault::UncontainedEcc { .. } => Xid::UncontainedEcc,
+        Fault::NvlinkCrc { .. } => Xid::NvlinkError,
+        Fault::GspHang { .. } => Xid::GspRpcTimeout,
+        Fault::PmuSpi { .. } => Xid::PmuSpiError,
+        Fault::MmuFault { .. } => Xid::MmuError,
+        Fault::BusDrop => Xid::FallenOffBus,
+    }
+}
+
+/// Drive the engine to the horizon with the campaign as handler state.
+fn engine_run(mut engine: Engine<Ev>, campaign: &mut Campaign, horizon: SimTime) {
+    engine.run_until(horizon, |sched, ev| campaign.handle(sched, ev));
+}
+
+/// Pick offender GPUs per class and seed memory defects.
+fn designate_offenders(
+    cfg: &CampaignConfig,
+    fleet: &mut Fleet,
+    rng: &mut StdRng,
+) -> HashMap<FaultClass, Vec<GpuId>> {
+    let mut out = HashMap::new();
+    // Memory-defective population: spare-exhausted parts shared by the
+    // DBE and SbePair classes so RRFs concentrate there.
+    let a100s = fleet.gpu_ids_of(GpuArch::A100);
+    let h100s = fleet.gpu_ids_of(GpuArch::H100);
+    let mem_pool: Vec<GpuId> = if a100s.is_empty() { h100s.clone() } else { a100s.clone() };
+    let mut zero_spare: Vec<GpuId> = Vec::new();
+    for i in 0..4.min(mem_pool.len()) {
+        let id = mem_pool[(i * 97) % mem_pool.len()];
+        if !zero_spare.contains(&id) {
+            zero_spare.push(id);
+            let arch = fleet.gpu(id).expect("exists").arch();
+            *fleet.gpu_mut(id).expect("exists") = Gpu::defective(id, arch, cfg.tuning, 0);
+        }
+    }
+
+    for spec in &cfg.rates.specs {
+        if spec.offenders == 0 {
+            continue;
+        }
+        let list: Vec<GpuId> = match spec.class {
+            // DBE offenders: half spare-exhausted (drive RRF), half healthy
+            // (drive RRE), per the Figure 7 50/50 split.
+            FaultClass::Dbe => {
+                // Half the DBE offenders are spare-exhausted (RRF path),
+                // half healthy (RRE path) — the Figure 7 50/50 split.
+                let mut l: Vec<GpuId> = zero_spare.iter().copied().take(3).collect();
+                let mut i = 13;
+                while l.len() < spec.offenders as usize && i < 13 + mem_pool.len() {
+                    let id = mem_pool[(i * 89) % mem_pool.len()];
+                    if !l.contains(&id) {
+                        l.push(id);
+                    }
+                    i += 1;
+                }
+                // Interleave so Zipf rank does not privilege either kind.
+                let (a, b): (Vec<_>, Vec<_>) =
+                    l.iter().partition(|g| zero_spare.contains(g));
+                a.iter()
+                    .zip(b.iter().chain(std::iter::repeat(a.last().unwrap_or(&l[0]))))
+                    .flat_map(|(x, y)| [*x, *y])
+                    .take(spec.offenders as usize)
+                    .collect()
+            }
+            FaultClass::SbePair => zero_spare.clone(),
+            _ => {
+                // Generic offenders: deterministic pseudo-random picks
+                // from the whole fleet.
+                let pool = fleet.gpu_ids();
+                let mut l = Vec::new();
+                while l.len() < spec.offenders as usize && l.len() < pool.len() {
+                    let id = pool[rng.gen_range(0..pool.len())];
+                    if !l.contains(&id) {
+                        l.push(id);
+                    }
+                }
+                l
+            }
+        };
+        if !list.is_empty() {
+            out.insert(spec.class, list);
+        }
+    }
+    out
+}
+
+/// Build the per-class victim-selection mixes.
+fn build_mixes(
+    cfg: &CampaignConfig,
+    fleet: &Fleet,
+    offenders: &HashMap<FaultClass, Vec<GpuId>>,
+) -> Vec<OffenderMix> {
+    cfg.rates
+        .specs
+        .iter()
+        .map(|spec| {
+            let population = match spec.class {
+                // Proactive SBE remapping needs the Ampere HBM feature set.
+                FaultClass::SbePair => {
+                    let p = fleet.gpu_ids_of(GpuArch::A100);
+                    if p.is_empty() {
+                        fleet.gpu_ids_of(GpuArch::H100)
+                    } else {
+                        p
+                    }
+                }
+                _ => fleet.gpu_ids(),
+            };
+            let population = if population.is_empty() {
+                fleet.gpu_ids()
+            } else {
+                population
+            };
+            match offenders.get(&spec.class) {
+                Some(list) if !list.is_empty() => OffenderMix::new(
+                    population,
+                    list.clone(),
+                    spec.offender_share,
+                    spec.offender_skew,
+                ),
+                _ => OffenderMix::uniform(population),
+            }
+        })
+        .collect()
+}
+
+/// Per-XID persistence models from the Table 1 triples.
+fn persistence_models() -> HashMap<Xid, PersistenceModel> {
+    let table: [(Xid, f64, f64, f64); 13] = [
+        (Xid::MmuError, 2.85, 2.80, 5.80),
+        (Xid::DoubleBitEcc, 0.14, 0.12, 0.24),
+        (Xid::RowRemapEvent, 0.12, 0.12, 0.12),
+        (Xid::RowRemapFailure, 8.88, 2.90, 26.65),
+        (Xid::NvlinkError, 0.76, 0.24, 1.18),
+        (Xid::FallenOffBus, 2.71, 0.25, 12.03),
+        (Xid::ContainedEcc, 0.12, 0.12, 0.14),
+        (Xid::UncontainedEcc, 860.24, 75.22, 340.69),
+        (Xid::GspRpcTimeout, 12.14, 0.03, 100.85),
+        (Xid::PmuSpiError, 0.05, 0.06, 0.08),
+        (Xid::GraphicsEngineException, 0.5, 0.1, 2.0),
+        (Xid::ResetChannelVerifError, 0.2, 0.1, 0.5),
+        (Xid::Xid136, 1.0, 0.2, 4.0),
+    ];
+    table
+        .into_iter()
+        .map(|(xid, mean, p50, p95)| (xid, PersistenceModel::calibrate(mean, p50.min(p95), p95)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_campaign_runs_and_is_deterministic() {
+        let a = Campaign::run(CampaignConfig::tiny(7));
+        let b = Campaign::run(CampaignConfig::tiny(7));
+        assert_eq!(a.records.len(), b.records.len());
+        assert_eq!(a.events.len(), b.events.len());
+        assert!(!a.records.is_empty());
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Campaign::run(CampaignConfig::tiny(1));
+        let b = Campaign::run(CampaignConfig::tiny(2));
+        assert_ne!(a.records, b.records);
+    }
+
+    #[test]
+    fn records_are_time_sorted_and_in_window() {
+        let out = Campaign::run(CampaignConfig::tiny(3));
+        let horizon = Timestamp::EPOCH + out.duration + Duration::from_days(2);
+        let mut last = Timestamp::EPOCH;
+        for r in &out.records {
+            assert!(r.at >= last);
+            assert!(r.at <= horizon, "record far beyond horizon");
+            last = r.at;
+        }
+    }
+
+    #[test]
+    fn bursts_stay_under_coalescing_gap() {
+        // Within one episode, consecutive duplicates must be < 5 s apart.
+        let out = Campaign::run(CampaignConfig::tiny(4));
+        let mut by_identity: HashMap<_, Vec<Timestamp>> = HashMap::new();
+        for r in &out.records {
+            by_identity.entry(r.identity()).or_default().push(r.at);
+        }
+        let mut checked = 0;
+        for times in by_identity.values() {
+            for w in times.windows(2) {
+                let gap = (w[1] - w[0]).as_secs_f64();
+                // Either same burst (< 5 s) or separate episodes (>= 5 s).
+                if gap < 5.0 {
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 0, "expected some intra-burst duplicates");
+    }
+
+    #[test]
+    fn events_cover_expected_xids() {
+        let out = Campaign::run(CampaignConfig::tiny(5));
+        assert!(out.event_count(Xid::MmuError) > 0);
+        assert!(out.event_count(Xid::UncontainedEcc) > 0);
+        assert!(out.event_count(Xid::GspRpcTimeout) > 0);
+        assert!(out.event_count(Xid::NvlinkError) > 0);
+    }
+
+    #[test]
+    fn downtime_intervals_are_well_formed() {
+        let out = Campaign::run(CampaignConfig::tiny(6));
+        assert!(!out.downtime.is_empty());
+        for d in &out.downtime {
+            assert!(d.end > d.start);
+            assert!(d.duration().as_hours_f64() < 49.0);
+        }
+    }
+
+    #[test]
+    fn text_logs_exist_for_selected_nodes() {
+        let out = Campaign::run(CampaignConfig::tiny(8));
+        assert!(!out.text_logs.is_empty());
+        let total_lines: usize = out.text_logs.iter().map(|(_, l)| l.len()).sum();
+        assert!(total_lines > 100);
+        // Lines per node are time-ordered (syslog prefix sorts within a day,
+        // but we verify via re-parse in the integration tests).
+        for (node, lines) in &out.text_logs {
+            assert!(lines.iter().any(|l| l.contains(&node.hostname()) == false) == false || !lines.is_empty());
+        }
+    }
+
+    #[test]
+    fn h100_campaign_produces_section6_classes() {
+        let out = Campaign::run(CampaignConfig::h100_study(11));
+        assert!(out.event_count(Xid::Xid136) > 0);
+        assert!(out.event_count(Xid::MmuError) > 0);
+        assert_eq!(out.event_count(Xid::NvlinkError), 0);
+        assert_eq!(out.event_count(Xid::GspRpcTimeout), 0);
+    }
+
+    /// Full-scale calibration check (slow; run with --ignored --release).
+    #[test]
+    #[ignore = "full 855-day campaign; run in release mode"]
+    fn full_ampere_campaign_matches_table1_counts() {
+        let out = Campaign::run(CampaignConfig::ampere_study(42));
+        let targets = [
+            (Xid::MmuError, 18_876.0, 0.15),
+            (Xid::DoubleBitEcc, 32.0, 0.5),
+            (Xid::RowRemapEvent, 95.0, 0.4),
+            (Xid::RowRemapFailure, 35.0, 0.5),
+            (Xid::NvlinkError, 2_987.0, 0.25),
+            (Xid::FallenOffBus, 31.0, 0.5),
+            (Xid::ContainedEcc, 28.0, 0.5),
+            (Xid::UncontainedEcc, 38_905.0, 0.15),
+            (Xid::GspRpcTimeout, 2_136.0, 0.15),
+            (Xid::PmuSpiError, 128.0, 0.4),
+        ];
+        let mut report = String::new();
+        let mut ok = true;
+        for (xid, target, tol) in targets {
+            let got = out.event_count(xid) as f64;
+            let rel = (got - target).abs() / target;
+            report.push_str(&format!("{xid}: got {got}, target {target}, rel {rel:.3}\n"));
+            if rel > tol {
+                ok = false;
+            }
+        }
+        println!("{report}");
+        println!(
+            "records: {}, events: {}, downtime intervals: {}",
+            out.records.len(),
+            out.events.len(),
+            out.downtime.len()
+        );
+        let lost_h: f64 = out.downtime.iter().map(|d| d.duration().as_hours_f64()).sum();
+        println!("downtime node-hours: {lost_h:.0}");
+        assert!(ok, "calibration off:\n{report}");
+    }
+
+    #[test]
+    fn gsp_events_mostly_terminal() {
+        // GSP primaries are heavily clustered, so a bare tiny campaign may
+        // draw zero cluster heads; scale rates up for a reliable sample.
+        let mut cfg = CampaignConfig::tiny(12);
+        cfg.rates = crate::rates::ClassRates::ampere_delta().scaled(3.0);
+        let out = Campaign::run(cfg);
+        let gsp_events: Vec<_> = out
+            .events
+            .iter()
+            .filter(|e| e.xid == Xid::GspRpcTimeout)
+            .collect();
+        assert!(!gsp_events.is_empty());
+        let lost = gsp_events
+            .iter()
+            .filter(|e| e.consequence == Consequence::GpuLost)
+            .count();
+        assert_eq!(lost, gsp_events.len(), "every GSP hang loses the GPU");
+    }
+}

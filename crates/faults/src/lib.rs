@@ -1,0 +1,36 @@
+//! # dr-faults — fault processes and the injection campaign
+//!
+//! The generative side of the reproduction. Since the underlying fault
+//! processes of a production system are unobservable, they are modeled as
+//! stochastic processes whose *rates* are calibrated from Table 1, and
+//! everything downstream — bursty duplicated log lines, propagation chains,
+//! persistence durations, offender skew — is produced mechanistically so
+//! the analysis pipeline has real work to do:
+//!
+//! - [`persistence`]: per-XID error persistence models (capped log-normal
+//!   body plus a rare heavy tail) calibrated from Table 1's
+//!   mean/P50/P95 triples.
+//! - [`offenders`]: defective-GPU mixtures — a handful of parts carry the
+//!   overwhelming majority of memory errors (Section 4.2 (iii)).
+//! - [`rates`]: the campaign's per-error-class arrival rates with
+//!   Delta-calibrated defaults.
+//! - [`campaign`]: the 855-day discrete-event injection campaign over a
+//!   [`dr_cluster::Fleet`], producing raw error records, ground-truth
+//!   events, downtime intervals, and (for a configurable node subset)
+//!   full syslog text.
+//! - [`scenario`]: the scripted incident replays of Figures 1 and 8.
+
+pub mod campaign;
+pub mod offenders;
+pub mod persistence;
+pub mod rates;
+pub mod scenario;
+
+
+
+pub use campaign::{Campaign, CampaignConfig, CampaignOutput, DowntimeInterval, ErrorEvent};
+pub use offenders::OffenderMix;
+pub use persistence::PersistenceModel;
+pub use scenario::{all_scenarios, Scenario};
+pub use rates::{ClassRates, ClassSpec, FaultClass};
+

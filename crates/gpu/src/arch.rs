@@ -1,0 +1,119 @@
+//! GPU architectures deployed in Delta and their RAS capabilities.
+
+use core::fmt;
+
+/// The GPU models in the study (Section 2.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GpuArch {
+    /// NVIDIA A40 (Ampere, GDDR6): row remapping but **no** error
+    /// containment or dynamic page offlining.
+    A40,
+    /// NVIDIA A100 (Ampere, HBM2e): full Ampere RAS feature set.
+    A100,
+    /// NVIDIA H100 (Hopper, HBM3, in GH200 superchips): full feature set.
+    H100,
+}
+
+/// Static capability table per architecture (Section 2.3, Figure 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArchCaps {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Uncorrectable-error containment (terminate affected processes
+    /// instead of failing the GPU). A100/H100 only.
+    pub error_containment: bool,
+    /// Dynamic page offlining without a GPU reset. A100/H100 only.
+    pub dynamic_page_offlining: bool,
+    /// Row remappings available per memory bank (Ampere/Hopper support up
+    /// to 512 device-wide; pre-Ampere parts supported 64 page retirements).
+    pub spare_rows_per_bank: u16,
+    /// Number of HBM/DRAM banks modeled.
+    pub banks: u16,
+    /// NVLink links per GPU (0 = only bridge pairs / PCIe).
+    pub nvlink_links: u8,
+    /// Whether the driver runs on the GSP co-processor (all three do in
+    /// the deployed driver generation).
+    pub has_gsp: bool,
+}
+
+impl GpuArch {
+    pub const ALL: [GpuArch; 3] = [GpuArch::A40, GpuArch::A100, GpuArch::H100];
+
+    /// Capability table lookup.
+    pub const fn caps(self) -> ArchCaps {
+        match self {
+            GpuArch::A40 => ArchCaps {
+                name: "A40",
+                error_containment: false,
+                dynamic_page_offlining: false,
+                spare_rows_per_bank: 8,
+                banks: 24,
+                nvlink_links: 1,
+                has_gsp: true,
+            },
+            GpuArch::A100 => ArchCaps {
+                name: "A100",
+                error_containment: true,
+                dynamic_page_offlining: true,
+                spare_rows_per_bank: 8,
+                banks: 64,
+                nvlink_links: 12,
+                has_gsp: true,
+            },
+            GpuArch::H100 => ArchCaps {
+                name: "H100",
+                error_containment: true,
+                dynamic_page_offlining: true,
+                spare_rows_per_bank: 8,
+                banks: 80,
+                nvlink_links: 18,
+                has_gsp: true,
+            },
+        }
+    }
+
+    /// Whether this is an Ampere-generation part (the Table 1 population).
+    pub const fn is_ampere(self) -> bool {
+        matches!(self, GpuArch::A40 | GpuArch::A100)
+    }
+}
+
+impl fmt::Display for GpuArch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.caps().name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a40_lacks_containment_and_offlining() {
+        let caps = GpuArch::A40.caps();
+        assert!(!caps.error_containment);
+        assert!(!caps.dynamic_page_offlining);
+    }
+
+    #[test]
+    fn a100_h100_have_full_ras() {
+        for arch in [GpuArch::A100, GpuArch::H100] {
+            let caps = arch.caps();
+            assert!(caps.error_containment, "{arch}");
+            assert!(caps.dynamic_page_offlining, "{arch}");
+            assert!(caps.spare_rows_per_bank > 0);
+        }
+    }
+
+    #[test]
+    fn ampere_classification() {
+        assert!(GpuArch::A40.is_ampere());
+        assert!(GpuArch::A100.is_ampere());
+        assert!(!GpuArch::H100.is_ampere());
+    }
+
+    #[test]
+    fn hopper_has_more_links() {
+        assert!(GpuArch::H100.caps().nvlink_links > GpuArch::A100.caps().nvlink_links);
+    }
+}

@@ -1,0 +1,705 @@
+//! The composite GPU device: components + health + fault response.
+//!
+//! [`Gpu::inject`] is the single entry point the fault campaign drives:
+//! given a primary fault, the device walks its component state machines,
+//! returns the XID emissions (with intra-GPU propagation delays — the edge
+//! weights of Figures 5 and 7) and the consequence for GPU health and for
+//! the jobs running on it.
+
+use crate::arch::GpuArch;
+use crate::gsp::Gsp;
+use crate::memory::{DbeOutcome, MemoryRas};
+use crate::mmu::{Mmu, MmuFaultCause};
+use crate::nvlink::NvLinkSet;
+use crate::pmu::Pmu;
+use dr_xid::{Duration, ErrorDetail, GpuId, Xid};
+use rand::Rng;
+
+/// Probability and timing knobs for the RAS machinery, calibrated from the
+/// paper's propagation graphs (Figures 5–7). All probabilities are
+/// conditional branch weights of the corresponding state machine.
+#[derive(Clone, Copy, Debug)]
+pub struct RasTuning {
+    /// P(containment succeeds | RRF) — Figure 7: 0.43.
+    pub p_contained_after_rrf: f64,
+    /// P(GPU error state | RRF) — Figure 7: 0.46. Remainder is latent.
+    pub p_error_state_after_rrf: f64,
+    /// P(GSP timeout cascades into a PMU SPI error) — Figure 5: 0.01
+    /// (the other 0.99 leaves the GPU inoperable / repeats).
+    pub p_gsp_cascade_pmu: f64,
+    /// P(PMU SPI error propagates to an MMU error) — Figure 5: 0.82.
+    pub p_pmu_to_mmu: f64,
+    /// P(an NVLink error leaves this GPU in an error state) — Fig. 6: 0.20.
+    pub p_nvlink_error_state: f64,
+    /// P(an NVLink error spreads to peer GPUs on the node) — Fig. 6: 0.14.
+    pub p_nvlink_spread: f64,
+    /// Mean intra-GPU propagation delays in seconds (Exp-distributed).
+    pub dbe_to_remap_s: f64,
+    pub rrf_to_containment_s: f64,
+    pub gsp_to_pmu_s: f64,
+    pub pmu_to_mmu_s: f64,
+    /// CRC errors one NVLink link tolerates before going down.
+    pub nvlink_down_threshold: u32,
+}
+
+impl Default for RasTuning {
+    fn default() -> Self {
+        RasTuning {
+            p_contained_after_rrf: 0.43,
+            p_error_state_after_rrf: 0.46,
+            p_gsp_cascade_pmu: 0.01,
+            p_pmu_to_mmu: 0.82,
+            p_nvlink_error_state: 0.20,
+            p_nvlink_spread: 0.14,
+            dbe_to_remap_s: 0.12,
+            rrf_to_containment_s: 0.15,
+            gsp_to_pmu_s: 2.4,
+            pmu_to_mmu_s: 0.9,
+            nvlink_down_threshold: 100,
+        }
+    }
+}
+
+/// A primary fault delivered to the device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Uncorrectable double-bit memory error at (bank, row).
+    MemoryDbe { bank: u16, row: u32 },
+    /// Corrected single-bit error at (bank, row) — not logged, but two at
+    /// one address trigger a proactive remap on A100/H100.
+    MemorySbe { bank: u16, row: u32 },
+    /// Failure of the uncorrectable-error containment machinery itself
+    /// (multiple SBEs overwhelming it): manifests as an uncontained
+    /// memory error (XID 95) with no preceding DBE.
+    UncontainedEcc { partition: u16, slice: u32 },
+    /// CRC error on NVLink `link`.
+    NvlinkCrc { link: u8 },
+    /// GSP stops answering RPC `function`.
+    GspHang { function: u32 },
+    /// SPI read from the PMU fails at `addr`.
+    PmuSpi { addr: u32 },
+    /// An MMU fault (hardware- or application-induced).
+    MmuFault { app_induced: bool },
+    /// GPU drops off the PCI-E/SXM bus.
+    BusDrop,
+}
+
+/// What the fault did to this GPU / its jobs, beyond the logged errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Consequence {
+    /// Nothing beyond the log entries (error masked or latent).
+    Masked,
+    /// Processes touching the faulty resource were terminated
+    /// (successful error containment).
+    KilledAffectedProcesses,
+    /// The GPU is in an error state: jobs on it fail; reset required.
+    GpuErrorState,
+    /// The GPU is gone (bus drop / GSP hang): node-level recovery needed.
+    GpuLost,
+    /// Like `Masked`, but peers on the node should receive a propagated
+    /// NVLink fault (inter-GPU spread, Figure 6).
+    SpreadToPeers,
+}
+
+/// One XID the device wants logged, `delay` after the primary fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Emission {
+    pub delay: Duration,
+    pub xid: Xid,
+    pub detail: ErrorDetail,
+}
+
+/// Result of injecting one fault.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InjectResult {
+    pub emissions: Vec<Emission>,
+    pub consequence: Consequence,
+}
+
+/// GPU health.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Health {
+    /// Fully operational.
+    Ok,
+    /// In an error state caused by `cause`; jobs fail; reset pending.
+    ErrorState { cause: Xid },
+    /// Unreachable (off the bus or control plane hung); node action needed.
+    Lost { cause: Xid },
+}
+
+impl Health {
+    pub fn is_ok(self) -> bool {
+        matches!(self, Health::Ok)
+    }
+    pub fn needs_reset(self) -> bool {
+        !self.is_ok()
+    }
+}
+
+/// The composite device.
+#[derive(Clone, Debug)]
+pub struct Gpu {
+    id: GpuId,
+    arch: GpuArch,
+    tuning: RasTuning,
+    health: Health,
+    pub memory: MemoryRas,
+    pub nvlink: NvLinkSet,
+    pub gsp: Gsp,
+    pub pmu: Pmu,
+    pub mmu: Mmu,
+    resets: u64,
+}
+
+impl Gpu {
+    /// A healthy GPU with full spare inventory.
+    pub fn new(id: GpuId, arch: GpuArch, tuning: RasTuning) -> Self {
+        let caps = arch.caps();
+        Gpu {
+            id,
+            arch,
+            tuning,
+            health: Health::Ok,
+            memory: MemoryRas::new(arch),
+            nvlink: NvLinkSet::new(caps.nvlink_links, tuning.nvlink_down_threshold),
+            gsp: Gsp::new(),
+            pmu: Pmu::new(),
+            mmu: Mmu::new(),
+            resets: 0,
+        }
+    }
+
+    /// A defective GPU whose memory spares are (nearly) exhausted — the
+    /// small population that dominates DBE/RRF counts in the field data.
+    pub fn defective(id: GpuId, arch: GpuArch, tuning: RasTuning, spares_per_bank: u16) -> Self {
+        Gpu {
+            memory: MemoryRas::with_spares(arch, spares_per_bank),
+            ..Gpu::new(id, arch, tuning)
+        }
+    }
+
+    pub fn id(&self) -> GpuId {
+        self.id
+    }
+    pub fn arch(&self) -> GpuArch {
+        self.arch
+    }
+    pub fn health(&self) -> Health {
+        self.health
+    }
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+    pub fn tuning(&self) -> &RasTuning {
+        &self.tuning
+    }
+
+    /// Reset the GPU (or reboot the node it is in): clears health, retrains
+    /// NVLinks, reloads GSP firmware, re-inits the PMU link. Consumed
+    /// memory spares and offlined pages persist — damage is physical.
+    pub fn reset(&mut self) {
+        self.health = Health::Ok;
+        self.nvlink.reset();
+        self.gsp.reset();
+        self.pmu.reset();
+        self.resets += 1;
+    }
+
+    fn exp_delay<R: Rng + ?Sized>(rng: &mut R, mean_s: f64) -> Duration {
+        let u: f64 = rng.gen();
+        Duration::from_secs_f64(-(1.0 - u).ln() * mean_s)
+    }
+
+    fn degrade(&mut self, to: Health) {
+        // Lost dominates ErrorState; never upgrade health via a fault.
+        let rank = |h: Health| match h {
+            Health::Ok => 0,
+            Health::ErrorState { .. } => 1,
+            Health::Lost { .. } => 2,
+        };
+        if rank(to) > rank(self.health) {
+            self.health = to;
+        }
+    }
+
+    /// Deliver a primary fault. Returns the XIDs to log and the
+    /// consequence; updates component state and GPU health.
+    pub fn inject<R: Rng + ?Sized>(&mut self, fault: Fault, rng: &mut R) -> InjectResult {
+        match fault {
+            Fault::MemorySbe { bank, row } => self.inject_sbe(bank, row, rng),
+            Fault::MemoryDbe { bank, row } => self.inject_dbe(bank, row, rng),
+            Fault::UncontainedEcc { partition, slice } => {
+                self.degrade(Health::ErrorState {
+                    cause: Xid::UncontainedEcc,
+                });
+                InjectResult {
+                    emissions: vec![Emission {
+                        delay: Duration::ZERO,
+                        xid: Xid::UncontainedEcc,
+                        detail: ErrorDetail::new(partition, slice),
+                    }],
+                    consequence: Consequence::GpuErrorState,
+                }
+            }
+            Fault::NvlinkCrc { link } => self.inject_nvlink(link, rng),
+            Fault::GspHang { function } => self.inject_gsp(function, rng),
+            Fault::PmuSpi { addr } => self.inject_pmu(addr, rng),
+            Fault::MmuFault { app_induced } => {
+                let cause = if app_induced {
+                    MmuFaultCause::Application
+                } else {
+                    MmuFaultCause::Hardware
+                };
+                let engine = self.mmu.fault(cause);
+                InjectResult {
+                    emissions: vec![Emission {
+                        delay: Duration::ZERO,
+                        xid: Xid::MmuError,
+                        detail: ErrorDetail::new(engine, rng.gen::<u32>() >> 8),
+                    }],
+                    consequence: Consequence::Masked,
+                }
+            }
+            Fault::BusDrop => {
+                self.degrade(Health::Lost {
+                    cause: Xid::FallenOffBus,
+                });
+                InjectResult {
+                    emissions: vec![Emission {
+                        delay: Duration::ZERO,
+                        xid: Xid::FallenOffBus,
+                        detail: ErrorDetail::NONE,
+                    }],
+                    consequence: Consequence::GpuLost,
+                }
+            }
+        }
+    }
+
+    fn inject_sbe<R: Rng + ?Sized>(&mut self, bank: u16, row: u32, rng: &mut R) -> InjectResult {
+        if self.memory.correct_sbe(bank, row) {
+            // Second SBE at the same address: proactive remap attempt.
+            let mut res = self.inject_dbe(bank, row, rng);
+            // The proactive path logs only the remap result, not a DBE.
+            res.emissions.retain(|e| e.xid != Xid::DoubleBitEcc);
+            res
+        } else {
+            InjectResult {
+                emissions: Vec::new(),
+                consequence: Consequence::Masked,
+            }
+        }
+    }
+
+    fn inject_dbe<R: Rng + ?Sized>(&mut self, bank: u16, row: u32, rng: &mut R) -> InjectResult {
+        let t = self.tuning;
+        let mut emissions = vec![Emission {
+            delay: Duration::ZERO,
+            xid: Xid::DoubleBitEcc,
+            detail: ErrorDetail::new(bank, row),
+        }];
+        let roll: f64 = rng.gen();
+        let outcome = self.memory.handle_dbe(
+            bank,
+            row,
+            roll,
+            t.p_contained_after_rrf,
+            t.p_error_state_after_rrf,
+        );
+        let remap_delay = Self::exp_delay(rng, t.dbe_to_remap_s);
+        match outcome {
+            DbeOutcome::Remapped => {
+                emissions.push(Emission {
+                    delay: remap_delay,
+                    xid: Xid::RowRemapEvent,
+                    detail: ErrorDetail::new(bank, row),
+                });
+                InjectResult {
+                    emissions,
+                    consequence: Consequence::Masked,
+                }
+            }
+            DbeOutcome::ContainedAfterRrf => {
+                emissions.push(Emission {
+                    delay: remap_delay,
+                    xid: Xid::RowRemapFailure,
+                    detail: ErrorDetail::new(bank, row),
+                });
+                emissions.push(Emission {
+                    delay: remap_delay + Self::exp_delay(rng, t.rrf_to_containment_s),
+                    xid: Xid::ContainedEcc,
+                    detail: ErrorDetail::new(bank, 0),
+                });
+                InjectResult {
+                    emissions,
+                    consequence: Consequence::KilledAffectedProcesses,
+                }
+            }
+            DbeOutcome::FailedAfterRrf => {
+                emissions.push(Emission {
+                    delay: remap_delay,
+                    xid: Xid::RowRemapFailure,
+                    detail: ErrorDetail::new(bank, row),
+                });
+                self.degrade(Health::ErrorState {
+                    cause: Xid::RowRemapFailure,
+                });
+                InjectResult {
+                    emissions,
+                    consequence: Consequence::GpuErrorState,
+                }
+            }
+            DbeOutcome::LatentAfterRrf => {
+                emissions.push(Emission {
+                    delay: remap_delay,
+                    xid: Xid::RowRemapFailure,
+                    detail: ErrorDetail::new(bank, row),
+                });
+                InjectResult {
+                    emissions,
+                    consequence: Consequence::Masked,
+                }
+            }
+        }
+    }
+
+    fn inject_nvlink<R: Rng + ?Sized>(&mut self, link: u8, rng: &mut R) -> InjectResult {
+        let t = self.tuning;
+        let masked = self.nvlink.crc_error(link);
+        let emissions = vec![Emission {
+            delay: Duration::ZERO,
+            xid: Xid::NvlinkError,
+            detail: ErrorDetail::new(link as u16, 0x10000 + link as u32),
+        }];
+        // Figure 6 branch weights: error state 0.20, spread 0.14, else the
+        // replay masked it (possibly repeating — repetition is scheduled by
+        // the campaign as a follow-up fault).
+        let roll: f64 = rng.gen();
+        let consequence = if !masked || roll < t.p_nvlink_error_state {
+            self.degrade(Health::ErrorState {
+                cause: Xid::NvlinkError,
+            });
+            Consequence::GpuErrorState
+        } else if roll < t.p_nvlink_error_state + t.p_nvlink_spread {
+            Consequence::SpreadToPeers
+        } else {
+            Consequence::Masked
+        };
+        InjectResult {
+            emissions,
+            consequence,
+        }
+    }
+
+    fn inject_gsp<R: Rng + ?Sized>(&mut self, function: u32, rng: &mut R) -> InjectResult {
+        let t = self.tuning;
+        self.gsp.rpc_timeout(function);
+        let mut emissions = vec![Emission {
+            delay: Duration::ZERO,
+            xid: Xid::GspRpcTimeout,
+            detail: ErrorDetail::new(0, function),
+        }];
+        // 0.99: control plane stalls, GPU lost. 0.01: cascades into the
+        // PMU SPI path first (Figure 1 / Figure 5).
+        if rng.gen::<f64>() < t.p_gsp_cascade_pmu {
+            let spi_delay = Self::exp_delay(rng, t.gsp_to_pmu_s);
+            let addr: u32 = rng.gen::<u32>() & 0xffff;
+            self.pmu.spi_failure();
+            emissions.push(Emission {
+                delay: spi_delay,
+                xid: Xid::PmuSpiError,
+                detail: ErrorDetail::new(0, addr),
+            });
+            if rng.gen::<f64>() < t.p_pmu_to_mmu {
+                let engine = self.mmu.fault(MmuFaultCause::Hardware);
+                emissions.push(Emission {
+                    delay: spi_delay + Self::exp_delay(rng, t.pmu_to_mmu_s),
+                    xid: Xid::MmuError,
+                    detail: ErrorDetail::new(engine, rng.gen::<u32>() >> 8),
+                });
+            }
+        }
+        self.degrade(Health::Lost {
+            cause: Xid::GspRpcTimeout,
+        });
+        InjectResult {
+            emissions,
+            consequence: Consequence::GpuLost,
+        }
+    }
+
+    fn inject_pmu<R: Rng + ?Sized>(&mut self, addr: u32, rng: &mut R) -> InjectResult {
+        let t = self.tuning;
+        self.pmu.spi_failure();
+        let mut emissions = vec![Emission {
+            delay: Duration::ZERO,
+            xid: Xid::PmuSpiError,
+            detail: ErrorDetail::new(0, addr),
+        }];
+        // Figure 5: PMU SPI -> MMU with p = 0.82 (job-killing); the other
+        // 0.18 repeats as another SPI failure in close succession.
+        if rng.gen::<f64>() < t.p_pmu_to_mmu {
+            let engine = self.mmu.fault(MmuFaultCause::Hardware);
+            emissions.push(Emission {
+                delay: Self::exp_delay(rng, t.pmu_to_mmu_s),
+                xid: Xid::MmuError,
+                detail: ErrorDetail::new(engine, rng.gen::<u32>() >> 8),
+            });
+            InjectResult {
+                emissions,
+                consequence: Consequence::GpuErrorState,
+            }
+        } else {
+            // Figure 5's 0.18 self-edge: the SPI failure repeats as a new,
+            // separately-logged error shortly after. The campaign models
+            // the repeat as a follow-up fault so every occurrence rolls
+            // the 0.82 MMU branch independently.
+            InjectResult {
+                emissions,
+                consequence: Consequence::Masked,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_xid::NodeId;
+    use rand::prelude::*;
+    
+
+    fn gpu(arch: GpuArch) -> Gpu {
+        Gpu::new(GpuId::at_slot(NodeId(1), 0), arch, RasTuning::default())
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn bus_drop_loses_gpu() {
+        let mut g = gpu(GpuArch::A100);
+        let r = g.inject(Fault::BusDrop, &mut rng());
+        assert_eq!(r.consequence, Consequence::GpuLost);
+        assert_eq!(r.emissions.len(), 1);
+        assert_eq!(r.emissions[0].xid, Xid::FallenOffBus);
+        assert!(g.health().needs_reset());
+        g.reset();
+        assert!(g.health().is_ok());
+        assert_eq!(g.resets(), 1);
+    }
+
+    #[test]
+    fn gsp_hang_always_loses_gpu_and_sometimes_cascades() {
+        let mut r = rng();
+        let mut cascades = 0;
+        let mut total_mmu = 0;
+        for _ in 0..2_000 {
+            let mut g = gpu(GpuArch::A100);
+            let res = g.inject(Fault::GspHang { function: 76 }, &mut r);
+            assert_eq!(res.consequence, Consequence::GpuLost);
+            assert_eq!(res.emissions[0].xid, Xid::GspRpcTimeout);
+            assert_eq!(g.health(), Health::Lost { cause: Xid::GspRpcTimeout });
+            if res.emissions.iter().any(|e| e.xid == Xid::PmuSpiError) {
+                cascades += 1;
+            }
+            total_mmu += res.emissions.iter().filter(|e| e.xid == Xid::MmuError).count();
+        }
+        // ~1% cascade rate.
+        assert!((5..=60).contains(&cascades), "cascades {cascades}");
+        assert!(total_mmu <= cascades);
+    }
+
+    #[test]
+    fn pmu_mostly_propagates_to_mmu() {
+        let mut r = rng();
+        let mut to_mmu = 0;
+        for _ in 0..2_000 {
+            let mut g = gpu(GpuArch::A100);
+            let res = g.inject(Fault::PmuSpi { addr: 0x40 }, &mut r);
+            assert_eq!(res.emissions[0].xid, Xid::PmuSpiError);
+            let has_mmu = res.emissions.iter().any(|e| e.xid == Xid::MmuError);
+            if has_mmu {
+                to_mmu += 1;
+                assert_eq!(res.consequence, Consequence::GpuErrorState);
+                // MMU emission comes after the SPI error.
+                assert!(res.emissions.last().unwrap().delay >= Duration::ZERO);
+            } else {
+                // No MMU: the repeat is scheduled by the campaign as a
+                // follow-up fault, so only the SPI line itself is emitted.
+                assert_eq!(res.emissions.len(), 1);
+                assert_eq!(res.consequence, Consequence::Masked);
+            }
+        }
+        let frac = to_mmu as f64 / 2_000.0;
+        assert!((frac - 0.82).abs() < 0.04, "PMU->MMU fraction {frac}");
+    }
+
+    #[test]
+    fn dbe_remaps_while_spares_last() {
+        let mut g = gpu(GpuArch::A100);
+        let res = g.inject(Fault::MemoryDbe { bank: 0, row: 7 }, &mut rng());
+        assert_eq!(res.consequence, Consequence::Masked);
+        let xids: Vec<Xid> = res.emissions.iter().map(|e| e.xid).collect();
+        assert_eq!(xids, vec![Xid::DoubleBitEcc, Xid::RowRemapEvent]);
+        assert!(g.health().is_ok());
+        assert_eq!(g.memory.remap_events(), 1);
+    }
+
+    #[test]
+    fn exhausted_spares_branch_per_figure7() {
+        let mut r = rng();
+        let (mut contained, mut failed, mut latent) = (0, 0, 0);
+        for _ in 0..3_000 {
+            let mut g = Gpu::defective(
+                GpuId::at_slot(NodeId(2), 1),
+                GpuArch::A100,
+                RasTuning::default(),
+                0,
+            );
+            let res = g.inject(Fault::MemoryDbe { bank: 1, row: 3 }, &mut r);
+            let xids: Vec<Xid> = res.emissions.iter().map(|e| e.xid).collect();
+            assert!(xids.contains(&Xid::RowRemapFailure));
+            match res.consequence {
+                Consequence::KilledAffectedProcesses => {
+                    contained += 1;
+                    assert!(xids.contains(&Xid::ContainedEcc));
+                    assert!(g.health().is_ok());
+                }
+                Consequence::GpuErrorState => {
+                    failed += 1;
+                    assert!(g.health().needs_reset());
+                }
+                Consequence::Masked => latent += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let n = 3_000.0;
+        assert!((contained as f64 / n - 0.43).abs() < 0.04);
+        assert!((failed as f64 / n - 0.46).abs() < 0.04);
+        assert!((latent as f64 / n - 0.11).abs() < 0.03);
+    }
+
+    #[test]
+    fn a40_dbe_with_no_spares_fails_gpu() {
+        let mut g = Gpu::defective(
+            GpuId::at_slot(NodeId(3), 0),
+            GpuArch::A40,
+            RasTuning::default(),
+            0,
+        );
+        let res = g.inject(Fault::MemoryDbe { bank: 0, row: 1 }, &mut rng());
+        assert_eq!(res.consequence, Consequence::GpuErrorState);
+        assert!(!res.emissions.iter().any(|e| e.xid == Xid::ContainedEcc));
+    }
+
+    #[test]
+    fn nvlink_branches_match_figure6() {
+        let mut r = rng();
+        let (mut masked, mut spread, mut error_state) = (0, 0, 0);
+        for _ in 0..5_000 {
+            let mut g = gpu(GpuArch::A100);
+            let res = g.inject(Fault::NvlinkCrc { link: 3 }, &mut r);
+            assert_eq!(res.emissions[0].xid, Xid::NvlinkError);
+            match res.consequence {
+                Consequence::Masked => masked += 1,
+                Consequence::SpreadToPeers => spread += 1,
+                Consequence::GpuErrorState => error_state += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let n = 5_000.0;
+        assert!((error_state as f64 / n - 0.20).abs() < 0.02);
+        assert!((spread as f64 / n - 0.14).abs() < 0.02);
+        assert!((masked as f64 / n - 0.66).abs() < 0.03);
+    }
+
+    #[test]
+    fn nvlink_threshold_forces_error_state() {
+        let mut g = gpu(GpuArch::A100);
+        let mut r = rng();
+        // Hammer one link past its threshold: must end in error state.
+        for _ in 0..=g.tuning().nvlink_down_threshold {
+            g.inject(Fault::NvlinkCrc { link: 0 }, &mut r);
+        }
+        assert!(g.nvlink.any_down());
+        assert!(g.health().needs_reset());
+    }
+
+    #[test]
+    fn sbe_is_silent_until_second_hit() {
+        let mut g = gpu(GpuArch::A100);
+        let mut r = rng();
+        let res = g.inject(Fault::MemorySbe { bank: 2, row: 9 }, &mut r);
+        assert!(res.emissions.is_empty());
+        let res = g.inject(Fault::MemorySbe { bank: 2, row: 9 }, &mut r);
+        // Proactive remap: RRE logged, no DBE line.
+        let xids: Vec<Xid> = res.emissions.iter().map(|e| e.xid).collect();
+        assert_eq!(xids, vec![Xid::RowRemapEvent]);
+    }
+
+    #[test]
+    fn uncontained_ecc_is_error_state() {
+        let mut g = gpu(GpuArch::A100);
+        let res = g.inject(
+            Fault::UncontainedEcc {
+                partition: 2,
+                slice: 0,
+            },
+            &mut rng(),
+        );
+        assert_eq!(res.consequence, Consequence::GpuErrorState);
+        assert_eq!(res.emissions[0].xid, Xid::UncontainedEcc);
+        assert_eq!(g.health(), Health::ErrorState { cause: Xid::UncontainedEcc });
+    }
+
+    #[test]
+    fn health_never_upgrades_from_fault() {
+        let mut g = gpu(GpuArch::A100);
+        let mut r = rng();
+        g.inject(Fault::GspHang { function: 1 }, &mut r);
+        let lost = g.health();
+        // A subsequent lesser fault must not improve health.
+        g.inject(
+            Fault::UncontainedEcc {
+                partition: 0,
+                slice: 0,
+            },
+            &mut r,
+        );
+        assert_eq!(g.health(), lost);
+    }
+
+    #[test]
+    fn reset_preserves_memory_damage() {
+        let mut g = Gpu::defective(
+            GpuId::at_slot(NodeId(4), 0),
+            GpuArch::A100,
+            RasTuning::default(),
+            1,
+        );
+        let mut r = rng();
+        g.inject(Fault::MemoryDbe { bank: 0, row: 1 }, &mut r);
+        assert_eq!(g.memory.spares_left(0), Some(0));
+        g.reset();
+        // Spares stay consumed after reset: physical damage persists.
+        assert_eq!(g.memory.spares_left(0), Some(0));
+    }
+
+    #[test]
+    fn emission_delays_are_ordered_for_chains() {
+        let mut r = rng();
+        // Find a cascading GSP injection and check delay monotonicity.
+        for _ in 0..5_000 {
+            let mut g = gpu(GpuArch::A100);
+            let res = g.inject(Fault::GspHang { function: 9 }, &mut r);
+            if res.emissions.len() == 3 {
+                assert!(res.emissions[0].delay <= res.emissions[1].delay);
+                assert!(res.emissions[1].delay <= res.emissions[2].delay);
+                return;
+            }
+        }
+        panic!("no full GSP->PMU->MMU cascade in 5000 draws");
+    }
+}

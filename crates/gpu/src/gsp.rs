@@ -1,0 +1,94 @@
+//! GSP (GPU System Processor) model.
+//!
+//! The GSP is a RISC-V co-processor that runs much of the driver on-die
+//! for latency. The paper identifies it as the single most vulnerable GPU
+//! hardware component: an RPC timeout (XID 119) stalls GPU control
+//! functions, over 99 % of occurrences leave the GPU in an error state,
+//! and recovery requires a full node reboot (Figure 1: 23 node-hours).
+
+/// GSP responsiveness state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GspState {
+    /// Servicing driver RPCs normally.
+    Responsive,
+    /// Stopped responding to RPCs: GPU control plane is stalled.
+    Hung,
+}
+
+/// Per-GPU GSP state and counters.
+#[derive(Clone, Debug)]
+pub struct Gsp {
+    state: GspState,
+    /// RPC timeouts observed (XID 119 count).
+    timeouts: u64,
+    /// RPC function id most recently timed out (appears in the log line).
+    last_function: u32,
+}
+
+impl Default for Gsp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gsp {
+    pub fn new() -> Self {
+        Gsp {
+            state: GspState::Responsive,
+            timeouts: 0,
+            last_function: 0,
+        }
+    }
+
+    pub fn state(&self) -> GspState {
+        self.state
+    }
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+    pub fn last_function(&self) -> u32 {
+        self.last_function
+    }
+
+    /// Record an RPC timeout for driver function `function`. The GSP hangs:
+    /// control functions stall until the node is rebooted.
+    pub fn rpc_timeout(&mut self, function: u32) {
+        self.timeouts += 1;
+        self.last_function = function;
+        self.state = GspState::Hung;
+    }
+
+    /// Node reboot / GPU reset reloads the GSP firmware.
+    pub fn reset(&mut self) {
+        self.state = GspState::Responsive;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeout_hangs_until_reset() {
+        let mut g = Gsp::new();
+        assert_eq!(g.state(), GspState::Responsive);
+        g.rpc_timeout(76);
+        assert_eq!(g.state(), GspState::Hung);
+        assert_eq!(g.timeouts(), 1);
+        assert_eq!(g.last_function(), 76);
+        g.reset();
+        assert_eq!(g.state(), GspState::Responsive);
+        // Counter survives the reset (lifetime statistic).
+        assert_eq!(g.timeouts(), 1);
+    }
+
+    #[test]
+    fn repeated_timeouts_accumulate() {
+        let mut g = Gsp::new();
+        for f in [76, 76, 103] {
+            g.rpc_timeout(f);
+        }
+        assert_eq!(g.timeouts(), 3);
+        assert_eq!(g.last_function(), 103);
+    }
+}

@@ -1,0 +1,27 @@
+//! # dr-gpu — mechanistic GPU device model
+//!
+//! The paper's "system under study" is the RAS (reliability, availability,
+//! serviceability) machinery of NVIDIA Ampere/Hopper GPUs: ECC with row
+//! remapping and error containment in HBM (Figure 3), CRC-with-replay on
+//! NVLink, the GSP co-processor, the PMU and its SPI link, the MMU, and the
+//! host bus. Since that machinery is closed hardware, this crate implements
+//! it as explicit state machines so the fault campaign can exercise the
+//! exact recovery paths Figures 5–7 measure.
+//!
+//! Layering contract: this crate decides *state transitions and which XIDs
+//! fire* in response to a primary fault; the stochastic scheduling of
+//! primary faults, log-line bursts, and cross-GPU spread lives in
+//! `dr-faults`.
+
+pub mod arch;
+pub mod device;
+pub mod gsp;
+pub mod memory;
+pub mod mmu;
+pub mod nvlink;
+pub mod pmu;
+
+pub use arch::{ArchCaps, GpuArch};
+pub use device::{Emission, Fault, Gpu, Health, RasTuning};
+pub use memory::{DbeOutcome, MemoryRas};
+pub use nvlink::{LinkState, NvLinkSet};

@@ -1,0 +1,275 @@
+//! HBM/ECC memory RAS state machine (Figure 3 / Figure 7).
+//!
+//! The flow for an uncorrectable (double-bit) error:
+//!
+//! 1. **Row remapping** — if the bank has a spare row left, the faulty row
+//!    is remapped (XID 63, RRE) and the GPU stays operable (the remap takes
+//!    effect on the next reset). Ampere also remaps after two corrected
+//!    SBEs at the same address.
+//! 2. **Row-remapping failure** — spares exhausted (XID 64, RRF).
+//! 3. After an RRF, A100/H100 attempt **error containment**: on success the
+//!    affected processes are terminated and the page is dynamically
+//!    offlined (XID 94); if containment is not triggered the GPU enters an
+//!    inoperable error state. A40 has neither mechanism — an RRF fails the
+//!    GPU outright.
+//!
+//! Uncontained memory errors (XID 95) are modeled separately at the device
+//! level: the paper observed they arise from multiple SBEs rather than the
+//! DBE path (Section 4.4.3) and appear without preceding or succeeding
+//! errors.
+
+use crate::arch::GpuArch;
+use std::collections::HashMap;
+
+/// Result of pushing one double-bit error through the RAS flow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DbeOutcome {
+    /// Spare row consumed; RRE logged; GPU operable (reset pending).
+    Remapped,
+    /// Spares exhausted and containment succeeded: RRF + contained error;
+    /// affected processes killed; page offlined; GPU operable.
+    ContainedAfterRrf,
+    /// Spares exhausted and containment was not triggered: RRF logged and
+    /// the GPU is in an inoperable error state.
+    FailedAfterRrf,
+    /// Spares exhausted but neither containment nor failure manifested
+    /// (the ~11 % residue in Figure 7): RRF logged, GPU nominally operable.
+    LatentAfterRrf,
+}
+
+/// Per-GPU memory RAS state.
+#[derive(Clone, Debug)]
+pub struct MemoryRas {
+    arch: GpuArch,
+    /// Remaining spare rows per bank.
+    spares: Vec<u16>,
+    /// Corrected-SBE counts per (bank, row); two at the same address
+    /// trigger a remap on Ampere/Hopper.
+    sbe_counts: HashMap<(u16, u32), u32>,
+    /// Rows remapped so far (RRE count).
+    remap_events: u64,
+    /// Remap failures so far (RRF count).
+    remap_failures: u64,
+    /// Dynamically offlined pages.
+    offlined: Vec<(u16, u32)>,
+    /// Total corrected single-bit errors (not logged as XIDs).
+    sbe_corrected: u64,
+}
+
+impl MemoryRas {
+    /// Fresh memory with the architecture's full spare inventory.
+    pub fn new(arch: GpuArch) -> Self {
+        let caps = arch.caps();
+        MemoryRas {
+            arch,
+            spares: vec![caps.spare_rows_per_bank; caps.banks as usize],
+            sbe_counts: HashMap::new(),
+            remap_events: 0,
+            remap_failures: 0,
+            offlined: Vec::new(),
+            sbe_corrected: 0,
+        }
+    }
+
+    /// Memory with a reduced spare inventory — models a defective part
+    /// whose factory spares are (nearly) used up, the population that
+    /// produces the RRF cases in the field data.
+    pub fn with_spares(arch: GpuArch, spares_per_bank: u16) -> Self {
+        let caps = arch.caps();
+        MemoryRas {
+            spares: vec![spares_per_bank; caps.banks as usize],
+            ..MemoryRas::new(arch)
+        }
+    }
+
+    pub fn arch(&self) -> GpuArch {
+        self.arch
+    }
+    pub fn remap_events(&self) -> u64 {
+        self.remap_events
+    }
+    pub fn remap_failures(&self) -> u64 {
+        self.remap_failures
+    }
+    pub fn offlined_pages(&self) -> &[(u16, u32)] {
+        &self.offlined
+    }
+    pub fn sbe_corrected(&self) -> u64 {
+        self.sbe_corrected
+    }
+
+    /// Remaining spares in `bank` (None if the bank index is out of range).
+    pub fn spares_left(&self, bank: u16) -> Option<u16> {
+        self.spares.get(bank as usize).copied()
+    }
+
+    /// Handle a corrected single-bit error. Returns `true` if this was the
+    /// second SBE at the same address and triggered a row remap attempt
+    /// (the caller then records the RRE/RRF like for a DBE).
+    pub fn correct_sbe(&mut self, bank: u16, row: u32) -> bool {
+        self.sbe_corrected += 1;
+        let count = self.sbe_counts.entry((bank, row)).or_insert(0);
+        *count += 1;
+        if *count == 2 && self.arch.caps().dynamic_page_offlining {
+            // Two corrected errors at one address: proactive remap.
+            *count = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Attempt a row remap for `bank`/`row`: consumes a spare on success.
+    fn try_remap(&mut self, bank: u16) -> bool {
+        match self.spares.get_mut(bank as usize) {
+            Some(s) if *s > 0 => {
+                *s -= 1;
+                self.remap_events += 1;
+                true
+            }
+            _ => {
+                self.remap_failures += 1;
+                false
+            }
+        }
+    }
+
+    /// Push a double-bit error through the recovery flow (Figure 7).
+    ///
+    /// `containment_roll` is a pre-drawn uniform [0,1) sample deciding the
+    /// post-RRF branch (containment vs error state vs latent); probability
+    /// knobs live in [`crate::device::RasTuning`] and are applied by the
+    /// caller so this state machine stays deterministic.
+    pub fn handle_dbe(
+        &mut self,
+        bank: u16,
+        row: u32,
+        containment_roll: f64,
+        p_contained: f64,
+        p_error_state: f64,
+    ) -> DbeOutcome {
+        if self.try_remap(bank) {
+            return DbeOutcome::Remapped;
+        }
+        // Spares exhausted: RRF path.
+        if !self.arch.caps().error_containment {
+            // A40: no containment — RRF means the GPU failed.
+            return DbeOutcome::FailedAfterRrf;
+        }
+        if containment_roll < p_contained {
+            if self.arch.caps().dynamic_page_offlining {
+                self.offlined.push((bank, row));
+            }
+            DbeOutcome::ContainedAfterRrf
+        } else if containment_roll < p_contained + p_error_state {
+            DbeOutcome::FailedAfterRrf
+        } else {
+            DbeOutcome::LatentAfterRrf
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn remap_consumes_spares_then_fails() {
+        let mut m = MemoryRas::with_spares(GpuArch::A100, 2);
+        assert_eq!(m.spares_left(0), Some(2));
+        assert_eq!(m.handle_dbe(0, 1, 0.0, 0.43, 0.46), DbeOutcome::Remapped);
+        assert_eq!(m.handle_dbe(0, 2, 0.0, 0.43, 0.46), DbeOutcome::Remapped);
+        assert_eq!(m.spares_left(0), Some(0));
+        // Third DBE in the same bank: RRF, containment roll 0.0 -> contained.
+        assert_eq!(
+            m.handle_dbe(0, 3, 0.0, 0.43, 0.46),
+            DbeOutcome::ContainedAfterRrf
+        );
+        assert_eq!(m.remap_events(), 2);
+        assert_eq!(m.remap_failures(), 1);
+        assert_eq!(m.offlined_pages(), &[(0, 3)]);
+    }
+
+    #[test]
+    fn rrf_branches_follow_roll() {
+        let mut m = MemoryRas::with_spares(GpuArch::A100, 0);
+        assert_eq!(
+            m.handle_dbe(0, 1, 0.42, 0.43, 0.46),
+            DbeOutcome::ContainedAfterRrf
+        );
+        assert_eq!(
+            m.handle_dbe(0, 2, 0.60, 0.43, 0.46),
+            DbeOutcome::FailedAfterRrf
+        );
+        assert_eq!(
+            m.handle_dbe(0, 3, 0.95, 0.43, 0.46),
+            DbeOutcome::LatentAfterRrf
+        );
+        assert_eq!(m.remap_failures(), 3);
+    }
+
+    #[test]
+    fn a40_rrf_fails_the_gpu() {
+        let mut m = MemoryRas::with_spares(GpuArch::A40, 0);
+        // Even a roll that would contain on A100 fails on A40.
+        assert_eq!(
+            m.handle_dbe(0, 1, 0.0, 0.43, 0.46),
+            DbeOutcome::FailedAfterRrf
+        );
+        assert!(m.offlined_pages().is_empty());
+    }
+
+    #[test]
+    fn banks_have_independent_spares() {
+        let mut m = MemoryRas::with_spares(GpuArch::A100, 1);
+        assert_eq!(m.handle_dbe(0, 1, 0.9, 0.43, 0.46), DbeOutcome::Remapped);
+        assert_eq!(m.handle_dbe(1, 1, 0.9, 0.43, 0.46), DbeOutcome::Remapped);
+        assert_eq!(
+            m.handle_dbe(0, 2, 0.99, 0.43, 0.46),
+            DbeOutcome::LatentAfterRrf
+        );
+    }
+
+    #[test]
+    fn out_of_range_bank_is_rrf() {
+        let mut m = MemoryRas::new(GpuArch::A100);
+        let banks = GpuArch::A100.caps().banks;
+        assert_ne!(
+            m.handle_dbe(banks + 5, 0, 0.0, 0.43, 0.46),
+            DbeOutcome::Remapped
+        );
+    }
+
+    #[test]
+    fn double_sbe_triggers_remap_on_ampere_hbm() {
+        let mut m = MemoryRas::new(GpuArch::A100);
+        assert!(!m.correct_sbe(3, 77));
+        assert!(m.correct_sbe(3, 77));
+        assert_eq!(m.sbe_corrected(), 2);
+        // Different addresses never trigger.
+        assert!(!m.correct_sbe(3, 78));
+        assert!(!m.correct_sbe(4, 77));
+    }
+
+    #[test]
+    fn a40_does_not_proactively_remap_on_sbe() {
+        let mut m = MemoryRas::new(GpuArch::A40);
+        assert!(!m.correct_sbe(0, 1));
+        assert!(!m.correct_sbe(0, 1));
+    }
+
+    proptest! {
+        /// RRE + RRF counts always equal the number of DBEs handled, and
+        /// spares never go negative (u16 underflow would panic).
+        #[test]
+        fn conservation(dbes in prop::collection::vec((0u16..24, 0u32..100, 0.0f64..1.0), 0..200),
+                        spares in 0u16..4) {
+            let mut m = MemoryRas::with_spares(GpuArch::A100, spares);
+            for &(bank, row, roll) in &dbes {
+                m.handle_dbe(bank, row, roll, 0.43, 0.46);
+            }
+            prop_assert_eq!(m.remap_events() + m.remap_failures(), dbes.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! MMU (Memory Management Unit) model.
+//!
+//! MMU faults (XID 31) are the second most frequent error in the study.
+//! They have two distinct causes that the job-impact analysis must keep
+//! apart (Section 5.3): **application-induced** faults (illegal accesses by
+//! buggy user code, maskable by framework-level exception handlers) and
+//! **hardware-induced** faults (e.g. downstream of a PMU SPI failure that
+//! broke MMU power management), which kill jobs far more reliably.
+
+/// Why an MMU fault fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MmuFaultCause {
+    /// Illegal memory access by user code.
+    Application,
+    /// Propagated from GPU hardware (PMU/SPI power-management failure,
+    /// driver bugs, ...).
+    Hardware,
+}
+
+/// Per-GPU MMU counters.
+#[derive(Clone, Debug, Default)]
+pub struct Mmu {
+    app_faults: u64,
+    hw_faults: u64,
+    /// Engine id round-robin used to vary the fault message detail.
+    next_engine: u16,
+}
+
+impl Mmu {
+    pub fn new() -> Self {
+        Mmu::default()
+    }
+
+    pub fn app_faults(&self) -> u64 {
+        self.app_faults
+    }
+    pub fn hw_faults(&self) -> u64 {
+        self.hw_faults
+    }
+    pub fn total_faults(&self) -> u64 {
+        self.app_faults + self.hw_faults
+    }
+
+    /// Record a fault; returns the GPC client engine id to put in the log
+    /// message (cycles through the graphics-pipe clients like real logs).
+    pub fn fault(&mut self, cause: MmuFaultCause) -> u16 {
+        match cause {
+            MmuFaultCause::Application => self.app_faults += 1,
+            MmuFaultCause::Hardware => self.hw_faults += 1,
+        }
+        let engine = self.next_engine;
+        self.next_engine = (self.next_engine + 1) % 8;
+        engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_by_cause() {
+        let mut m = Mmu::new();
+        m.fault(MmuFaultCause::Application);
+        m.fault(MmuFaultCause::Application);
+        m.fault(MmuFaultCause::Hardware);
+        assert_eq!(m.app_faults(), 2);
+        assert_eq!(m.hw_faults(), 1);
+        assert_eq!(m.total_faults(), 3);
+    }
+
+    #[test]
+    fn engine_ids_cycle() {
+        let mut m = Mmu::new();
+        let ids: Vec<u16> = (0..10).map(|_| m.fault(MmuFaultCause::Application)).collect();
+        assert_eq!(ids[..8], (0..8).collect::<Vec<u16>>()[..]);
+        assert_eq!(ids[8], 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! NVLink link-set model with CRC detection and replay.
+//!
+//! NVLink protects flits with CRCs; on a checksum error the link replays
+//! from the last known-good packet (Section 2.3.1). A CRC error is always
+//! *logged* (XID 74), but the replay usually masks it from applications —
+//! the mechanism behind the paper's observation that only 66 % of NVLink
+//! errors led to job failure. Repeated errors degrade and eventually down
+//! a link, requiring a GPU reset.
+
+/// State of one NVLink link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkState {
+    /// Healthy.
+    Up,
+    /// Seen CRC errors but still replaying successfully.
+    Degraded { crc_errors: u32 },
+    /// Too many errors: link is down until the GPU is reset.
+    Down,
+}
+
+/// All NVLink links of one GPU.
+#[derive(Clone, Debug)]
+pub struct NvLinkSet {
+    links: Vec<LinkState>,
+    /// CRC errors that crossed the "link down" threshold.
+    down_events: u64,
+    /// Total CRC errors observed (logged as XID 74).
+    crc_total: u64,
+    /// Successful replays (errors masked from the application).
+    replays: u64,
+    /// CRC errors a single link tolerates before going down.
+    down_threshold: u32,
+}
+
+impl NvLinkSet {
+    /// A link set with `n` links and the given error tolerance per link.
+    pub fn new(n: u8, down_threshold: u32) -> Self {
+        assert!(down_threshold > 0);
+        NvLinkSet {
+            links: vec![LinkState::Up; n as usize],
+            down_events: 0,
+            crc_total: 0,
+            replays: 0,
+            down_threshold,
+        }
+    }
+
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+    pub fn crc_total(&self) -> u64 {
+        self.crc_total
+    }
+    pub fn replays(&self) -> u64 {
+        self.replays
+    }
+    pub fn down_events(&self) -> u64 {
+        self.down_events
+    }
+
+    pub fn state(&self, link: u8) -> Option<LinkState> {
+        self.links.get(link as usize).copied()
+    }
+
+    /// Whether any link is down (the GPU needs a reset to clear it).
+    pub fn any_down(&self) -> bool {
+        self.links.iter().any(|l| matches!(l, LinkState::Down))
+    }
+
+    /// Record a CRC error on `link`. Returns `true` if the replay masked
+    /// the error (link still usable), `false` if the link went down.
+    ///
+    /// Out-of-range link indices are clamped to the last link (defensive:
+    /// fault processes address links modulo the architecture's link count).
+    pub fn crc_error(&mut self, link: u8) -> bool {
+        self.crc_total += 1;
+        let idx = (link as usize).min(self.links.len().saturating_sub(1));
+        let Some(slot) = self.links.get_mut(idx) else {
+            return false;
+        };
+        match *slot {
+            LinkState::Up => {
+                if self.down_threshold <= 1 {
+                    *slot = LinkState::Down;
+                    self.down_events += 1;
+                    false
+                } else {
+                    *slot = LinkState::Degraded { crc_errors: 1 };
+                    self.replays += 1;
+                    true
+                }
+            }
+            LinkState::Degraded { crc_errors } => {
+                let next = crc_errors + 1;
+                if next >= self.down_threshold {
+                    *slot = LinkState::Down;
+                    self.down_events += 1;
+                    false
+                } else {
+                    *slot = LinkState::Degraded { crc_errors: next };
+                    self.replays += 1;
+                    true
+                }
+            }
+            LinkState::Down => {
+                // Errors on a dead link are not maskable.
+                false
+            }
+        }
+    }
+
+    /// GPU reset: all links retrain to Up.
+    pub fn reset(&mut self) {
+        for l in &mut self.links {
+            *l = LinkState::Up;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_masks_until_threshold() {
+        let mut s = NvLinkSet::new(12, 3);
+        assert!(s.crc_error(4));
+        assert!(s.crc_error(4));
+        assert_eq!(s.state(4), Some(LinkState::Degraded { crc_errors: 2 }));
+        // Third error crosses the threshold: link down.
+        assert!(!s.crc_error(4));
+        assert_eq!(s.state(4), Some(LinkState::Down));
+        assert!(s.any_down());
+        assert_eq!(s.replays(), 2);
+        assert_eq!(s.crc_total(), 3);
+        assert_eq!(s.down_events(), 1);
+    }
+
+    #[test]
+    fn links_are_independent() {
+        let mut s = NvLinkSet::new(2, 2);
+        assert!(s.crc_error(0));
+        assert!(s.crc_error(1));
+        assert_eq!(s.state(0), Some(LinkState::Degraded { crc_errors: 1 }));
+        assert_eq!(s.state(1), Some(LinkState::Degraded { crc_errors: 1 }));
+        assert!(!s.any_down());
+    }
+
+    #[test]
+    fn errors_on_down_link_stay_visible() {
+        let mut s = NvLinkSet::new(1, 1);
+        assert!(!s.crc_error(0));
+        assert!(!s.crc_error(0));
+        assert_eq!(s.down_events(), 1);
+        assert_eq!(s.crc_total(), 2);
+    }
+
+    #[test]
+    fn reset_retrains_links() {
+        let mut s = NvLinkSet::new(3, 1);
+        s.crc_error(2);
+        assert!(s.any_down());
+        s.reset();
+        assert!(!s.any_down());
+        assert_eq!(s.state(2), Some(LinkState::Up));
+        // History counters survive the reset.
+        assert_eq!(s.crc_total(), 1);
+    }
+
+    #[test]
+    fn out_of_range_link_clamps() {
+        let mut s = NvLinkSet::new(2, 5);
+        assert!(s.crc_error(200));
+        assert_eq!(s.state(1), Some(LinkState::Degraded { crc_errors: 1 }));
+    }
+}

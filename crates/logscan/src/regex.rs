@@ -1,0 +1,1060 @@
+//! A self-contained regular-expression engine.
+//!
+//! Pipeline: pattern text → AST ([`parse`]) → NFA program ([`compile`]) →
+//! Pike VM execution ([`Regex::find`]). The VM simulates all NFA threads in
+//! lock-step with priority ordering, giving leftmost-greedy semantics in
+//! guaranteed `O(pattern × input)` time — no backtracking blow-ups on
+//! hostile log content.
+//!
+//! Matching operates on bytes; patterns and inputs are expected to be
+//! ASCII (true of syslog).
+
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Pattern compilation error with byte offset into the pattern.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegexError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+fn err<T>(offset: usize, message: impl Into<String>) -> Result<T, RegexError> {
+    Err(RegexError {
+        offset,
+        message: message.into(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------------
+
+/// Character class: a set of inclusive byte ranges, possibly negated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct ClassSet {
+    negated: bool,
+    ranges: Vec<(u8, u8)>,
+}
+
+impl ClassSet {
+    fn matches(&self, b: u8) -> bool {
+        let inside = self.ranges.iter().any(|&(lo, hi)| lo <= b && b <= hi);
+        inside != self.negated
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Ast {
+    Empty,
+    Literal(u8),
+    Any,
+    Class(ClassSet),
+    Concat(Vec<Ast>),
+    Alternate(Vec<Ast>),
+    /// `Some(index)` for capturing groups (1-based), `None` for `(?:...)`.
+    Group(Box<Ast>, Option<u16>),
+    Repeat {
+        node: Box<Ast>,
+        min: u32,
+        max: Option<u32>,
+        /// Lazy (non-greedy) repetition: prefer the shortest match.
+        lazy: bool,
+    },
+    AnchorStart,
+    AnchorEnd,
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'p> {
+    pat: &'p [u8],
+    pos: usize,
+    next_group: u16,
+}
+
+impl<'p> Parser<'p> {
+    fn new(pat: &'p str) -> Self {
+        Parser {
+            pat: pat.as_bytes(),
+            pos: 0,
+            next_group: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.pat.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse(mut self) -> Result<(Ast, u16), RegexError> {
+        let ast = self.alternate()?;
+        if self.pos != self.pat.len() {
+            return err(self.pos, "unexpected ')'");
+        }
+        Ok((ast, self.next_group - 1))
+    }
+
+    fn alternate(&mut self) -> Result<Ast, RegexError> {
+        let mut branches = vec![self.concat()?];
+        while self.eat(b'|') {
+            branches.push(self.concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            Ast::Alternate(branches)
+        })
+    }
+
+    fn concat(&mut self) -> Result<Ast, RegexError> {
+        let mut items = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b'|' || b == b')' {
+                break;
+            }
+            items.push(self.repeat()?);
+        }
+        Ok(match items.len() {
+            0 => Ast::Empty,
+            1 => items.pop().expect("one item"),
+            _ => Ast::Concat(items),
+        })
+    }
+
+    fn repeat(&mut self) -> Result<Ast, RegexError> {
+        let atom_start = self.pos;
+        let atom = self.atom()?;
+        let (min, max) = match self.peek() {
+            Some(b'*') => {
+                self.pos += 1;
+                (0, None)
+            }
+            Some(b'+') => {
+                self.pos += 1;
+                (1, None)
+            }
+            Some(b'?') => {
+                self.pos += 1;
+                (0, Some(1))
+            }
+            Some(b'{') => {
+                // Only treat as a counted repeat if it looks like {m[,n]}.
+                if let Some((min, max, consumed)) = self.try_counted_repeat() {
+                    self.pos += consumed;
+                    (min, max)
+                } else {
+                    return Ok(atom);
+                }
+            }
+            _ => return Ok(atom),
+        };
+        // A trailing '?' makes the quantifier lazy (non-greedy).
+        let lazy = self.eat(b'?');
+        if matches!(atom, Ast::AnchorStart | Ast::AnchorEnd) {
+            return err(atom_start, "cannot repeat an anchor");
+        }
+        if let Some(mx) = max {
+            if mx < min {
+                return err(atom_start, "repeat max below min");
+            }
+        }
+        Ok(Ast::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+            lazy,
+        })
+    }
+
+    /// Parse `{m}`, `{m,}`, or `{m,n}` starting at the current `{`.
+    /// Returns `(min, max, bytes_consumed)` or `None` if it isn't a
+    /// well-formed counted repeat (then `{` is a literal).
+    fn try_counted_repeat(&self) -> Option<(u32, Option<u32>, usize)> {
+        let rest = &self.pat[self.pos..];
+        let close = rest.iter().position(|&b| b == b'}')?;
+        let inner = &rest[1..close];
+        let inner = std::str::from_utf8(inner).ok()?;
+        let (min_s, max_s) = match inner.split_once(',') {
+            None => (inner, None),
+            Some((a, b)) => (a, Some(b)),
+        };
+        let min: u32 = min_s.parse().ok()?;
+        let max = match max_s {
+            None => Some(min),
+            Some("") => None,
+            Some(s) => Some(s.parse().ok()?),
+        };
+        // Guard against pathological expansion sizes.
+        if min > 1_000 || max.is_some_and(|m| m > 1_000) {
+            return None;
+        }
+        Some((min, max, close + 1))
+    }
+
+    fn atom(&mut self) -> Result<Ast, RegexError> {
+        let start = self.pos;
+        match self.bump() {
+            None => err(start, "expected atom"),
+            Some(b'(') => {
+                let cap = if self.peek() == Some(b'?') {
+                    // Only (?: ... ) is supported.
+                    self.pos += 1;
+                    if !self.eat(b':') {
+                        return err(self.pos, "unsupported group flag (only (?:) )");
+                    }
+                    None
+                } else {
+                    let idx = self.next_group;
+                    if idx > 255 {
+                        return err(start, "too many capture groups");
+                    }
+                    self.next_group += 1;
+                    Some(idx)
+                };
+                let inner = self.alternate()?;
+                if !self.eat(b')') {
+                    return err(self.pos, "missing ')'");
+                }
+                Ok(Ast::Group(Box::new(inner), cap))
+            }
+            Some(b'[') => self.class(start),
+            Some(b'.') => Ok(Ast::Any),
+            Some(b'^') => Ok(Ast::AnchorStart),
+            Some(b'$') => Ok(Ast::AnchorEnd),
+            Some(b'\\') => self.escape(start),
+            Some(b @ (b'*' | b'+' | b'?')) => {
+                err(start, format!("dangling quantifier '{}'", b as char))
+            }
+            Some(b) => Ok(Ast::Literal(b)),
+        }
+    }
+
+    fn escape(&mut self, start: usize) -> Result<Ast, RegexError> {
+        match self.bump() {
+            None => err(start, "trailing backslash"),
+            Some(b'd') => Ok(Ast::Class(class_digit(false))),
+            Some(b'D') => Ok(Ast::Class(class_digit(true))),
+            Some(b'w') => Ok(Ast::Class(class_word(false))),
+            Some(b'W') => Ok(Ast::Class(class_word(true))),
+            Some(b's') => Ok(Ast::Class(class_space(false))),
+            Some(b'S') => Ok(Ast::Class(class_space(true))),
+            Some(b'n') => Ok(Ast::Literal(b'\n')),
+            Some(b't') => Ok(Ast::Literal(b'\t')),
+            Some(b'r') => Ok(Ast::Literal(b'\r')),
+            Some(b) if b.is_ascii_alphanumeric() => {
+                err(start, format!("unknown escape '\\{}'", b as char))
+            }
+            Some(b) => Ok(Ast::Literal(b)),
+        }
+    }
+
+    fn class(&mut self, start: usize) -> Result<Ast, RegexError> {
+        let negated = self.eat(b'^');
+        let mut ranges: Vec<(u8, u8)> = Vec::new();
+        // A ']' immediately after '[' (or '[^') is a literal.
+        if self.eat(b']') {
+            ranges.push((b']', b']'));
+        }
+        loop {
+            let lo = match self.bump() {
+                None => return err(start, "unterminated class"),
+                Some(b']') => break,
+                Some(b'\\') => match self.bump() {
+                    None => return err(start, "trailing backslash in class"),
+                    Some(b'd') => {
+                        ranges.extend_from_slice(&class_digit(false).ranges);
+                        continue;
+                    }
+                    Some(b'w') => {
+                        ranges.extend_from_slice(&class_word(false).ranges);
+                        continue;
+                    }
+                    Some(b's') => {
+                        ranges.extend_from_slice(&class_space(false).ranges);
+                        continue;
+                    }
+                    Some(b'n') => b'\n',
+                    Some(b't') => b'\t',
+                    Some(b) => b,
+                },
+                Some(b) => b,
+            };
+            // Range lo-hi, unless '-' is trailing (literal).
+            if self.peek() == Some(b'-') && self.pat.get(self.pos + 1) != Some(&b']') {
+                self.pos += 1; // consume '-'
+                let hi = match self.bump() {
+                    None => return err(start, "unterminated class range"),
+                    Some(b'\\') => match self.bump() {
+                        None => return err(start, "trailing backslash in class"),
+                        Some(b'n') => b'\n',
+                        Some(b't') => b'\t',
+                        Some(b) => b,
+                    },
+                    Some(b) => b,
+                };
+                if hi < lo {
+                    return err(start, "invalid class range (hi < lo)");
+                }
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        if ranges.is_empty() {
+            return err(start, "empty character class");
+        }
+        Ok(Ast::Class(ClassSet { negated, ranges }))
+    }
+}
+
+fn class_digit(negated: bool) -> ClassSet {
+    ClassSet {
+        negated,
+        ranges: vec![(b'0', b'9')],
+    }
+}
+
+fn class_word(negated: bool) -> ClassSet {
+    ClassSet {
+        negated,
+        ranges: vec![(b'0', b'9'), (b'A', b'Z'), (b'a', b'z'), (b'_', b'_')],
+    }
+}
+
+fn class_space(negated: bool) -> ClassSet {
+    ClassSet {
+        negated,
+        ranges: vec![
+            (b' ', b' '),
+            (b'\t', b'\t'),
+            (b'\n', b'\n'),
+            (b'\r', b'\r'),
+            (0x0b, 0x0c),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compiler: AST -> NFA program
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum Inst {
+    /// Match one byte exactly.
+    Byte(u8),
+    /// Match any byte except newline.
+    Any,
+    /// Match a byte in the indexed class.
+    Class(u32),
+    /// Try `a` first (higher priority), then `b`.
+    Split(u32, u32),
+    Jmp(u32),
+    /// Record the current input offset into capture slot `n`.
+    Save(u16),
+    AssertStart,
+    AssertEnd,
+    Match,
+}
+
+struct Program {
+    insts: Vec<Inst>,
+    classes: Vec<ClassSet>,
+    n_groups: u16,
+}
+
+struct Compiler {
+    insts: Vec<Inst>,
+    classes: Vec<ClassSet>,
+}
+
+impl Compiler {
+    fn push(&mut self, i: Inst) -> u32 {
+        self.insts.push(i);
+        (self.insts.len() - 1) as u32
+    }
+
+    fn here(&self) -> u32 {
+        self.insts.len() as u32
+    }
+
+    fn class_id(&mut self, c: ClassSet) -> u32 {
+        if let Some(idx) = self.classes.iter().position(|x| *x == c) {
+            idx as u32
+        } else {
+            self.classes.push(c);
+            (self.classes.len() - 1) as u32
+        }
+    }
+
+    fn compile(&mut self, ast: &Ast) {
+        match ast {
+            Ast::Empty => {}
+            Ast::Literal(b) => {
+                self.push(Inst::Byte(*b));
+            }
+            Ast::Any => {
+                self.push(Inst::Any);
+            }
+            Ast::Class(c) => {
+                let id = self.class_id(c.clone());
+                self.push(Inst::Class(id));
+            }
+            Ast::AnchorStart => {
+                self.push(Inst::AssertStart);
+            }
+            Ast::AnchorEnd => {
+                self.push(Inst::AssertEnd);
+            }
+            Ast::Concat(items) => {
+                for item in items {
+                    self.compile(item);
+                }
+            }
+            Ast::Group(inner, cap) => {
+                if let Some(idx) = cap {
+                    self.push(Inst::Save(idx * 2));
+                    self.compile(inner);
+                    self.push(Inst::Save(idx * 2 + 1));
+                } else {
+                    self.compile(inner);
+                }
+            }
+            Ast::Alternate(branches) => {
+                // Chain of splits; each branch jumps to the common end.
+                let mut jmp_ends = Vec::new();
+                for (i, branch) in branches.iter().enumerate() {
+                    if i + 1 < branches.len() {
+                        let split = self.push(Inst::Split(0, 0));
+                        let body = self.here();
+                        self.compile(branch);
+                        jmp_ends.push(self.push(Inst::Jmp(0)));
+                        let next = self.here();
+                        self.insts[split as usize] = Inst::Split(body, next);
+                    } else {
+                        self.compile(branch);
+                    }
+                }
+                let end = self.here();
+                for j in jmp_ends {
+                    self.insts[j as usize] = Inst::Jmp(end);
+                }
+            }
+            Ast::Repeat { node, min, max, lazy } => self.compile_repeat(node, *min, *max, *lazy),
+        }
+    }
+
+    fn compile_repeat(&mut self, node: &Ast, min: u32, max: Option<u32>, lazy: bool) {
+        // Split priority encodes greediness: the preferred branch comes
+        // first, so greedy prefers the body and lazy prefers the exit.
+        let split = |body: u32, out: u32| {
+            if lazy {
+                Inst::Split(out, body)
+            } else {
+                Inst::Split(body, out)
+            }
+        };
+        // Mandatory copies.
+        for _ in 0..min {
+            self.compile(node);
+        }
+        match max {
+            None => {
+                // Kleene tail: L1: Split(body, out); body; Jmp(L1); out:
+                let l1 = self.push(Inst::Split(0, 0));
+                let body = self.here();
+                self.compile(node);
+                self.push(Inst::Jmp(l1));
+                let out = self.here();
+                self.insts[l1 as usize] = split(body, out);
+            }
+            Some(mx) => {
+                // (mx - min) optional copies, each skippable to the end.
+                let mut splits = Vec::new();
+                for _ in min..mx {
+                    let s = self.push(Inst::Split(0, 0));
+                    let body = self.here();
+                    splits.push((s, body));
+                    self.compile(node);
+                }
+                let out = self.here();
+                for (s, body) in splits {
+                    self.insts[s as usize] = split(body, out);
+                }
+            }
+        }
+    }
+}
+
+fn compile(ast: &Ast, n_groups: u16) -> Program {
+    let mut c = Compiler {
+        insts: Vec::new(),
+        classes: Vec::new(),
+    };
+    c.push(Inst::Save(0));
+    c.compile(ast);
+    c.push(Inst::Save(1));
+    c.push(Inst::Match);
+    Program {
+        insts: c.insts,
+        classes: c.classes,
+        n_groups,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pike VM
+// ---------------------------------------------------------------------------
+
+type Slots = Box<[Option<usize>]>;
+
+struct ThreadList {
+    /// (pc, capture slots), in priority order.
+    threads: Vec<(u32, Slots)>,
+    /// Dense "already added at this step" marker, one per instruction.
+    seen: Vec<u32>,
+    stamp: u32,
+}
+
+impl ThreadList {
+    fn new(n_insts: usize) -> Self {
+        ThreadList {
+            threads: Vec::new(),
+            seen: vec![0; n_insts],
+            stamp: 0,
+        }
+    }
+
+    fn begin_step(&mut self) {
+        self.threads.clear();
+        self.stamp += 1;
+    }
+}
+
+/// A successful match: the overall span plus capture-group spans.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Match {
+    slots: Slots,
+    n_groups: u16,
+}
+
+impl Match {
+    /// Overall match span `(start, end)` as byte offsets.
+    pub fn span(&self) -> (usize, usize) {
+        (
+            self.slots[0].expect("match start"),
+            self.slots[1].expect("match end"),
+        )
+    }
+
+    /// Span of capture group `i` (1-based; 0 is the whole match), if it
+    /// participated in the match.
+    pub fn group_span(&self, i: usize) -> Option<(usize, usize)> {
+        if i > self.n_groups as usize {
+            return None;
+        }
+        match (self.slots.get(2 * i), self.slots.get(2 * i + 1)) {
+            (Some(&Some(s)), Some(&Some(e))) => Some((s, e)),
+            _ => None,
+        }
+    }
+
+    /// Text of capture group `i` within `haystack`.
+    pub fn group<'h>(&self, haystack: &'h str, i: usize) -> Option<&'h str> {
+        self.group_span(i).map(|(s, e)| &haystack[s..e])
+    }
+}
+
+/// Iterator returned by [`Regex::find_iter`].
+pub struct FindIter<'r, 'h> {
+    re: &'r Regex,
+    haystack: &'h str,
+    at: usize,
+}
+
+impl Iterator for FindIter<'_, '_> {
+    type Item = Match;
+
+    fn next(&mut self) -> Option<Match> {
+        if self.at > self.haystack.len() {
+            return None;
+        }
+        let m = self.re.find_bytes_at(self.haystack.as_bytes(), self.at)?;
+        let (start, end) = m.span();
+        // Advance past the match; empty matches step one byte so the
+        // iterator always terminates.
+        self.at = if end > start { end } else { end + 1 };
+        Some(m)
+    }
+}
+
+/// A compiled regular expression.
+pub struct Regex {
+    prog: Program,
+    pattern: String,
+}
+
+impl fmt::Debug for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Regex({:?})", self.pattern)
+    }
+}
+
+impl Regex {
+    /// Compile `pattern`.
+    pub fn new(pattern: &str) -> Result<Regex, RegexError> {
+        let (ast, n_groups) = Parser::new(pattern).parse()?;
+        Ok(Regex {
+            prog: compile(&ast, n_groups),
+            pattern: pattern.to_string(),
+        })
+    }
+
+    /// The source pattern.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Number of capture groups.
+    pub fn group_count(&self) -> u16 {
+        self.prog.n_groups
+    }
+
+    /// Leftmost match in `haystack`, if any.
+    pub fn find(&self, haystack: &str) -> Option<Match> {
+        self.find_bytes(haystack.as_bytes())
+    }
+
+    /// Whether `haystack` contains a match.
+    pub fn is_match(&self, haystack: &str) -> bool {
+        self.find(haystack).is_some()
+    }
+
+    /// Iterator over all non-overlapping matches, leftmost-first.
+    pub fn find_iter<'r, 'h>(&'r self, haystack: &'h str) -> FindIter<'r, 'h> {
+        FindIter {
+            re: self,
+            haystack,
+            at: 0,
+        }
+    }
+
+    /// Leftmost match over raw bytes.
+    pub fn find_bytes(&self, input: &[u8]) -> Option<Match> {
+        self.find_bytes_at(input, 0)
+    }
+
+    /// Leftmost match over raw bytes, starting the scan at `start`.
+    /// `^` still anchors to the true beginning of `input`.
+    pub fn find_bytes_at(&self, input: &[u8], start: usize) -> Option<Match> {
+        let n_slots = 2 * (self.prog.n_groups as usize + 1);
+        let mut clist = ThreadList::new(self.prog.insts.len());
+        let mut nlist = ThreadList::new(self.prog.insts.len());
+        let mut matched: Option<Slots> = None;
+
+        clist.begin_step();
+        for pos in start..=input.len() {
+            // Seed a fresh start thread (lowest priority) unless a match
+            // was already found — leftmost semantics.
+            if matched.is_none() {
+                let slots = vec![None; n_slots].into_boxed_slice();
+                add_thread(&self.prog, &mut clist, 0, pos, input.len(), slots);
+            }
+            if clist.threads.is_empty() && matched.is_some() {
+                break;
+            }
+
+            nlist.begin_step();
+            let byte = input.get(pos).copied();
+            // Iterate by index: list is already eps-closed.
+            let mut i = 0;
+            while i < clist.threads.len() {
+                let (pc, ref slots) = clist.threads[i];
+                match &self.prog.insts[pc as usize] {
+                    Inst::Byte(b) => {
+                        if byte == Some(*b) {
+                            let s = slots.clone();
+                            add_thread(&self.prog, &mut nlist, pc + 1, pos + 1, input.len(), s);
+                        }
+                    }
+                    Inst::Any => {
+                        if byte.is_some_and(|b| b != b'\n') {
+                            let s = slots.clone();
+                            add_thread(&self.prog, &mut nlist, pc + 1, pos + 1, input.len(), s);
+                        }
+                    }
+                    Inst::Class(id) => {
+                        if byte.is_some_and(|b| self.prog.classes[*id as usize].matches(b)) {
+                            let s = slots.clone();
+                            add_thread(&self.prog, &mut nlist, pc + 1, pos + 1, input.len(), s);
+                        }
+                    }
+                    Inst::Match => {
+                        // Highest-priority match at this step: record and
+                        // cut lower-priority threads.
+                        matched = Some(slots.clone());
+                        break;
+                    }
+                    // Eps transitions were resolved by add_thread.
+                    Inst::Split(..) | Inst::Jmp(..) | Inst::Save(..) | Inst::AssertStart
+                    | Inst::AssertEnd => unreachable!("eps inst in stepped list"),
+                }
+                i += 1;
+            }
+            std::mem::swap(&mut clist, &mut nlist);
+            if clist.threads.is_empty() && matched.is_some() {
+                break;
+            }
+        }
+
+        matched.map(|slots| Match {
+            slots,
+            n_groups: self.prog.n_groups,
+        })
+    }
+}
+
+/// Add `pc` to `list`, following epsilon transitions. `pos` is the current
+/// input offset (for Save/anchors), `len` the input length.
+fn add_thread(prog: &Program, list: &mut ThreadList, pc: u32, pos: usize, len: usize, slots: Slots) {
+    if list.seen[pc as usize] == list.stamp {
+        return;
+    }
+    list.seen[pc as usize] = list.stamp;
+    match &prog.insts[pc as usize] {
+        Inst::Jmp(t) => add_thread(prog, list, *t, pos, len, slots),
+        Inst::Split(a, b) => {
+            add_thread(prog, list, *a, pos, len, slots.clone());
+            add_thread(prog, list, *b, pos, len, slots);
+        }
+        Inst::Save(slot) => {
+            let mut s = slots;
+            s[*slot as usize] = Some(pos);
+            add_thread(prog, list, pc + 1, pos, len, s);
+        }
+        Inst::AssertStart => {
+            if pos == 0 {
+                add_thread(prog, list, pc + 1, pos, len, slots);
+            }
+        }
+        Inst::AssertEnd => {
+            if pos == len {
+                add_thread(prog, list, pc + 1, pos, len, slots);
+            }
+        }
+        _ => list.threads.push((pc, slots)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, text: &str) -> Option<(usize, usize)> {
+        Regex::new(pat).unwrap().find(text).map(|m| m.span())
+    }
+
+    #[test]
+    fn literals_and_any() {
+        assert_eq!(m("abc", "xxabcxx"), Some((2, 5)));
+        assert_eq!(m("a.c", "abc"), Some((0, 3)));
+        assert_eq!(m("a.c", "a\nc"), None);
+        assert_eq!(m("abc", "abd"), None);
+    }
+
+    #[test]
+    fn anchors() {
+        assert_eq!(m("^abc", "abcd"), Some((0, 3)));
+        assert_eq!(m("^abc", "xabc"), None);
+        assert_eq!(m("abc$", "xabc"), Some((1, 4)));
+        assert_eq!(m("abc$", "abcx"), None);
+        assert_eq!(m("^$", ""), Some((0, 0)));
+    }
+
+    #[test]
+    fn quantifiers_are_greedy() {
+        assert_eq!(m("a*", "aaab"), Some((0, 3)));
+        assert_eq!(m("a+", "baaab"), Some((1, 4)));
+        assert_eq!(m("a?b", "ab"), Some((0, 2)));
+        assert_eq!(m("a?b", "b"), Some((0, 1)));
+        assert_eq!(m("a+", "b"), None);
+    }
+
+    #[test]
+    fn counted_repeats() {
+        assert_eq!(m("a{3}", "aaaa"), Some((0, 3)));
+        assert_eq!(m("a{3}", "aa"), None);
+        assert_eq!(m("a{2,}", "aaaa"), Some((0, 4)));
+        assert_eq!(m("a{1,3}", "aaaa"), Some((0, 3)));
+        assert_eq!(m("\\d{4}-\\d{2}", "on 2024-05 we"), Some((3, 10)));
+        // Malformed counted repeats are literal braces.
+        assert_eq!(m("a{x}", "a{x}"), Some((0, 4)));
+    }
+
+    #[test]
+    fn classes() {
+        assert_eq!(m("[abc]+", "zzbcaz"), Some((2, 5)));
+        assert_eq!(m("[a-f0-9]+", "xxdeadbeef99x"), Some((2, 12)));
+        assert_eq!(m("[^0-9]+", "12ab34"), Some((2, 4)));
+        assert_eq!(m("[]a]+", "]a]"), Some((0, 3)));
+        assert_eq!(m("[a-]+", "a-a"), Some((0, 3)));
+        assert_eq!(m("[\\d]+", "ab123"), Some((2, 5)));
+    }
+
+    #[test]
+    fn escapes() {
+        assert_eq!(m(r"\d+", "abc123def"), Some((3, 6)));
+        assert_eq!(m(r"\w+", "  hi_there "), Some((2, 10)));
+        assert_eq!(m(r"\s+", "ab  cd"), Some((2, 4)));
+        assert_eq!(m(r"\D+", "12ab34"), Some((2, 4)));
+        assert_eq!(m(r"a\.b", "a.b"), Some((0, 3)));
+        assert_eq!(m(r"a\.b", "axb"), None);
+        assert_eq!(m(r"\(x\)", "(x)"), Some((0, 3)));
+    }
+
+    #[test]
+    fn alternation_prefers_leftmost() {
+        assert_eq!(m("cat|dog", "hotdog"), Some((3, 6)));
+        assert_eq!(m("ab|abc", "abc"), Some((0, 2))); // first branch wins
+        assert_eq!(m("abc|ab", "abc"), Some((0, 3)));
+        assert_eq!(m("(?:red|blue) fish", "one blue fish"), Some((4, 13)));
+    }
+
+    #[test]
+    fn leftmost_beats_longer_later_match() {
+        assert_eq!(m("a+", "baaa_aaaa"), Some((1, 4)));
+    }
+
+    #[test]
+    fn capture_groups() {
+        let re = Regex::new(r"(\d+)-(\d+)").unwrap();
+        let mm = re.find("order 123-456 shipped").unwrap();
+        assert_eq!(mm.span(), (6, 13));
+        assert_eq!(mm.group("order 123-456 shipped", 1), Some("123"));
+        assert_eq!(mm.group("order 123-456 shipped", 2), Some("456"));
+        assert_eq!(mm.group_span(3), None);
+        assert_eq!(re.group_count(), 2);
+    }
+
+    #[test]
+    fn optional_group_not_participating() {
+        let re = Regex::new(r"a(b)?c").unwrap();
+        let mm = re.find("ac").unwrap();
+        assert_eq!(mm.group_span(1), None);
+        let mm = re.find("abc").unwrap();
+        assert_eq!(mm.group("abc", 1), Some("b"));
+    }
+
+    #[test]
+    fn nested_groups() {
+        let re = Regex::new(r"((a+)(b+))c").unwrap();
+        let text = "xaabbc";
+        let mm = re.find(text).unwrap();
+        assert_eq!(mm.group(text, 1), Some("aabb"));
+        assert_eq!(mm.group(text, 2), Some("aa"));
+        assert_eq!(mm.group(text, 3), Some("bb"));
+    }
+
+    #[test]
+    fn greedy_group_captures_last_iteration() {
+        let re = Regex::new(r"(a)+").unwrap();
+        let mm = re.find("aaa").unwrap();
+        assert_eq!(mm.span(), (0, 3));
+        assert_eq!(mm.group("aaa", 1), Some("a"));
+        assert_eq!(mm.group_span(1), Some((2, 3)));
+    }
+
+    #[test]
+    fn pathological_pattern_is_linear() {
+        // (a+)+b against a^40 kills a backtracker; the Pike VM shrugs.
+        let re = Regex::new("(a+)+b").unwrap();
+        let text = "a".repeat(40);
+        assert!(re.find(&text).is_none());
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(Regex::new("(").is_err());
+        assert!(Regex::new(")").is_err());
+        assert!(Regex::new("[abc").is_err());
+        assert!(Regex::new("*a").is_err());
+        assert!(Regex::new(r"\q").is_err());
+        assert!(Regex::new("a{3,1}").is_err());
+        assert!(Regex::new("^*").is_err());
+        let e = Regex::new("[z-a]").unwrap_err();
+        assert!(e.message.contains("range"));
+    }
+
+    #[test]
+    fn nvrm_line_pattern_works_end_to_end() {
+        let re = Regex::new(
+            r"NVRM: Xid \(PCI:([0-9a-f]+:[0-9a-f]+:[0-9a-f]+)\): (\d+), (.*)$",
+        )
+        .unwrap();
+        let line = "Jan  2 03:04:05 gpub042 kernel: NVRM: Xid (PCI:0000:c1:00): 79, \
+                    pid=2731, GPU has fallen off the bus.";
+        let mm = re.find(line).unwrap();
+        assert_eq!(mm.group(line, 1), Some("0000:c1:00"));
+        assert_eq!(mm.group(line, 2), Some("79"));
+        assert_eq!(mm.group(line, 3), Some("pid=2731, GPU has fallen off the bus."));
+    }
+
+    #[test]
+    fn lazy_quantifiers_prefer_short_matches() {
+        assert_eq!(m("a*?", "aaa"), Some((0, 0)));
+        assert_eq!(m("a+?", "aaa"), Some((0, 1)));
+        assert_eq!(m("a??b", "ab"), Some((0, 2)));
+        assert_eq!(m("<.*?>", "<a><bb>"), Some((0, 3)));
+        assert_eq!(m("<.*>", "<a><bb>"), Some((0, 7)));
+        assert_eq!(m("a{1,3}?", "aaa"), Some((0, 1)));
+        // Lazy still has to satisfy what follows.
+        assert_eq!(m("a+?b", "aaab"), Some((0, 4)));
+    }
+
+    #[test]
+    fn find_iter_yields_all_matches() {
+        let re = Regex::new(r"\d+").unwrap();
+        let text = "a1b22c333";
+        let spans: Vec<_> = re.find_iter(text).map(|m| m.span()).collect();
+        assert_eq!(spans, vec![(1, 2), (3, 5), (6, 9)]);
+        let texts: Vec<_> = re
+            .find_iter(text)
+            .map(|m| m.group(text, 0).unwrap().to_string())
+            .collect();
+        assert_eq!(texts, vec!["1", "22", "333"]);
+    }
+
+    #[test]
+    fn find_iter_handles_empty_matches() {
+        let re = Regex::new("x*").unwrap();
+        let n = re.find_iter("ab").count();
+        // Empty match at 0, 1, 2 — terminates, no infinite loop.
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn find_at_respects_caret_anchor() {
+        let re = Regex::new("^ab").unwrap();
+        assert!(re.find_bytes_at(b"abab", 0).is_some());
+        // Starting the scan later must not re-anchor ^ to the offset.
+        assert!(re.find_bytes_at(b"abab", 2).is_none());
+    }
+
+    /// Brute-force reference matcher for a restricted AST (no captures),
+    /// used to cross-check the Pike VM on random inputs.
+    mod reference {
+        /// Does `pat` match some prefix of `text` starting at 0? Returns
+        /// all possible end offsets (the backtracking closure).
+        pub fn ends(pat: &[Tok], text: &[u8]) -> Vec<usize> {
+            match pat.split_first() {
+                None => vec![0],
+                Some((tok, rest)) => {
+                    let mut out = Vec::new();
+                    match tok {
+                        Tok::Byte(b) => {
+                            if text.first() == Some(b) {
+                                for e in ends(rest, &text[1..]) {
+                                    out.push(e + 1);
+                                }
+                            }
+                        }
+                        Tok::Star(b) => {
+                            let mut k = 0;
+                            loop {
+                                for e in ends(rest, &text[k..]) {
+                                    out.push(e + k);
+                                }
+                                if text.get(k) == Some(b) {
+                                    k += 1;
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    out.sort_unstable();
+                    out.dedup();
+                    out
+                }
+            }
+        }
+
+        #[derive(Clone, Copy, Debug)]
+        pub enum Tok {
+            Byte(u8),
+            Star(u8),
+        }
+
+        /// Unanchored reference match.
+        pub fn is_match(pat: &[Tok], text: &[u8]) -> bool {
+            (0..=text.len()).any(|i| !ends(pat, &text[i..]).is_empty())
+        }
+    }
+
+    proptest::proptest! {
+        /// The Pike VM agrees with a brute-force backtracker on random
+        /// patterns built from literals and starred literals over {a, b}.
+        #[test]
+        fn vm_agrees_with_reference(
+            toks in proptest::collection::vec((0..2u8, proptest::bool::ANY), 1..8),
+            text in proptest::collection::vec(0..2u8, 0..12),
+        ) {
+            use reference::Tok;
+            let mut pattern = String::new();
+            let mut ref_pat = Vec::new();
+            for (byte, star) in &toks {
+                let ch = (b'a' + byte) as char;
+                pattern.push(ch);
+                if *star {
+                    pattern.push('*');
+                    ref_pat.push(Tok::Star(b'a' + byte));
+                } else {
+                    ref_pat.push(Tok::Byte(b'a' + byte));
+                }
+            }
+            let text: Vec<u8> = text.iter().map(|b| b'a' + b).collect();
+            let text_str = String::from_utf8(text.clone()).unwrap();
+            let re = Regex::new(&pattern).unwrap();
+            proptest::prop_assert_eq!(
+                re.is_match(&text_str),
+                reference::is_match(&ref_pat, &text),
+                "pattern {} on {:?}", pattern, text_str
+            );
+        }
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty_prefix() {
+        assert_eq!(m("", "abc"), Some((0, 0)));
+        assert_eq!(m("x*", "abc"), Some((0, 0)));
+    }
+}

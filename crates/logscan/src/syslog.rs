@@ -1,0 +1,154 @@
+//! Syslog line model with monotonic year inference.
+//!
+//! Classic syslog timestamps (`Jan  2 03:04:05`) carry **no year**. Over an
+//! 855-day campaign the calendar wraps twice, so a scanner that naively
+//! pinned one year would mis-order two thirds of the data. [`SyslogScanner`]
+//! tracks the last seen month and bumps the year whenever the month
+//! regresses (December → January), which is correct as long as the log is
+//! scanned in order — true for per-node log files.
+
+use crate::regex::Regex;
+use dr_xid::time::month_from_abbrev;
+use dr_xid::{NodeId, Timestamp};
+
+/// A parsed syslog line header plus the remaining message body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SyslogLine<'l> {
+    /// Reconstructed wall-clock timestamp (year inferred).
+    pub at: Timestamp,
+    /// Originating host parsed from the hostname field.
+    pub host: NodeId,
+    /// Everything after the hostname field.
+    pub body: &'l str,
+}
+
+/// Stateful scanner over an in-order syslog stream.
+pub struct SyslogScanner {
+    header: Regex,
+    year: i32,
+    last_month: u8,
+}
+
+impl Default for SyslogScanner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SyslogScanner {
+    /// Scanner starting at the campaign's first year (2022).
+    pub fn new() -> Self {
+        Self::starting_year(2022)
+    }
+
+    /// Scanner with an explicit starting year.
+    pub fn starting_year(year: i32) -> Self {
+        let header = Regex::new(
+            r"^([A-Z][a-z][a-z]) +(\d{1,2}) (\d{2}):(\d{2}):(\d{2}) gpub(\d+) (.*)$",
+        )
+        .expect("header pattern compiles");
+        SyslogScanner {
+            header,
+            year,
+            last_month: 1,
+        }
+    }
+
+    /// Current inferred year.
+    pub fn year(&self) -> i32 {
+        self.year
+    }
+
+    /// Parse one line. Returns `None` for lines that are not well-formed
+    /// syslog from a GPU node (they are counted by the extractor, not here).
+    pub fn parse<'l>(&mut self, line: &'l str) -> Option<SyslogLine<'l>> {
+        let m = self.header.find(line)?;
+        let month = month_from_abbrev(m.group(line, 1)?)?;
+        let day: u8 = m.group(line, 2)?.parse().ok()?;
+        let hour: u8 = m.group(line, 3)?.parse().ok()?;
+        let minute: u8 = m.group(line, 4)?.parse().ok()?;
+        let second: u8 = m.group(line, 5)?.parse().ok()?;
+        let host: u32 = m.group(line, 6)?.parse().ok()?;
+        if day == 0 || day > 31 || hour > 23 || minute > 59 || second > 59 {
+            return None;
+        }
+
+        // Year rollover: month going backwards means a new year started.
+        if month < self.last_month {
+            self.year += 1;
+        }
+        self.last_month = month;
+
+        let at = Timestamp::from_civil(self.year, month, day, hour, minute, second)?;
+        let (_, body_span_end) = m.span();
+        let body_start = m.group_span(7)?.0;
+        debug_assert!(body_span_end == line.len());
+        Some(SyslogLine {
+            at,
+            host: NodeId(host),
+            body: &line[body_start..],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_xid::time::SECS_PER_DAY;
+
+    #[test]
+    fn parses_well_formed_line() {
+        let mut s = SyslogScanner::new();
+        let line = "Jan  2 03:04:05 gpub042 kernel: NVRM: Xid (PCI:0000:c1:00): 79, x";
+        let p = s.parse(line).unwrap();
+        assert_eq!(p.host, NodeId(42));
+        assert_eq!(p.body, "kernel: NVRM: Xid (PCI:0000:c1:00): 79, x");
+        let c = p.at.civil();
+        assert_eq!((c.year, c.month, c.day), (2022, 1, 2));
+        assert_eq!((c.hour, c.minute, c.second), (3, 4, 5));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let mut s = SyslogScanner::new();
+        assert!(s.parse("").is_none());
+        assert!(s.parse("not a log line").is_none());
+        assert!(s.parse("Jan  2 03:04:05 loginnode sshd: hi").is_none());
+        assert!(s.parse("Jxn  2 03:04:05 gpub001 kernel: x").is_none());
+        // Invalid time fields.
+        assert!(s.parse("Jan  2 25:04:05 gpub001 kernel: x").is_none());
+        assert!(s.parse("Jan  0 03:04:05 gpub001 kernel: x").is_none());
+    }
+
+    #[test]
+    fn infers_year_across_two_rollovers() {
+        let mut s = SyslogScanner::new();
+        let a = s.parse("Dec 31 23:59:59 gpub001 kernel: a").unwrap();
+        assert_eq!(a.at.civil().year, 2022);
+        let b = s.parse("Jan  1 00:00:10 gpub001 kernel: b").unwrap();
+        assert_eq!(b.at.civil().year, 2023);
+        assert!(b.at > a.at);
+        assert_eq!((b.at - a.at).as_secs_f64(), 11.0);
+        // Second rollover.
+        s.parse("Dec 30 01:00:00 gpub001 kernel: c").unwrap();
+        let d = s.parse("Feb  1 00:00:00 gpub001 kernel: d").unwrap();
+        assert_eq!(d.at.civil().year, 2024);
+        assert_eq!(s.year(), 2024);
+    }
+
+    #[test]
+    fn mid_year_month_progress_does_not_bump_year() {
+        let mut s = SyslogScanner::new();
+        s.parse("Mar  1 00:00:00 gpub001 kernel: a").unwrap();
+        let b = s.parse("Jul 15 00:00:00 gpub001 kernel: b").unwrap();
+        assert_eq!(b.at.civil().year, 2022);
+    }
+
+    #[test]
+    fn timestamps_are_day_accurate() {
+        let mut s = SyslogScanner::new();
+        let a = s.parse("Jan  1 00:00:00 gpub001 kernel: a").unwrap();
+        let b = s.parse("Jan  3 00:00:00 gpub001 kernel: b").unwrap();
+        assert_eq!((b.at - a.at).as_secs_f64(), 2.0 * SECS_PER_DAY as f64);
+    }
+}

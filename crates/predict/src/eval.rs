@@ -1,0 +1,195 @@
+//! Evaluation: chronological split, classification metrics, and the
+//! operational pay-off (GPU hours saved by acting on predictions).
+
+use crate::features::{Dataset, Sample};
+use crate::Classifier;
+
+/// Chronological train/test split (never train on the future).
+#[derive(Clone, Debug)]
+pub struct ChronoSplit<'d> {
+    pub train: &'d [Sample],
+    pub test: &'d [Sample],
+}
+
+impl<'d> ChronoSplit<'d> {
+    /// Split at `train_fraction` of the (time-sorted) samples.
+    pub fn new(dataset: &'d Dataset, train_fraction: f64) -> Self {
+        let n = dataset.samples.len();
+        let cut = ((n as f64) * train_fraction.clamp(0.0, 1.0)) as usize;
+        let cut = cut.min(n);
+        ChronoSplit {
+            train: &dataset.samples[..cut],
+            test: &dataset.samples[cut..],
+        }
+    }
+}
+
+/// Classification quality plus the operational metric.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EvalReport {
+    pub true_positives: u64,
+    pub false_positives: u64,
+    pub true_negatives: u64,
+    pub false_negatives: u64,
+    /// Base rate of long persisters in the test set.
+    pub base_rate: f64,
+    /// Hours of tail persistence that early resets on true positives would
+    /// have avoided (persistence beyond the detection window), minus a
+    /// fixed reset cost charged for every positive prediction.
+    pub gpu_hours_saved: f64,
+}
+
+impl EvalReport {
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    pub fn render(&self, name: &str) -> String {
+        format!(
+            "{name}: precision {:.2} recall {:.2} F1 {:.2} \
+             (TP {} FP {} TN {} FN {}; base rate {:.1}%) — {:.0} GPU-hours saved",
+            self.precision(),
+            self.recall(),
+            self.f1(),
+            self.true_positives,
+            self.false_positives,
+            self.true_negatives,
+            self.false_negatives,
+            self.base_rate * 100.0,
+            self.gpu_hours_saved
+        )
+    }
+}
+
+/// Evaluate `model` on `test` at a decision threshold.
+///
+/// `detection_s` is when the monitor fires (the onset window); an early
+/// reset on a true positive saves `persistence - detection_s` seconds of
+/// the burst, while *every* positive prediction pays `reset_cost_h` hours
+/// of GPU reset/drain time (false alarms are not free — the paper's
+/// 0.3-hour mean service time).
+pub fn evaluate<C: Classifier>(
+    model: &C,
+    test: &[Sample],
+    threshold: f64,
+    detection_s: f64,
+    reset_cost_h: f64,
+) -> EvalReport {
+    let mut r = EvalReport::default();
+    let mut positives = 0u64;
+    let mut saved_s = 0.0;
+    for s in test {
+        if s.label {
+            positives += 1;
+        }
+        let predicted = model.predict(&s.features, threshold);
+        match (predicted, s.label) {
+            (true, true) => {
+                r.true_positives += 1;
+                saved_s += (s.persistence_s - detection_s).max(0.0);
+            }
+            (true, false) => r.false_positives += 1,
+            (false, true) => r.false_negatives += 1,
+            (false, false) => r.true_negatives += 1,
+        }
+    }
+    r.base_rate = if test.is_empty() {
+        0.0
+    } else {
+        positives as f64 / test.len() as f64
+    };
+    r.gpu_hours_saved = saved_s / 3_600.0
+        - (r.true_positives + r.false_positives) as f64 * reset_cost_h;
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::N_FEATURES;
+    use dr_xid::{GpuId, NodeId, Xid};
+
+    struct Threshold0;
+    impl Classifier for Threshold0 {
+        fn predict_proba(&self, f: &[f64; N_FEATURES]) -> f64 {
+            if f[0] > 5.0 {
+                0.9
+            } else {
+                0.1
+            }
+        }
+    }
+
+    fn sample(f0: f64, label: bool, persistence_s: f64, at: u64) -> Sample {
+        Sample {
+            features: [f0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0],
+            label,
+            persistence_s,
+            start_us: at,
+            xid: Xid::MmuError,
+            gpu: GpuId::at_slot(NodeId(1), 0),
+        }
+    }
+
+    #[test]
+    fn metrics_and_savings() {
+        let test = vec![
+            sample(9.0, true, 3_600.0 + 15.0, 0), // TP: saves 1h
+            sample(9.0, false, 1.0, 1),           // FP: costs reset
+            sample(1.0, true, 7_200.0, 2),        // FN
+            sample(1.0, false, 1.0, 3),           // TN
+        ];
+        let r = evaluate(&Threshold0, &test, 0.5, 15.0, 0.3);
+        assert_eq!(r.true_positives, 1);
+        assert_eq!(r.false_positives, 1);
+        assert_eq!(r.false_negatives, 1);
+        assert_eq!(r.true_negatives, 1);
+        assert!((r.precision() - 0.5).abs() < 1e-9);
+        assert!((r.recall() - 0.5).abs() < 1e-9);
+        assert!((r.f1() - 0.5).abs() < 1e-9);
+        assert!((r.base_rate - 0.5).abs() < 1e-9);
+        // 1h saved minus 2 positives * 0.3h reset cost.
+        assert!((r.gpu_hours_saved - (1.0 - 0.6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chrono_split_respects_time_order() {
+        let ds = Dataset {
+            samples: (0..10).map(|k| sample(1.0, false, 1.0, k)).collect(),
+        };
+        let split = ChronoSplit::new(&ds, 0.7);
+        assert_eq!(split.train.len(), 7);
+        assert_eq!(split.test.len(), 3);
+        assert!(split.train.iter().all(|s| s.start_us < 7));
+    }
+
+    #[test]
+    fn empty_test_set_is_safe() {
+        let r = evaluate(&Threshold0, &[], 0.5, 15.0, 0.3);
+        assert_eq!(r.f1(), 0.0);
+        assert_eq!(r.base_rate, 0.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Onset-time feature extraction.
+//!
+//! For every coalesced episode, we reconstruct what a monitor sees during
+//! the first `onset_window` seconds of the burst — crucially *without*
+//! peeking at the episode's eventual length — plus the emitting GPU's
+//! error history up to that moment.
+
+use dr_xid::{Duration, ErrorRecord, GpuId, Xid};
+use resilience_core::CoalescedError;
+use std::collections::HashMap;
+
+/// Number of features per sample.
+pub const N_FEATURES: usize = 7;
+
+/// Feature-extraction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct FeatureConfig {
+    /// How much of the burst's start the monitor may observe (seconds).
+    pub onset_window_s: f64,
+    /// "Long persister" label threshold (seconds). The paper's tail
+    /// analysis keys on per-XID P95s; a fixed operational threshold is
+    /// what an alerting rule would use.
+    pub long_threshold_s: f64,
+    /// History lookback for per-GPU error counts (hours).
+    pub history_hours: f64,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig {
+            onset_window_s: 15.0,
+            long_threshold_s: 600.0,
+            history_hours: 24.0,
+        }
+    }
+}
+
+/// One labeled episode.
+#[derive(Clone, Copy, Debug)]
+pub struct Sample {
+    pub features: [f64; N_FEATURES],
+    /// True if persistence exceeded the long threshold.
+    pub label: bool,
+    /// Episode persistence (for the GPU-hours-saved metric).
+    pub persistence_s: f64,
+    /// Episode start (for chronological splitting).
+    pub start_us: u64,
+    pub xid: Xid,
+    pub gpu: GpuId,
+}
+
+/// A labeled dataset.
+#[derive(Clone, Debug, Default)]
+pub struct Dataset {
+    pub samples: Vec<Sample>,
+}
+
+impl Dataset {
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+    /// Fraction of positive labels.
+    pub fn positive_rate(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|s| s.label).count() as f64 / self.samples.len() as f64
+    }
+}
+
+/// Build the dataset from raw records and their coalesced episodes.
+///
+/// Feature vector (all rates/counts are what an online monitor can
+/// compute at `onset_window` after the first line):
+///
+/// 0. lines observed in the onset window
+/// 1. mean inter-line gap in the onset window (s; onset window if <2 lines)
+/// 2. error-type tail propensity: is this XID's persistence historically
+///    heavy-tailed (1.0 for XID 95/119/64, the storm-prone kinds)
+/// 3. episodes on this GPU in the lookback window
+/// 4. long episodes on this GPU in the lookback window
+/// 5. same-XID episodes on this GPU in the lookback window
+/// 6. bias term (always 1.0)
+pub fn build_dataset(
+    records: &[ErrorRecord],
+    episodes: &[CoalescedError],
+    cfg: FeatureConfig,
+) -> Dataset {
+    // Records grouped by identity, time-sorted, for onset reconstruction.
+    let mut by_identity: HashMap<_, Vec<u64>> = HashMap::new();
+    for r in records {
+        by_identity.entry(r.identity()).or_default().push(r.at.as_micros());
+    }
+    for v in by_identity.values_mut() {
+        v.sort_unstable();
+    }
+
+    // Episodes per GPU, time-sorted, for history features.
+    let mut by_gpu: HashMap<GpuId, Vec<&CoalescedError>> = HashMap::new();
+    for e in episodes {
+        by_gpu.entry(e.gpu).or_default().push(e);
+    }
+    for v in by_gpu.values_mut() {
+        v.sort_by_key(|e| e.start);
+    }
+
+    let onset = Duration::from_secs_f64(cfg.onset_window_s);
+    let lookback = Duration::from_secs_f64(cfg.history_hours * 3_600.0);
+
+    let mut samples = Vec::with_capacity(episodes.len());
+    for e in episodes {
+        // Onset lines: identity-matching records in [start, start+onset].
+        let times = by_identity
+            .get(&(e.gpu, e.xid, e.detail))
+            .expect("episode has records");
+        let lo = times.partition_point(|&t| t < e.start.as_micros());
+        let hi = times.partition_point(|&t| t <= (e.start + onset).as_micros());
+        let onset_times = &times[lo..hi];
+        let lines = onset_times.len() as f64;
+        let mean_gap = if onset_times.len() >= 2 {
+            let span = (onset_times[onset_times.len() - 1] - onset_times[0]) as f64 / 1e6;
+            span / (onset_times.len() - 1) as f64
+        } else {
+            cfg.onset_window_s
+        };
+
+        // History: strictly-earlier episodes on the same GPU.
+        let history = &by_gpu[&e.gpu];
+        let h_end = history.partition_point(|o| o.start < e.start);
+        let h_start_time = e.start.saturating_sub(lookback);
+        let mut recent = 0.0;
+        let mut recent_long = 0.0;
+        let mut recent_same_xid = 0.0;
+        for o in history[..h_end].iter().rev() {
+            if o.start < h_start_time {
+                break;
+            }
+            recent += 1.0;
+            if o.persistence().as_secs_f64() > cfg.long_threshold_s {
+                recent_long += 1.0;
+            }
+            if o.xid == e.xid {
+                recent_same_xid += 1.0;
+            }
+        }
+
+        let tail_prone = matches!(
+            e.xid,
+            Xid::UncontainedEcc | Xid::GspRpcTimeout | Xid::RowRemapFailure
+        ) as u8 as f64;
+
+        let persistence_s = e.persistence().as_secs_f64();
+        samples.push(Sample {
+            features: [
+                lines,
+                mean_gap,
+                tail_prone,
+                recent,
+                recent_long,
+                recent_same_xid,
+                1.0,
+            ],
+            label: persistence_s > cfg.long_threshold_s,
+            persistence_s,
+            start_us: e.start.as_micros(),
+            xid: e.xid,
+            gpu: e.gpu,
+        });
+    }
+    samples.sort_by_key(|s| s.start_us);
+    Dataset { samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_xid::{ErrorDetail, NodeId, Timestamp};
+    use resilience_core::{coalesce, CoalesceConfig};
+
+    fn burst(gpu: GpuId, xid: Xid, start_s: f64, len_s: f64, gap_s: f64) -> Vec<ErrorRecord> {
+        let mut t = 0.0;
+        let mut out = Vec::new();
+        while t <= len_s {
+            out.push(ErrorRecord::new(
+                Timestamp::EPOCH + Duration::from_secs_f64(start_s + t),
+                gpu,
+                xid,
+                ErrorDetail::NONE,
+            ));
+            t += gap_s;
+        }
+        out
+    }
+
+    #[test]
+    fn onset_features_reflect_burst_rate() {
+        let g = GpuId::at_slot(NodeId(1), 0);
+        let mut records = burst(g, Xid::UncontainedEcc, 0.0, 1_000.0, 2.0); // fast, long
+        records.extend(burst(g, Xid::MmuError, 90_000.0, 4.0, 4.0)); // slow, short
+        let episodes = coalesce(&records, CoalesceConfig::default());
+        let ds = build_dataset(&records, &episodes, FeatureConfig::default());
+        assert_eq!(ds.len(), 2);
+        let long = ds.samples.iter().find(|s| s.xid == Xid::UncontainedEcc).unwrap();
+        let short = ds.samples.iter().find(|s| s.xid == Xid::MmuError).unwrap();
+        assert!(long.label);
+        assert!(!short.label);
+        assert!(long.features[0] > short.features[0], "line counts");
+        assert!(long.features[1] < short.features[1], "mean gaps");
+        assert_eq!(long.features[2], 1.0);
+        assert_eq!(short.features[2], 0.0);
+    }
+
+    #[test]
+    fn history_features_count_prior_episodes_only() {
+        let g = GpuId::at_slot(NodeId(2), 0);
+        let mut records = Vec::new();
+        // Three long storms an hour apart, then a fourth.
+        for k in 0..4 {
+            records.extend(burst(g, Xid::UncontainedEcc, k as f64 * 3_600.0, 700.0, 3.0));
+        }
+        let episodes = coalesce(&records, CoalesceConfig::default());
+        let ds = build_dataset(&records, &episodes, FeatureConfig::default());
+        assert_eq!(ds.len(), 4);
+        // Samples are chronological; the k-th has k prior episodes.
+        for (k, s) in ds.samples.iter().enumerate() {
+            assert_eq!(s.features[3], k as f64, "recent count for episode {k}");
+            assert_eq!(s.features[4], k as f64, "recent long count");
+            assert_eq!(s.features[5], k as f64, "same-xid count");
+        }
+    }
+
+    #[test]
+    fn lookback_window_expires_history() {
+        let g = GpuId::at_slot(NodeId(3), 0);
+        let mut records = burst(g, Xid::MmuError, 0.0, 3.0, 1.5);
+        // Second episode 48h later: history empty under a 24h lookback.
+        records.extend(burst(g, Xid::MmuError, 48.0 * 3_600.0, 3.0, 1.5));
+        let episodes = coalesce(&records, CoalesceConfig::default());
+        let ds = build_dataset(&records, &episodes, FeatureConfig::default());
+        assert_eq!(ds.samples[1].features[3], 0.0);
+    }
+
+    #[test]
+    fn positive_rate() {
+        let g = GpuId::at_slot(NodeId(4), 0);
+        let mut records = burst(g, Xid::UncontainedEcc, 0.0, 700.0, 3.0);
+        records.extend(burst(g, Xid::MmuError, 90_000.0, 3.0, 1.5));
+        let episodes = coalesce(&records, CoalesceConfig::default());
+        let ds = build_dataset(&records, &episodes, FeatureConfig::default());
+        assert!((ds.positive_rate() - 0.5).abs() < 1e-9);
+    }
+}

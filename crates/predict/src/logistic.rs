@@ -1,0 +1,173 @@
+//! SGD logistic regression baseline.
+//!
+//! Features are z-normalized from training-set statistics, then a plain
+//! logistic model is fit by mini-epoch stochastic gradient descent with L2
+//! regularization and a class-balancing weight (long persisters are rare).
+
+use crate::features::{Sample, N_FEATURES};
+use crate::Classifier;
+use dr_stats::OnlineStats;
+use rand::prelude::*;
+
+/// Training hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LogisticConfig {
+    pub epochs: u32,
+    pub learning_rate: f64,
+    pub l2: f64,
+    pub seed: u64,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        LogisticConfig {
+            epochs: 30,
+            learning_rate: 0.05,
+            l2: 1e-4,
+            seed: 7,
+        }
+    }
+}
+
+/// A trained logistic model with its normalization.
+#[derive(Clone, Debug)]
+pub struct LogisticModel {
+    weights: [f64; N_FEATURES],
+    mean: [f64; N_FEATURES],
+    std: [f64; N_FEATURES],
+}
+
+impl LogisticModel {
+    /// Fit from labeled samples.
+    ///
+    /// # Panics
+    /// If `samples` is empty or single-class.
+    pub fn fit(samples: &[Sample], cfg: LogisticConfig) -> LogisticModel {
+        assert!(!samples.is_empty(), "empty training set");
+        let positives = samples.iter().filter(|s| s.label).count();
+        assert!(
+            positives > 0 && positives < samples.len(),
+            "training set must contain both classes"
+        );
+
+        // Normalization statistics.
+        let mut acc = [(); N_FEATURES].map(|_| OnlineStats::new());
+        for s in samples {
+            for (a, &x) in acc.iter_mut().zip(&s.features) {
+                a.push(x);
+            }
+        }
+        let mut mean = [0.0; N_FEATURES];
+        let mut std = [1.0; N_FEATURES];
+        for i in 0..N_FEATURES {
+            mean[i] = acc[i].mean();
+            let s = acc[i].std_dev();
+            std[i] = if s > 1e-9 { s } else { 1.0 };
+        }
+
+        // Class-balance weight for the rare positive class.
+        let pos_weight = ((samples.len() - positives) as f64 / positives as f64).clamp(1.0, 50.0);
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut w = [0.0f64; N_FEATURES];
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        for epoch in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            let lr = cfg.learning_rate / (1.0 + 0.2 * epoch as f64);
+            for &idx in &order {
+                let s = &samples[idx];
+                let mut z = [0.0; N_FEATURES];
+                for i in 0..N_FEATURES {
+                    z[i] = (s.features[i] - mean[i]) / std[i];
+                }
+                let logit: f64 = w.iter().zip(&z).map(|(wi, zi)| wi * zi).sum();
+                let p = 1.0 / (1.0 + (-logit).exp());
+                let y = s.label as u8 as f64;
+                let grad_scale = (p - y) * if s.label { pos_weight } else { 1.0 };
+                for i in 0..N_FEATURES {
+                    w[i] -= lr * (grad_scale * z[i] + cfg.l2 * w[i]);
+                }
+            }
+        }
+        LogisticModel {
+            weights: w,
+            mean,
+            std,
+        }
+    }
+
+    /// Normalized-space weights (for inspection).
+    pub fn weights(&self) -> &[f64; N_FEATURES] {
+        &self.weights
+    }
+}
+
+impl Classifier for LogisticModel {
+    fn predict_proba(&self, features: &[f64; N_FEATURES]) -> f64 {
+        let mut logit = 0.0;
+        for i in 0..N_FEATURES {
+            logit += self.weights[i] * (features[i] - self.mean[i]) / self.std[i];
+        }
+        1.0 / (1.0 + (-logit).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_xid::{GpuId, NodeId, Xid};
+
+    fn sample(f0: f64, f1: f64, label: bool) -> Sample {
+        Sample {
+            features: [f0, f1, 0.0, 0.0, 0.0, 0.0, 1.0],
+            label,
+            persistence_s: 0.0,
+            start_us: 0,
+            xid: Xid::MmuError,
+            gpu: GpuId::at_slot(NodeId(1), 0),
+        }
+    }
+
+    #[test]
+    fn learns_linear_boundary() {
+        let mut v = Vec::new();
+        for k in 0..300 {
+            let j = (k % 30) as f64 * 0.05;
+            v.push(sample(6.0 + j, 1.0 + j, true));
+            v.push(sample(1.0 + j, 5.0 + j, false));
+        }
+        let m = LogisticModel::fit(&v, LogisticConfig::default());
+        assert!(m.predict_proba(&[6.5, 1.2, 0.0, 0.0, 0.0, 0.0, 1.0]) > 0.85);
+        assert!(m.predict_proba(&[1.2, 5.5, 0.0, 0.0, 0.0, 0.0, 1.0]) < 0.15);
+        // Feature 0 should carry positive weight, feature 1 negative.
+        assert!(m.weights()[0] > 0.0);
+        assert!(m.weights()[1] < 0.0);
+    }
+
+    #[test]
+    fn imbalanced_classes_still_detected() {
+        let mut v = Vec::new();
+        for k in 0..1_000 {
+            let j = (k % 40) as f64 * 0.03;
+            if k % 25 == 0 {
+                v.push(sample(7.0 + j, 1.0, true)); // 4% positives
+            } else {
+                v.push(sample(2.0 + j, 1.0, false));
+            }
+        }
+        let m = LogisticModel::fit(&v, LogisticConfig::default());
+        // The balancing weight keeps the positive region detectable.
+        assert!(m.predict_proba(&[7.5, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0]) > 0.5);
+        assert!(m.predict_proba(&[2.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0]) < 0.5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let v: Vec<Sample> = (0..100)
+            .map(|k| sample(k as f64 % 9.0, 1.0, k % 3 == 0))
+            .collect();
+        let a = LogisticModel::fit(&v, LogisticConfig::default());
+        let b = LogisticModel::fit(&v, LogisticConfig::default());
+        assert_eq!(a.weights(), b.weights());
+    }
+}

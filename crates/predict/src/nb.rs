@@ -1,0 +1,153 @@
+//! Gaussian naive Bayes — the "Bayesian model" the paper proposes.
+//!
+//! Each feature is modeled as class-conditionally Gaussian; the posterior
+//! combines per-feature log-likelihood ratios with the class prior. Simple,
+//! trains in one pass, and calibrated enough for an alerting threshold.
+
+use crate::features::{Sample, N_FEATURES};
+use crate::Classifier;
+use dr_stats::OnlineStats;
+
+/// Per-class, per-feature Gaussians plus the class prior.
+#[derive(Clone, Debug)]
+pub struct NaiveBayes {
+    prior_long: f64,
+    long: [(f64, f64); N_FEATURES],
+    short: [(f64, f64); N_FEATURES],
+}
+
+/// Variance floor: degenerate (constant) features must not produce
+/// infinite likelihood ratios.
+const VAR_FLOOR: f64 = 1e-4;
+
+impl NaiveBayes {
+    /// Fit from labeled samples.
+    ///
+    /// # Panics
+    /// If `samples` is empty or single-class (nothing to learn).
+    pub fn fit(samples: &[Sample]) -> NaiveBayes {
+        assert!(!samples.is_empty(), "empty training set");
+        let mut acc_long = [(); N_FEATURES].map(|_| OnlineStats::new());
+        let mut acc_short = [(); N_FEATURES].map(|_| OnlineStats::new());
+        let mut n_long = 0u64;
+        for s in samples {
+            let acc = if s.label { &mut acc_long } else { &mut acc_short };
+            if s.label {
+                n_long += 1;
+            }
+            for (a, &x) in acc.iter_mut().zip(&s.features) {
+                a.push(x);
+            }
+        }
+        assert!(
+            n_long > 0 && n_long < samples.len() as u64,
+            "training set must contain both classes"
+        );
+        // Variance smoothing: blend each class variance toward the pooled
+        // variance. Without it, a tight majority class (or a tight rare
+        // class) makes mildly atypical positives look impossible — the
+        // classic Gaussian-NB overconfidence failure on imbalanced data.
+        let pooled: Vec<f64> = (0..N_FEATURES)
+            .map(|i| {
+                let n_l = acc_long[i].count() as f64;
+                let n_s = acc_short[i].count() as f64;
+                (acc_long[i].variance() * n_l + acc_short[i].variance() * n_s) / (n_l + n_s)
+            })
+            .collect();
+        let moments = |acc: &[OnlineStats; N_FEATURES]| {
+            let mut out = [(0.0, 0.0); N_FEATURES];
+            for (i, (o, a)) in out.iter_mut().zip(acc).enumerate() {
+                let var = 0.75 * a.variance() + 0.25 * pooled[i];
+                *o = (a.mean(), var.max(VAR_FLOOR));
+            }
+            out
+        };
+        NaiveBayes {
+            prior_long: n_long as f64 / samples.len() as f64,
+            long: moments(&acc_long),
+            short: moments(&acc_short),
+        }
+    }
+
+    pub fn prior(&self) -> f64 {
+        self.prior_long
+    }
+
+    fn log_gauss(x: f64, (mean, var): (f64, f64)) -> f64 {
+        -0.5 * ((x - mean) * (x - mean) / var + var.ln())
+    }
+}
+
+impl Classifier for NaiveBayes {
+    fn predict_proba(&self, features: &[f64; N_FEATURES]) -> f64 {
+        let mut logit = (self.prior_long / (1.0 - self.prior_long)).ln();
+        for i in 0..N_FEATURES {
+            logit += Self::log_gauss(features[i], self.long[i])
+                - Self::log_gauss(features[i], self.short[i]);
+        }
+        1.0 / (1.0 + (-logit).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_xid::{GpuId, NodeId, Xid};
+
+    fn sample(f0: f64, f1: f64, label: bool) -> Sample {
+        Sample {
+            features: [f0, f1, 0.0, 0.0, 0.0, 0.0, 1.0],
+            label,
+            persistence_s: if label { 1_000.0 } else { 1.0 },
+            start_us: 0,
+            xid: Xid::MmuError,
+            gpu: GpuId::at_slot(NodeId(1), 0),
+        }
+    }
+
+    fn separable_training_set() -> Vec<Sample> {
+        let mut v = Vec::new();
+        for k in 0..200 {
+            let j = (k % 10) as f64 * 0.1;
+            v.push(sample(8.0 + j, 1.5 + j * 0.1, true));
+            v.push(sample(2.0 + j, 4.0 + j * 0.1, false));
+        }
+        v
+    }
+
+    #[test]
+    fn learns_separable_classes() {
+        let model = NaiveBayes::fit(&separable_training_set());
+        assert!((model.prior() - 0.5).abs() < 1e-9);
+        assert!(model.predict_proba(&[8.5, 1.6, 0.0, 0.0, 0.0, 0.0, 1.0]) > 0.9);
+        assert!(model.predict_proba(&[2.1, 4.1, 0.0, 0.0, 0.0, 0.0, 1.0]) < 0.1);
+    }
+
+    #[test]
+    fn constant_feature_is_harmless() {
+        // Feature 6 (bias) is constant 1.0 in both classes: the variance
+        // floor keeps its likelihood ratio finite and neutral.
+        let model = NaiveBayes::fit(&separable_training_set());
+        let p = model.predict_proba(&[5.0, 2.7, 0.0, 0.0, 0.0, 0.0, 1.0]);
+        assert!(p.is_finite());
+    }
+
+    #[test]
+    fn skewed_prior_shifts_probabilities() {
+        let mut v = separable_training_set();
+        // Make positives rare.
+        v.retain(|s| !s.label || s.features[0] < 8.3);
+        let model = NaiveBayes::fit(&v);
+        assert!(model.prior() < 0.5);
+        // An ambiguous point leans negative under the skewed prior.
+        let p = model.predict_proba(&[5.0, 2.75, 0.0, 0.0, 0.0, 0.0, 1.0]);
+        assert!(p < 0.5, "p {p}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn single_class_panics() {
+        let v: Vec<Sample> = (0..10).map(|_| sample(1.0, 1.0, true)).collect();
+        NaiveBayes::fit(&v);
+    }
+}

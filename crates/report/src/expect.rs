@@ -1,0 +1,207 @@
+//! The paper-vs-measured experiment registry.
+//!
+//! Every reproduced quantity is recorded as an [`Expectation`]: experiment
+//! id (table/figure), metric name, the paper's value, our measured value,
+//! and a relative tolerance. `delta_study` prints the verdicts and
+//! `EXPERIMENTS.md` is generated from the same data, so the claimed
+//! reproduction status is always the code's actual output.
+
+use std::fmt;
+
+/// Did the measured value land inside the tolerance band?
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// |measured − paper| / |paper| ≤ tolerance.
+    Match,
+    /// Outside tolerance but same order of magnitude / direction.
+    Close,
+    /// Off.
+    Mismatch,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Verdict::Match => "MATCH",
+            Verdict::Close => "close",
+            Verdict::Mismatch => "MISMATCH",
+        })
+    }
+}
+
+/// One compared quantity.
+#[derive(Clone, Debug)]
+pub struct Expectation {
+    /// Experiment id: "T1", "F5", "S5.4", ...
+    pub experiment: String,
+    pub metric: String,
+    pub paper: f64,
+    pub measured: f64,
+    /// Relative tolerance for a MATCH verdict.
+    pub tolerance: f64,
+}
+
+impl Expectation {
+    pub fn new(
+        experiment: &str,
+        metric: &str,
+        paper: f64,
+        measured: f64,
+        tolerance: f64,
+    ) -> Self {
+        Expectation {
+            experiment: experiment.to_string(),
+            metric: metric.to_string(),
+            paper,
+            measured,
+            tolerance,
+        }
+    }
+
+    /// Relative error (∞ when the paper value is 0 and measured isn't).
+    pub fn relative_error(&self) -> f64 {
+        if self.paper == 0.0 {
+            if self.measured == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.measured - self.paper).abs() / self.paper.abs()
+        }
+    }
+
+    pub fn verdict(&self) -> Verdict {
+        let rel = self.relative_error();
+        if rel <= self.tolerance {
+            Verdict::Match
+        } else if rel <= self.tolerance * 3.0 + 0.5 {
+            Verdict::Close
+        } else {
+            Verdict::Mismatch
+        }
+    }
+}
+
+/// A collection of expectations with summary rendering.
+#[derive(Clone, Debug, Default)]
+pub struct Comparison {
+    pub items: Vec<Expectation>,
+}
+
+impl Comparison {
+    pub fn new() -> Self {
+        Comparison::default()
+    }
+
+    /// Record one comparison.
+    pub fn push(&mut self, experiment: &str, metric: &str, paper: f64, measured: f64, tol: f64) {
+        self.items
+            .push(Expectation::new(experiment, metric, paper, measured, tol));
+    }
+
+    pub fn matches(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|e| e.verdict() == Verdict::Match)
+            .count()
+    }
+
+    pub fn mismatches(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|e| e.verdict() == Verdict::Mismatch)
+            .count()
+    }
+
+    /// Render the full paper-vs-measured table.
+    pub fn render(&self) -> String {
+        let mut t = crate::table::Table::new(vec![
+            "exp", "metric", "paper", "measured", "rel.err", "verdict",
+        ])
+        .aligns(vec![
+            crate::table::Align::Left,
+            crate::table::Align::Left,
+            crate::table::Align::Right,
+            crate::table::Align::Right,
+            crate::table::Align::Right,
+            crate::table::Align::Left,
+        ]);
+        for e in &self.items {
+            t.row(vec![
+                e.experiment.clone(),
+                e.metric.clone(),
+                format!("{:.4}", e.paper),
+                format!("{:.4}", e.measured),
+                format!("{:.1}%", e.relative_error() * 100.0),
+                e.verdict().to_string(),
+            ]);
+        }
+        let mut s = t.render();
+        s.push_str(&format!(
+            "\n{} of {} within tolerance, {} mismatched\n",
+            self.matches(),
+            self.items.len(),
+            self.mismatches()
+        ));
+        s
+    }
+
+    /// Render as a Markdown table (for EXPERIMENTS.md).
+    pub fn render_markdown(&self) -> String {
+        let mut s = String::from(
+            "| exp | metric | paper | measured | rel. err | verdict |\n|---|---|---:|---:|---:|---|\n",
+        );
+        for e in &self.items {
+            s.push_str(&format!(
+                "| {} | {} | {:.4} | {:.4} | {:.1}% | {} |\n",
+                e.experiment,
+                e.metric,
+                e.paper,
+                e.measured,
+                e.relative_error() * 100.0,
+                e.verdict()
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_thresholds() {
+        let m = Expectation::new("T1", "count", 100.0, 104.0, 0.05);
+        assert_eq!(m.verdict(), Verdict::Match);
+        let c = Expectation::new("T1", "count", 100.0, 130.0, 0.05);
+        assert_eq!(c.verdict(), Verdict::Close);
+        let x = Expectation::new("T1", "count", 100.0, 900.0, 0.05);
+        assert_eq!(x.verdict(), Verdict::Mismatch);
+    }
+
+    #[test]
+    fn zero_paper_value() {
+        let ok = Expectation::new("S6", "rre count", 0.0, 0.0, 0.1);
+        assert_eq!(ok.verdict(), Verdict::Match);
+        let bad = Expectation::new("S6", "rre count", 0.0, 3.0, 0.1);
+        assert_eq!(bad.verdict(), Verdict::Mismatch);
+    }
+
+    #[test]
+    fn comparison_summary_counts() {
+        let mut c = Comparison::new();
+        c.push("T1", "a", 10.0, 10.1, 0.05);
+        c.push("T1", "b", 10.0, 99.0, 0.05);
+        assert_eq!(c.matches(), 1);
+        assert_eq!(c.mismatches(), 1);
+        let r = c.render();
+        assert!(r.contains("MATCH"));
+        assert!(r.contains("MISMATCH"));
+        assert!(r.contains("1 of 2 within tolerance"));
+        let md = c.render_markdown();
+        assert!(md.starts_with("| exp |"));
+        assert_eq!(md.lines().count(), 4);
+    }
+}

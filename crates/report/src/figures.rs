@@ -1,0 +1,117 @@
+//! ASCII chart renderers and Graphviz DOT emission.
+
+/// Render labeled horizontal bars, scaled to `width` characters.
+pub fn ascii_bars(items: &[(String, f64)], width: usize) -> String {
+    let max = items.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+    let label_w = items.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, v) in items {
+        let bar = if max > 0.0 {
+            ((v / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:<label_w$} | {} {v:.2}\n",
+            "#".repeat(bar)
+        ));
+    }
+    out
+}
+
+/// Render an empirical CDF as a fixed-size ASCII plot.
+pub fn ascii_cdf(points: &[(f64, f64)], rows: usize, cols: usize) -> String {
+    if points.is_empty() || rows == 0 || cols == 0 {
+        return String::new();
+    }
+    let xmin = points.first().expect("non-empty").0;
+    let xmax = points.last().expect("non-empty").0.max(xmin + f64::EPSILON);
+    let mut grid = vec![vec![' '; cols]; rows];
+    for &(x, y) in points {
+        let cx = (((x - xmin) / (xmax - xmin)) * (cols - 1) as f64).round() as usize;
+        let cy = ((1.0 - y.clamp(0.0, 1.0)) * (rows - 1) as f64).round() as usize;
+        grid[cy.min(rows - 1)][cx.min(cols - 1)] = '*';
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let yl = 1.0 - i as f64 / (rows - 1) as f64;
+        out.push_str(&format!("{yl:4.2} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("      {xmin:<12.2}{:>width$.2}\n", xmax, width = cols.saturating_sub(12)));
+    out
+}
+
+/// One edge of a DOT digraph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DotEdge {
+    pub from: String,
+    pub to: String,
+    /// Edge label, e.g. `0.82 (0.9s)`.
+    pub label: String,
+}
+
+/// Emit a Graphviz digraph for a propagation figure.
+pub fn dot_graph(name: &str, edges: &[DotEdge]) -> String {
+    let mut out = format!("digraph \"{name}\" {{\n  rankdir=LR;\n  node [shape=box];\n");
+    for e in edges {
+        out.push_str(&format!(
+            "  \"{}\" -> \"{}\" [label=\"{}\"];\n",
+            e.from, e.to, e.label
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_max() {
+        let items = vec![("a".to_string(), 10.0), ("bb".to_string(), 5.0)];
+        let s = ascii_bars(&items, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains(&"#".repeat(10)));
+        assert!(lines[1].contains(&"#".repeat(5)));
+        assert!(lines[1].starts_with("bb"));
+    }
+
+    #[test]
+    fn bars_handle_all_zero() {
+        let items = vec![("x".to_string(), 0.0)];
+        let s = ascii_bars(&items, 10);
+        assert!(s.contains("| "));
+    }
+
+    #[test]
+    fn cdf_plot_has_expected_shape() {
+        let points: Vec<(f64, f64)> = (0..=10).map(|i| (i as f64, i as f64 / 10.0)).collect();
+        let s = ascii_cdf(&points, 5, 21);
+        assert_eq!(s.lines().count(), 6);
+        // Top-right and bottom-left corners are populated.
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].ends_with('*'));
+        assert!(lines[4].contains('*'));
+    }
+
+    #[test]
+    fn cdf_empty_is_empty() {
+        assert!(ascii_cdf(&[], 5, 10).is_empty());
+    }
+
+    #[test]
+    fn dot_output_is_valid_graphviz() {
+        let edges = vec![DotEdge {
+            from: "PMU SPI Error".into(),
+            to: "MMU Error".into(),
+            label: "0.82 (0.9s)".into(),
+        }];
+        let dot = dot_graph("fig5", &edges);
+        assert!(dot.starts_with("digraph \"fig5\" {"));
+        assert!(dot.contains("\"PMU SPI Error\" -> \"MMU Error\" [label=\"0.82 (0.9s)\"];"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

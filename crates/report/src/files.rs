@@ -1,0 +1,155 @@
+//! On-disk artifact formats used by the `gpures` CLI.
+//!
+//! * per-node syslog files `gpubNNN.log` in a log directory (the shape the
+//!   real study consumed: one in-order text log per compute node);
+//! * `downtime.csv` with repair intervals.
+//!
+//! Job-table CSV lives in `dr_slurm::csv` next to its types.
+
+use dr_faults::DowntimeInterval;
+use dr_xid::{GpuId, NodeId, PciAddr, Timestamp, Xid};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Downtime CSV header.
+pub const DOWNTIME_HEADER: &str = "gpu,start_us,end_us,cause_xid";
+
+/// Serialize downtime intervals.
+pub fn downtime_to_csv(intervals: &[DowntimeInterval]) -> String {
+    let mut out = String::from(DOWNTIME_HEADER);
+    out.push('\n');
+    for d in intervals {
+        let _ = writeln!(
+            out,
+            "{}/{},{},{},{}",
+            d.gpu.node.0,
+            d.gpu.pci,
+            d.start.as_micros(),
+            d.end.as_micros(),
+            d.cause.code()
+        );
+    }
+    out
+}
+
+/// Parse downtime intervals; returns a descriptive error string.
+pub fn downtime_from_csv(text: &str) -> Result<Vec<DowntimeInterval>, String> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == DOWNTIME_HEADER => {}
+        _ => return Err("downtime csv: missing or wrong header".to_string()),
+    }
+    let mut out = Vec::new();
+    for (idx, raw) in lines {
+        let raw = raw.trim();
+        if raw.is_empty() {
+            continue;
+        }
+        let e = |m: &str| format!("downtime csv line {}: {m}", idx + 1);
+        let fields: Vec<&str> = raw.split(',').collect();
+        if fields.len() != 4 {
+            return Err(e("expected 4 fields"));
+        }
+        let (node, pci) = fields[0].split_once('/').ok_or_else(|| e("bad gpu"))?;
+        let node: u32 = node.parse().map_err(|_| e("bad node"))?;
+        let pci: PciAddr = pci.parse().map_err(|_| e("bad pci"))?;
+        let start: u64 = fields[1].parse().map_err(|_| e("bad start"))?;
+        let end: u64 = fields[2].parse().map_err(|_| e("bad end"))?;
+        if end < start {
+            return Err(e("end before start"));
+        }
+        let code: u16 = fields[3].parse().map_err(|_| e("bad xid"))?;
+        let cause = Xid::from_code(code).ok_or_else(|| e("unknown xid"))?;
+        out.push(DowntimeInterval {
+            gpu: GpuId::new(NodeId(node), pci),
+            start: Timestamp::from_micros(start),
+            end: Timestamp::from_micros(end),
+            cause,
+        });
+    }
+    Ok(out)
+}
+
+/// Write per-node log files (`gpubNNN.log`) into `dir`.
+pub fn write_node_logs(dir: &Path, logs: &[(NodeId, Vec<String>)]) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for (node, lines) in logs {
+        let path = dir.join(format!("{}.log", node.hostname()));
+        let mut body = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+        for l in lines {
+            body.push_str(l);
+            body.push('\n');
+        }
+        std::fs::write(path, body)?;
+    }
+    Ok(())
+}
+
+/// Read every `*.log` file in `dir` as one node's log, node id taken from
+/// the filename (`gpubNNN.log`); files sorted for determinism.
+pub fn read_node_logs(dir: &Path) -> io::Result<Vec<(NodeId, Vec<String>)>> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "log"))
+        .collect();
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or_default();
+        let id: u32 = stem
+            .trim_start_matches(|c: char| c.is_ascii_alphabetic())
+            .parse()
+            .map_err(|_| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("cannot parse node id from {stem:?}"),
+                )
+            })?;
+        let body = std::fs::read_to_string(&path)?;
+        out.push((NodeId(id), body.lines().map(str::to_string).collect()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_xid::Duration;
+
+    #[test]
+    fn downtime_round_trip() {
+        let intervals = vec![DowntimeInterval {
+            gpu: GpuId::at_slot(NodeId(9), 1),
+            start: Timestamp::from_secs(100),
+            end: Timestamp::from_secs(100) + Duration::from_mins(18),
+            cause: Xid::GspRpcTimeout,
+        }];
+        let csv = downtime_to_csv(&intervals);
+        let parsed = downtime_from_csv(&csv).expect("parses");
+        assert_eq!(parsed, intervals);
+    }
+
+    #[test]
+    fn downtime_rejects_garbage() {
+        assert!(downtime_from_csv("").is_err());
+        assert!(downtime_from_csv("gpu,start_us,end_us,cause_xid\n1/0000:07:00,5,1,119\n").is_err());
+        assert!(downtime_from_csv("gpu,start_us,end_us,cause_xid\n1/0000:07:00,1,5,7\n").is_err());
+    }
+
+    #[test]
+    fn node_logs_round_trip_through_disk() {
+        let dir = std::env::temp_dir().join(format!("gpures-test-{}", std::process::id()));
+        let logs = vec![
+            (NodeId(3), vec!["line a".to_string(), "line b".to_string()]),
+            (NodeId(17), vec!["only".to_string()]),
+        ];
+        write_node_logs(&dir, &logs).expect("write");
+        let back = read_node_logs(&dir).expect("read");
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(back, logs);
+    }
+}

@@ -1,0 +1,26 @@
+//! # dr-report — rendering and paper-vs-measured comparison
+//!
+//! Turns [`resilience_core::StudyResults`] into the artifacts the paper
+//! publishes:
+//!
+//! - [`table`]: fixed-width ASCII tables and CSV output.
+//! - [`figures`]: ASCII bar charts / CDFs and Graphviz DOT emission for
+//!   the propagation graphs (Figures 5–7).
+//! - [`render`]: the concrete Table 1/2/3 and Figure 5/6/7/9 renderers.
+//! - [`expect`]: the experiment registry — every reproduced number keyed
+//!   by experiment id, with the paper's value, our measured value, and a
+//!   tolerance verdict. `EXPERIMENTS.md` and the `delta_study` example
+//!   print straight from this registry.
+
+pub mod expect;
+pub mod files;
+pub mod paper;
+pub mod figures;
+pub mod render;
+pub mod table;
+
+pub use expect::{Comparison, Expectation, Verdict};
+pub use paper::{ampere_comparison, h100_comparison};
+pub use figures::{ascii_bars, ascii_cdf, dot_graph, DotEdge};
+pub use render::{render_fig5, render_fig6, render_fig7, render_fig9a, render_fig9b, render_summary, render_table1, render_table2, render_table3};
+pub use table::{Align, Table};

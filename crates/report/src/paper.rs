@@ -1,0 +1,297 @@
+//! Paper ground truth and comparison builders.
+//!
+//! Every number the paper reports for the experiments we reproduce,
+//! encoded once, with builders that compare a [`StudyResults`] (and the
+//! availability projections) against them. `delta_study` prints this
+//! comparison and `EXPERIMENTS.md` records it.
+
+use crate::expect::Comparison;
+use dr_xid::Xid;
+use resilience_core::StudyResults;
+
+/// Table 1 ground truth: (xid, count, MTBE-sys h, MTBE-node h,
+/// persistence mean s, p50 s, p95 s).
+pub const TABLE1_PAPER: [(Xid, f64, f64, f64, f64, f64, f64); 10] = [
+    (Xid::MmuError, 18_876.0, 1.09, 223.94, 2.85, 2.80, 5.80),
+    (Xid::DoubleBitEcc, 32.0, 641.25, 132_097.5, 0.14, 0.12, 0.24),
+    (Xid::RowRemapEvent, 95.0, 216.0, 44_496.0, 0.12, 0.12, 0.12),
+    (Xid::RowRemapFailure, 35.0, 586.29, 120_774.9, 8.88, 2.90, 26.65),
+    (Xid::NvlinkError, 2_987.0, 6.87, 1_415.2, 0.76, 0.24, 1.18),
+    (Xid::FallenOffBus, 31.0, 661.94, 136_358.6, 2.71, 0.25, 12.03),
+    (Xid::ContainedEcc, 28.0, 732.86, 150_968.6, 0.12, 0.12, 0.14),
+    (Xid::UncontainedEcc, 38_905.0, 0.53, 108.69, 860.24, 75.22, 340.69),
+    (Xid::GspRpcTimeout, 2_136.0, 9.61, 1_979.0, 12.14, 0.03, 100.85),
+    (Xid::PmuSpiError, 128.0, 160.31, 33_024.4, 0.05, 0.06, 0.08),
+];
+
+/// Table 2 ground truth: (xid, gpu-failed jobs, jobs encountering,
+/// failure probability %).
+pub const TABLE2_PAPER: [(Xid, f64, f64, f64); 9] = [
+    (Xid::MmuError, 3_760.0, 6_408.0, 58.67),
+    (Xid::UncontainedEcc, 514.0, 529.0, 97.16),
+    (Xid::PmuSpiError, 57.0, 59.0, 96.61),
+    (Xid::GspRpcTimeout, 36.0, 36.0, 100.0),
+    (Xid::NvlinkError, 23.0, 35.0, 65.71),
+    (Xid::DoubleBitEcc, 9.0, 10.0, 90.0),
+    (Xid::RowRemapFailure, 8.0, 8.0, 100.0),
+    (Xid::ContainedEcc, 3.0, 3.0, 100.0),
+    (Xid::RowRemapEvent, 1.0, 2.0, 50.0),
+];
+
+/// Compare the full Ampere study against the paper.
+///
+/// Count tolerances scale with rarity: Poisson noise alone puts ±2σ of a
+/// 30-event class at ±37 %. Scheduling-emergent Table 2 exposure counts
+/// get order-of-magnitude tolerances (the paper's own scheduler state is
+/// unknowable); the *probabilities* are the tight comparisons there.
+pub fn ampere_comparison(r: &StudyResults) -> Comparison {
+    let mut c = Comparison::new();
+
+    // --- T1: counts, MTBE, persistence -----------------------------------
+    for &(xid, count, sys_h, node_h, mean_s, p50_s, p95_s) in &TABLE1_PAPER {
+        let row = r.table1_row(xid).expect("table1 covers all studied XIDs");
+        let count_tol = if count < 50.0 {
+            0.6
+        } else if count < 1_000.0 {
+            0.30
+        } else {
+            0.15
+        };
+        let id = format!("T1:{}", xid.code());
+        c.push(&id, "count", count, row.count as f64, count_tol);
+        c.push(
+            &id,
+            "mtbe sys (h)",
+            sys_h,
+            row.mtbe_system_h.unwrap_or(f64::NAN),
+            count_tol,
+        );
+        c.push(
+            &id,
+            "mtbe node (h)",
+            node_h,
+            row.mtbe_per_node_h.unwrap_or(f64::NAN),
+            count_tol,
+        );
+        if row.count >= 5 {
+            // Heavy-tailed persistence statistics over a handful of events
+            // are sampling-noise dominated; widen accordingly.
+            let f = if row.count < 50 { 2.0 } else { 1.0 };
+            c.push(&id, "persistence p50 (s)", p50_s, row.persistence.p50, 0.5 * f);
+            c.push(&id, "persistence p95 (s)", p95_s, row.persistence.p95, 0.6 * f);
+            c.push(&id, "persistence mean (s)", mean_s, row.persistence.mean, 0.6 * f);
+        }
+    }
+
+    // --- Headlines ---------------------------------------------------------
+    if let (_, Some(node_mtbe)) = r.overall_mtbe_h {
+        c.push("S4.2", "overall per-node MTBE (h)", 67.0, node_mtbe, 0.15);
+    }
+    if let Some(ratio) = r.category_mtbe.ratio {
+        // ">30x more reliable": compare against the paper's computed 32.6
+        // (26,093 / 800).
+        c.push("S4.2", "memory/hardware MTBE ratio", 32.6, ratio, 0.4);
+    }
+    c.push(
+        "S4.3",
+        "lost-hours tail share beyond P95",
+        0.91,
+        r.lost_hours.tail_share,
+        0.15,
+    );
+
+    // --- F5: hardware propagation ------------------------------------------
+    let p = &r.propagation;
+    c.push(
+        "F5",
+        "P(PMU SPI -> MMU)",
+        0.82,
+        p.intra_probability(Xid::PmuSpiError, Xid::MmuError),
+        0.15,
+    );
+    c.push(
+        "F5",
+        "P(GSP isolated)",
+        0.99,
+        p.isolated.get(&Xid::GspRpcTimeout).copied().unwrap_or(0.0),
+        0.05,
+    );
+    c.push(
+        "F5",
+        "P(GSP terminal: repeat/error state)",
+        0.99,
+        p.terminal.get(&Xid::GspRpcTimeout).copied().unwrap_or(0.0),
+        0.10,
+    );
+
+    // --- F6: NVLink ---------------------------------------------------------
+    c.push(
+        "F6",
+        "P(NVLink -> NVLink, same GPU)",
+        0.66,
+        p.intra_probability(Xid::NvlinkError, Xid::NvlinkError),
+        0.20,
+    );
+    c.push("F6", "single-GPU incidents", 0.84, p.nvlink.single_gpu, 0.15);
+    c.push("F6", "multi-GPU incidents", 0.16, p.nvlink.multi_gpu, 0.75);
+    c.push("F6", "4+-GPU incidents", 0.05, p.nvlink.four_plus, 1.2);
+
+    // --- F7: memory recovery paths ------------------------------------------
+    c.push(
+        "F7",
+        "P(DBE -> RRE)",
+        0.5,
+        p.intra_probability(Xid::DoubleBitEcc, Xid::RowRemapEvent),
+        0.35,
+    );
+    c.push(
+        "F7",
+        "P(DBE -> RRF)",
+        0.5,
+        p.intra_probability(Xid::DoubleBitEcc, Xid::RowRemapFailure),
+        0.35,
+    );
+    c.push(
+        "F7",
+        "P(RRF -> contained)",
+        0.43,
+        p.intra_probability(Xid::RowRemapFailure, Xid::ContainedEcc),
+        0.5,
+    );
+
+    // --- S5.5: counterfactual ------------------------------------------------
+    let cf = &r.counterfactual;
+    c.push("S5.5", "baseline MTBE (h)", 67.0, cf.baseline_mtbe_h, 0.15);
+    c.push(
+        "S5.5",
+        "MTBE w/o top offenders (h)",
+        190.0,
+        cf.no_offenders_mtbe_h,
+        0.35,
+    );
+    c.push(
+        "S5.5",
+        "MTBE hardened (h)",
+        223.0,
+        cf.hardened_mtbe_h,
+        0.35,
+    );
+    c.push(
+        "S5.5",
+        "baseline availability",
+        0.995,
+        cf.baseline_availability,
+        0.01,
+    );
+    c.push(
+        "S5.5",
+        "hardened availability",
+        0.999,
+        cf.hardened_availability,
+        0.01,
+    );
+
+    // --- Downtime / availability ---------------------------------------------
+    if let Some(d) = &r.downtime {
+        c.push("F9c", "mean service time (h)", 0.3, d.mean_service_h, 0.25);
+        c.push("F9c", "total lost node-hours", 5_700.0, d.total_lost_h, 0.5);
+    }
+    if let Some(a) = r.availability {
+        c.push("S5.4", "node availability", 0.995, a, 0.005);
+    }
+
+    // --- T2 / job statistics ---------------------------------------------------
+    if let Some(ji) = &r.job_impact {
+        c.push(
+            "S5.2",
+            "job success rate",
+            0.7468,
+            ji.success_rate,
+            0.03,
+        );
+        c.push(
+            "T2",
+            "total GPU-failed jobs",
+            4_322.0,
+            ji.gpu_failed_total as f64,
+            1.0,
+        );
+        for &(xid, failed, encountering, prob_pct) in &TABLE2_PAPER {
+            let Some(row) = ji.table2.iter().find(|t| t.xid == xid) else {
+                continue;
+            };
+            let id = format!("T2:{}", xid.code());
+            // Exposure counts are scheduling-emergent (they depend on
+            // operational details like which nodes SREs kept drained):
+            // order-of-magnitude for common XIDs, looser for rare ones.
+            let tol = if encountering < 15.0 { 12.0 } else { 2.0 };
+            c.push(&id, "jobs encountering", encountering, row.jobs_encountering as f64, tol);
+            c.push(&id, "gpu-failed jobs", failed, row.gpu_failed_jobs as f64, tol);
+            if row.jobs_encountering >= 5 {
+                c.push(
+                    &id,
+                    "failure probability %",
+                    prob_pct,
+                    row.failure_probability() * 100.0,
+                    0.30,
+                );
+            }
+        }
+    }
+    if let Some(t3) = &r.table3 {
+        // T3: shares and elapsed stats of the two dominant buckets.
+        c.push("T3", "1-GPU share", 0.6986, t3[0].share, 0.03);
+        c.push("T3", "2-4-GPU share", 0.2731, t3[1].share, 0.05);
+        c.push("T3", "1-GPU mean elapsed (min)", 175.62, t3[0].elapsed_mean_min, 0.15);
+        c.push("T3", "1-GPU p50 elapsed (min)", 10.15, t3[0].elapsed_p50_min, 0.25);
+        c.push("T3", "2-4-GPU mean elapsed (min)", 145.04, t3[1].elapsed_mean_min, 0.15);
+    }
+
+    c
+}
+
+/// Section 6 ground truth for the H100 extension fleet.
+pub fn h100_comparison(r: &StudyResults) -> Comparison {
+    let mut c = Comparison::new();
+    let count = |xid: Xid| r.table1_row(xid).map(|t| t.count as f64).unwrap_or(0.0);
+    c.push("S6", "MMU errors", 18.0, count(Xid::MmuError), 0.8);
+    c.push("S6", "DBEs", 10.0, count(Xid::DoubleBitEcc), 0.8);
+    c.push("S6", "RRFs", 5.0, count(Xid::RowRemapFailure), 1.2);
+    c.push("S6", "contained ECC", 9.0, count(Xid::ContainedEcc), 0.8);
+    // XID 136 is not a Table 1 row; count from the coalesced stream.
+    let x136 = r
+        .coalesced
+        .iter()
+        .filter(|e| e.xid == Xid::Xid136)
+        .count() as f64;
+    c.push("S6", "XID 136 events", 70.0, x136, 0.4);
+    if let (_, Some(node_mtbe)) = r.overall_mtbe_h {
+        c.push("S6", "per-node MTBE (h)", 4_114.0, node_mtbe, 0.4);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_truth_tables_are_consistent() {
+        // Table 1 totals: 63,253 errors.
+        let total: f64 = TABLE1_PAPER.iter().map(|r| r.1).sum();
+        assert!((total - 63_253.0).abs() < 1.0, "total {total}");
+        // MTBE_node = MTBE_sys * 206 nodes (Table 1 footnote).
+        for &(xid, _, sys, node, ..) in &TABLE1_PAPER {
+            let derived = sys * 206.0;
+            assert!(
+                (derived - node).abs() / node < 0.03,
+                "{xid}: {derived} vs {node}"
+            );
+        }
+        // Table 2 probabilities are failed/encountering.
+        for &(xid, failed, enc, prob) in &TABLE2_PAPER {
+            let derived = failed / enc * 100.0;
+            assert!((derived - prob).abs() < 0.5, "{xid}");
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Fixed-width ASCII tables and CSV output.
+
+/// Column alignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Align {
+    Left,
+    Right,
+}
+
+/// A simple table builder.
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// Start a table with headers; numbers default to right alignment via
+    /// [`Table::aligns`].
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let aligns = vec![Align::Left; headers.len()];
+        Table {
+            headers,
+            aligns,
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Set a caption printed above the table.
+    pub fn title<S: Into<String>>(mut self, title: S) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Set per-column alignment (panics on length mismatch).
+    pub fn aligns(mut self, aligns: Vec<Align>) -> Self {
+        assert_eq!(aligns.len(), self.headers.len(), "alignment arity");
+        self.aligns = aligns;
+        self
+    }
+
+    /// Append one row (panics on arity mismatch).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row arity");
+        self.rows.push(cells);
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render as an aligned ASCII table.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            out.push_str(t);
+            out.push('\n');
+        }
+        let fmt_row = |cells: &[String], widths: &[usize], aligns: &[Align]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                match aligns[i] {
+                    Align::Left => {
+                        line.push_str(cell);
+                        if i + 1 < ncols {
+                            line.push_str(&" ".repeat(pad));
+                        }
+                    }
+                    Align::Right => {
+                        line.push_str(&" ".repeat(pad));
+                        line.push_str(cell);
+                    }
+                }
+            }
+            line
+        };
+
+        out.push_str(&fmt_row(&self.headers, &widths, &vec![Align::Left; ncols]));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths, &self.aligns));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180-ish: quotes only where needed).
+    pub fn to_csv(&self) -> String {
+        let quote = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format helpers used across the report renderers.
+pub fn fmt_count(n: u64) -> String {
+    // Thousands separators make Table 1 readable.
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Fixed-decimal float or "-" for None.
+pub fn fmt_opt(v: Option<f64>, decimals: usize) -> String {
+    match v {
+        Some(x) => format!("{x:.decimals$}"),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new(vec!["name", "count"])
+            .aligns(vec![Align::Left, Align::Right])
+            .title("Demo");
+        t.row(vec!["alpha", "5"]);
+        t.row(vec!["b", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "Demo");
+        assert!(lines[1].starts_with("name"));
+        assert!(lines[2].starts_with("---"));
+        assert!(lines[3].ends_with("    5"));
+        assert!(lines[4].ends_with("12345"));
+    }
+
+    #[test]
+    fn csv_quotes_when_needed() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["plain", "has,comma"]);
+        t.row(vec!["has\"quote", "x"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has\"\"quote\""));
+        assert!(csv.starts_with("a,b\n"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn count_formatting() {
+        assert_eq!(fmt_count(5), "5");
+        assert_eq!(fmt_count(1_234), "1,234");
+        assert_eq!(fmt_count(1_234_567), "1,234,567");
+    }
+
+    #[test]
+    fn opt_formatting() {
+        assert_eq!(fmt_opt(Some(1.23456), 2), "1.23");
+        assert_eq!(fmt_opt(None, 2), "-");
+    }
+}

@@ -1,0 +1,211 @@
+//! Accounting-table CSV serialization.
+//!
+//! The `gpures` CLI round-trips the job table through disk so the analysis
+//! pipeline can run on files, the way the real study consumed the Slurm
+//! accounting database. The format is one header plus one row per job:
+//!
+//! ```text
+//! id,start_us,end_us,state,exit_code,ml,gpus
+//! 17,360000000,7200000000,COMPLETED,0,0,3/0000:07:00;3/0000:0f:00
+//! ```
+//!
+//! `gpus` is a `;`-separated list of `node/pci` identifiers matching
+//! [`dr_xid::GpuId`]'s display format.
+
+use crate::jobs::{JobRecord, JobState};
+use dr_xid::{GpuId, NodeId, PciAddr, Timestamp};
+use std::fmt::Write as _;
+
+/// Header line.
+pub const HEADER: &str = "id,start_us,end_us,state,exit_code,ml,gpus";
+
+/// Parse error with line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsvError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "jobs csv line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+fn state_str(s: JobState) -> &'static str {
+    match s {
+        JobState::Completed => "COMPLETED",
+        JobState::UserFailed => "FAILED",
+        JobState::GpuFailed => "GPU_FAILED",
+    }
+}
+
+fn parse_state(s: &str) -> Option<JobState> {
+    match s {
+        "COMPLETED" => Some(JobState::Completed),
+        "FAILED" => Some(JobState::UserFailed),
+        "GPU_FAILED" => Some(JobState::GpuFailed),
+        _ => None,
+    }
+}
+
+/// Serialize the whole table (header included).
+pub fn to_csv(jobs: &[JobRecord]) -> String {
+    let mut out = String::with_capacity(64 * jobs.len() + HEADER.len() + 1);
+    out.push_str(HEADER);
+    out.push('\n');
+    for j in jobs {
+        let mut gpus = String::new();
+        for (i, g) in j.gpus.iter().enumerate() {
+            if i > 0 {
+                gpus.push(';');
+            }
+            let _ = write!(gpus, "{}/{}", g.node.0, g.pci);
+        }
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{}",
+            j.id,
+            j.start.as_micros(),
+            j.end.as_micros(),
+            state_str(j.state),
+            j.exit_code,
+            j.ml as u8,
+            gpus
+        );
+    }
+    out
+}
+
+/// Parse a table (header required).
+pub fn from_csv(text: &str) -> Result<Vec<JobRecord>, CsvError> {
+    let err = |line: usize, message: &str| CsvError {
+        line,
+        message: message.to_string(),
+    };
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == HEADER => {}
+        _ => return Err(err(1, "missing or wrong header")),
+    }
+    let mut jobs = Vec::new();
+    for (idx, raw) in lines {
+        let line_no = idx + 1;
+        let raw = raw.trim();
+        if raw.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = raw.split(',').collect();
+        if fields.len() != 7 {
+            return Err(err(line_no, "expected 7 fields"));
+        }
+        let id: u64 = fields[0].parse().map_err(|_| err(line_no, "bad id"))?;
+        let start: u64 = fields[1].parse().map_err(|_| err(line_no, "bad start_us"))?;
+        let end: u64 = fields[2].parse().map_err(|_| err(line_no, "bad end_us"))?;
+        if end < start {
+            return Err(err(line_no, "end before start"));
+        }
+        let state = parse_state(fields[3]).ok_or_else(|| err(line_no, "bad state"))?;
+        let exit_code: i32 = fields[4].parse().map_err(|_| err(line_no, "bad exit code"))?;
+        let ml = match fields[5] {
+            "0" => false,
+            "1" => true,
+            _ => return Err(err(line_no, "bad ml flag")),
+        };
+        let mut gpus = Vec::new();
+        for part in fields[6].split(';').filter(|p| !p.is_empty()) {
+            let (node, pci) = part
+                .split_once('/')
+                .ok_or_else(|| err(line_no, "bad gpu id"))?;
+            let node: u32 = node.parse().map_err(|_| err(line_no, "bad node id"))?;
+            let pci: PciAddr = pci.parse().map_err(|_| err(line_no, "bad pci"))?;
+            gpus.push(GpuId::new(NodeId(node), pci));
+        }
+        if gpus.is_empty() {
+            return Err(err(line_no, "job without GPUs"));
+        }
+        jobs.push(JobRecord {
+            id,
+            gpus,
+            start: Timestamp::from_micros(start),
+            end: Timestamp::from_micros(end),
+            state,
+            exit_code,
+            ml,
+        });
+    }
+    Ok(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_xid::Duration;
+
+    fn sample_jobs() -> Vec<JobRecord> {
+        vec![
+            JobRecord {
+                id: 1,
+                gpus: vec![GpuId::at_slot(NodeId(3), 0), GpuId::at_slot(NodeId(3), 1)],
+                start: Timestamp::from_secs(100),
+                end: Timestamp::from_secs(4_000),
+                state: JobState::Completed,
+                exit_code: 0,
+                ml: true,
+            },
+            JobRecord {
+                id: 2,
+                gpus: vec![GpuId::at_slot(NodeId(7), 2)],
+                start: Timestamp::from_secs(50) + Duration::from_micros(123),
+                end: Timestamp::from_secs(99),
+                state: JobState::GpuFailed,
+                exit_code: 139,
+                ml: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let jobs = sample_jobs();
+        let csv = to_csv(&jobs);
+        let parsed = from_csv(&csv).expect("parses");
+        assert_eq!(parsed.len(), 2);
+        for (a, b) in jobs.iter().zip(&parsed) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.gpus, b.gpus);
+            assert_eq!(a.start, b.start);
+            assert_eq!(a.end, b.end);
+            assert_eq!(a.state, b.state);
+            assert_eq!(a.exit_code, b.exit_code);
+            assert_eq!(a.ml, b.ml);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_csv("").is_err());
+        assert!(from_csv("wrong,header\n").is_err());
+        let bad_fields = format!("{HEADER}\n1,2,3\n");
+        assert!(from_csv(&bad_fields).is_err());
+        let bad_state = format!("{HEADER}\n1,0,5,RUNNING,0,0,1/0000:07:00\n");
+        assert!(from_csv(&bad_state).is_err());
+        let end_before_start = format!("{HEADER}\n1,10,5,COMPLETED,0,0,1/0000:07:00\n");
+        assert!(from_csv(&end_before_start).is_err());
+        let no_gpus = format!("{HEADER}\n1,0,5,COMPLETED,0,0,\n");
+        assert!(from_csv(&no_gpus).is_err());
+    }
+
+    #[test]
+    fn skips_blank_lines_and_reports_line_numbers() {
+        let csv = format!("{HEADER}\n\n1,0,5,COMPLETED,0,1,4/0000:47:00\n");
+        let jobs = from_csv(&csv).expect("parses");
+        assert_eq!(jobs.len(), 1);
+        assert!(jobs[0].ml);
+        let bad = format!("{HEADER}\n1,0,5,COMPLETED,0,0,4/0000:47:00\nx,y\n");
+        let e = from_csv(&bad).unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+}

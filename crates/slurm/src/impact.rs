@@ -1,0 +1,327 @@
+//! Application of GPU error events to running jobs.
+//!
+//! For every campaign error event we find the jobs running on the emitting
+//! GPU at that instant and roll the per-XID masking model to decide
+//! whether the job dies. Masking probabilities encode *application*
+//! behavior the paper measured (Table 2): framework-level exception
+//! handlers absorb ~41 % of MMU faults, NVLink CRC-retry hides ~34 % of
+//! link errors from the job, while GSP timeouts, row-remap failures and
+//! contained-ECC process kills are never survivable.
+
+use crate::jobs::{JobRecord, JobState};
+use dr_faults::ErrorEvent;
+use dr_xid::{Duration, GpuId, Xid};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Per-XID job-kill probabilities given exposure.
+///
+/// These are **per-job** decisions, rolled once per (job, XID) pair: the
+/// paper observes that multiple errors of one kind within a job
+/// consolidate their impact (an app that masks one MMU fault masks the
+/// next too; a job not using NVLink survives every CRC burst). The
+/// defaults are the application-behavior probabilities Table 2 measures.
+#[derive(Clone, Copy, Debug)]
+pub struct MaskingModel {
+    /// P(job fails | exposed to an application-induced MMU fault).
+    pub mmu_app: f64,
+    /// P(job fails | exposed to a hardware-induced MMU fault).
+    pub mmu_hw: f64,
+    /// P(job fails | exposed to NVLink errors): many jobs use NVLink for
+    /// communication only (or not at all) and the CRC retry saves them.
+    pub nvlink: f64,
+    /// P(job fails | DBE on its GPU).
+    pub dbe: f64,
+    /// P(job fails | RRE on its GPU).
+    pub rre: f64,
+    /// P(job fails | uncontained memory error).
+    pub uncontained: f64,
+    /// P(job fails | PMU SPI error) — mostly via the propagated MMU error.
+    pub pmu: f64,
+}
+
+impl Default for MaskingModel {
+    fn default() -> Self {
+        MaskingModel {
+            mmu_app: 0.565,
+            mmu_hw: 0.97,
+            nvlink: 0.657,
+            dbe: 0.90,
+            rre: 0.50,
+            uncontained: 0.972,
+            pmu: 0.966,
+        }
+    }
+}
+
+impl MaskingModel {
+    /// Kill probability for a job's first exposure to this XID.
+    pub fn kill_prob(&self, ev: &ErrorEvent) -> f64 {
+        match ev.xid {
+            Xid::MmuError => {
+                if ev.hw_induced {
+                    self.mmu_hw
+                } else {
+                    self.mmu_app
+                }
+            }
+            Xid::DoubleBitEcc => self.dbe,
+            Xid::RowRemapEvent => self.rre,
+            Xid::RowRemapFailure => 1.0,
+            Xid::NvlinkError => self.nvlink,
+            Xid::FallenOffBus => 1.0,
+            Xid::ContainedEcc => 1.0,
+            Xid::UncontainedEcc => self.uncontained,
+            Xid::GspRpcTimeout => 1.0,
+            Xid::PmuSpiError => self.pmu,
+            // Job-induced software errors and XID 136: no forced kill.
+            _ => 0.0,
+        }
+    }
+
+    /// Slurm exit code recorded for a job killed by `xid`.
+    pub fn exit_code(&self, xid: Xid) -> i32 {
+        match xid {
+            // NVLink failures surface as MPI segfaults (Incident 1).
+            Xid::NvlinkError => 139,
+            Xid::GspRpcTimeout | Xid::FallenOffBus => 137, // SIGKILL via node reboot
+            _ => 134, // SIGABRT from the CUDA runtime
+        }
+    }
+}
+
+/// Summary counters from one impact pass.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ImpactSummary {
+    /// Error events that found at least one running job on their GPU.
+    pub exposed_events: u64,
+    /// Jobs killed by a GPU error.
+    pub gpu_failed_jobs: u64,
+    /// (job, xid) exposure pairs (one job may encounter several XIDs).
+    pub exposures: u64,
+}
+
+/// Apply `events` to `jobs` in time order, mutating job outcomes.
+///
+/// Jobs already dead (user failure before the event, or a previous GPU
+/// kill) are not re-killed; the first fatal event fixes the end time a
+/// few seconds after the error, which is what lets the analysis pipeline
+/// re-discover the association through its ±20 s join window.
+pub fn apply_errors<R: Rng + ?Sized>(
+    jobs: &mut [JobRecord],
+    events: &[ErrorEvent],
+    masking: &MaskingModel,
+    rng: &mut R,
+) -> ImpactSummary {
+    // Index: GPU -> job indices sorted by start time.
+    let mut by_gpu: HashMap<GpuId, Vec<usize>> = HashMap::new();
+    for (idx, job) in jobs.iter().enumerate() {
+        for &g in &job.gpus {
+            by_gpu.entry(g).or_default().push(idx);
+        }
+    }
+    for list in by_gpu.values_mut() {
+        list.sort_by_key(|&i| jobs[i].start);
+    }
+
+    let mut summary = ImpactSummary::default();
+    // One masking roll per (job, XID): repeated errors of the same kind
+    // within a job consolidate (Section 4.1 (iv)).
+    let mut rolled: std::collections::HashSet<(u64, Xid)> = std::collections::HashSet::new();
+    for ev in events {
+        let Some(candidates) = by_gpu.get(&ev.gpu) else {
+            continue;
+        };
+        // Jobs with start <= ev.at; scan backwards while they may overlap
+        // (walltime bounds the lookback to 48 h).
+        let hi = candidates.partition_point(|&i| jobs[i].start <= ev.at);
+        let lookback = ev.at.saturating_sub(Duration::from_hours(48));
+        let mut exposed_any = false;
+        for &idx in candidates[..hi].iter().rev() {
+            let job = &jobs[idx];
+            if job.start + Duration::from_hours(49) < ev.at || job.start < lookback {
+                break;
+            }
+            if ev.at > job.end {
+                continue;
+            }
+            exposed_any = true;
+            summary.exposures += 1;
+            if jobs[idx].state == JobState::GpuFailed {
+                continue;
+            }
+            if !rolled.insert((jobs[idx].id, ev.xid)) {
+                continue; // this job already survived this error kind
+            }
+            if rng.gen::<f64>() < masking.kill_prob(ev) {
+                let job = &mut jobs[idx];
+                // The job dies shortly after the error hits.
+                let delay = Duration::from_secs_f64(1.0 + rng.gen::<f64>() * 12.0);
+                job.end = (ev.at + delay).min(job.end.max(ev.at + delay));
+                job.state = JobState::GpuFailed;
+                job.exit_code = masking.exit_code(ev.xid);
+                summary.gpu_failed_jobs += 1;
+            }
+        }
+        if exposed_any {
+            summary.exposed_events += 1;
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_gpu::device::Consequence;
+    use dr_xid::{ErrorDetail, NodeId, Timestamp};
+    use rand::prelude::*;
+    
+
+    fn job(id: u64, gpu: GpuId, start_s: u64, end_s: u64) -> JobRecord {
+        JobRecord {
+            id,
+            gpus: vec![gpu],
+            start: Timestamp::from_secs(start_s),
+            end: Timestamp::from_secs(end_s),
+            state: JobState::Completed,
+            exit_code: 0,
+            ml: false,
+        }
+    }
+
+    fn event(gpu: GpuId, at_s: u64, xid: Xid, consequence: Consequence) -> ErrorEvent {
+        ErrorEvent {
+            at: Timestamp::from_secs(at_s),
+            gpu,
+            xid,
+            detail: ErrorDetail::NONE,
+            persistence: Duration::from_secs(1),
+            consequence,
+            chain: 0,
+            hw_induced: false,
+        }
+    }
+
+    #[test]
+    fn gsp_error_kills_overlapping_job() {
+        let g = GpuId::at_slot(NodeId(1), 0);
+        let mut jobs = vec![job(0, g, 100, 10_000)];
+        let events = vec![event(g, 500, Xid::GspRpcTimeout, Consequence::GpuLost)];
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = apply_errors(&mut jobs, &events, &MaskingModel::default(), &mut rng);
+        assert_eq!(s.gpu_failed_jobs, 1);
+        assert_eq!(jobs[0].state, JobState::GpuFailed);
+        assert_eq!(jobs[0].exit_code, 137);
+        // Death lands within the 20 s join window after the error.
+        let dt = (jobs[0].end - Timestamp::from_secs(500)).as_secs_f64();
+        assert!(dt > 0.0 && dt < 20.0, "dt {dt}");
+    }
+
+    #[test]
+    fn error_on_other_gpu_or_time_is_harmless() {
+        let g = GpuId::at_slot(NodeId(1), 0);
+        let other = GpuId::at_slot(NodeId(1), 1);
+        let mut jobs = vec![job(0, g, 100, 1_000)];
+        let events = vec![
+            event(other, 500, Xid::GspRpcTimeout, Consequence::GpuLost),
+            event(g, 2_000, Xid::GspRpcTimeout, Consequence::GpuLost),
+        ];
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = apply_errors(&mut jobs, &events, &MaskingModel::default(), &mut rng);
+        assert_eq!(s.gpu_failed_jobs, 0);
+        assert_eq!(jobs[0].state, JobState::Completed);
+        assert_eq!(s.exposed_events, 0);
+    }
+
+    #[test]
+    fn mmu_app_errors_are_often_masked() {
+        let g = GpuId::at_slot(NodeId(1), 0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut killed = 0;
+        let n = 5_000;
+        for i in 0..n {
+            let mut jobs = vec![job(i, g, 100, 10_000)];
+            let events = vec![event(g, 500, Xid::MmuError, Consequence::Masked)];
+            apply_errors(&mut jobs, &events, &MaskingModel::default(), &mut rng);
+            if jobs[0].state == JobState::GpuFailed {
+                killed += 1;
+            }
+        }
+        let frac = killed as f64 / n as f64;
+        assert!((frac - 0.565).abs() < 0.03, "MMU kill fraction {frac}");
+    }
+
+    #[test]
+    fn hw_induced_mmu_is_nearly_fatal() {
+        let g = GpuId::at_slot(NodeId(1), 0);
+        let mut ev = event(g, 500, Xid::MmuError, Consequence::GpuErrorState);
+        ev.hw_induced = true;
+        let m = MaskingModel::default();
+        assert!((m.kill_prob(&ev) - 0.97).abs() < 1e-9);
+    }
+
+    #[test]
+    fn job_is_killed_at_most_once() {
+        let g = GpuId::at_slot(NodeId(1), 0);
+        let mut jobs = vec![job(0, g, 100, 100_000)];
+        let events = vec![
+            event(g, 500, Xid::GspRpcTimeout, Consequence::GpuLost),
+            event(g, 600, Xid::GspRpcTimeout, Consequence::GpuLost),
+        ];
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = apply_errors(&mut jobs, &events, &MaskingModel::default(), &mut rng);
+        assert_eq!(s.gpu_failed_jobs, 1);
+        // The second event no longer overlaps (the job already ended).
+        assert!(jobs[0].end < Timestamp::from_secs(599));
+    }
+
+    #[test]
+    fn multi_gpu_job_dies_from_any_member_gpu() {
+        let g0 = GpuId::at_slot(NodeId(1), 0);
+        let g3 = GpuId::at_slot(NodeId(4), 2);
+        let mut jobs = vec![JobRecord {
+            gpus: vec![g0, g3],
+            ..job(0, g0, 100, 10_000)
+        }];
+        let events = vec![event(g3, 500, Xid::RowRemapFailure, Consequence::GpuErrorState)];
+        let mut rng = StdRng::seed_from_u64(5);
+        apply_errors(&mut jobs, &events, &MaskingModel::default(), &mut rng);
+        assert_eq!(jobs[0].state, JobState::GpuFailed);
+    }
+
+    #[test]
+    fn nvlink_exit_code_is_segfault() {
+        assert_eq!(MaskingModel::default().exit_code(Xid::NvlinkError), 139);
+    }
+
+    #[test]
+    fn masking_rolls_once_per_job_and_xid() {
+        // A job that survives its first NVLink error survives the whole
+        // burst: with per-event rolls P(survive 30 errors) would be
+        // ~(1-0.657)^30 ~ 0; per-job rolls keep it at 1-0.657.
+        let g = GpuId::at_slot(NodeId(1), 0);
+        let mut survived = 0;
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 3_000;
+        for i in 0..n {
+            let mut jobs = vec![job(i, g, 0, 100_000)];
+            let events: Vec<ErrorEvent> = (0..30)
+                .map(|k| event(g, 500 + k * 40, Xid::NvlinkError, Consequence::Masked))
+                .collect();
+            apply_errors(&mut jobs, &events, &MaskingModel::default(), &mut rng);
+            if jobs[0].state != JobState::GpuFailed {
+                survived += 1;
+            }
+        }
+        let frac = survived as f64 / n as f64;
+        assert!((frac - (1.0 - 0.657)).abs() < 0.03, "survival fraction {frac}");
+    }
+
+    #[test]
+    fn software_errors_never_kill() {
+        let g = GpuId::at_slot(NodeId(1), 0);
+        let ev = event(g, 0, Xid::GraphicsEngineException, Consequence::Masked);
+        assert_eq!(MaskingModel::default().kill_prob(&ev), 0.0);
+    }
+}

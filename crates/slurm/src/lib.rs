@@ -1,0 +1,27 @@
+//! # dr-slurm — workload generation, scheduling, and job accounting
+//!
+//! The paper's job-impact analysis (Section 5) joins the Slurm accounting
+//! database against the GPU error stream. This crate plays the Slurm side:
+//!
+//! - [`jobs`]: the workload mixture calibrated to Table 3 — job sizes
+//!   (69.86 % single-GPU, 27.31 % 2–4 GPUs, …), heavy-tailed elapsed times
+//!   truncated at the 48-hour walltime limit, and ML/non-ML labeling.
+//! - [`scheduler`]: placement of ~1.4 M jobs onto the fleet with
+//!   drain-awareness: nodes that recently threw error-state XIDs are
+//!   avoided, the way SREs drain flaky nodes (this is what makes the
+//!   "jobs encountering XID" counts in Table 2 so much smaller than the
+//!   error counts in Table 1).
+//! - [`impact`]: application of campaign error events to running jobs via
+//!   the per-XID masking model (MMU errors are maskable by framework
+//!   exception handlers ~41 % of the time; NVLink CRC-retry saves ~34 %;
+//!   GSP timeouts are never survivable), producing the final accounting
+//!   table with exit codes.
+
+pub mod csv;
+pub mod impact;
+pub mod jobs;
+pub mod scheduler;
+
+pub use impact::{apply_errors, ImpactSummary, MaskingModel};
+pub use jobs::{ElapsedModel, JobMix, JobRecord, JobState, SizeBucket};
+pub use scheduler::{DrainWindows, JobLoadConfig, Schedule, Scheduler};

@@ -1,0 +1,439 @@
+//! Distribution samplers and fitters.
+//!
+//! Implemented from first principles on `rand`'s uniform source (the
+//! `rand_distr` crate is outside the allowed offline set): inverse-transform
+//! sampling for Exp/Weibull/Pareto, Box–Muller for normals, cumulative
+//! search for categorical mixtures.
+//!
+//! The fault generator uses these to shape inter-arrival times and error
+//! persistence; the calibration helpers (e.g.
+//! [`LogNormal::from_median_p95`]) construct distributions directly from the
+//! quantiles Table 1 reports.
+
+use rand::Rng;
+
+/// A distribution over `f64` that can be sampled with any RNG.
+pub trait Sampler {
+    /// Draw one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+}
+
+/// Draw a standard normal via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid u1 == 0 which would send ln to -inf.
+    let u1: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exp {
+    pub rate: f64,
+}
+
+impl Exp {
+    /// # Panics
+    /// If `rate` is not strictly positive and finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "Exp rate must be positive");
+        Exp { rate }
+    }
+
+    /// Exponential with the given mean.
+    pub fn with_mean(mean: f64) -> Self {
+        Exp::new(1.0 / mean)
+    }
+
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    /// Maximum-likelihood fit: rate = 1 / sample mean.
+    pub fn fit(samples: &[f64]) -> Option<Exp> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        (mean > 0.0).then(|| Exp::with_mean(mean))
+    }
+}
+
+impl Sampler for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        // 1 - u in (0, 1]; ln is finite.
+        -(1.0 - u).ln() / self.rate
+    }
+}
+
+/// Log-normal distribution: `exp(mu + sigma * N(0,1))`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogNormal {
+    pub mu: f64,
+    pub sigma: f64,
+}
+
+/// z-score of the 95th percentile of the standard normal.
+const Z95: f64 = 1.6448536269514722;
+
+impl LogNormal {
+    /// # Panics
+    /// If `sigma` is negative or parameters are non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0 && mu.is_finite() && sigma.is_finite());
+        LogNormal { mu, sigma }
+    }
+
+    /// Calibrate from a target median and 95th percentile
+    /// (`p95 >= median > 0`). This is how persistence distributions are
+    /// constructed from Table 1's P50/P95 columns.
+    pub fn from_median_p95(median: f64, p95: f64) -> Self {
+        assert!(median > 0.0 && p95 >= median, "need p95 >= median > 0");
+        let mu = median.ln();
+        let sigma = (p95.ln() - mu) / Z95;
+        LogNormal::new(mu, sigma)
+    }
+
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    pub fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+
+    pub fn p95(&self) -> f64 {
+        (self.mu + Z95 * self.sigma).exp()
+    }
+
+    /// Maximum-likelihood fit over strictly positive samples.
+    pub fn fit(samples: &[f64]) -> Option<LogNormal> {
+        if samples.is_empty() || samples.iter().any(|&x| x <= 0.0) {
+            return None;
+        }
+        let n = samples.len() as f64;
+        let mu = samples.iter().map(|x| x.ln()).sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x.ln() - mu).powi(2)).sum::<f64>() / n;
+        Some(LogNormal::new(mu, var.sqrt()))
+    }
+}
+
+impl Sampler for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Weibull distribution with shape `k` and scale `lambda`.
+///
+/// `k < 1` models infant mortality (decreasing hazard, like defective GPUs
+/// failing early in the testing phase); `k > 1` models wear-out.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Weibull {
+    pub shape: f64,
+    pub scale: f64,
+}
+
+impl Weibull {
+    /// # Panics
+    /// If shape or scale is not strictly positive.
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(shape > 0.0 && scale > 0.0);
+        Weibull { shape, scale }
+    }
+
+    pub fn median(&self) -> f64 {
+        self.scale * core::f64::consts::LN_2.powf(1.0 / self.shape)
+    }
+}
+
+impl Sampler for Weibull {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        self.scale * (-(1.0 - u).ln()).powf(1.0 / self.shape)
+    }
+}
+
+/// Pareto (power-law) distribution with minimum `xm` and index `alpha`.
+/// Used for heavy-tailed job durations.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Pareto {
+    pub xm: f64,
+    pub alpha: f64,
+}
+
+impl Pareto {
+    /// # Panics
+    /// If `xm` or `alpha` is not strictly positive.
+    pub fn new(xm: f64, alpha: f64) -> Self {
+        assert!(xm > 0.0 && alpha > 0.0);
+        Pareto { xm, alpha }
+    }
+}
+
+impl Sampler for Pareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        self.xm / (1.0 - u).powf(1.0 / self.alpha)
+    }
+}
+
+/// Discrete distribution over indices `0..n` with given non-negative
+/// weights (need not be normalized).
+#[derive(Clone, Debug)]
+pub struct Categorical {
+    cumulative: Vec<f64>,
+}
+
+impl Categorical {
+    /// # Panics
+    /// If `weights` is empty, contains a negative/non-finite weight, or
+    /// sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "categorical needs at least one weight");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "weights must be >= 0");
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "weights must not all be zero");
+        Categorical { cumulative }
+    }
+
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draw an index.
+    pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x: f64 = rng.gen::<f64>() * total;
+        self.cumulative.partition_point(|&c| c <= x).min(self.len() - 1)
+    }
+}
+
+/// Convenience: Bernoulli trial with probability `p` (clamped to [0,1]).
+#[inline]
+pub fn coin<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    rng.gen::<f64>() < p.clamp(0.0, 1.0)
+}
+
+/// Standard normal CDF Φ(x), via the complementary error function
+/// (Abramowitz & Stegun 7.1.26 polynomial, |error| < 1.5e-7).
+pub fn normal_cdf(x: f64) -> f64 {
+    let t = 1.0 / (1.0 + 0.3275911 * x.abs() / core::f64::consts::SQRT_2);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let erf_abs = 1.0 - poly * (-x * x / 2.0).exp();
+    if x >= 0.0 {
+        0.5 * (1.0 + erf_abs)
+    } else {
+        0.5 * (1.0 - erf_abs)
+    }
+}
+
+/// Inverse standard normal CDF Φ⁻¹(p), by bisection on [`normal_cdf`]
+/// (sufficient accuracy for calibration; not a hot path).
+///
+/// # Panics
+/// If `p` is not strictly inside (0, 1).
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile needs p in (0,1)");
+    let (mut lo, mut hi) = (-9.0f64, 9.0f64);
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if normal_cdf(mid) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+impl LogNormal {
+    /// `E[min(X, c)]` for `X ~ LogNormal(mu, sigma)` — the mean of the
+    /// winsorized distribution, in closed form:
+    /// `exp(mu + s²/2)·Φ((ln c − mu − s²)/s) + c·(1 − Φ((ln c − mu)/s))`.
+    pub fn capped_mean(&self, cap: f64) -> f64 {
+        assert!(cap > 0.0);
+        if self.sigma == 0.0 {
+            return self.mu.exp().min(cap);
+        }
+        let lc = cap.ln();
+        let body = self.mean() * normal_cdf((lc - self.mu - self.sigma * self.sigma) / self.sigma);
+        let tail = cap * (1.0 - normal_cdf((lc - self.mu) / self.sigma));
+        body + tail
+    }
+
+    /// Sample, winsorized at `cap`.
+    pub fn sample_capped<R: Rng + ?Sized>(&self, rng: &mut R, cap: f64) -> f64 {
+        self.sample(rng).min(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    #[allow(unused_imports)]
+    use rand::Rng;
+
+    fn mean_of<S: Sampler>(s: &S, n: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| s.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exp_mean_converges() {
+        let d = Exp::with_mean(4.0);
+        let m = mean_of(&d, 100_000, 1);
+        assert!((m - 4.0).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn exp_fit_recovers_rate() {
+        let d = Exp::new(0.25);
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples: Vec<_> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let fit = Exp::fit(&samples).unwrap();
+        assert!((fit.rate - 0.25).abs() < 0.01);
+        assert!(Exp::fit(&[]).is_none());
+    }
+
+    #[test]
+    fn lognormal_quantile_calibration() {
+        let d = LogNormal::from_median_p95(75.22, 340.69); // XID 95 persistence
+        assert!((d.median() - 75.22).abs() < 1e-9);
+        assert!((d.p95() - 340.69).abs() < 1e-6);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut samples: Vec<_> = (0..200_000).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p50 = samples[samples.len() / 2];
+        let p95 = samples[(samples.len() as f64 * 0.95) as usize];
+        assert!((p50 - 75.22).abs() / 75.22 < 0.03, "p50 {p50}");
+        assert!((p95 - 340.69).abs() / 340.69 < 0.05, "p95 {p95}");
+    }
+
+    #[test]
+    fn lognormal_fit_recovers_parameters() {
+        let d = LogNormal::new(1.5, 0.7);
+        let mut rng = StdRng::seed_from_u64(4);
+        let samples: Vec<_> = (0..100_000).map(|_| d.sample(&mut rng)).collect();
+        let fit = LogNormal::fit(&samples).unwrap();
+        assert!((fit.mu - 1.5).abs() < 0.02);
+        assert!((fit.sigma - 0.7).abs() < 0.02);
+        assert!(LogNormal::fit(&[1.0, -2.0]).is_none());
+    }
+
+    #[test]
+    fn weibull_median_matches_closed_form() {
+        let d = Weibull::new(0.7, 100.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut samples: Vec<_> = (0..100_000).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p50 = samples[samples.len() / 2];
+        assert!((p50 - d.median()).abs() / d.median() < 0.03);
+    }
+
+    #[test]
+    fn pareto_respects_minimum() {
+        let d = Pareto::new(10.0, 1.5);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 10.0);
+        }
+    }
+
+    #[test]
+    fn categorical_matches_weights() {
+        let c = Categorical::new(&[1.0, 0.0, 3.0]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u64; 3];
+        for _ in 0..40_000 {
+            counts[c.sample_index(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let frac0 = counts[0] as f64 / 40_000.0;
+        assert!((frac0 - 0.25).abs() < 0.02, "frac0 {frac0}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn categorical_rejects_all_zero() {
+        Categorical::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.6448536) - 0.95).abs() < 1e-5);
+        assert!((normal_cdf(-1.6448536) - 0.05).abs() < 1e-5);
+        assert!(normal_cdf(8.0) > 0.9999999);
+        assert!(normal_cdf(-8.0) < 1e-7);
+    }
+
+    #[test]
+    fn capped_mean_matches_monte_carlo() {
+        let d = LogNormal::new(0.5, 1.8);
+        let cap = 20.0;
+        let analytic = d.capped_mean(cap);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mc: f64 =
+            (0..300_000).map(|_| d.sample_capped(&mut rng, cap)).sum::<f64>() / 300_000.0;
+        assert!(
+            (analytic - mc).abs() / mc < 0.02,
+            "analytic {analytic} vs MC {mc}"
+        );
+        // A huge cap reduces to the plain mean.
+        assert!((d.capped_mean(1e12) - d.mean()).abs() / d.mean() < 1e-6);
+    }
+
+    #[test]
+    fn coin_extremes() {
+        let mut rng = StdRng::seed_from_u64(8);
+        assert!((0..100).all(|_| coin(&mut rng, 1.1)));
+        assert!((0..100).all(|_| !coin(&mut rng, -0.5)));
+    }
+
+    proptest! {
+        /// Samplers always produce positive, finite values.
+        #[test]
+        fn samples_positive_finite(seed in 0u64..1_000,
+                                   mean in 0.001f64..1e6,
+                                   sigma in 0.0f64..3.0) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let e = Exp::with_mean(mean).sample(&mut rng);
+            prop_assert!(e >= 0.0 && e.is_finite());
+            let l = LogNormal::new(mean.ln(), sigma).sample(&mut rng);
+            prop_assert!(l > 0.0 && l.is_finite());
+            let w = Weibull::new(0.5 + sigma, mean).sample(&mut rng);
+            prop_assert!(w >= 0.0 && w.is_finite());
+        }
+
+        /// Categorical indices are always in range.
+        #[test]
+        fn categorical_in_range(weights in prop::collection::vec(0.0f64..10.0, 1..20),
+                                seed in 0u64..100) {
+            prop_assume!(weights.iter().sum::<f64>() > 0.0);
+            let c = Categorical::new(&weights);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..50 {
+                prop_assert!(c.sample_index(&mut rng) < weights.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Histograms and empirical CDFs used to render Figure 9's distributions.
+
+/// Fixed-width linear histogram over `[lo, hi)` with saturating edge bins.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    /// Observations below `lo` / at-or-above `hi`.
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `nbins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// If `nbins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(nbins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = (((x - self.lo) / w) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of observations, including out-of-range ones.
+    pub fn count(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// `(bin_low_edge, bin_high_edge, count)` triples.
+    pub fn iter_bins(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + i as f64 * w, self.lo + (i + 1) as f64 * w, c))
+    }
+}
+
+/// Logarithmic histogram: bin edges grow geometrically from `first_edge`.
+/// Good for heavy-tailed quantities like persistence durations
+/// (0.1 s … 1 day spans seven decades).
+#[derive(Clone, Debug)]
+pub struct LogHistogram {
+    first_edge: f64,
+    ratio: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl LogHistogram {
+    /// `nbins` bins with edges `first_edge * ratio^i`.
+    ///
+    /// # Panics
+    /// If `nbins == 0`, `first_edge <= 0`, or `ratio <= 1`.
+    pub fn new(first_edge: f64, ratio: f64, nbins: usize) -> Self {
+        assert!(nbins > 0 && first_edge > 0.0 && ratio > 1.0);
+        LogHistogram {
+            first_edge,
+            ratio,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// A decade histogram from `lo` to `hi` with `per_decade` bins each
+    /// factor of 10.
+    pub fn decades(lo: f64, hi: f64, per_decade: usize) -> Self {
+        assert!(lo > 0.0 && hi > lo && per_decade > 0);
+        let ratio = 10f64.powf(1.0 / per_decade as f64);
+        let nbins = ((hi / lo).log10() * per_decade as f64).ceil() as usize;
+        LogHistogram::new(lo, ratio, nbins.max(1))
+    }
+
+    pub fn push(&mut self, x: f64) {
+        if !(x > 0.0) || x < self.first_edge {
+            self.underflow += 1;
+            return;
+        }
+        let idx = (x / self.first_edge).ln() / self.ratio.ln();
+        let idx = idx as usize;
+        if idx >= self.bins.len() {
+            self.overflow += 1;
+        } else {
+            self.bins[idx] += 1;
+        }
+    }
+
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    pub fn count(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// `(low_edge, high_edge, count)` triples.
+    pub fn iter_bins(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        self.bins.iter().enumerate().map(move |(i, &c)| {
+            let lo = self.first_edge * self.ratio.powi(i as i32);
+            (lo, lo * self.ratio, c)
+        })
+    }
+}
+
+/// Empirical cumulative distribution function over a collected sample.
+#[derive(Clone, Debug)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from samples (sorts a copy; NaN values are rejected).
+    ///
+    /// # Panics
+    /// If any sample is NaN.
+    pub fn new(samples: &[f64]) -> Self {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in ECDF input"));
+        Ecdf { sorted }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// P(X <= x); 0.0 for an empty sample.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        // partition_point: count of elements <= x.
+        let k = self.sorted.partition_point(|&v| v <= x);
+        k as f64 / self.sorted.len() as f64
+    }
+
+    /// Generalized inverse: smallest sample value v with P(X <= v) >= q.
+    pub fn inverse(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).saturating_sub(1);
+        Some(self.sorted[idx.min(self.sorted.len() - 1)])
+    }
+
+    /// Evenly spaced `(x, F(x))` points for plotting.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let n = self.sorted.len();
+        (0..points)
+            .map(|i| {
+                let idx = (i * (n - 1)) / points.max(1).saturating_sub(1).max(1);
+                let x = self.sorted[idx.min(n - 1)];
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn linear_histogram_bins_and_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.0, 1.9, 2.0, 9.99, 10.0, -1.0, 55.0] {
+            h.push(x);
+        }
+        assert_eq!(h.bins(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 7);
+        let edges: Vec<_> = h.iter_bins().map(|(lo, hi, _)| (lo, hi)).collect();
+        assert_eq!(edges[0], (0.0, 2.0));
+        assert_eq!(edges[4], (8.0, 10.0));
+    }
+
+    #[test]
+    fn log_histogram_decades() {
+        let mut h = LogHistogram::decades(0.1, 1000.0, 1);
+        for x in [0.15, 1.5, 15.0, 150.0, 0.05, 5000.0] {
+            h.push(x);
+        }
+        assert_eq!(h.bins(), &[1, 1, 1, 1]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn log_histogram_rejects_nonpositive() {
+        let mut h = LogHistogram::decades(0.1, 10.0, 2);
+        h.push(0.0);
+        h.push(-3.0);
+        assert_eq!(h.underflow(), 2);
+    }
+
+    #[test]
+    fn ecdf_eval_and_inverse() {
+        let e = Ecdf::new(&[1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(100.0), 1.0);
+        assert_eq!(e.inverse(0.5), Some(2.0));
+        assert_eq!(e.inverse(1.0), Some(4.0));
+        assert_eq!(e.inverse(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn ecdf_empty() {
+        let e = Ecdf::new(&[]);
+        assert_eq!(e.eval(1.0), 0.0);
+        assert_eq!(e.inverse(0.5), None);
+        assert!(e.curve(10).is_empty());
+    }
+
+    proptest! {
+        /// ECDF is monotone non-decreasing and maps into [0, 1].
+        #[test]
+        fn ecdf_monotone(xs in prop::collection::vec(-1e3f64..1e3, 1..100),
+                         a in -2e3f64..2e3, b in -2e3f64..2e3) {
+            let e = Ecdf::new(&xs);
+            let (lo, hi) = (a.min(b), a.max(b));
+            prop_assert!(e.eval(lo) <= e.eval(hi));
+            prop_assert!((0.0..=1.0).contains(&e.eval(lo)));
+        }
+
+        /// Histogram conserves the observation count.
+        #[test]
+        fn histogram_conserves_count(xs in prop::collection::vec(-50.0f64..150.0, 0..300)) {
+            let mut h = Histogram::new(0.0, 100.0, 7);
+            for &x in &xs { h.push(x); }
+            prop_assert_eq!(h.count(), xs.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! Used by the validation suite to compare *whole distributions* — e.g.
+//! the persistence durations the pipeline recovers against the calibrated
+//! generator, or two campaign seeds against each other — rather than just
+//! their summary quantiles.
+
+/// Result of a two-sample KS test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KsResult {
+    /// The KS statistic: the supremum distance between the two ECDFs.
+    pub statistic: f64,
+    /// Asymptotic p-value (Kolmogorov distribution approximation; good
+    /// for sample sizes in the dozens and beyond).
+    pub p_value: f64,
+}
+
+impl KsResult {
+    /// Whether the two samples are distinguishable at significance `alpha`.
+    pub fn rejects_same_distribution(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Two-sample KS test. Returns `None` if either sample is empty.
+///
+/// # Panics
+/// If any sample is NaN.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> Option<KsResult> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let mut xs = a.to_vec();
+    let mut ys = b.to_vec();
+    xs.sort_by(|p, q| p.partial_cmp(q).expect("NaN in KS input"));
+    ys.sort_by(|p, q| p.partial_cmp(q).expect("NaN in KS input"));
+
+    let (n, m) = (xs.len(), ys.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < n && j < m {
+        let x = xs[i];
+        let y = ys[j];
+        let v = x.min(y);
+        while i < n && xs[i] <= v {
+            i += 1;
+        }
+        while j < m && ys[j] <= v {
+            j += 1;
+        }
+        let fa = i as f64 / n as f64;
+        let fb = j as f64 / m as f64;
+        d = d.max((fa - fb).abs());
+    }
+
+    // Asymptotic p-value: Q_KS(sqrt(ne) * D) with the effective size.
+    let ne = (n as f64 * m as f64) / (n as f64 + m as f64);
+    let lambda = (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * d;
+    let p_value = kolmogorov_q(lambda);
+    Some(KsResult {
+        statistic: d,
+        p_value,
+    })
+}
+
+/// Kolmogorov survival function Q(λ) = 2 Σ (−1)^{k−1} e^{−2 k² λ²}.
+fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda < 1e-3 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Sampler;
+    use crate::{Exp, LogNormal};
+    use rand::prelude::*;
+
+    fn draws<S: Sampler>(d: &S, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn same_distribution_is_not_rejected() {
+        let d = LogNormal::new(1.0, 0.8);
+        let a = draws(&d, 3_000, 1);
+        let b = draws(&d, 3_000, 2);
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert!(!r.rejects_same_distribution(0.01), "p {}", r.p_value);
+        assert!(r.statistic < 0.05);
+    }
+
+    #[test]
+    fn different_distributions_are_rejected() {
+        let a = draws(&Exp::with_mean(1.0), 2_000, 3);
+        let b = draws(&Exp::with_mean(2.0), 2_000, 4);
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert!(r.rejects_same_distribution(0.01), "p {}", r.p_value);
+        assert!(r.statistic > 0.1);
+    }
+
+    #[test]
+    fn identical_samples_have_zero_statistic() {
+        let a = vec![1.0, 2.0, 3.0];
+        let r = ks_two_sample(&a, &a).unwrap();
+        assert_eq!(r.statistic, 0.0);
+        assert!(r.p_value > 0.99);
+    }
+
+    #[test]
+    fn disjoint_samples_have_statistic_one() {
+        let a = vec![1.0, 2.0];
+        let b = vec![10.0, 20.0];
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert_eq!(r.statistic, 1.0);
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        assert!(ks_two_sample(&[], &[1.0]).is_none());
+        assert!(ks_two_sample(&[1.0], &[]).is_none());
+    }
+
+    #[test]
+    fn kolmogorov_q_known_values() {
+        // Q(0.5) ≈ 0.9639, Q(1.0) ≈ 0.2700, Q(1.5) ≈ 0.0222.
+        assert!((kolmogorov_q(0.5) - 0.9639).abs() < 0.01);
+        assert!((kolmogorov_q(1.0) - 0.2700).abs() < 0.005);
+        assert!((kolmogorov_q(1.5) - 0.0222).abs() < 0.002);
+    }
+}

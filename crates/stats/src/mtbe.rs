@@ -1,0 +1,96 @@
+//! Mean Time Between Errors (MTBE), the paper's headline reliability metric.
+//!
+//! Two normalizations are used (Section 3.2 and Table 1):
+//!
+//! * **system MTBE** — observation hours divided by error count: how often
+//!   the *whole system* sees this error;
+//! * **per-node MTBE** — system MTBE multiplied by the number of GPU nodes:
+//!   how long a *single node* runs before seeing this error.
+
+/// MTBE computation over a fixed observation window.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Mtbe {
+    /// Total observation period in hours (855 days for the Ampere study).
+    pub observation_hours: f64,
+    /// Number of nodes sharing the error stream (206 Ampere GPU nodes).
+    pub node_count: u32,
+}
+
+impl Mtbe {
+    /// # Panics
+    /// If the window is non-positive or there are no nodes.
+    pub fn new(observation_hours: f64, node_count: u32) -> Self {
+        assert!(observation_hours > 0.0, "observation window must be positive");
+        assert!(node_count > 0, "need at least one node");
+        Mtbe {
+            observation_hours,
+            node_count,
+        }
+    }
+
+    /// The Ampere study window: 855 days across 206 GPU nodes.
+    pub fn ampere_study() -> Self {
+        Mtbe::new(855.0 * 24.0, 206)
+    }
+
+    /// System-wide MTBE in hours; `None` when no errors occurred.
+    pub fn system_hours(&self, error_count: u64) -> Option<f64> {
+        (error_count > 0).then(|| self.observation_hours / error_count as f64)
+    }
+
+    /// Per-node MTBE in node-hours; `None` when no errors occurred.
+    ///
+    /// Per Table 1's footnote: derived by multiplying the system MTBE by
+    /// the node count.
+    pub fn per_node_hours(&self, error_count: u64) -> Option<f64> {
+        self.system_hours(error_count)
+            .map(|h| h * self.node_count as f64)
+    }
+
+    /// Availability from MTTF and MTTR: `MTTF / (MTTF + MTTR)` (Section 5.4).
+    pub fn availability(mttf_hours: f64, mttr_hours: f64) -> f64 {
+        assert!(mttf_hours > 0.0 && mttr_hours >= 0.0);
+        mttf_hours / (mttf_hours + mttr_hours)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn study_window_matches_table1() {
+        // 18,876 MMU errors over 855 days -> 1.09 system hours,
+        // 223.94 per-node hours (Table 1 row 1).
+        let m = Mtbe::ampere_study();
+        let sys = m.system_hours(18_876).unwrap();
+        assert!((sys - 1.087).abs() < 0.01, "sys {sys}");
+        let node = m.per_node_hours(18_876).unwrap();
+        assert!((node - 223.9).abs() < 0.5, "node {node}");
+    }
+
+    #[test]
+    fn nvlink_row_matches_table1() {
+        // 2,987 NVLink errors -> 6.87 system hours, 1415.2 node hours.
+        let m = Mtbe::ampere_study();
+        assert!((m.system_hours(2_987).unwrap() - 6.87).abs() < 0.01);
+        assert!((m.per_node_hours(2_987).unwrap() - 1415.2).abs() < 2.0);
+    }
+
+    #[test]
+    fn zero_errors_is_none() {
+        let m = Mtbe::ampere_study();
+        assert_eq!(m.system_hours(0), None);
+        assert_eq!(m.per_node_hours(0), None);
+    }
+
+    #[test]
+    fn availability_formula() {
+        // MTTF 67 h, MTTR 0.3 h -> 99.5 % (Section 5.4).
+        let a = Mtbe::availability(67.0, 0.3);
+        assert!((a - 0.9955).abs() < 0.001, "availability {a}");
+        // MTTF 223 h -> 99.9 % (Section 5.5).
+        let a = Mtbe::availability(223.0, 0.3);
+        assert!((a - 0.9987).abs() < 0.001, "availability {a}");
+    }
+}

@@ -1,0 +1,277 @@
+//! Quantiles: exact (over collected samples) and streaming (P² estimator).
+
+/// Linear-interpolation quantile over an **already sorted** slice
+/// (type-7 / the default used by R and NumPy). `q` in `[0, 1]`.
+///
+/// Returns `None` for an empty slice.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Sort a copy of `samples` and extract several quantiles at once.
+pub fn quantiles(samples: &[f64], qs: &[f64]) -> Vec<Option<f64>> {
+    let mut v = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    qs.iter().map(|&q| quantile_sorted(&v, q)).collect()
+}
+
+/// The (mean, P50, P95) triple reported for error persistence in Table 1.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SummaryStats {
+    pub count: u64,
+    pub mean: f64,
+    pub p50: f64,
+    pub p95: f64,
+}
+
+impl SummaryStats {
+    /// Compute from raw samples. Empty input yields an all-zero summary.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return SummaryStats::default();
+        }
+        let mut v = samples.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary input"));
+        let sum: f64 = v.iter().sum();
+        SummaryStats {
+            count: v.len() as u64,
+            mean: sum / v.len() as f64,
+            p50: quantile_sorted(&v, 0.50).unwrap(),
+            p95: quantile_sorted(&v, 0.95).unwrap(),
+        }
+    }
+}
+
+/// Streaming quantile estimation with the P² algorithm (Jain & Chlamtac,
+/// CACM 1985): five markers track the target quantile without storing the
+/// sample set. Used when the pipeline runs in constant-memory mode over
+/// very large log streams.
+#[derive(Clone, Debug)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights.
+    heights: [f64; 5],
+    /// Marker positions (1-based as in the paper).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments.
+    increments: [f64; 5],
+    n: u64,
+    /// First five observations, collected before the estimator activates.
+    warmup: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Create an estimator for quantile `q` (e.g. 0.95).
+    pub fn new(q: f64) -> Self {
+        let q = q.clamp(0.0, 1.0);
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            n: 0,
+            warmup: Vec::with_capacity(5),
+        }
+    }
+
+    /// Number of observations seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Incorporate one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        if self.warmup.len() < 5 {
+            self.warmup.push(x);
+            if self.warmup.len() == 5 {
+                self.warmup
+                    .sort_by(|a, b| a.partial_cmp(b).expect("NaN in P2 input"));
+                for (h, w) in self.heights.iter_mut().zip(&self.warmup) {
+                    *h = *w;
+                }
+            }
+            return;
+        }
+
+        // Find the cell k containing x, adjusting extremes.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if self.heights[i] <= x && x < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(&self.increments) {
+            *d += inc;
+        }
+
+        // Adjust interior markers with the parabolic (or linear) formula.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let parabolic = self.parabolic(i, d);
+                let new_h = if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
+                    parabolic
+                } else {
+                    self.linear(i, d)
+                };
+                self.heights[i] = new_h;
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + d / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current estimate; `None` before any observation.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.n == 0 {
+            return None;
+        }
+        if self.warmup.len() < 5 || self.n <= 5 {
+            // Fall back to exact quantile over the (tiny) warm-up set.
+            let mut v = self.warmup.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
+            return quantile_sorted(&v, self.q);
+        }
+        Some(self.heights[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    #[allow(unused_imports)]
+    use rand::Rng;
+
+    #[test]
+    fn exact_quantile_basics() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile_sorted(&v, 0.0), Some(1.0));
+        assert_eq!(quantile_sorted(&v, 1.0), Some(4.0));
+        assert_eq!(quantile_sorted(&v, 0.5), Some(2.5));
+        assert_eq!(quantile_sorted(&[], 0.5), None);
+        assert_eq!(quantile_sorted(&[7.0], 0.9), Some(7.0));
+    }
+
+    #[test]
+    fn summary_stats_match_hand_computation() {
+        let s = SummaryStats::from_samples(&[1.0, 2.0, 3.0, 4.0, 100.0]);
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 22.0).abs() < 1e-12);
+        assert_eq!(s.p50, 3.0);
+        // p95 interpolates between 4.0 and 100.0 at pos 3.8.
+        assert!((s.p95 - (4.0 * 0.2 + 100.0 * 0.8)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_stats_empty() {
+        assert_eq!(SummaryStats::from_samples(&[]), SummaryStats::default());
+    }
+
+    #[test]
+    fn p2_tracks_uniform_median() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut est = P2Quantile::new(0.5);
+        for _ in 0..50_000 {
+            est.push(rng.gen::<f64>());
+        }
+        let e = est.estimate().unwrap();
+        assert!((e - 0.5).abs() < 0.01, "estimate {e}");
+    }
+
+    #[test]
+    fn p2_tracks_exponential_p95() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut est = P2Quantile::new(0.95);
+        for _ in 0..100_000 {
+            let u: f64 = rng.gen();
+            est.push(-(1.0f64 - u).ln()); // Exp(1)
+        }
+        let truth = -(0.05f64).ln(); // ~2.9957
+        let e = est.estimate().unwrap();
+        assert!((e - truth).abs() / truth < 0.05, "estimate {e} truth {truth}");
+    }
+
+    #[test]
+    fn p2_small_inputs_fall_back_to_exact() {
+        let mut est = P2Quantile::new(0.5);
+        assert_eq!(est.estimate(), None);
+        for x in [3.0, 1.0, 2.0] {
+            est.push(x);
+        }
+        assert_eq!(est.estimate(), Some(2.0));
+    }
+
+    proptest! {
+        /// The exact quantile is monotone in q and bounded by min/max.
+        #[test]
+        fn quantile_monotone(mut xs in prop::collection::vec(-1e6f64..1e6, 1..50),
+                             q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let (lo, hi) = (q1.min(q2), q1.max(q2));
+            let a = quantile_sorted(&xs, lo).unwrap();
+            let b = quantile_sorted(&xs, hi).unwrap();
+            prop_assert!(a <= b + 1e-9);
+            prop_assert!(a >= xs[0] - 1e-9 && b <= xs[xs.len() - 1] + 1e-9);
+        }
+
+        /// P² estimate always lies within the observed range.
+        #[test]
+        fn p2_within_range(xs in prop::collection::vec(0.0f64..1e3, 6..300),
+                           q in 0.05f64..0.95) {
+            let mut est = P2Quantile::new(q);
+            for &x in &xs { est.push(x); }
+            let e = est.estimate().unwrap();
+            let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(e >= min - 1e-9 && e <= max + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # dr-xid — NVIDIA XID error taxonomy and log record model
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace: the set of XID error codes studied in the paper
+//! (*Characterizing GPU Resilience and Impact on AI/HPC Systems*, Table 1),
+//! their categories and recovery actions, GPU/node identity, wall-clock
+//! timestamps, and the structured [`ErrorRecord`] that flows from the fault
+//! simulator into the analysis pipeline.
+//!
+//! It also renders records as NVRM-style syslog text lines
+//! (see [`syslog`]) so that Stage I of the pipeline — regex extraction from
+//! raw text — is exercised exactly as it would be on production logs.
+
+pub mod ids;
+pub mod record;
+pub mod syslog;
+pub mod time;
+pub mod xid;
+
+pub use ids::{GpuId, NodeId, PciAddr};
+pub use record::{ErrorDetail, ErrorRecord};
+pub use time::{Duration, Timestamp};
+pub use xid::{ErrorCategory, RecoveryAction, Xid};

@@ -1,0 +1,124 @@
+//! Structured error records.
+//!
+//! An [`ErrorRecord`] is the unit the analysis pipeline operates on after
+//! Stage I extraction: one logged XID occurrence with its timestamp, the
+//! emitting GPU, and enough message detail to decide whether two log lines
+//! are "identical" for coalescing purposes (Algorithm 1 coalesces entries
+//! with identical message text from the same GPU).
+
+use crate::ids::GpuId;
+use crate::time::Timestamp;
+use crate::xid::Xid;
+
+/// Message-level detail that distinguishes otherwise-identical XID lines.
+///
+/// Algorithm 1 treats two log lines as the same error only if the message
+/// text matches; the detail fields below are exactly what varies inside the
+/// message body of each XID type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct ErrorDetail {
+    /// NVLink link index (XID 74), DRAM bank (XID 48/63/64/94/95), MMU
+    /// engine id (XID 31), or GSP RPC function number (XID 119).
+    pub unit: u16,
+    /// Secondary qualifier: DRAM row, MMU fault address page, etc.
+    pub qualifier: u32,
+}
+
+impl ErrorDetail {
+    pub const NONE: ErrorDetail = ErrorDetail {
+        unit: 0,
+        qualifier: 0,
+    };
+
+    pub const fn new(unit: u16, qualifier: u32) -> Self {
+        ErrorDetail { unit, qualifier }
+    }
+}
+
+/// One logged XID occurrence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ErrorRecord {
+    /// Wall-clock time the driver logged the line.
+    pub at: Timestamp,
+    /// The GPU that reported the error (node + PCI address).
+    pub gpu: GpuId,
+    /// The XID code.
+    pub xid: Xid,
+    /// Message-body detail used for identity comparison.
+    pub detail: ErrorDetail,
+}
+
+impl ErrorRecord {
+    pub const fn new(at: Timestamp, gpu: GpuId, xid: Xid, detail: ErrorDetail) -> Self {
+        ErrorRecord {
+            at,
+            gpu,
+            xid,
+            detail,
+        }
+    }
+
+    /// Identity key for coalescing: same GPU + same XID + same message
+    /// detail. Timestamps are deliberately excluded.
+    #[inline]
+    pub fn identity(&self) -> (GpuId, Xid, ErrorDetail) {
+        (self.gpu, self.xid, self.detail)
+    }
+
+    /// Whether `other` is "the same error" in Algorithm 1's sense.
+    #[inline]
+    pub fn same_error(&self, other: &ErrorRecord) -> bool {
+        self.identity() == other.identity()
+    }
+}
+
+/// Sort records by (time, gpu, xid) — the canonical log order used by the
+/// pipeline. Stable across runs because all fields are totally ordered.
+pub fn sort_records(records: &mut [ErrorRecord]) {
+    records.sort_by(|a, b| {
+        a.at.cmp(&b.at)
+            .then_with(|| a.gpu.cmp(&b.gpu))
+            .then_with(|| a.xid.cmp(&b.xid))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+    use crate::time::Duration;
+
+    fn rec(secs: u64, node: u32, xid: Xid) -> ErrorRecord {
+        ErrorRecord::new(
+            Timestamp::EPOCH + Duration::from_secs(secs),
+            GpuId::at_slot(NodeId(node), 0),
+            xid,
+            ErrorDetail::NONE,
+        )
+    }
+
+    #[test]
+    fn identity_ignores_time() {
+        let a = rec(1, 1, Xid::GspRpcTimeout);
+        let b = rec(500, 1, Xid::GspRpcTimeout);
+        assert!(a.same_error(&b));
+    }
+
+    #[test]
+    fn identity_distinguishes_gpu_xid_and_detail() {
+        let a = rec(1, 1, Xid::GspRpcTimeout);
+        assert!(!a.same_error(&rec(1, 2, Xid::GspRpcTimeout)));
+        assert!(!a.same_error(&rec(1, 1, Xid::MmuError)));
+        let mut c = a;
+        c.detail = ErrorDetail::new(3, 0);
+        assert!(!a.same_error(&c));
+    }
+
+    #[test]
+    fn sort_is_time_major() {
+        let mut v = vec![rec(5, 1, Xid::MmuError), rec(1, 9, Xid::NvlinkError)];
+        sort_records(&mut v);
+        assert_eq!(v[0].xid, Xid::NvlinkError);
+        assert_eq!(v[1].xid, Xid::MmuError);
+    }
+}

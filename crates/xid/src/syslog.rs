@@ -1,0 +1,160 @@
+//! NVRM-style syslog line rendering.
+//!
+//! The fault campaign emits *text* log lines in the same shape the NVIDIA
+//! kernel driver writes to the system log, e.g.:
+//!
+//! ```text
+//! Jan  2 03:04:05 gpub042 kernel: NVRM: Xid (PCI:0000:c1:00): 79, pid=2731, GPU has fallen off the bus.
+//! ```
+//!
+//! Stage I of the analysis pipeline (in `dr-logscan`) then re-extracts
+//! structured [`ErrorRecord`]s from this text with regular expressions,
+//! reproducing the paper's data-collection stage faithfully.
+
+use crate::record::{ErrorDetail, ErrorRecord};
+use crate::xid::Xid;
+
+/// Render the message body for `xid` with the record's detail fields
+/// interpolated where the real driver interpolates engine/link/bank/row
+/// information.
+pub fn message_body(xid: Xid, d: ErrorDetail) -> String {
+    match xid {
+        Xid::GraphicsEngineException => {
+            format!("Graphics Exception: ESR 0x{:x}=0x1000e", d.qualifier)
+        }
+        Xid::MmuError => format!(
+            "MMU Fault: ENGINE GRAPHICS GPCCLIENT_T1_{} faulted @ 0x7f_{:08x}",
+            d.unit, d.qualifier
+        ),
+        Xid::ResetChannelVerifError => {
+            format!("Reset Channel Verification Error on channel {}", d.unit)
+        }
+        Xid::DoubleBitEcc => format!(
+            "An uncorrectable double bit error (DBE) has been detected on bank {} row 0x{:x}",
+            d.unit, d.qualifier
+        ),
+        Xid::RowRemapEvent => format!(
+            "Row Remapper: remapping row 0x{:x} in bank {}",
+            d.qualifier, d.unit
+        ),
+        Xid::RowRemapFailure => format!(
+            "Row Remapper: Failed to remap row 0x{:x} in bank {}",
+            d.qualifier, d.unit
+        ),
+        Xid::NvlinkError => format!(
+            "NVLink: fatal error detected on link {} (0x{:x}, 0x0)",
+            d.unit, d.qualifier
+        ),
+        Xid::FallenOffBus => "GPU has fallen off the bus.".to_string(),
+        Xid::ContainedEcc => format!("Contained: SM (0x{:x}). RST: No, D-RST: No", d.unit),
+        Xid::UncontainedEcc => format!(
+            "Uncontained: LTC TAG (0x{:x},0x{:x}). RST: Yes, D-RST: No",
+            d.unit, d.qualifier
+        ),
+        Xid::GspRpcTimeout => format!(
+            "Timeout after 6s of waiting for RPC response from GPU{} GSP! Expected function {}",
+            d.unit, d.qualifier
+        ),
+        Xid::PmuSpiError => format!(
+            "PMU communication error: SPI RPC read failure (addr 0x{:x})",
+            d.qualifier
+        ),
+        Xid::Xid136 => format!("Event 136 reported on engine {}", d.unit),
+    }
+}
+
+/// Render one complete syslog line for an error record.
+///
+/// `pid` is the process id the driver attributes the error to (0 renders
+/// as `pid='<unknown>'`, which the real driver also does for errors that
+/// are not attributable to a process).
+pub fn format_line(rec: &ErrorRecord, pid: u32) -> String {
+    let pid_part = if pid == 0 {
+        "pid='<unknown>'".to_string()
+    } else {
+        format!("pid={pid}")
+    };
+    format!(
+        "{} {} kernel: NVRM: Xid (PCI:{}): {}, {}, {}",
+        rec.at.syslog(),
+        rec.gpu.node.hostname(),
+        rec.gpu.pci,
+        rec.xid.code(),
+        pid_part,
+        message_body(rec.xid, rec.detail),
+    )
+}
+
+/// Render a line of unrelated system noise (non-NVRM), used by the campaign
+/// to make extraction non-trivial: real logs are overwhelmingly noise.
+pub fn format_noise_line(at: crate::time::Timestamp, host: crate::ids::NodeId, kind: u8) -> String {
+    let body = match kind % 5 {
+        0 => "systemd[1]: Started Session 4221 of user jdoe.",
+        1 => "kernel: perf: interrupt took too long (2501 > 2500), lowering kernel.perf_event_max_sample_rate",
+        2 => "slurmd[2201]: launch task StepId=118392.0 request from UID:4242",
+        3 => "kernel: EXT4-fs (nvme0n1p2): mounted filesystem with ordered data mode.",
+        _ => "sshd[9911]: Accepted publickey for ops from 10.0.3.7 port 51212",
+    };
+    format!("{} {} {}", at.syslog(), host.hostname(), body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{GpuId, NodeId};
+    use crate::time::{Duration, Timestamp};
+
+    fn rec(xid: Xid, detail: ErrorDetail) -> ErrorRecord {
+        ErrorRecord::new(
+            Timestamp::EPOCH + Duration::from_secs(86_400 + 3 * 3600 + 240 + 5),
+            GpuId::at_slot(NodeId(42), 5),
+            xid,
+            detail,
+        )
+    }
+
+    #[test]
+    fn fallen_off_bus_line_matches_driver_shape() {
+        let line = format_line(&rec(Xid::FallenOffBus, ErrorDetail::NONE), 2731);
+        assert_eq!(
+            line,
+            "Jan  2 03:04:05 gpub042 kernel: NVRM: Xid (PCI:0000:90:00): 79, \
+             pid=2731, GPU has fallen off the bus."
+        );
+    }
+
+    #[test]
+    fn unknown_pid_renders_like_driver() {
+        let line = format_line(&rec(Xid::GspRpcTimeout, ErrorDetail::new(0, 76)), 0);
+        assert!(line.contains("pid='<unknown>'"));
+        assert!(line.contains("Expected function 76"));
+    }
+
+    #[test]
+    fn detail_fields_appear_in_message() {
+        let line = format_line(&rec(Xid::NvlinkError, ErrorDetail::new(3, 0x10000)), 100);
+        assert!(line.contains("link 3"));
+        assert!(line.contains("0x10000"));
+        let line = format_line(&rec(Xid::RowRemapEvent, ErrorDetail::new(7, 0x1a2)), 100);
+        assert!(line.contains("row 0x1a2 in bank 7"));
+    }
+
+    #[test]
+    fn every_xid_renders_with_its_code() {
+        for x in Xid::ALL {
+            let line = format_line(&rec(x, ErrorDetail::new(1, 2)), 1);
+            assert!(
+                line.contains(&format!("): {},", x.code())),
+                "line missing code: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn noise_lines_are_not_nvrm() {
+        for k in 0..5 {
+            let line = format_noise_line(Timestamp::EPOCH, NodeId(1), k);
+            assert!(!line.contains("NVRM"));
+        }
+    }
+}

@@ -1,0 +1,403 @@
+//! Wall-clock timestamps for log records.
+//!
+//! The study spans 855 days (January 2022 – May 2024). Timestamps are
+//! microseconds since the campaign epoch, fixed at **2022-01-01 00:00:00
+//! UTC**, which keeps arithmetic exact and rendering (syslog / ISO-8601)
+//! deterministic without pulling in a date-time dependency.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// Microseconds in one second.
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+/// Seconds in one hour.
+pub const SECS_PER_HOUR: u64 = 3_600;
+/// Seconds in one day.
+pub const SECS_PER_DAY: u64 = 86_400;
+
+/// Unix seconds of the campaign epoch, 2022-01-01T00:00:00Z.
+pub const EPOCH_UNIX_SECS: i64 = 1_640_995_200;
+
+/// A span of time, microsecond resolution.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl Duration {
+    pub const ZERO: Duration = Duration(0);
+
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Duration(us)
+    }
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms * 1_000)
+    }
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Duration(s * MICROS_PER_SEC)
+    }
+    #[inline]
+    pub const fn from_mins(m: u64) -> Self {
+        Duration::from_secs(m * 60)
+    }
+    #[inline]
+    pub const fn from_hours(h: u64) -> Self {
+        Duration::from_secs(h * SECS_PER_HOUR)
+    }
+    #[inline]
+    pub const fn from_days(d: u64) -> Self {
+        Duration::from_secs(d * SECS_PER_DAY)
+    }
+    /// Construct from fractional seconds (saturating at zero for negatives).
+    pub fn from_secs_f64(s: f64) -> Self {
+        Duration((s.max(0.0) * MICROS_PER_SEC as f64).round() as u64)
+    }
+
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+    #[inline]
+    pub fn as_hours_f64(self) -> f64 {
+        self.as_secs_f64() / SECS_PER_HOUR as f64
+    }
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The smaller of two durations.
+    #[inline]
+    pub fn min(self, rhs: Duration) -> Duration {
+        if self.0 <= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// A wall-clock instant: microseconds since the campaign epoch
+/// (2022-01-01T00:00:00Z).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// The campaign epoch itself.
+    pub const EPOCH: Timestamp = Timestamp(0);
+
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Timestamp(us)
+    }
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Timestamp(s * MICROS_PER_SEC)
+    }
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Time elapsed since `earlier`; panics if `earlier` is later.
+    #[inline]
+    pub fn since(self, earlier: Timestamp) -> Duration {
+        Duration(self.0 - earlier.0)
+    }
+
+    /// Time elapsed since `earlier`, saturating at zero.
+    #[inline]
+    pub fn saturating_since(self, earlier: Timestamp) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Subtract a duration, saturating at the epoch.
+    #[inline]
+    pub fn saturating_sub(self, d: Duration) -> Timestamp {
+        Timestamp(self.0.saturating_sub(d.as_micros()))
+    }
+
+    /// Unix seconds of this instant.
+    #[inline]
+    pub fn unix_secs(self) -> i64 {
+        EPOCH_UNIX_SECS + (self.0 / MICROS_PER_SEC) as i64
+    }
+
+    /// Build a timestamp from a UTC civil date-time.
+    ///
+    /// Returns `None` for dates before the campaign epoch (2022-01-01).
+    pub fn from_civil(year: i32, month: u8, day: u8, hour: u8, minute: u8, second: u8) -> Option<Timestamp> {
+        let days = days_from_civil(year, month, day) - EPOCH_UNIX_SECS / SECS_PER_DAY as i64;
+        if days < 0 {
+            return None;
+        }
+        let secs = days as u64 * SECS_PER_DAY
+            + hour as u64 * SECS_PER_HOUR
+            + minute as u64 * 60
+            + second as u64;
+        Some(Timestamp::from_secs(secs))
+    }
+
+    /// Broken-down UTC civil time.
+    pub fn civil(self) -> CivilTime {
+        let total_secs = self.0 / MICROS_PER_SEC;
+        let days = (total_secs / SECS_PER_DAY) as i64;
+        let secs_of_day = total_secs % SECS_PER_DAY;
+        // Days since Unix epoch = days since our epoch + days(1970..2022).
+        let (y, m, d) = civil_from_days(days + EPOCH_UNIX_SECS / SECS_PER_DAY as i64);
+        CivilTime {
+            year: y,
+            month: m,
+            day: d,
+            hour: (secs_of_day / SECS_PER_HOUR) as u8,
+            minute: ((secs_of_day % SECS_PER_HOUR) / 60) as u8,
+            second: (secs_of_day % 60) as u8,
+            micros: (self.0 % MICROS_PER_SEC) as u32,
+        }
+    }
+
+    /// Render in classic syslog style: `Jan  2 03:04:05`.
+    pub fn syslog(self) -> String {
+        let c = self.civil();
+        format!(
+            "{} {:>2} {:02}:{:02}:{:02}",
+            MONTH_ABBREV[(c.month - 1) as usize],
+            c.day,
+            c.hour,
+            c.minute,
+            c.second
+        )
+    }
+
+    /// Render as ISO-8601 with microseconds: `2022-01-02T03:04:05.000006Z`.
+    pub fn iso8601(self) -> String {
+        let c = self.civil();
+        format!(
+            "{:04}-{:02}-{:02}T{:02}:{:02}:{:02}.{:06}Z",
+            c.year, c.month, c.day, c.hour, c.minute, c.second, c.micros
+        )
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn add(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Timestamp {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Timestamp {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Timestamp) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.iso8601())
+    }
+}
+
+/// Broken-down UTC time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CivilTime {
+    pub year: i32,
+    pub month: u8,
+    pub day: u8,
+    pub hour: u8,
+    pub minute: u8,
+    pub second: u8,
+    pub micros: u32,
+}
+
+const MONTH_ABBREV: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+
+/// Month abbreviation lookup for syslog parsing (`"Jan"` → 1).
+pub fn month_from_abbrev(abbrev: &str) -> Option<u8> {
+    MONTH_ABBREV
+        .iter()
+        .position(|&m| m == abbrev)
+        .map(|i| (i + 1) as u8)
+}
+
+/// Convert a (year, month, day) civil date to days since the Unix epoch
+/// (Howard Hinnant's `days_from_civil`).
+fn days_from_civil(y: i32, m: u8, d: u8) -> i64 {
+    let y = y as i64 - if m <= 2 { 1 } else { 0 };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let m = m as i64;
+    let d = d as i64;
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+/// Convert days since the Unix epoch to (year, month, day).
+///
+/// Howard Hinnant's `civil_from_days` algorithm, exact for the proleptic
+/// Gregorian calendar.
+fn civil_from_days(z: i64) -> (i32, u8, u8) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64; // [0, 146096]
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u8; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8; // [1, 12]
+    ((y + if m <= 2 { 1 } else { 0 }) as i32, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_jan_1_2022() {
+        let c = Timestamp::EPOCH.civil();
+        assert_eq!((c.year, c.month, c.day), (2022, 1, 1));
+        assert_eq!((c.hour, c.minute, c.second), (0, 0, 0));
+    }
+
+    #[test]
+    fn civil_round_trips_through_known_dates() {
+        // 2022-03-01 (after a non-leap February).
+        let t = Timestamp::from_secs(59 * SECS_PER_DAY);
+        let c = t.civil();
+        assert_eq!((c.year, c.month, c.day), (2022, 3, 1));
+        // 2024-02-29 (leap day), day index 789 from 2022-01-01.
+        let t = Timestamp::from_secs(789 * SECS_PER_DAY);
+        let c = t.civil();
+        assert_eq!((c.year, c.month, c.day), (2024, 2, 29));
+    }
+
+    #[test]
+    fn campaign_end_is_may_2024() {
+        // 855 days after 2022-01-01 lands in May 2024 as the paper states.
+        let t = Timestamp::from_secs(854 * SECS_PER_DAY);
+        let c = t.civil();
+        assert_eq!((c.year, c.month), (2024, 5));
+    }
+
+    #[test]
+    fn syslog_format_pads_day() {
+        let t = Timestamp::from_secs(SECS_PER_DAY + 3 * SECS_PER_HOUR + 4 * 60 + 5);
+        assert_eq!(t.syslog(), "Jan  2 03:04:05");
+    }
+
+    #[test]
+    fn iso8601_includes_micros() {
+        let t = Timestamp::from_micros(6) + Duration::from_days(1);
+        assert_eq!(t.iso8601(), "2022-01-02T00:00:00.000006Z");
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = Duration::from_secs(90);
+        assert_eq!(d.as_secs_f64(), 90.0);
+        assert_eq!((d + Duration::from_secs(10)).as_secs_f64(), 100.0);
+        assert_eq!(d.saturating_sub(Duration::from_hours(1)), Duration::ZERO);
+        assert_eq!(Duration::from_hours(2).as_hours_f64(), 2.0);
+    }
+
+    #[test]
+    fn timestamp_ordering_and_since() {
+        let a = Timestamp::from_secs(10);
+        let b = Timestamp::from_secs(25);
+        assert!(a < b);
+        assert_eq!(b.since(a).as_secs_f64(), 15.0);
+        assert_eq!(a.saturating_since(b), Duration::ZERO);
+    }
+
+    #[test]
+    fn unix_secs_matches_known_value() {
+        assert_eq!(Timestamp::EPOCH.unix_secs(), 1_640_995_200);
+    }
+
+    #[test]
+    fn from_civil_round_trips() {
+        for &(y, mo, d, h, mi, s) in &[
+            (2022, 1, 1, 0, 0, 0),
+            (2022, 12, 31, 23, 59, 59),
+            (2024, 2, 29, 12, 30, 15),
+            (2024, 5, 4, 6, 7, 8),
+        ] {
+            let t = Timestamp::from_civil(y, mo, d, h, mi, s).unwrap();
+            let c = t.civil();
+            assert_eq!(
+                (c.year, c.month, c.day, c.hour, c.minute, c.second),
+                (y, mo, d, h, mi, s)
+            );
+        }
+    }
+
+    #[test]
+    fn from_civil_rejects_pre_epoch() {
+        assert_eq!(Timestamp::from_civil(2021, 12, 31, 23, 0, 0), None);
+    }
+
+    #[test]
+    fn month_abbrev_lookup() {
+        assert_eq!(month_from_abbrev("Jan"), Some(1));
+        assert_eq!(month_from_abbrev("Dec"), Some(12));
+        assert_eq!(month_from_abbrev("Foo"), None);
+    }
+}

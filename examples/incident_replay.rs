@@ -1,0 +1,15 @@
+//! Replay the paper's incident narratives (Figure 1 and Figure 8) through
+//! the mechanistic device models, printing the timestamped traces.
+//!
+//! ```sh
+//! cargo run --example incident_replay
+//! ```
+
+use gpu_resilience::faults::all_scenarios;
+
+fn main() {
+    for scenario in all_scenarios() {
+        println!("{}", scenario.render());
+        println!();
+    }
+}

@@ -1,0 +1,86 @@
+//! Section 5.4/5.5 projection: overprovisioning required by a large
+//! synchronous job under the measured failure/recovery distributions.
+//!
+//! Sweeps recovery time (40 min → 5 min) and node availability
+//! (99.5 % → 99.9 %) for the paper's 800-GPU, one-month scenario.
+//!
+//! ```sh
+//! cargo run --release --example overprovisioning
+//! ```
+
+use gpu_resilience::availsim::{
+    availability_sweep, recovery_sweep, simulate_mean, ProjectionConfig,
+};
+use gpu_resilience::report::{Align, Table};
+
+fn main() {
+    let base = ProjectionConfig::paper_scenario(1234);
+    let runs = 60;
+
+    // Headline points.
+    let r40 = simulate_mean(&base, runs);
+    let r5 = simulate_mean(&base.with_recovery_minutes(5.0), runs);
+    println!("== Section 5.4: 800-GPU, 1-month training job ==");
+    println!(
+        "recovery 40 min: overprovision {:.1}% (paper: 20%), efficiency {:.1}%, \
+         ~{:.0} extra GPUs",
+        r40.required_overprovision * 100.0,
+        r40.efficiency * 100.0,
+        r40.required_overprovision * base.job_gpus as f64
+    );
+    println!(
+        "recovery  5 min: overprovision {:.1}% (paper: 5%), efficiency {:.1}%, \
+         ~{:.0} extra GPUs",
+        r5.required_overprovision * 100.0,
+        r5.efficiency * 100.0,
+        r5.required_overprovision * base.job_gpus as f64
+    );
+    println!(
+        "reduction from faster recovery: {:.1}x (paper: 4x)\n",
+        r40.required_overprovision / r5.required_overprovision
+    );
+
+    // Recovery-time sweep.
+    let mut t = Table::new(vec![
+        "recovery (min)",
+        "restarts/month",
+        "stall (h)",
+        "efficiency %",
+        "overprovision %",
+    ])
+    .aligns(vec![Align::Right; 5])
+    .title("Recovery-time sweep (99.5% node availability)");
+    for row in recovery_sweep(&base, &[5.0, 10.0, 20.0, 30.0, 40.0, 60.0], runs) {
+        t.row(vec![
+            format!("{:.0}", row.recovery_min),
+            format!("{}", row.result.restarts / runs as u64),
+            format!("{:.1}", row.result.stall_h),
+            format!("{:.1}", row.result.efficiency * 100.0),
+            format!("{:.1}", row.result.required_overprovision * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Availability sweep (Section 5.5's what-if).
+    let mut t = Table::new(vec![
+        "node availability %",
+        "rate factor",
+        "efficiency %",
+        "overprovision %",
+    ])
+    .aligns(vec![Align::Right; 4])
+    .title("Availability sweep (40-minute recovery)");
+    for row in availability_sweep(&base, &[1.0, 0.7, 0.5, 67.0 / 223.0, 0.15], runs) {
+        t.row(vec![
+            format!("{:.2}", row.availability * 100.0),
+            format!("{:.2}", row.rate_factor),
+            format!("{:.1}", row.result.efficiency * 100.0),
+            format!("{:.1}", row.result.required_overprovision * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Improving availability 99.5% -> 99.9% cuts overprovisioning ~4x \
+         (Section 5.5), independent of the recovery-time lever."
+    );
+}

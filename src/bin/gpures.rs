@@ -1,0 +1,355 @@
+//! `gpures` — the command-line front end.
+//!
+//! ```text
+//! gpures campaign  --out DIR [--shape tiny|ampere|h100] [--days N] [--seed S] [--text-nodes N]
+//! gpures analyze   --logs DIR [--jobs FILE] [--downtime FILE] [--nodes N] [--hours H] [--dt SECS] [--dot DIR]
+//! gpures incidents
+//! gpures project   [--gpus N] [--recovery-min M] [--runs R]
+//! gpures monitor   [--log FILE] [--nodes N] [--every K]
+//! ```
+//!
+//! `campaign` materializes a synthetic study on disk: per-node syslog
+//! files, the job accounting table, and the repair intervals. `analyze`
+//! runs the full pipeline over *any* directory of per-node syslog files —
+//! synthetic or real — which is the adoption path for this library: point
+//! it at your cluster's logs.
+
+use gpu_resilience::core::{CoalesceConfig, StudyConfig, StudyResults};
+use gpu_resilience::faults::{all_scenarios, Campaign, CampaignConfig};
+use gpu_resilience::report::{self, files, render_summary};
+use gpu_resilience::slurm::{
+    apply_errors, csv as jobs_csv, DrainWindows, JobLoadConfig, MaskingModel, Scheduler,
+};
+use gpu_resilience::xid::{Duration, Xid};
+use rand::prelude::*;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "campaign" => cmd_campaign(&opts),
+        "analyze" => cmd_analyze(&opts),
+        "incidents" => cmd_incidents(),
+        "project" => cmd_project(&opts),
+        "monitor" => cmd_monitor(&opts),
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  gpures campaign  --out DIR [--shape tiny|ampere|h100] [--days N] [--seed S] [--text-nodes N]
+  gpures analyze   --logs DIR [--jobs FILE] [--downtime FILE] [--nodes N] [--hours H] [--dt SECS] [--dot DIR]
+  gpures incidents
+  gpures project   [--gpus N] [--recovery-min M] [--runs R]
+  gpures monitor   [--log FILE] [--nodes N] [--every K]   (FILE or stdin; live Table 1)";
+
+/// `--key value` option bag with typed getters.
+struct Opts(HashMap<String, String>);
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(k) = it.next() {
+        let key = k
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --option, got {k:?}"))?;
+        let v = it
+            .next()
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        map.insert(key.to_string(), v.clone());
+    }
+    Ok(Opts(map))
+}
+
+impl Opts {
+    fn str(&self, key: &str) -> Option<&str> {
+        self.0.get(key).map(|s| s.as_str())
+    }
+    fn path(&self, key: &str) -> Option<PathBuf> {
+        self.str(key).map(PathBuf::from)
+    }
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.str(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad --{key} value {v:?}")),
+        }
+    }
+    fn required_path(&self, key: &str) -> Result<PathBuf, String> {
+        self.path(key).ok_or_else(|| format!("--{key} is required"))
+    }
+}
+
+fn cmd_campaign(opts: &Opts) -> Result<(), String> {
+    let out_dir = opts.required_path("out")?;
+    let seed: u64 = opts.num("seed", 42)?;
+    let shape = opts.str("shape").unwrap_or("tiny");
+    let mut cfg = match shape {
+        "tiny" => CampaignConfig::tiny(seed),
+        "ampere" => CampaignConfig::ampere_study(seed),
+        "h100" => CampaignConfig::h100_study(seed),
+        other => return Err(format!("unknown --shape {other:?}")),
+    };
+    cfg.duration_days = opts.num("days", cfg.duration_days)?;
+    cfg.text_nodes = opts.num("text-nodes", cfg.text_nodes.max(4))?;
+
+    eprintln!(
+        "running {shape} campaign: {} nodes, {:.0} days, text for {} nodes ...",
+        cfg.shape.node_count(),
+        cfg.duration_days,
+        cfg.text_nodes
+    );
+    let out = Campaign::run(cfg);
+
+    // Workload + impact, so the accounting table reflects the errors.
+    let drains = DrainWindows::from_events(
+        out.events.iter().map(|e| (e.gpu.node, e.at)),
+        Duration::from_hours(24),
+    );
+    let jobs_per_node_day = 25.0;
+    let load = JobLoadConfig {
+        total_jobs: (out.fleet.node_count() as f64
+            * out.duration.as_hours_f64() / 24.0
+            * jobs_per_node_day) as u64,
+        duration_days: out.duration.as_hours_f64() / 24.0,
+        ..JobLoadConfig::delta_study(seed ^ 0x10b5)
+    };
+    let mut schedule = Scheduler::new(load).run(&out.fleet, &drains);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1133);
+    apply_errors(&mut schedule.jobs, &out.events, &MaskingModel::default(), &mut rng);
+
+    let log_dir = out_dir.join("logs");
+    files::write_node_logs(&log_dir, &out.text_logs).map_err(|e| e.to_string())?;
+    std::fs::write(out_dir.join("jobs.csv"), jobs_csv::to_csv(&schedule.jobs))
+        .map_err(|e| e.to_string())?;
+    std::fs::write(
+        out_dir.join("downtime.csv"),
+        files::downtime_to_csv(&out.downtime),
+    )
+    .map_err(|e| e.to_string())?;
+
+    let total_lines: usize = out.text_logs.iter().map(|(_, l)| l.len()).sum();
+    println!(
+        "wrote {} node logs ({total_lines} lines), {} jobs, {} downtime intervals to {}",
+        out.text_logs.len(),
+        schedule.jobs.len(),
+        out.downtime.len(),
+        out_dir.display()
+    );
+    println!(
+        "analyze with:\n  gpures analyze --logs {} --jobs {} --downtime {} --nodes {} --hours {:.0}",
+        log_dir.display(),
+        out_dir.join("jobs.csv").display(),
+        out_dir.join("downtime.csv").display(),
+        out.fleet.node_count(),
+        out.observation_hours()
+    );
+    Ok(())
+}
+
+fn cmd_analyze(opts: &Opts) -> Result<(), String> {
+    let log_dir = opts.required_path("logs")?;
+    let logs = files::read_node_logs(&log_dir).map_err(|e| e.to_string())?;
+    if logs.is_empty() {
+        return Err(format!("no .log files in {}", log_dir.display()));
+    }
+
+    let jobs = match opts.path("jobs") {
+        None => None,
+        Some(p) => {
+            let text = std::fs::read_to_string(&p).map_err(|e| e.to_string())?;
+            Some(jobs_csv::from_csv(&text).map_err(|e| e.to_string())?)
+        }
+    };
+    let downtime = match opts.path("downtime") {
+        None => None,
+        Some(p) => {
+            let text = std::fs::read_to_string(&p).map_err(|e| e.to_string())?;
+            Some(files::downtime_from_csv(&text)?)
+        }
+    };
+
+    let nodes: u32 = opts.num("nodes", logs.len() as u32)?;
+    let default_hours = 855.0 * 24.0;
+    let hours: f64 = opts.num("hours", default_hours)?;
+    let dt: u64 = opts.num("dt", 5)?;
+
+    let cfg = StudyConfig {
+        coalesce: CoalesceConfig::with_window_secs(dt),
+        ..StudyConfig::ampere_study()
+    }
+    .with_window(hours, nodes);
+
+    eprintln!(
+        "analyzing {} node logs ({} lines) ...",
+        logs.len(),
+        logs.iter().map(|(_, l)| l.len()).sum::<usize>()
+    );
+    let (results, stats) =
+        StudyResults::from_text_logs(&logs, jobs.as_deref(), downtime.as_deref(), cfg);
+    eprintln!(
+        "extraction: {} lines, {} XID lines, {} unknown, {} malformed",
+        stats.lines, stats.xid_lines, stats.unknown_xid, stats.malformed
+    );
+
+    println!("{}", report::render_table1(&results).render());
+    if let Some(ji) = &results.job_impact {
+        println!("{}", report::render_table2(ji).render());
+    }
+    if let Some(t3) = &results.table3 {
+        println!("{}", report::render_table3(t3).render());
+    }
+    println!("{}", render_summary(&results));
+
+    if let Some(dot_dir) = opts.path("dot") {
+        std::fs::create_dir_all(&dot_dir).map_err(|e| e.to_string())?;
+        let figs: [(&str, String); 3] = [
+            ("fig5.dot", report::render_fig5(&results.propagation)),
+            ("fig6.dot", report::render_fig6(&results.propagation)),
+            ("fig7.dot", report::render_fig7(&results.propagation)),
+        ];
+        for (name, body) in figs {
+            std::fs::write(dot_dir.join(name), body).map_err(|e| e.to_string())?;
+        }
+        println!("propagation graphs written to {}", dot_dir.display());
+    }
+    Ok(())
+}
+
+fn cmd_incidents() -> Result<(), String> {
+    for s in all_scenarios() {
+        println!("{}\n", s.render());
+    }
+    Ok(())
+}
+
+fn cmd_project(opts: &Opts) -> Result<(), String> {
+    use gpu_resilience::availsim::{simulate_mean, ProjectionConfig};
+    let mut cfg = ProjectionConfig::paper_scenario(opts.num("seed", 1)?);
+    cfg.job_gpus = opts.num("gpus", cfg.job_gpus)?;
+    let recovery: f64 = opts.num("recovery-min", 40.0)?;
+    let runs: u32 = opts.num("runs", 40)?;
+    let r = simulate_mean(&cfg.with_recovery_minutes(recovery), runs);
+    println!(
+        "{} GPUs, {:.0}-minute recovery: overprovision {:.1}% (~{:.0} extra GPUs), \
+         efficiency {:.1}%, {} restarts/month",
+        cfg.job_gpus,
+        recovery,
+        r.required_overprovision * 100.0,
+        r.required_overprovision * cfg.job_gpus as f64,
+        r.efficiency * 100.0,
+        r.restarts / runs as u64,
+    );
+    Ok(())
+}
+
+/// Streaming mode: feed syslog lines (a file or stdin) through the online
+/// pipeline — incremental coalescing plus the constant-memory live
+/// Table 1 — and print a status block every `--every` closed episodes.
+/// This is the shape of the SRE monitor the paper's Section 4.3 calls for.
+fn cmd_monitor(opts: &Opts) -> Result<(), String> {
+    use gpu_resilience::core::{CoalesceConfig, OnlineStats, StreamCoalescer};
+    use gpu_resilience::logscan::XidExtractor;
+    use std::io::BufRead;
+
+    let nodes: u32 = opts.num("nodes", 206)?;
+    let every: u64 = opts.num("every", 500)?;
+    let reader: Box<dyn BufRead> = match opts.path("log") {
+        Some(p) => Box::new(std::io::BufReader::new(
+            std::fs::File::open(&p).map_err(|e| format!("{}: {e}", p.display()))?,
+        )),
+        None => Box::new(std::io::BufReader::new(std::io::stdin())),
+    };
+
+    let mut extractor = XidExtractor::new();
+    let mut coalescer = StreamCoalescer::new(CoalesceConfig::default());
+    let mut stats = OnlineStats::new(nodes);
+    let mut closed_total = 0u64;
+    let mut last_print = 0u64;
+
+    let print_status = |stats: &OnlineStats, closed_total: u64, open: usize| {
+        println!(
+            "-- live Table 1 after {closed_total} coalesced errors ({open} bursts open, \
+             {:.1} h observed) --",
+            stats.observation_hours()
+        );
+        for row in stats.rows() {
+            if row.count == 0 {
+                continue;
+            }
+            println!(
+                "  {:<22} count {:>8}  MTBE/node {:>12}  persistence mean {:>8.2}s  p50 {:>7.2}s  p95 {:>8.2}s",
+                row.xid.abbrev(),
+                row.count,
+                row.mtbe_per_node_h
+                    .map(|h| format!("{h:.1} h"))
+                    .unwrap_or_else(|| "-".into()),
+                row.persistence_mean_s,
+                row.persistence_p50_s.unwrap_or(0.0),
+                row.persistence_p95_s.unwrap_or(0.0),
+            );
+        }
+    };
+
+    for line in reader.lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let Some(record) = extractor.extract_line(&line) else {
+            continue;
+        };
+        for episode in coalescer.push(&record) {
+            stats.observe(&episode);
+            closed_total += 1;
+            // Long-persister alert: the tail the paper says to watch.
+            if episode.persistence().as_secs_f64() > 600.0 {
+                println!(
+                    "ALERT long-persisting {} on {} ({:.0}s, {} lines) — reset recommended",
+                    episode.xid,
+                    episode.gpu,
+                    episode.persistence().as_secs_f64(),
+                    episode.merged
+                );
+            }
+        }
+        if closed_total >= last_print + every {
+            last_print = closed_total;
+            print_status(&stats, closed_total, coalescer.open_count());
+        }
+    }
+    for episode in coalescer.finish() {
+        stats.observe(&episode);
+        closed_total += 1;
+    }
+    print_status(&stats, closed_total, 0);
+    let s = extractor.stats();
+    eprintln!(
+        "scanned {} lines ({} XID lines, {} unknown, {} malformed)",
+        s.lines, s.xid_lines, s.unknown_xid, s.malformed
+    );
+    Ok(())
+}
+
+/// Keep Xid linked in even in minimal builds (used by analyze output).
+#[allow(dead_code)]
+fn _assert_types(p: &Path) -> Option<Xid> {
+    let _ = p;
+    None
+}

@@ -1,0 +1,119 @@
+//! End-to-end tests of the `gpures` binary: campaign-to-disk, file-based
+//! analysis, the streaming monitor, incidents, and the projection command.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn gpures() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gpures"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gpures-cli-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn campaign_analyze_round_trip() {
+    let dir = temp_dir("roundtrip");
+
+    let out = gpures()
+        .args(["campaign", "--out"])
+        .arg(&dir)
+        .args(["--shape", "tiny", "--seed", "5", "--days", "10"])
+        .output()
+        .expect("run campaign");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(dir.join("jobs.csv").exists());
+    assert!(dir.join("downtime.csv").exists());
+    assert!(dir.join("logs").read_dir().unwrap().count() >= 4);
+
+    let dot_dir = dir.join("dot");
+    let out = gpures()
+        .args(["analyze", "--logs"])
+        .arg(dir.join("logs"))
+        .arg("--jobs")
+        .arg(dir.join("jobs.csv"))
+        .arg("--downtime")
+        .arg(dir.join("downtime.csv"))
+        .args(["--nodes", "6", "--hours", "240", "--dot"])
+        .arg(&dot_dir)
+        .output()
+        .expect("run analyze");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Table 1"), "missing Table 1:\n{stdout}");
+    assert!(stdout.contains("Table 2"));
+    assert!(stdout.contains("Study summary"));
+    assert!(dot_dir.join("fig5.dot").exists());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn monitor_streams_a_log_file() {
+    let dir = temp_dir("monitor");
+    let out = gpures()
+        .args(["campaign", "--out"])
+        .arg(&dir)
+        .args(["--shape", "tiny", "--seed", "6", "--days", "8"])
+        .output()
+        .expect("run campaign");
+    assert!(out.status.success());
+
+    // Pick the largest node log and stream it.
+    let log = std::fs::read_dir(dir.join("logs"))
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .max_by_key(|p| p.metadata().map(|m| m.len()).unwrap_or(0))
+        .expect("a log file");
+    let out = gpures()
+        .args(["monitor", "--log"])
+        .arg(&log)
+        .args(["--nodes", "6", "--every", "50"])
+        .output()
+        .expect("run monitor");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("live Table 1"), "no live table:\n{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("scanned"), "no scan summary:\n{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn incidents_and_project_commands() {
+    let out = gpures().arg("incidents").output().expect("run incidents");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Figure 1"));
+    assert!(stdout.contains("17-day"));
+
+    let out = gpures()
+        .args(["project", "--gpus", "800", "--recovery-min", "40", "--runs", "10"])
+        .output()
+        .expect("run project");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("overprovision"), "{stdout}");
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let out = gpures().output().expect("run bare");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    let out = gpures().arg("frobnicate").output().expect("run unknown");
+    assert!(!out.status.success());
+
+    let out = gpures()
+        .args(["analyze", "--logs", "/nonexistent-dir-xyz"])
+        .output()
+        .expect("run bad analyze");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}

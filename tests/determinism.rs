@@ -1,0 +1,60 @@
+//! Reproducibility: identical seeds must give bit-identical results
+//! through the whole stack, and different seeds must differ.
+
+use gpu_resilience::availsim::{simulate, ProjectionConfig};
+use gpu_resilience::core::{StudyConfig, StudyResults};
+use gpu_resilience::faults::{Campaign, CampaignConfig};
+use gpu_resilience::slurm::{DrainWindows, JobLoadConfig, Scheduler};
+
+#[test]
+fn campaign_is_bit_reproducible() {
+    let a = Campaign::run(CampaignConfig::tiny(77));
+    let b = Campaign::run(CampaignConfig::tiny(77));
+    assert_eq!(a.records, b.records);
+    assert_eq!(a.events.len(), b.events.len());
+    assert!(a.events.iter().zip(&b.events).all(|(x, y)| x == y));
+    assert_eq!(a.downtime, b.downtime);
+    assert_eq!(a.text_logs, b.text_logs);
+}
+
+#[test]
+fn pipeline_is_deterministic_including_parallel_extraction() {
+    // The text path fans extraction across threads; results must still be
+    // identical run to run (dr-par restores input order).
+    let out = Campaign::run(CampaignConfig::tiny(78));
+    let cfg = StudyConfig::ampere_study()
+        .with_window(out.observation_hours(), out.fleet.node_count() as u32);
+    let (r1, s1) = StudyResults::from_text_logs(&out.text_logs, None, None, cfg);
+    let (r2, s2) = StudyResults::from_text_logs(&out.text_logs, None, None, cfg);
+    assert_eq!(s1, s2);
+    assert_eq!(r1.coalesced, r2.coalesced);
+    assert_eq!(r1.overall_mtbe_h, r2.overall_mtbe_h);
+}
+
+#[test]
+fn scheduler_is_deterministic() {
+    let out = Campaign::run(CampaignConfig::tiny(79));
+    let drains = DrainWindows::default();
+    let s1 = Scheduler::new(JobLoadConfig::tiny(3)).run(&out.fleet, &drains);
+    let s2 = Scheduler::new(JobLoadConfig::tiny(3)).run(&out.fleet, &drains);
+    assert_eq!(s1.jobs.len(), s2.jobs.len());
+    for (a, b) in s1.jobs.iter().zip(&s2.jobs) {
+        assert_eq!(a.start, b.start);
+        assert_eq!(a.gpus, b.gpus);
+        assert_eq!(a.exit_code, b.exit_code);
+    }
+}
+
+#[test]
+fn projection_is_deterministic() {
+    let cfg = ProjectionConfig::paper_scenario(5);
+    assert_eq!(simulate(&cfg), simulate(&cfg));
+}
+
+#[test]
+fn seeds_actually_matter() {
+    let a = Campaign::run(CampaignConfig::tiny(1));
+    let b = Campaign::run(CampaignConfig::tiny(2));
+    assert_ne!(a.records.len(), 0);
+    assert_ne!(a.records, b.records);
+}
