@@ -47,8 +47,8 @@ impl ProjectionConfig {
     }
 
     /// Same scenario with a different recovery time (minutes).
-    pub fn with_recovery_minutes(mut self, minutes: f64) -> Self {
-        self.recovery_h = minutes / 60.0;
+    pub fn with_recovery_minutes(mut self, recovery_min: f64) -> Self {
+        self.recovery_h = recovery_min / 60.0;
         self
     }
 

@@ -3,7 +3,7 @@
 //! * `ablation_coalesce_dt` — Δt ∈ {5, 10, 20} s: the Section 3.2
 //!   robustness claim (results stable, cost comparable).
 //! * `ablation_parallel_pipeline` — Stage I extraction with the
-//!   crossbeam-parallel map vs a sequential scan.
+//!   dr-par parallel map vs a sequential scan.
 //! * `ablation_propagation_window` — propagation-window sensitivity.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

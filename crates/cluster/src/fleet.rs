@@ -3,6 +3,7 @@
 use crate::node::{Node, NodeKind};
 use dr_gpu::{Gpu, GpuArch, RasTuning};
 use dr_xid::{GpuId, NodeId};
+// dr-lint: allow(determinism): hot-path O(1) device lookup; never iterated
 use std::collections::HashMap;
 
 /// How many nodes of each kind to build.
@@ -66,7 +67,9 @@ impl DeltaShape {
 #[derive(Clone, Debug)]
 pub struct Fleet {
     nodes: Vec<Node>,
-    /// GpuId -> (node index, slot) for O(1) device lookup.
+    /// GpuId -> (node index, slot) for O(1) device lookup. Only ever
+    /// queried by key, so iteration order cannot leak into results.
+    // dr-lint: allow(determinism): keyed get/insert only, never iterated
     index: HashMap<GpuId, (usize, usize)>,
 }
 
@@ -87,6 +90,7 @@ impl Fleet {
         push(&mut nodes, NodeKind::A100x8, shape.a100x8);
         push(&mut nodes, NodeKind::Gh200, shape.gh200);
 
+        // dr-lint: allow(determinism): keyed get/insert only, never iterated
         let mut index = HashMap::new();
         for (ni, node) in nodes.iter().enumerate() {
             for (si, gpu) in node.gpus.iter().enumerate() {

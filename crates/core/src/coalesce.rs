@@ -7,7 +7,7 @@
 //! uses Δt = 5 s (robust across 5–20 s) and caps persistence at one day.
 
 use dr_xid::{Duration, ErrorDetail, ErrorRecord, GpuId, Timestamp, Xid};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Coalescing parameters.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -67,8 +67,10 @@ impl CoalescedError {
 /// time within each group, merged with the Δt window, and the result is
 /// returned sorted by start time.
 pub fn coalesce(records: &[ErrorRecord], cfg: CoalesceConfig) -> Vec<CoalescedError> {
-    // Group by identity (the per-pattern filter of Algorithm 1).
-    let mut groups: HashMap<(GpuId, Xid, ErrorDetail), Vec<Timestamp>> = HashMap::new();
+    // Group by identity (the per-pattern filter of Algorithm 1). Ordered
+    // map: iteration order must not depend on hash state, or ties in the
+    // final sort would reshuffle between runs.
+    let mut groups: BTreeMap<(GpuId, Xid, ErrorDetail), Vec<Timestamp>> = BTreeMap::new();
     for r in records {
         groups.entry(r.identity()).or_default().push(r.at);
     }
@@ -104,7 +106,7 @@ pub fn coalesce(records: &[ErrorRecord], cfg: CoalesceConfig) -> Vec<CoalescedEr
             i += 1;
         }
     }
-    out.sort_by_key(|e| (e.start, e.gpu, e.xid));
+    out.sort_by_key(|e| (e.start, e.gpu, e.xid, e.detail));
     out
 }
 

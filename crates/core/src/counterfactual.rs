@@ -14,7 +14,7 @@
 use crate::coalesce::CoalescedError;
 use dr_stats::Mtbe;
 use dr_xid::{GpuId, Xid};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The Section 5.5 report.
 #[derive(Clone, Debug, PartialEq)]
@@ -50,7 +50,7 @@ pub fn counterfactual(
     let baseline_mtbe_h = mtbe.per_node_hours(baseline_count).unwrap_or(f64::INFINITY);
 
     // Top offender per error type.
-    let mut per_xid_gpu: HashMap<(Xid, GpuId), u64> = HashMap::new();
+    let mut per_xid_gpu: BTreeMap<(Xid, GpuId), u64> = BTreeMap::new();
     for e in &characterized {
         *per_xid_gpu.entry((e.xid, e.gpu)).or_default() += 1;
     }

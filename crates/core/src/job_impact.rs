@@ -10,7 +10,7 @@ use crate::coalesce::CoalescedError;
 use dr_slurm::{JobRecord, JobState};
 use dr_stats::{quantile_sorted, Histogram};
 use dr_xid::{Duration, GpuId, Xid};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One row of Table 2.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -98,7 +98,7 @@ pub fn analyze_jobs(
     cfg: JobImpactConfig,
 ) -> JobImpactAnalysis {
     // Index: errors per GPU, sorted by start time.
-    let mut by_gpu: HashMap<GpuId, Vec<&CoalescedError>> = HashMap::new();
+    let mut by_gpu: BTreeMap<GpuId, Vec<&CoalescedError>> = BTreeMap::new();
     for e in errors {
         by_gpu.entry(e.gpu).or_default().push(e);
     }
@@ -106,9 +106,9 @@ pub fn analyze_jobs(
         v.sort_by_key(|e| e.start);
     }
 
-    let mut encountering: HashMap<Xid, HashSet<u64>> = HashMap::new();
-    let mut failed_with: HashMap<Xid, HashSet<u64>> = HashMap::new();
-    let mut gpu_failed_jobs: HashSet<u64> = HashSet::new();
+    let mut encountering: BTreeMap<Xid, BTreeSet<u64>> = BTreeMap::new();
+    let mut failed_with: BTreeMap<Xid, BTreeSet<u64>> = BTreeMap::new();
+    let mut gpu_failed_jobs: BTreeSet<u64> = BTreeSet::new();
 
     let mut completed = 0u64;
     let mut failed_any = 0u64;

@@ -8,7 +8,7 @@
 use crate::coalesce::CoalescedError;
 use dr_stats::OnlineStats;
 use dr_xid::{Duration, Xid};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One edge of a propagation graph.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -47,12 +47,12 @@ pub struct PropagationAnalysis {
     /// Cross-GPU (same node) edges.
     pub inter: Vec<PropagationEdge>,
     /// P(no successor within Δt | e) per XID — terminal errors.
-    pub terminal: HashMap<Xid, f64>,
+    pub terminal: BTreeMap<Xid, f64>,
     /// P(no predecessor within Δt | e) per XID — the paper's "99 % of GSP
     /// errors appeared in isolation".
-    pub isolated: HashMap<Xid, f64>,
+    pub isolated: BTreeMap<Xid, f64>,
     /// Occurrences per XID (edge denominators).
-    pub sources: HashMap<Xid, u64>,
+    pub sources: BTreeMap<Xid, u64>,
     pub nvlink: NvlinkSpread,
 }
 
@@ -80,9 +80,11 @@ pub fn analyze_with_spread_window(
     window: Duration,
     spread_window: Duration,
 ) -> PropagationAnalysis {
-    // Per-GPU and per-node indices, each sorted by start time.
-    let mut by_gpu: HashMap<_, Vec<usize>> = HashMap::new();
-    let mut by_node: HashMap<_, Vec<usize>> = HashMap::new();
+    // Per-GPU and per-node indices, each sorted by start time. Ordered
+    // maps: the Welford delay accumulators below are float-summation
+    // order sensitive, so iteration must be reproducible.
+    let mut by_gpu: BTreeMap<_, Vec<usize>> = BTreeMap::new();
+    let mut by_node: BTreeMap<_, Vec<usize>> = BTreeMap::new();
     for (i, e) in errors.iter().enumerate() {
         by_gpu.entry(e.gpu).or_default().push(i);
         by_node.entry(e.gpu.node).or_default().push(i);
@@ -94,11 +96,11 @@ pub fn analyze_with_spread_window(
         v.sort_by_key(|&i| errors[i].start);
     }
 
-    let mut sources: HashMap<Xid, u64> = HashMap::new();
-    let mut intra_edges: HashMap<(Xid, Xid), (u64, OnlineStats)> = HashMap::new();
-    let mut inter_edges: HashMap<(Xid, Xid), (u64, OnlineStats)> = HashMap::new();
-    let mut terminal_counts: HashMap<Xid, u64> = HashMap::new();
-    let mut isolated_counts: HashMap<Xid, u64> = HashMap::new();
+    let mut sources: BTreeMap<Xid, u64> = BTreeMap::new();
+    let mut intra_edges: BTreeMap<(Xid, Xid), (u64, OnlineStats)> = BTreeMap::new();
+    let mut inter_edges: BTreeMap<(Xid, Xid), (u64, OnlineStats)> = BTreeMap::new();
+    let mut terminal_counts: BTreeMap<Xid, u64> = BTreeMap::new();
+    let mut isolated_counts: BTreeMap<Xid, u64> = BTreeMap::new();
 
     // Intra-GPU pass.
     for list in by_gpu.values() {
@@ -156,7 +158,7 @@ pub fn analyze_with_spread_window(
         }
     }
 
-    let to_edges = |map: HashMap<(Xid, Xid), (u64, OnlineStats)>| -> Vec<PropagationEdge> {
+    let to_edges = |map: BTreeMap<(Xid, Xid), (u64, OnlineStats)>| -> Vec<PropagationEdge> {
         let mut v: Vec<PropagationEdge> = map
             .into_iter()
             .map(|((from, to), (count, delays))| PropagationEdge {
@@ -176,7 +178,7 @@ pub fn analyze_with_spread_window(
         v
     };
 
-    let ratio = |counts: &HashMap<Xid, u64>| -> HashMap<Xid, f64> {
+    let ratio = |counts: &BTreeMap<Xid, u64>| -> BTreeMap<Xid, f64> {
         counts
             .iter()
             .map(|(&xid, &c)| (xid, c as f64 / *sources.get(&xid).unwrap_or(&1).max(&1) as f64))
@@ -199,7 +201,7 @@ pub fn analyze_with_spread_window(
 /// NVLink errors within Δt *after* it (itself included) — i.e. whether
 /// this error propagated across GPUs.
 pub fn nvlink_spread(errors: &[CoalescedError], window: Duration) -> NvlinkSpread {
-    let mut by_node: HashMap<_, Vec<&CoalescedError>> = HashMap::new();
+    let mut by_node: BTreeMap<_, Vec<&CoalescedError>> = BTreeMap::new();
     for e in errors.iter().filter(|e| e.xid == Xid::NvlinkError) {
         by_node.entry(e.gpu.node).or_default().push(e);
     }

@@ -121,14 +121,14 @@ pub struct LostHours {
 /// how much of the loss the tail carries.
 pub fn lost_gpu_hours(errors: &[CoalescedError]) -> LostHours {
     // Per-XID p95 thresholds.
-    let mut per_xid: std::collections::HashMap<Xid, Vec<f64>> = std::collections::HashMap::new();
+    let mut per_xid: std::collections::BTreeMap<Xid, Vec<f64>> = std::collections::BTreeMap::new();
     for e in errors {
         per_xid
             .entry(e.xid)
             .or_default()
             .push(e.persistence().as_secs_f64());
     }
-    let thresholds: std::collections::HashMap<Xid, f64> = per_xid
+    let thresholds: std::collections::BTreeMap<Xid, f64> = per_xid
         .iter()
         .map(|(&xid, samples)| (xid, SummaryStats::from_samples(samples).p95))
         .collect();

@@ -14,7 +14,7 @@
 use crate::coalesce::{CoalesceConfig, CoalescedError};
 use dr_stats::{Mtbe, P2Quantile};
 use dr_xid::{ErrorDetail, ErrorRecord, GpuId, Timestamp, Xid};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An episode still inside its merge window.
 #[derive(Clone, Copy, Debug)]
@@ -28,7 +28,7 @@ struct OpenEpisode {
 #[derive(Clone, Debug)]
 pub struct StreamCoalescer {
     cfg: CoalesceConfig,
-    open: HashMap<(GpuId, Xid, ErrorDetail), OpenEpisode>,
+    open: BTreeMap<(GpuId, Xid, ErrorDetail), OpenEpisode>,
     /// Latest record timestamp seen (stream clock).
     now: Option<Timestamp>,
 }
@@ -37,7 +37,7 @@ impl StreamCoalescer {
     pub fn new(cfg: CoalesceConfig) -> Self {
         StreamCoalescer {
             cfg,
-            open: HashMap::new(),
+            open: BTreeMap::new(),
             now: None,
         }
     }
@@ -149,7 +149,7 @@ pub struct OnlineStats {
     node_count: u32,
     started: Option<Timestamp>,
     latest: Option<Timestamp>,
-    per_xid: HashMap<Xid, XidOnline>,
+    per_xid: BTreeMap<Xid, XidOnline>,
 }
 
 #[derive(Debug)]
@@ -177,7 +177,7 @@ impl OnlineStats {
             node_count: node_count.max(1),
             started: None,
             latest: None,
-            per_xid: HashMap::new(),
+            per_xid: BTreeMap::new(),
         }
     }
 

@@ -30,7 +30,7 @@ use dr_xid::syslog::{format_line, format_noise_line};
 use dr_xid::{Duration, ErrorDetail, ErrorRecord, GpuId, NodeId, Timestamp, Xid};
 use rand::rngs::StdRng;
 use rand::Rng;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Campaign configuration.
 #[derive(Clone, Debug)]
@@ -144,7 +144,7 @@ pub struct CampaignOutput {
     /// Campaign duration.
     pub duration: Duration,
     /// GPUs designated as defective offenders, per class.
-    pub offenders: HashMap<FaultClass, Vec<GpuId>>,
+    pub offenders: BTreeMap<FaultClass, Vec<GpuId>>,
 }
 
 impl CampaignOutput {
@@ -183,15 +183,15 @@ pub struct Campaign {
     cfg: CampaignConfig,
     fleet: Fleet,
     mixes: Vec<OffenderMix>,
-    persistence: HashMap<Xid, PersistenceModel>,
+    persistence: BTreeMap<Xid, PersistenceModel>,
     rng: StdRng,
     records: Vec<ErrorRecord>,
     events: Vec<ErrorEvent>,
     downtime: Vec<DowntimeInterval>,
-    repair_pending: HashSet<GpuId>,
+    repair_pending: BTreeSet<GpuId>,
     repair_dist: LogNormal,
     next_chain: u64,
-    offenders: HashMap<FaultClass, Vec<GpuId>>,
+    offenders: BTreeMap<FaultClass, Vec<GpuId>>,
     horizon: SimTime,
 }
 
@@ -217,7 +217,7 @@ impl Campaign {
             records: Vec::new(),
             events: Vec::new(),
             downtime: Vec::new(),
-            repair_pending: HashSet::new(),
+            repair_pending: BTreeSet::new(),
             next_chain: 0,
             offenders,
             horizon,
@@ -687,7 +687,7 @@ impl Campaign {
         if self.cfg.text_nodes == 0 {
             return Vec::new();
         }
-        let selected: HashSet<NodeId> = self
+        let selected: BTreeSet<NodeId> = self
             .fleet
             .nodes()
             .iter()
@@ -695,7 +695,7 @@ impl Campaign {
             .map(|n| n.id)
             .collect();
 
-        let mut per_node: HashMap<NodeId, Vec<(Timestamp, String)>> = HashMap::new();
+        let mut per_node: BTreeMap<NodeId, Vec<(Timestamp, String)>> = BTreeMap::new();
         for rec in &self.records {
             if selected.contains(&rec.gpu.node) {
                 let pid = if matches!(rec.xid, Xid::GraphicsEngineException) {
@@ -713,11 +713,9 @@ impl Campaign {
         let rate = self.cfg.noise_per_node_hour;
         if rate > 0.0 {
             let exp = Exp::new(rate);
-            // Deterministic iteration order: RNG consumption must not
-            // depend on HashSet ordering.
-            let mut ordered: Vec<NodeId> = selected.iter().copied().collect();
-            ordered.sort();
-            for node in ordered {
+            // BTreeSet iteration is ordered, so RNG consumption per node
+            // is independent of set internals.
+            for node in selected.iter().copied() {
                 let entry = per_node.entry(node).or_default();
                 let mut t = 0.0f64;
                 let horizon_h = Duration::from_micros(self.horizon).as_hours_f64();
@@ -768,8 +766,8 @@ fn designate_offenders(
     cfg: &CampaignConfig,
     fleet: &mut Fleet,
     rng: &mut StdRng,
-) -> HashMap<FaultClass, Vec<GpuId>> {
-    let mut out = HashMap::new();
+) -> BTreeMap<FaultClass, Vec<GpuId>> {
+    let mut out = BTreeMap::new();
     // Memory-defective population: spare-exhausted parts shared by the
     // DBE and SbePair classes so RRFs concentrate there.
     let a100s = fleet.gpu_ids_of(GpuArch::A100);
@@ -839,7 +837,7 @@ fn designate_offenders(
 fn build_mixes(
     cfg: &CampaignConfig,
     fleet: &Fleet,
-    offenders: &HashMap<FaultClass, Vec<GpuId>>,
+    offenders: &BTreeMap<FaultClass, Vec<GpuId>>,
 ) -> Vec<OffenderMix> {
     cfg.rates
         .specs
@@ -876,8 +874,8 @@ fn build_mixes(
 }
 
 /// Per-XID persistence models from the Table 1 triples.
-fn persistence_models() -> HashMap<Xid, PersistenceModel> {
-    let table: [(Xid, f64, f64, f64); 13] = [
+fn persistence_models() -> BTreeMap<Xid, PersistenceModel> {
+    let table: [(Xid, f64, f64, f64); 14] = [
         (Xid::MmuError, 2.85, 2.80, 5.80),
         (Xid::DoubleBitEcc, 0.14, 0.12, 0.24),
         (Xid::RowRemapEvent, 0.12, 0.12, 0.12),
@@ -887,6 +885,9 @@ fn persistence_models() -> HashMap<Xid, PersistenceModel> {
         (Xid::ContainedEcc, 0.12, 0.12, 0.14),
         (Xid::UncontainedEcc, 860.24, 75.22, 340.69),
         (Xid::GspRpcTimeout, 12.14, 0.03, 100.85),
+        // XID 120 shares 119's persistence profile: both clear only once
+        // the GSP is brought back by a reset.
+        (Xid::GspError, 12.14, 0.03, 100.85),
         (Xid::PmuSpiError, 0.05, 0.06, 0.08),
         (Xid::GraphicsEngineException, 0.5, 0.1, 2.0),
         (Xid::ResetChannelVerifError, 0.2, 0.1, 0.5),
@@ -901,6 +902,7 @@ fn persistence_models() -> HashMap<Xid, PersistenceModel> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
 
     #[test]
     fn tiny_campaign_runs_and_is_deterministic() {

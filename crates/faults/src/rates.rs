@@ -15,7 +15,7 @@
 use dr_xid::Xid;
 
 /// The primary fault classes the campaign schedules.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum FaultClass {
     /// Application-induced MMU faults (the bulk of XID 31).
     MmuApp,

@@ -19,6 +19,7 @@
 //! errors.
 
 use crate::arch::GpuArch;
+// dr-lint: allow(determinism): per-address SBE counter; entry-only hot path
 use std::collections::HashMap;
 
 /// Result of pushing one double-bit error through the RAS flow.
@@ -44,7 +45,9 @@ pub struct MemoryRas {
     /// Remaining spare rows per bank.
     spares: Vec<u16>,
     /// Corrected-SBE counts per (bank, row); two at the same address
-    /// trigger a remap on Ampere/Hopper.
+    /// trigger a remap on Ampere/Hopper. Entry-only access on the SBE
+    /// hot path — iteration order is never observed.
+    // dr-lint: allow(determinism): keyed entry() only, never iterated
     sbe_counts: HashMap<(u16, u32), u32>,
     /// Rows remapped so far (RRE count).
     remap_events: u64,
@@ -63,6 +66,7 @@ impl MemoryRas {
         MemoryRas {
             arch,
             spares: vec![caps.spare_rows_per_bank; caps.banks as usize],
+            // dr-lint: allow(determinism): keyed entry() only, never iterated
             sbe_counts: HashMap::new(),
             remap_events: 0,
             remap_failures: 0,

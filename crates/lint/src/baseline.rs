@@ -1,0 +1,211 @@
+//! The checked-in debt ledger with ratchet semantics.
+//!
+//! Format: one entry per line, `<lint-id> <count> <path>`, `#` comments.
+//! A (lint, path) group whose current violation count is **at or below**
+//! its baselined count is suppressed; a group that **grows** fails the
+//! whole group, so new debt cannot hide behind old debt. Shrinking debt
+//! is rewarded: `dr-lint --update-baseline` rewrites the ledger to the
+//! current (lower) counts.
+
+use crate::diag::Diagnostic;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Parsed baseline: allowed violation count per (lint id, path).
+#[derive(Clone, Debug, Default)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String), usize>,
+}
+
+impl Baseline {
+    /// Parse the ledger text. Unparseable lines are hard errors — a
+    /// silently ignored entry would un-suppress someone's debt.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        for (n, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, char::is_whitespace);
+            let (lint, count, path) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(l), Some(c), Some(p)) => (l, c, p.trim()),
+                _ => return Err(format!("baseline line {}: expected `<lint> <count> <path>`", n + 1)),
+            };
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("baseline line {}: bad count {count:?}", n + 1))?;
+            entries.insert((lint.to_string(), path.to_string()), count);
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Load from disk; a missing file is an empty baseline.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Baseline::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::default()),
+            Err(e) => Err(format!("{}: {e}", path.display())),
+        }
+    }
+
+    pub fn allowed(&self, lint: &str, path: &str) -> usize {
+        self.entries
+            .get(&(lint.to_string(), path.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Render a ledger for the given current violation counts.
+    pub fn render(groups: &BTreeMap<(String, String), usize>) -> String {
+        let mut out = String::from(
+            "# dr-lint baseline — pre-existing debt, ratcheted.\n\
+             # Format: <lint-id> <count> <path>. Counts may only shrink;\n\
+             # regenerate with `cargo run --bin dr-lint -- --update-baseline`.\n",
+        );
+        for ((lint, path), count) in groups {
+            if *count > 0 {
+                out.push_str(&format!("{lint} {count} {path}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// A (lint, path) group that exceeded its baselined count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OverBaseline {
+    pub lint: String,
+    pub path: String,
+    pub allowed: usize,
+    pub actual: usize,
+}
+
+/// Result of filtering diagnostics through the baseline.
+#[derive(Debug, Default)]
+pub struct BaselineOutcome {
+    /// Diagnostics that remain actionable (their group is over budget).
+    pub active: Vec<Diagnostic>,
+    /// Count of diagnostics swallowed by in-budget groups.
+    pub suppressed: usize,
+    pub over: Vec<OverBaseline>,
+}
+
+/// Apply ratchet semantics: suppress whole groups at/below budget, keep
+/// whole groups above it.
+pub fn apply(baseline: &Baseline, diags: Vec<Diagnostic>) -> BaselineOutcome {
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for d in &diags {
+        *counts.entry((d.lint.to_string(), d.path.clone())).or_default() += 1;
+    }
+    let mut out = BaselineOutcome::default();
+    for ((lint, path), actual) in &counts {
+        let allowed = baseline.allowed(lint, path);
+        if *actual > allowed {
+            out.over.push(OverBaseline {
+                lint: lint.clone(),
+                path: path.clone(),
+                allowed,
+                actual: *actual,
+            });
+        }
+    }
+    for d in diags {
+        let allowed = baseline.allowed(d.lint, &d.path);
+        let actual = counts[&(d.lint.to_string(), d.path.clone())];
+        if actual > allowed {
+            out.active.push(d);
+        } else {
+            out.suppressed += 1;
+        }
+    }
+    out
+}
+
+/// Current violation counts per (lint, path) — the input to
+/// [`Baseline::render`].
+pub fn group_counts(diags: &[Diagnostic]) -> BTreeMap<(String, String), usize> {
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for d in diags {
+        *counts.entry((d.lint.to_string(), d.path.clone())).or_default() += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn d(lint: &'static str, path: &str, line: u32) -> Diagnostic {
+        Diagnostic {
+            lint,
+            severity: Severity::Warning,
+            path: path.into(),
+            line,
+            col: 1,
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let b = Baseline::parse("# c\npanic-freedom 19 crates/logscan/src/regex.rs\n").expect("parses");
+        assert_eq!(b.allowed("panic-freedom", "crates/logscan/src/regex.rs"), 19);
+        assert_eq!(b.allowed("panic-freedom", "other.rs"), 0);
+    }
+
+    #[test]
+    fn bad_lines_are_errors() {
+        assert!(Baseline::parse("panic-freedom nineteen x.rs").is_err());
+        assert!(Baseline::parse("just-two-fields 3").is_err());
+    }
+
+    #[test]
+    fn in_budget_groups_are_suppressed() {
+        let b = Baseline::parse("p 2 a.rs").expect("parses");
+        let out = apply(&b, vec![d("p", "a.rs", 1), d("p", "a.rs", 2)]);
+        assert!(out.active.is_empty());
+        assert_eq!(out.suppressed, 2);
+        assert!(out.over.is_empty());
+    }
+
+    #[test]
+    fn shrunk_debt_still_passes() {
+        let b = Baseline::parse("p 5 a.rs").expect("parses");
+        let out = apply(&b, vec![d("p", "a.rs", 1)]);
+        assert!(out.active.is_empty());
+    }
+
+    #[test]
+    fn grown_debt_fails_the_whole_group() {
+        let b = Baseline::parse("p 1 a.rs").expect("parses");
+        let out = apply(&b, vec![d("p", "a.rs", 1), d("p", "a.rs", 9)]);
+        assert_eq!(out.active.len(), 2);
+        assert_eq!(out.over.len(), 1);
+        assert_eq!(out.over[0].allowed, 1);
+        assert_eq!(out.over[0].actual, 2);
+    }
+
+    #[test]
+    fn groups_are_independent() {
+        let b = Baseline::parse("p 1 a.rs").expect("parses");
+        let out = apply(&b, vec![d("p", "a.rs", 1), d("q", "a.rs", 1)]);
+        assert_eq!(out.active.len(), 1);
+        assert_eq!(out.active[0].lint, "q");
+    }
+
+    #[test]
+    fn render_skips_zero_groups() {
+        let mut g = BTreeMap::new();
+        g.insert(("p".to_string(), "a.rs".to_string()), 2);
+        g.insert(("p".to_string(), "b.rs".to_string()), 0);
+        let text = Baseline::render(&g);
+        assert!(text.contains("p 2 a.rs"));
+        assert!(!text.contains("b.rs"));
+    }
+}

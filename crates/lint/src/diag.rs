@@ -1,0 +1,112 @@
+//! Structured lint diagnostics with human and JSON rendering.
+
+use std::fmt;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding: lint id, severity, `path:line:col`, and a message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub lint: &'static str,
+    pub severity: Severity,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// `error[determinism] crates/foo/src/lib.rs:10:5: message`.
+    pub fn human(&self) -> String {
+        format!(
+            "{}[{}] {}:{}:{}: {}",
+            self.severity, self.lint, self.path, self.line, self.col, self.message
+        )
+    }
+
+    /// One JSON object per diagnostic (JSON-lines friendly).
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"lint\":\"{}\",\"severity\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+            json_escape(self.lint),
+            self.severity,
+            json_escape(&self.path),
+            self.line,
+            self.col,
+            json_escape(&self.message)
+        )
+    }
+
+    /// Sort key: file order, then position, then lint id.
+    pub fn sort_key(&self) -> (String, u32, u32, &'static str) {
+        (self.path.clone(), self.line, self.col, self.lint)
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag() -> Diagnostic {
+        Diagnostic {
+            lint: "determinism",
+            severity: Severity::Error,
+            path: "crates/foo/src/lib.rs".into(),
+            line: 3,
+            col: 9,
+            message: "uses \"HashMap\"".into(),
+        }
+    }
+
+    #[test]
+    fn human_format() {
+        assert_eq!(
+            diag().human(),
+            "error[determinism] crates/foo/src/lib.rs:3:9: uses \"HashMap\""
+        );
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let j = diag().json();
+        assert!(j.contains("\"line\":3"));
+        assert!(j.contains("uses \\\"HashMap\\\""));
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+}

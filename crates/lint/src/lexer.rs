@@ -1,0 +1,359 @@
+//! A minimal Rust token lexer — just enough structure to lint without
+//! false positives from string literals, commented-out code, or raw
+//! strings that happen to contain forbidden identifiers.
+//!
+//! The lexer understands: line and (nested) block comments, string
+//! literals with escapes, raw strings with any `#` count, byte strings,
+//! char literals vs lifetimes, raw identifiers (`r#type`), numbers, and
+//! single-character punctuation. Everything else a real Rust lexer does
+//! (float exponent grammar, suffixes, shebangs) is deliberately sloppy:
+//! passes only look at identifier text and adjacency, so a `1e-9`
+//! lexing as three tokens costs nothing.
+
+/// What a token is. Passes mostly care about `Ident` and `Comment`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    Ident,
+    /// `r#struct` — distinct from `Ident` so `r#type` never matches `type`.
+    RawIdent,
+    /// `'a` in generics — distinct from `Char`.
+    Lifetime,
+    Num,
+    /// Any string-like literal: `"…"`, `r#"…"#`, `b"…"`.
+    Str,
+    Char,
+    /// One punctuation byte. Multi-byte operators arrive as adjacent tokens.
+    Punct,
+    /// `// …` or `/* … */` including nesting; kept so passes can read
+    /// `dr-lint: allow(...)` annotations.
+    Comment,
+}
+
+/// A token with its byte span and 1-based position.
+#[derive(Clone, Copy, Debug)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within the file it was lexed from.
+    pub fn text<'a>(&self, source: &'a str) -> &'a str {
+        &source[self.start..self.end]
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn at(&self, k: usize) -> u8 {
+        self.bytes.get(self.i + k).copied().unwrap_or(0)
+    }
+
+    fn peek(&self) -> u8 {
+        self.at(0)
+    }
+
+    fn done(&self) -> bool {
+        self.i >= self.bytes.len()
+    }
+
+    fn bump(&mut self) {
+        if let Some(&b) = self.bytes.get(self.i) {
+            self.i += 1;
+            if b == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// If the cursor sits on a raw-string opener (`r"`, `r##"`, `br#"` …),
+/// the number of `#`s; `None` otherwise.
+fn raw_string_hashes(c: &Cursor) -> Option<usize> {
+    let mut k = match (c.peek(), c.at(1)) {
+        (b'r', _) => 1,
+        (b'b', b'r') => 2,
+        _ => return None,
+    };
+    let mut hashes = 0;
+    while c.at(k) == b'#' {
+        k += 1;
+        hashes += 1;
+    }
+    (c.at(k) == b'"').then_some(hashes)
+}
+
+fn lex_raw_string(c: &mut Cursor, hashes: usize) {
+    // Consume the prefix up to and including the opening quote.
+    while c.peek() != b'"' && !c.done() {
+        c.bump();
+    }
+    c.bump(); // opening quote
+    while !c.done() {
+        if c.peek() == b'"' && (0..hashes).all(|k| c.at(1 + k) == b'#') {
+            for _ in 0..=hashes {
+                c.bump();
+            }
+            return;
+        }
+        c.bump();
+    }
+}
+
+fn lex_string(c: &mut Cursor) {
+    c.bump(); // opening quote
+    while !c.done() {
+        match c.peek() {
+            b'\\' => {
+                c.bump();
+                c.bump();
+            }
+            b'"' => {
+                c.bump();
+                return;
+            }
+            _ => c.bump(),
+        }
+    }
+}
+
+fn lex_char(c: &mut Cursor) {
+    c.bump(); // opening quote
+    if c.peek() == b'\\' {
+        c.bump();
+        c.bump();
+    } else {
+        c.bump();
+    }
+    if c.peek() == b'\'' {
+        c.bump();
+    }
+}
+
+/// Lex a whole file. Whitespace is dropped; comments are kept.
+pub fn lex(text: &str) -> Vec<Token> {
+    let mut c = Cursor {
+        bytes: text.as_bytes(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    while !c.done() {
+        let (start, line, col) = (c.i, c.line, c.col);
+        let b = c.peek();
+        if b.is_ascii_whitespace() {
+            c.bump();
+            continue;
+        }
+        let kind = if b == b'/' && c.at(1) == b'/' {
+            while !c.done() && c.peek() != b'\n' {
+                c.bump();
+            }
+            TokenKind::Comment
+        } else if b == b'/' && c.at(1) == b'*' {
+            c.bump();
+            c.bump();
+            let mut depth = 1u32;
+            while !c.done() && depth > 0 {
+                if c.peek() == b'/' && c.at(1) == b'*' {
+                    depth += 1;
+                    c.bump();
+                    c.bump();
+                } else if c.peek() == b'*' && c.at(1) == b'/' {
+                    depth -= 1;
+                    c.bump();
+                    c.bump();
+                } else {
+                    c.bump();
+                }
+            }
+            TokenKind::Comment
+        } else if let Some(hashes) = raw_string_hashes(&c) {
+            lex_raw_string(&mut c, hashes);
+            TokenKind::Str
+        } else if b == b'b' && c.at(1) == b'"' {
+            c.bump();
+            lex_string(&mut c);
+            TokenKind::Str
+        } else if b == b'b' && c.at(1) == b'\'' {
+            c.bump();
+            lex_char(&mut c);
+            TokenKind::Char
+        } else if b == b'"' {
+            lex_string(&mut c);
+            TokenKind::Str
+        } else if b == b'\'' {
+            if is_ident_start(c.at(1)) && c.at(2) != b'\'' {
+                c.bump();
+                while is_ident_continue(c.peek()) {
+                    c.bump();
+                }
+                TokenKind::Lifetime
+            } else {
+                lex_char(&mut c);
+                TokenKind::Char
+            }
+        } else if b == b'r' && c.at(1) == b'#' && is_ident_start(c.at(2)) {
+            c.bump();
+            c.bump();
+            while is_ident_continue(c.peek()) {
+                c.bump();
+            }
+            TokenKind::RawIdent
+        } else if is_ident_start(b) {
+            while is_ident_continue(c.peek()) {
+                c.bump();
+            }
+            TokenKind::Ident
+        } else if b.is_ascii_digit() {
+            while is_ident_continue(c.peek()) {
+                c.bump();
+            }
+            if c.peek() == b'.' && c.at(1).is_ascii_digit() {
+                c.bump();
+                while is_ident_continue(c.peek()) {
+                    c.bump();
+                }
+            }
+            TokenKind::Num
+        } else {
+            c.bump();
+            TokenKind::Punct
+        };
+        out.push(Token {
+            kind,
+            start,
+            end: c.i,
+            line,
+            col,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(text: &str) -> Vec<(TokenKind, String)> {
+        lex(text)
+            .iter()
+            .map(|t| (t.kind, t.text(text).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let ks = kinds("let x = foo::bar(1);");
+        let idents: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "x", "foo", "bar"]);
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokenKind::Punct).count(), 6);
+    }
+
+    #[test]
+    fn string_contents_are_not_idents() {
+        let ks = kinds(r#"let s = "HashMap thread_rng";"#);
+        assert!(ks
+            .iter()
+            .all(|(k, s)| *k != TokenKind::Ident || (s != "HashMap" && s != "thread_rng")));
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let src = r####"let p = r#"a "quoted" HashMap"#; let q = 1;"####;
+        let ks = kinds(src);
+        let strs: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Str)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(strs, [r##"r#"a "quoted" HashMap"#"##]);
+        // The tail after the raw string still lexes.
+        assert!(ks.iter().any(|(k, s)| *k == TokenKind::Ident && s == "q"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let ks = kinds(r##"let a = b"bytes"; let b2 = br#"raw "bytes""#;"##);
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner HashMap */ still comment */ let x = 1;";
+        let ks = kinds(src);
+        assert_eq!(ks[0].0, TokenKind::Comment);
+        assert!(ks[0].1.contains("inner HashMap"));
+        assert!(ks.iter().any(|(k, s)| *k == TokenKind::Ident && s == "let"));
+        assert!(!ks.iter().any(|(k, s)| *k == TokenKind::Ident && s == "HashMap"));
+    }
+
+    #[test]
+    fn commented_out_code_is_one_comment_token() {
+        let src = "// let map = HashMap::new();\nlet y = 2;";
+        let ks = kinds(src);
+        assert_eq!(ks[0].0, TokenKind::Comment);
+        assert!(!ks.iter().any(|(k, s)| *k == TokenKind::Ident && s == "HashMap"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let ks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count(), 2);
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokenKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn escaped_quote_chars() {
+        let ks = kinds(r"let q = '\''; let n = '\n'; let i = next;");
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokenKind::Char).count(), 2);
+        assert!(ks.iter().any(|(k, s)| *k == TokenKind::Ident && s == "next"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_distinct() {
+        let ks = kinds("let r#type = 1; let t = r#type;");
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokenKind::RawIdent).count(), 2);
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn lint_allow_comment_survives_lexing() {
+        let src = "let m = x; // dr-lint: allow(determinism): keyed lookup only\n";
+        let ks = kinds(src);
+        let c = ks.iter().find(|(k, _)| *k == TokenKind::Comment).expect("comment");
+        assert!(c.1.contains("dr-lint: allow(determinism)"));
+    }
+}

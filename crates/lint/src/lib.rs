@@ -1,0 +1,198 @@
+//! `dr-lint` — zero-dependency static analysis for this workspace.
+//!
+//! The reproduction's value rests on invariants the code can only claim
+//! in comments: bit-reproducible campaigns under any thread count, a
+//! panic-free analysis pipeline, a faithful XID taxonomy handled
+//! consistently across layers, and unit-suffixed time parameters. This
+//! crate machine-checks all four, using a hand-rolled token lexer (no
+//! `syn` — the build environment may be offline) and a baseline ledger
+//! that ratchets existing debt down instead of bulk-suppressing it.
+//!
+//! Run it:
+//!
+//! ```text
+//! cargo run --bin dr-lint                         # human output, exit 1 on findings
+//! cargo run --bin dr-lint -- --json               # one JSON object per finding
+//! cargo run --bin dr-lint -- --update-baseline    # rewrite the debt ledger
+//! ```
+//!
+//! The tier-1 gate is `tests/lint_clean.rs`, which runs the same checks
+//! under `cargo test`.
+
+pub mod baseline;
+pub mod diag;
+pub mod lexer;
+pub mod passes;
+pub mod source;
+pub mod walk;
+
+pub use baseline::{Baseline, OverBaseline};
+pub use diag::{Diagnostic, Severity};
+pub use source::{SourceFile, Workspace};
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// A lint pass. File passes implement `check_file`; cross-file passes
+/// (taxonomy) implement `check_workspace`.
+pub trait Pass {
+    fn id(&self) -> &'static str;
+    fn check_file(&self, _file: &SourceFile, _out: &mut Vec<Diagnostic>) {}
+    fn check_workspace(&self, _ws: &Workspace, _out: &mut Vec<Diagnostic>) {}
+}
+
+/// Where to lint and which debt ledger to honor.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Workspace root (the directory holding `Cargo.toml`, `src/`,
+    /// `crates/`).
+    pub root: PathBuf,
+    /// Baseline file; `None` means no suppression.
+    pub baseline: Option<PathBuf>,
+}
+
+/// The outcome of a lint run.
+#[derive(Debug)]
+pub struct Report {
+    /// Non-baselined, non-allowed findings — the ones that fail the run.
+    pub active: Vec<Diagnostic>,
+    /// Findings swallowed by in-budget baseline groups.
+    pub suppressed_baseline: usize,
+    /// Findings waived by in-source allow comments.
+    pub suppressed_allow: usize,
+    /// Baseline groups whose counts grew.
+    pub over: Vec<OverBaseline>,
+    /// Files scanned.
+    pub files: usize,
+    /// Current violation counts per (lint, path) — feed to
+    /// [`Baseline::render`] for `--update-baseline`.
+    pub groups: BTreeMap<(String, String), usize>,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// Render the human summary (findings plus counts).
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.active {
+            out.push_str(&d.human());
+            out.push('\n');
+        }
+        for o in &self.over {
+            out.push_str(&format!(
+                "note[{}] {} grew past its baseline: {} allowed, {} found — fix the new \
+                 ones or justify with an allow comment\n",
+                o.lint, o.path, o.allowed, o.actual
+            ));
+        }
+        out.push_str(&format!(
+            "dr-lint: {} finding(s) across {} files ({} baselined, {} allowed in-source)\n",
+            self.active.len(),
+            self.files,
+            self.suppressed_baseline,
+            self.suppressed_allow
+        ));
+        out
+    }
+}
+
+/// Read and lex every lintable source under `root`.
+pub fn load_workspace(root: &Path) -> Result<Workspace, String> {
+    let paths = walk::workspace_sources(root)?;
+    let mut files = Vec::with_capacity(paths.len());
+    for p in &paths {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
+        files.push(SourceFile::new(walk::relative_path(root, p), text));
+    }
+    Ok(Workspace::from_files(files))
+}
+
+/// Lint the workspace at `cfg.root` against its baseline.
+pub fn run(cfg: &Config) -> Result<Report, String> {
+    let ws = load_workspace(&cfg.root)?;
+    let b = match &cfg.baseline {
+        Some(p) => Baseline::load(p)?,
+        None => Baseline::default(),
+    };
+    Ok(run_on(&ws, &b))
+}
+
+/// Lint an already-loaded workspace (also the unit-test entry point).
+pub fn run_on(ws: &Workspace, baseline: &Baseline) -> Report {
+    let mut diags = Vec::new();
+    for pass in passes::all() {
+        for f in &ws.files {
+            pass.check_file(f, &mut diags);
+        }
+        pass.check_workspace(ws, &mut diags);
+    }
+
+    let before = diags.len();
+    diags.retain(|d| {
+        ws.file(&d.path)
+            .is_none_or(|f| !f.is_allowed(d.lint, d.line))
+    });
+    let suppressed_allow = before - diags.len();
+    diags.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+
+    let groups = baseline::group_counts(&diags);
+    let outcome = baseline::apply(baseline, diags);
+    Report {
+        active: outcome.active,
+        suppressed_baseline: outcome.suppressed,
+        suppressed_allow,
+        over: outcome.over,
+        files: ws.files.len(),
+        groups,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture_ws() -> Workspace {
+        Workspace::from_files(vec![
+            SourceFile::new(
+                "crates/demo/src/lib.rs",
+                "use std::collections::HashMap;\n\
+                 // dr-lint: allow(determinism): keyed lookup only, never iterated\n\
+                 pub fn lookup(m: &HashMap<u32, u32>, k: u32) -> u32 {\n\
+                     m.get(&k).copied().unwrap()\n\
+                 }\n\
+                 pub fn mtbe(observation: f64, elapsed_time: f64) -> f64 { observation + elapsed_time }\n",
+            ),
+        ])
+    }
+
+    #[test]
+    fn end_to_end_allow_baseline_and_active() {
+        let report = run_on(&fixture_ws(), &Baseline::default());
+        // Line 1 HashMap import is NOT allowed (comment is on line 2 and
+        // covers 2-3); line 3 HashMap is allowed; the unwrap and the
+        // unitless time param are active.
+        let lints: Vec<&str> = report.active.iter().map(|d| d.lint).collect();
+        assert!(lints.contains(&"determinism"), "{lints:?}");
+        assert!(lints.contains(&"panic-freedom"));
+        assert!(lints.contains(&"unit-hygiene"));
+        assert_eq!(report.suppressed_allow, 1);
+
+        // Baseline all current groups: the run becomes clean.
+        let ledger = Baseline::render(&report.groups);
+        let b = Baseline::parse(&ledger).expect("ledger parses");
+        let clean = run_on(&fixture_ws(), &b);
+        assert!(clean.is_clean(), "{}", clean.render_human());
+        assert!(clean.suppressed_baseline >= 3);
+    }
+
+    #[test]
+    fn report_renders_counts() {
+        let report = run_on(&fixture_ws(), &Baseline::default());
+        let text = report.render_human();
+        assert!(text.contains("dr-lint:"));
+        assert!(text.contains("allowed in-source"));
+    }
+}

@@ -1,0 +1,133 @@
+//! The determinism pass: forbid ambient randomness, wall-clock reads,
+//! and unannotated hash collections in library code.
+//!
+//! The repo's headline invariant is bit-reproducible campaigns under any
+//! thread count. Three constructs silently break it: `thread_rng()`
+//! (seeded from the OS), `SystemTime::now()` / `Instant::now()` (wall
+//! clock leaking into results), and `HashMap`/`HashSet` (random iteration
+//! order feeding float accumulation or tie-breaking). Hash collections
+//! that are genuinely order-free (keyed lookup only, never iterated into
+//! results) may be kept with an in-source
+//! `// dr-lint: allow(determinism): <why>` audit comment.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use crate::Pass;
+
+pub struct DeterminismPass;
+
+pub const ID: &str = "determinism";
+
+impl Pass for DeterminismPass {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let sig: Vec<usize> = (0..file.tokens.len())
+            .filter(|&i| file.tokens[i].kind != TokenKind::Comment)
+            .collect();
+        for (k, &i) in sig.iter().enumerate() {
+            let tok = &file.tokens[i];
+            if tok.kind != TokenKind::Ident || file.in_test_region(i) {
+                continue;
+            }
+            let message = match file.tok_text(tok) {
+                "thread_rng" => Some(
+                    "`thread_rng()` is seeded from the OS and breaks bit-reproducibility; \
+                     draw from an explicitly seeded stream (see dr-des `RngStreams`)"
+                        .to_string(),
+                ),
+                name @ ("SystemTime" | "Instant") if followed_by_now(file, &sig, k) => Some(format!(
+                    "`{name}::now()` reads the wall clock; results must depend only on \
+                     seeds and inputs — thread time through the simulation clock"
+                )),
+                name @ ("HashMap" | "HashSet") => Some(format!(
+                    "`{name}` iteration order is randomized and can leak into results; \
+                     use `BTreeMap`/`BTreeSet`, sort before iterating, or annotate with \
+                     `// dr-lint: allow(determinism): <why order cannot matter>`"
+                )),
+                _ => None,
+            };
+            if let Some(message) = message {
+                out.push(Diagnostic {
+                    lint: ID,
+                    severity: Severity::Error,
+                    path: file.path.clone(),
+                    line: tok.line,
+                    col: tok.col,
+                    message,
+                });
+            }
+        }
+    }
+}
+
+/// True when the tokens after `sig[k]` spell `::now`.
+fn followed_by_now(file: &SourceFile, sig: &[usize], k: usize) -> bool {
+    let t = |j: usize| sig.get(j).map_or("", |&i| file.tok_text(&file.tokens[i]));
+    t(k + 1) == ":" && t(k + 2) == ":" && t(k + 3) == "now"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn check(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new("fixture.rs", src);
+        let mut out = Vec::new();
+        DeterminismPass.check_file(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn fires_on_thread_rng() {
+        let d = check("fn f() { let mut rng = rand::thread_rng(); }");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].lint, ID);
+        assert!(d[0].message.contains("thread_rng"));
+    }
+
+    #[test]
+    fn fires_on_wall_clock_now() {
+        let d = check("fn f() { let t = std::time::Instant::now(); }");
+        assert_eq!(d.len(), 1);
+        let d = check("fn f() { let t = SystemTime::now(); }");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn instant_without_now_is_fine() {
+        assert!(check("fn f(deadline: Instant) {}").is_empty());
+    }
+
+    #[test]
+    fn fires_on_unannotated_hash_collections() {
+        let d = check("use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }");
+        assert_eq!(d.len(), 3); // the use plus two mentions
+        assert!(d[0].message.contains("BTreeMap"));
+    }
+
+    #[test]
+    fn allow_comment_suppresses_via_runner_contract() {
+        // The pass still reports; suppression is the runner's job. Verify
+        // the file records the waiver the runner will consult.
+        let f = SourceFile::new(
+            "fixture.rs",
+            "// dr-lint: allow(determinism): lookup-only index, never iterated\nuse std::collections::HashMap;\n",
+        );
+        let mut out = Vec::new();
+        DeterminismPass.check_file(&f, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(f.is_allowed(ID, out[0].line));
+    }
+
+    #[test]
+    fn test_code_and_comments_and_strings_are_exempt() {
+        assert!(check("#[cfg(test)]\nmod tests { use std::collections::HashMap; fn f() { thread_rng(); } }").is_empty());
+        assert!(check("// old: thread_rng()\nfn f() {}").is_empty());
+        assert!(check("fn f() -> &'static str { \"HashMap thread_rng\" }").is_empty());
+    }
+}

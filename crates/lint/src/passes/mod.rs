@@ -1,0 +1,23 @@
+//! The four repo-specific lint passes.
+
+pub mod determinism;
+pub mod panics;
+pub mod taxonomy;
+pub mod units;
+
+pub use determinism::DeterminismPass;
+pub use panics::PanicPass;
+pub use taxonomy::TaxonomyPass;
+pub use units::UnitsPass;
+
+use crate::Pass;
+
+/// Every pass, in the order findings are reported.
+pub fn all() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(DeterminismPass),
+        Box::new(PanicPass),
+        Box::new(TaxonomyPass),
+        Box::new(UnitsPass),
+    ]
+}

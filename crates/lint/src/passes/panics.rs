@@ -1,0 +1,129 @@
+//! The panic-freedom pass: ratchet `.unwrap()`, `.expect(…)`, and
+//! `panic!` out of non-test library code.
+//!
+//! A long-running analysis pipeline should surface malformed input as
+//! `Result`s, not process aborts. Existing debt lives in the baseline
+//! with a count that may only shrink; `// dr-lint: allow(panic-freedom):
+//! <invariant>` documents the few expects that encode real invariants
+//! (e.g. a pattern known to compile).
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use crate::Pass;
+
+pub struct PanicPass;
+
+pub const ID: &str = "panic-freedom";
+
+impl Pass for PanicPass {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let sig: Vec<usize> = (0..file.tokens.len())
+            .filter(|&i| file.tokens[i].kind != TokenKind::Comment)
+            .collect();
+        let t = |j: usize| -> &str {
+            sig.get(j).map_or("", |&i| file.tok_text(&file.tokens[i]))
+        };
+        for (k, &i) in sig.iter().enumerate() {
+            let tok = &file.tokens[i];
+            if tok.kind != TokenKind::Ident || file.in_test_region(i) {
+                continue;
+            }
+            let message = match file.tok_text(tok) {
+                "unwrap" if t(k + 1) == "(" && k > 0 && t(k - 1) == "." => Some(
+                    "`.unwrap()` aborts the process on malformed input; return a `Result`, \
+                     use `unwrap_or`/pattern matching, or document the invariant with \
+                     `.expect(\"…\")` plus an allow comment",
+                ),
+                "expect" if t(k + 1) == "(" && k > 0 && t(k - 1) == "." => Some(
+                    "`.expect(…)` aborts the process; prefer returning a `Result`, or keep it \
+                     with `// dr-lint: allow(panic-freedom): <invariant>` when it encodes one",
+                ),
+                "panic" if t(k + 1) == "!" => Some(
+                    "`panic!` in library code aborts the caller; return an error instead \
+                     (asserts on documented preconditions belong in the fn's `# Panics` doc)",
+                ),
+                _ => None,
+            };
+            if let Some(message) = message {
+                out.push(Diagnostic {
+                    lint: ID,
+                    severity: Severity::Warning,
+                    path: file.path.clone(),
+                    line: tok.line,
+                    col: tok.col,
+                    message: message.to_string(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{apply, Baseline};
+    use crate::source::SourceFile;
+
+    fn check(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new("fixture.rs", src);
+        let mut out = Vec::new();
+        PanicPass.check_file(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn fires_on_unwrap_expect_and_panic() {
+        let d = check(
+            "fn f(x: Option<u32>) -> u32 {\n    let a = x.unwrap();\n    let b = x.expect(\"set\");\n    if a == b { panic!(\"boom\"); }\n    a\n}\n",
+        );
+        let kinds: Vec<u32> = d.iter().map(|d| d.line).collect();
+        assert_eq!(kinds, [2, 3, 4]);
+        assert!(d.iter().all(|d| d.lint == ID));
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_fire() {
+        assert!(check("fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }").is_empty());
+        assert!(check("fn f(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 0) }").is_empty());
+        assert!(check("fn f(x: Option<u32>) { x.unwrap_or_default(); }").is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        assert!(check("#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); panic!(\"ok in tests\"); }\n}\n").is_empty());
+    }
+
+    #[test]
+    fn baseline_suppresses_known_debt_but_not_growth() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let diags = {
+            let f = SourceFile::new("crates/demo/src/lib.rs", src);
+            let mut out = Vec::new();
+            PanicPass.check_file(&f, &mut out);
+            out
+        };
+        assert_eq!(diags.len(), 1);
+        let b = Baseline::parse("panic-freedom 1 crates/demo/src/lib.rs").expect("parses");
+        let outcome = apply(&b, diags.clone());
+        assert!(outcome.active.is_empty(), "baselined debt is suppressed");
+
+        // One more unwrap than the ledger allows: the group fails.
+        let grown = {
+            let f = SourceFile::new(
+                "crates/demo/src/lib.rs",
+                "fn f(x: Option<u32>) -> u32 { x.unwrap() }\nfn g(x: Option<u32>) -> u32 { x.unwrap() }\n",
+            );
+            let mut out = Vec::new();
+            PanicPass.check_file(&f, &mut out);
+            out
+        };
+        let outcome = apply(&b, grown);
+        assert_eq!(outcome.active.len(), 2);
+        assert_eq!(outcome.over.len(), 1);
+    }
+}

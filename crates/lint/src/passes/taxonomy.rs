@@ -1,0 +1,264 @@
+//! The XID-taxonomy consistency pass.
+//!
+//! The paper's findings hang off a specific set of NVIDIA XID codes:
+//! GSP (119/120) as the dominant weak link, NVLink 74 masking, row
+//! remapping 63/64, containment 94/95. This pass is data-driven: it
+//! parses the `Xid` enum declaration and asserts (a) the paper-critical
+//! codes are all declared, (b) no code is declared twice, and (c) every
+//! declared variant is actually handled — spelled `Xid::<Name>` — in the
+//! campaign driver, the syslog renderer, and the extraction pattern set,
+//! so a variant added in one layer cannot silently fall out of another.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+use crate::source::{SourceFile, Workspace};
+use crate::Pass;
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct TaxonomyPass;
+
+pub const ID: &str = "xid-taxonomy";
+
+/// Where the `Xid` enum is declared.
+pub const XID_DECL: &str = "crates/xid/src/xid.rs";
+
+/// Files that must handle every declared variant by name.
+pub const HANDLERS: [&str; 3] = [
+    "crates/faults/src/campaign.rs",
+    "crates/xid/src/syslog.rs",
+    "crates/logscan/src/extract.rs",
+];
+
+/// The XIDs the paper's analysis cannot do without (Table 1 + GSP 120).
+pub const PAPER_CRITICAL: [u16; 11] = [13, 31, 48, 63, 64, 74, 79, 94, 95, 119, 120];
+
+/// One declared enum variant: name, discriminant (the XID code), line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Variant {
+    pub name: String,
+    pub code: u16,
+    pub line: u32,
+}
+
+impl Pass for TaxonomyPass {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn check_workspace(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let Some(decl) = ws.file(XID_DECL) else {
+            // Nothing to check outside the real workspace (e.g. fixture
+            // workspaces in unit tests that omit the file on purpose).
+            return;
+        };
+        let variants = parse_xid_variants(decl);
+        if variants.is_empty() {
+            out.push(diag(
+                decl.path.clone(),
+                1,
+                "no `enum Xid` variants with explicit discriminants found — the taxonomy \
+                 check cannot run"
+                    .to_string(),
+            ));
+            return;
+        }
+
+        let mut by_code: BTreeMap<u16, &Variant> = BTreeMap::new();
+        for v in &variants {
+            if let Some(first) = by_code.get(&v.code) {
+                out.push(diag(
+                    decl.path.clone(),
+                    v.line,
+                    format!(
+                        "XID code {} declared twice: `{}` and `{}`",
+                        v.code, first.name, v.name
+                    ),
+                ));
+            } else {
+                by_code.insert(v.code, v);
+            }
+        }
+
+        for code in PAPER_CRITICAL {
+            if !by_code.contains_key(&code) {
+                out.push(diag(
+                    decl.path.clone(),
+                    variants[0].line,
+                    format!(
+                        "paper-critical XID {code} is not declared in the `Xid` enum — the \
+                         reproduction's findings depend on it"
+                    ),
+                ));
+            }
+        }
+
+        for handler in HANDLERS {
+            let Some(hf) = ws.file(handler) else {
+                out.push(diag(
+                    handler.to_string(),
+                    1,
+                    format!("expected XID handler file `{handler}` is missing"),
+                ));
+                continue;
+            };
+            let referenced = xid_references(hf);
+            for v in &variants {
+                if !referenced.contains(&v.name) {
+                    out.push(diag(
+                        decl.path.clone(),
+                        v.line,
+                        format!(
+                            "`Xid::{}` (XID {}) is declared but never handled in {handler}",
+                            v.name, v.code
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn diag(path: String, line: u32, message: String) -> Diagnostic {
+    Diagnostic {
+        lint: ID,
+        severity: Severity::Error,
+        path,
+        line,
+        col: 1,
+        message,
+    }
+}
+
+/// Parse `Name = <code>,` variants inside `enum Xid { … }`.
+pub fn parse_xid_variants(file: &SourceFile) -> Vec<Variant> {
+    let sig: Vec<usize> = (0..file.tokens.len())
+        .filter(|&i| file.tokens[i].kind != TokenKind::Comment)
+        .collect();
+    let t = |j: usize| -> &str {
+        sig.get(j).map_or("", |&i| file.tok_text(&file.tokens[i]))
+    };
+
+    // Find `enum Xid {`.
+    let mut start = None;
+    for k in 0..sig.len() {
+        if t(k) == "enum" && t(k + 1) == "Xid" && t(k + 2) == "{" {
+            start = Some(k + 3);
+            break;
+        }
+    }
+    let Some(start) = start else {
+        return Vec::new();
+    };
+
+    let mut out = Vec::new();
+    let mut depth = 1i32;
+    let mut k = start;
+    while k < sig.len() && depth > 0 {
+        match t(k) {
+            "{" => depth += 1,
+            "}" => depth -= 1,
+            _ => {}
+        }
+        if depth == 1
+            && file.tokens[sig[k]].kind == TokenKind::Ident
+            && t(k + 1) == "="
+            && sig.get(k + 2).map_or(false, |&i| file.tokens[i].kind == TokenKind::Num)
+        {
+            if let Ok(code) = t(k + 2).parse::<u16>() {
+                out.push(Variant {
+                    name: t(k).to_string(),
+                    code,
+                    line: file.tokens[sig[k]].line,
+                });
+            }
+        }
+        k += 1;
+    }
+    out
+}
+
+/// Variant names referenced as `Xid::<Name>` in non-test code.
+fn xid_references(file: &SourceFile) -> BTreeSet<String> {
+    let sig: Vec<usize> = (0..file.tokens.len())
+        .filter(|&i| file.tokens[i].kind != TokenKind::Comment)
+        .collect();
+    let t = |j: usize| -> &str {
+        sig.get(j).map_or("", |&i| file.tok_text(&file.tokens[i]))
+    };
+    let mut out = BTreeSet::new();
+    for k in 0..sig.len() {
+        if t(k) == "Xid"
+            && !file.in_test_region(sig[k])
+            && t(k + 1) == ":"
+            && t(k + 2) == ":"
+            && sig.get(k + 3).map_or(false, |&i| file.tokens[i].kind == TokenKind::Ident)
+        {
+            out.insert(t(k + 3).to_string());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{SourceFile, Workspace};
+
+    const DECL_OK: &str = "#[repr(u16)]\npub enum Xid {\n    GraphicsEngineException = 13,\n    GpuStoppedProcessing = 31,\n    DoubleBitEcc = 48,\n    RowRemapEvent = 63,\n    RowRemapFailure = 64,\n    NvlinkError = 74,\n    MmuError = 31,\n}\n";
+
+    fn handler_for(names: &[&str]) -> String {
+        let arms: Vec<String> = names.iter().map(|n| format!("Xid::{n} => 1,")).collect();
+        format!("pub fn handle(x: Xid) -> u32 {{ match x {{ {} _ => 0 }} }}", arms.join(" "))
+    }
+
+    fn ws(decl: &str, handler_names: &[&str]) -> Workspace {
+        let h = handler_for(handler_names);
+        Workspace::from_files(vec![
+            SourceFile::new(XID_DECL, decl),
+            SourceFile::new(HANDLERS[0], h.clone()),
+            SourceFile::new(HANDLERS[1], h.clone()),
+            SourceFile::new(HANDLERS[2], h),
+        ])
+    }
+
+    fn run(ws: &Workspace) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        TaxonomyPass.check_workspace(ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn parses_variants_with_codes_and_lines() {
+        let f = SourceFile::new(XID_DECL, DECL_OK);
+        let vs = parse_xid_variants(&f);
+        assert_eq!(vs.len(), 7);
+        assert_eq!(vs[0].name, "GraphicsEngineException");
+        assert_eq!(vs[0].code, 13);
+        assert_eq!(vs[3].code, 63);
+    }
+
+    #[test]
+    fn fires_on_missing_paper_critical_codes() {
+        // DECL_OK lacks 74-is-fine but misses 79/94/95/119/120 and dups 31.
+        let all = ["GraphicsEngineException", "GpuStoppedProcessing", "DoubleBitEcc", "RowRemapEvent", "RowRemapFailure", "NvlinkError", "MmuError"];
+        let d = run(&ws(DECL_OK, &all));
+        let missing: Vec<&Diagnostic> = d.iter().filter(|x| x.message.contains("paper-critical")).collect();
+        assert_eq!(missing.len(), 5, "{d:?}");
+        assert!(d.iter().any(|x| x.message.contains("declared twice")));
+    }
+
+    #[test]
+    fn fires_on_unhandled_variant() {
+        let partial = ["GraphicsEngineException", "GpuStoppedProcessing", "DoubleBitEcc", "RowRemapEvent", "RowRemapFailure", "NvlinkError"];
+        let d = run(&ws(DECL_OK, &partial));
+        let unhandled: Vec<&Diagnostic> = d.iter().filter(|x| x.message.contains("never handled")).collect();
+        assert_eq!(unhandled.len(), 3, "MmuError missing from 3 handlers: {unhandled:?}");
+        assert!(unhandled[0].message.contains("Xid::MmuError"));
+    }
+
+    #[test]
+    fn silent_outside_real_workspace() {
+        let d = run(&Workspace::from_files(vec![SourceFile::new("other.rs", "fn f() {}")]));
+        assert!(d.is_empty());
+    }
+}

@@ -1,0 +1,251 @@
+//! The unit-hygiene pass: public `f64` time parameters must carry their
+//! unit in the name.
+//!
+//! MTBE math mixes hours, seconds, and days constantly; a bare
+//! `pub fn mtbe(observation: f64)` is the classic footgun the paper's
+//! arithmetic cannot afford. Any public function parameter of type `f64`
+//! whose name talks about time (`hours`, `delay`, `window`, `mttr`, …)
+//! must end in a unit suffix (`_h`, `_secs`, `_ms`, `_days`, …).
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use crate::Pass;
+
+pub struct UnitsPass;
+
+pub const ID: &str = "unit-hygiene";
+
+const TIME_WORDS: [&str; 18] = [
+    "hour", "secs", "second", "minute", "day", "time", "delay", "duration", "window", "persist",
+    "mttr", "mtbf", "mtbe", "interval", "timeout", "latency", "uptime", "downtime",
+];
+
+const UNIT_SUFFIXES: [&str; 22] = [
+    "_h", "_hr", "_hrs", "_hours", "_s", "_sec", "_secs", "_seconds", "_ms", "_us", "_ns", "_min",
+    "_mins", "_minutes", "_d", "_days", "hours", "secs", "seconds", "days", "_frac", "_share",
+];
+
+/// Whether a public `f64` parameter named `name` should be flagged.
+pub fn flags_missing_unit(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    TIME_WORDS.iter().any(|w| lower.contains(w))
+        && !UNIT_SUFFIXES.iter().any(|s| lower.ends_with(s))
+}
+
+impl Pass for UnitsPass {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let sig: Vec<usize> = (0..file.tokens.len())
+            .filter(|&i| file.tokens[i].kind != TokenKind::Comment)
+            .collect();
+        let t = |j: usize| -> &str {
+            sig.get(j).map_or("", |&i| file.tok_text(&file.tokens[i]))
+        };
+        let mut k = 0;
+        while k < sig.len() {
+            if t(k) != "pub" || file.in_test_region(sig[k]) {
+                k += 1;
+                continue;
+            }
+            // `pub(crate)` etc. is not public API.
+            if t(k + 1) == "(" {
+                k += 1;
+                continue;
+            }
+            // Allow `pub const fn`, `pub async fn`, `pub unsafe fn`.
+            let mut j = k + 1;
+            while j < k + 4 && t(j) != "fn" {
+                j += 1;
+            }
+            if t(j) != "fn" {
+                k += 1;
+                continue;
+            }
+            let fn_name = t(j + 1).to_string();
+            if let Some((params, next)) = parse_params(file, &sig, j + 2) {
+                for (name, line, col, is_f64) in params {
+                    if is_f64 && flags_missing_unit(&name) {
+                        out.push(Diagnostic {
+                            lint: ID,
+                            severity: Severity::Warning,
+                            path: file.path.clone(),
+                            line,
+                            col,
+                            message: format!(
+                                "public fn `{fn_name}`: `f64` time parameter `{name}` has no \
+                                 unit suffix — rename to `{name}_h`/`{name}_secs`/… so call \
+                                 sites can't mix units"
+                            ),
+                        });
+                    }
+                }
+                k = next;
+            } else {
+                k = j + 1;
+            }
+        }
+    }
+}
+
+/// From just past the fn name, parse the parameter list. Returns each
+/// parameter as (name, line, col, type-is-exactly-f64) plus the index
+/// after the closing `)`.
+#[allow(clippy::type_complexity)]
+fn parse_params(
+    file: &SourceFile,
+    sig: &[usize],
+    from: usize,
+) -> Option<(Vec<(String, u32, u32, bool)>, usize)> {
+    let t = |j: usize| -> &str {
+        sig.get(j).map_or("", |&i| file.tok_text(&file.tokens[i]))
+    };
+    // Skip generic parameters `<…>`, minding `->` inside Fn bounds.
+    let mut j = from;
+    if t(j) == "<" {
+        let mut angle = 0i32;
+        while j < sig.len() {
+            match t(j) {
+                "<" => angle += 1,
+                ">" if j > 0 && t(j - 1) != "-" => {
+                    angle -= 1;
+                    if angle == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    if t(j) != "(" {
+        return None;
+    }
+
+    // Collect token index ranges for each comma-separated parameter.
+    let mut params: Vec<(usize, usize)> = Vec::new();
+    let mut paren = 0i32;
+    let mut angle = 0i32;
+    let mut bracket = 0i32;
+    let mut param_start = j + 1;
+    let mut end = sig.len();
+    while j < sig.len() {
+        match t(j) {
+            "(" => paren += 1,
+            ")" => {
+                paren -= 1;
+                if paren == 0 {
+                    if j > param_start {
+                        params.push((param_start, j));
+                    }
+                    end = j + 1;
+                    break;
+                }
+            }
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            "<" => angle += 1,
+            ">" if t(j - 1) != "-" => angle -= 1,
+            "," if paren == 1 && angle == 0 && bracket == 0 => {
+                params.push((param_start, j));
+                param_start = j + 1;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+
+    let mut out = Vec::new();
+    for (lo, hi) in params {
+        // Find the top-level `:` separating pattern from type (skip `::`).
+        let mut colon = None;
+        let mut depth = 0i32;
+        for p in lo..hi {
+            match t(p) {
+                "(" | "[" | "<" => depth += 1,
+                ")" | "]" => depth -= 1,
+                ">" if t(p - 1) != "-" => depth -= 1,
+                ":" if depth == 0 && t(p + 1) != ":" && (p == lo || t(p - 1) != ":") => {
+                    colon = Some(p);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some(c) = colon else {
+            continue; // `self`, `&mut self`
+        };
+        // Name: the last identifier before the colon (skips `mut`).
+        let name_idx = (lo..c)
+            .rev()
+            .find(|&p| file.tokens[sig[p]].kind == TokenKind::Ident && t(p) != "mut");
+        let Some(ni) = name_idx else {
+            continue;
+        };
+        let is_f64 = c + 2 == hi && t(c + 1) == "f64";
+        let tok = &file.tokens[sig[ni]];
+        out.push((t(ni).to_string(), tok.line, tok.col, is_f64));
+    }
+    Some((out, end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn check(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new("fixture.rs", src);
+        let mut out = Vec::new();
+        UnitsPass.check_file(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn fires_on_suffixless_time_param() {
+        let d = check("pub fn mtbe(observation_time: f64, node_count: u32) -> f64 { observation_time }");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("observation_time"));
+        assert_eq!(d[0].lint, ID);
+    }
+
+    #[test]
+    fn unit_suffixes_pass() {
+        assert!(check("pub fn mtbe(observation_hours: f64, mttr_h: f64, window_s: f64, delay_ms: f64) {}").is_empty());
+        assert!(check("pub fn run(duration_days: f64) {}").is_empty());
+    }
+
+    #[test]
+    fn non_time_f64s_and_non_f64_times_pass() {
+        assert!(check("pub fn mix(offender_share: f64, skew: f64) {}").is_empty());
+        assert!(check("pub fn wait(timeout: Duration) {}").is_empty());
+        assert!(check("pub fn wait(interval: u64) {}").is_empty());
+    }
+
+    #[test]
+    fn private_and_crate_fns_are_exempt() {
+        assert!(check("fn helper(delay: f64) {}").is_empty());
+        assert!(check("pub(crate) fn helper(delay: f64) {}").is_empty());
+    }
+
+    #[test]
+    fn generics_and_self_params_parse() {
+        let d = check("impl S { pub fn go<R: Fn(u32) -> f64>(&mut self, rng: &mut R, drain_delay: f64) {} }");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("drain_delay"));
+    }
+
+    #[test]
+    fn heuristic_edges() {
+        assert!(flags_missing_unit("timeout"));
+        assert!(flags_missing_unit("recovery_delay"));
+        assert!(!flags_missing_unit("recovery_delay_min"));
+        assert!(!flags_missing_unit("hours"));
+        assert!(!flags_missing_unit("p_contained"));
+        assert!(!flags_missing_unit("delay_frac"));
+    }
+}

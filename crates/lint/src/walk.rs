@@ -1,0 +1,84 @@
+//! Workspace file discovery: `src/` and every `crates/*/src/`,
+//! excluding test/bench/example/fixture trees. Paths come back sorted so
+//! runs are deterministic — the linter holds itself to the invariant it
+//! enforces.
+
+use std::path::{Path, PathBuf};
+
+const SKIP_DIRS: [&str; 5] = ["target", "tests", "benches", "examples", "fixtures"];
+
+/// All lintable `.rs` files under `root`, sorted, as absolute paths.
+pub fn workspace_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    collect(&root.join("src"), &mut out)?;
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = read_dir(&crates)?
+            .into_iter()
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            collect(&dir.join("src"), &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// The workspace-relative, `/`-separated form of `path`.
+pub fn relative_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn read_dir(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let rd = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut out = Vec::new();
+    for entry in rd {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        out.push(entry.path());
+    }
+    Ok(out)
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for path in read_dir(dir)? {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().to_string())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_str()) {
+                collect(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_paths_use_forward_slashes() {
+        let root = Path::new("/w");
+        let p = Path::new("/w/crates/xid/src/lib.rs");
+        assert_eq!(relative_path(root, p), "crates/xid/src/lib.rs");
+    }
+
+    #[test]
+    fn missing_src_dir_is_empty_not_an_error() {
+        let out = workspace_sources(Path::new("/nonexistent-dr-lint-root")).expect("ok");
+        assert!(out.is_empty());
+    }
+}

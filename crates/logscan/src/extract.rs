@@ -54,10 +54,12 @@ impl XidExtractor {
         let nvrm = Regex::new(
             r"kernel: NVRM: Xid \(PCI:([0-9a-f]{4}:[0-9a-f]{2}:[0-9a-f]{2})\): (\d+), (?:pid=('?<?\w+>?'?), )?(.*)$",
         )
+        // dr-lint: allow(panic-freedom): constant pattern, compile covered by tests
         .expect("NVRM pattern compiles");
 
         let mk = |xid, pat: &str, unit, qualifier| BodyPattern {
             xid,
+            // dr-lint: allow(panic-freedom): constant patterns, round-trip tested below
             re: Regex::new(pat).expect("body pattern compiles"),
             unit,
             qualifier,
@@ -112,6 +114,12 @@ impl XidExtractor {
                 r"RPC response from GPU(\d+) GSP! Expected function (\d+)",
                 Some((1, 10)),
                 Some((2, 10)),
+            ),
+            mk(
+                Xid::GspError,
+                r"GSP task (\d+) raised fatal error 0x([0-9a-f]+)",
+                Some((1, 10)),
+                Some((2, 16)),
             ),
             mk(
                 Xid::PmuSpiError,

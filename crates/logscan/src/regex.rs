@@ -125,15 +125,18 @@ impl<'p> Parser<'p> {
     }
 
     fn alternate(&mut self) -> Result<Ast, RegexError> {
-        let mut branches = vec![self.concat()?];
-        while self.eat(b'|') {
-            branches.push(self.concat()?);
+        let first = self.concat()?;
+        if !self.eat(b'|') {
+            return Ok(first);
         }
-        Ok(if branches.len() == 1 {
-            branches.pop().expect("one branch")
-        } else {
-            Ast::Alternate(branches)
-        })
+        let mut branches = vec![first];
+        loop {
+            branches.push(self.concat()?);
+            if !self.eat(b'|') {
+                break;
+            }
+        }
+        Ok(Ast::Alternate(branches))
     }
 
     fn concat(&mut self) -> Result<Ast, RegexError> {
@@ -144,10 +147,13 @@ impl<'p> Parser<'p> {
             }
             items.push(self.repeat()?);
         }
-        Ok(match items.len() {
-            0 => Ast::Empty,
-            1 => items.pop().expect("one item"),
-            _ => Ast::Concat(items),
+        Ok(match items.pop() {
+            None => Ast::Empty,
+            Some(only) if items.is_empty() => only,
+            Some(last) => {
+                items.push(last);
+                Ast::Concat(items)
+            }
         })
     }
 
@@ -565,15 +571,15 @@ impl ThreadList {
 pub struct Match {
     slots: Slots,
     n_groups: u16,
+    /// Overall span, resolved at construction so `span()` cannot panic.
+    start: usize,
+    end: usize,
 }
 
 impl Match {
     /// Overall match span `(start, end)` as byte offsets.
     pub fn span(&self) -> (usize, usize) {
-        (
-            self.slots[0].expect("match start"),
-            self.slots[1].expect("match end"),
-        )
+        (self.start, self.end)
     }
 
     /// Span of capture group `i` (1-based; 0 is the whole match), if it
@@ -736,9 +742,19 @@ impl Regex {
             }
         }
 
-        matched.map(|slots| Match {
-            slots,
-            n_groups: self.prog.n_groups,
+        matched.and_then(|slots| {
+            let (start, end) = match (slots[0], slots[1]) {
+                (Some(s), Some(e)) => (s, e),
+                // A match thread always saved slot 0/1; treat anything
+                // else as no match rather than panicking.
+                _ => return None,
+            };
+            Some(Match {
+                slots,
+                n_groups: self.prog.n_groups,
+                start,
+                end,
+            })
         })
     }
 }

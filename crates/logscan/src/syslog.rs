@@ -46,6 +46,7 @@ impl SyslogScanner {
         let header = Regex::new(
             r"^([A-Z][a-z][a-z]) +(\d{1,2}) (\d{2}):(\d{2}):(\d{2}) gpub(\d+) (.*)$",
         )
+        // dr-lint: allow(panic-freedom): constant pattern, compile covered by tests
         .expect("header pattern compiles");
         SyslogScanner {
             header,

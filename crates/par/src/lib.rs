@@ -1,4 +1,4 @@
-//! # dr-par — data-parallel helpers on crossbeam scoped threads
+//! # dr-par — data-parallel helpers on std scoped threads
 //!
 //! A deliberately small "rayon-lite": the analysis pipeline shards work by
 //! node (the paper processes 202 GB of per-node syslogs), which is embarrass-
@@ -7,15 +7,44 @@
 //! stealing at chunk granularity); results are collected per worker and
 //! stitched back in input order, so every function here is **deterministic**:
 //! output order never depends on thread scheduling.
+//!
+//! Worker-count precedence: [`set_worker_override`] (programmatic) beats
+//! the `DR_PAR_THREADS` environment variable, which beats
+//! `std::thread::available_parallelism`. `DR_PAR_THREADS=1` is the
+//! canonical way to compare a run against its serial execution.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Number of worker threads to use: the available parallelism, capped by
-/// the amount of work so tiny inputs don't spawn idle threads.
+/// Worker-count override; 0 means "not set".
+static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Programmatically pin the worker count for all subsequent parallel
+/// calls (process-wide). `None` restores the default resolution order
+/// (`DR_PAR_THREADS`, then available parallelism).
+pub fn set_worker_override(n: Option<usize>) {
+    WORKER_OVERRIDE.store(n.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The configured worker count before capping by work size, if any.
+fn configured_workers() -> Option<usize> {
+    match WORKER_OVERRIDE.load(Ordering::Relaxed) {
+        0 => std::env::var("DR_PAR_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0),
+        n => Some(n),
+    }
+}
+
+/// Number of worker threads to use: the override / environment /
+/// available parallelism, capped by the amount of work so tiny inputs
+/// don't spawn idle threads.
 fn worker_count(work_items: usize) -> usize {
-    let hw = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let hw = configured_workers().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
     hw.min(work_items).max(1)
 }
 
@@ -106,12 +135,12 @@ where
 
     let cursor = AtomicUsize::new(0);
     let mut per_worker: Vec<Vec<R>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let cursor = &cursor;
                 let f = &f;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut local = Vec::new();
                     loop {
                         let b = cursor.fetch_add(1, Ordering::Relaxed);
@@ -128,10 +157,9 @@ where
             .collect();
         per_worker = handles
             .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
             .collect();
-    })
-    .expect("crossbeam scope failed");
+    });
 
     let mut all: Vec<R> = per_worker.into_iter().flatten().collect();
     all.sort_by_key(|r| r.start_key());

@@ -7,7 +7,7 @@
 
 use dr_xid::{Duration, ErrorRecord, GpuId, Xid};
 use resilience_core::CoalescedError;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Number of features per sample.
 pub const N_FEATURES: usize = 7;
@@ -90,7 +90,7 @@ pub fn build_dataset(
     cfg: FeatureConfig,
 ) -> Dataset {
     // Records grouped by identity, time-sorted, for onset reconstruction.
-    let mut by_identity: HashMap<_, Vec<u64>> = HashMap::new();
+    let mut by_identity: BTreeMap<_, Vec<u64>> = BTreeMap::new();
     for r in records {
         by_identity.entry(r.identity()).or_default().push(r.at.as_micros());
     }
@@ -99,7 +99,7 @@ pub fn build_dataset(
     }
 
     // Episodes per GPU, time-sorted, for history features.
-    let mut by_gpu: HashMap<GpuId, Vec<&CoalescedError>> = HashMap::new();
+    let mut by_gpu: BTreeMap<GpuId, Vec<&CoalescedError>> = BTreeMap::new();
     for e in episodes {
         by_gpu.entry(e.gpu).or_default().push(e);
     }

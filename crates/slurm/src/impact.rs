@@ -12,7 +12,7 @@ use crate::jobs::{JobRecord, JobState};
 use dr_faults::ErrorEvent;
 use dr_xid::{Duration, GpuId, Xid};
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-XID job-kill probabilities given exposure.
 ///
@@ -114,7 +114,7 @@ pub fn apply_errors<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> ImpactSummary {
     // Index: GPU -> job indices sorted by start time.
-    let mut by_gpu: HashMap<GpuId, Vec<usize>> = HashMap::new();
+    let mut by_gpu: BTreeMap<GpuId, Vec<usize>> = BTreeMap::new();
     for (idx, job) in jobs.iter().enumerate() {
         for &g in &job.gpus {
             by_gpu.entry(g).or_default().push(idx);
@@ -127,7 +127,7 @@ pub fn apply_errors<R: Rng + ?Sized>(
     let mut summary = ImpactSummary::default();
     // One masking roll per (job, XID): repeated errors of the same kind
     // within a job consolidate (Section 4.1 (iv)).
-    let mut rolled: std::collections::HashSet<(u64, Xid)> = std::collections::HashSet::new();
+    let mut rolled: std::collections::BTreeSet<(u64, Xid)> = std::collections::BTreeSet::new();
     for ev in events {
         let Some(candidates) = by_gpu.get(&ev.gpu) else {
             continue;

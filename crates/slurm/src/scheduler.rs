@@ -19,7 +19,7 @@ use dr_des::RngStreams;
 
 use dr_xid::{Duration, GpuId, NodeId, Timestamp};
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Workload sizing.
 #[derive(Clone, Debug)]
@@ -92,7 +92,7 @@ impl Schedule {
 #[derive(Clone, Debug, Default)]
 pub struct DrainWindows {
     /// Sorted (start, end) windows per node.
-    windows: HashMap<NodeId, Vec<(Timestamp, Timestamp)>>,
+    windows: BTreeMap<NodeId, Vec<(Timestamp, Timestamp)>>,
 }
 
 impl DrainWindows {
@@ -101,7 +101,7 @@ impl DrainWindows {
     where
         I: IntoIterator<Item = (NodeId, Timestamp)>,
     {
-        let mut windows: HashMap<NodeId, Vec<(Timestamp, Timestamp)>> = HashMap::new();
+        let mut windows: BTreeMap<NodeId, Vec<(Timestamp, Timestamp)>> = BTreeMap::new();
         for (node, at) in events {
             windows.entry(node).or_default().push((at, at + drain));
         }
@@ -154,7 +154,7 @@ impl Scheduler {
         assert!(!gpu_ids.is_empty(), "fleet has no GPUs");
 
         // Per-GPU busy-until tracker (approximate first-fit).
-        let mut busy_until: HashMap<GpuId, Timestamp> = HashMap::new();
+        let mut busy_until: BTreeMap<GpuId, Timestamp> = BTreeMap::new();
 
         // A Poisson process conditioned on its count is N sorted uniform
         // arrival times — exact job count, monotone timeline. The ramp
@@ -222,7 +222,7 @@ impl Scheduler {
         gpu_ids: &[GpuId],
         fleet: &Fleet,
         drains: &DrainWindows,
-        busy_until: &mut HashMap<GpuId, Timestamp>,
+        busy_until: &mut BTreeMap<GpuId, Timestamp>,
         start: Timestamp,
         count: u16,
         rng: &mut R,

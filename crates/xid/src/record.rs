@@ -15,7 +15,7 @@ use crate::xid::Xid;
 /// Algorithm 1 treats two log lines as the same error only if the message
 /// text matches; the detail fields below are exactly what varies inside the
 /// message body of each XID type.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct ErrorDetail {
     /// NVLink link index (XID 74), DRAM bank (XID 48/63/64/94/95), MMU
     /// engine id (XID 31), or GSP RPC function number (XID 119).

@@ -55,6 +55,10 @@ pub fn message_body(xid: Xid, d: ErrorDetail) -> String {
             "Timeout after 6s of waiting for RPC response from GPU{} GSP! Expected function {}",
             d.unit, d.qualifier
         ),
+        Xid::GspError => format!(
+            "GSP task {} raised fatal error 0x{:x}, halting GSP core",
+            d.unit, d.qualifier
+        ),
         Xid::PmuSpiError => format!(
             "PMU communication error: SPI RPC read failure (addr 0x{:x})",
             d.qualifier

@@ -35,6 +35,9 @@ pub enum Xid {
     UncontainedEcc = 95,
     /// XID 119 — GSP (GPU System Processor) RPC timeout.
     GspRpcTimeout = 119,
+    /// XID 120 — GSP fatal error (the GSP core itself raised an error,
+    /// as opposed to the driver timing out waiting on it).
+    GspError = 120,
     /// XID 122 — PMU SPI RPC read failure (communication with the PMU).
     PmuSpiError = 122,
     /// XID 136 — undocumented event observed on H100 GPUs (Section 6).
@@ -43,7 +46,7 @@ pub enum Xid {
 
 impl Xid {
     /// All codes in ascending numeric order.
-    pub const ALL: [Xid; 13] = [
+    pub const ALL: [Xid; 14] = [
         Xid::GraphicsEngineException,
         Xid::MmuError,
         Xid::ResetChannelVerifError,
@@ -55,6 +58,7 @@ impl Xid {
         Xid::ContainedEcc,
         Xid::UncontainedEcc,
         Xid::GspRpcTimeout,
+        Xid::GspError,
         Xid::PmuSpiError,
         Xid::Xid136,
     ];
@@ -89,9 +93,11 @@ impl Xid {
     pub const fn category(self) -> ErrorCategory {
         match self {
             Xid::GraphicsEngineException | Xid::ResetChannelVerifError => ErrorCategory::Software,
-            Xid::MmuError | Xid::FallenOffBus | Xid::GspRpcTimeout | Xid::PmuSpiError => {
-                ErrorCategory::Hardware
-            }
+            Xid::MmuError
+            | Xid::FallenOffBus
+            | Xid::GspRpcTimeout
+            | Xid::GspError
+            | Xid::PmuSpiError => ErrorCategory::Hardware,
             Xid::NvlinkError => ErrorCategory::Interconnect,
             Xid::DoubleBitEcc
             | Xid::RowRemapEvent
@@ -111,9 +117,11 @@ impl Xid {
             Xid::DoubleBitEcc => RecoveryAction::GpuResetIfRemapFailed,
             Xid::RowRemapEvent => RecoveryAction::GpuReset,
             Xid::RowRemapFailure => RecoveryAction::GpuReset,
-            Xid::NvlinkError | Xid::FallenOffBus | Xid::UncontainedEcc | Xid::GspRpcTimeout => {
-                RecoveryAction::GpuResetOrSre
-            }
+            Xid::NvlinkError
+            | Xid::FallenOffBus
+            | Xid::UncontainedEcc
+            | Xid::GspRpcTimeout
+            | Xid::GspError => RecoveryAction::GpuResetOrSre,
             Xid::ContainedEcc | Xid::PmuSpiError | Xid::Xid136 => RecoveryAction::Unspecified,
         }
     }
@@ -141,6 +149,7 @@ impl Xid {
             Xid::ContainedEcc => "Contained Mem. Err.",
             Xid::UncontainedEcc => "Uncontained Mem. Err.",
             Xid::GspRpcTimeout => "GSP Error",
+            Xid::GspError => "GSP Fatal Error",
             Xid::PmuSpiError => "PMU SPI Error",
             Xid::Xid136 => "XID 136",
         }
@@ -163,6 +172,7 @@ impl Xid {
             Xid::GspRpcTimeout => {
                 "Timeout after 6s of waiting for RPC response from GPU0 GSP! Expected function 76"
             }
+            Xid::GspError => "GSP task fatal error, halting GSP core",
             Xid::PmuSpiError => "PMU communication error: SPI RPC read failure",
             Xid::Xid136 => "Event 136 reported",
         }
@@ -237,6 +247,7 @@ mod tests {
         assert_eq!(Xid::ContainedEcc.code(), 94);
         assert_eq!(Xid::UncontainedEcc.code(), 95);
         assert_eq!(Xid::GspRpcTimeout.code(), 119);
+        assert_eq!(Xid::GspError.code(), 120);
         assert_eq!(Xid::PmuSpiError.code(), 122);
     }
 
@@ -253,6 +264,7 @@ mod tests {
         use ErrorCategory::*;
         assert_eq!(Xid::MmuError.category(), Hardware);
         assert_eq!(Xid::GspRpcTimeout.category(), Hardware);
+        assert_eq!(Xid::GspError.category(), Hardware);
         assert_eq!(Xid::PmuSpiError.category(), Hardware);
         assert_eq!(Xid::FallenOffBus.category(), Hardware);
         assert_eq!(Xid::NvlinkError.category(), Interconnect);

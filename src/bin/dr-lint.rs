@@ -1,0 +1,104 @@
+//! `dr-lint` — run the workspace's static-analysis passes from the CLI.
+//!
+//! ```text
+//! dr-lint [--root DIR] [--baseline FILE] [--json] [--update-baseline]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error. The same
+//! checks gate `cargo test` via `tests/lint_clean.rs`; this binary
+//! exists for fast local iteration and for `--update-baseline`, which
+//! rewrites the debt ledger after paying some of it down.
+
+use dr_lint::{run, Baseline, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: dr-lint [--root DIR] [--baseline FILE] [--json] [--update-baseline]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(".");
+    let mut baseline: Option<PathBuf> = None;
+    let mut json = false;
+    let mut update = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage_error("--root needs a value"),
+            },
+            "--baseline" => match it.next() {
+                Some(v) => baseline = Some(PathBuf::from(v)),
+                None => return usage_error("--baseline needs a value"),
+            },
+            "--json" => json = true,
+            "--update-baseline" => update = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown option {other:?}")),
+        }
+    }
+
+    if !root.is_dir() {
+        eprintln!("dr-lint: root {:?} is not a directory", root.display());
+        return ExitCode::from(2);
+    }
+
+    let baseline_path = baseline.unwrap_or_else(|| root.join("dr-lint.baseline"));
+    let cfg = Config {
+        root,
+        baseline: Some(baseline_path.clone()),
+    };
+    let report = match run(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dr-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if report.files == 0 {
+        eprintln!(
+            "dr-lint: no .rs files under {:?} (expected src/ or crates/*/src/)",
+            cfg.root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    if update {
+        let ledger = Baseline::render(&report.groups);
+        if let Err(e) = std::fs::write(&baseline_path, &ledger) {
+            eprintln!("dr-lint: {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        let entries = report.groups.values().filter(|&&c| c > 0).count();
+        println!(
+            "dr-lint: wrote {} baseline entr{} to {}",
+            entries,
+            if entries == 1 { "y" } else { "ies" },
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if json {
+        for d in &report.active {
+            println!("{}", d.json());
+        }
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("dr-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

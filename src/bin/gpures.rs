@@ -22,7 +22,7 @@ use gpu_resilience::slurm::{
 };
 use gpu_resilience::xid::{Duration, Xid};
 use rand::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -64,10 +64,10 @@ const USAGE: &str = "usage:
   gpures monitor   [--log FILE] [--nodes N] [--every K]   (FILE or stdin; live Table 1)";
 
 /// `--key value` option bag with typed getters.
-struct Opts(HashMap<String, String>);
+struct Opts(BTreeMap<String, String>);
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
-    let mut map = HashMap::new();
+    let mut map = BTreeMap::new();
     let mut it = args.iter();
     while let Some(k) = it.next() {
         let key = k

@@ -46,6 +46,27 @@ fn scheduler_is_deterministic() {
 }
 
 #[test]
+fn single_thread_and_multi_thread_runs_are_bit_identical() {
+    // The whole text pipeline must give the same bits whether dr-par runs
+    // serially or fanned out: worker count is a performance knob, never a
+    // results knob. (Process-wide override — keep both runs in this test.)
+    let out = Campaign::run(CampaignConfig::tiny(80));
+    let cfg = StudyConfig::ampere_study()
+        .with_window(out.observation_hours(), out.fleet.node_count() as u32);
+
+    gpu_resilience::par::set_worker_override(Some(1));
+    let (r1, s1) = StudyResults::from_text_logs(&out.text_logs, None, None, cfg);
+    gpu_resilience::par::set_worker_override(Some(8));
+    let (rn, sn) = StudyResults::from_text_logs(&out.text_logs, None, None, cfg);
+    gpu_resilience::par::set_worker_override(None);
+
+    assert_eq!(s1, sn);
+    assert_eq!(r1.coalesced, rn.coalesced);
+    assert_eq!(r1.overall_mtbe_h, rn.overall_mtbe_h);
+    assert_eq!(format!("{:?}", r1.table1), format!("{:?}", rn.table1));
+}
+
+#[test]
 fn projection_is_deterministic() {
     let cfg = ProjectionConfig::paper_scenario(5);
     assert_eq!(simulate(&cfg), simulate(&cfg));

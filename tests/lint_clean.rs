@@ -1,0 +1,68 @@
+//! Tier-1 gate: the workspace must be lint-clean against its baseline.
+//!
+//! This is the same check `cargo run --bin dr-lint` performs, wired into
+//! `cargo test -q` so the determinism / panic-freedom / XID-taxonomy /
+//! unit-hygiene invariants are enforced with no CI changes.
+
+use dr_lint::{run, Config};
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = workspace_root();
+    let cfg = Config {
+        root: root.clone(),
+        baseline: Some(root.join("dr-lint.baseline")),
+    };
+    let report = run(&cfg).expect("dr-lint runs");
+    assert!(report.files > 50, "walked only {} files — wrong root?", report.files);
+    assert!(
+        report.is_clean(),
+        "dr-lint found non-baselined violations:\n{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn baseline_has_no_stale_surplus() {
+    // The ledger must describe real debt: every baselined (lint, path)
+    // group must still exist in the tree with a non-zero count, so paid
+    // debt is actually ratcheted out instead of lingering as headroom.
+    let root = workspace_root();
+    let cfg = Config {
+        root: root.clone(),
+        baseline: Some(root.join("dr-lint.baseline")),
+    };
+    let report = run(&cfg).expect("dr-lint runs");
+    let ledger = std::fs::read_to_string(root.join("dr-lint.baseline")).unwrap_or_default();
+    for line in ledger.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, char::is_whitespace);
+        let (Some(lint), Some(count), Some(path)) = (parts.next(), parts.next(), parts.next())
+        else {
+            panic!("malformed baseline line: {line}");
+        };
+        let allowed: usize = count.parse().expect("baseline count parses");
+        let actual = report
+            .groups
+            .get(&(lint.to_string(), path.trim().to_string()))
+            .copied()
+            .unwrap_or(0);
+        assert!(
+            actual > 0,
+            "stale baseline entry `{line}`: no such violations remain — \
+             run `cargo run --bin dr-lint -- --update-baseline`"
+        );
+        assert!(
+            actual <= allowed,
+            "baseline entry `{line}` is over budget ({actual} found)"
+        );
+    }
+}
