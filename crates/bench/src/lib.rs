@@ -4,6 +4,14 @@
 //! DESIGN.md's experiment index). Campaign generation is *not* what we
 //! want to time in the analysis benches, so fixtures are built once per
 //! process and shared via `OnceLock`.
+//!
+//! [`stage1`] is different: it is the tracked Stage I throughput
+//! benchmark behind `gpures bench`, producing the committed
+//! `BENCH_stage1.json` / `BENCH_pipeline.json` artifacts via the tiny
+//! dependency-free [`json`] emitter.
+
+pub mod json;
+pub mod stage1;
 
 use dr_cluster::DeltaShape;
 use dr_faults::{Campaign, CampaignConfig, CampaignOutput};

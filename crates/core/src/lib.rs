@@ -38,6 +38,7 @@ pub mod downtime;
 pub mod job_impact;
 pub mod pipeline;
 pub mod propagation;
+pub mod shard;
 pub mod stats;
 pub mod stream;
 
@@ -47,5 +48,6 @@ pub use downtime::{availability, DowntimeStats};
 pub use job_impact::{JobImpactAnalysis, Table2Row, Table3Row};
 pub use pipeline::{StudyConfig, StudyResults};
 pub use propagation::{NvlinkSpread, PropagationAnalysis, PropagationEdge};
+pub use shard::{extract_and_coalesce, extract_sharded, merge_and_coalesce, plan_chunks, ChunkSpec};
 pub use stats::{lost_gpu_hours, table1, LostHours, Table1Row};
 pub use stream::{OnlineRow, OnlineStats, StreamCoalescer};

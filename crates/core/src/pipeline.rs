@@ -19,7 +19,7 @@ use crate::stats::{
     category_mtbe, lost_gpu_hours, overall_mtbe, table1, CategoryMtbe, LostHours, Table1Row,
 };
 use dr_faults::DowntimeInterval;
-use dr_logscan::{ExtractStats, XidExtractor};
+use dr_logscan::{BaselineExtractor, ExtractStats};
 use dr_slurm::JobRecord;
 use dr_xid::{Duration, ErrorRecord, NodeId};
 
@@ -130,31 +130,61 @@ impl StudyResults {
         }
     }
 
-    /// Stage I + pipeline: extract records from per-node syslog text in
-    /// parallel, then run the analyses. Returns the merged extraction
-    /// statistics alongside the results.
+    /// Stage I + pipeline: sharded parallel extraction from per-node
+    /// syslog text (byte-balanced chunks with replayed scanner state),
+    /// k-way merged into the streaming coalescer — no global record sort
+    /// barrier between Stage I and Stage II. Returns the merged
+    /// extraction statistics alongside the results.
     pub fn from_text_logs(
         node_logs: &[(NodeId, Vec<String>)],
         jobs: Option<&[JobRecord]>,
         downtime: Option<&[DowntimeInterval]>,
         config: StudyConfig,
     ) -> (StudyResults, ExtractStats) {
+        Self::from_text_logs_chunked(node_logs, jobs, downtime, config, None)
+    }
+
+    /// [`StudyResults::from_text_logs`] with an explicit chunk-size
+    /// target (bytes per Stage I work unit), for tests and benchmarks
+    /// that pin the decomposition. `None` sizes chunks to the worker
+    /// pool.
+    pub fn from_text_logs_chunked(
+        node_logs: &[(NodeId, Vec<String>)],
+        jobs: Option<&[JobRecord]>,
+        downtime: Option<&[DowntimeInterval]>,
+        config: StudyConfig,
+        target_chunk_bytes: Option<u64>,
+    ) -> (StudyResults, ExtractStats) {
+        let (coalesced, stats) =
+            crate::shard::extract_and_coalesce(node_logs, config.coalesce, target_chunk_bytes);
+        (Self::from_coalesced(coalesced, jobs, downtime, config), stats)
+    }
+
+    /// The pre-optimization Stage I pipeline, kept as the differential
+    /// oracle and the benchmark "pre" engine: per-node extraction on the
+    /// baseline (per-call Pike VM) engine, concatenate, globally sort,
+    /// batch-coalesce. Record output is bit-identical to
+    /// [`StudyResults::from_text_logs`]; `syslog_lines` keeps the legacy
+    /// heuristic definition (see [`dr_logscan::BaselineExtractor`]).
+    pub fn from_text_logs_baseline(
+        node_logs: &[(NodeId, Vec<String>)],
+        jobs: Option<&[JobRecord]>,
+        downtime: Option<&[DowntimeInterval]>,
+        config: StudyConfig,
+    ) -> (StudyResults, ExtractStats) {
         // One extractor per node: syslog year inference is per-file state.
-        let per_node: Vec<(Vec<ErrorRecord>, ExtractStats)> = dr_par::par_map(node_logs, |(_, lines)| {
-            let mut ex = XidExtractor::new();
-            let recs = ex.extract_all(lines.iter().map(|s| s.as_str()));
-            (recs, ex.stats())
-        });
+        let per_node: Vec<(Vec<ErrorRecord>, ExtractStats)> =
+            dr_par::par_map(node_logs, |(_, lines)| {
+                let mut ex = BaselineExtractor::new();
+                let recs = ex.extract_all(lines.iter().map(|s| s.as_str()));
+                (recs, ex.stats())
+            });
 
         let mut records = Vec::new();
         let mut stats = ExtractStats::default();
         for (mut recs, s) in per_node {
             records.append(&mut recs);
-            stats.lines += s.lines;
-            stats.syslog_lines += s.syslog_lines;
-            stats.xid_lines += s.xid_lines;
-            stats.unknown_xid += s.unknown_xid;
-            stats.malformed += s.malformed;
+            stats.merge(&s);
         }
         dr_xid::record::sort_records(&mut records);
         (
@@ -221,6 +251,37 @@ mod tests {
             from_text.table1_row(Xid::GspRpcTimeout).unwrap().count,
             from_records.table1_row(Xid::GspRpcTimeout).unwrap().count
         );
+    }
+
+    #[test]
+    fn sharded_text_path_matches_baseline_pipeline() {
+        // The optimized pipeline (fast extractor, byte-balanced chunks,
+        // streaming coalesce) must coalesce identically to the original
+        // one (baseline VM, global sort, batch coalesce), for any chunk
+        // size.
+        let mut logs = Vec::new();
+        for node in 1..=3u32 {
+            let records: Vec<_> = (0..40)
+                .map(|k| {
+                    let mut r = rec(3_000 + k * 7 + node as u64, node, Xid::GspRpcTimeout);
+                    if k % 3 == 0 {
+                        r.xid = Xid::MmuError;
+                    }
+                    r
+                })
+                .collect();
+            let lines: Vec<String> = records.iter().map(|r| format_line(r, 0)).collect();
+            logs.push((dr_xid::NodeId(node), lines));
+        }
+        let cfg = StudyConfig::ampere_study().with_window(1_000.0, 10);
+        let (base, base_stats) = StudyResults::from_text_logs_baseline(&logs, None, None, cfg);
+        for target in [Some(1), Some(200), Some(1 << 20), None] {
+            let (fast, stats) =
+                StudyResults::from_text_logs_chunked(&logs, None, None, cfg, target);
+            assert_eq!(fast.coalesced, base.coalesced, "chunk target {target:?}");
+            assert_eq!(stats.lines, base_stats.lines);
+            assert_eq!(stats.xid_lines, base_stats.xid_lines);
+        }
     }
 
     #[test]

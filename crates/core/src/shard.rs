@@ -1,0 +1,422 @@
+//! Byte-balanced sharded Stage I execution.
+//!
+//! The paper's Stage I scans 202 GB of per-node syslog. Parallelizing
+//! only *across nodes* (the original pipeline) load-balances badly: node
+//! log sizes are highly skewed, so one huge file serializes the tail, and
+//! the whole extraction then feeds a global sort barrier before Stage II.
+//!
+//! This module shards the work by **bytes, not nodes**: each node's lines
+//! are split at line boundaries into chunks of roughly equal byte volume
+//! sized to the `dr-par` worker pool, so a single large log no longer
+//! bounds the critical path. Correctness hinges on the syslog scanner's
+//! year-inference state (timestamps carry no year; the scanner bumps the
+//! year on month regressions), which is inherently serial per node. The
+//! classic trick applies because state evolution composes:
+//!
+//! 1. **Summarize** (parallel): for every chunk, fold the months of its
+//!    state-updating lines (exactly the predicate the extraction loop
+//!    uses, [`dr_logscan::extract::scanner_update_month`]) into
+//!    `(first_month, internal_bumps, last_month)`.
+//! 2. **Prefix-fold** (serial, O(#chunks)): compose the summaries in
+//!    order to recover the scanner state a serial scan would hold at
+//!    each chunk boundary.
+//! 3. **Extract** (parallel): run each chunk through an extractor seeded
+//!    with its replayed state ([`XidExtractor::with_scanner_state`]).
+//!
+//! The result is **bit-identical** to a serial per-node scan (tested, and
+//! differentially pinned against the pre-optimization pipeline), for any
+//! chunk size and worker count.
+//!
+//! Stage I → Stage II then avoids the global sort barrier: per-node record
+//! streams are already time-ordered, so a k-way heap merge feeds the
+//! incremental [`StreamCoalescer`] directly. If a pathological log yields
+//! a non-monotonic stream (e.g. a day regression without a month rollover),
+//! the code falls back to the batch path — batch and stream coalescing are
+//! equivalent on ordered streams (property-tested), so both routes return
+//! the same output, sorted by `(start, gpu, xid, detail)`.
+
+use crate::coalesce::{coalesce, CoalesceConfig, CoalescedError};
+use crate::stream::StreamCoalescer;
+use dr_logscan::extract::scanner_update_month;
+use dr_logscan::{ExtractStats, XidExtractor};
+use dr_xid::record::sort_records;
+use dr_xid::{ErrorRecord, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One unit of Stage I work: a contiguous line range of one node's log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkSpec {
+    /// Index into the `node_logs` slice.
+    pub node: usize,
+    /// First line (inclusive).
+    pub start: usize,
+    /// Past-the-end line.
+    pub end: usize,
+    /// Total bytes of the lines in the chunk.
+    pub bytes: u64,
+}
+
+/// Split every node's log at line boundaries into chunks of roughly
+/// `target_bytes` each. Chunks partition each node's lines exactly (no
+/// gaps, no overlaps, in order); a non-empty node always yields at least
+/// one chunk.
+pub fn plan_chunks(node_logs: &[(NodeId, Vec<String>)], target_bytes: u64) -> Vec<ChunkSpec> {
+    let target = target_bytes.max(1);
+    let mut chunks = Vec::new();
+    for (node, (_, lines)) in node_logs.iter().enumerate() {
+        let mut start = 0usize;
+        let mut acc = 0u64;
+        for (i, line) in lines.iter().enumerate() {
+            acc += line.len() as u64 + 1; // +1 for the newline the file had
+            if acc >= target {
+                chunks.push(ChunkSpec {
+                    node,
+                    start,
+                    end: i + 1,
+                    bytes: acc,
+                });
+                start = i + 1;
+                acc = 0;
+            }
+        }
+        if start < lines.len() {
+            chunks.push(ChunkSpec {
+                node,
+                start,
+                end: lines.len(),
+                bytes: acc,
+            });
+        }
+    }
+    chunks
+}
+
+/// How a chunk transforms year-inference state, independent of the state
+/// it starts from: the month of its first state-updating line, the number
+/// of month regressions strictly inside the chunk, and the month of its
+/// last state-updating line. `None` when the chunk contains no
+/// state-updating lines (identity transform).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StateSummary {
+    pub first: u8,
+    pub internal_bumps: u32,
+    pub last: u8,
+}
+
+/// Phase 1: fold a chunk's state-updating months into a [`StateSummary`].
+pub fn summarize_chunk(lines: &[String]) -> Option<StateSummary> {
+    let mut summary: Option<StateSummary> = None;
+    for line in lines {
+        let Some(month) = scanner_update_month(line) else {
+            continue;
+        };
+        match &mut summary {
+            None => {
+                summary = Some(StateSummary {
+                    first: month,
+                    internal_bumps: 0,
+                    last: month,
+                })
+            }
+            Some(s) => {
+                if month < s.last {
+                    s.internal_bumps += 1;
+                }
+                s.last = month;
+            }
+        }
+    }
+    summary
+}
+
+/// Phase 2 composition: the state after a chunk, given the state before it.
+fn apply_summary(state: (i32, u8), summary: Option<StateSummary>) -> (i32, u8) {
+    match summary {
+        None => state,
+        Some(s) => {
+            let (mut year, last_month) = state;
+            if s.first < last_month {
+                year += 1;
+            }
+            year += s.internal_bumps as i32;
+            (year, s.last)
+        }
+    }
+}
+
+/// Default chunk size: enough chunks to keep the worker pool load-balanced
+/// (4 per worker), but no smaller than 64 KiB so per-chunk overhead stays
+/// negligible at scale.
+fn default_target_bytes(total: u64) -> u64 {
+    let workers = dr_par::max_workers() as u64;
+    (total / (workers * 4).max(1)).clamp(64 * 1024, u64::MAX)
+}
+
+/// Sharded Stage I: extract every node's records with byte-balanced
+/// parallel chunks and replayed scanner state. Returns one time-ordered
+/// record stream per node (same order as `node_logs`) plus merged
+/// extraction statistics. Bit-identical to a serial per-node scan for any
+/// `target_bytes`.
+pub fn extract_sharded(
+    node_logs: &[(NodeId, Vec<String>)],
+    target_bytes: Option<u64>,
+) -> (Vec<Vec<ErrorRecord>>, ExtractStats) {
+    let total: u64 = node_logs
+        .iter()
+        .flat_map(|(_, lines)| lines.iter())
+        .map(|l| l.len() as u64 + 1)
+        .sum();
+    let target = target_bytes.unwrap_or_else(|| default_target_bytes(total));
+    let chunks = plan_chunks(node_logs, target);
+
+    // Phase 1 (parallel): per-chunk state summaries.
+    let summaries: Vec<Option<StateSummary>> = dr_par::par_map(&chunks, |c| {
+        summarize_chunk(&node_logs[c.node].1[c.start..c.end])
+    });
+
+    // Phase 2 (serial, cheap): replay the incoming state of every chunk.
+    let mut incoming: Vec<(i32, u8)> = Vec::with_capacity(chunks.len());
+    let mut per_node_state: Vec<(i32, u8)> = vec![(2022, 1); node_logs.len()];
+    for (c, summary) in chunks.iter().zip(&summaries) {
+        incoming.push(per_node_state[c.node]);
+        per_node_state[c.node] = apply_summary(per_node_state[c.node], *summary);
+    }
+
+    // Phase 3 (parallel): extract each chunk from its replayed state.
+    let work: Vec<(ChunkSpec, (i32, u8))> =
+        chunks.into_iter().zip(incoming).collect();
+    let extracted: Vec<(Vec<ErrorRecord>, ExtractStats)> =
+        dr_par::par_map(&work, |(c, (year, last_month))| {
+            let mut ex = XidExtractor::with_scanner_state(*year, *last_month);
+            let recs = ex.extract_all(
+                node_logs[c.node].1[c.start..c.end]
+                    .iter()
+                    .map(|s| s.as_str()),
+            );
+            (recs, ex.stats())
+        });
+
+    // Stitch chunks back into per-node streams (par_map preserves input
+    // order, and chunks are node-major and in-order within a node).
+    let mut per_node: Vec<Vec<ErrorRecord>> = Vec::new();
+    per_node.resize_with(node_logs.len(), Vec::new);
+    let mut stats = ExtractStats::default();
+    for ((c, _), (mut recs, s)) in work.iter().zip(extracted) {
+        per_node[c.node].append(&mut recs);
+        stats.merge(&s);
+    }
+    (per_node, stats)
+}
+
+/// Stage I/II handoff: k-way merge the per-node time-ordered streams into
+/// the incremental coalescer, avoiding the global record sort. Returns
+/// exactly what batch [`coalesce`] would, sorted by
+/// `(start, gpu, xid, detail)`; non-monotonic streams (malformed logs)
+/// fall back to the batch path.
+pub fn merge_and_coalesce(
+    per_node: Vec<Vec<ErrorRecord>>,
+    cfg: CoalesceConfig,
+) -> Vec<CoalescedError> {
+    let monotonic = per_node
+        .iter()
+        .all(|recs| recs.windows(2).all(|w| w[0].at <= w[1].at));
+    if !monotonic {
+        let mut records: Vec<ErrorRecord> = per_node.into_iter().flatten().collect();
+        sort_records(&mut records);
+        return coalesce(&records, cfg);
+    }
+
+    // Heap of (next timestamp, node index) over the per-node cursors;
+    // the node index tie-break keeps the merge deterministic.
+    let mut cursors = vec![0usize; per_node.len()];
+    let mut heap: BinaryHeap<Reverse<(dr_xid::Timestamp, usize)>> = per_node
+        .iter()
+        .enumerate()
+        .filter_map(|(i, recs)| recs.first().map(|r| Reverse((r.at, i))))
+        .collect();
+
+    let mut stream = StreamCoalescer::new(cfg);
+    let mut out = Vec::new();
+    while let Some(Reverse((_, node))) = heap.pop() {
+        let rec = &per_node[node][cursors[node]];
+        out.extend(stream.push(rec));
+        cursors[node] += 1;
+        if let Some(next) = per_node[node].get(cursors[node]) {
+            heap.push(Reverse((next.at, node)));
+        }
+    }
+    out.extend(stream.finish());
+    // Batch output order, so the two routes are interchangeable.
+    out.sort_by_key(|e| (e.start, e.gpu, e.xid, e.detail));
+    out
+}
+
+/// The full sharded Stage I + streaming Stage II front half of the
+/// pipeline: text in, coalesced errors and extraction stats out.
+pub fn extract_and_coalesce(
+    node_logs: &[(NodeId, Vec<String>)],
+    cfg: CoalesceConfig,
+    target_bytes: Option<u64>,
+) -> (Vec<CoalescedError>, ExtractStats) {
+    let (per_node, stats) = extract_sharded(node_logs, target_bytes);
+    (merge_and_coalesce(per_node, cfg), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_xid::syslog::{format_line, format_noise_line};
+    use dr_xid::{Duration, ErrorDetail, GpuId, Timestamp, Xid};
+
+    /// A rollover-heavy multi-node synthetic campaign: XID bursts, noise,
+    /// and garbage, with several year rollovers per node.
+    fn synthetic_logs(nodes: u32, events_per_node: u64) -> Vec<(NodeId, Vec<String>)> {
+        (0..nodes)
+            .map(|n| {
+                let mut lines = Vec::new();
+                let mut t = Timestamp::EPOCH + Duration::from_hours(n as u64);
+                for k in 0..events_per_node {
+                    let xid = Xid::ALL[(k % Xid::ALL.len() as u64) as usize];
+                    let rec = ErrorRecord::new(
+                        t,
+                        GpuId::at_slot(NodeId(n), (k % 8) as usize),
+                        xid,
+                        ErrorDetail::new((k % 5) as u16, (k % 11) as u32),
+                    );
+                    lines.push(format_line(&rec, k as u32));
+                    if k % 3 == 0 {
+                        lines.push(format_noise_line(t, NodeId(n), (k % 5) as u8));
+                    }
+                    if k % 17 == 0 {
+                        lines.push("stray line without a header".to_string());
+                    }
+                    // ~100 days between some events: forces rollovers.
+                    t = t + Duration::from_hours(if k % 7 == 0 { 2_400 } else { 3 });
+                }
+                (NodeId(n), lines)
+            })
+            .collect()
+    }
+
+    /// Reference: serial per-node extraction with one scanner per node.
+    fn serial_extract(
+        node_logs: &[(NodeId, Vec<String>)],
+    ) -> (Vec<Vec<ErrorRecord>>, ExtractStats) {
+        let mut stats = ExtractStats::default();
+        let per_node = node_logs
+            .iter()
+            .map(|(_, lines)| {
+                let mut ex = XidExtractor::new();
+                let recs = ex.extract_all(lines.iter().map(|s| s.as_str()));
+                stats.merge(&ex.stats());
+                recs
+            })
+            .collect();
+        (per_node, stats)
+    }
+
+    #[test]
+    fn chunks_partition_lines_exactly() {
+        let logs = synthetic_logs(3, 40);
+        for target in [1, 37, 1_000, u64::MAX] {
+            let chunks = plan_chunks(&logs, target);
+            for (node, (_, lines)) in logs.iter().enumerate() {
+                let mine: Vec<_> = chunks.iter().filter(|c| c.node == node).collect();
+                assert!(!mine.is_empty());
+                assert_eq!(mine[0].start, 0);
+                assert_eq!(mine.last().unwrap().end, lines.len());
+                for w in mine.windows(2) {
+                    assert_eq!(w[0].end, w[1].start, "gap/overlap at target {target}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_bytes_are_balanced() {
+        let logs = synthetic_logs(1, 300);
+        let total: u64 = logs[0].1.iter().map(|l| l.len() as u64 + 1).sum();
+        let chunks = plan_chunks(&logs, total / 8);
+        assert!(chunks.len() >= 6, "got {} chunks", chunks.len());
+        // Every chunk but the last is within one line of the target.
+        for c in &chunks[..chunks.len() - 1] {
+            assert!(c.bytes >= total / 8);
+            assert!(c.bytes < total / 8 + 200);
+        }
+    }
+
+    #[test]
+    fn sharded_extraction_is_bit_identical_to_serial() {
+        let logs = synthetic_logs(3, 60);
+        let (serial, serial_stats) = serial_extract(&logs);
+        // Chunk sizes from "one line per chunk" up to "one chunk per node".
+        for target in [1, 64, 512, 4 * 1024, u64::MAX] {
+            let (sharded, stats) = extract_sharded(&logs, Some(target));
+            assert_eq!(sharded, serial, "divergence at target_bytes={target}");
+            assert_eq!(stats, serial_stats, "stats divergence at {target}");
+        }
+    }
+
+    #[test]
+    fn sharded_extraction_is_worker_count_invariant() {
+        let logs = synthetic_logs(2, 50);
+        dr_par::set_worker_override(Some(1));
+        let (one, s1) = extract_sharded(&logs, Some(256));
+        dr_par::set_worker_override(Some(8));
+        let (eight, s8) = extract_sharded(&logs, Some(256));
+        dr_par::set_worker_override(None);
+        assert_eq!(one, eight);
+        assert_eq!(s1, s8);
+    }
+
+    #[test]
+    fn state_summary_composition_matches_direct_scan() {
+        // The summary fold is exactly what a serial scanner does.
+        let logs = synthetic_logs(1, 80);
+        let lines = &logs[0].1;
+        let mut ex = XidExtractor::new();
+        let _ = ex.extract_all(lines.iter().map(|s| s.as_str()));
+        let direct = ex.scanner_state();
+
+        let mut state = (2022, 1u8);
+        for chunk in lines.chunks(7) {
+            state = apply_summary(state, summarize_chunk(chunk));
+        }
+        assert_eq!(state, direct);
+    }
+
+    #[test]
+    fn merge_and_coalesce_matches_batch() {
+        let logs = synthetic_logs(4, 50);
+        let (per_node, _) = extract_sharded(&logs, Some(512));
+        let mut all: Vec<ErrorRecord> = per_node.iter().flatten().copied().collect();
+        sort_records(&mut all);
+        let batch = coalesce(&all, CoalesceConfig::default());
+        let streamed = merge_and_coalesce(per_node, CoalesceConfig::default());
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn non_monotonic_streams_fall_back_to_batch() {
+        // A day regression without a month rollover makes a node stream
+        // non-monotonic; the merge must detect it and still match batch.
+        let rec = |secs: u64, node: u32| {
+            ErrorRecord::new(
+                Timestamp::from_secs(secs),
+                GpuId::at_slot(NodeId(node), 0),
+                Xid::MmuError,
+                ErrorDetail::NONE,
+            )
+        };
+        let per_node = vec![
+            vec![rec(100, 1), rec(50, 1), rec(120, 1)],
+            vec![rec(10, 2), rec(60, 2)],
+        ];
+        let mut all: Vec<ErrorRecord> = per_node.iter().flatten().copied().collect();
+        sort_records(&mut all);
+        let batch = coalesce(&all, CoalesceConfig::default());
+        let merged = merge_and_coalesce(per_node, CoalesceConfig::default());
+        assert_eq!(merged, batch);
+    }
+}

@@ -1,11 +1,13 @@
-//! The four repo-specific lint passes.
+//! The five repo-specific lint passes.
 
 pub mod determinism;
+pub mod hotalloc;
 pub mod panics;
 pub mod taxonomy;
 pub mod units;
 
 pub use determinism::DeterminismPass;
+pub use hotalloc::HotAllocPass;
 pub use panics::PanicPass;
 pub use taxonomy::TaxonomyPass;
 pub use units::UnitsPass;
@@ -16,6 +18,7 @@ use crate::Pass;
 pub fn all() -> Vec<Box<dyn Pass>> {
     vec![
         Box::new(DeterminismPass),
+        Box::new(HotAllocPass),
         Box::new(PanicPass),
         Box::new(TaxonomyPass),
         Box::new(UnitsPass),

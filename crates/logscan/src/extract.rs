@@ -4,9 +4,16 @@
 //! from NVIDIA's XID message catalog is applied to every log line; NVRM
 //! XID lines yield structured records (timestamp, GPU = node + PCI address,
 //! XID code, message detail), everything else is counted and skipped.
+//!
+//! Two implementations share one pattern table: [`XidExtractor`] is the
+//! production fast path (byte-level header decode, scratch-reusing
+//! prefiltered regex execution, O(1) body-pattern dispatch by XID code);
+//! [`BaselineExtractor`] is the original Stage I code path (regex header,
+//! per-call Pike VM, linear dispatch), kept as the differential-testing
+//! oracle and as the "pre" engine of the throughput benchmark.
 
-use crate::regex::Regex;
-use crate::syslog::SyslogScanner;
+use crate::regex::{MatchScratch, Regex};
+use crate::syslog::{parse_header, SyslogLine, SyslogScanner};
 use dr_xid::{ErrorDetail, ErrorRecord, GpuId, PciAddr, Xid};
 
 /// Counters describing one extraction pass (useful for sanity-checking a
@@ -15,7 +22,11 @@ use dr_xid::{ErrorDetail, ErrorRecord, GpuId, PciAddr, Xid};
 pub struct ExtractStats {
     /// Total lines offered to the extractor.
     pub lines: u64,
-    /// Lines with a well-formed syslog header from a GPU node.
+    /// Lines with a structurally well-formed `gpub` syslog header
+    /// ([`parse_header`] succeeds). The definition is uniform across all
+    /// lines, whether or not they mention an XID: a month-prefixed line
+    /// from a non-GPU host does **not** count, and a `gpub` header with
+    /// an impossible date (e.g. Feb 30) does.
     pub syslog_lines: u64,
     /// Lines containing an NVRM XID report.
     pub xid_lines: u64,
@@ -25,20 +36,130 @@ pub struct ExtractStats {
     pub malformed: u64,
 }
 
+impl ExtractStats {
+    /// Accumulate another pass's counters (used when merging per-shard
+    /// extractions back together).
+    pub fn merge(&mut self, other: &ExtractStats) {
+        self.lines += other.lines;
+        self.syslog_lines += other.syslog_lines;
+        self.xid_lines += other.xid_lines;
+        self.unknown_xid += other.unknown_xid;
+        self.malformed += other.malformed;
+    }
+}
+
+/// The literal every XID report line contains; scanning for it is far
+/// cheaper than any structured parse. (The real study greps 202 GB; so
+/// do we.)
+const NVRM_NEEDLE: &str = "NVRM: Xid";
+
 /// Per-XID message-body pattern used to pull out the detail fields.
 struct BodyPattern {
-    xid: Xid,
     re: Regex,
     /// Which capture group maps to `unit` / `qualifier` and their radix.
     unit: Option<(usize, u32)>,
     qualifier: Option<(usize, u32)>,
 }
 
+/// The shared pattern table: `(xid, body pattern, unit spec, qualifier
+/// spec)` with `(group index, radix)` per field; `None` = field absent
+/// for this XID.
+type FieldSpec = Option<(usize, u32)>;
+
+const NVRM_PATTERN: &str = r"kernel: NVRM: Xid \(PCI:([0-9a-f]{4}:[0-9a-f]{2}:[0-9a-f]{2})\): (\d+), (?:pid=('?<?\w+>?'?), )?(.*)$";
+
+fn body_pattern_table() -> Vec<(Xid, &'static str, FieldSpec, FieldSpec)> {
+    vec![
+        (
+            Xid::MmuError,
+            r"GPCCLIENT_T1_(\d+) faulted @ 0x7f_([0-9a-f]+)",
+            Some((1, 10)),
+            Some((2, 16)),
+        ),
+        (
+            Xid::DoubleBitEcc,
+            r"\(DBE\) has been detected on bank (\d+) row 0x([0-9a-f]+)",
+            Some((1, 10)),
+            Some((2, 16)),
+        ),
+        (
+            Xid::RowRemapEvent,
+            r"Row Remapper: remapping row 0x([0-9a-f]+) in bank (\d+)",
+            Some((2, 10)),
+            Some((1, 16)),
+        ),
+        (
+            Xid::RowRemapFailure,
+            r"Row Remapper: Failed to remap row 0x([0-9a-f]+) in bank (\d+)",
+            Some((2, 10)),
+            Some((1, 16)),
+        ),
+        (
+            Xid::NvlinkError,
+            r"NVLink: fatal error detected on link (\d+) \(0x([0-9a-f]+),",
+            Some((1, 10)),
+            Some((2, 16)),
+        ),
+        (Xid::FallenOffBus, r"GPU has fallen off the bus", None, None),
+        (
+            Xid::ContainedEcc,
+            r"Contained: SM \(0x([0-9a-f]+)\)",
+            Some((1, 16)),
+            None,
+        ),
+        (
+            Xid::UncontainedEcc,
+            r"Uncontained: LTC TAG \(0x([0-9a-f]+),0x([0-9a-f]+)\)",
+            Some((1, 16)),
+            Some((2, 16)),
+        ),
+        (
+            Xid::GspRpcTimeout,
+            r"RPC response from GPU(\d+) GSP! Expected function (\d+)",
+            Some((1, 10)),
+            Some((2, 10)),
+        ),
+        (
+            Xid::GspError,
+            r"GSP task (\d+) raised fatal error 0x([0-9a-f]+)",
+            Some((1, 10)),
+            Some((2, 16)),
+        ),
+        (
+            Xid::PmuSpiError,
+            r"SPI RPC read failure \(addr 0x([0-9a-f]+)\)",
+            None,
+            Some((1, 16)),
+        ),
+        (
+            Xid::GraphicsEngineException,
+            r"Graphics Exception: ESR 0x([0-9a-f]+)",
+            None,
+            Some((1, 16)),
+        ),
+        (
+            Xid::ResetChannelVerifError,
+            r"Reset Channel Verification Error on channel (\d+)",
+            Some((1, 10)),
+            None,
+        ),
+        (
+            Xid::Xid136,
+            r"Event 136 reported on engine (\d+)",
+            Some((1, 10)),
+            None,
+        ),
+    ]
+}
+
 /// The Stage I extractor: compiled pattern set plus syslog scanner state.
 pub struct XidExtractor {
     scanner: SyslogScanner,
     nvrm: Regex,
-    bodies: Vec<BodyPattern>,
+    /// Body patterns indexed directly by XID code: O(1) dispatch from the
+    /// already-parsed code instead of a linear scan.
+    dispatch: Vec<Option<BodyPattern>>,
+    scratch: MatchScratch,
     stats: ExtractStats,
 }
 
@@ -51,106 +172,35 @@ impl Default for XidExtractor {
 impl XidExtractor {
     /// Compile the full pattern set.
     pub fn new() -> Self {
-        let nvrm = Regex::new(
-            r"kernel: NVRM: Xid \(PCI:([0-9a-f]{4}:[0-9a-f]{2}:[0-9a-f]{2})\): (\d+), (?:pid=('?<?\w+>?'?), )?(.*)$",
-        )
-        // dr-lint: allow(panic-freedom): constant pattern, compile covered by tests
-        .expect("NVRM pattern compiles");
+        Self::with_scanner_state(2022, 1)
+    }
 
-        let mk = |xid, pat: &str, unit, qualifier| BodyPattern {
-            xid,
-            // dr-lint: allow(panic-freedom): constant patterns, round-trip tested below
-            re: Regex::new(pat).expect("body pattern compiles"),
-            unit,
-            qualifier,
-        };
-        // (group index, radix) per field; None = field absent for this XID.
-        let bodies = vec![
-            mk(
-                Xid::MmuError,
-                r"GPCCLIENT_T1_(\d+) faulted @ 0x7f_([0-9a-f]+)",
-                Some((1, 10)),
-                Some((2, 16)),
-            ),
-            mk(
-                Xid::DoubleBitEcc,
-                r"\(DBE\) has been detected on bank (\d+) row 0x([0-9a-f]+)",
-                Some((1, 10)),
-                Some((2, 16)),
-            ),
-            mk(
-                Xid::RowRemapEvent,
-                r"Row Remapper: remapping row 0x([0-9a-f]+) in bank (\d+)",
-                Some((2, 10)),
-                Some((1, 16)),
-            ),
-            mk(
-                Xid::RowRemapFailure,
-                r"Row Remapper: Failed to remap row 0x([0-9a-f]+) in bank (\d+)",
-                Some((2, 10)),
-                Some((1, 16)),
-            ),
-            mk(
-                Xid::NvlinkError,
-                r"NVLink: fatal error detected on link (\d+) \(0x([0-9a-f]+),",
-                Some((1, 10)),
-                Some((2, 16)),
-            ),
-            mk(Xid::FallenOffBus, r"GPU has fallen off the bus", None, None),
-            mk(
-                Xid::ContainedEcc,
-                r"Contained: SM \(0x([0-9a-f]+)\)",
-                Some((1, 16)),
-                None,
-            ),
-            mk(
-                Xid::UncontainedEcc,
-                r"Uncontained: LTC TAG \(0x([0-9a-f]+),0x([0-9a-f]+)\)",
-                Some((1, 16)),
-                Some((2, 16)),
-            ),
-            mk(
-                Xid::GspRpcTimeout,
-                r"RPC response from GPU(\d+) GSP! Expected function (\d+)",
-                Some((1, 10)),
-                Some((2, 10)),
-            ),
-            mk(
-                Xid::GspError,
-                r"GSP task (\d+) raised fatal error 0x([0-9a-f]+)",
-                Some((1, 10)),
-                Some((2, 16)),
-            ),
-            mk(
-                Xid::PmuSpiError,
-                r"SPI RPC read failure \(addr 0x([0-9a-f]+)\)",
-                None,
-                Some((1, 16)),
-            ),
-            mk(
-                Xid::GraphicsEngineException,
-                r"Graphics Exception: ESR 0x([0-9a-f]+)",
-                None,
-                Some((1, 16)),
-            ),
-            mk(
-                Xid::ResetChannelVerifError,
-                r"Reset Channel Verification Error on channel (\d+)",
-                Some((1, 10)),
-                None,
-            ),
-            mk(
-                Xid::Xid136,
-                r"Event 136 reported on engine (\d+)",
-                Some((1, 10)),
-                None,
-            ),
-        ];
+    /// Extractor whose syslog scanner resumes from explicit year-inference
+    /// state — used by chunked parallel extraction to replay the state a
+    /// serial scan would have reached at the chunk boundary.
+    pub fn with_scanner_state(year: i32, last_month: u8) -> Self {
+        let nvrm = Regex::new(NVRM_PATTERN)
+            // dr-lint: allow(panic-freedom): constant pattern, compile covered by tests
+            .expect("NVRM pattern compiles");
+
+        let table = body_pattern_table();
+        let max_code = table.iter().map(|(x, ..)| x.code()).max().unwrap_or(0);
+        let mut dispatch: Vec<Option<BodyPattern>> = Vec::new();
+        dispatch.resize_with(max_code as usize + 1, || None);
+        for (xid, pat, unit, qualifier) in table {
+            dispatch[xid.code() as usize] = Some(BodyPattern {
+                // dr-lint: allow(panic-freedom): constant patterns, round-trip tested below
+                re: Regex::new(pat).expect("body pattern compiles"),
+                unit,
+                qualifier,
+            });
+        }
 
         XidExtractor {
-            scanner: SyslogScanner::new(),
+            scanner: SyslogScanner::starting_state(year, last_month),
             nvrm,
-            bodies,
+            dispatch,
+            scratch: MatchScratch::new(),
             stats: ExtractStats::default(),
         }
     }
@@ -160,23 +210,31 @@ impl XidExtractor {
         self.stats
     }
 
+    /// Current year-inference state `(year, last_month)` of the embedded
+    /// syslog scanner.
+    pub fn scanner_state(&self) -> (i32, u8) {
+        (self.scanner.year(), self.scanner.last_month())
+    }
+
+    // dr-lint: hot(begin)
     /// Scan one line; return a structured record if it is a studied XID
     /// report. Lines must be offered in log order (year inference).
     pub fn extract_line(&mut self, line: &str) -> Option<ErrorRecord> {
         self.stats.lines += 1;
         // Literal prefilter: the overwhelming majority of syslog is noise,
-        // and a substring scan is an order of magnitude cheaper than the
-        // header regex. (The real study greps 202 GB; so do we.)
-        if !line.contains("NVRM: Xid") {
-            if looks_like_syslog(line) {
+        // and a substring scan is an order of magnitude cheaper than a
+        // structured parse.
+        if !line.contains(NVRM_NEEDLE) {
+            if parse_header(line).is_some() {
                 self.stats.syslog_lines += 1;
             }
             return None;
         }
-        let parsed = self.scanner.parse(line)?;
+        let header = parse_header(line)?;
         self.stats.syslog_lines += 1;
+        let parsed = self.scanner.resolve(line, &header)?;
 
-        let m = self.nvrm.find(parsed.body)?;
+        let m = self.nvrm.find_with(parsed.body, &mut self.scratch)?;
         self.stats.xid_lines += 1;
 
         let pci: PciAddr = m.group(parsed.body, 1)?.parse().ok()?;
@@ -200,6 +258,25 @@ impl XidExtractor {
         ))
     }
 
+    fn extract_detail(&mut self, xid: Xid, body: &str) -> Option<ErrorDetail> {
+        let bp = self.dispatch.get(xid.code() as usize)?.as_ref()?;
+        let m = bp.re.find_with(body, &mut self.scratch)?;
+        let get = |spec: FieldSpec| -> Option<u64> {
+            match spec {
+                None => Some(0),
+                Some((group, radix)) => {
+                    let text = m.group(body, group)?;
+                    u64::from_str_radix(text, radix).ok()
+                }
+            }
+        };
+        Some(ErrorDetail::new(
+            get(bp.unit)? as u16,
+            get(bp.qualifier)? as u32,
+        ))
+    }
+    // dr-lint: hot(end)
+
     /// Scan many lines, collecting all structured records.
     pub fn extract_all<'a, I>(&mut self, lines: I) -> Vec<ErrorRecord>
     where
@@ -210,11 +287,148 @@ impl XidExtractor {
             .filter_map(|l| self.extract_line(l))
             .collect()
     }
+}
+
+// ---------------------------------------------------------------------------
+// Baseline (pre-optimization) extractor: the differential oracle
+// ---------------------------------------------------------------------------
+
+/// The original Stage I path, kept verbatim as the differential-testing
+/// oracle and the benchmark's "pre" engine: header parsed by regex on the
+/// per-call baseline Pike VM, body patterns dispatched by linear scan.
+///
+/// Extracted records are bit-identical to [`XidExtractor`]'s. The
+/// `syslog_lines` counter keeps the *old* inconsistent definition
+/// (month-prefix heuristic on prefiltered lines, full validated header on
+/// XID lines); all other counters agree with the fast path.
+pub struct BaselineExtractor {
+    header: Regex,
+    year: i32,
+    last_month: u8,
+    nvrm: Regex,
+    bodies: Vec<(Xid, BodyPattern)>,
+    stats: ExtractStats,
+}
+
+impl Default for BaselineExtractor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BaselineExtractor {
+    pub fn new() -> Self {
+        let header = Regex::new(
+            r"^([A-Z][a-z][a-z]) +(\d{1,2}) (\d{2}):(\d{2}):(\d{2}) gpub(\d+) (.*)$",
+        )
+        // dr-lint: allow(panic-freedom): constant pattern, compile covered by tests
+        .expect("header pattern compiles");
+        let nvrm = Regex::new(NVRM_PATTERN)
+            // dr-lint: allow(panic-freedom): constant pattern, compile covered by tests
+            .expect("NVRM pattern compiles");
+        let bodies = body_pattern_table()
+            .into_iter()
+            .map(|(xid, pat, unit, qualifier)| {
+                (
+                    xid,
+                    BodyPattern {
+                        // dr-lint: allow(panic-freedom): constant patterns, round-trip tested
+                        re: Regex::new(pat).expect("body pattern compiles"),
+                        unit,
+                        qualifier,
+                    },
+                )
+            })
+            .collect();
+        BaselineExtractor {
+            header,
+            year: 2022,
+            last_month: 1,
+            nvrm,
+            bodies,
+            stats: ExtractStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> ExtractStats {
+        self.stats
+    }
+
+    /// Original extraction logic, executed entirely on the baseline VM.
+    pub fn extract_line(&mut self, line: &str) -> Option<ErrorRecord> {
+        self.stats.lines += 1;
+        if !line.contains(NVRM_NEEDLE) {
+            if looks_like_syslog(line) {
+                self.stats.syslog_lines += 1;
+            }
+            return None;
+        }
+        let parsed = self.parse_syslog(line)?;
+        self.stats.syslog_lines += 1;
+
+        let m = self.nvrm.find_bytes_at_baseline(parsed.body.as_bytes(), 0)?;
+        self.stats.xid_lines += 1;
+
+        let pci: PciAddr = m.group(parsed.body, 1)?.parse().ok()?;
+        let code: u16 = m.group(parsed.body, 2)?.parse().ok()?;
+        let Some(xid) = Xid::from_code(code) else {
+            self.stats.unknown_xid += 1;
+            return None;
+        };
+        let body = m.group(parsed.body, 4)?;
+
+        let Some(detail) = self.extract_detail(xid, body) else {
+            self.stats.malformed += 1;
+            return None;
+        };
+
+        Some(ErrorRecord::new(
+            parsed.at,
+            GpuId::new(parsed.host, pci),
+            xid,
+            detail,
+        ))
+    }
+
+    pub fn extract_all<'a, I>(&mut self, lines: I) -> Vec<ErrorRecord>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        lines
+            .into_iter()
+            .filter_map(|l| self.extract_line(l))
+            .collect()
+    }
+
+    /// Original `SyslogScanner::parse`, on the baseline VM.
+    fn parse_syslog<'l>(&mut self, line: &'l str) -> Option<SyslogLine<'l>> {
+        let m = self.header.find_bytes_at_baseline(line.as_bytes(), 0)?;
+        let month = dr_xid::time::month_from_abbrev(m.group(line, 1)?)?;
+        let day: u8 = m.group(line, 2)?.parse().ok()?;
+        let hour: u8 = m.group(line, 3)?.parse().ok()?;
+        let minute: u8 = m.group(line, 4)?.parse().ok()?;
+        let second: u8 = m.group(line, 5)?.parse().ok()?;
+        let host: u32 = m.group(line, 6)?.parse().ok()?;
+        if day == 0 || day > 31 || hour > 23 || minute > 59 || second > 59 {
+            return None;
+        }
+        if month < self.last_month {
+            self.year += 1;
+        }
+        self.last_month = month;
+        let at = dr_xid::Timestamp::from_civil(self.year, month, day, hour, minute, second)?;
+        let body_start = m.group_span(7)?.0;
+        Some(SyslogLine {
+            at,
+            host: dr_xid::NodeId(host),
+            body: &line[body_start..],
+        })
+    }
 
     fn extract_detail(&self, xid: Xid, body: &str) -> Option<ErrorDetail> {
-        let bp = self.bodies.iter().find(|b| b.xid == xid)?;
-        let m = bp.re.find(body)?;
-        let get = |spec: Option<(usize, u32)>| -> Option<u64> {
+        let (_, bp) = self.bodies.iter().find(|(x, _)| *x == xid)?;
+        let m = bp.re.find_bytes_at_baseline(body.as_bytes(), 0)?;
+        let get = |spec: FieldSpec| -> Option<u64> {
             match spec {
                 None => Some(0),
                 Some((group, radix)) => {
@@ -230,8 +444,23 @@ impl XidExtractor {
     }
 }
 
-/// Cheap structural check used only for the `syslog_lines` statistic on
-/// prefiltered-out lines: a month abbreviation followed by a space.
+/// Month field of a line that advances [`SyslogScanner`] year-inference
+/// state inside [`XidExtractor::extract_line`], or `None` for lines that
+/// leave the state untouched. This is the exact state-evolution predicate
+/// of the extraction loop (NVRM-prefiltered, structurally valid header,
+/// time fields in range — timestamp resolution failures still advance
+/// state), which is what chunked parallel extraction folds over to replay
+/// scanner state at chunk boundaries.
+pub fn scanner_update_month(line: &str) -> Option<u8> {
+    if !line.contains(NVRM_NEEDLE) {
+        return None;
+    }
+    let h = parse_header(line)?;
+    h.time_fields_valid().then_some(h.month)
+}
+
+/// The old month-prefix heuristic, retained only for
+/// [`BaselineExtractor`]'s legacy `syslog_lines` counting.
 fn looks_like_syslog(line: &str) -> bool {
     line.len() > 4
         && line.is_char_boundary(3)
@@ -317,6 +546,66 @@ mod tests {
     }
 
     #[test]
+    fn syslog_lines_counts_structural_headers_uniformly() {
+        let mut ex = XidExtractor::new();
+        // Month-prefixed line from a non-GPU host: NOT a gpub header, so
+        // it no longer counts (the old heuristic counted it).
+        assert!(ex.extract_line("Jan  2 03:04:05 loginnode sshd: hi").is_none());
+        assert_eq!(ex.stats().syslog_lines, 0);
+        // Structurally valid gpub header with an impossible date counts,
+        // whether or not the line mentions an XID.
+        assert!(ex.extract_line("Feb 30 10:11:12 gpub900 kernel: routine noise").is_none());
+        assert_eq!(ex.stats().syslog_lines, 1);
+        assert!(ex
+            .extract_line("Feb 30 10:11:12 gpub900 kernel: NVRM: Xid (PCI:0000:c1:00): 79, x")
+            .is_none());
+        assert_eq!(ex.stats().syslog_lines, 2);
+        // Valid header + XID line: counted exactly once.
+        assert!(ex
+            .extract_line(
+                "Mar  1 10:11:12 gpub900 kernel: NVRM: Xid (PCI:0000:c1:00): 79, \
+                 pid=1, GPU has fallen off the bus."
+            )
+            .is_some());
+        let s = ex.stats();
+        assert_eq!(s.syslog_lines, 3);
+        // Both NVRM lines matched the XID pattern; the Feb 30 one has a
+        // garbage body, so it lands in `malformed` (day-range checking
+        // accepts any day ≤ 31, matching the original scanner).
+        assert_eq!(s.xid_lines, 2);
+        assert_eq!(s.malformed, 1);
+    }
+
+    #[test]
+    fn stats_merge_accumulates_all_fields() {
+        let mut a = ExtractStats {
+            lines: 10,
+            syslog_lines: 8,
+            xid_lines: 3,
+            unknown_xid: 1,
+            malformed: 1,
+        };
+        let b = ExtractStats {
+            lines: 5,
+            syslog_lines: 4,
+            xid_lines: 2,
+            unknown_xid: 0,
+            malformed: 1,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            ExtractStats {
+                lines: 15,
+                syslog_lines: 12,
+                xid_lines: 5,
+                unknown_xid: 1,
+                malformed: 2,
+            }
+        );
+    }
+
+    #[test]
     fn unknown_xid_codes_are_counted() {
         let mut ex = XidExtractor::new();
         let line = "Jan  2 03:04:05 gpub042 kernel: NVRM: Xid (PCI:0000:c1:00): 999, \
@@ -364,5 +653,54 @@ mod tests {
         let b = ex.extract_line(jan).unwrap();
         assert!(b.at > a.at, "year must roll over");
         assert_eq!((b.at - a.at).as_secs_f64(), 31.0);
+    }
+
+    #[test]
+    fn fast_and_baseline_extractors_agree_on_mixed_stream() {
+        // A stream exercising every XID, rollovers, noise, garbage,
+        // unknown codes and malformed bodies: records and the shared
+        // counters must be bit-identical across the two engines.
+        let mut lines: Vec<String> = Vec::new();
+        let mut t = Timestamp::EPOCH + Duration::from_hours(1);
+        for (i, &xid) in Xid::ALL.iter().enumerate() {
+            let (has_unit, has_qual) = encoded_fields(xid);
+            let rec = ErrorRecord::new(
+                t,
+                GpuId::at_slot(NodeId((i % 4) as u32), i % 8),
+                xid,
+                ErrorDetail::new(
+                    if has_unit { i as u16 } else { 0 },
+                    if has_qual { (i * 3 + 1) as u32 } else { 0 },
+                ),
+            );
+            lines.push(format_line(&rec, i as u32 * 11));
+            lines.push(format_noise_line(t, NodeId((i % 4) as u32), (i % 5) as u8));
+            t = t + Duration::from_hours(500); // forces several rollovers
+        }
+        lines.push("not syslog at all".to_string());
+        lines.push("Jan  2 03:04:05 loginnode sshd: hi".to_string());
+        lines.push(
+            "Jan  2 03:04:05 gpub042 kernel: NVRM: Xid (PCI:0000:c1:00): 999, pid=5, new"
+                .to_string(),
+        );
+        lines.push(
+            "Jan  2 03:04:06 gpub042 kernel: NVRM: Xid (PCI:0000:c1:00): 74, pid=5, NVLink: zap"
+                .to_string(),
+        );
+
+        let mut fast = XidExtractor::new();
+        let mut base = BaselineExtractor::new();
+        let fast_recs = fast.extract_all(lines.iter().map(|s| s.as_str()));
+        let base_recs = base.extract_all(lines.iter().map(|s| s.as_str()));
+        assert_eq!(fast_recs, base_recs);
+        let (fs, bs) = (fast.stats(), base.stats());
+        assert_eq!(fs.lines, bs.lines);
+        assert_eq!(fs.xid_lines, bs.xid_lines);
+        assert_eq!(fs.unknown_xid, bs.unknown_xid);
+        assert_eq!(fs.malformed, bs.malformed);
+        // syslog_lines intentionally differs: the fast path uses the
+        // unified structural definition, the baseline keeps the legacy
+        // heuristic (which also counted the loginnode line).
+        assert_eq!(bs.syslog_lines, fs.syslog_lines + 1);
     }
 }

@@ -23,6 +23,6 @@ pub mod extract;
 pub mod regex;
 pub mod syslog;
 
-pub use extract::{ExtractStats, XidExtractor};
-pub use regex::{FindIter, Match, Regex, RegexError};
-pub use syslog::{SyslogLine, SyslogScanner};
+pub use extract::{BaselineExtractor, ExtractStats, XidExtractor};
+pub use regex::{FindIter, Match, MatchScratch, Regex, RegexError};
+pub use syslog::{parse_header, RawHeader, SyslogLine, SyslogScanner};

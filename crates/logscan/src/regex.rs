@@ -8,6 +8,31 @@
 //!
 //! Matching operates on bytes; patterns and inputs are expected to be
 //! ASCII (true of syslog).
+//!
+//! ## Execution engines
+//!
+//! Two engines share one compiled [`Program`]:
+//!
+//! - The **optimized engine** ([`Regex::find_bytes_at_with`]) executes
+//!   against a caller-owned [`MatchScratch`], so steady-state matching
+//!   performs no heap allocation: thread lists and capture slots live in
+//!   pooled storage reused across calls. Capture slots are refcounted and
+//!   copied on write, so a `Split` shares its slot set instead of deep-
+//!   cloning it. Character classes are pre-compiled to 256-bit bitmaps.
+//!   A compile-time [`Analysis`] derives a *required literal* (a byte run
+//!   every match must contain at a bounded offset) and a start-anchor
+//!   flag; both restrict where start threads are seeded, memchr-style,
+//!   instead of seeding one thread per input byte. A captureless
+//!   [`Regex::is_match_with`] path skips `Save` bookkeeping entirely.
+//!   None of this changes observable behavior: skipped seeds are exactly
+//!   those that provably cannot reach `Match`, and thread dedup merges
+//!   only states with identical futures.
+//!
+//! - The **baseline engine** ([`Regex::find_bytes_at_baseline`]) is the
+//!   original per-call Pike VM (fresh thread lists, boxed slots deep-
+//!   cloned on every transition, linear class scans, no prefilter). It is
+//!   kept as the differential-testing oracle and as the "pre" side of the
+//!   Stage I throughput benchmark.
 
 use std::fmt;
 
@@ -52,6 +77,28 @@ impl ClassSet {
     fn matches(&self, b: u8) -> bool {
         let inside = self.ranges.iter().any(|&(lo, hi)| lo <= b && b <= hi);
         inside != self.negated
+    }
+}
+
+/// A `ClassSet` pre-compiled to a 256-bit membership bitmap: one branch-
+/// free load/shift/mask per byte instead of a linear range scan.
+#[derive(Clone, Copy, Debug)]
+struct ClassBits([u64; 4]);
+
+impl ClassBits {
+    fn from_set(set: &ClassSet) -> Self {
+        let mut bits = [0u64; 4];
+        for b in 0..=255u8 {
+            if set.matches(b) {
+                bits[(b >> 6) as usize] |= 1u64 << (b & 63);
+            }
+        }
+        ClassBits(bits)
+    }
+
+    #[inline]
+    fn test(&self, b: u8) -> bool {
+        (self.0[(b >> 6) as usize] >> (b & 63)) & 1 != 0
     }
 }
 
@@ -364,9 +411,194 @@ fn class_space(negated: bool) -> ClassSet {
             (b' ', b' '),
             (b'\t', b'\t'),
             (b'\n', b'\n'),
-            (b'\r', b'\r'),
             (0x0b, 0x0c),
+            (b'\r', b'\r'),
         ],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compile-time pattern analysis
+// ---------------------------------------------------------------------------
+
+/// A byte run that every match must contain, at an offset from the match
+/// start bounded by `[min_off, max_off]` (`max_off == None` means
+/// unbounded: the run appears somewhere at or after `min_off`).
+#[derive(Clone, Debug)]
+struct RequiredLit {
+    bytes: Vec<u8>,
+    min_off: usize,
+    max_off: Option<usize>,
+}
+
+/// What the optimizer can assume about every match of the pattern.
+#[derive(Clone, Debug, Default)]
+struct Analysis {
+    required: Option<RequiredLit>,
+    anchored_start: bool,
+}
+
+/// `(min, max)` number of input bytes the node can consume; `None` max
+/// means unbounded. Saturating arithmetic: counted repeats nest.
+fn len_bounds(ast: &Ast) -> (usize, Option<usize>) {
+    match ast {
+        Ast::Empty | Ast::AnchorStart | Ast::AnchorEnd => (0, Some(0)),
+        Ast::Literal(_) | Ast::Any | Ast::Class(_) => (1, Some(1)),
+        Ast::Group(inner, _) => len_bounds(inner),
+        Ast::Concat(items) => items.iter().fold((0, Some(0)), |(lo, hi), it| {
+            let (ilo, ihi) = len_bounds(it);
+            (
+                lo.saturating_add(ilo),
+                hi.zip(ihi).map(|(a, b)| a.saturating_add(b)),
+            )
+        }),
+        Ast::Alternate(branches) => {
+            let mut lo = usize::MAX;
+            let mut hi = Some(0usize);
+            for b in branches {
+                let (blo, bhi) = len_bounds(b);
+                lo = lo.min(blo);
+                hi = hi.zip(bhi).map(|(a, c)| a.max(c));
+            }
+            (if lo == usize::MAX { 0 } else { lo }, hi)
+        }
+        Ast::Repeat { node, min, max, .. } => {
+            let (nlo, nhi) = len_bounds(node);
+            let lo = nlo.saturating_mul(*min as usize);
+            let hi = match (max, nhi) {
+                (Some(m), Some(h)) => Some(h.saturating_mul(*m as usize)),
+                _ => None,
+            };
+            (lo, hi)
+        }
+    }
+}
+
+/// Walks the AST along its single mandatory path, collecting maximal
+/// literal byte runs together with their offset bounds from the match
+/// start. Alternations and optional repeats flush the current run (their
+/// contents are not mandatory) and only widen the offset bounds.
+struct LitScan {
+    runs: Vec<RequiredLit>,
+    cur: Vec<u8>,
+    cur_lo: usize,
+    cur_hi: Option<usize>,
+    lo: usize,
+    hi: Option<usize>,
+}
+
+impl LitScan {
+    fn flush(&mut self) {
+        if !self.cur.is_empty() {
+            self.runs.push(RequiredLit {
+                bytes: std::mem::take(&mut self.cur),
+                min_off: self.cur_lo,
+                max_off: self.cur_hi,
+            });
+        }
+    }
+
+    fn advance(&mut self, lo: usize, hi: Option<usize>) {
+        self.lo = self.lo.saturating_add(lo);
+        self.hi = self.hi.zip(hi).map(|(a, b)| a.saturating_add(b));
+    }
+
+    fn push_byte(&mut self, b: u8) {
+        if self.cur.is_empty() {
+            self.cur_lo = self.lo;
+            self.cur_hi = self.hi;
+        }
+        self.cur.push(b);
+        self.advance(1, Some(1));
+    }
+
+    /// Node contributes no mandatory literal: end the current run and
+    /// advance the offset bounds by the node's length bounds.
+    fn skip(&mut self, ast: &Ast) {
+        self.flush();
+        let (lo, hi) = len_bounds(ast);
+        self.advance(lo, hi);
+    }
+
+    fn walk(&mut self, ast: &Ast) {
+        match ast {
+            Ast::Empty | Ast::AnchorStart | Ast::AnchorEnd => {}
+            Ast::Literal(b) => self.push_byte(*b),
+            Ast::Any | Ast::Class(_) => self.skip(ast),
+            Ast::Concat(items) => {
+                for it in items {
+                    self.walk(it);
+                }
+            }
+            Ast::Group(inner, _) => self.walk(inner),
+            Ast::Alternate(_) => self.skip(ast),
+            Ast::Repeat { node, min, max, .. } => {
+                // Mandatory copies mirror what the compiler emits.
+                for _ in 0..*min {
+                    self.walk(node);
+                }
+                if *max != Some(*min) {
+                    self.flush();
+                    let (_, nhi) = len_bounds(node);
+                    let opt_hi = match (max, nhi) {
+                        (Some(m), Some(h)) => Some(h.saturating_mul((m - min) as usize)),
+                        _ => None,
+                    };
+                    self.advance(0, opt_hi);
+                }
+            }
+        }
+    }
+}
+
+/// Does every match necessarily begin at input offset 0 (i.e. every path
+/// through the pattern passes `^` before consuming a byte)? Conservative:
+/// `false` never breaks anything, it only disables the anchor fast path.
+fn starts_anchored(ast: &Ast) -> bool {
+    match ast {
+        Ast::AnchorStart => true,
+        Ast::Group(inner, _) => starts_anchored(inner),
+        Ast::Concat(items) => {
+            for it in items {
+                if starts_anchored(it) {
+                    return true;
+                }
+                // Keep looking through zero-width prefixes only.
+                if len_bounds(it).1 != Some(0) {
+                    return false;
+                }
+            }
+            false
+        }
+        Ast::Alternate(branches) => branches.iter().all(starts_anchored),
+        Ast::Repeat { node, min, .. } => *min >= 1 && starts_anchored(node),
+        _ => false,
+    }
+}
+
+fn analyze(ast: &Ast) -> Analysis {
+    let mut scan = LitScan {
+        runs: Vec::new(),
+        cur: Vec::new(),
+        cur_lo: 0,
+        cur_hi: Some(0),
+        lo: 0,
+        hi: Some(0),
+    };
+    scan.walk(ast);
+    scan.flush();
+    // Prefer runs with a bounded offset window (they allow skipping start
+    // positions, not just whole-input rejection); among candidates take
+    // the longest. Length-1 windowed runs are weak filters, so a longer
+    // unbounded run beats them.
+    let required = scan
+        .runs
+        .iter()
+        .max_by_key(|r| (r.bytes.len() >= 2 && r.max_off.is_some(), r.bytes.len()))
+        .cloned();
+    Analysis {
+        required,
+        anchored_start: starts_anchored(ast),
     }
 }
 
@@ -395,7 +627,10 @@ enum Inst {
 struct Program {
     insts: Vec<Inst>,
     classes: Vec<ClassSet>,
+    /// Bitmap form of `classes`, same indices.
+    class_bits: Vec<ClassBits>,
     n_groups: u16,
+    analysis: Analysis,
 }
 
 struct Compiler {
@@ -530,39 +765,189 @@ fn compile(ast: &Ast, n_groups: u16) -> Program {
     c.compile(ast);
     c.push(Inst::Save(1));
     c.push(Inst::Match);
+    let class_bits = c.classes.iter().map(ClassBits::from_set).collect();
     Program {
         insts: c.insts,
         classes: c.classes,
+        class_bits,
         n_groups,
+        analysis: analyze(ast),
     }
 }
 
 // ---------------------------------------------------------------------------
-// Pike VM
+// Reusable match scratch: pooled thread lists + capture slots
 // ---------------------------------------------------------------------------
 
 type Slots = Box<[Option<usize>]>;
 
+/// Pooled capture-slot storage. Each live slot set is a `width`-sized
+/// region of `data`, identified by a `u32` id, with a reference count.
+/// `Split` transitions share a set by bumping its refcount; `Save` writes
+/// copy-on-write when the set is shared. Freed regions go on a free list
+/// and are reused, so a scanning loop reaches a steady state where no
+/// allocation happens at all.
+struct SlotPool {
+    width: usize,
+    data: Vec<Option<usize>>,
+    refs: Vec<u32>,
+    free: Vec<u32>,
+}
+
+impl SlotPool {
+    fn reset(&mut self, width: usize) {
+        self.width = width;
+        self.data.clear();
+        self.refs.clear();
+        self.free.clear();
+    }
+
+    // dr-lint: hot(begin)
+    /// Allocate a slot set with every slot unset, refcount 1.
+    fn alloc_blank(&mut self) -> u32 {
+        match self.free.pop() {
+            Some(id) => {
+                let base = id as usize * self.width;
+                self.data[base..base + self.width].fill(None);
+                self.refs[id as usize] = 1;
+                id
+            }
+            None => {
+                let id = self.refs.len() as u32;
+                self.data.resize(self.data.len() + self.width, None);
+                self.refs.push(1);
+                id
+            }
+        }
+    }
+
+    #[inline]
+    fn retain(&mut self, id: u32) {
+        self.refs[id as usize] += 1;
+    }
+
+    #[inline]
+    fn release(&mut self, id: u32) {
+        let r = &mut self.refs[id as usize];
+        *r -= 1;
+        if *r == 0 {
+            self.free.push(id);
+        }
+    }
+
+    /// Set one slot, copy-on-write: in place when exclusively owned,
+    /// otherwise into a fresh copy (the caller's reference moves to it).
+    fn with_slot_set(&mut self, id: u32, slot: usize, pos: usize) -> u32 {
+        if self.refs[id as usize] == 1 {
+            self.data[id as usize * self.width + slot] = Some(pos);
+            return id;
+        }
+        self.refs[id as usize] -= 1;
+        let new_id = match self.free.pop() {
+            Some(n) => {
+                self.refs[n as usize] = 1;
+                n
+            }
+            None => {
+                let n = self.refs.len() as u32;
+                self.data.resize(self.data.len() + self.width, None);
+                self.refs.push(1);
+                n
+            }
+        };
+        let src = id as usize * self.width;
+        let dst = new_id as usize * self.width;
+        self.data.copy_within(src..src + self.width, dst);
+        self.data[dst + slot] = Some(pos);
+        new_id
+    }
+    // dr-lint: hot(end)
+
+    #[inline]
+    fn get(&self, id: u32, slot: usize) -> Option<usize> {
+        self.data[id as usize * self.width + slot]
+    }
+
+    /// Copy a slot set out of the pool (used once per successful find).
+    fn snapshot(&self, id: u32) -> Slots {
+        let base = id as usize * self.width;
+        self.data[base..base + self.width].to_vec().into_boxed_slice()
+    }
+}
+
 struct ThreadList {
-    /// (pc, capture slots), in priority order.
-    threads: Vec<(u32, Slots)>,
+    /// (pc, slot-pool id), in priority order.
+    threads: Vec<(u32, u32)>,
     /// Dense "already added at this step" marker, one per instruction.
     seen: Vec<u32>,
     stamp: u32,
 }
 
 impl ThreadList {
-    fn new(n_insts: usize) -> Self {
-        ThreadList {
-            threads: Vec::new(),
-            seen: vec![0; n_insts],
-            stamp: 0,
+    fn prepare(&mut self, n_insts: usize) {
+        self.threads.clear();
+        if self.seen.len() != n_insts {
+            self.seen.clear();
+            self.seen.resize(n_insts, 0);
+            self.stamp = 0;
         }
     }
 
     fn begin_step(&mut self) {
         self.threads.clear();
+        if self.stamp == u32::MAX {
+            self.seen.fill(0);
+            self.stamp = 0;
+        }
         self.stamp += 1;
+    }
+}
+
+/// Caller-owned execution state for the optimized engine: thread lists
+/// and the capture-slot pool. Create one per scanning loop (or per
+/// worker) and pass it to [`Regex::find_bytes_at_with`] /
+/// [`Regex::is_match_with`]; after warm-up, matching allocates nothing.
+///
+/// A scratch is not tied to a particular `Regex`; it re-sizes itself on
+/// first use with each program.
+pub struct MatchScratch {
+    clist: ThreadList,
+    nlist: ThreadList,
+    pool: SlotPool,
+}
+
+impl Default for MatchScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MatchScratch {
+    pub fn new() -> Self {
+        MatchScratch {
+            clist: ThreadList {
+                threads: Vec::new(),
+                seen: Vec::new(),
+                stamp: 0,
+            },
+            nlist: ThreadList {
+                threads: Vec::new(),
+                seen: Vec::new(),
+                stamp: 0,
+            },
+            pool: SlotPool {
+                width: 0,
+                data: Vec::new(),
+                refs: Vec::new(),
+                free: Vec::new(),
+            },
+        }
+    }
+
+    fn prepare(&mut self, n_insts: usize, width: usize) {
+        self.clist.prepare(n_insts);
+        self.nlist.prepare(n_insts);
+        self.pool.reset(width);
     }
 }
 
@@ -600,11 +985,14 @@ impl Match {
     }
 }
 
-/// Iterator returned by [`Regex::find_iter`].
+/// Iterator returned by [`Regex::find_iter`]. Owns a [`MatchScratch`],
+/// so iterating over many matches allocates per match only for the
+/// returned [`Match`] values themselves.
 pub struct FindIter<'r, 'h> {
     re: &'r Regex,
     haystack: &'h str,
     at: usize,
+    scratch: MatchScratch,
 }
 
 impl Iterator for FindIter<'_, '_> {
@@ -614,13 +1002,41 @@ impl Iterator for FindIter<'_, '_> {
         if self.at > self.haystack.len() {
             return None;
         }
-        let m = self.re.find_bytes_at(self.haystack.as_bytes(), self.at)?;
+        let m = self
+            .re
+            .find_bytes_at_with(self.haystack.as_bytes(), self.at, &mut self.scratch)?;
         let (start, end) = m.span();
         // Advance past the match; empty matches step one byte so the
         // iterator always terminates.
         self.at = if end > start { end } else { end + 1 };
         Some(m)
     }
+}
+
+/// First occurrence of `needle` in `hay` at index `>= from`.
+fn find_sub(hay: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    let n = needle.len();
+    if n == 0 {
+        return (from <= hay.len()).then_some(from);
+    }
+    if from.saturating_add(n) > hay.len() {
+        return None;
+    }
+    let first = needle[0];
+    let last = hay.len() - n;
+    let mut i = from;
+    while i <= last {
+        // Skip to the next candidate first byte.
+        match hay[i..=last].iter().position(|&b| b == first) {
+            None => return None,
+            Some(off) => i += off,
+        }
+        if &hay[i..i + n] == needle {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
 }
 
 /// A compiled regular expression.
@@ -655,14 +1071,29 @@ impl Regex {
         self.prog.n_groups
     }
 
-    /// Leftmost match in `haystack`, if any.
+    /// Leftmost match in `haystack`, if any. Convenience wrapper that
+    /// allocates a throwaway scratch; loops should hold a
+    /// [`MatchScratch`] and call [`Regex::find_with`].
     pub fn find(&self, haystack: &str) -> Option<Match> {
         self.find_bytes(haystack.as_bytes())
     }
 
+    /// Leftmost match using caller-owned scratch (allocation-free after
+    /// warm-up).
+    pub fn find_with(&self, haystack: &str, scratch: &mut MatchScratch) -> Option<Match> {
+        self.find_bytes_at_with(haystack.as_bytes(), 0, scratch)
+    }
+
     /// Whether `haystack` contains a match.
     pub fn is_match(&self, haystack: &str) -> bool {
-        self.find(haystack).is_some()
+        let mut scratch = MatchScratch::new();
+        self.is_match_with(haystack, &mut scratch)
+    }
+
+    /// Whether `haystack` contains a match, using caller-owned scratch
+    /// and the captureless VM (no `Save` bookkeeping at all).
+    pub fn is_match_with(&self, haystack: &str, scratch: &mut MatchScratch) -> bool {
+        self.is_match_bytes_with(haystack.as_bytes(), scratch)
     }
 
     /// Iterator over all non-overlapping matches, leftmost-first.
@@ -671,6 +1102,7 @@ impl Regex {
             re: self,
             haystack,
             at: 0,
+            scratch: MatchScratch::new(),
         }
     }
 
@@ -682,9 +1114,267 @@ impl Regex {
     /// Leftmost match over raw bytes, starting the scan at `start`.
     /// `^` still anchors to the true beginning of `input`.
     pub fn find_bytes_at(&self, input: &[u8], start: usize) -> Option<Match> {
+        let mut scratch = MatchScratch::new();
+        self.find_bytes_at_with(input, start, &mut scratch)
+    }
+
+    /// Leftmost match over raw bytes starting at `start`, executed
+    /// against caller-owned scratch. This is the optimized engine:
+    /// prefiltered seeding, pooled copy-on-write capture slots, bitmap
+    /// classes. Behavior is identical to
+    /// [`Regex::find_bytes_at_baseline`].
+    pub fn find_bytes_at_with(
+        &self,
+        input: &[u8],
+        start: usize,
+        scratch: &mut MatchScratch,
+    ) -> Option<Match> {
+        let prog = &self.prog;
+        if start > input.len() {
+            return None;
+        }
+        // Every match begins at offset 0; a later scan start can't hit it.
+        if prog.analysis.anchored_start && start > 0 {
+            return None;
+        }
+        let n_slots = 2 * (prog.n_groups as usize + 1);
+        scratch.prepare(prog.insts.len(), n_slots);
+        let MatchScratch { clist, nlist, pool } = scratch;
+        let len = input.len();
+        let lit = prog.analysis.required.as_ref();
+        // Cached first literal occurrence at or after the last search
+        // point; `lit_done` means no further occurrence exists.
+        let mut lit_next: usize = 0;
+        let mut lit_fresh = false;
+        let mut lit_done = false;
+        let mut matched: Option<u32> = None;
+        let mut pos = start;
+
+        clist.begin_step();
+        loop {
+            // dr-lint: hot(begin)
+            // --- Seeding: decide whether a start thread at `pos` could
+            // possibly reach Match; skip it otherwise. ---
+            let mut seed = matched.is_none();
+            if seed && prog.analysis.anchored_start && pos > 0 {
+                seed = false;
+                if clist.threads.is_empty() {
+                    break; // anchored: no live threads, no future seeds
+                }
+            }
+            if seed {
+                if let Some(rl) = lit {
+                    let need = pos + rl.min_off;
+                    if !lit_done && (!lit_fresh || lit_next < need) {
+                        match find_sub(input, &rl.bytes, need) {
+                            Some(l) => {
+                                lit_next = l;
+                                lit_fresh = true;
+                            }
+                            None => lit_done = true,
+                        }
+                    }
+                    if lit_done {
+                        // The literal never occurs again: no match can
+                        // start at `pos` or later.
+                        seed = false;
+                        if clist.threads.is_empty() {
+                            break;
+                        }
+                    } else if let Some(mx) = rl.max_off {
+                        if lit_next > pos + mx {
+                            seed = false;
+                            if clist.threads.is_empty() {
+                                // Fast-forward to the first position whose
+                                // window reaches the occurrence.
+                                pos = lit_next - mx;
+                                seed = true;
+                            }
+                        }
+                    }
+                }
+            }
+            if seed {
+                let sid = pool.alloc_blank();
+                add_thread(prog, clist, pool, 0, pos, len, sid);
+            }
+            if clist.threads.is_empty() && matched.is_some() {
+                break;
+            }
+
+            // --- Step every thread over the byte at `pos`. ---
+            nlist.begin_step();
+            let byte = input.get(pos).copied();
+            let tcount = clist.threads.len();
+            let mut i = 0;
+            while i < tcount {
+                let (pc, sid) = clist.threads[i];
+                match &prog.insts[pc as usize] {
+                    Inst::Byte(b) => {
+                        if byte == Some(*b) {
+                            add_thread(prog, nlist, pool, pc + 1, pos + 1, len, sid);
+                        } else {
+                            pool.release(sid);
+                        }
+                    }
+                    Inst::Any => {
+                        if byte.is_some_and(|b| b != b'\n') {
+                            add_thread(prog, nlist, pool, pc + 1, pos + 1, len, sid);
+                        } else {
+                            pool.release(sid);
+                        }
+                    }
+                    Inst::Class(id) => {
+                        if byte.is_some_and(|b| prog.class_bits[*id as usize].test(b)) {
+                            add_thread(prog, nlist, pool, pc + 1, pos + 1, len, sid);
+                        } else {
+                            pool.release(sid);
+                        }
+                    }
+                    Inst::Match => {
+                        // Highest-priority match at this step: keep it,
+                        // cut lower-priority threads.
+                        if let Some(old) = matched.replace(sid) {
+                            pool.release(old);
+                        }
+                        let mut j = i + 1;
+                        while j < tcount {
+                            pool.release(clist.threads[j].1);
+                            j += 1;
+                        }
+                        break;
+                    }
+                    // Eps transitions were resolved by add_thread.
+                    Inst::Split(..) | Inst::Jmp(..) | Inst::Save(..) | Inst::AssertStart
+                    | Inst::AssertEnd => unreachable!("eps inst in stepped list"),
+                }
+                i += 1;
+            }
+            std::mem::swap(clist, nlist);
+            if clist.threads.is_empty() && matched.is_some() {
+                break;
+            }
+            if pos >= len {
+                break;
+            }
+            pos += 1;
+            // dr-lint: hot(end)
+        }
+
+        let sid = matched?;
+        let (start, end) = match (pool.get(sid, 0), pool.get(sid, 1)) {
+            (Some(s), Some(e)) => (s, e),
+            // A match thread always saved slot 0/1; treat anything else
+            // as no match rather than panicking.
+            _ => return None,
+        };
+        Some(Match {
+            slots: pool.snapshot(sid),
+            n_groups: prog.n_groups,
+            start,
+            end,
+        })
+    }
+
+    /// Captureless match test over raw bytes: same seeding and stepping
+    /// as the find path but threads carry no capture slots and `Save`
+    /// instructions are skipped, with an early return on the first
+    /// `Match` reached.
+    pub fn is_match_bytes_with(&self, input: &[u8], scratch: &mut MatchScratch) -> bool {
+        let prog = &self.prog;
+        scratch.prepare(prog.insts.len(), 0);
+        let MatchScratch { clist, nlist, .. } = scratch;
+        let len = input.len();
+        let lit = prog.analysis.required.as_ref();
+        let mut lit_next: usize = 0;
+        let mut lit_fresh = false;
+        let mut lit_done = false;
+        let mut pos = 0usize;
+
+        clist.begin_step();
+        loop {
+            // dr-lint: hot(begin)
+            let mut seed = true;
+            if prog.analysis.anchored_start && pos > 0 {
+                seed = false;
+                if clist.threads.is_empty() {
+                    return false;
+                }
+            }
+            if seed {
+                if let Some(rl) = lit {
+                    let need = pos + rl.min_off;
+                    if !lit_done && (!lit_fresh || lit_next < need) {
+                        match find_sub(input, &rl.bytes, need) {
+                            Some(l) => {
+                                lit_next = l;
+                                lit_fresh = true;
+                            }
+                            None => lit_done = true,
+                        }
+                    }
+                    if lit_done {
+                        seed = false;
+                        if clist.threads.is_empty() {
+                            return false;
+                        }
+                    } else if let Some(mx) = rl.max_off {
+                        if lit_next > pos + mx {
+                            seed = false;
+                            if clist.threads.is_empty() {
+                                pos = lit_next - mx;
+                                seed = true;
+                            }
+                        }
+                    }
+                }
+            }
+            if seed && add_thread_nocap(prog, clist, 0, pos, len) {
+                return true;
+            }
+
+            nlist.begin_step();
+            let byte = input.get(pos).copied();
+            for i in 0..clist.threads.len() {
+                let (pc, _) = clist.threads[i];
+                let advance = match &prog.insts[pc as usize] {
+                    Inst::Byte(b) => byte == Some(*b),
+                    Inst::Any => byte.is_some_and(|b| b != b'\n'),
+                    Inst::Class(id) => {
+                        byte.is_some_and(|b| prog.class_bits[*id as usize].test(b))
+                    }
+                    Inst::Match => return true,
+                    Inst::Split(..) | Inst::Jmp(..) | Inst::Save(..) | Inst::AssertStart
+                    | Inst::AssertEnd => unreachable!("eps inst in stepped list"),
+                };
+                if advance && add_thread_nocap(prog, nlist, pc + 1, pos + 1, len) {
+                    return true;
+                }
+            }
+            std::mem::swap(clist, nlist);
+            if pos >= len {
+                return false;
+            }
+            pos += 1;
+            // dr-lint: hot(end)
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Baseline engine (pre-optimization), kept as differential oracle
+    // -----------------------------------------------------------------
+
+    /// Leftmost match over raw bytes starting at `start`, executed by the
+    /// original per-call Pike VM: fresh thread lists and boxed capture
+    /// slots every call, deep-cloned slots on every transition, linear
+    /// class-range scans, a start thread seeded at every byte. Kept
+    /// verbatim as the differential-test oracle and the benchmark's
+    /// "pre" engine. Must behave identically to
+    /// [`Regex::find_bytes_at_with`].
+    pub fn find_bytes_at_baseline(&self, input: &[u8], start: usize) -> Option<Match> {
         let n_slots = 2 * (self.prog.n_groups as usize + 1);
-        let mut clist = ThreadList::new(self.prog.insts.len());
-        let mut nlist = ThreadList::new(self.prog.insts.len());
+        let mut clist = BaselineThreadList::new(self.prog.insts.len());
+        let mut nlist = BaselineThreadList::new(self.prog.insts.len());
         let mut matched: Option<Slots> = None;
 
         clist.begin_step();
@@ -693,7 +1383,7 @@ impl Regex {
             // was already found — leftmost semantics.
             if matched.is_none() {
                 let slots = vec![None; n_slots].into_boxed_slice();
-                add_thread(&self.prog, &mut clist, 0, pos, input.len(), slots);
+                add_thread_baseline(&self.prog, &mut clist, 0, pos, input.len(), slots);
             }
             if clist.threads.is_empty() && matched.is_some() {
                 break;
@@ -709,28 +1399,46 @@ impl Regex {
                     Inst::Byte(b) => {
                         if byte == Some(*b) {
                             let s = slots.clone();
-                            add_thread(&self.prog, &mut nlist, pc + 1, pos + 1, input.len(), s);
+                            add_thread_baseline(
+                                &self.prog,
+                                &mut nlist,
+                                pc + 1,
+                                pos + 1,
+                                input.len(),
+                                s,
+                            );
                         }
                     }
                     Inst::Any => {
                         if byte.is_some_and(|b| b != b'\n') {
                             let s = slots.clone();
-                            add_thread(&self.prog, &mut nlist, pc + 1, pos + 1, input.len(), s);
+                            add_thread_baseline(
+                                &self.prog,
+                                &mut nlist,
+                                pc + 1,
+                                pos + 1,
+                                input.len(),
+                                s,
+                            );
                         }
                     }
                     Inst::Class(id) => {
                         if byte.is_some_and(|b| self.prog.classes[*id as usize].matches(b)) {
                             let s = slots.clone();
-                            add_thread(&self.prog, &mut nlist, pc + 1, pos + 1, input.len(), s);
+                            add_thread_baseline(
+                                &self.prog,
+                                &mut nlist,
+                                pc + 1,
+                                pos + 1,
+                                input.len(),
+                                s,
+                            );
                         }
                     }
                     Inst::Match => {
-                        // Highest-priority match at this step: record and
-                        // cut lower-priority threads.
                         matched = Some(slots.clone());
                         break;
                     }
-                    // Eps transitions were resolved by add_thread.
                     Inst::Split(..) | Inst::Jmp(..) | Inst::Save(..) | Inst::AssertStart
                     | Inst::AssertEnd => unreachable!("eps inst in stepped list"),
                 }
@@ -745,8 +1453,6 @@ impl Regex {
         matched.and_then(|slots| {
             let (start, end) = match (slots[0], slots[1]) {
                 (Some(s), Some(e)) => (s, e),
-                // A match thread always saved slot 0/1; treat anything
-                // else as no match rather than panicking.
                 _ => return None,
             };
             Some(Match {
@@ -759,32 +1465,133 @@ impl Regex {
     }
 }
 
+// dr-lint: hot(begin)
 /// Add `pc` to `list`, following epsilon transitions. `pos` is the current
-/// input offset (for Save/anchors), `len` the input length.
-fn add_thread(prog: &Program, list: &mut ThreadList, pc: u32, pos: usize, len: usize, slots: Slots) {
+/// input offset (for Save/anchors), `len` the input length. The caller's
+/// reference to `sid` is consumed: it ends up owned by a queued thread,
+/// or released.
+fn add_thread(
+    prog: &Program,
+    list: &mut ThreadList,
+    pool: &mut SlotPool,
+    pc: u32,
+    pos: usize,
+    len: usize,
+    sid: u32,
+) {
+    if list.seen[pc as usize] == list.stamp {
+        pool.release(sid);
+        return;
+    }
+    list.seen[pc as usize] = list.stamp;
+    match &prog.insts[pc as usize] {
+        Inst::Jmp(t) => add_thread(prog, list, pool, *t, pos, len, sid),
+        Inst::Split(a, b) => {
+            pool.retain(sid);
+            add_thread(prog, list, pool, *a, pos, len, sid);
+            add_thread(prog, list, pool, *b, pos, len, sid);
+        }
+        Inst::Save(slot) => {
+            let nid = pool.with_slot_set(sid, *slot as usize, pos);
+            add_thread(prog, list, pool, pc + 1, pos, len, nid);
+        }
+        Inst::AssertStart => {
+            if pos == 0 {
+                add_thread(prog, list, pool, pc + 1, pos, len, sid);
+            } else {
+                pool.release(sid);
+            }
+        }
+        Inst::AssertEnd => {
+            if pos == len {
+                add_thread(prog, list, pool, pc + 1, pos, len, sid);
+            } else {
+                pool.release(sid);
+            }
+        }
+        _ => list.threads.push((pc, sid)),
+    }
+}
+
+/// Captureless epsilon closure. Returns `true` if `Match` is reachable
+/// from `pc` without consuming input — the caller can stop immediately.
+fn add_thread_nocap(prog: &Program, list: &mut ThreadList, pc: u32, pos: usize, len: usize) -> bool {
+    if list.seen[pc as usize] == list.stamp {
+        return false;
+    }
+    list.seen[pc as usize] = list.stamp;
+    match &prog.insts[pc as usize] {
+        Inst::Jmp(t) => add_thread_nocap(prog, list, *t, pos, len),
+        Inst::Split(a, b) => {
+            add_thread_nocap(prog, list, *a, pos, len)
+                || add_thread_nocap(prog, list, *b, pos, len)
+        }
+        Inst::Save(_) => add_thread_nocap(prog, list, pc + 1, pos, len),
+        Inst::AssertStart => pos == 0 && add_thread_nocap(prog, list, pc + 1, pos, len),
+        Inst::AssertEnd => pos == len && add_thread_nocap(prog, list, pc + 1, pos, len),
+        Inst::Match => true,
+        _ => {
+            list.threads.push((pc, 0));
+            false
+        }
+    }
+}
+// dr-lint: hot(end)
+
+/// Baseline thread list: per-call allocation, boxed slots per thread.
+struct BaselineThreadList {
+    threads: Vec<(u32, Slots)>,
+    seen: Vec<u32>,
+    stamp: u32,
+}
+
+impl BaselineThreadList {
+    fn new(n_insts: usize) -> Self {
+        BaselineThreadList {
+            threads: Vec::new(),
+            seen: vec![0; n_insts],
+            stamp: 0,
+        }
+    }
+
+    fn begin_step(&mut self) {
+        self.threads.clear();
+        self.stamp += 1;
+    }
+}
+
+/// Baseline epsilon closure: deep-clones `slots` at every `Split`.
+fn add_thread_baseline(
+    prog: &Program,
+    list: &mut BaselineThreadList,
+    pc: u32,
+    pos: usize,
+    len: usize,
+    slots: Slots,
+) {
     if list.seen[pc as usize] == list.stamp {
         return;
     }
     list.seen[pc as usize] = list.stamp;
     match &prog.insts[pc as usize] {
-        Inst::Jmp(t) => add_thread(prog, list, *t, pos, len, slots),
+        Inst::Jmp(t) => add_thread_baseline(prog, list, *t, pos, len, slots),
         Inst::Split(a, b) => {
-            add_thread(prog, list, *a, pos, len, slots.clone());
-            add_thread(prog, list, *b, pos, len, slots);
+            add_thread_baseline(prog, list, *a, pos, len, slots.clone());
+            add_thread_baseline(prog, list, *b, pos, len, slots);
         }
         Inst::Save(slot) => {
             let mut s = slots;
             s[*slot as usize] = Some(pos);
-            add_thread(prog, list, pc + 1, pos, len, s);
+            add_thread_baseline(prog, list, pc + 1, pos, len, s);
         }
         Inst::AssertStart => {
             if pos == 0 {
-                add_thread(prog, list, pc + 1, pos, len, slots);
+                add_thread_baseline(prog, list, pc + 1, pos, len, slots);
             }
         }
         Inst::AssertEnd => {
             if pos == len {
-                add_thread(prog, list, pc + 1, pos, len, slots);
+                add_thread_baseline(prog, list, pc + 1, pos, len, slots);
             }
         }
         _ => list.threads.push((pc, slots)),
@@ -983,6 +1790,108 @@ mod tests {
         assert!(re.find_bytes_at(b"abab", 0).is_some());
         // Starting the scan later must not re-anchor ^ to the offset.
         assert!(re.find_bytes_at(b"abab", 2).is_none());
+        assert!(re.find_bytes_at_baseline(b"abab", 2).is_none());
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_finds_and_patterns() {
+        let re1 = Regex::new(r"(\d+)-(\d+)").unwrap();
+        let re2 = Regex::new(r"[a-z]+").unwrap();
+        let mut scratch = MatchScratch::new();
+        for _ in 0..3 {
+            let mm = re1.find_with("order 123-456 shipped", &mut scratch).unwrap();
+            assert_eq!(mm.span(), (6, 13));
+            assert_eq!(mm.group("order 123-456 shipped", 1), Some("123"));
+            let mm = re2.find_with("99 bottles", &mut scratch).unwrap();
+            assert_eq!(mm.span(), (3, 10));
+            assert!(re1.is_match_with("7-8", &mut scratch));
+            assert!(!re1.is_match_with("no digits here", &mut scratch));
+        }
+    }
+
+    #[test]
+    fn analysis_finds_required_literal() {
+        // Long leading literal, window [0, 0].
+        let re = Regex::new(r"kernel: NVRM: Xid \(PCI:([0-9a-f]+)\): (\d+)").unwrap();
+        let rl = re.prog.analysis.required.as_ref().unwrap();
+        assert_eq!(rl.bytes, b"kernel: NVRM: Xid (PCI:".to_vec());
+        assert_eq!((rl.min_off, rl.max_off), (0, Some(0)));
+        assert!(!re.prog.analysis.anchored_start);
+
+        // Variable-width prefix: window present but shifted.
+        let re = Regex::new(r"\d{1,3} gpub(\d+)").unwrap();
+        let rl = re.prog.analysis.required.as_ref().unwrap();
+        assert_eq!(rl.bytes, b" gpub".to_vec());
+        assert_eq!((rl.min_off, rl.max_off), (1, Some(3)));
+
+        // Unbounded prefix: min offset only.
+        let re = Regex::new(r"\d+ gpub(\d+)").unwrap();
+        let rl = re.prog.analysis.required.as_ref().unwrap();
+        assert_eq!(rl.bytes, b" gpub".to_vec());
+        assert_eq!((rl.min_off, rl.max_off), (1, None));
+
+        // Alternation contributes no required literal.
+        let re = Regex::new(r"cat|dog").unwrap();
+        assert!(re.prog.analysis.required.is_none());
+
+        // Anchored-start detection.
+        assert!(Regex::new(r"^gpub\d+").unwrap().prog.analysis.anchored_start);
+        assert!(Regex::new(r"(?:^a)+x").unwrap().prog.analysis.anchored_start);
+        assert!(!Regex::new(r"a^b").unwrap().prog.analysis.anchored_start);
+        assert!(!Regex::new(r"(?:^a)*x").unwrap().prog.analysis.anchored_start);
+    }
+
+    #[test]
+    fn prefilter_rejects_and_skips_correctly() {
+        let re = Regex::new(r"NVRM: Xid \((\w+)\)").unwrap();
+        // Literal absent: must reject without matching.
+        assert!(re.find("a long line about nothing in particular").is_none());
+        // Literal deep in the line: match found at the right offset.
+        let line = "x".repeat(100) + "NVRM: Xid (foo) trailer";
+        let mm = re.find(&line).unwrap();
+        assert_eq!(mm.span().0, 100);
+        // Several occurrences; first viable one wins (leftmost).
+        let line = "NVRM: Xid (} NVRM: Xid (ok)";
+        let mm = re.find(line).unwrap();
+        assert_eq!(mm.group(line, 1), Some("ok"));
+    }
+
+    #[test]
+    fn optimized_agrees_with_baseline_on_tricky_cases() {
+        let cases: &[(&str, &str)] = &[
+            ("a*", ""),
+            ("a*", "aaa"),
+            ("", "abc"),
+            ("^", "abc"),
+            ("$", "abc"),
+            ("(a*)(a*)", "aaa"),
+            ("(a|ab)(c|bcd)", "abcd"),
+            ("x*y", "xxxz"),
+            ("ab", "ab"),
+            ("(b)?", "ab"),
+            ("a{2,4}", "aaaaa"),
+            ("gpub(\\d+)", "Jan  2 03:04:05 gpub042 kernel: hi"),
+            ("^gpub", "gpubgpub"),
+        ];
+        let mut scratch = MatchScratch::new();
+        for (pat, text) in cases {
+            let re = Regex::new(pat).unwrap();
+            for start in 0..=text.len() {
+                let fast = re.find_bytes_at_with(text.as_bytes(), start, &mut scratch);
+                let slow = re.find_bytes_at_baseline(text.as_bytes(), start);
+                assert_eq!(
+                    fast.as_ref().map(|m| m.span()),
+                    slow.as_ref().map(|m| m.span()),
+                    "span mismatch: {pat:?} on {text:?} at {start}"
+                );
+                assert_eq!(fast, slow, "capture mismatch: {pat:?} on {text:?} at {start}");
+            }
+            assert_eq!(
+                re.is_match(text),
+                re.find_bytes_at_baseline(text.as_bytes(), 0).is_some(),
+                "is_match mismatch: {pat:?} on {text:?}"
+            );
+        }
     }
 
     /// Brute-force reference matcher for a restricted AST (no captures),

@@ -36,6 +36,14 @@ fn configured_workers() -> Option<usize> {
     }
 }
 
+/// The worker count parallel calls will use given abundant work — the
+/// override / environment / available-parallelism resolution, before
+/// capping by work size. Lets callers size their work decomposition
+/// (e.g. a byte-balanced shard plan) to the pool.
+pub fn max_workers() -> usize {
+    worker_count(usize::MAX)
+}
+
 /// Number of worker threads to use: the override / environment /
 /// available parallelism, capped by the amount of work so tiny inputs
 /// don't spawn idle threads.

@@ -45,6 +45,7 @@ fn main() -> ExitCode {
         "incidents" => cmd_incidents(),
         "project" => cmd_project(&opts),
         "monitor" => cmd_monitor(&opts),
+        "bench" => cmd_bench(&opts),
         other => Err(format!("unknown command {other:?}")),
     };
     match result {
@@ -61,7 +62,8 @@ const USAGE: &str = "usage:
   gpures analyze   --logs DIR [--jobs FILE] [--downtime FILE] [--nodes N] [--hours H] [--dt SECS] [--dot DIR]
   gpures incidents
   gpures project   [--gpus N] [--recovery-min M] [--runs R]
-  gpures monitor   [--log FILE] [--nodes N] [--every K]   (FILE or stdin; live Table 1)";
+  gpures monitor   [--log FILE] [--nodes N] [--every K]   (FILE or stdin; live Table 1)
+  gpures bench     [--out DIR] [--smoke true]   (Stage I throughput -> BENCH_*.json)";
 
 /// `--key value` option bag with typed getters.
 struct Opts(BTreeMap<String, String>);
@@ -343,6 +345,61 @@ fn cmd_monitor(opts: &Opts) -> Result<(), String> {
     eprintln!(
         "scanned {} lines ({} XID lines, {} unknown, {} malformed)",
         s.lines, s.xid_lines, s.unknown_xid, s.malformed
+    );
+    Ok(())
+}
+
+/// The tracked Stage I throughput benchmark: writes `BENCH_stage1.json`
+/// (single-thread optimized vs. baseline engine) and `BENCH_pipeline.json`
+/// (sharded extract-and-coalesce worker scaling) to `--out` (default:
+/// current directory). `--smoke true` shrinks the corpus for CI — the
+/// numbers are meaningless but the full path and schema are exercised.
+fn cmd_bench(opts: &Opts) -> Result<(), String> {
+    use gpu_resilience::bench::stage1;
+
+    let out_dir = opts.path("out").unwrap_or_else(|| PathBuf::from("."));
+    let smoke = matches!(opts.str("smoke"), Some("true" | "1" | "yes"));
+    std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
+
+    eprintln!(
+        "benchmarking Stage I ({}) ...",
+        if smoke { "smoke corpus" } else { "full corpus" }
+    );
+    let stage1_doc = stage1::stage1_report(smoke)?;
+    let stage1_path = out_dir.join("BENCH_stage1.json");
+    std::fs::write(&stage1_path, stage1_doc.render()).map_err(|e| e.to_string())?;
+    if let Some(rows) = stage1_doc.get("workloads").and_then(|w| w.as_arr()) {
+        for row in rows {
+            let name = row.get("name").and_then(|v| v.as_str()).unwrap_or("?");
+            let speedup = row.get("speedup").and_then(|v| v.as_f64()).unwrap_or(0.0);
+            let base = row
+                .get("baseline")
+                .and_then(|m| m.get("lines_per_s"))
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0);
+            let opt = row
+                .get("optimized")
+                .and_then(|m| m.get("lines_per_s"))
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0);
+            println!(
+                "{name:<12} baseline {base:>12.0} lines/s   optimized {opt:>12.0} lines/s   speedup {speedup:.2}x"
+            );
+        }
+    }
+
+    eprintln!("benchmarking sharded pipeline ...");
+    let pipe_doc = stage1::pipeline_report(smoke)?;
+    let pipe_path = out_dir.join("BENCH_pipeline.json");
+    std::fs::write(&pipe_path, pipe_doc.render()).map_err(|e| e.to_string())?;
+    let scaling = pipe_doc.get("scaling").and_then(|v| v.as_f64()).unwrap_or(0.0);
+    let pool = pipe_doc.get("worker_pool").and_then(|v| v.as_f64()).unwrap_or(0.0);
+    println!("pipeline     {pool:.0}-worker scaling {scaling:.2}x over 1 worker");
+
+    println!(
+        "wrote {} and {}",
+        stage1_path.display(),
+        pipe_path.display()
     );
     Ok(())
 }

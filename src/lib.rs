@@ -31,6 +31,7 @@
 //! ```
 
 pub use dr_availsim as availsim;
+pub use dr_bench as bench;
 pub use dr_cluster as cluster;
 pub use dr_des as des;
 pub use dr_faults as faults;

@@ -1,0 +1,110 @@
+//! Tier-1 smoke of the tracked Stage I benchmark: the full `gpures bench`
+//! path on the shrunken corpus, its artifact schema, and — crucially —
+//! that the numbers it reports are attached to *correct* extractions: the
+//! record counts in `BENCH_stage1.json` and the coalesced counts in
+//! `BENCH_pipeline.json` must match an independent reference run through
+//! the non-fast-path pipeline.
+
+use gpu_resilience::bench::json::Json;
+use gpu_resilience::bench::stage1::{self, dense_workload, noisy_workload, Workload};
+use gpu_resilience::core::{coalesce, CoalesceConfig};
+use gpu_resilience::logscan::BaselineExtractor;
+use gpu_resilience::xid::record::sort_records;
+use gpu_resilience::xid::ErrorRecord;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Reference Stage I: serial baseline extraction, one scanner per node.
+fn reference_records(w: &Workload) -> Vec<ErrorRecord> {
+    let mut all = Vec::new();
+    for (_, lines) in &w.logs {
+        let mut ex = BaselineExtractor::new();
+        all.extend(ex.extract_all(lines.iter().map(|s| s.as_str())));
+    }
+    all
+}
+
+#[test]
+fn stage1_report_counts_match_nonfast_reference() {
+    let doc = stage1::stage1_report(true).expect("smoke report builds");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("gpures-bench-stage1/v1")
+    );
+    assert_eq!(doc.get("smoke"), Some(&Json::Bool(true)));
+    assert_eq!(doc.get("threads").and_then(Json::as_u64), Some(1));
+
+    let rows = doc.get("workloads").and_then(Json::as_arr).expect("rows");
+    assert_eq!(rows.len(), 2, "dense + noisy");
+    // Regenerate the exact smoke corpora and count through the baseline.
+    let expected = [dense_workload(2, 400), noisy_workload(2, 400)];
+    for (row, w) in rows.iter().zip(&expected) {
+        assert_eq!(row.get("name").and_then(Json::as_str), Some(w.name));
+        assert_eq!(row.get("lines").and_then(Json::as_u64), Some(w.lines));
+        let reported = row.get("records").and_then(Json::as_u64).expect("records");
+        let reference = reference_records(w).len() as u64;
+        assert_eq!(reported, reference, "workload {}", w.name);
+        assert!(reference > 0, "smoke corpus must contain XID records");
+        for engine in ["baseline", "optimized"] {
+            let m = row.get(engine).expect("measurement present");
+            assert_eq!(m.get("records").and_then(Json::as_u64), Some(reference));
+            assert!(m.get("lines_per_s").and_then(Json::as_f64).expect("rate") > 0.0);
+            assert!(m.get("reps").and_then(Json::as_u64).expect("reps") >= 1);
+        }
+    }
+}
+
+#[test]
+fn pipeline_report_counts_match_batch_route() {
+    let doc = stage1::pipeline_report(true).expect("smoke report builds");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("gpures-bench-pipeline/v1")
+    );
+
+    // Same corpus as the smoke pipeline report, through the batch route.
+    let w = noisy_workload(3, 400);
+    let mut records = reference_records(&w);
+    sort_records(&mut records);
+    let reference = coalesce(&records, CoalesceConfig::default()).len() as u64;
+    assert!(reference > 0);
+
+    let runs = doc.get("runs").and_then(Json::as_arr).expect("runs");
+    assert!(!runs.is_empty());
+    for run in runs {
+        assert_eq!(
+            run.get("coalesced").and_then(Json::as_u64),
+            Some(reference),
+            "every worker count must coalesce identically to the batch route"
+        );
+        assert!(run.get("workers").and_then(Json::as_u64).expect("workers") >= 1);
+    }
+}
+
+#[test]
+fn bench_cli_writes_parseable_artifacts() {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("gpures-bench-smoke-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_gpures"))
+        .args(["bench", "--smoke", "true", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("run gpures bench");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("speedup"), "missing summary line:\n{stdout}");
+
+    for (file, schema) in [
+        ("BENCH_stage1.json", "gpures-bench-stage1/v1"),
+        ("BENCH_pipeline.json", "gpures-bench-pipeline/v1"),
+    ] {
+        let text = std::fs::read_to_string(dir.join(file)).expect(file);
+        let doc = Json::parse(&text).expect("artifact parses");
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(schema));
+        assert_eq!(doc.get("smoke"), Some(&Json::Bool(true)));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -67,6 +67,33 @@ fn single_thread_and_multi_thread_runs_are_bit_identical() {
 }
 
 #[test]
+fn chunked_extraction_is_invariant_to_chunk_size_and_workers() {
+    // The sharded Stage I path must be a pure performance knob: any chunk
+    // size, any worker count, same bits. This is the end-to-end version of
+    // the core crate's unit tests, through the public pipeline entry.
+    let out = Campaign::run(CampaignConfig::tiny(81));
+    let cfg = StudyConfig::ampere_study()
+        .with_window(out.observation_hours(), out.fleet.node_count() as u32);
+
+    let (reference, ref_stats) =
+        StudyResults::from_text_logs(&out.text_logs, None, None, cfg);
+    for target in [Some(1), Some(4 * 1024), Some(u64::MAX), None] {
+        for workers in [Some(1), Some(8)] {
+            gpu_resilience::par::set_worker_override(workers);
+            let (r, s) =
+                StudyResults::from_text_logs_chunked(&out.text_logs, None, None, cfg, target);
+            gpu_resilience::par::set_worker_override(None);
+            assert_eq!(s, ref_stats, "stats drift at {target:?}/{workers:?}");
+            assert_eq!(
+                r.coalesced, reference.coalesced,
+                "coalesced drift at {target:?}/{workers:?}"
+            );
+            assert_eq!(format!("{:?}", r.table1), format!("{:?}", reference.table1));
+        }
+    }
+}
+
+#[test]
 fn projection_is_deterministic() {
     let cfg = ProjectionConfig::paper_scenario(5);
     assert_eq!(simulate(&cfg), simulate(&cfg));
