@@ -8,10 +8,15 @@
 //! [`stage1`] is different: it is the tracked Stage I throughput
 //! benchmark behind `gpures bench`, producing the committed
 //! `BENCH_stage1.json` / `BENCH_pipeline.json` artifacts via the tiny
-//! dependency-free [`json`] emitter.
+//! dependency-free [`json`] emitter (now hosted by `dr-obs` and
+//! re-exported here so existing `dr_bench::json` paths keep working).
+//! [`obs`] measures the observability layer itself, producing
+//! `BENCH_obs.json` with the metrics-on vs metrics-off overhead.
 
-pub mod json;
+pub mod obs;
 pub mod stage1;
+
+pub use dr_obs::json;
 
 use dr_cluster::DeltaShape;
 use dr_faults::{Campaign, CampaignConfig, CampaignOutput};

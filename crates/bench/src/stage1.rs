@@ -16,18 +16,18 @@
 //!
 //! Workload generation is **arithmetic, not random**: the build runs in
 //! environments where the `rand` crate may be stubbed, and the artifact's
-//! workload section must not depend on which one is linked. Timings use
-//! wall-clock `Instant` (that *is* the measurement); every call site
-//! carries a determinism-lint waiver. Every measured run cross-checks
+//! workload section must not depend on which one is linked. Timings go
+//! through `dr_obs::clock` — the workspace's one sanctioned wall-clock
+//! module (that *is* the measurement). Every measured run cross-checks
 //! record counts between engines and across worker counts, so a
 //! correctness regression cannot hide behind a fast number.
 
 use crate::json::Json;
 use dr_logscan::{BaselineExtractor, XidExtractor};
+use dr_obs::clock::Stopwatch;
 use dr_xid::syslog::{format_line, format_noise_line};
 use dr_xid::{Duration, ErrorDetail, ErrorRecord, GpuId, NodeId, Timestamp, Xid};
 use resilience_core::{extract_and_coalesce, CoalesceConfig};
-use std::time::Instant;
 
 /// A generated multi-node syslog corpus with its exact size.
 pub struct Workload {
@@ -120,7 +120,7 @@ pub struct Measurement {
 }
 
 impl Measurement {
-    fn to_json(self) -> Json {
+    pub(crate) fn to_json(self) -> Json {
         Json::obj(vec![
             ("wall_s", Json::Num(self.wall_s)),
             ("reps", Json::Num(self.reps as f64)),
@@ -134,16 +134,14 @@ impl Measurement {
 /// Repeat `f` until at least `min_wall_s` of cumulative wall time (always
 /// at least once), then derive per-rep throughput. `f` returns the record
 /// count of one full pass over the workload.
-fn measure(w: &Workload, min_wall_s: f64, mut f: impl FnMut() -> u64) -> Measurement {
+pub(crate) fn measure(w: &Workload, min_wall_s: f64, mut f: impl FnMut() -> u64) -> Measurement {
     let mut total = 0.0f64;
     let mut reps = 0u32;
     let mut records = 0u64;
     while total < min_wall_s || reps == 0 {
-        // dr-lint: allow(determinism): wall-clock timing is the benchmark's measurement
-        let start = Instant::now();
+        let watch = Stopwatch::start();
         records = f();
-        // dr-lint: allow(determinism): wall-clock timing is the benchmark's measurement
-        total += start.elapsed().as_secs_f64();
+        total += watch.elapsed_s();
         reps += 1;
     }
     let per_rep = total / reps as f64;

@@ -22,8 +22,9 @@
 //! - [`counterfactual`] — the Section 5.5 what-if analysis: drop
 //!   top-offending GPUs and/or whole error classes, recompute MTBE and
 //!   availability.
-//! - [`pipeline`] — end-to-end orchestration: text → extraction
-//!   (parallelized per node via `dr-par`) → coalescing → the full
+//! - [`pipeline`] — end-to-end orchestration behind
+//!   [`pipeline::PipelineBuilder`]: text → extraction (parallelized per
+//!   node via `dr-par`) → coalescing → the full
 //!   [`pipeline::StudyResults`] bundle.
 //! - [`stream`] — the online variant: incremental Algorithm 1 and a
 //!   constant-memory live Table 1 (P² quantiles) for monitoring
@@ -31,6 +32,10 @@
 //!
 //! Everything operates on plain data types (`ErrorRecord`, `JobRecord`),
 //! so the pipeline runs unchanged on synthetic campaigns or real logs.
+//!
+//! Every stage accepts a write-only [`dr_obs::MetricsSink`] (the
+//! `*_observed` variants and [`pipeline::PipelineBuilder::metrics`]);
+//! attaching one never changes any result.
 
 pub mod coalesce;
 pub mod counterfactual;
@@ -42,12 +47,16 @@ pub mod shard;
 pub mod stats;
 pub mod stream;
 
-pub use coalesce::{coalesce, CoalesceConfig, CoalescedError};
+pub use coalesce::{coalesce, coalesce_observed, CoalesceConfig, CoalescedError};
 pub use counterfactual::{counterfactual, CounterfactualReport};
 pub use downtime::{availability, DowntimeStats};
 pub use job_impact::{JobImpactAnalysis, Table2Row, Table3Row};
-pub use pipeline::{StudyConfig, StudyResults};
+pub use pipeline::{PipelineBuilder, Stage1Engine, StudyConfig, StudyResults};
 pub use propagation::{NvlinkSpread, PropagationAnalysis, PropagationEdge};
-pub use shard::{extract_and_coalesce, extract_sharded, merge_and_coalesce, plan_chunks, ChunkSpec};
+pub use shard::{
+    extract_and_coalesce, extract_and_coalesce_observed, extract_sharded,
+    extract_sharded_observed, merge_and_coalesce, merge_and_coalesce_observed, plan_chunks,
+    ChunkSpec,
+};
 pub use stats::{lost_gpu_hours, table1, LostHours, Table1Row};
 pub use stream::{OnlineRow, OnlineStats, StreamCoalescer};

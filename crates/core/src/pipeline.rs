@@ -1,14 +1,20 @@
 //! End-to-end pipeline orchestration (Figure 4).
 //!
-//! Two entry points:
+//! The front door is [`PipelineBuilder`]: configure jobs, downtime,
+//! chunking, the Stage I engine, and an optional metrics sink with named
+//! setters, then run from text ([`PipelineBuilder::run_text`]), records
+//! ([`PipelineBuilder::run_records`] — the full-fidelity path used for
+//! the flagship 855-day reproduction, where materializing ~10 M text
+//! lines would only exercise the same code the text path already
+//! validates on a node subset), or pre-coalesced errors
+//! ([`PipelineBuilder::run_coalesced`]).
 //!
-//! * [`StudyResults::from_text_logs`] — Stage I included: per-node syslog
-//!   text → regex extraction (parallelized across nodes with `dr-par`,
-//!   mirroring the paper's 202 GB scan) → coalescing → analyses.
-//! * [`StudyResults::from_records`] — start from structured records (the
-//!   full-fidelity path used for the flagship 855-day reproduction, where
-//!   materializing ~10 M text lines would only exercise the same code the
-//!   text path already validates on a node subset).
+//! The older `StudyResults::from_text_logs*` constructors are kept as
+//! deprecated thin wrappers over the builder (equivalence is tested).
+//!
+//! Observability is strictly write-only: attaching a recording
+//! [`MetricsSink`] never changes any `StudyResults` field (bit-identity
+//! is a tier-1 test).
 
 use crate::coalesce::{coalesce, CoalesceConfig, CoalescedError};
 use crate::counterfactual::{counterfactual, CounterfactualReport};
@@ -20,6 +26,7 @@ use crate::stats::{
 };
 use dr_faults::DowntimeInterval;
 use dr_logscan::{BaselineExtractor, ExtractStats};
+use dr_obs::MetricsSink;
 use dr_slurm::JobRecord;
 use dr_xid::{Duration, ErrorRecord, NodeId};
 
@@ -96,23 +103,58 @@ impl StudyResults {
         downtime: Option<&[DowntimeInterval]>,
         config: StudyConfig,
     ) -> StudyResults {
-        let t1 = table1(&coalesced, config.observation_hours, config.node_count);
-        let overall = overall_mtbe(&coalesced, config.observation_hours, config.node_count);
-        let cat = category_mtbe(&coalesced, config.observation_hours, config.node_count);
-        let lost = lost_gpu_hours(&coalesced);
-        let prop = analyze(&coalesced, config.propagation_window);
+        Self::from_coalesced_observed(coalesced, jobs, downtime, config, &MetricsSink::disabled())
+    }
 
-        let dt = downtime.map(downtime_stats);
-        let mttr = dt.as_ref().map(|d| d.mean_service_h).unwrap_or(0.3);
-        let cf = counterfactual(&coalesced, config.observation_hours, config.node_count, mttr);
+    /// [`StudyResults::from_coalesced`] with Stage II+ observability:
+    /// stats/propagation/job-impact spans and counters. Every analysis is
+    /// a pure function of its inputs, so the results are bit-identical
+    /// with any sink.
+    fn from_coalesced_observed(
+        coalesced: Vec<CoalescedError>,
+        jobs: Option<&[JobRecord]>,
+        downtime: Option<&[DowntimeInterval]>,
+        config: StudyConfig,
+        sink: &MetricsSink,
+    ) -> StudyResults {
+        use dr_obs::{Counter, Stage};
+        sink.add(Stage::Stats, Counter::Episodes, coalesced.len() as u64);
 
-        let avail = match (&dt, overall.1) {
-            (Some(d), Some(mtbe)) => Some(availability(mtbe, d.mean_service_h)),
-            _ => None,
+        let (t1, overall, cat, lost) = {
+            let _span = sink.span(Stage::Stats, "tables");
+            (
+                table1(&coalesced, config.observation_hours, config.node_count),
+                overall_mtbe(&coalesced, config.observation_hours, config.node_count),
+                category_mtbe(&coalesced, config.observation_hours, config.node_count),
+                lost_gpu_hours(&coalesced),
+            )
+        };
+        let prop = {
+            let _span = sink.span(Stage::Propagation, "total");
+            analyze(&coalesced, config.propagation_window)
         };
 
-        let ji = jobs.map(|j| analyze_jobs(j, &coalesced, config.job_impact));
-        let t3 = jobs.map(table3);
+        let (dt, cf, avail) = {
+            let _span = sink.span(Stage::Stats, "downtime");
+            let dt = downtime.map(downtime_stats);
+            let mttr = dt.as_ref().map(|d| d.mean_service_h).unwrap_or(0.3);
+            let cf =
+                counterfactual(&coalesced, config.observation_hours, config.node_count, mttr);
+            let avail = match (&dt, overall.1) {
+                (Some(d), Some(mtbe)) => Some(availability(mtbe, d.mean_service_h)),
+                _ => None,
+            };
+            (dt, cf, avail)
+        };
+
+        let (ji, t3) = {
+            let _span = jobs.map(|_| sink.span(Stage::JobImpact, "total"));
+            if let Some(j) = jobs {
+                sink.add(Stage::JobImpact, Counter::Jobs, j.len() as u64);
+            }
+            let ji = jobs.map(|j| analyze_jobs(j, &coalesced, config.job_impact));
+            (ji, jobs.map(table3))
+        };
 
         StudyResults {
             config,
@@ -135,19 +177,27 @@ impl StudyResults {
     /// k-way merged into the streaming coalescer — no global record sort
     /// barrier between Stage I and Stage II. Returns the merged
     /// extraction statistics alongside the results.
+    #[deprecated(since = "0.1.0", note = "use PipelineBuilder::new(config).run_text(...)")]
     pub fn from_text_logs(
         node_logs: &[(NodeId, Vec<String>)],
         jobs: Option<&[JobRecord]>,
         downtime: Option<&[DowntimeInterval]>,
         config: StudyConfig,
     ) -> (StudyResults, ExtractStats) {
-        Self::from_text_logs_chunked(node_logs, jobs, downtime, config, None)
+        PipelineBuilder::new(config)
+            .maybe_jobs(jobs)
+            .maybe_downtime(downtime)
+            .run_text(node_logs)
     }
 
     /// [`StudyResults::from_text_logs`] with an explicit chunk-size
     /// target (bytes per Stage I work unit), for tests and benchmarks
     /// that pin the decomposition. `None` sizes chunks to the worker
     /// pool.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use PipelineBuilder::new(config).chunk_bytes(...).run_text(...)"
+    )]
     pub fn from_text_logs_chunked(
         node_logs: &[(NodeId, Vec<String>)],
         jobs: Option<&[JobRecord]>,
@@ -155,47 +205,213 @@ impl StudyResults {
         config: StudyConfig,
         target_chunk_bytes: Option<u64>,
     ) -> (StudyResults, ExtractStats) {
-        let (coalesced, stats) =
-            crate::shard::extract_and_coalesce(node_logs, config.coalesce, target_chunk_bytes);
-        (Self::from_coalesced(coalesced, jobs, downtime, config), stats)
+        let mut b = PipelineBuilder::new(config)
+            .maybe_jobs(jobs)
+            .maybe_downtime(downtime);
+        if let Some(t) = target_chunk_bytes {
+            b = b.chunk_bytes(t);
+        }
+        b.run_text(node_logs)
     }
 
     /// The pre-optimization Stage I pipeline, kept as the differential
     /// oracle and the benchmark "pre" engine: per-node extraction on the
     /// baseline (per-call Pike VM) engine, concatenate, globally sort,
-    /// batch-coalesce. Record output is bit-identical to
-    /// [`StudyResults::from_text_logs`]; `syslog_lines` keeps the legacy
-    /// heuristic definition (see [`dr_logscan::BaselineExtractor`]).
+    /// batch-coalesce. Record output is bit-identical to the sharded
+    /// engine; `syslog_lines` keeps the legacy heuristic definition (see
+    /// [`dr_logscan::BaselineExtractor`]).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use PipelineBuilder::new(config).engine(Stage1Engine::Baseline).run_text(...)"
+    )]
     pub fn from_text_logs_baseline(
         node_logs: &[(NodeId, Vec<String>)],
         jobs: Option<&[JobRecord]>,
         downtime: Option<&[DowntimeInterval]>,
         config: StudyConfig,
     ) -> (StudyResults, ExtractStats) {
-        // One extractor per node: syslog year inference is per-file state.
-        let per_node: Vec<(Vec<ErrorRecord>, ExtractStats)> =
-            dr_par::par_map(node_logs, |(_, lines)| {
-                let mut ex = BaselineExtractor::new();
-                let recs = ex.extract_all(lines.iter().map(|s| s.as_str()));
-                (recs, ex.stats())
-            });
-
-        let mut records = Vec::new();
-        let mut stats = ExtractStats::default();
-        for (mut recs, s) in per_node {
-            records.append(&mut recs);
-            stats.merge(&s);
-        }
-        dr_xid::record::sort_records(&mut records);
-        (
-            Self::from_records(&records, jobs, downtime, config),
-            stats,
-        )
+        PipelineBuilder::new(config)
+            .maybe_jobs(jobs)
+            .maybe_downtime(downtime)
+            .engine(Stage1Engine::Baseline)
+            .run_text(node_logs)
     }
 
     /// Convenience: the Table 1 row for one XID.
     pub fn table1_row(&self, xid: dr_xid::Xid) -> Option<&Table1Row> {
         self.table1.iter().find(|r| r.xid == xid)
+    }
+}
+
+/// Which Stage I (text → records) engine [`PipelineBuilder::run_text`]
+/// uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage1Engine {
+    /// Byte-balanced sharded extraction with replayed scanner state,
+    /// k-way merged into the streaming coalescer (the optimized default).
+    Sharded,
+    /// The pre-optimization pipeline, kept as the differential oracle and
+    /// the benchmark "pre" engine: per-node extraction on the baseline
+    /// (per-call Pike VM) engine, concatenate, globally sort,
+    /// batch-coalesce. Record output is bit-identical to `Sharded`;
+    /// `syslog_lines` keeps the legacy heuristic definition (see
+    /// [`dr_logscan::BaselineExtractor`]).
+    Baseline,
+}
+
+/// The single front door to the study pipeline.
+///
+/// Collapses the old `from_text_logs` / `from_text_logs_chunked` /
+/// `from_text_logs_baseline` family behind named setters:
+///
+/// ```
+/// use resilience_core::{PipelineBuilder, StudyConfig};
+/// # let node_logs: Vec<(dr_xid::NodeId, Vec<String>)> = Vec::new();
+/// let cfg = StudyConfig::ampere_study();
+/// let (results, stats) = PipelineBuilder::new(cfg).run_text(&node_logs);
+/// # let _ = (results, stats);
+/// ```
+///
+/// Attach a recording [`MetricsSink`] with [`PipelineBuilder::metrics`]
+/// to collect per-stage spans, counters, and throughput histograms;
+/// instrumentation is write-only and never changes the results.
+#[derive(Clone, Debug)]
+pub struct PipelineBuilder<'a> {
+    config: StudyConfig,
+    jobs: Option<&'a [JobRecord]>,
+    downtime: Option<&'a [DowntimeInterval]>,
+    chunk_bytes: Option<u64>,
+    engine: Stage1Engine,
+    metrics: MetricsSink,
+}
+
+impl<'a> PipelineBuilder<'a> {
+    /// A builder with no job table, no downtime data, worker-pool-sized
+    /// chunks, the sharded engine, and metrics disabled.
+    pub fn new(config: StudyConfig) -> Self {
+        PipelineBuilder {
+            config,
+            jobs: None,
+            downtime: None,
+            chunk_bytes: None,
+            engine: Stage1Engine::Sharded,
+            metrics: MetricsSink::disabled(),
+        }
+    }
+
+    /// Attach a Slurm job table (enables Table 3 / job-impact analyses).
+    pub fn jobs(self, jobs: &'a [JobRecord]) -> Self {
+        PipelineBuilder {
+            jobs: Some(jobs),
+            ..self
+        }
+    }
+
+    /// [`PipelineBuilder::jobs`], `Option`-shaped for call sites that may
+    /// or may not have a table.
+    pub fn maybe_jobs(self, jobs: Option<&'a [JobRecord]>) -> Self {
+        PipelineBuilder { jobs, ..self }
+    }
+
+    /// Attach downtime intervals (enables MTTR and availability).
+    pub fn downtime(self, downtime: &'a [DowntimeInterval]) -> Self {
+        PipelineBuilder {
+            downtime: Some(downtime),
+            ..self
+        }
+    }
+
+    /// [`PipelineBuilder::downtime`], `Option`-shaped.
+    pub fn maybe_downtime(self, downtime: Option<&'a [DowntimeInterval]>) -> Self {
+        PipelineBuilder { downtime, ..self }
+    }
+
+    /// Pin the Stage I chunk-size target (bytes per work unit), for tests
+    /// and benchmarks that fix the decomposition. Default sizes chunks to
+    /// the worker pool. Only the sharded engine chunks.
+    pub fn chunk_bytes(self, target: u64) -> Self {
+        PipelineBuilder {
+            chunk_bytes: Some(target),
+            ..self
+        }
+    }
+
+    /// Select the Stage I engine (default [`Stage1Engine::Sharded`]).
+    pub fn engine(self, engine: Stage1Engine) -> Self {
+        PipelineBuilder { engine, ..self }
+    }
+
+    /// Attach a metrics sink. Pass [`MetricsSink::recording`] to collect
+    /// per-stage spans/counters/histograms, exportable with
+    /// [`MetricsSink::export_json`]. Write-only: results are bit-identical
+    /// with any sink.
+    pub fn metrics(self, sink: MetricsSink) -> Self {
+        PipelineBuilder {
+            metrics: sink,
+            ..self
+        }
+    }
+
+    /// Run from per-node syslog text: Stage I on the configured engine,
+    /// then the full analysis pipeline. Returns the results plus merged
+    /// extraction statistics.
+    pub fn run_text(&self, node_logs: &[(NodeId, Vec<String>)]) -> (StudyResults, ExtractStats) {
+        use dr_obs::{Counter, Stage};
+        let sink = &self.metrics;
+        match self.engine {
+            Stage1Engine::Sharded => {
+                let (coalesced, stats) = crate::shard::extract_and_coalesce_observed(
+                    node_logs,
+                    self.config.coalesce,
+                    self.chunk_bytes,
+                    sink,
+                );
+                (self.run_coalesced(coalesced), stats)
+            }
+            Stage1Engine::Baseline => {
+                let (records, stats) = {
+                    let _span = sink.span(Stage::Extract, "total");
+                    // One extractor per node: syslog year inference is
+                    // per-file state.
+                    let per_node: Vec<(Vec<ErrorRecord>, ExtractStats)> =
+                        dr_par::par_map(node_logs, |(_, lines)| {
+                            let mut ex = BaselineExtractor::new();
+                            let recs = ex.extract_all(lines.iter().map(|s| s.as_str()));
+                            (recs, ex.stats())
+                        });
+                    let mut records = Vec::new();
+                    let mut stats = ExtractStats::default();
+                    for (mut recs, s) in per_node {
+                        records.append(&mut recs);
+                        stats.merge(&s);
+                    }
+                    dr_xid::record::sort_records(&mut records);
+                    (records, stats)
+                };
+                sink.add(Stage::Extract, Counter::Lines, stats.lines);
+                sink.add(Stage::Extract, Counter::XidLines, stats.xid_lines);
+                sink.add(Stage::Extract, Counter::Records, records.len() as u64);
+                (self.run_records(&records), stats)
+            }
+        }
+    }
+
+    /// Run from structured records (skips Stage I text extraction).
+    pub fn run_records(&self, records: &[ErrorRecord]) -> StudyResults {
+        let coalesced =
+            crate::coalesce::coalesce_observed(records, self.config.coalesce, &self.metrics);
+        self.run_coalesced(coalesced)
+    }
+
+    /// Run the analyses from already-coalesced errors.
+    pub fn run_coalesced(&self, coalesced: Vec<CoalescedError>) -> StudyResults {
+        StudyResults::from_coalesced_observed(
+            coalesced,
+            self.jobs,
+            self.downtime,
+            self.config,
+            &self.metrics,
+        )
     }
 }
 
@@ -243,7 +459,7 @@ mod tests {
         let lines: Vec<String> = records.iter().map(|r| format_line(r, 0)).collect();
         let logs = vec![(dr_xid::NodeId(1), lines)];
         let cfg = StudyConfig::ampere_study().with_window(1_000.0, 10);
-        let (from_text, stats) = StudyResults::from_text_logs(&logs, None, None, cfg);
+        let (from_text, stats) = PipelineBuilder::new(cfg).run_text(&logs);
         let from_records = StudyResults::from_records(&records, None, None, cfg);
         assert_eq!(stats.xid_lines, 3);
         assert_eq!(from_text.coalesced.len(), from_records.coalesced.len());
@@ -274,10 +490,15 @@ mod tests {
             logs.push((dr_xid::NodeId(node), lines));
         }
         let cfg = StudyConfig::ampere_study().with_window(1_000.0, 10);
-        let (base, base_stats) = StudyResults::from_text_logs_baseline(&logs, None, None, cfg);
+        let (base, base_stats) = PipelineBuilder::new(cfg)
+            .engine(Stage1Engine::Baseline)
+            .run_text(&logs);
         for target in [Some(1), Some(200), Some(1 << 20), None] {
-            let (fast, stats) =
-                StudyResults::from_text_logs_chunked(&logs, None, None, cfg, target);
+            let mut b = PipelineBuilder::new(cfg);
+            if let Some(t) = target {
+                b = b.chunk_bytes(t);
+            }
+            let (fast, stats) = b.run_text(&logs);
             assert_eq!(fast.coalesced, base.coalesced, "chunk target {target:?}");
             assert_eq!(stats.lines, base_stats.lines);
             assert_eq!(stats.xid_lines, base_stats.xid_lines);
@@ -294,7 +515,7 @@ mod tests {
             ],
         )];
         let cfg = StudyConfig::ampere_study().with_window(1_000.0, 10);
-        let (r, stats) = StudyResults::from_text_logs(&logs, None, None, cfg);
+        let (r, stats) = PipelineBuilder::new(cfg).run_text(&logs);
         assert_eq!(stats.lines, 2);
         assert_eq!(stats.xid_lines, 0);
         assert!(r.coalesced.is_empty());

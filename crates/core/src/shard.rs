@@ -162,40 +162,72 @@ pub fn extract_sharded(
     node_logs: &[(NodeId, Vec<String>)],
     target_bytes: Option<u64>,
 ) -> (Vec<Vec<ErrorRecord>>, ExtractStats) {
-    let total: u64 = node_logs
-        .iter()
-        .flat_map(|(_, lines)| lines.iter())
-        .map(|l| l.len() as u64 + 1)
-        .sum();
-    let target = target_bytes.unwrap_or_else(|| default_target_bytes(total));
-    let chunks = plan_chunks(node_logs, target);
+    extract_sharded_observed(node_logs, target_bytes, &dr_obs::MetricsSink::disabled())
+}
+
+/// [`extract_sharded`] with observability: shard/extract spans, byte and
+/// chunk counters, and per-chunk throughput histograms recorded into
+/// `sink`. The returned records and stats are exactly those of
+/// `extract_sharded` — the sink is write-only and never read back.
+pub fn extract_sharded_observed(
+    node_logs: &[(NodeId, Vec<String>)],
+    target_bytes: Option<u64>,
+    sink: &dr_obs::MetricsSink,
+) -> (Vec<Vec<ErrorRecord>>, ExtractStats) {
+    use dr_obs::{Counter, Stage};
+    let chunks = {
+        let _span = sink.span(Stage::Shard, "total");
+        let total: u64 = node_logs
+            .iter()
+            .flat_map(|(_, lines)| lines.iter())
+            .map(|l| l.len() as u64 + 1)
+            .sum();
+        let target = target_bytes.unwrap_or_else(|| default_target_bytes(total));
+        let chunks = plan_chunks(node_logs, target);
+        sink.add(Stage::Shard, Counter::Bytes, total);
+        sink.add(Stage::Shard, Counter::Chunks, chunks.len() as u64);
+        chunks
+    };
+
+    let span = sink.span(Stage::Extract, "total");
 
     // Phase 1 (parallel): per-chunk state summaries.
-    let summaries: Vec<Option<StateSummary>> = dr_par::par_map(&chunks, |c| {
-        summarize_chunk(&node_logs[c.node].1[c.start..c.end])
-    });
+    let summaries: Vec<Option<StateSummary>> = {
+        let _child = span.child("summarize");
+        dr_par::par_map(&chunks, |c| {
+            summarize_chunk(&node_logs[c.node].1[c.start..c.end])
+        })
+    };
 
     // Phase 2 (serial, cheap): replay the incoming state of every chunk.
-    let mut incoming: Vec<(i32, u8)> = Vec::with_capacity(chunks.len());
-    let mut per_node_state: Vec<(i32, u8)> = vec![(2022, 1); node_logs.len()];
-    for (c, summary) in chunks.iter().zip(&summaries) {
-        incoming.push(per_node_state[c.node]);
-        per_node_state[c.node] = apply_summary(per_node_state[c.node], *summary);
-    }
+    let work: Vec<(ChunkSpec, (i32, u8))> = {
+        let _child = span.child("prefix-fold");
+        let mut incoming: Vec<(i32, u8)> = Vec::with_capacity(chunks.len());
+        let mut per_node_state: Vec<(i32, u8)> = vec![(2022, 1); node_logs.len()];
+        for (c, summary) in chunks.iter().zip(&summaries) {
+            incoming.push(per_node_state[c.node]);
+            per_node_state[c.node] = apply_summary(per_node_state[c.node], *summary);
+        }
+        chunks.into_iter().zip(incoming).collect()
+    };
 
-    // Phase 3 (parallel): extract each chunk from its replayed state.
-    let work: Vec<(ChunkSpec, (i32, u8))> =
-        chunks.into_iter().zip(incoming).collect();
-    let extracted: Vec<(Vec<ErrorRecord>, ExtractStats)> =
+    // Phase 3 (parallel): extract each chunk from its replayed state. The
+    // per-chunk observed wrapper records chunk spans, line/byte counters,
+    // and a MB/s histogram; with a disabled sink it is the plain
+    // `extract_all` call the pre-observability code made.
+    let extracted: Vec<(Vec<ErrorRecord>, ExtractStats)> = {
+        let _child = span.child("extract-chunks");
         dr_par::par_map(&work, |(c, (year, last_month))| {
             let mut ex = XidExtractor::with_scanner_state(*year, *last_month);
-            let recs = ex.extract_all(
+            let recs = ex.extract_all_observed(
                 node_logs[c.node].1[c.start..c.end]
                     .iter()
                     .map(|s| s.as_str()),
+                sink,
             );
             (recs, ex.stats())
-        });
+        })
+    };
 
     // Stitch chunks back into per-node streams (par_map preserves input
     // order, and chunks are node-major and in-order within a node).
@@ -215,6 +247,30 @@ pub fn extract_sharded(
 /// `(start, gpu, xid, detail)`; non-monotonic streams (malformed logs)
 /// fall back to the batch path.
 pub fn merge_and_coalesce(
+    per_node: Vec<Vec<ErrorRecord>>,
+    cfg: CoalesceConfig,
+) -> Vec<CoalescedError> {
+    merge_and_coalesce_observed(per_node, cfg, &dr_obs::MetricsSink::disabled())
+}
+
+/// [`merge_and_coalesce`] with observability: a `coalesce/total` span plus
+/// input record and output episode counters. Output is exactly that of
+/// `merge_and_coalesce` — the sink is write-only.
+pub fn merge_and_coalesce_observed(
+    per_node: Vec<Vec<ErrorRecord>>,
+    cfg: CoalesceConfig,
+    sink: &dr_obs::MetricsSink,
+) -> Vec<CoalescedError> {
+    use dr_obs::{Counter, Stage};
+    let _span = sink.span(Stage::Coalesce, "total");
+    let n_records: u64 = per_node.iter().map(|r| r.len() as u64).sum();
+    let out = merge_and_coalesce_inner(per_node, cfg);
+    sink.add(Stage::Coalesce, Counter::Records, n_records);
+    sink.add(Stage::Coalesce, Counter::Episodes, out.len() as u64);
+    out
+}
+
+fn merge_and_coalesce_inner(
     per_node: Vec<Vec<ErrorRecord>>,
     cfg: CoalesceConfig,
 ) -> Vec<CoalescedError> {
@@ -259,8 +315,19 @@ pub fn extract_and_coalesce(
     cfg: CoalesceConfig,
     target_bytes: Option<u64>,
 ) -> (Vec<CoalescedError>, ExtractStats) {
-    let (per_node, stats) = extract_sharded(node_logs, target_bytes);
-    (merge_and_coalesce(per_node, cfg), stats)
+    extract_and_coalesce_observed(node_logs, cfg, target_bytes, &dr_obs::MetricsSink::disabled())
+}
+
+/// [`extract_and_coalesce`] with observability across both stages.
+/// Results are bit-identical whether the sink records or is disabled.
+pub fn extract_and_coalesce_observed(
+    node_logs: &[(NodeId, Vec<String>)],
+    cfg: CoalesceConfig,
+    target_bytes: Option<u64>,
+    sink: &dr_obs::MetricsSink,
+) -> (Vec<CoalescedError>, ExtractStats) {
+    let (per_node, stats) = extract_sharded_observed(node_logs, target_bytes, sink);
+    (merge_and_coalesce_observed(per_node, cfg, sink), stats)
 }
 
 #[cfg(test)]

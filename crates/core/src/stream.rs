@@ -31,14 +31,29 @@ pub struct StreamCoalescer {
     open: BTreeMap<(GpuId, Xid, ErrorDetail), OpenEpisode>,
     /// Latest record timestamp seen (stream clock).
     now: Option<Timestamp>,
+    /// Write-only metrics; counts are flushed in bulk on [`Self::finish`]
+    /// so the per-record path stays two plain integer increments.
+    sink: dr_obs::MetricsSink,
+    pushed: u64,
+    emitted: u64,
 }
 
 impl StreamCoalescer {
     pub fn new(cfg: CoalesceConfig) -> Self {
+        Self::with_metrics(cfg, dr_obs::MetricsSink::disabled())
+    }
+
+    /// A coalescer that reports record/episode counters into `sink` when
+    /// the stream finishes. Emission is unaffected — the sink is
+    /// write-only.
+    pub fn with_metrics(cfg: CoalesceConfig, sink: dr_obs::MetricsSink) -> Self {
         StreamCoalescer {
             cfg,
             open: BTreeMap::new(),
             now: None,
+            sink,
+            pushed: 0,
+            emitted: 0,
         }
     }
 
@@ -57,6 +72,7 @@ impl StreamCoalescer {
             assert!(rec.at >= now, "stream must be time-ordered");
         }
         self.now = Some(rec.at);
+        self.pushed += 1;
         let mut closed = self.expire(rec.at);
 
         let key = rec.identity();
@@ -89,6 +105,7 @@ impl StreamCoalescer {
                 );
             }
         }
+        self.emitted += closed.len() as u64;
         closed
     }
 
@@ -101,17 +118,25 @@ impl StreamCoalescer {
             }
         }
         self.now = Some(now);
-        self.expire(now)
+        let closed = self.expire(now);
+        self.emitted += closed.len() as u64;
+        closed
     }
 
-    /// End of stream: close everything still open.
+    /// End of stream: close everything still open and flush counters to
+    /// the metrics sink (a no-op for a disabled sink).
     pub fn finish(self) -> Vec<CoalescedError> {
+        use dr_obs::{Counter, Stage};
         let mut out: Vec<CoalescedError> = self
             .open
             .into_iter()
             .map(|(key, ep)| close(key, ep))
             .collect();
         out.sort_by_key(|e| (e.start, e.gpu, e.xid));
+        self.sink
+            .add(Stage::Coalesce, Counter::Records, self.pushed);
+        self.sink
+            .add(Stage::Coalesce, Counter::Episodes, self.emitted + out.len() as u64);
         out
     }
 

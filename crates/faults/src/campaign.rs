@@ -198,44 +198,71 @@ pub struct Campaign {
 impl Campaign {
     /// Run a campaign to completion.
     pub fn run(cfg: CampaignConfig) -> CampaignOutput {
-        let streams = RngStreams::new(cfg.seed);
-        let mut fleet = Fleet::build(cfg.shape, cfg.tuning);
-        let rng = streams.named("campaign-main");
+        Self::run_observed(cfg, &dr_obs::MetricsSink::disabled())
+    }
 
-        let offenders = designate_offenders(&cfg, &mut fleet, &mut streams.named("offenders"));
-        let mixes = build_mixes(&cfg, &fleet, &offenders);
-        let persistence = persistence_models();
+    /// [`Campaign::run`] with observability: build/engine/finish phase
+    /// spans plus event/record/line counters recorded into `sink`. The
+    /// sink is write-only — it never feeds the RNG or the engine, so the
+    /// output is bit-identical to `run` for the same config and seed.
+    pub fn run_observed(cfg: CampaignConfig, sink: &dr_obs::MetricsSink) -> CampaignOutput {
+        use dr_obs::{Counter, Stage};
+        let span = sink.span(Stage::Campaign, "total");
 
-        let horizon = (cfg.duration_days * US_PER_DAY as f64) as SimTime;
-        let mut this = Campaign {
-            repair_dist: LogNormal::from_median_p95(cfg.repair_median_h, cfg.repair_p95_h),
-            cfg,
-            fleet,
-            mixes,
-            persistence,
-            rng,
-            records: Vec::new(),
-            events: Vec::new(),
-            downtime: Vec::new(),
-            repair_pending: BTreeSet::new(),
-            next_chain: 0,
-            offenders,
-            horizon,
+        let mut this = {
+            let _child = span.child("build");
+            let streams = RngStreams::new(cfg.seed);
+            let mut fleet = Fleet::build(cfg.shape, cfg.tuning);
+            let rng = streams.named("campaign-main");
+
+            let offenders =
+                designate_offenders(&cfg, &mut fleet, &mut streams.named("offenders"));
+            let mixes = build_mixes(&cfg, &fleet, &offenders);
+            let persistence = persistence_models();
+
+            let horizon = (cfg.duration_days * US_PER_DAY as f64) as SimTime;
+            Campaign {
+                repair_dist: LogNormal::from_median_p95(cfg.repair_median_h, cfg.repair_p95_h),
+                cfg,
+                fleet,
+                mixes,
+                persistence,
+                rng,
+                records: Vec::new(),
+                events: Vec::new(),
+                downtime: Vec::new(),
+                repair_pending: BTreeSet::new(),
+                next_chain: 0,
+                offenders,
+                horizon,
+            }
         };
 
-        let mut engine: Engine<Ev> = Engine::new();
-        // Seed the first arrival of every class.
-        for class_idx in 0..this.cfg.rates.specs.len() {
-            if let Some(t) = this.next_arrival_time(0, class_idx) {
-                engine.schedule(t, Ev::Arrival { class_idx });
+        {
+            let _child = span.child("engine");
+            let mut engine: Engine<Ev> = Engine::new();
+            // Seed the first arrival of every class.
+            for class_idx in 0..this.cfg.rates.specs.len() {
+                if let Some(t) = this.next_arrival_time(0, class_idx) {
+                    engine.schedule(t, Ev::Arrival { class_idx });
+                }
             }
+
+            // The engine borrows `this` through the closure.
+            let horizon = this.horizon;
+            let this_ref = &mut this;
+            engine_run(engine, this_ref, horizon);
         }
 
-        // The engine borrows `this` through the closure.
-        let this_ref = &mut this;
-        engine_run(engine, this_ref, horizon);
-
-        this.finish()
+        let out = {
+            let _child = span.child("finish");
+            this.finish()
+        };
+        sink.add(Stage::Campaign, Counter::Events, out.events.len() as u64);
+        sink.add(Stage::Campaign, Counter::Records, out.records.len() as u64);
+        let lines: u64 = out.text_logs.iter().map(|(_, l)| l.len() as u64).sum();
+        sink.add(Stage::Campaign, Counter::Lines, lines);
+        out
     }
 
     /// Draw the next arrival time for `class_idx` strictly after `now`,

@@ -9,6 +9,11 @@
 //! that are genuinely order-free (keyed lookup only, never iterated into
 //! results) may be kept with an in-source
 //! `// dr-lint: allow(determinism): <why>` audit comment.
+//!
+//! One scoped exemption: [`CLOCK_EXEMPT_PATH`] — dr-obs's clock module —
+//! may read the wall clock, because span timing describes the *run*,
+//! never the *results*. The companion `obs-isolation` pass keeps that
+//! timing from leaking back into analysis code.
 
 use crate::diag::{Diagnostic, Severity};
 use crate::lexer::TokenKind;
@@ -18,6 +23,10 @@ use crate::Pass;
 pub struct DeterminismPass;
 
 pub const ID: &str = "determinism";
+
+/// The workspace's single sanctioned wall-clock callsite: observability
+/// span timing. Everything else must stay on the simulation clock.
+pub const CLOCK_EXEMPT_PATH: &str = "crates/obs/src/clock.rs";
 
 impl Pass for DeterminismPass {
     fn id(&self) -> &'static str {
@@ -39,7 +48,9 @@ impl Pass for DeterminismPass {
                      draw from an explicitly seeded stream (see dr-des `RngStreams`)"
                         .to_string(),
                 ),
-                name @ ("SystemTime" | "Instant") if followed_by_now(file, &sig, k) => Some(format!(
+                name @ ("SystemTime" | "Instant")
+                    if followed_by_now(file, &sig, k) && file.path != CLOCK_EXEMPT_PATH =>
+                Some(format!(
                     "`{name}::now()` reads the wall clock; results must depend only on \
                      seeds and inputs — thread time through the simulation clock"
                 )),
@@ -96,6 +107,17 @@ mod tests {
         assert_eq!(d.len(), 1);
         let d = check("fn f() { let t = SystemTime::now(); }");
         assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn the_obs_clock_module_is_exempt_from_wall_clock_findings() {
+        let src = "pub fn now() -> Instant { Instant::now() }";
+        let f = SourceFile::new(CLOCK_EXEMPT_PATH, src);
+        let mut out = Vec::new();
+        DeterminismPass.check_file(&f, &mut out);
+        assert!(out.is_empty(), "clock.rs carries the scoped exemption");
+        // The same source anywhere else still fires.
+        assert_eq!(check(src).len(), 1);
     }
 
     #[test]

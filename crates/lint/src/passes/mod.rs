@@ -1,13 +1,15 @@
-//! The five repo-specific lint passes.
+//! The six repo-specific lint passes.
 
 pub mod determinism;
 pub mod hotalloc;
+pub mod obsiso;
 pub mod panics;
 pub mod taxonomy;
 pub mod units;
 
 pub use determinism::DeterminismPass;
 pub use hotalloc::HotAllocPass;
+pub use obsiso::ObsIsolationPass;
 pub use panics::PanicPass;
 pub use taxonomy::TaxonomyPass;
 pub use units::UnitsPass;
@@ -19,6 +21,7 @@ pub fn all() -> Vec<Box<dyn Pass>> {
     vec![
         Box::new(DeterminismPass),
         Box::new(HotAllocPass),
+        Box::new(ObsIsolationPass),
         Box::new(PanicPass),
         Box::new(TaxonomyPass),
         Box::new(UnitsPass),

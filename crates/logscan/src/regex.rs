@@ -55,6 +55,16 @@ impl fmt::Display for RegexError {
 
 impl std::error::Error for RegexError {}
 
+/// Boundary conversion into the workspace-wide data-path error.
+impl From<RegexError> for dr_xid::DataError {
+    fn from(e: RegexError) -> Self {
+        dr_xid::DataError::Pattern {
+            offset: e.offset,
+            message: e.message,
+        }
+    }
+}
+
 fn err<T>(offset: usize, message: impl Into<String>) -> Result<T, RegexError> {
     Err(RegexError {
         offset,

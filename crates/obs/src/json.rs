@@ -1,5 +1,8 @@
 //! A minimal JSON value: enough to emit and re-read the tracked
-//! `BENCH_*.json` artifacts without an external dependency.
+//! `BENCH_*.json` artifacts and `--metrics` exports without an external
+//! dependency. Lives here (the bottom of the observability stack) so both
+//! `dr-bench` and `dr-obs` can use it; `dr-bench` re-exports it, keeping
+//! the historical `dr_bench::json::Json` path valid.
 //!
 //! Emission preserves insertion order (objects are association lists), so
 //! the rendered artifact is byte-deterministic for a fixed set of

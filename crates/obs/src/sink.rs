@@ -1,0 +1,618 @@
+//! The metrics registry and its cheap cloneable handle, [`MetricsSink`].
+//!
+//! A sink is either *disabled* (the default — every call is a no-op and
+//! costs one branch on a `None`) or *recording* into a shared registry:
+//! per-stage atomic counters, hierarchical timed spans aggregated by
+//! path, and log-scale value histograms. Instrumented code holds a sink
+//! by value or reference and never reads it back; exporting is the
+//! caller's job via [`MetricsSink::export_json`]. That one-way flow is
+//! what keeps results bit-identical with metrics on or off, and the
+//! `obs-isolation` lint pass enforces it by flagging `export_json` in
+//! analysis code.
+
+use crate::clock::Stopwatch;
+use crate::json::Json;
+use dr_stats::LogHistogram;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A pipeline stage; the top-level key of the metrics registry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// Chunk planning over the raw per-node logs.
+    Shard,
+    /// Parallel Stage I text extraction.
+    Extract,
+    /// Episode coalescing (Algorithm 1).
+    Coalesce,
+    /// Table 1 / MTBE / lost-hours statistics.
+    Stats,
+    /// Error-propagation analysis.
+    Propagation,
+    /// Job-impact attribution (Tables 3/6).
+    JobImpact,
+    /// Fault-injection campaign simulation (`dr-faults`).
+    Campaign,
+    /// Synthetic Slurm job scheduling (`dr-slurm`).
+    Schedule,
+}
+
+impl Stage {
+    pub const ALL: [Stage; 8] = [
+        Stage::Shard,
+        Stage::Extract,
+        Stage::Coalesce,
+        Stage::Stats,
+        Stage::Propagation,
+        Stage::JobImpact,
+        Stage::Campaign,
+        Stage::Schedule,
+    ];
+
+    /// Stable lowercase name used in the JSON export.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Shard => "shard",
+            Stage::Extract => "extract",
+            Stage::Coalesce => "coalesce",
+            Stage::Stats => "stats",
+            Stage::Propagation => "propagation",
+            Stage::JobImpact => "job_impact",
+            Stage::Campaign => "campaign",
+            Stage::Schedule => "schedule",
+        }
+    }
+
+    fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+/// A monotone counter within a stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Counter {
+    /// Input bytes processed.
+    Bytes,
+    /// Input lines scanned.
+    Lines,
+    /// Lines carrying an `NVRM: Xid` report.
+    XidLines,
+    /// Structured error records produced.
+    Records,
+    /// Coalesced error episodes.
+    Episodes,
+    /// Work chunks planned or executed.
+    Chunks,
+    /// Simulation events processed.
+    Events,
+    /// Jobs scheduled or attributed.
+    Jobs,
+}
+
+impl Counter {
+    pub const ALL: [Counter; 8] = [
+        Counter::Bytes,
+        Counter::Lines,
+        Counter::XidLines,
+        Counter::Records,
+        Counter::Episodes,
+        Counter::Chunks,
+        Counter::Events,
+        Counter::Jobs,
+    ];
+
+    /// Stable lowercase name used in the JSON export.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Bytes => "bytes",
+            Counter::Lines => "lines",
+            Counter::XidLines => "xid_lines",
+            Counter::Records => "records",
+            Counter::Episodes => "episodes",
+            Counter::Chunks => "chunks",
+            Counter::Events => "events",
+            Counter::Jobs => "jobs",
+        }
+    }
+
+    fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+/// Aggregate of every completed span sharing one `(stage, path)` key.
+#[derive(Clone, Debug)]
+struct SpanAgg {
+    count: u64,
+    total_s: f64,
+    min_s: f64,
+    max_s: f64,
+    /// Duration distribution, 1 µs … 10 ks at 2 bins/decade.
+    hist: LogHistogram,
+}
+
+impl SpanAgg {
+    fn new() -> Self {
+        SpanAgg {
+            count: 0,
+            total_s: 0.0,
+            min_s: f64::INFINITY,
+            max_s: 0.0,
+            hist: LogHistogram::decades(1e-6, 1e4, 2),
+        }
+    }
+
+    fn record(&mut self, secs: f64) {
+        self.count += 1;
+        self.total_s += secs;
+        self.min_s = self.min_s.min(secs);
+        self.max_s = self.max_s.max(secs);
+        self.hist.push(secs);
+    }
+}
+
+/// The shared store behind a recording sink. Counters are lock-free
+/// atomics; spans and histograms sit behind a mutex because they are
+/// touched at chunk/stage granularity, never per line.
+struct Registry {
+    counters: [[AtomicU64; Counter::ALL.len()]; Stage::ALL.len()],
+    spans: Mutex<BTreeMap<(Stage, String), SpanAgg>>,
+    hists: Mutex<BTreeMap<(Stage, String), LogHistogram>>,
+}
+
+impl Registry {
+    fn new() -> Self {
+        Registry {
+            counters: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+            spans: Mutex::new(BTreeMap::new()),
+            hists: Mutex::new(BTreeMap::new()),
+        }
+    }
+}
+
+/// Recover the guard even if a panicking holder poisoned the mutex: the
+/// aggregates are monotone counters, safe to read in any interleaving.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A handle to the metrics registry: `Default`/[`MetricsSink::disabled`]
+/// is a no-op sink, [`MetricsSink::recording`] allocates a registry.
+/// Clones share the same registry, so a sink can be fanned out across
+/// worker threads.
+#[derive(Clone, Default)]
+pub struct MetricsSink {
+    reg: Option<Arc<Registry>>,
+}
+
+impl std::fmt::Debug for MetricsSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.is_enabled() {
+            "MetricsSink(recording)"
+        } else {
+            "MetricsSink(disabled)"
+        })
+    }
+}
+
+impl MetricsSink {
+    /// A sink that records nothing; every operation is a cheap no-op.
+    pub fn disabled() -> Self {
+        MetricsSink::default()
+    }
+
+    /// A sink that records into a fresh registry shared by all clones.
+    pub fn recording() -> Self {
+        MetricsSink {
+            reg: Some(Arc::new(Registry::new())),
+        }
+    }
+
+    /// True when this sink is attached to a registry.
+    pub fn is_enabled(&self) -> bool {
+        self.reg.is_some()
+    }
+
+    /// Add `n` to a stage counter. Call at chunk granularity, not per
+    /// line — the atomic add is cheap but not free.
+    pub fn add(&self, stage: Stage, counter: Counter, n: u64) {
+        if let Some(reg) = &self.reg {
+            reg.counters[stage.idx()][counter.idx()].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one observation in a named log-scale histogram (1e-3 …
+    /// 1e9 at 2 bins/decade; out-of-range values land in the under- or
+    /// overflow bucket). Used for throughput samples like per-chunk MB/s.
+    pub fn observe(&self, stage: Stage, name: &str, value: f64) {
+        if let Some(reg) = &self.reg {
+            let mut hists = lock(&reg.hists);
+            hists
+                .entry((stage, name.to_string()))
+                .or_insert_with(|| LogHistogram::decades(1e-3, 1e9, 2))
+                .push(value);
+        }
+    }
+
+    /// Open a timed span; it records itself into the registry on drop.
+    /// On a disabled sink the guard never reads the clock.
+    pub fn span(&self, stage: Stage, name: &str) -> SpanGuard<'_> {
+        SpanGuard {
+            sink: self,
+            stage,
+            path: if self.is_enabled() { name.to_string() } else { String::new() },
+            watch: self.is_enabled().then(Stopwatch::start),
+            rate: None,
+        }
+    }
+
+    fn record_span(&self, stage: Stage, path: &str, secs: f64) {
+        if let Some(reg) = &self.reg {
+            let mut spans = lock(&reg.spans);
+            spans
+                .entry((stage, path.to_string()))
+                .or_insert_with(SpanAgg::new)
+                .record(secs);
+        }
+    }
+
+    /// Export everything recorded so far as a `gpures-metrics/v1`
+    /// document; `None` when the sink is disabled. Analysis code must
+    /// never call this — the `obs-isolation` lint pass enforces that.
+    pub fn export_json(&self) -> Option<Json> {
+        let reg = self.reg.as_ref()?;
+        let spans = lock(&reg.spans).clone();
+        let hists = lock(&reg.hists).clone();
+
+        let mut stages = Vec::new();
+        for stage in Stage::ALL {
+            let counters: Vec<(Counter, u64)> = Counter::ALL
+                .iter()
+                .map(|&c| (c, reg.counters[stage.idx()][c.idx()].load(Ordering::Relaxed)))
+                .filter(|&(_, v)| v > 0)
+                .collect();
+            let stage_spans: Vec<(&String, &SpanAgg)> = spans
+                .iter()
+                .filter(|((s, _), _)| *s == stage)
+                .map(|((_, p), agg)| (p, agg))
+                .collect();
+            let stage_hists: Vec<(&String, &LogHistogram)> = hists
+                .iter()
+                .filter(|((s, _), _)| *s == stage)
+                .map(|((_, n), h)| (n, h))
+                .collect();
+            if counters.is_empty() && stage_spans.is_empty() && stage_hists.is_empty() {
+                continue;
+            }
+
+            // Stage wall time: the span literally named "total" when the
+            // instrumentation provides one, else the sum of root spans.
+            let wall_s = stage_spans
+                .iter()
+                .find(|(p, _)| p.as_str() == "total")
+                .map(|(_, agg)| agg.total_s)
+                .unwrap_or_else(|| {
+                    stage_spans
+                        .iter()
+                        .filter(|(p, _)| !p.contains('/'))
+                        .map(|(_, agg)| agg.total_s)
+                        .sum()
+                });
+
+            let mut fields = vec![
+                ("stage", Json::Str(stage.name().to_string())),
+                ("wall_s", Json::Num(wall_s)),
+            ];
+            if !counters.is_empty() {
+                fields.push((
+                    "counters",
+                    Json::Obj(
+                        counters
+                            .iter()
+                            .map(|&(c, v)| (c.name().to_string(), Json::Num(v as f64)))
+                            .collect(),
+                    ),
+                ));
+                if wall_s > 0.0 {
+                    let rates: Vec<(String, Json)> = counters
+                        .iter()
+                        .filter(|(c, _)| {
+                            matches!(c, Counter::Bytes | Counter::Lines | Counter::Records)
+                        })
+                        .map(|&(c, v)| {
+                            (format!("{}_per_s", c.name()), Json::Num(v as f64 / wall_s))
+                        })
+                        .collect();
+                    if !rates.is_empty() {
+                        fields.push(("rates", Json::Obj(rates)));
+                    }
+                }
+            }
+            if !stage_spans.is_empty() {
+                fields.push((
+                    "spans",
+                    Json::Arr(stage_spans.iter().map(|(p, agg)| span_json(p, agg)).collect()),
+                ));
+            }
+            if !stage_hists.is_empty() {
+                fields.push((
+                    "histograms",
+                    Json::Arr(
+                        stage_hists
+                            .iter()
+                            .map(|(n, h)| {
+                                Json::obj(vec![
+                                    ("name", Json::Str((*n).clone())),
+                                    ("hist", hist_json(h)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            stages.push(Json::obj(fields));
+        }
+
+        Some(Json::obj(vec![
+            ("schema", Json::Str("gpures-metrics/v1".to_string())),
+            ("stages", Json::Arr(stages)),
+        ]))
+    }
+}
+
+fn span_json(path: &str, agg: &SpanAgg) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str(path.to_string())),
+        ("count", Json::Num(agg.count as f64)),
+        ("total_s", Json::Num(agg.total_s)),
+        ("min_s", Json::Num(if agg.count == 0 { 0.0 } else { agg.min_s })),
+        ("max_s", Json::Num(agg.max_s)),
+        ("hist", hist_json(&agg.hist)),
+    ])
+}
+
+/// Sparse histogram rendering: only non-empty bins are emitted.
+fn hist_json(h: &LogHistogram) -> Json {
+    let bins: Vec<Json> = h
+        .iter_bins()
+        .filter(|&(_, _, n)| n > 0)
+        .map(|(lo, hi, n)| {
+            Json::obj(vec![
+                ("lo", Json::Num(lo)),
+                ("hi", Json::Num(hi)),
+                ("n", Json::Num(n as f64)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("count", Json::Num(h.count() as f64)),
+        ("underflow", Json::Num(h.underflow() as f64)),
+        ("overflow", Json::Num(h.overflow() as f64)),
+        ("bins", Json::Arr(bins)),
+    ])
+}
+
+/// RAII span: times from creation to drop and records the duration
+/// under its slash-separated path. Children extend the path, giving the
+/// hierarchy (`total/merge`, `total/merge/heap`, …).
+pub struct SpanGuard<'s> {
+    sink: &'s MetricsSink,
+    stage: Stage,
+    path: String,
+    watch: Option<Stopwatch>,
+    rate: Option<(String, f64)>,
+}
+
+impl<'s> SpanGuard<'s> {
+    /// Open a child span under this span's path.
+    pub fn child(&self, name: &str) -> SpanGuard<'s> {
+        SpanGuard {
+            sink: self.sink,
+            stage: self.stage,
+            path: if self.watch.is_some() {
+                format!("{}/{}", self.path, name)
+            } else {
+                String::new()
+            },
+            watch: self.watch.is_some().then(Stopwatch::start),
+            rate: None,
+        }
+    }
+
+    /// Attach a work volume to the span: on drop, besides the duration,
+    /// the guard records `units / elapsed_seconds` into the named
+    /// histogram of the same stage. This is how instrumented code gets a
+    /// throughput sample (e.g. per-chunk MB/s) without ever reading the
+    /// clock itself.
+    pub fn rate(&mut self, hist: &str, units: f64) {
+        if self.watch.is_some() {
+            self.rate = Some((hist.to_string(), units));
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(watch) = &self.watch {
+            let secs = watch.elapsed_s();
+            self.sink.record_span(self.stage, &self.path, secs);
+            if let Some((hist, units)) = self.rate.take() {
+                if secs > 0.0 {
+                    self.sink.observe(self.stage, &hist, units / secs);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_is_inert() {
+        let sink = MetricsSink::disabled();
+        assert!(!sink.is_enabled());
+        sink.add(Stage::Extract, Counter::Lines, 10);
+        sink.observe(Stage::Extract, "mb_per_s", 5.0);
+        {
+            let span = sink.span(Stage::Extract, "total");
+            let _child = span.child("inner");
+        }
+        assert!(sink.export_json().is_none());
+    }
+
+    #[test]
+    fn counters_accumulate_across_clones() {
+        let sink = MetricsSink::recording();
+        let clone = sink.clone();
+        sink.add(Stage::Extract, Counter::Lines, 10);
+        clone.add(Stage::Extract, Counter::Lines, 32);
+        let doc = sink.export_json().expect("recording sink exports");
+        let stages = doc.get("stages").and_then(Json::as_arr).expect("stages");
+        assert_eq!(stages.len(), 1);
+        let counters = stages[0].get("counters").expect("counters");
+        assert_eq!(counters.get("lines").and_then(Json::as_u64), Some(42));
+    }
+
+    #[test]
+    fn spans_aggregate_and_children_extend_paths() {
+        let sink = MetricsSink::recording();
+        {
+            let total = sink.span(Stage::Coalesce, "total");
+            let _merge = total.child("merge");
+        }
+        {
+            let _total = sink.span(Stage::Coalesce, "total");
+        }
+        let doc = sink.export_json().expect("exports");
+        let stages = doc.get("stages").and_then(Json::as_arr).expect("stages");
+        let spans = stages[0].get("spans").and_then(Json::as_arr).expect("spans");
+        let names: Vec<&str> = spans
+            .iter()
+            .filter_map(|s| s.get("name").and_then(Json::as_str))
+            .collect();
+        assert_eq!(names, ["total", "total/merge"]);
+        let total = &spans[0];
+        assert_eq!(total.get("count").and_then(Json::as_u64), Some(2));
+        let total_s = total.get("total_s").and_then(Json::as_f64).expect("total_s");
+        let max_s = total.get("max_s").and_then(Json::as_f64).expect("max_s");
+        assert!(total_s >= max_s);
+        // Stage wall time comes from the "total" span, not the sum.
+        let wall = stages[0].get("wall_s").and_then(Json::as_f64).expect("wall");
+        assert!((wall - total_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rates_derive_from_counters_and_wall_time() {
+        let sink = MetricsSink::recording();
+        {
+            let _t = sink.span(Stage::Extract, "total");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        sink.add(Stage::Extract, Counter::Bytes, 1_000_000);
+        sink.add(Stage::Extract, Counter::Lines, 10_000);
+        sink.add(Stage::Extract, Counter::Records, 7);
+        sink.add(Stage::Extract, Counter::Chunks, 3);
+        let doc = sink.export_json().expect("exports");
+        let stage = &doc.get("stages").and_then(Json::as_arr).expect("stages")[0];
+        let rates = stage.get("rates").expect("rates");
+        for key in ["bytes_per_s", "lines_per_s", "records_per_s"] {
+            assert!(rates.get(key).and_then(Json::as_f64).expect(key) > 0.0);
+        }
+        // Chunks is a counter but not a rate.
+        assert!(rates.get("chunks_per_s").is_none());
+    }
+
+    #[test]
+    fn observed_histograms_export_sparse_bins() {
+        let sink = MetricsSink::recording();
+        for v in [0.5, 5.0, 5.5, 50.0] {
+            sink.observe(Stage::Extract, "chunk_mb_per_s", v);
+        }
+        let doc = sink.export_json().expect("exports");
+        let stage = &doc.get("stages").and_then(Json::as_arr).expect("stages")[0];
+        let hists = stage.get("histograms").and_then(Json::as_arr).expect("hists");
+        assert_eq!(hists.len(), 1);
+        assert_eq!(
+            hists[0].get("name").and_then(Json::as_str),
+            Some("chunk_mb_per_s")
+        );
+        let h = hists[0].get("hist").expect("hist");
+        assert_eq!(h.get("count").and_then(Json::as_u64), Some(4));
+        let bins = h.get("bins").and_then(Json::as_arr).expect("bins");
+        let total: u64 = bins
+            .iter()
+            .map(|b| b.get("n").and_then(Json::as_u64).unwrap_or(0))
+            .sum();
+        assert_eq!(total, 4, "all in-range observations appear in bins");
+        assert!(bins.iter().all(|b| b.get("n").and_then(Json::as_u64) != Some(0)));
+    }
+
+    #[test]
+    fn span_rate_records_a_throughput_histogram() {
+        let sink = MetricsSink::recording();
+        {
+            let mut span = sink.span(Stage::Extract, "chunk");
+            span.rate("chunk_mb_per_s", 8.0);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let doc = sink.export_json().expect("exports");
+        let stage = &doc.get("stages").and_then(Json::as_arr).expect("stages")[0];
+        let hists = stage.get("histograms").and_then(Json::as_arr).expect("hists");
+        assert_eq!(
+            hists[0].get("name").and_then(Json::as_str),
+            Some("chunk_mb_per_s")
+        );
+        let h = hists[0].get("hist").expect("hist");
+        assert_eq!(h.get("count").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn empty_recording_sink_exports_no_stages() {
+        let doc = MetricsSink::recording().export_json().expect("exports");
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("gpures-metrics/v1")
+        );
+        assert_eq!(doc.get("stages").and_then(Json::as_arr).map(<[Json]>::len), Some(0));
+    }
+
+    #[test]
+    fn stage_and_counter_names_are_stable() {
+        let stage_names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            stage_names,
+            ["shard", "extract", "coalesce", "stats", "propagation", "job_impact", "campaign", "schedule"]
+        );
+        let counter_names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(
+            counter_names,
+            ["bytes", "lines", "xid_lines", "records", "episodes", "chunks", "events", "jobs"]
+        );
+    }
+
+    #[test]
+    fn sink_is_shareable_across_threads() {
+        let sink = MetricsSink::recording();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = sink.clone();
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        s.add(Stage::Extract, Counter::Records, 1);
+                    }
+                    let _span = s.span(Stage::Extract, "chunk");
+                });
+            }
+        });
+        let doc = sink.export_json().expect("exports");
+        let stage = &doc.get("stages").and_then(Json::as_arr).expect("stages")[0];
+        let counters = stage.get("counters").expect("counters");
+        assert_eq!(counters.get("records").and_then(Json::as_u64), Some(400));
+    }
+}

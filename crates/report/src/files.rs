@@ -7,7 +7,7 @@
 //! Job-table CSV lives in `dr_slurm::csv` next to its types.
 
 use dr_faults::DowntimeInterval;
-use dr_xid::{GpuId, NodeId, PciAddr, Timestamp, Xid};
+use dr_xid::{DataError, GpuId, NodeId, PciAddr, Timestamp, Xid};
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
@@ -33,12 +33,17 @@ pub fn downtime_to_csv(intervals: &[DowntimeInterval]) -> String {
     out
 }
 
-/// Parse downtime intervals; returns a descriptive error string.
-pub fn downtime_from_csv(text: &str) -> Result<Vec<DowntimeInterval>, String> {
+/// Parse downtime intervals.
+pub fn downtime_from_csv(text: &str) -> Result<Vec<DowntimeInterval>, DataError> {
+    let err = |line: usize, m: &str| DataError::Csv {
+        artifact: "downtime",
+        line,
+        message: m.to_string(),
+    };
     let mut lines = text.lines().enumerate();
     match lines.next() {
         Some((_, h)) if h.trim() == DOWNTIME_HEADER => {}
-        _ => return Err("downtime csv: missing or wrong header".to_string()),
+        _ => return Err(err(1, "missing or wrong header")),
     }
     let mut out = Vec::new();
     for (idx, raw) in lines {
@@ -46,7 +51,7 @@ pub fn downtime_from_csv(text: &str) -> Result<Vec<DowntimeInterval>, String> {
         if raw.is_empty() {
             continue;
         }
-        let e = |m: &str| format!("downtime csv line {}: {m}", idx + 1);
+        let e = |m: &str| err(idx + 1, m);
         let fields: Vec<&str> = raw.split(',').collect();
         if fields.len() != 4 {
             return Err(e("expected 4 fields"));

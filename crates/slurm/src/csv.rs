@@ -34,6 +34,17 @@ impl std::fmt::Display for CsvError {
 
 impl std::error::Error for CsvError {}
 
+/// Boundary conversion into the workspace-wide data-path error.
+impl From<CsvError> for dr_xid::DataError {
+    fn from(e: CsvError) -> Self {
+        dr_xid::DataError::Csv {
+            artifact: "jobs",
+            line: e.line,
+            message: e.message,
+        }
+    }
+}
+
 fn state_str(s: JobState) -> &'static str {
     match s {
         JobState::Completed => "COMPLETED",

@@ -1,0 +1,80 @@
+//! The shared error type for the data-ingest path.
+//!
+//! Parsing and ingest errors used to be ad hoc — `RegexError` in
+//! `dr-logscan`, `CsvError` in `dr-slurm`, bare `String`s in
+//! `dr-report` — which forced every boundary crossing through
+//! `map_err(|e| e.to_string())`. [`DataError`] is the common currency:
+//! it lives in the taxonomy crate (the bottom of the dependency stack,
+//! visible to everyone), implements [`std::error::Error`], and the
+//! producing crates provide `From` conversions at their boundaries so
+//! `?` composes across crates.
+
+use std::fmt;
+
+/// Any error produced while parsing or ingesting study data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DataError {
+    /// A pattern failed to compile (Stage I regex construction).
+    Pattern {
+        /// Byte offset of the problem inside the pattern.
+        offset: usize,
+        message: String,
+    },
+    /// A CSV artifact failed to parse.
+    Csv {
+        /// Which artifact (e.g. `"jobs"`, `"downtime"`).
+        artifact: &'static str,
+        /// 1-based line number of the offending row.
+        line: usize,
+        message: String,
+    },
+    /// A filesystem artifact could not be read or written.
+    Io { path: String, message: String },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Pattern { offset, message } => {
+                write!(f, "pattern error at offset {offset}: {message}")
+            }
+            DataError::Csv {
+                artifact,
+                line,
+                message,
+            } => write!(f, "{artifact} csv line {line}: {message}"),
+            DataError::Io { path, message } => write!(f, "{path}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_artifact_and_location() {
+        let e = DataError::Csv {
+            artifact: "downtime",
+            line: 7,
+            message: "bad xid".to_string(),
+        };
+        assert_eq!(e.to_string(), "downtime csv line 7: bad xid");
+        let e = DataError::Pattern {
+            offset: 3,
+            message: "unbalanced paren".to_string(),
+        };
+        assert!(e.to_string().contains("offset 3"));
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&DataError::Io {
+            path: "logs/".to_string(),
+            message: "missing".to_string(),
+        });
+    }
+}

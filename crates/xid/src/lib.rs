@@ -11,12 +11,14 @@
 //! (see [`syslog`]) so that Stage I of the pipeline — regex extraction from
 //! raw text — is exercised exactly as it would be on production logs.
 
+pub mod error;
 pub mod ids;
 pub mod record;
 pub mod syslog;
 pub mod time;
 pub mod xid;
 
+pub use error::DataError;
 pub use ids::{GpuId, NodeId, PciAddr};
 pub use record::{ErrorDetail, ErrorRecord};
 pub use time::{Duration, Timestamp};

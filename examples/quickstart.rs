@@ -6,7 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use gpu_resilience::core::{StudyConfig, StudyResults};
+use gpu_resilience::core::{PipelineBuilder, StudyConfig};
 use gpu_resilience::faults::{Campaign, CampaignConfig};
 use gpu_resilience::report;
 
@@ -27,8 +27,9 @@ fn main() {
     //    Algorithm 1 coalescing, statistics, propagation analysis.
     let cfg = StudyConfig::ampere_study()
         .with_window(out.observation_hours(), out.fleet.node_count() as u32);
-    let (results, extract_stats) =
-        StudyResults::from_text_logs(&out.text_logs, None, Some(&out.downtime), cfg);
+    let (results, extract_stats) = PipelineBuilder::new(cfg)
+        .downtime(&out.downtime)
+        .run_text(&out.text_logs);
     println!(
         "extraction: {} lines scanned, {} NVRM XID lines, {} noise/malformed",
         extract_stats.lines,

@@ -1,8 +1,8 @@
 //! `gpures` — the command-line front end.
 //!
 //! ```text
-//! gpures campaign  --out DIR [--shape tiny|ampere|h100] [--days N] [--seed S] [--text-nodes N]
-//! gpures analyze   --logs DIR [--jobs FILE] [--downtime FILE] [--nodes N] [--hours H] [--dt SECS] [--dot DIR]
+//! gpures campaign  --out DIR [--shape tiny|ampere|h100] [--days N] [--seed S] [--text-nodes N] [--metrics FILE]
+//! gpures analyze   --logs DIR [--jobs FILE] [--downtime FILE] [--nodes N] [--hours H] [--dt SECS] [--dot DIR] [--metrics FILE]
 //! gpures incidents
 //! gpures project   [--gpus N] [--recovery-min M] [--runs R]
 //! gpures monitor   [--log FILE] [--nodes N] [--every K]
@@ -12,10 +12,14 @@
 //! files, the job accounting table, and the repair intervals. `analyze`
 //! runs the full pipeline over *any* directory of per-node syslog files —
 //! synthetic or real — which is the adoption path for this library: point
-//! it at your cluster's logs.
+//! it at your cluster's logs. `--metrics FILE` attaches the write-only
+//! observability sink and exports per-stage spans, counters, and
+//! throughput histograms as `gpures-metrics/v1` JSON (results are
+//! bit-identical with or without it).
 
-use gpu_resilience::core::{CoalesceConfig, StudyConfig, StudyResults};
+use gpu_resilience::core::{CoalesceConfig, PipelineBuilder, StudyConfig};
 use gpu_resilience::faults::{all_scenarios, Campaign, CampaignConfig};
+use gpu_resilience::obs::MetricsSink;
 use gpu_resilience::report::{self, files, render_summary};
 use gpu_resilience::slurm::{
     apply_errors, csv as jobs_csv, DrainWindows, JobLoadConfig, MaskingModel, Scheduler,
@@ -58,12 +62,14 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  gpures campaign  --out DIR [--shape tiny|ampere|h100] [--days N] [--seed S] [--text-nodes N]
-  gpures analyze   --logs DIR [--jobs FILE] [--downtime FILE] [--nodes N] [--hours H] [--dt SECS] [--dot DIR]
+  gpures campaign  --out DIR [--shape tiny|ampere|h100] [--days N] [--seed S] [--text-nodes N] [--metrics FILE]
+  gpures analyze   --logs DIR [--jobs FILE] [--downtime FILE] [--nodes N] [--hours H] [--dt SECS] [--dot DIR] [--metrics FILE]
   gpures incidents
   gpures project   [--gpus N] [--recovery-min M] [--runs R]
   gpures monitor   [--log FILE] [--nodes N] [--every K]   (FILE or stdin; live Table 1)
-  gpures bench     [--out DIR] [--smoke true]   (Stage I throughput -> BENCH_*.json)";
+  gpures bench     [--out DIR] [--smoke true]   (throughput + overhead -> BENCH_*.json)
+
+  --metrics FILE exports per-stage spans/counters/histograms (gpures-metrics/v1 JSON)";
 
 /// `--key value` option bag with typed getters.
 struct Opts(BTreeMap<String, String>);
@@ -114,13 +120,20 @@ fn cmd_campaign(opts: &Opts) -> Result<(), String> {
     cfg.duration_days = opts.num("days", cfg.duration_days)?;
     cfg.text_nodes = opts.num("text-nodes", cfg.text_nodes.max(4))?;
 
+    let metrics_path = opts.path("metrics");
+    let sink = if metrics_path.is_some() {
+        MetricsSink::recording()
+    } else {
+        MetricsSink::disabled()
+    };
+
     eprintln!(
         "running {shape} campaign: {} nodes, {:.0} days, text for {} nodes ...",
         cfg.shape.node_count(),
         cfg.duration_days,
         cfg.text_nodes
     );
-    let out = Campaign::run(cfg);
+    let out = Campaign::run_observed(cfg, &sink);
 
     // Workload + impact, so the accounting table reflects the errors.
     let drains = DrainWindows::from_events(
@@ -135,7 +148,7 @@ fn cmd_campaign(opts: &Opts) -> Result<(), String> {
         duration_days: out.duration.as_hours_f64() / 24.0,
         ..JobLoadConfig::delta_study(seed ^ 0x10b5)
     };
-    let mut schedule = Scheduler::new(load).run(&out.fleet, &drains);
+    let mut schedule = Scheduler::new(load).run_observed(&out.fleet, &drains, &sink);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x1133);
     apply_errors(&mut schedule.jobs, &out.events, &MaskingModel::default(), &mut rng);
 
@@ -165,6 +178,18 @@ fn cmd_campaign(opts: &Opts) -> Result<(), String> {
         out.fleet.node_count(),
         out.observation_hours()
     );
+    write_metrics(metrics_path.as_deref(), &sink)?;
+    Ok(())
+}
+
+/// Export the sink's `gpures-metrics/v1` document to `path`, if both a
+/// path was given and the sink is recording.
+fn write_metrics(path: Option<&Path>, sink: &MetricsSink) -> Result<(), String> {
+    let (Some(path), Some(doc)) = (path, sink.export_json()) else {
+        return Ok(());
+    };
+    std::fs::write(path, doc.render()).map_err(|e| e.to_string())?;
+    eprintln!("metrics written to {}", path.display());
     Ok(())
 }
 
@@ -186,7 +211,7 @@ fn cmd_analyze(opts: &Opts) -> Result<(), String> {
         None => None,
         Some(p) => {
             let text = std::fs::read_to_string(&p).map_err(|e| e.to_string())?;
-            Some(files::downtime_from_csv(&text)?)
+            Some(files::downtime_from_csv(&text).map_err(|e| e.to_string())?)
         }
     };
 
@@ -201,13 +226,23 @@ fn cmd_analyze(opts: &Opts) -> Result<(), String> {
     }
     .with_window(hours, nodes);
 
+    let metrics_path = opts.path("metrics");
+    let sink = if metrics_path.is_some() {
+        MetricsSink::recording()
+    } else {
+        MetricsSink::disabled()
+    };
+
     eprintln!(
         "analyzing {} node logs ({} lines) ...",
         logs.len(),
         logs.iter().map(|(_, l)| l.len()).sum::<usize>()
     );
-    let (results, stats) =
-        StudyResults::from_text_logs(&logs, jobs.as_deref(), downtime.as_deref(), cfg);
+    let (results, stats) = PipelineBuilder::new(cfg)
+        .maybe_jobs(jobs.as_deref())
+        .maybe_downtime(downtime.as_deref())
+        .metrics(sink.clone())
+        .run_text(&logs);
     eprintln!(
         "extraction: {} lines, {} XID lines, {} unknown, {} malformed",
         stats.lines, stats.xid_lines, stats.unknown_xid, stats.malformed
@@ -234,6 +269,7 @@ fn cmd_analyze(opts: &Opts) -> Result<(), String> {
         }
         println!("propagation graphs written to {}", dot_dir.display());
     }
+    write_metrics(metrics_path.as_deref(), &sink)?;
     Ok(())
 }
 
@@ -396,10 +432,21 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
     let pool = pipe_doc.get("worker_pool").and_then(|v| v.as_f64()).unwrap_or(0.0);
     println!("pipeline     {pool:.0}-worker scaling {scaling:.2}x over 1 worker");
 
+    eprintln!("benchmarking observability overhead ...");
+    let obs_doc = gpu_resilience::bench::obs::obs_report(smoke)?;
+    let obs_path = out_dir.join("BENCH_obs.json");
+    std::fs::write(&obs_path, obs_doc.render()).map_err(|e| e.to_string())?;
+    let pct = obs_doc
+        .get("overhead_pct")
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    println!("observability recording-sink overhead {pct:.2}%");
+
     println!(
-        "wrote {} and {}",
+        "wrote {}, {} and {}",
         stage1_path.display(),
-        pipe_path.display()
+        pipe_path.display(),
+        obs_path.display()
     );
     Ok(())
 }

@@ -12,7 +12,7 @@
 //! analyze them:
 //!
 //! ```
-//! use gpu_resilience::core::{StudyConfig, StudyResults};
+//! use gpu_resilience::core::{PipelineBuilder, StudyConfig};
 //! use gpu_resilience::faults::{Campaign, CampaignConfig};
 //! use gpu_resilience::xid::Xid;
 //!
@@ -24,8 +24,9 @@
 //! // recovers the study's statistics (Table 1, Figures 5-7, ...).
 //! let cfg = StudyConfig::ampere_study()
 //!     .with_window(out.observation_hours(), out.fleet.node_count() as u32);
-//! let (results, stats) =
-//!     StudyResults::from_text_logs(&out.text_logs, None, Some(&out.downtime), cfg);
+//! let (results, stats) = PipelineBuilder::new(cfg)
+//!     .downtime(&out.downtime)
+//!     .run_text(&out.text_logs);
 //! assert_eq!(stats.malformed, 0);
 //! assert!(results.table1_row(Xid::MmuError).unwrap().count > 0);
 //! ```
@@ -37,6 +38,7 @@ pub use dr_des as des;
 pub use dr_faults as faults;
 pub use dr_gpu as gpu;
 pub use dr_logscan as logscan;
+pub use dr_obs as obs;
 pub use dr_par as par;
 pub use dr_predict as predict;
 pub use dr_report as report;

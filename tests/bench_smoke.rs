@@ -82,6 +82,27 @@ fn pipeline_report_counts_match_batch_route() {
 }
 
 #[test]
+fn obs_overhead_report_cross_checks_outputs() {
+    let doc = gpu_resilience::bench::obs::obs_report(true).expect("smoke report builds");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("gpures-bench-obs/v1")
+    );
+    // The smoke corpus is the noisy workload at 3 nodes / 400 lines each;
+    // the report's coalesced count must match the batch reference.
+    let w = noisy_workload(3, 400);
+    let mut records = reference_records(&w);
+    sort_records(&mut records);
+    let reference = coalesce(&records, CoalesceConfig::default()).len() as u64;
+    assert_eq!(doc.get("coalesced").and_then(Json::as_u64), Some(reference));
+    for engine in ["disabled", "recording"] {
+        let m = doc.get(engine).expect("measurement present");
+        assert!(m.get("lines_per_s").and_then(Json::as_f64).expect("rate") > 0.0);
+    }
+    assert!(doc.get("overhead_pct").and_then(Json::as_f64).is_some());
+}
+
+#[test]
 fn bench_cli_writes_parseable_artifacts() {
     let dir: PathBuf =
         std::env::temp_dir().join(format!("gpures-bench-smoke-{}", std::process::id()));
@@ -100,6 +121,7 @@ fn bench_cli_writes_parseable_artifacts() {
     for (file, schema) in [
         ("BENCH_stage1.json", "gpures-bench-stage1/v1"),
         ("BENCH_pipeline.json", "gpures-bench-pipeline/v1"),
+        ("BENCH_obs.json", "gpures-bench-obs/v1"),
     ] {
         let text = std::fs::read_to_string(dir.join(file)).expect(file);
         let doc = Json::parse(&text).expect("artifact parses");

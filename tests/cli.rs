@@ -1,6 +1,7 @@
 //! End-to-end tests of the `gpures` binary: campaign-to-disk, file-based
 //! analysis, the streaming monitor, incidents, and the projection command.
 
+use gpu_resilience::obs::json::Json;
 use std::path::PathBuf;
 use std::process::Command;
 
@@ -15,6 +16,29 @@ fn temp_dir(tag: &str) -> PathBuf {
     dir
 }
 
+fn read_metrics(path: &PathBuf) -> Json {
+    let text = std::fs::read_to_string(path).expect("metrics file written");
+    let doc = Json::parse(&text).expect("metrics parse");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("gpures-metrics/v1")
+    );
+    doc
+}
+
+fn stage_names(doc: &Json) -> Vec<String> {
+    doc.get("stages")
+        .and_then(Json::as_arr)
+        .map(|stages| {
+            stages
+                .iter()
+                .filter_map(|s| s.get("stage").and_then(Json::as_str))
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
 #[test]
 fn campaign_analyze_round_trip() {
     let dir = temp_dir("roundtrip");
@@ -22,13 +46,17 @@ fn campaign_analyze_round_trip() {
     let out = gpures()
         .args(["campaign", "--out"])
         .arg(&dir)
-        .args(["--shape", "tiny", "--seed", "5", "--days", "10"])
+        .args(["--shape", "tiny", "--seed", "5", "--days", "10", "--metrics"])
+        .arg(dir.join("campaign-metrics.json"))
         .output()
         .expect("run campaign");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     assert!(dir.join("jobs.csv").exists());
     assert!(dir.join("downtime.csv").exists());
     assert!(dir.join("logs").read_dir().unwrap().count() >= 4);
+    let metrics = read_metrics(&dir.join("campaign-metrics.json"));
+    assert!(stage_names(&metrics).contains(&"campaign".to_string()));
+    assert!(stage_names(&metrics).contains(&"schedule".to_string()));
 
     let dot_dir = dir.join("dot");
     let out = gpures()
@@ -40,6 +68,8 @@ fn campaign_analyze_round_trip() {
         .arg(dir.join("downtime.csv"))
         .args(["--nodes", "6", "--hours", "240", "--dot"])
         .arg(&dot_dir)
+        .arg("--metrics")
+        .arg(dir.join("analyze-metrics.json"))
         .output()
         .expect("run analyze");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
@@ -48,6 +78,13 @@ fn campaign_analyze_round_trip() {
     assert!(stdout.contains("Table 2"));
     assert!(stdout.contains("Study summary"));
     assert!(dot_dir.join("fig5.dot").exists());
+    let metrics = read_metrics(&dir.join("analyze-metrics.json"));
+    for want in ["extract", "coalesce", "stats", "job_impact"] {
+        assert!(
+            stage_names(&metrics).contains(&want.to_string()),
+            "stage {want} missing from analyze metrics"
+        );
+    }
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -2,7 +2,7 @@
 //! through the whole stack, and different seeds must differ.
 
 use gpu_resilience::availsim::{simulate, ProjectionConfig};
-use gpu_resilience::core::{StudyConfig, StudyResults};
+use gpu_resilience::core::{PipelineBuilder, StudyConfig};
 use gpu_resilience::faults::{Campaign, CampaignConfig};
 use gpu_resilience::slurm::{DrainWindows, JobLoadConfig, Scheduler};
 
@@ -24,8 +24,9 @@ fn pipeline_is_deterministic_including_parallel_extraction() {
     let out = Campaign::run(CampaignConfig::tiny(78));
     let cfg = StudyConfig::ampere_study()
         .with_window(out.observation_hours(), out.fleet.node_count() as u32);
-    let (r1, s1) = StudyResults::from_text_logs(&out.text_logs, None, None, cfg);
-    let (r2, s2) = StudyResults::from_text_logs(&out.text_logs, None, None, cfg);
+    let builder = PipelineBuilder::new(cfg);
+    let (r1, s1) = builder.run_text(&out.text_logs);
+    let (r2, s2) = builder.run_text(&out.text_logs);
     assert_eq!(s1, s2);
     assert_eq!(r1.coalesced, r2.coalesced);
     assert_eq!(r1.overall_mtbe_h, r2.overall_mtbe_h);
@@ -54,10 +55,11 @@ fn single_thread_and_multi_thread_runs_are_bit_identical() {
     let cfg = StudyConfig::ampere_study()
         .with_window(out.observation_hours(), out.fleet.node_count() as u32);
 
+    let builder = PipelineBuilder::new(cfg);
     gpu_resilience::par::set_worker_override(Some(1));
-    let (r1, s1) = StudyResults::from_text_logs(&out.text_logs, None, None, cfg);
+    let (r1, s1) = builder.run_text(&out.text_logs);
     gpu_resilience::par::set_worker_override(Some(8));
-    let (rn, sn) = StudyResults::from_text_logs(&out.text_logs, None, None, cfg);
+    let (rn, sn) = builder.run_text(&out.text_logs);
     gpu_resilience::par::set_worker_override(None);
 
     assert_eq!(s1, sn);
@@ -75,13 +77,15 @@ fn chunked_extraction_is_invariant_to_chunk_size_and_workers() {
     let cfg = StudyConfig::ampere_study()
         .with_window(out.observation_hours(), out.fleet.node_count() as u32);
 
-    let (reference, ref_stats) =
-        StudyResults::from_text_logs(&out.text_logs, None, None, cfg);
+    let (reference, ref_stats) = PipelineBuilder::new(cfg).run_text(&out.text_logs);
     for target in [Some(1), Some(4 * 1024), Some(u64::MAX), None] {
         for workers in [Some(1), Some(8)] {
+            let mut builder = PipelineBuilder::new(cfg);
+            if let Some(t) = target {
+                builder = builder.chunk_bytes(t);
+            }
             gpu_resilience::par::set_worker_override(workers);
-            let (r, s) =
-                StudyResults::from_text_logs_chunked(&out.text_logs, None, None, cfg, target);
+            let (r, s) = builder.run_text(&out.text_logs);
             gpu_resilience::par::set_worker_override(None);
             assert_eq!(s, ref_stats, "stats drift at {target:?}/{workers:?}");
             assert_eq!(

@@ -1,0 +1,133 @@
+//! Observability contract: attaching a metrics sink must not perturb
+//! results by a single bit, the exported document must follow the
+//! `gpures-metrics/v1` schema, and the `PipelineBuilder` must reproduce
+//! every legacy entry point it deprecates.
+
+use gpu_resilience::core::{PipelineBuilder, Stage1Engine, StudyConfig};
+use gpu_resilience::faults::{Campaign, CampaignConfig};
+use gpu_resilience::obs::json::Json;
+use gpu_resilience::obs::MetricsSink;
+
+fn workload() -> (Vec<(gpu_resilience::xid::NodeId, Vec<String>)>, StudyConfig) {
+    let out = Campaign::run(CampaignConfig::tiny(321));
+    let cfg = StudyConfig::ampere_study()
+        .with_window(out.observation_hours(), out.fleet.node_count() as u32);
+    (out.text_logs, cfg)
+}
+
+#[test]
+fn results_are_bit_identical_with_metrics_on_and_off() {
+    let (logs, cfg) = workload();
+    let builder = PipelineBuilder::new(cfg);
+    let (r_off, s_off) = builder.run_text(&logs);
+    let sink = MetricsSink::recording();
+    let (r_on, s_on) = builder.clone().metrics(sink.clone()).run_text(&logs);
+
+    assert_eq!(s_off, s_on, "extraction stats must not change");
+    assert_eq!(r_off.coalesced, r_on.coalesced, "episodes must not change");
+    assert_eq!(r_off.overall_mtbe_h, r_on.overall_mtbe_h);
+    // Field-by-field bit identity via the full Debug rendering: floats
+    // print with enough precision that any drift shows up.
+    assert_eq!(
+        format!("{r_off:?}"),
+        format!("{r_on:?}"),
+        "StudyResults must be bit-identical with metrics on"
+    );
+    // And the sink did actually record something.
+    assert!(sink.export_json().is_some());
+}
+
+#[test]
+fn exported_metrics_follow_the_v1_schema() {
+    let (logs, cfg) = workload();
+    let sink = MetricsSink::recording();
+    let _ = PipelineBuilder::new(cfg)
+        .metrics(sink.clone())
+        .run_text(&logs);
+    let doc = sink.export_json().expect("recording sink exports");
+
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("gpures-metrics/v1")
+    );
+    let stages = doc.get("stages").and_then(Json::as_arr).expect("stages");
+    let names: Vec<&str> = stages
+        .iter()
+        .filter_map(|s| s.get("stage").and_then(Json::as_str))
+        .collect();
+    for want in ["shard", "extract", "coalesce", "stats", "propagation"] {
+        assert!(names.contains(&want), "missing stage {want:?} in {names:?}");
+    }
+    for stage in stages {
+        assert!(
+            stage.get("wall_s").and_then(Json::as_f64).expect("wall_s") >= 0.0
+        );
+    }
+    let extract = stages
+        .iter()
+        .find(|s| s.get("stage").and_then(Json::as_str) == Some("extract"))
+        .expect("extract stage");
+    let counters = extract.get("counters").expect("extract counters");
+    assert!(counters.get("lines").and_then(Json::as_u64).expect("lines") > 0);
+    assert!(counters.get("bytes").and_then(Json::as_u64).expect("bytes") > 0);
+    let rates = extract.get("rates").expect("extract rates");
+    assert!(rates.get("lines_per_s").and_then(Json::as_f64).expect("rate") > 0.0);
+    let spans = extract.get("spans").and_then(Json::as_arr).expect("spans");
+    assert!(spans
+        .iter()
+        .any(|s| s.get("name").and_then(Json::as_str) == Some("total")));
+    // Per-chunk throughput histogram from `SpanGuard::rate`.
+    let hists = extract.get("histograms").and_then(Json::as_arr).expect("hists");
+    assert!(hists
+        .iter()
+        .any(|h| h.get("name").and_then(Json::as_str) == Some("chunk_mb_per_s")));
+    // The document round-trips through the writer/parser pair.
+    assert_eq!(Json::parse(&doc.render()).expect("parses"), doc);
+}
+
+#[test]
+#[allow(deprecated)]
+fn builder_reproduces_every_deprecated_entry_point() {
+    use gpu_resilience::core::StudyResults;
+
+    let out = Campaign::run(CampaignConfig::tiny(654));
+    let cfg = StudyConfig::ampere_study()
+        .with_window(out.observation_hours(), out.fleet.node_count() as u32);
+    let jobs = gpu_resilience::slurm::Scheduler::new(gpu_resilience::slurm::JobLoadConfig::tiny(3))
+        .run(&out.fleet, &gpu_resilience::slurm::DrainWindows::default())
+        .jobs;
+
+    let cases: Vec<(&str, (StudyResults, _), (StudyResults, _))> = vec![
+        (
+            "from_text_logs",
+            StudyResults::from_text_logs(&out.text_logs, Some(&jobs), Some(&out.downtime), cfg),
+            PipelineBuilder::new(cfg)
+                .jobs(&jobs)
+                .downtime(&out.downtime)
+                .run_text(&out.text_logs),
+        ),
+        (
+            "from_text_logs_chunked",
+            StudyResults::from_text_logs_chunked(&out.text_logs, None, None, cfg, Some(4096)),
+            PipelineBuilder::new(cfg)
+                .chunk_bytes(4096)
+                .run_text(&out.text_logs),
+        ),
+        (
+            "from_text_logs_baseline",
+            StudyResults::from_text_logs_baseline(&out.text_logs, None, None, cfg),
+            PipelineBuilder::new(cfg)
+                .engine(Stage1Engine::Baseline)
+                .run_text(&out.text_logs),
+        ),
+    ];
+    for (name, (r_old, s_old), (r_new, s_new)) in cases {
+        assert_eq!(s_old, s_new, "{name}: stats diverge");
+        assert_eq!(r_old.coalesced, r_new.coalesced, "{name}: episodes diverge");
+        assert_eq!(
+            format!("{r_old:?}"),
+            format!("{r_new:?}"),
+            "{name}: results diverge"
+        );
+    }
+}
