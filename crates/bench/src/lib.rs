@@ -12,9 +12,13 @@
 //! re-exported here so existing `dr_bench::json` paths keep working).
 //! [`obs`] measures the observability layer itself, producing
 //! `BENCH_obs.json` with the metrics-on vs metrics-off overhead.
+//! [`stream`] measures bounded-memory streaming ingestion, producing
+//! `BENCH_stream.json` with in-memory vs `DirSource` throughput and
+//! peak resident chunk bytes.
 
 pub mod obs;
 pub mod stage1;
+pub mod stream;
 
 pub use dr_obs::json;
 

@@ -26,6 +26,10 @@
 //!   [`pipeline::PipelineBuilder`]: text → extraction (parallelized per
 //!   node via `dr-par`) → coalescing → the full
 //!   [`pipeline::StudyResults`] bundle.
+//! - [`source`] — streaming log ingestion: the [`source::LogSource`]
+//!   trait plus in-memory, directory, and campaign-generator
+//!   implementations, so Stage I pulls bounded chunk waves instead of a
+//!   materialized corpus.
 //! - [`stream`] — the online variant: incremental Algorithm 1 and a
 //!   constant-memory live Table 1 (P² quantiles) for monitoring
 //!   deployments.
@@ -44,6 +48,7 @@ pub mod job_impact;
 pub mod pipeline;
 pub mod propagation;
 pub mod shard;
+pub mod source;
 pub mod stats;
 pub mod stream;
 
@@ -54,9 +59,11 @@ pub use job_impact::{JobImpactAnalysis, Table2Row, Table3Row};
 pub use pipeline::{PipelineBuilder, Stage1Engine, StudyConfig, StudyResults};
 pub use propagation::{NvlinkSpread, PropagationAnalysis, PropagationEdge};
 pub use shard::{
-    extract_and_coalesce, extract_and_coalesce_observed, extract_sharded,
-    extract_sharded_observed, merge_and_coalesce, merge_and_coalesce_observed, plan_chunks,
-    ChunkSpec,
+    extract_and_coalesce, extract_and_coalesce_observed, extract_and_coalesce_source,
+    extract_and_coalesce_source_observed, extract_sharded, extract_sharded_observed,
+    extract_source, extract_source_observed, merge_and_coalesce, merge_and_coalesce_observed,
+    plan_chunks, ChunkSpec,
 };
+pub use source::{collect_source, DirSource, GeneratorSource, InMemorySource, LogChunk, LogSource};
 pub use stats::{lost_gpu_hours, table1, LostHours, Table1Row};
 pub use stream::{OnlineRow, OnlineStats, StreamCoalescer};

@@ -2,15 +2,15 @@
 //!
 //! The front door is [`PipelineBuilder`]: configure jobs, downtime,
 //! chunking, the Stage I engine, and an optional metrics sink with named
-//! setters, then run from text ([`PipelineBuilder::run_text`]), records
-//! ([`PipelineBuilder::run_records`] — the full-fidelity path used for
-//! the flagship 855-day reproduction, where materializing ~10 M text
-//! lines would only exercise the same code the text path already
-//! validates on a node subset), or pre-coalesced errors
-//! ([`PipelineBuilder::run_coalesced`]).
-//!
-//! The older `StudyResults::from_text_logs*` constructors are kept as
-//! deprecated thin wrappers over the builder (equivalence is tested).
+//! setters, then run from a streaming [`LogSource`]
+//! ([`PipelineBuilder::run_source`] — bounded-memory ingestion from
+//! disk, a campaign generator, or a wrapped buffer), from materialized
+//! text ([`PipelineBuilder::run_text`], a thin [`InMemorySource`]
+//! adapter), from records ([`PipelineBuilder::run_records`] — the
+//! full-fidelity path used for the flagship 855-day reproduction, where
+//! materializing ~10 M text lines would only exercise the same code the
+//! text path already validates on a node subset), or from pre-coalesced
+//! errors ([`PipelineBuilder::run_coalesced`]).
 //!
 //! Observability is strictly write-only: attaching a recording
 //! [`MetricsSink`] never changes any `StudyResults` field (bit-identity
@@ -18,6 +18,7 @@
 
 use crate::coalesce::{coalesce, CoalesceConfig, CoalescedError};
 use crate::counterfactual::{counterfactual, CounterfactualReport};
+use crate::source::{InMemorySource, LogSource};
 use crate::downtime::{availability, downtime_stats, DowntimeStats};
 use crate::job_impact::{analyze_jobs, table3, JobImpactAnalysis, JobImpactConfig, Table3Row};
 use crate::propagation::{analyze, PropagationAnalysis};
@@ -28,7 +29,7 @@ use dr_faults::DowntimeInterval;
 use dr_logscan::{BaselineExtractor, ExtractStats};
 use dr_obs::MetricsSink;
 use dr_slurm::JobRecord;
-use dr_xid::{Duration, ErrorRecord, NodeId};
+use dr_xid::{DataError, Duration, ErrorRecord, NodeId};
 
 /// Pipeline configuration.
 #[derive(Clone, Copy, Debug)]
@@ -172,71 +173,6 @@ impl StudyResults {
         }
     }
 
-    /// Stage I + pipeline: sharded parallel extraction from per-node
-    /// syslog text (byte-balanced chunks with replayed scanner state),
-    /// k-way merged into the streaming coalescer — no global record sort
-    /// barrier between Stage I and Stage II. Returns the merged
-    /// extraction statistics alongside the results.
-    #[deprecated(since = "0.1.0", note = "use PipelineBuilder::new(config).run_text(...)")]
-    pub fn from_text_logs(
-        node_logs: &[(NodeId, Vec<String>)],
-        jobs: Option<&[JobRecord]>,
-        downtime: Option<&[DowntimeInterval]>,
-        config: StudyConfig,
-    ) -> (StudyResults, ExtractStats) {
-        PipelineBuilder::new(config)
-            .maybe_jobs(jobs)
-            .maybe_downtime(downtime)
-            .run_text(node_logs)
-    }
-
-    /// [`StudyResults::from_text_logs`] with an explicit chunk-size
-    /// target (bytes per Stage I work unit), for tests and benchmarks
-    /// that pin the decomposition. `None` sizes chunks to the worker
-    /// pool.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use PipelineBuilder::new(config).chunk_bytes(...).run_text(...)"
-    )]
-    pub fn from_text_logs_chunked(
-        node_logs: &[(NodeId, Vec<String>)],
-        jobs: Option<&[JobRecord]>,
-        downtime: Option<&[DowntimeInterval]>,
-        config: StudyConfig,
-        target_chunk_bytes: Option<u64>,
-    ) -> (StudyResults, ExtractStats) {
-        let mut b = PipelineBuilder::new(config)
-            .maybe_jobs(jobs)
-            .maybe_downtime(downtime);
-        if let Some(t) = target_chunk_bytes {
-            b = b.chunk_bytes(t);
-        }
-        b.run_text(node_logs)
-    }
-
-    /// The pre-optimization Stage I pipeline, kept as the differential
-    /// oracle and the benchmark "pre" engine: per-node extraction on the
-    /// baseline (per-call Pike VM) engine, concatenate, globally sort,
-    /// batch-coalesce. Record output is bit-identical to the sharded
-    /// engine; `syslog_lines` keeps the legacy heuristic definition (see
-    /// [`dr_logscan::BaselineExtractor`]).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use PipelineBuilder::new(config).engine(Stage1Engine::Baseline).run_text(...)"
-    )]
-    pub fn from_text_logs_baseline(
-        node_logs: &[(NodeId, Vec<String>)],
-        jobs: Option<&[JobRecord]>,
-        downtime: Option<&[DowntimeInterval]>,
-        config: StudyConfig,
-    ) -> (StudyResults, ExtractStats) {
-        PipelineBuilder::new(config)
-            .maybe_jobs(jobs)
-            .maybe_downtime(downtime)
-            .engine(Stage1Engine::Baseline)
-            .run_text(node_logs)
-    }
-
     /// Convenience: the Table 1 row for one XID.
     pub fn table1_row(&self, xid: dr_xid::Xid) -> Option<&Table1Row> {
         self.table1.iter().find(|r| r.xid == xid)
@@ -261,8 +197,8 @@ pub enum Stage1Engine {
 
 /// The single front door to the study pipeline.
 ///
-/// Collapses the old `from_text_logs` / `from_text_logs_chunked` /
-/// `from_text_logs_baseline` family behind named setters:
+/// Replaces the retired `from_text_logs` / `from_text_logs_chunked` /
+/// `from_text_logs_baseline` constructor family with named setters:
 ///
 /// ```
 /// use resilience_core::{PipelineBuilder, StudyConfig};
@@ -352,21 +288,51 @@ impl<'a> PipelineBuilder<'a> {
         }
     }
 
+    /// Run from any [`LogSource`] — the streaming front door. Stage I
+    /// pulls chunk waves from the source (peak resident text is
+    /// O(workers × chunk_bytes)), then the full analysis pipeline runs on
+    /// the extracted records. For a given corpus the results are
+    /// bit-identical to [`PipelineBuilder::run_text`] on the materialized
+    /// lines, at every chunk size and worker count.
+    ///
+    /// The [`Stage1Engine::Baseline`] oracle has no streaming form (it is
+    /// the pre-optimization batch pipeline, kept for differential
+    /// testing); under that engine the source is collected first.
+    pub fn run_source<'s>(
+        &self,
+        source: &mut dyn LogSource<'s>,
+    ) -> Result<(StudyResults, ExtractStats), DataError> {
+        match self.engine {
+            Stage1Engine::Sharded => {
+                let (coalesced, stats) = crate::shard::extract_and_coalesce_source_observed(
+                    source,
+                    self.config.coalesce,
+                    self.chunk_bytes,
+                    &self.metrics,
+                )?;
+                Ok((self.run_coalesced(coalesced), stats))
+            }
+            Stage1Engine::Baseline => {
+                let logs = crate::source::collect_source(source)?;
+                Ok(self.run_text(&logs))
+            }
+        }
+    }
+
     /// Run from per-node syslog text: Stage I on the configured engine,
     /// then the full analysis pipeline. Returns the results plus merged
-    /// extraction statistics.
+    /// extraction statistics. A thin [`InMemorySource`] adapter over
+    /// [`PipelineBuilder::run_source`].
     pub fn run_text(&self, node_logs: &[(NodeId, Vec<String>)]) -> (StudyResults, ExtractStats) {
         use dr_obs::{Counter, Stage};
         let sink = &self.metrics;
         match self.engine {
             Stage1Engine::Sharded => {
-                let (coalesced, stats) = crate::shard::extract_and_coalesce_observed(
-                    node_logs,
-                    self.config.coalesce,
-                    self.chunk_bytes,
-                    sink,
-                );
-                (self.run_coalesced(coalesced), stats)
+                let mut source = InMemorySource::new(node_logs);
+                match self.run_source(&mut source) {
+                    Ok(r) => r,
+                    Err(_) => unreachable!("in-memory sources are infallible"),
+                }
             }
             Stage1Engine::Baseline => {
                 let (records, stats) = {

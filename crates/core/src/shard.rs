@@ -36,11 +36,12 @@
 //! the same output, sorted by `(start, gpu, xid, detail)`.
 
 use crate::coalesce::{coalesce, CoalesceConfig, CoalescedError};
+use crate::source::{InMemorySource, LogChunk, LogSource};
 use crate::stream::StreamCoalescer;
 use dr_logscan::extract::scanner_update_month;
 use dr_logscan::{ExtractStats, XidExtractor};
 use dr_xid::record::sort_records;
-use dr_xid::{ErrorRecord, NodeId};
+use dr_xid::{DataError, ErrorRecord, NodeId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -153,6 +154,11 @@ fn default_target_bytes(total: u64) -> u64 {
     (total / (workers * 4).max(1)).clamp(64 * 1024, u64::MAX)
 }
 
+/// Chunk-size target when the source cannot report its total size
+/// (generative sources): large enough that per-chunk overhead vanishes,
+/// small enough that a wave stays comfortably resident.
+const DEFAULT_STREAM_TARGET: u64 = 256 * 1024;
+
 /// Sharded Stage I: extract every node's records with byte-balanced
 /// parallel chunks and replayed scanner state. Returns one time-ordered
 /// record stream per node (same order as `node_logs`) plus merged
@@ -174,71 +180,114 @@ pub fn extract_sharded_observed(
     target_bytes: Option<u64>,
     sink: &dr_obs::MetricsSink,
 ) -> (Vec<Vec<ErrorRecord>>, ExtractStats) {
-    use dr_obs::{Counter, Stage};
-    let chunks = {
-        let _span = sink.span(Stage::Shard, "total");
-        let total: u64 = node_logs
-            .iter()
-            .flat_map(|(_, lines)| lines.iter())
-            .map(|l| l.len() as u64 + 1)
-            .sum();
-        let target = target_bytes.unwrap_or_else(|| default_target_bytes(total));
-        let chunks = plan_chunks(node_logs, target);
-        sink.add(Stage::Shard, Counter::Bytes, total);
-        sink.add(Stage::Shard, Counter::Chunks, chunks.len() as u64);
-        chunks
-    };
-
-    let span = sink.span(Stage::Extract, "total");
-
-    // Phase 1 (parallel): per-chunk state summaries.
-    let summaries: Vec<Option<StateSummary>> = {
-        let _child = span.child("summarize");
-        dr_par::par_map(&chunks, |c| {
-            summarize_chunk(&node_logs[c.node].1[c.start..c.end])
-        })
-    };
-
-    // Phase 2 (serial, cheap): replay the incoming state of every chunk.
-    let work: Vec<(ChunkSpec, (i32, u8))> = {
-        let _child = span.child("prefix-fold");
-        let mut incoming: Vec<(i32, u8)> = Vec::with_capacity(chunks.len());
-        let mut per_node_state: Vec<(i32, u8)> = vec![(2022, 1); node_logs.len()];
-        for (c, summary) in chunks.iter().zip(&summaries) {
-            incoming.push(per_node_state[c.node]);
-            per_node_state[c.node] = apply_summary(per_node_state[c.node], *summary);
-        }
-        chunks.into_iter().zip(incoming).collect()
-    };
-
-    // Phase 3 (parallel): extract each chunk from its replayed state. The
-    // per-chunk observed wrapper records chunk spans, line/byte counters,
-    // and a MB/s histogram; with a disabled sink it is the plain
-    // `extract_all` call the pre-observability code made.
-    let extracted: Vec<(Vec<ErrorRecord>, ExtractStats)> = {
-        let _child = span.child("extract-chunks");
-        dr_par::par_map(&work, |(c, (year, last_month))| {
-            let mut ex = XidExtractor::with_scanner_state(*year, *last_month);
-            let recs = ex.extract_all_observed(
-                node_logs[c.node].1[c.start..c.end]
-                    .iter()
-                    .map(|s| s.as_str()),
-                sink,
-            );
-            (recs, ex.stats())
-        })
-    };
-
-    // Stitch chunks back into per-node streams (par_map preserves input
-    // order, and chunks are node-major and in-order within a node).
-    let mut per_node: Vec<Vec<ErrorRecord>> = Vec::new();
-    per_node.resize_with(node_logs.len(), Vec::new);
-    let mut stats = ExtractStats::default();
-    for ((c, _), (mut recs, s)) in work.iter().zip(extracted) {
-        per_node[c.node].append(&mut recs);
-        stats.merge(&s);
+    let mut source = InMemorySource::new(node_logs);
+    match extract_source_observed(&mut source, target_bytes, sink) {
+        Ok(r) => r,
+        Err(_) => unreachable!("in-memory sources are infallible"),
     }
-    (per_node, stats)
+}
+
+/// Streaming sharded Stage I over any [`LogSource`] with a disabled sink.
+pub fn extract_source<'s>(
+    source: &mut dyn LogSource<'s>,
+    target_bytes: Option<u64>,
+) -> Result<(Vec<Vec<ErrorRecord>>, ExtractStats), DataError> {
+    extract_source_observed(source, target_bytes, &dr_obs::MetricsSink::disabled())
+}
+
+/// The streaming heart of Stage I: pull line-aligned chunks from `source`
+/// one *wave* (≈ workers × target bytes) at a time, run the
+/// summarize → prefix-fold → extract phases on each wave, and drop the
+/// wave's text before pulling the next. Year-inference state composes
+/// exactly across chunk boundaries, so the wave structure is invisible in
+/// the output: records and stats are bit-identical to a serial per-node
+/// scan of the same lines, for any `target_bytes`, wave size, or worker
+/// count. Peak resident log text is one wave (recorded on the sink as the
+/// `peak_resident_bytes` gauge), which is what lets the analysis host
+/// stay at O(workers × chunk_bytes) on a 202 GB corpus.
+pub fn extract_source_observed<'s>(
+    source: &mut dyn LogSource<'s>,
+    target_bytes: Option<u64>,
+    sink: &dr_obs::MetricsSink,
+) -> Result<(Vec<Vec<ErrorRecord>>, ExtractStats), DataError> {
+    use dr_obs::{Counter, Stage};
+    let target = target_bytes
+        .or_else(|| source.total_bytes_hint().map(default_target_bytes))
+        .unwrap_or(DEFAULT_STREAM_TARGET)
+        .max(1);
+    let wave_budget = target.saturating_mul(dr_par::max_workers() as u64);
+
+    let n_nodes = source.nodes().len();
+    let mut per_node: Vec<Vec<ErrorRecord>> = Vec::new();
+    per_node.resize_with(n_nodes, Vec::new);
+    // Scanner state carried across waves, per node: (year, last month).
+    let mut per_node_state: Vec<(i32, u8)> = vec![(2022, 1); n_nodes];
+    let mut stats = ExtractStats::default();
+
+    loop {
+        // Pull one wave. This is the only place log text enters memory;
+        // the gauge records the high-water mark across waves.
+        let wave: Vec<LogChunk<'_>> = {
+            let _span = sink.span(Stage::Shard, "total");
+            let mut wave = Vec::new();
+            let mut bytes = 0u64;
+            while bytes < wave_budget {
+                let Some(chunk) = source.next_chunk(target)? else {
+                    break;
+                };
+                bytes += chunk.bytes;
+                wave.push(chunk);
+            }
+            sink.add(Stage::Shard, Counter::Bytes, bytes);
+            sink.add(Stage::Shard, Counter::Chunks, wave.len() as u64);
+            sink.gauge_max(Stage::Extract, "peak_resident_bytes", bytes as f64);
+            wave
+        };
+        if wave.is_empty() {
+            break;
+        }
+
+        let span = sink.span(Stage::Extract, "total");
+
+        // Phase 1 (parallel): per-chunk state summaries.
+        let summaries: Vec<Option<StateSummary>> = {
+            let _child = span.child("summarize");
+            dr_par::par_map(&wave, |c| summarize_chunk(&c.lines))
+        };
+
+        // Phase 2 (serial, cheap): replay the incoming state of every
+        // chunk, continuing from where the previous wave left each node.
+        let work: Vec<(&LogChunk<'_>, (i32, u8))> = {
+            let _child = span.child("prefix-fold");
+            let mut incoming: Vec<(i32, u8)> = Vec::with_capacity(wave.len());
+            for (c, summary) in wave.iter().zip(&summaries) {
+                incoming.push(per_node_state[c.node]);
+                per_node_state[c.node] = apply_summary(per_node_state[c.node], *summary);
+            }
+            wave.iter().zip(incoming).collect()
+        };
+
+        // Phase 3 (parallel): extract each chunk from its replayed state.
+        // The per-chunk observed wrapper records chunk spans, line/byte
+        // counters, and a MB/s histogram; with a disabled sink it is the
+        // plain `extract_all` call the pre-observability code made.
+        let extracted: Vec<(Vec<ErrorRecord>, ExtractStats)> = {
+            let _child = span.child("extract-chunks");
+            dr_par::par_map(&work, |(c, (year, last_month))| {
+                let mut ex = XidExtractor::with_scanner_state(*year, *last_month);
+                let recs = ex.extract_all_observed(c.lines.iter().map(|s| s.as_str()), sink);
+                (recs, ex.stats())
+            })
+        };
+
+        // Stitch the wave back into per-node streams (par_map preserves
+        // input order, and chunks are node-major and in-order per node).
+        for ((c, _), (mut recs, s)) in work.iter().zip(extracted) {
+            per_node[c.node].append(&mut recs);
+            stats.merge(&s);
+        }
+    }
+    Ok((per_node, stats))
 }
 
 /// Stage I/II handoff: k-way merge the per-node time-ordered streams into
@@ -328,6 +377,29 @@ pub fn extract_and_coalesce_observed(
 ) -> (Vec<CoalescedError>, ExtractStats) {
     let (per_node, stats) = extract_sharded_observed(node_logs, target_bytes, sink);
     (merge_and_coalesce_observed(per_node, cfg, sink), stats)
+}
+
+/// Streaming front half over any [`LogSource`]: wave-based sharded
+/// extraction, then the k-way merge into the streaming coalescer. Only
+/// records (not text) survive Stage I, so memory stays bounded by one
+/// wave of chunks however large the corpus.
+pub fn extract_and_coalesce_source<'s>(
+    source: &mut dyn LogSource<'s>,
+    cfg: CoalesceConfig,
+    target_bytes: Option<u64>,
+) -> Result<(Vec<CoalescedError>, ExtractStats), DataError> {
+    extract_and_coalesce_source_observed(source, cfg, target_bytes, &dr_obs::MetricsSink::disabled())
+}
+
+/// [`extract_and_coalesce_source`] with observability across both stages.
+pub fn extract_and_coalesce_source_observed<'s>(
+    source: &mut dyn LogSource<'s>,
+    cfg: CoalesceConfig,
+    target_bytes: Option<u64>,
+    sink: &dr_obs::MetricsSink,
+) -> Result<(Vec<CoalescedError>, ExtractStats), DataError> {
+    let (per_node, stats) = extract_source_observed(source, target_bytes, sink)?;
+    Ok((merge_and_coalesce_observed(per_node, cfg, sink), stats))
 }
 
 #[cfg(test)]

@@ -1,0 +1,382 @@
+//! Log ingestion behind one streaming abstraction.
+//!
+//! The paper's Stage I corpus is 202 GB of per-node syslog — far beyond
+//! what any analysis host should materialize. [`LogSource`] is the
+//! pipeline's ingestion seam: a pull-based iterator over per-node,
+//! line-boundary-aligned chunks of roughly `target_bytes` each, arriving
+//! node-major and in order within a node. The shard driver
+//! ([`crate::shard::extract_source_observed`]) pulls one *wave* of
+//! chunks per worker pool, extracts it, and drops the text before
+//! pulling the next — peak resident log text is O(workers ×
+//! target_bytes) regardless of corpus size.
+//!
+//! Three implementations cover every way the repo obtains logs:
+//!
+//! - [`InMemorySource`] — wraps an already-materialized
+//!   `&[(NodeId, Vec<String>)]`; chunk boundaries reproduce
+//!   [`crate::shard::plan_chunks`] exactly, so every existing in-memory
+//!   entry point is a thin adapter over the streaming path.
+//! - [`DirSource`] — buffered incremental reads of a log directory (one
+//!   `.log` file per node), replacing whole-file `read_to_string` in
+//!   `gpures analyze`.
+//! - [`GeneratorSource`] — pulls rendered lines straight out of a
+//!   campaign's lazy [`dr_faults::textgen`] streams, so
+//!   `gpures campaign` writes a corpus it never holds.
+//!
+//! All three yield identical line content for identical underlying data;
+//! the pipeline's results are bit-identical across sources, chunk sizes,
+//! and worker counts (tier-1 tested).
+
+use dr_faults::{CampaignOutput, NodeTextStream};
+use dr_xid::{DataError, NodeId};
+use std::borrow::Cow;
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+
+/// One unit of streamed log text: a run of consecutive lines from one
+/// node's log. `node` indexes the source's [`LogSource::nodes`] slice.
+#[derive(Clone, Debug)]
+pub struct LogChunk<'a> {
+    /// Index into [`LogSource::nodes`].
+    pub node: usize,
+    /// The chunk's lines (no trailing newlines).
+    pub lines: Cow<'a, [String]>,
+    /// Byte volume as counted on disk: line bytes plus one newline each.
+    pub bytes: u64,
+}
+
+/// A pull-based stream of per-node log text in line-aligned chunks.
+///
+/// Contract: chunks arrive node-major (all of node 0's chunks, then all
+/// of node 1's, …) and in line order within a node; every line of every
+/// node is yielded exactly once. `next_chunk` returns chunks of at least
+/// `target_bytes` (the final chunk of a node may be smaller, and chunks
+/// never split a line), then `None` when the source is exhausted.
+pub trait LogSource<'a> {
+    /// The node ids this source covers, in emission order. Nodes with no
+    /// lines are listed but yield no chunks.
+    fn nodes(&self) -> &[NodeId];
+
+    /// Pull the next chunk of roughly `target_bytes`, or `None` at end.
+    fn next_chunk(&mut self, target_bytes: u64) -> Result<Option<LogChunk<'a>>, DataError>;
+
+    /// Total corpus size in bytes when cheaply known (sizes chunks to the
+    /// worker pool); `None` for generative sources.
+    fn total_bytes_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// [`LogSource`] over an already-materialized corpus. Chunks borrow the
+/// underlying lines (no copy) and reproduce the boundaries
+/// [`crate::shard::plan_chunks`] would plan, making the streaming path a
+/// strict generalization of the in-memory one.
+pub struct InMemorySource<'a> {
+    logs: &'a [(NodeId, Vec<String>)],
+    nodes: Vec<NodeId>,
+    node: usize,
+    line: usize,
+}
+
+impl<'a> InMemorySource<'a> {
+    pub fn new(logs: &'a [(NodeId, Vec<String>)]) -> Self {
+        InMemorySource {
+            logs,
+            nodes: logs.iter().map(|(n, _)| *n).collect(),
+            node: 0,
+            line: 0,
+        }
+    }
+}
+
+impl<'a> LogSource<'a> for InMemorySource<'a> {
+    fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    fn next_chunk(&mut self, target_bytes: u64) -> Result<Option<LogChunk<'a>>, DataError> {
+        let target = target_bytes.max(1);
+        while self.node < self.logs.len() {
+            let lines = &self.logs[self.node].1;
+            if self.line >= lines.len() {
+                self.node += 1;
+                self.line = 0;
+                continue;
+            }
+            let start = self.line;
+            let mut acc = 0u64;
+            while self.line < lines.len() {
+                acc += lines[self.line].len() as u64 + 1;
+                self.line += 1;
+                if acc >= target {
+                    break;
+                }
+            }
+            return Ok(Some(LogChunk {
+                node: self.node,
+                lines: Cow::Borrowed(&lines[start..self.line]),
+                bytes: acc,
+            }));
+        }
+        Ok(None)
+    }
+
+    fn total_bytes_hint(&self) -> Option<u64> {
+        Some(
+            self.logs
+                .iter()
+                .flat_map(|(_, lines)| lines.iter())
+                .map(|l| l.len() as u64 + 1)
+                .sum(),
+        )
+    }
+}
+
+/// [`LogSource`] over a directory of per-node `.log` files (the layout
+/// `dr_report::files::write_node_logs` produces: `<host><id>.log`, one
+/// per node, sorted by path). Files are read incrementally through a
+/// `BufReader` — at no point is a whole file resident.
+pub struct DirSource {
+    nodes: Vec<NodeId>,
+    paths: Vec<PathBuf>,
+    cur: usize,
+    reader: Option<BufReader<File>>,
+    total_bytes: u64,
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> DataError {
+    DataError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    }
+}
+
+impl DirSource {
+    /// Open a log directory: every `*.log` file, sorted by path, node id
+    /// parsed from the digits of the file stem (`gpub017.log` → 17).
+    pub fn open(dir: &Path) -> Result<DirSource, DataError> {
+        let entries = std::fs::read_dir(dir).map_err(|e| io_err(dir, e))?;
+        let mut paths = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(dir, e))?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("log") {
+                paths.push(path);
+            }
+        }
+        paths.sort();
+        let mut nodes = Vec::with_capacity(paths.len());
+        let mut total_bytes = 0u64;
+        for path in &paths {
+            let stem = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or_default();
+            let id = stem
+                .trim_start_matches(|c: char| c.is_ascii_alphabetic())
+                .parse::<u32>()
+                .map_err(|e| DataError::Io {
+                    path: path.display().to_string(),
+                    message: format!("file name does not encode a node id: {e}"),
+                })?;
+            nodes.push(NodeId(id));
+            total_bytes += std::fs::metadata(path).map_err(|e| io_err(path, e))?.len();
+        }
+        Ok(DirSource {
+            nodes,
+            paths,
+            cur: 0,
+            reader: None,
+            total_bytes,
+        })
+    }
+}
+
+impl LogSource<'static> for DirSource {
+    fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    fn next_chunk(&mut self, target_bytes: u64) -> Result<Option<LogChunk<'static>>, DataError> {
+        let target = target_bytes.max(1);
+        while self.cur < self.paths.len() {
+            let path = &self.paths[self.cur];
+            if self.reader.is_none() {
+                let file = File::open(path).map_err(|e| io_err(path, e))?;
+                self.reader = Some(BufReader::new(file));
+            }
+            let Some(reader) = self.reader.as_mut() else {
+                continue;
+            };
+            let mut lines = Vec::new();
+            let mut acc = 0u64;
+            let mut eof = false;
+            while acc < target {
+                let mut buf = String::new();
+                let n = reader.read_line(&mut buf).map_err(|e| io_err(path, e))?;
+                if n == 0 {
+                    eof = true;
+                    break;
+                }
+                if buf.ends_with('\n') {
+                    buf.pop();
+                    if buf.ends_with('\r') {
+                        buf.pop();
+                    }
+                }
+                acc += buf.len() as u64 + 1;
+                lines.push(buf);
+            }
+            if eof {
+                self.reader = None;
+            }
+            if lines.is_empty() {
+                // Empty file (or a final read that hit EOF immediately):
+                // move on without emitting a zero-line chunk.
+                if eof {
+                    self.cur += 1;
+                }
+                continue;
+            }
+            let node = self.cur;
+            if eof {
+                self.cur += 1;
+            }
+            return Ok(Some(LogChunk {
+                node,
+                lines: Cow::Owned(lines),
+                bytes: acc,
+            }));
+        }
+        Ok(None)
+    }
+
+    fn total_bytes_hint(&self) -> Option<u64> {
+        Some(self.total_bytes)
+    }
+}
+
+/// [`LogSource`] that renders a campaign's syslog text on demand from
+/// its lazy [`dr_faults::textgen`] streams — the corpus never exists in
+/// memory. Pair with `CampaignConfig::defer_text` so the campaign skips
+/// eager rendering entirely.
+pub struct GeneratorSource<'a> {
+    nodes: Vec<NodeId>,
+    streams: Vec<NodeTextStream<'a>>,
+    cur: usize,
+}
+
+impl<'a> GeneratorSource<'a> {
+    /// Stream the text corpus of a finished campaign.
+    pub fn from_campaign(out: &'a CampaignOutput) -> Self {
+        let (nodes, streams) = out.text_streams().into_iter().unzip();
+        GeneratorSource {
+            nodes,
+            streams,
+            cur: 0,
+        }
+    }
+}
+
+impl<'a> LogSource<'static> for GeneratorSource<'a> {
+    fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    fn next_chunk(&mut self, target_bytes: u64) -> Result<Option<LogChunk<'static>>, DataError> {
+        let target = target_bytes.max(1);
+        while self.cur < self.streams.len() {
+            let stream = &mut self.streams[self.cur];
+            let mut lines = Vec::new();
+            let mut acc = 0u64;
+            while acc < target {
+                let Some(line) = stream.next() else { break };
+                acc += line.len() as u64 + 1;
+                lines.push(line);
+            }
+            if lines.is_empty() {
+                self.cur += 1;
+                continue;
+            }
+            return Ok(Some(LogChunk {
+                node: self.cur,
+                lines: Cow::Owned(lines),
+                bytes: acc,
+            }));
+        }
+        Ok(None)
+    }
+}
+
+/// Drain a source into the materialized `(node, lines)` form. Nodes that
+/// yielded no chunks still appear, with empty line vectors. This is the
+/// batch adapter for callers that genuinely need the whole corpus (the
+/// baseline differential oracle, tests).
+pub fn collect_source<'s>(
+    source: &mut dyn LogSource<'s>,
+) -> Result<Vec<(NodeId, Vec<String>)>, DataError> {
+    let mut out: Vec<(NodeId, Vec<String>)> =
+        source.nodes().iter().map(|&n| (n, Vec::new())).collect();
+    while let Some(chunk) = source.next_chunk(u64::MAX)? {
+        out[chunk.node].1.extend(chunk.lines.into_owned());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<(NodeId, Vec<String>)> {
+        vec![
+            (
+                NodeId(1),
+                vec!["alpha".to_string(), "bravo line".to_string(), "c".to_string()],
+            ),
+            (NodeId(2), Vec::new()),
+            (NodeId(5), vec!["delta".to_string(), "echo".to_string()]),
+        ]
+    }
+
+    #[test]
+    fn in_memory_chunks_match_plan_chunks_boundaries() {
+        let logs = corpus();
+        for target in [1u64, 7, 64, u64::MAX] {
+            let plan = crate::shard::plan_chunks(&logs, target);
+            let mut src = InMemorySource::new(&logs);
+            let mut got = Vec::new();
+            while let Some(c) = src.next_chunk(target).unwrap() {
+                got.push((c.node, c.lines.len(), c.bytes));
+            }
+            let want: Vec<_> = plan
+                .iter()
+                .map(|c| (c.node, c.end - c.start, c.bytes))
+                .collect();
+            assert_eq!(got, want, "target {target}");
+        }
+    }
+
+    #[test]
+    fn collect_round_trips_including_empty_nodes() {
+        let logs = corpus();
+        let mut src = InMemorySource::new(&logs);
+        assert_eq!(collect_source(&mut src).unwrap(), logs);
+    }
+
+    #[test]
+    fn chunks_are_node_major_and_line_exact() {
+        let logs = corpus();
+        let mut src = InMemorySource::new(&logs);
+        let mut last_node = 0usize;
+        let mut all: Vec<Vec<String>> = vec![Vec::new(); logs.len()];
+        while let Some(c) = src.next_chunk(6).unwrap() {
+            assert!(c.node >= last_node, "chunks must be node-major");
+            last_node = c.node;
+            all[c.node].extend(c.lines.iter().cloned());
+        }
+        for (i, (_, lines)) in logs.iter().enumerate() {
+            assert_eq!(&all[i], lines);
+        }
+    }
+}

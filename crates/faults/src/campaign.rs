@@ -26,7 +26,6 @@ use dr_gpu::device::Consequence;
 use dr_gpu::{Emission, Fault, Gpu, GpuArch, RasTuning};
 use dr_stats::dist::{coin, Sampler};
 use dr_stats::{Exp, LogNormal};
-use dr_xid::syslog::{format_line, format_noise_line};
 use dr_xid::{Duration, ErrorDetail, ErrorRecord, GpuId, NodeId, Timestamp, Xid};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -45,6 +44,10 @@ pub struct CampaignConfig {
     pub burst_gap_s: f64,
     /// How many nodes (lowest ids first) also produce full syslog text.
     pub text_nodes: usize,
+    /// When true, `CampaignOutput::text_logs` stays empty and callers
+    /// stream the corpus via [`CampaignOutput::text_streams`] instead of
+    /// holding the whole rendering in memory.
+    pub defer_text: bool,
     /// Unrelated syslog noise per text node per hour.
     pub noise_per_node_hour: f64,
     /// Probability that an uncontained-storm error state triggers an
@@ -67,6 +70,7 @@ impl CampaignConfig {
             rates: ClassRates::ampere_delta(),
             burst_gap_s: 4.5,
             text_nodes: 0,
+            defer_text: false,
             noise_per_node_hour: 1.0,
             p_storm_repair: 0.80,
             repair_median_h: 0.2,
@@ -137,8 +141,12 @@ pub struct CampaignOutput {
     pub events: Vec<ErrorEvent>,
     /// Repair windows.
     pub downtime: Vec<DowntimeInterval>,
-    /// Full syslog text for the configured node subset, per node, in order.
+    /// Full syslog text for the configured node subset, per node, in
+    /// order. Empty when the config set `defer_text` — stream via
+    /// [`CampaignOutput::text_streams`] instead.
     pub text_logs: Vec<(NodeId, Vec<String>)>,
+    /// The recipe that (re)generates the text corpus deterministically.
+    pub text: crate::textgen::TextSpec,
     /// The fleet in its end-of-campaign state.
     pub fleet: Fleet,
     /// Campaign duration.
@@ -156,6 +164,13 @@ impl CampaignOutput {
     /// Ground-truth episode count for one XID.
     pub fn event_count(&self, xid: Xid) -> usize {
         self.events.iter().filter(|e| e.xid == xid).count()
+    }
+
+    /// Lazy per-node syslog line streams for the text-node subset.
+    /// Draining them yields exactly `render_text_logs(&self.records,
+    /// &self.text)` — the streaming emission mode of the campaign.
+    pub fn text_streams(&self) -> Vec<(NodeId, crate::textgen::NodeTextStream<'_>)> {
+        crate::textgen::node_streams(&self.records, &self.text)
     }
 }
 
@@ -695,77 +710,36 @@ impl Campaign {
         self.events.sort_by_key(|e| (e.at, e.gpu));
         self.downtime.sort_by_key(|d| d.start);
 
-        let text_logs = self.render_text_logs();
-
-        CampaignOutput {
-            records: self.records,
-            events: self.events,
-            downtime: self.downtime,
-            text_logs,
-            fleet: self.fleet,
-            duration: Duration::from_micros(self.horizon),
-            offenders: self.offenders,
-        }
-    }
-
-    /// Render full syslog text for the configured node subset: NVRM lines
-    /// from the records plus Poisson background noise, per node, in order.
-    fn render_text_logs(&mut self) -> Vec<(NodeId, Vec<String>)> {
-        if self.cfg.text_nodes == 0 {
-            return Vec::new();
-        }
-        let selected: BTreeSet<NodeId> = self
+        let mut nodes: Vec<NodeId> = self
             .fleet
             .nodes()
             .iter()
             .take(self.cfg.text_nodes)
             .map(|n| n.id)
             .collect();
+        nodes.sort_unstable();
+        let text = crate::textgen::TextSpec {
+            nodes,
+            seed: self.cfg.seed,
+            noise_per_node_hour: self.cfg.noise_per_node_hour,
+            horizon: Duration::from_micros(self.horizon),
+        };
+        let text_logs = if self.cfg.defer_text {
+            Vec::new()
+        } else {
+            crate::textgen::render_text_logs(&self.records, &text)
+        };
 
-        let mut per_node: BTreeMap<NodeId, Vec<(Timestamp, String)>> = BTreeMap::new();
-        for rec in &self.records {
-            if selected.contains(&rec.gpu.node) {
-                let pid = if matches!(rec.xid, Xid::GraphicsEngineException) {
-                    self.rng.gen_range(1_000..60_000)
-                } else {
-                    0
-                };
-                per_node
-                    .entry(rec.gpu.node)
-                    .or_default()
-                    .push((rec.at, format_line(rec, pid)));
-            }
+        CampaignOutput {
+            records: self.records,
+            events: self.events,
+            downtime: self.downtime,
+            text_logs,
+            text,
+            fleet: self.fleet,
+            duration: Duration::from_micros(self.horizon),
+            offenders: self.offenders,
         }
-        // Background noise.
-        let rate = self.cfg.noise_per_node_hour;
-        if rate > 0.0 {
-            let exp = Exp::new(rate);
-            // BTreeSet iteration is ordered, so RNG consumption per node
-            // is independent of set internals.
-            for node in selected.iter().copied() {
-                let entry = per_node.entry(node).or_default();
-                let mut t = 0.0f64;
-                let horizon_h = Duration::from_micros(self.horizon).as_hours_f64();
-                loop {
-                    t += exp.sample(&mut self.rng);
-                    if t >= horizon_h {
-                        break;
-                    }
-                    let at = Timestamp::EPOCH + Duration::from_secs_f64(t * 3_600.0);
-                    entry.push((at, format_noise_line(at, node, self.rng.gen())));
-                }
-            }
-        }
-
-        let mut out: Vec<(NodeId, Vec<String>)> = per_node
-            .into_iter()
-            .map(|(node, mut lines)| {
-                lines.sort_by_key(|(at, _)| *at);
-                (node, lines.into_iter().map(|(_, l)| l).collect())
-            })
-            .collect();
-        out.sort_by_key(|(node, _)| *node);
-        out
     }
 }
 

@@ -25,6 +25,7 @@ pub mod offenders;
 pub mod persistence;
 pub mod rates;
 pub mod scenario;
+pub mod textgen;
 
 
 
@@ -33,4 +34,5 @@ pub use offenders::OffenderMix;
 pub use persistence::PersistenceModel;
 pub use scenario::{all_scenarios, Scenario};
 pub use rates::{ClassRates, ClassSpec, FaultClass};
+pub use textgen::{NodeTextStream, TextSpec};
 

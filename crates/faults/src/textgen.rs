@@ -1,0 +1,257 @@
+//! Streaming syslog text generation for the campaign's text-node subset.
+//!
+//! The campaign used to render the full per-node `Vec<String>` corpus in
+//! one shot at `finish()` time — the exact anti-pattern the paper's
+//! 202 GB Stage I corpus forbids. This module turns rendering into a
+//! *lazy per-node line stream*: [`NodeTextStream`] merges a node's
+//! recorded NVRM lines with its Poisson background noise on demand, one
+//! line at a time, so a consumer (the `GeneratorSource` in
+//! `resilience-core::source`, or a disk writer) never holds more than
+//! its own buffer of text.
+//!
+//! Determinism contract: every randomized choice (the pid on
+//! `GraphicsEngineException` lines, noise arrival gaps, noise payloads)
+//! comes from *per-node* RNG streams derived from the campaign seed via
+//! [`dr_des::RngStreams`]. Node streams are therefore independent — they
+//! can be drained in any order, partially, or twice, and always yield
+//! the same lines. Materializing every stream ([`render_text_logs`]) is
+//! bit-identical to streaming them, which is what makes the
+//! campaign→text→analysis path testable at both ends.
+//!
+//! Ordering matches the eager renderer it replaces: lines are emitted in
+//! timestamp order, with record lines winning ties against noise (the
+//! old stable sort pushed record lines first).
+
+use dr_des::RngStreams;
+use dr_stats::dist::Sampler;
+use dr_stats::Exp;
+use dr_xid::syslog::{format_line, format_noise_line};
+use dr_xid::{Duration, ErrorRecord, NodeId, Timestamp, Xid};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// RNG stream salt for per-node pid draws (`GraphicsEngineException`).
+const PID_SALT: u64 = 0x9e1d_70f3_51d5_a117;
+/// RNG stream salt for per-node background-noise draws.
+const NOISE_SALT: u64 = 0x2b4c_99e0_0d3e_b681;
+
+/// Everything needed to (re)generate the text corpus of a campaign:
+/// which nodes carry text, the master seed the per-node streams derive
+/// from, the background noise rate, and the campaign horizon.
+#[derive(Clone, Debug)]
+pub struct TextSpec {
+    /// Text-bearing nodes, sorted ascending.
+    pub nodes: Vec<NodeId>,
+    /// Campaign master seed; per-node streams derive from it.
+    pub seed: u64,
+    /// Unrelated syslog noise per node per hour.
+    pub noise_per_node_hour: f64,
+    /// Campaign duration (noise stops at the horizon).
+    pub horizon: Duration,
+}
+
+impl TextSpec {
+    /// A spec with no text nodes: renders nothing.
+    pub fn empty() -> Self {
+        TextSpec {
+            nodes: Vec::new(),
+            seed: 0,
+            noise_per_node_hour: 0.0,
+            horizon: Duration::from_micros(0),
+        }
+    }
+}
+
+/// Lazy line stream for one node: the node's time-sorted records merged
+/// with its Poisson noise process, yielded one rendered line at a time.
+pub struct NodeTextStream<'a> {
+    node: NodeId,
+    /// This node's records, in time order (borrowed from the campaign).
+    records: Vec<&'a ErrorRecord>,
+    next_rec: usize,
+    pid_rng: StdRng,
+    noise_rng: StdRng,
+    /// `None` once the noise process passed the horizon (or rate == 0).
+    noise_exp: Option<Exp>,
+    noise_t_h: f64,
+    horizon_h: f64,
+    pending_noise: Option<(Timestamp, String)>,
+}
+
+impl<'a> NodeTextStream<'a> {
+    fn new(node: NodeId, records: Vec<&'a ErrorRecord>, spec: &TextSpec) -> Self {
+        let streams = RngStreams::new(spec.seed);
+        let noise_exp = if spec.noise_per_node_hour > 0.0 {
+            Some(Exp::new(spec.noise_per_node_hour))
+        } else {
+            None
+        };
+        NodeTextStream {
+            node,
+            records,
+            next_rec: 0,
+            pid_rng: streams.stream2(PID_SALT, node.0 as u64),
+            noise_rng: streams.stream2(NOISE_SALT, node.0 as u64),
+            noise_exp,
+            noise_t_h: 0.0,
+            horizon_h: spec.horizon.as_hours_f64(),
+            pending_noise: None,
+        }
+    }
+
+    /// The node this stream renders.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Ensure `pending_noise` holds the next noise line, if any remain.
+    /// Gap and payload draws are interleaved per line exactly like the
+    /// eager renderer (sample gap, then payload byte).
+    fn refill_noise(&mut self) {
+        if self.pending_noise.is_some() {
+            return;
+        }
+        let Some(exp) = &self.noise_exp else { return };
+        self.noise_t_h += exp.sample(&mut self.noise_rng);
+        if self.noise_t_h >= self.horizon_h {
+            self.noise_exp = None;
+            return;
+        }
+        let at = Timestamp::EPOCH + Duration::from_secs_f64(self.noise_t_h * 3_600.0);
+        let line = format_noise_line(at, self.node, self.noise_rng.gen());
+        self.pending_noise = Some((at, line));
+    }
+
+    fn render_record(&mut self, rec: &ErrorRecord) -> String {
+        let pid = if matches!(rec.xid, Xid::GraphicsEngineException) {
+            self.pid_rng.gen_range(1_000..60_000)
+        } else {
+            0
+        };
+        format_line(rec, pid)
+    }
+}
+
+impl<'a> Iterator for NodeTextStream<'a> {
+    type Item = String;
+
+    fn next(&mut self) -> Option<String> {
+        self.refill_noise();
+        let rec_at = self.records.get(self.next_rec).map(|r| r.at);
+        match (rec_at, &self.pending_noise) {
+            // Noise goes first only when strictly earlier: on timestamp
+            // ties the record line wins, matching the old stable sort.
+            (Some(ra), Some((na, _))) if *na < ra => {
+                self.pending_noise.take().map(|(_, line)| line)
+            }
+            (Some(_), _) => {
+                let rec = self.records[self.next_rec];
+                self.next_rec += 1;
+                Some(self.render_record(rec))
+            }
+            (None, Some(_)) => self.pending_noise.take().map(|(_, line)| line),
+            (None, None) => None,
+        }
+    }
+}
+
+/// One [`NodeTextStream`] per spec node (ascending), each borrowing its
+/// slice of `records`. Nodes without records still get a (noise-only)
+/// stream so every selected node produces a log.
+pub fn node_streams<'a>(
+    records: &'a [ErrorRecord],
+    spec: &TextSpec,
+) -> Vec<(NodeId, NodeTextStream<'a>)> {
+    let mut buckets: Vec<Vec<&'a ErrorRecord>> = vec![Vec::new(); spec.nodes.len()];
+    for rec in records {
+        if let Ok(i) = spec.nodes.binary_search(&rec.gpu.node) {
+            buckets[i].push(rec);
+        }
+    }
+    spec.nodes
+        .iter()
+        .zip(buckets)
+        .map(|(&node, bucket)| (node, NodeTextStream::new(node, bucket, spec)))
+        .collect()
+}
+
+/// Materialize every node stream. Bit-identical to draining the streams
+/// chunk-wise (it *is* a drain), used by callers that still want the
+/// whole corpus in memory — tiny campaigns, tests.
+pub fn render_text_logs(records: &[ErrorRecord], spec: &TextSpec) -> Vec<(NodeId, Vec<String>)> {
+    node_streams(records, spec)
+        .into_iter()
+        .map(|(node, stream)| (node, stream.collect()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_xid::{ErrorDetail, GpuId, PciAddr};
+
+    fn spec(nodes: &[u32]) -> TextSpec {
+        TextSpec {
+            nodes: nodes.iter().map(|&n| NodeId(n)).collect(),
+            seed: 42,
+            noise_per_node_hour: 3.0,
+            horizon: Duration::from_secs_f64(48.0 * 3_600.0),
+        }
+    }
+
+    fn rec(node: u32, minute: u32) -> ErrorRecord {
+        ErrorRecord::new(
+            Timestamp::EPOCH + Duration::from_secs_f64(minute as f64 * 60.0),
+            GpuId::new(NodeId(node), PciAddr::new(0, 1, 0)),
+            Xid::GraphicsEngineException,
+            ErrorDetail::NONE,
+        )
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_order_independent() {
+        let records = vec![rec(1, 5), rec(2, 7), rec(1, 90)];
+        let s = spec(&[1, 2]);
+        let eager = render_text_logs(&records, &s);
+        // Drain node 2 first, then node 1: per-node RNG streams make the
+        // output independent of drain order.
+        let mut streams = node_streams(&records, &s);
+        let (n2, s2) = streams.pop().unwrap();
+        let (n1, s1) = streams.pop().unwrap();
+        let flipped = vec![(n1, s1.collect::<Vec<_>>()), (n2, s2.collect())];
+        assert_eq!(eager, flipped);
+        // And a second full render is bit-identical.
+        assert_eq!(eager, render_text_logs(&records, &s));
+    }
+
+    #[test]
+    fn lines_are_time_ordered_with_records_before_noise() {
+        let records = vec![rec(3, 1), rec(3, 2), rec(3, 3)];
+        let s = spec(&[3]);
+        let logs = render_text_logs(&records, &s);
+        assert_eq!(logs.len(), 1);
+        let lines = &logs[0].1;
+        // All three record lines present plus some noise.
+        let nvrm = lines.iter().filter(|l| l.contains("NVRM")).count();
+        assert_eq!(nvrm, 3);
+        assert!(lines.len() > 3, "noise at 3/h over 48h must appear");
+    }
+
+    #[test]
+    fn nodes_outside_the_spec_are_ignored() {
+        let records = vec![rec(9, 1)];
+        let s = spec(&[1]);
+        let logs = render_text_logs(&records, &s);
+        assert_eq!(logs.len(), 1);
+        assert!(logs[0].1.iter().all(|l| !l.contains("NVRM")));
+    }
+
+    #[test]
+    fn zero_noise_rate_yields_records_only() {
+        let records = vec![rec(1, 1), rec(1, 2)];
+        let mut s = spec(&[1]);
+        s.noise_per_node_hour = 0.0;
+        let logs = render_text_logs(&records, &s);
+        assert_eq!(logs[0].1.len(), 2);
+    }
+}

@@ -1,9 +1,10 @@
-//! The six repo-specific lint passes.
+//! The seven repo-specific lint passes.
 
 pub mod determinism;
 pub mod hotalloc;
 pub mod obsiso;
 pub mod panics;
+pub mod streamhygiene;
 pub mod taxonomy;
 pub mod units;
 
@@ -11,6 +12,7 @@ pub use determinism::DeterminismPass;
 pub use hotalloc::HotAllocPass;
 pub use obsiso::ObsIsolationPass;
 pub use panics::PanicPass;
+pub use streamhygiene::StreamHygienePass;
 pub use taxonomy::TaxonomyPass;
 pub use units::UnitsPass;
 
@@ -23,6 +25,7 @@ pub fn all() -> Vec<Box<dyn Pass>> {
         Box::new(HotAllocPass),
         Box::new(ObsIsolationPass),
         Box::new(PanicPass),
+        Box::new(StreamHygienePass),
         Box::new(TaxonomyPass),
         Box::new(UnitsPass),
     ]

@@ -159,6 +159,9 @@ struct Registry {
     counters: [[AtomicU64; Counter::ALL.len()]; Stage::ALL.len()],
     spans: Mutex<BTreeMap<(Stage, String), SpanAgg>>,
     hists: Mutex<BTreeMap<(Stage, String), LogHistogram>>,
+    /// High-water marks (e.g. peak resident bytes of a streaming wave):
+    /// `gauge_max` keeps the maximum ever reported per `(stage, name)`.
+    gauges: Mutex<BTreeMap<(Stage, String), f64>>,
 }
 
 impl Registry {
@@ -167,6 +170,7 @@ impl Registry {
             counters: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
             spans: Mutex::new(BTreeMap::new()),
             hists: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
         }
     }
 }
@@ -238,6 +242,22 @@ impl MetricsSink {
         }
     }
 
+    /// Report a high-water mark: the registry keeps the *maximum* value
+    /// ever reported under `(stage, name)`. Used for peak-resident-bytes
+    /// style measurements where the interesting number is the worst
+    /// moment, not a sum or a distribution.
+    pub fn gauge_max(&self, stage: Stage, name: &str, value: f64) {
+        if let Some(reg) = &self.reg {
+            let mut gauges = lock(&reg.gauges);
+            let slot = gauges
+                .entry((stage, name.to_string()))
+                .or_insert(f64::NEG_INFINITY);
+            if value > *slot {
+                *slot = value;
+            }
+        }
+    }
+
     /// Open a timed span; it records itself into the registry on drop.
     /// On a disabled sink the guard never reads the clock.
     pub fn span(&self, stage: Stage, name: &str) -> SpanGuard<'_> {
@@ -267,6 +287,7 @@ impl MetricsSink {
         let reg = self.reg.as_ref()?;
         let spans = lock(&reg.spans).clone();
         let hists = lock(&reg.hists).clone();
+        let gauges = lock(&reg.gauges).clone();
 
         let mut stages = Vec::new();
         for stage in Stage::ALL {
@@ -285,7 +306,16 @@ impl MetricsSink {
                 .filter(|((s, _), _)| *s == stage)
                 .map(|((_, n), h)| (n, h))
                 .collect();
-            if counters.is_empty() && stage_spans.is_empty() && stage_hists.is_empty() {
+            let stage_gauges: Vec<(&String, f64)> = gauges
+                .iter()
+                .filter(|((s, _), _)| *s == stage)
+                .map(|((_, n), &v)| (n, v))
+                .collect();
+            if counters.is_empty()
+                && stage_spans.is_empty()
+                && stage_hists.is_empty()
+                && stage_gauges.is_empty()
+            {
                 continue;
             }
 
@@ -331,6 +361,17 @@ impl MetricsSink {
                         fields.push(("rates", Json::Obj(rates)));
                     }
                 }
+            }
+            if !stage_gauges.is_empty() {
+                fields.push((
+                    "gauges",
+                    Json::Obj(
+                        stage_gauges
+                            .iter()
+                            .map(|&(n, v)| (n.clone(), Json::Num(v)))
+                            .collect(),
+                    ),
+                ));
             }
             if !stage_spans.is_empty() {
                 fields.push((
@@ -570,6 +611,28 @@ mod tests {
         );
         let h = hists[0].get("hist").expect("hist");
         assert_eq!(h.get("count").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn gauge_max_keeps_the_high_water_mark() {
+        let sink = MetricsSink::recording();
+        sink.gauge_max(Stage::Extract, "peak_resident_bytes", 1_024.0);
+        sink.gauge_max(Stage::Extract, "peak_resident_bytes", 4_096.0);
+        sink.gauge_max(Stage::Extract, "peak_resident_bytes", 2_048.0);
+        let doc = sink.export_json().expect("exports");
+        let stage = &doc.get("stages").and_then(Json::as_arr).expect("stages")[0];
+        let gauges = stage.get("gauges").expect("gauges");
+        assert_eq!(
+            gauges.get("peak_resident_bytes").and_then(Json::as_f64),
+            Some(4_096.0)
+        );
+    }
+
+    #[test]
+    fn gauges_on_a_disabled_sink_are_noops() {
+        let sink = MetricsSink::disabled();
+        sink.gauge_max(Stage::Extract, "peak_resident_bytes", 10.0);
+        assert!(sink.export_json().is_none());
     }
 
     #[test]

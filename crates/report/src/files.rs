@@ -8,8 +8,9 @@
 
 use dr_faults::DowntimeInterval;
 use dr_xid::{DataError, GpuId, NodeId, PciAddr, Timestamp, Xid};
+use resilience_core::source::{DirSource, LogSource};
 use std::fmt::Write as _;
-use std::io;
+use std::io::{BufWriter, Write as _};
 use std::path::Path;
 
 /// Downtime CSV header.
@@ -76,9 +77,31 @@ pub fn downtime_from_csv(text: &str) -> Result<Vec<DowntimeInterval>, DataError>
     Ok(out)
 }
 
+fn io_err(path: &Path, e: std::io::Error) -> DataError {
+    DataError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    }
+}
+
+/// What a streamed log-directory write produced.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LogWriteSummary {
+    /// Log files created (one per source node, including empty logs).
+    pub files: usize,
+    /// Total lines written.
+    pub lines: u64,
+    /// Total bytes written (lines plus newlines).
+    pub bytes: u64,
+}
+
+/// Pull target for the streaming writer: large enough to amortize write
+/// syscalls, small enough that peak resident text stays negligible.
+const WRITE_CHUNK_BYTES: u64 = 256 * 1024;
+
 /// Write per-node log files (`gpubNNN.log`) into `dir`.
-pub fn write_node_logs(dir: &Path, logs: &[(NodeId, Vec<String>)]) -> io::Result<()> {
-    std::fs::create_dir_all(dir)?;
+pub fn write_node_logs(dir: &Path, logs: &[(NodeId, Vec<String>)]) -> Result<(), DataError> {
+    std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
     for (node, lines) in logs {
         let path = dir.join(format!("{}.log", node.hostname()));
         let mut body = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
@@ -86,38 +109,70 @@ pub fn write_node_logs(dir: &Path, logs: &[(NodeId, Vec<String>)]) -> io::Result
             body.push_str(l);
             body.push('\n');
         }
-        std::fs::write(path, body)?;
+        std::fs::write(&path, body).map_err(|e| io_err(&path, e))?;
     }
     Ok(())
 }
 
-/// Read every `*.log` file in `dir` as one node's log, node id taken from
-/// the filename (`gpubNNN.log`); files sorted for determinism.
-pub fn read_node_logs(dir: &Path) -> io::Result<Vec<(NodeId, Vec<String>)>> {
-    let mut paths: Vec<_> = std::fs::read_dir(dir)?
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| p.extension().is_some_and(|x| x == "log"))
+/// Stream a [`LogSource`] into per-node log files without materializing
+/// any node's log: every node gets its file upfront (so empty logs still
+/// exist on disk), then chunks are appended as the source yields them.
+/// Peak resident text is one chunk.
+pub fn write_node_logs_source<'s>(
+    dir: &Path,
+    source: &mut dyn LogSource<'s>,
+) -> Result<LogWriteSummary, DataError> {
+    std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+    let paths: Vec<_> = source
+        .nodes()
+        .iter()
+        .map(|node| dir.join(format!("{}.log", node.hostname())))
         .collect();
-    paths.sort();
-    let mut out = Vec::with_capacity(paths.len());
-    for path in paths {
-        let stem = path
-            .file_stem()
-            .and_then(|s| s.to_str())
-            .unwrap_or_default();
-        let id: u32 = stem
-            .trim_start_matches(|c: char| c.is_ascii_alphabetic())
-            .parse()
-            .map_err(|_| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("cannot parse node id from {stem:?}"),
-                )
-            })?;
-        let body = std::fs::read_to_string(&path)?;
-        out.push((NodeId(id), body.lines().map(str::to_string).collect()));
+    for path in &paths {
+        std::fs::File::create(path).map_err(|e| io_err(path, e))?;
     }
-    Ok(out)
+    let mut summary = LogWriteSummary {
+        files: paths.len(),
+        ..LogWriteSummary::default()
+    };
+    // Chunks arrive node-major, so one open writer suffices; reopen (in
+    // append mode — the file already exists) only on node change.
+    let mut open: Option<(usize, BufWriter<std::fs::File>)> = None;
+    while let Some(chunk) = source.next_chunk(WRITE_CHUNK_BYTES)? {
+        let path = &paths[chunk.node];
+        let writer = match &mut open {
+            Some((node, w)) if *node == chunk.node => w,
+            _ => {
+                if let Some((prev, mut w)) = open.take() {
+                    w.flush().map_err(|e| io_err(&paths[prev], e))?;
+                }
+                let file = std::fs::OpenOptions::new()
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| io_err(path, e))?;
+                &mut open.insert((chunk.node, BufWriter::new(file))).1
+            }
+        };
+        for line in chunk.lines.iter() {
+            writer.write_all(line.as_bytes()).map_err(|e| io_err(path, e))?;
+            writer.write_all(b"\n").map_err(|e| io_err(path, e))?;
+        }
+        summary.lines += chunk.lines.len() as u64;
+        summary.bytes += chunk.bytes;
+    }
+    if let Some((node, mut w)) = open {
+        w.flush().map_err(|e| io_err(&paths[node], e))?;
+    }
+    Ok(summary)
+}
+
+/// Read every `*.log` file in `dir` as one node's log, node id taken from
+/// the filename (`gpubNNN.log`); files sorted for determinism. A batch
+/// adapter over [`DirSource`] — callers that can should stream via the
+/// source instead of materializing the corpus here.
+pub fn read_node_logs(dir: &Path) -> Result<Vec<(NodeId, Vec<String>)>, DataError> {
+    let mut source = DirSource::open(dir)?;
+    resilience_core::source::collect_source(&mut source)
 }
 
 #[cfg(test)]
@@ -156,5 +211,30 @@ mod tests {
         let back = read_node_logs(&dir).expect("read");
         std::fs::remove_dir_all(&dir).ok();
         assert_eq!(back, logs);
+    }
+
+    #[test]
+    fn streamed_write_matches_batch_write_including_empty_nodes() {
+        use resilience_core::source::InMemorySource;
+        let dir = std::env::temp_dir().join(format!("gpures-swrite-{}", std::process::id()));
+        let logs = vec![
+            (NodeId(3), vec!["line a".to_string(), "line b".to_string()]),
+            (NodeId(4), Vec::new()),
+            (NodeId(17), vec!["only".to_string()]),
+        ];
+        let mut src = InMemorySource::new(&logs);
+        let summary = write_node_logs_source(&dir, &mut src).expect("write");
+        assert_eq!(summary.files, 3, "empty nodes still get a file");
+        assert_eq!(summary.lines, 3);
+        let back = read_node_logs(&dir).expect("read");
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(back, logs, "stream-written corpus reads back identically");
+    }
+
+    #[test]
+    fn read_errors_name_the_offending_path() {
+        let dir = std::env::temp_dir().join(format!("gpures-noent-{}", std::process::id()));
+        let err = read_node_logs(&dir).expect_err("missing dir");
+        assert!(err.to_string().contains("gpures-noent"), "{err}");
     }
 }

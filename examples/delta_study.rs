@@ -21,7 +21,7 @@
 //! cargo run --release --example delta_study -- --outdir DIR  # CSV + DOT artifacts
 //! ```
 
-use gpu_resilience::core::{StudyConfig, StudyResults};
+use gpu_resilience::core::{PipelineBuilder, StudyConfig};
 use gpu_resilience::faults::{Campaign, CampaignConfig};
 use gpu_resilience::report::{self, ampere_comparison};
 use gpu_resilience::slurm::{apply_errors, DrainWindows, JobLoadConfig, MaskingModel, Scheduler};
@@ -92,12 +92,10 @@ fn main() {
 
     // ---- 4. The analysis pipeline -----------------------------------------
     let cfg = StudyConfig::ampere_study();
-    let results = StudyResults::from_records(
-        &out.records,
-        Some(&schedule.jobs),
-        Some(&out.downtime),
-        cfg,
-    );
+    let results = PipelineBuilder::new(cfg)
+        .jobs(&schedule.jobs)
+        .downtime(&out.downtime)
+        .run_records(&out.records);
     eprintln!(
         "[{:6.1?}] pipeline: {} coalesced errors",
         t0.elapsed(),

@@ -2,22 +2,28 @@
 //!
 //! ```text
 //! gpures campaign  --out DIR [--shape tiny|ampere|h100] [--days N] [--seed S] [--text-nodes N] [--metrics FILE]
-//! gpures analyze   --logs DIR [--jobs FILE] [--downtime FILE] [--nodes N] [--hours H] [--dt SECS] [--dot DIR] [--metrics FILE]
+//! gpures analyze   --logs DIR [--jobs FILE] [--downtime FILE] [--nodes N] [--hours H] [--dt SECS] [--chunk-bytes N] [--dot DIR] [--metrics FILE]
 //! gpures incidents
 //! gpures project   [--gpus N] [--recovery-min M] [--runs R]
 //! gpures monitor   [--log FILE] [--nodes N] [--every K]
 //! ```
 //!
 //! `campaign` materializes a synthetic study on disk: per-node syslog
-//! files, the job accounting table, and the repair intervals. `analyze`
-//! runs the full pipeline over *any* directory of per-node syslog files —
-//! synthetic or real — which is the adoption path for this library: point
-//! it at your cluster's logs. `--metrics FILE` attaches the write-only
-//! observability sink and exports per-stage spans, counters, and
+//! files, the job accounting table, and the repair intervals. The syslog
+//! text is *streamed* to disk straight from the campaign's generator —
+//! the corpus is never resident. `analyze` runs the full pipeline over
+//! *any* directory of per-node syslog files — synthetic or real — which
+//! is the adoption path for this library: point it at your cluster's
+//! logs. Ingestion streams through a `DirSource` in bounded chunk waves
+//! (`--chunk-bytes` pins the chunk size), so peak memory is independent
+//! of corpus size. `--metrics FILE` attaches the write-only
+//! observability sink and exports per-stage spans, counters, gauges, and
 //! throughput histograms as `gpures-metrics/v1` JSON (results are
 //! bit-identical with or without it).
 
-use gpu_resilience::core::{CoalesceConfig, PipelineBuilder, StudyConfig};
+use gpu_resilience::core::{
+    CoalesceConfig, DirSource, GeneratorSource, LogSource, PipelineBuilder, StudyConfig,
+};
 use gpu_resilience::faults::{all_scenarios, Campaign, CampaignConfig};
 use gpu_resilience::obs::MetricsSink;
 use gpu_resilience::report::{self, files, render_summary};
@@ -63,13 +69,14 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   gpures campaign  --out DIR [--shape tiny|ampere|h100] [--days N] [--seed S] [--text-nodes N] [--metrics FILE]
-  gpures analyze   --logs DIR [--jobs FILE] [--downtime FILE] [--nodes N] [--hours H] [--dt SECS] [--dot DIR] [--metrics FILE]
+  gpures analyze   --logs DIR [--jobs FILE] [--downtime FILE] [--nodes N] [--hours H] [--dt SECS] [--chunk-bytes N] [--dot DIR] [--metrics FILE]
   gpures incidents
   gpures project   [--gpus N] [--recovery-min M] [--runs R]
   gpures monitor   [--log FILE] [--nodes N] [--every K]   (FILE or stdin; live Table 1)
-  gpures bench     [--out DIR] [--smoke true]   (throughput + overhead -> BENCH_*.json)
+  gpures bench     [--out DIR] [--smoke true]   (throughput + overhead + streaming -> BENCH_*.json)
 
-  --metrics FILE exports per-stage spans/counters/histograms (gpures-metrics/v1 JSON)";
+  --metrics FILE exports per-stage spans/counters/gauges/histograms (gpures-metrics/v1 JSON)
+  --chunk-bytes N pins the streaming ingestion chunk size (default: sized to the worker pool)";
 
 /// `--key value` option bag with typed getters.
 struct Opts(BTreeMap<String, String>);
@@ -107,6 +114,27 @@ impl Opts {
     }
 }
 
+/// Wrap a filesystem error with the offending path, via the shared
+/// [`gpu_resilience::xid::DataError`] currency (so CLI messages read
+/// `path: reason` like every other ingest error).
+fn io_err(path: &Path, e: std::io::Error) -> String {
+    gpu_resilience::xid::DataError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    }
+    .to_string()
+}
+
+/// Read a small text artifact (CSV tables), error carrying the path.
+fn read_file(path: &Path) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| io_err(path, e))
+}
+
+/// Write a text artifact, error carrying the path.
+fn write_file(path: &Path, body: &str) -> Result<(), String> {
+    std::fs::write(path, body).map_err(|e| io_err(path, e))
+}
+
 fn cmd_campaign(opts: &Opts) -> Result<(), String> {
     let out_dir = opts.required_path("out")?;
     let seed: u64 = opts.num("seed", 42)?;
@@ -119,6 +147,8 @@ fn cmd_campaign(opts: &Opts) -> Result<(), String> {
     };
     cfg.duration_days = opts.num("days", cfg.duration_days)?;
     cfg.text_nodes = opts.num("text-nodes", cfg.text_nodes.max(4))?;
+    // The CLI streams text straight to disk; never materialize it.
+    cfg.defer_text = true;
 
     let metrics_path = opts.path("metrics");
     let sink = if metrics_path.is_some() {
@@ -153,19 +183,21 @@ fn cmd_campaign(opts: &Opts) -> Result<(), String> {
     apply_errors(&mut schedule.jobs, &out.events, &MaskingModel::default(), &mut rng);
 
     let log_dir = out_dir.join("logs");
-    files::write_node_logs(&log_dir, &out.text_logs).map_err(|e| e.to_string())?;
-    std::fs::write(out_dir.join("jobs.csv"), jobs_csv::to_csv(&schedule.jobs))
-        .map_err(|e| e.to_string())?;
-    std::fs::write(
-        out_dir.join("downtime.csv"),
-        files::downtime_to_csv(&out.downtime),
-    )
-    .map_err(|e| e.to_string())?;
+    let written = {
+        let mut text = GeneratorSource::from_campaign(&out);
+        files::write_node_logs_source(&log_dir, &mut text).map_err(|e| e.to_string())?
+    };
+    write_file(&out_dir.join("jobs.csv"), &jobs_csv::to_csv(&schedule.jobs))?;
+    write_file(
+        &out_dir.join("downtime.csv"),
+        &files::downtime_to_csv(&out.downtime),
+    )?;
 
-    let total_lines: usize = out.text_logs.iter().map(|(_, l)| l.len()).sum();
     println!(
-        "wrote {} node logs ({total_lines} lines), {} jobs, {} downtime intervals to {}",
-        out.text_logs.len(),
+        "wrote {} node logs ({} lines, {} bytes, streamed), {} jobs, {} downtime intervals to {}",
+        written.files,
+        written.lines,
+        written.bytes,
         schedule.jobs.len(),
         out.downtime.len(),
         out_dir.display()
@@ -195,30 +227,33 @@ fn write_metrics(path: Option<&Path>, sink: &MetricsSink) -> Result<(), String> 
 
 fn cmd_analyze(opts: &Opts) -> Result<(), String> {
     let log_dir = opts.required_path("logs")?;
-    let logs = files::read_node_logs(&log_dir).map_err(|e| e.to_string())?;
-    if logs.is_empty() {
+    // Streaming ingestion: the corpus is read incrementally in chunk
+    // waves, never materialized whole.
+    let mut source = DirSource::open(&log_dir).map_err(|e| e.to_string())?;
+    if source.nodes().is_empty() {
         return Err(format!("no .log files in {}", log_dir.display()));
     }
 
     let jobs = match opts.path("jobs") {
         None => None,
         Some(p) => {
-            let text = std::fs::read_to_string(&p).map_err(|e| e.to_string())?;
+            let text = read_file(&p)?;
             Some(jobs_csv::from_csv(&text).map_err(|e| e.to_string())?)
         }
     };
     let downtime = match opts.path("downtime") {
         None => None,
         Some(p) => {
-            let text = std::fs::read_to_string(&p).map_err(|e| e.to_string())?;
+            let text = read_file(&p)?;
             Some(files::downtime_from_csv(&text).map_err(|e| e.to_string())?)
         }
     };
 
-    let nodes: u32 = opts.num("nodes", logs.len() as u32)?;
+    let nodes: u32 = opts.num("nodes", source.nodes().len() as u32)?;
     let default_hours = 855.0 * 24.0;
     let hours: f64 = opts.num("hours", default_hours)?;
     let dt: u64 = opts.num("dt", 5)?;
+    let chunk_bytes: u64 = opts.num("chunk-bytes", 0)?;
 
     let cfg = StudyConfig {
         coalesce: CoalesceConfig::with_window_secs(dt),
@@ -234,15 +269,18 @@ fn cmd_analyze(opts: &Opts) -> Result<(), String> {
     };
 
     eprintln!(
-        "analyzing {} node logs ({} lines) ...",
-        logs.len(),
-        logs.iter().map(|(_, l)| l.len()).sum::<usize>()
+        "analyzing {} node logs ({} bytes, streamed) ...",
+        source.nodes().len(),
+        source.total_bytes_hint().unwrap_or(0)
     );
-    let (results, stats) = PipelineBuilder::new(cfg)
+    let mut builder = PipelineBuilder::new(cfg)
         .maybe_jobs(jobs.as_deref())
         .maybe_downtime(downtime.as_deref())
-        .metrics(sink.clone())
-        .run_text(&logs);
+        .metrics(sink.clone());
+    if chunk_bytes > 0 {
+        builder = builder.chunk_bytes(chunk_bytes);
+    }
+    let (results, stats) = builder.run_source(&mut source).map_err(|e| e.to_string())?;
     eprintln!(
         "extraction: {} lines, {} XID lines, {} unknown, {} malformed",
         stats.lines, stats.xid_lines, stats.unknown_xid, stats.malformed
@@ -442,11 +480,32 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
         .unwrap_or(0.0);
     println!("observability recording-sink overhead {pct:.2}%");
 
+    eprintln!("benchmarking streaming ingestion ...");
+    let stream_doc = gpu_resilience::bench::stream::stream_report(smoke)?;
+    let stream_path = out_dir.join("BENCH_stream.json");
+    std::fs::write(&stream_path, stream_doc.render()).map_err(|e| e.to_string())?;
+    if let Some(paths) = stream_doc.get("paths").and_then(|p| p.as_arr()) {
+        for p in paths {
+            let name = p.get("path").and_then(|v| v.as_str()).unwrap_or("?");
+            let peak = p
+                .get("peak_resident_bytes")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0);
+            let mb = p
+                .get("measurement")
+                .and_then(|m| m.get("mb_per_s"))
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0);
+            println!("{name:<12} {mb:>8.2} MB/s   peak resident {peak:>12.0} bytes");
+        }
+    }
+
     println!(
-        "wrote {}, {} and {}",
+        "wrote {}, {}, {} and {}",
         stage1_path.display(),
         pipe_path.display(),
-        obs_path.display()
+        obs_path.display(),
+        stream_path.display()
     );
     Ok(())
 }

@@ -2,8 +2,8 @@
 //! path on the shrunken corpus, its artifact schema, and — crucially —
 //! that the numbers it reports are attached to *correct* extractions: the
 //! record counts in `BENCH_stage1.json` and the coalesced counts in
-//! `BENCH_pipeline.json` must match an independent reference run through
-//! the non-fast-path pipeline.
+//! `BENCH_pipeline.json` / `BENCH_stream.json` must match an independent
+//! reference run through the non-fast-path pipeline.
 
 use gpu_resilience::bench::json::Json;
 use gpu_resilience::bench::stage1::{self, dense_workload, noisy_workload, Workload};
@@ -103,6 +103,39 @@ fn obs_overhead_report_cross_checks_outputs() {
 }
 
 #[test]
+fn stream_report_cross_checks_both_paths() {
+    let doc = gpu_resilience::bench::stream::stream_report(true).expect("smoke report builds");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("gpures-bench-stream/v1")
+    );
+    // Same smoke corpus as the pipeline report, through the batch route.
+    let w = noisy_workload(3, 400);
+    let mut records = reference_records(&w);
+    sort_records(&mut records);
+    let reference = coalesce(&records, CoalesceConfig::default()).len() as u64;
+    assert!(reference > 0);
+
+    let paths = doc.get("paths").and_then(Json::as_arr).expect("paths");
+    assert_eq!(paths.len(), 2, "in-memory + dir-stream");
+    for p in paths {
+        assert_eq!(
+            p.get("coalesced").and_then(Json::as_u64),
+            Some(reference),
+            "both ingestion paths must coalesce identically to the batch route"
+        );
+        assert!(
+            p.get("peak_resident_bytes")
+                .and_then(Json::as_f64)
+                .expect("peak gauge")
+                > 0.0
+        );
+        let m = p.get("measurement").expect("measurement present");
+        assert!(m.get("lines_per_s").and_then(Json::as_f64).expect("rate") > 0.0);
+    }
+}
+
+#[test]
 fn bench_cli_writes_parseable_artifacts() {
     let dir: PathBuf =
         std::env::temp_dir().join(format!("gpures-bench-smoke-{}", std::process::id()));
@@ -122,6 +155,7 @@ fn bench_cli_writes_parseable_artifacts() {
         ("BENCH_stage1.json", "gpures-bench-stage1/v1"),
         ("BENCH_pipeline.json", "gpures-bench-pipeline/v1"),
         ("BENCH_obs.json", "gpures-bench-obs/v1"),
+        ("BENCH_stream.json", "gpures-bench-stream/v1"),
     ] {
         let text = std::fs::read_to_string(dir.join(file)).expect(file);
         let doc = Json::parse(&text).expect("artifact parses");

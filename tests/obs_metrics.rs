@@ -1,7 +1,7 @@
 //! Observability contract: attaching a metrics sink must not perturb
 //! results by a single bit, the exported document must follow the
-//! `gpures-metrics/v1` schema, and the `PipelineBuilder` must reproduce
-//! every legacy entry point it deprecates.
+//! `gpures-metrics/v1` schema, and every `PipelineBuilder` entry point
+//! (`run_text`, `run_source` over each engine and chunking) must agree.
 
 use gpu_resilience::core::{PipelineBuilder, Stage1Engine, StudyConfig};
 use gpu_resilience::faults::{Campaign, CampaignConfig};
@@ -86,9 +86,8 @@ fn exported_metrics_follow_the_v1_schema() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn builder_reproduces_every_deprecated_entry_point() {
-    use gpu_resilience::core::StudyResults;
+fn run_source_agrees_with_run_text_across_engines_and_chunkings() {
+    use gpu_resilience::core::InMemorySource;
 
     let out = Campaign::run(CampaignConfig::tiny(654));
     let cfg = StudyConfig::ampere_study()
@@ -97,36 +96,28 @@ fn builder_reproduces_every_deprecated_entry_point() {
         .run(&out.fleet, &gpu_resilience::slurm::DrainWindows::default())
         .jobs;
 
-    let cases: Vec<(&str, (StudyResults, _), (StudyResults, _))> = vec![
+    let builders = [
         (
-            "from_text_logs",
-            StudyResults::from_text_logs(&out.text_logs, Some(&jobs), Some(&out.downtime), cfg),
-            PipelineBuilder::new(cfg)
-                .jobs(&jobs)
-                .downtime(&out.downtime)
-                .run_text(&out.text_logs),
+            "default",
+            PipelineBuilder::new(cfg).jobs(&jobs).downtime(&out.downtime),
         ),
+        ("chunked-4k", PipelineBuilder::new(cfg).chunk_bytes(4096)),
         (
-            "from_text_logs_chunked",
-            StudyResults::from_text_logs_chunked(&out.text_logs, None, None, cfg, Some(4096)),
-            PipelineBuilder::new(cfg)
-                .chunk_bytes(4096)
-                .run_text(&out.text_logs),
-        ),
-        (
-            "from_text_logs_baseline",
-            StudyResults::from_text_logs_baseline(&out.text_logs, None, None, cfg),
-            PipelineBuilder::new(cfg)
-                .engine(Stage1Engine::Baseline)
-                .run_text(&out.text_logs),
+            "baseline-engine",
+            PipelineBuilder::new(cfg).engine(Stage1Engine::Baseline),
         ),
     ];
-    for (name, (r_old, s_old), (r_new, s_new)) in cases {
-        assert_eq!(s_old, s_new, "{name}: stats diverge");
-        assert_eq!(r_old.coalesced, r_new.coalesced, "{name}: episodes diverge");
+    for (name, builder) in builders {
+        let (r_text, s_text) = builder.run_text(&out.text_logs);
+        let mut source = InMemorySource::new(&out.text_logs);
+        let (r_src, s_src) = builder
+            .run_source(&mut source)
+            .expect("in-memory source is infallible");
+        assert_eq!(s_text, s_src, "{name}: stats diverge");
+        assert_eq!(r_text.coalesced, r_src.coalesced, "{name}: episodes diverge");
         assert_eq!(
-            format!("{r_old:?}"),
-            format!("{r_new:?}"),
+            format!("{r_text:?}"),
+            format!("{r_src:?}"),
             "{name}: results diverge"
         );
     }
