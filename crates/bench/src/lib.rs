@@ -15,7 +15,10 @@
 //! [`stream`] measures bounded-memory streaming ingestion, producing
 //! `BENCH_stream.json` with in-memory vs `DirSource` throughput and
 //! peak resident chunk bytes.
+//! [`lint`] times the dr-lint symbol-graph analysis itself, producing
+//! `BENCH_lint.json` with the graph scale and findings-by-pass counts.
 
+pub mod lint;
 pub mod obs;
 pub mod stage1;
 pub mod stream;

@@ -1,0 +1,93 @@
+//! The tracked static-analysis benchmark behind `gpures bench`
+//! (`BENCH_lint.json`).
+//!
+//! dr-lint v2 lexes the whole workspace, parses items, builds the
+//! symbol graph, and runs three interprocedural passes on every
+//! `cargo test` — that only stays viable while the full analysis
+//! remains decisively sub-second. This benchmark times the complete
+//! `run_on` pipeline over the real tree against the committed baseline
+//! and reports the graph scale (files, symbols, call edges) plus a
+//! findings-by-pass breakdown, so a blowup in any layer shows up in
+//! the tracked artifact rather than as a mysteriously slow test suite.
+
+use crate::json::Json;
+use dr_lint::{load_workspace, passes, run_on, Baseline};
+use dr_obs::clock::Stopwatch;
+use std::path::Path;
+
+/// The `BENCH_lint.json` document. `smoke` drops the timing floor to a
+/// single rep; the analysis itself is identical, so graph scale and
+/// findings are real even in smoke mode.
+pub fn lint_report(smoke: bool, root: &Path) -> Result<Json, String> {
+    let min_wall_s = if smoke { 0.0 } else { 0.5 };
+
+    let watch = Stopwatch::start();
+    let ws = load_workspace(root)?;
+    let load_s = watch.elapsed_s();
+    if ws.files.is_empty() {
+        return Err(format!(
+            "no .rs files under {} — wrong root for the lint bench?",
+            root.display()
+        ));
+    }
+
+    let baseline_path = root.join("dr-lint.baseline");
+    let baseline = if baseline_path.is_file() {
+        Baseline::load(&baseline_path)?
+    } else {
+        Baseline::default()
+    };
+
+    let mut total = 0.0f64;
+    let mut reps = 0u32;
+    let report = loop {
+        let watch = Stopwatch::start();
+        let report = run_on(&ws, &baseline);
+        total += watch.elapsed_s();
+        reps += 1;
+        if total >= min_wall_s {
+            break report;
+        }
+    };
+    let wall_s = total / reps as f64;
+
+    // Findings per pass, before baseline suppression, zero-filled so
+    // the artifact names every registered pass.
+    let by_pass: Vec<(&'static str, Json)> = passes::all()
+        .iter()
+        .map(|p| {
+            let id = p.id();
+            let n: usize = report
+                .groups
+                .iter()
+                .filter(|((lint, _), _)| lint == id)
+                .map(|(_, c)| *c)
+                .sum();
+            (id, Json::Num(n as f64))
+        })
+        .collect();
+
+    Ok(Json::obj(vec![
+        ("schema", Json::Str("gpures-bench-lint/v1".to_string())),
+        ("smoke", Json::Bool(smoke)),
+        ("files", Json::Num(report.files as f64)),
+        ("symbols", Json::Num(report.symbols as f64)),
+        ("call_edges", Json::Num(report.call_edges as f64)),
+        ("load_s", Json::Num((load_s * 1e6).round() / 1e6)),
+        ("wall_s", Json::Num((wall_s * 1e6).round() / 1e6)),
+        ("reps", Json::Num(reps as f64)),
+        ("active_findings", Json::Num(report.active.len() as f64)),
+        ("findings_by_pass", Json::obj(by_pass)),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_root_is_an_error_not_a_panic() {
+        let r = lint_report(true, Path::new("/nonexistent/lint-bench-root"));
+        assert!(r.is_err());
+    }
+}

@@ -241,7 +241,7 @@ pub fn table3(jobs: &[JobRecord]) -> Vec<Table3Row> {
                     non_ml_h += j.gpu_hours();
                 }
             }
-            elapsed.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            elapsed.sort_by(f64::total_cmp);
             let count = elapsed.len() as u64;
             let mean = if count > 0 {
                 elapsed.iter().sum::<f64>() / count as f64

@@ -319,7 +319,13 @@ pub fn collect_source<'s>(
     let mut out: Vec<(NodeId, Vec<String>)> =
         source.nodes().iter().map(|&n| (n, Vec::new())).collect();
     while let Some(chunk) = source.next_chunk(u64::MAX)? {
-        out[chunk.node].1.extend(chunk.lines.into_owned());
+        let Some(slot) = out.get_mut(chunk.node) else {
+            return Err(DataError::Io {
+                path: format!("<stream node #{}>", chunk.node),
+                message: "chunk node index out of range for the source's node list".to_string(),
+            });
+        };
+        slot.1.extend(chunk.lines.into_owned());
     }
     Ok(out)
 }

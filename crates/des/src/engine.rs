@@ -90,11 +90,14 @@ impl<E> Engine<E> {
     {
         let start_processed = self.processed;
         let mut stopped = false;
-        while let Some(t) = self.queue.peek_time() {
-            if t > horizon {
-                break;
+        loop {
+            match self.queue.peek_time() {
+                Some(t) if t <= horizon => {}
+                _ => break,
             }
-            let (t, payload) = self.queue.pop().expect("peeked event exists");
+            let Some((t, payload)) = self.queue.pop() else {
+                break;
+            };
             debug_assert!(t >= self.now, "time must not run backwards");
             self.now = t;
             let mut sched = Scheduler {

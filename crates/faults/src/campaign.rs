@@ -779,8 +779,12 @@ fn designate_offenders(
         let id = mem_pool[(i * 97) % mem_pool.len()];
         if !zero_spare.contains(&id) {
             zero_spare.push(id);
-            let arch = fleet.gpu(id).expect("exists").arch();
-            *fleet.gpu_mut(id).expect("exists") = Gpu::defective(id, arch, cfg.tuning, 0);
+            let Some(arch) = fleet.gpu(id).map(|g| g.arch()) else {
+                continue;
+            };
+            if let Some(g) = fleet.gpu_mut(id) {
+                *g = Gpu::defective(id, arch, cfg.tuning, 0);
+            }
         }
     }
 

@@ -1,0 +1,525 @@
+//! A lightweight item parser on top of the hand-rolled lexer.
+//!
+//! Extracts the structure the interprocedural passes need — `fn` items
+//! with their body token ranges, `impl`/`trait` ownership, inline `mod`
+//! nesting, and `use` declarations — without `syn` (the build
+//! environment may be offline). The parser is deliberately
+//! approximate: it tracks brace nesting over the comment-free token
+//! stream and recognizes item keywords, which is enough to attribute
+//! every function body to a (owner, name) pair and every `use` edge to
+//! its file. Constructs it cannot model precisely (const-generic brace
+//! expressions in signatures, `macro_rules!` bodies) degrade into
+//! harmless over-approximation: extra phantom symbols, never lost
+//! bodies.
+
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// One parsed `fn` item.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Bare function name (`run_source`).
+    pub name: String,
+    /// Enclosing `impl` target or `trait` name, when any
+    /// (`PipelineBuilder` for `impl PipelineBuilder { fn run_source … }`).
+    pub owner: Option<String>,
+    /// Inline `mod` path within the file (empty at file scope).
+    pub module: Vec<String>,
+    /// Token-index range of the whole item: `fn` keyword through the
+    /// closing `}` of the body (or the `;` of a bodyless declaration).
+    pub full: (usize, usize),
+    /// Token-index range of the body braces, inclusive; `None` for
+    /// bodyless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    pub line: u32,
+    /// Whether the item sits inside a `#[cfg(test)]` / `#[test]` region.
+    pub is_test: bool,
+    /// Whether the first parameter is (some form of) `self` — a `.name()`
+    /// method call can only resolve to such functions.
+    pub has_self: bool,
+}
+
+/// One `use` declaration (for the layer-DAG pass).
+#[derive(Clone, Debug)]
+pub struct UseItem {
+    /// First path segment (`dr_stats` in `use dr_stats::quantiles;`).
+    pub first_segment: String,
+    pub line: u32,
+    pub is_test: bool,
+}
+
+/// Everything extracted from one file.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedItems {
+    pub fns: Vec<FnItem>,
+    pub uses: Vec<UseItem>,
+    /// Declared type names (`struct`/`enum`/`trait` identifiers), for
+    /// symbol-table completeness and tests.
+    pub types: Vec<String>,
+}
+
+/// What an open brace on the scope stack means.
+#[derive(Clone, Debug)]
+enum Scope {
+    /// `impl Target { … }` or `trait Name { … }`.
+    Owner(String),
+    /// `mod name { … }`.
+    Module(String),
+    /// Any other brace: fn bodies, blocks, struct literals, matches.
+    Plain,
+}
+
+/// Parse the items of a lexed file.
+pub fn parse(file: &SourceFile) -> ParsedItems {
+    // Comment-free view; `sig[k]` maps back to a full-token index.
+    let sig: Vec<usize> = (0..file.tokens.len())
+        .filter(|&i| file.tokens[i].kind != TokenKind::Comment)
+        .collect();
+    let text = |k: usize| -> &str {
+        sig.get(k)
+            .map_or("", |&i| file.tokens[i].text(&file.text))
+    };
+    let kind = |k: usize| -> Option<TokenKind> { sig.get(k).map(|&i| file.tokens[i].kind) };
+
+    let mut out = ParsedItems::default();
+    let mut stack: Vec<Scope> = Vec::new();
+    // Item header seen at the current depth, waiting for its `{`.
+    let mut pending: Option<Scope> = None;
+    let mut k = 0;
+    while k < sig.len() {
+        match text(k) {
+            "fn" if kind(k + 1) == Some(TokenKind::Ident)
+                || kind(k + 1) == Some(TokenKind::RawIdent) =>
+            {
+                // `fn(u32) -> u32` function-pointer types fail the
+                // ident-follows guard and fall through to the skip arm.
+                let (item, next) = parse_fn(file, &sig, k, &stack);
+                // `next` sits just past the body `{` (so nested items are
+                // still visited) — account for that brace here or the
+                // body's `}` would pop the enclosing impl/mod scope.
+                let opened_body = item.body.is_some();
+                out.fns.push(item);
+                if opened_body {
+                    stack.push(Scope::Plain);
+                }
+                k = next;
+                continue;
+            }
+            "use" => {
+                let (item, next) = parse_use(file, &sig, k);
+                if let Some(u) = item {
+                    out.uses.push(u);
+                }
+                k = next;
+                continue;
+            }
+            "mod" if kind(k + 1) == Some(TokenKind::Ident) => {
+                // Inline `mod name {` opens a module scope; `mod name;`
+                // is a file reference and opens nothing.
+                if text(k + 2) == "{" {
+                    pending = Some(Scope::Module(text(k + 1).to_string()));
+                }
+                k += 2;
+                continue;
+            }
+            "struct" | "enum" | "union" if kind(k + 1) == Some(TokenKind::Ident) => {
+                out.types.push(text(k + 1).to_string());
+                k += 2;
+                continue;
+            }
+            "trait" if kind(k + 1) == Some(TokenKind::Ident) => {
+                out.types.push(text(k + 1).to_string());
+                pending = Some(Scope::Owner(text(k + 1).to_string()));
+                k += 2;
+                continue;
+            }
+            "impl" => {
+                let (owner, next) = parse_impl_header(&sig, file, k);
+                pending = Some(match owner {
+                    Some(o) => Scope::Owner(o),
+                    None => Scope::Plain,
+                });
+                k = next;
+                continue;
+            }
+            "{" => {
+                stack.push(pending.take().unwrap_or(Scope::Plain));
+            }
+            "}" => {
+                stack.pop();
+            }
+            ";" => {
+                // `impl Trait for Type;` / `mod x;` headers never open.
+                pending = None;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    out
+}
+
+/// Parse one `fn` item starting at the `fn` keyword (`sig[k]`).
+/// Returns the item and the comment-free index to resume at (just past
+/// the body `{` so nested items inside the body are still visited — the
+/// body extent is recorded on the item, not skipped).
+fn parse_fn(
+    file: &SourceFile,
+    sig: &[usize],
+    k: usize,
+    stack: &[Scope],
+) -> (FnItem, usize) {
+    let text = |j: usize| -> &str {
+        sig.get(j)
+            .map_or("", |&i| file.tokens[i].text(&file.text))
+    };
+    let name = text(k + 1).trim_start_matches("r#").to_string();
+    let decl_tok = sig[k];
+    let line = file.tokens[decl_tok].line;
+
+    // Skip the generic parameter list, if any, so a `Fn(…)` bound is
+    // not mistaken for the parameter parens. `->`/`=>` guard: their `>`
+    // never closes an angle level.
+    let mut j = k + 2;
+    if text(j) == "<" {
+        let mut angle = 0i32;
+        while j < sig.len() {
+            match text(j) {
+                "<" => angle += 1,
+                ">" if text(j.wrapping_sub(1)) != "-" && text(j.wrapping_sub(1)) != "=" => {
+                    angle -= 1;
+                    if angle == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                "{" | ";" => break,
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    // The first parameter slot decides `has_self`: the tokens between
+    // the opening paren and the first `,` (or the closing paren) are
+    // some form of `self` when this is a method.
+    let has_self = text(j) == "("
+        && (j + 1..)
+            .take(4)
+            .take_while(|&p| p < sig.len() && text(p) != "," && text(p) != ")")
+            .any(|p| text(p) == "self");
+
+    // Scan the rest of the signature for the body `{` or terminating
+    // `;`. Braces cannot appear in a signature outside (paren/bracket)
+    // groups, so a flat depth counter suffices.
+    let mut depth = 0i32;
+    let mut body_open = None;
+    while j < sig.len() {
+        match text(j) {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth <= 0 => {
+                body_open = Some(j);
+                break;
+            }
+            ";" if depth <= 0 => break,
+            _ => {}
+        }
+        j += 1;
+    }
+
+    let owner = stack.iter().rev().find_map(|s| match s {
+        Scope::Owner(o) => Some(o.clone()),
+        _ => None,
+    });
+    let module: Vec<String> = stack
+        .iter()
+        .filter_map(|s| match s {
+            Scope::Module(m) => Some(m.clone()),
+            _ => None,
+        })
+        .collect();
+
+    let (body, full_end, resume) = match body_open {
+        Some(open) => {
+            let close = match_braces(file, sig, open);
+            ((Some((sig[open], sig[close.min(sig.len() - 1)]))), close, open + 1)
+        }
+        None => {
+            let end = j.min(sig.len() - 1);
+            (None, end, j + 1)
+        }
+    };
+
+    let item = FnItem {
+        name,
+        owner,
+        module,
+        full: (decl_tok, sig[full_end.min(sig.len() - 1)]),
+        body,
+        line,
+        is_test: file.in_test_region(decl_tok),
+        has_self,
+    };
+    (item, resume)
+}
+
+/// From the comment-free index of an opening `{`, return the index of
+/// its matching `}` (or the last token on unbalanced input).
+fn match_braces(file: &SourceFile, sig: &[usize], open: usize) -> usize {
+    let text = |j: usize| -> &str {
+        sig.get(j)
+            .map_or("", |&i| file.tokens[i].text(&file.text))
+    };
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < sig.len() {
+        match text(j) {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    sig.len().saturating_sub(1)
+}
+
+/// Parse `use path::to::thing;` starting at the `use` keyword. Returns
+/// the item (when a path segment exists) and the resume index past `;`.
+fn parse_use(file: &SourceFile, sig: &[usize], k: usize) -> (Option<UseItem>, usize) {
+    let text = |j: usize| -> &str {
+        sig.get(j)
+            .map_or("", |&i| file.tokens[i].text(&file.text))
+    };
+    let kind = |j: usize| -> Option<TokenKind> { sig.get(j).map(|&i| file.tokens[i].kind) };
+
+    // Skip a leading `::` (rare `use ::std::…` form).
+    let mut j = k + 1;
+    while text(j) == ":" {
+        j += 1;
+    }
+    let seg = match kind(j) {
+        Some(TokenKind::Ident) | Some(TokenKind::RawIdent) => {
+            Some(text(j).trim_start_matches("r#").to_string())
+        }
+        _ => None,
+    };
+    let line = file.tokens[sig[k]].line;
+    let is_test = file.in_test_region(sig[k]);
+    // Consume to the terminating `;` (brace groups may nest:
+    // `use a::{b, c::{d, e}};`).
+    let mut depth = 0i32;
+    while j < sig.len() {
+        match text(j) {
+            "{" => depth += 1,
+            "}" => depth -= 1,
+            ";" if depth <= 0 => {
+                j += 1;
+                break;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let item = seg.map(|first_segment| UseItem {
+        first_segment,
+        line,
+        is_test,
+    });
+    (item, j)
+}
+
+/// Extract the target type name from an `impl` header starting at the
+/// `impl` keyword: the last path segment of the implemented-for type
+/// (`Severity` in `impl fmt::Display for Severity`, `PipelineBuilder`
+/// in `impl<'a> PipelineBuilder<'a>`). Returns the name and the
+/// comment-free index of the opening `{` (or terminator).
+fn parse_impl_header(sig: &[usize], file: &SourceFile, k: usize) -> (Option<String>, usize) {
+    let text = |j: usize| -> &str {
+        sig.get(j)
+            .map_or("", |&i| file.tokens[i].text(&file.text))
+    };
+    let kind = |j: usize| -> Option<TokenKind> { sig.get(j).map(|&i| file.tokens[i].kind) };
+
+    let mut j = k + 1;
+    // Skip the generic parameter list `<…>` if present. Arrows (`->` in
+    // `Fn(…) -> T` bounds) must not close an angle level.
+    if text(j) == "<" {
+        let mut angle = 0i32;
+        while j < sig.len() {
+            match text(j) {
+                "<" => angle += 1,
+                ">" if text(j.wrapping_sub(1)) != "-" && text(j.wrapping_sub(1)) != "=" => {
+                    angle -= 1;
+                    if angle == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                "{" | ";" => break,
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+
+    // Walk the header up to `{`, remembering the last ident seen at
+    // angle-depth 0 in the current type position; a `for` resets it so
+    // the implemented-for type wins over the trait name.
+    let mut angle = 0i32;
+    let mut last_ident: Option<String> = None;
+    while j < sig.len() {
+        match text(j) {
+            "<" => angle += 1,
+            ">" if text(j.wrapping_sub(1)) != "-" && text(j.wrapping_sub(1)) != "=" => {
+                angle -= 1
+            }
+            "{" if angle <= 0 => return (last_ident, j),
+            ";" if angle <= 0 => return (last_ident, j),
+            "for" if angle <= 0 => last_ident = None,
+            "where" if angle <= 0 => {
+                // The target is fixed by now; scan on for the `{`.
+                while j < sig.len() && text(j) != "{" {
+                    j += 1;
+                }
+                return (last_ident, j);
+            }
+            t => {
+                if angle <= 0
+                    && matches!(kind(j), Some(TokenKind::Ident) | Some(TokenKind::RawIdent))
+                    && !matches!(t, "dyn" | "mut" | "const" | "unsafe" | "impl")
+                {
+                    last_ident = Some(t.trim_start_matches("r#").to_string());
+                }
+            }
+        }
+        j += 1;
+    }
+    (last_ident, j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_src(src: &str) -> ParsedItems {
+        parse(&SourceFile::new("crates/demo/src/lib.rs", src))
+    }
+
+    #[test]
+    fn free_fn_and_body_range() {
+        let src = "fn alpha(x: u32) -> u32 { x + 1 }\nfn beta() {}\n";
+        let p = parse_src(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].name, "alpha");
+        assert!(p.fns[0].owner.is_none());
+        assert!(p.fns[0].body.is_some());
+        assert_eq!(p.fns[1].name, "beta");
+    }
+
+    #[test]
+    fn impl_methods_get_their_owner() {
+        let src = "struct Engine;\nimpl Engine {\n    fn start(&self) { self.step(); }\n    fn step(&self) {}\n}\n";
+        let p = parse_src(src);
+        assert_eq!(p.types, ["Engine"]);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].owner.as_deref(), Some("Engine"));
+        assert_eq!(p.fns[1].owner.as_deref(), Some("Engine"));
+    }
+
+    #[test]
+    fn trait_impl_owner_is_the_target_type() {
+        let src = "impl fmt::Display for Severity { fn fmt(&self, f: &mut F) -> R { todo() } }";
+        let p = parse_src(src);
+        assert_eq!(p.fns[0].owner.as_deref(), Some("Severity"));
+    }
+
+    #[test]
+    fn generics_and_where_clauses_do_not_confuse_the_parser() {
+        let src = "impl<'a, T: Clone> Holder<'a, T> where T: Send {\n    fn get<U: Into<T>>(&self, u: U) -> T where U: Clone { convert(u) }\n}\n";
+        let p = parse_src(src);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "get");
+        assert_eq!(p.fns[0].owner.as_deref(), Some("Holder"));
+        assert!(p.fns[0].body.is_some());
+    }
+
+    #[test]
+    fn fn_bounds_in_generics_do_not_end_the_signature_early() {
+        let src = "fn apply<F: Fn(u32) -> u32>(f: F) -> u32 { f(1) }\nfn after() {}";
+        let p = parse_src(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[1].name, "after");
+    }
+
+    #[test]
+    fn nested_modules_are_tracked() {
+        let src = "mod outer {\n    mod inner {\n        fn deep() {}\n    }\n    fn shallow() {}\n}\n";
+        let p = parse_src(src);
+        let deep = p.fns.iter().find(|f| f.name == "deep").expect("deep");
+        assert_eq!(deep.module, ["outer", "inner"]);
+        let shallow = p.fns.iter().find(|f| f.name == "shallow").expect("shallow");
+        assert_eq!(shallow.module, ["outer"]);
+    }
+
+    #[test]
+    fn trait_decl_methods_with_and_without_bodies() {
+        let src = "trait Pass {\n    fn id(&self) -> &'static str;\n    fn run(&self) { self.id(); }\n}\n";
+        let p = parse_src(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].owner.as_deref(), Some("Pass"));
+        assert!(p.fns[0].body.is_none());
+        assert!(p.fns[1].body.is_some());
+    }
+
+    #[test]
+    fn closures_and_struct_literals_stay_inside_the_body() {
+        let src = "fn outer() -> Config {\n    let f = |x: u32| x + 1;\n    let c = Config { a: f(1), b: vec![2] };\n    c\n}\nfn next_item() {}\n";
+        let p = parse_src(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].name, "outer");
+        assert_eq!(p.fns[1].name, "next_item");
+        // The whole literal-bearing body belongs to `outer`.
+        let (lo, hi) = p.fns[0].body.expect("body");
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn function_pointer_types_are_not_items() {
+        let src = "fn takes(cb: fn(u32) -> u32) -> u32 { cb(2) }";
+        let p = parse_src(src);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "takes");
+    }
+
+    #[test]
+    fn use_items_record_first_segment_and_nesting() {
+        let src = "use dr_stats::{quantiles, mtbe::{self, Mtbe}};\nuse ::std::fmt;\npub use dr_xid::Xid;\nfn f() {}\n";
+        let p = parse_src(src);
+        let segs: Vec<&str> = p.uses.iter().map(|u| u.first_segment.as_str()).collect();
+        assert_eq!(segs, ["dr_stats", "std", "dr_xid"]);
+        assert_eq!(p.fns.len(), 1);
+    }
+
+    #[test]
+    fn test_region_fns_are_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn probe() { live(); }\n}\n";
+        let p = parse_src(src);
+        let live = p.fns.iter().find(|f| f.name == "live").expect("live");
+        let probe = p.fns.iter().find(|f| f.name == "probe").expect("probe");
+        assert!(!live.is_test);
+        assert!(probe.is_test);
+    }
+
+    #[test]
+    fn nested_fn_inside_body_is_still_a_symbol() {
+        let src = "fn outer() {\n    fn helper() {}\n    helper();\n}\n";
+        let p = parse_src(src);
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["outer", "helper"]);
+    }
+}

@@ -141,7 +141,30 @@ fn lex_char(c: &mut Cursor) {
     c.bump(); // opening quote
     if c.peek() == b'\\' {
         c.bump();
-        c.bump();
+        match c.peek() {
+            // `'\u{7D}'`: the braces live inside the literal and must not
+            // reach the token stream, or they would desynchronize the
+            // item parser's brace tracking.
+            b'u' => {
+                c.bump();
+                if c.peek() == b'{' {
+                    while !c.done() && c.peek() != b'}' {
+                        c.bump();
+                    }
+                    c.bump(); // closing '}'
+                }
+            }
+            // `'\x41'`: two hex digits after the x.
+            b'x' => {
+                c.bump();
+                for _ in 0..2 {
+                    if c.peek().is_ascii_hexdigit() {
+                        c.bump();
+                    }
+                }
+            }
+            _ => c.bump(),
+        }
     } else {
         c.bump();
     }
@@ -347,6 +370,72 @@ mod tests {
         let toks = lex("ab\n  cd");
         assert_eq!((toks[0].line, toks[0].col), (1, 1));
         assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    /// Net `{`/`}` balance over the Punct tokens — what the item parser
+    /// relies on for body extraction.
+    fn brace_balance(src: &str) -> i64 {
+        lex(src)
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct)
+            .map(|t| match t.text(src) {
+                "{" => 1,
+                "}" => -1,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    #[test]
+    fn unicode_char_escapes_do_not_leak_braces() {
+        // The braces of `\u{…}` belong to the literal; leaking them would
+        // desynchronize brace tracking.
+        assert_eq!(brace_balance(r"fn f() -> char { '\u{7D}' }"), 0);
+        assert_eq!(brace_balance(r"fn f() -> char { '\u{1F600}' }"), 0);
+        let ks = kinds(r"let c = '\u{41}'; let after = 1;");
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokenKind::Char).count(), 1);
+        assert!(ks.iter().any(|(k, s)| *k == TokenKind::Ident && s == "after"));
+    }
+
+    #[test]
+    fn hex_char_escapes_do_not_swallow_the_next_token() {
+        // `'\x41'` used to lex as quote + escape pair, leaving `1'` to
+        // eat whatever followed (a `}` or `;`).
+        assert_eq!(brace_balance(r"fn f() { let c = '\x41'; }"), 0);
+        let ks = kinds(r"let c = '\x7d'; next();");
+        assert!(ks.iter().any(|(k, s)| *k == TokenKind::Ident && s == "next"));
+    }
+
+    #[test]
+    fn raw_strings_with_braces_keep_brace_tracking_synchronized() {
+        assert_eq!(brace_balance(r####"fn f() { let s = r#"{{{"#; }"####), 0);
+        assert_eq!(brace_balance(r####"fn f() { let s = r##"}"# still open"##; }"####), 0);
+        // A raw string whose closer needs more hashes than an inner `"#`.
+        let src = r####"let s = r##"quote "# inside"##; let tail = 1;"####;
+        let ks = kinds(src);
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+        assert!(ks.iter().any(|(k, s)| *k == TokenKind::Ident && s == "tail"));
+    }
+
+    #[test]
+    fn nested_block_comments_with_braces_keep_balance() {
+        assert_eq!(brace_balance("fn f() { /* { /* {{ */ } */ }"), 0);
+        // `/*/` opens a nested comment (it is `/*` followed by `/`).
+        let ks = kinds("/* a /*/ b */ c */ fn live() {}");
+        assert_eq!(ks[0].0, TokenKind::Comment);
+        assert!(ks.iter().any(|(k, s)| *k == TokenKind::Ident && s == "live"));
+    }
+
+    #[test]
+    fn lifetimes_in_generics_do_not_open_char_literals() {
+        // If `'a` were lexed as an unterminated char, everything after it
+        // would shift and the `{` counts would break.
+        assert_eq!(brace_balance("impl<'a, 'b: 'a> Foo<'a> { fn g(&'a self) {} }"), 0);
+        let ks = kinds("fn f<'long_name>(x: &'long_name str) { body(); }");
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count(), 2);
+        assert!(ks.iter().any(|(k, s)| *k == TokenKind::Ident && s == "body"));
+        // Loop labels are lifetimes too, not chars.
+        assert_eq!(brace_balance("fn f() { 'outer: loop { break 'outer; } }"), 0);
     }
 
     #[test]

@@ -21,6 +21,8 @@
 
 pub mod baseline;
 pub mod diag;
+pub mod graph;
+pub mod items;
 pub mod lexer;
 pub mod passes;
 pub mod source;
@@ -28,17 +30,21 @@ pub mod walk;
 
 pub use baseline::{Baseline, OverBaseline};
 pub use diag::{Diagnostic, Severity};
+pub use graph::SymbolGraph;
 pub use source::{SourceFile, Workspace};
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 /// A lint pass. File passes implement `check_file`; cross-file passes
-/// (taxonomy) implement `check_workspace`.
+/// (taxonomy) implement `check_workspace`; interprocedural passes
+/// (panic-reachability, determinism-taint, layer-dag) implement
+/// `check_graph` against the symbol graph built once per run.
 pub trait Pass {
     fn id(&self) -> &'static str;
     fn check_file(&self, _file: &SourceFile, _out: &mut Vec<Diagnostic>) {}
     fn check_workspace(&self, _ws: &Workspace, _out: &mut Vec<Diagnostic>) {}
+    fn check_graph(&self, _ws: &Workspace, _graph: &SymbolGraph, _out: &mut Vec<Diagnostic>) {}
 }
 
 /// Where to lint and which debt ledger to honor.
@@ -64,6 +70,10 @@ pub struct Report {
     pub over: Vec<OverBaseline>,
     /// Files scanned.
     pub files: usize,
+    /// Function symbols in the workspace call graph.
+    pub symbols: usize,
+    /// Name-approximated call edges between them.
+    pub call_edges: usize,
     /// Current violation counts per (lint, path) — feed to
     /// [`Baseline::render`] for `--update-baseline`.
     pub groups: BTreeMap<(String, String), usize>,
@@ -89,11 +99,14 @@ impl Report {
             ));
         }
         out.push_str(&format!(
-            "dr-lint: {} finding(s) across {} files ({} baselined, {} allowed in-source)\n",
+            "dr-lint: {} finding(s) across {} files ({} baselined, {} allowed in-source); \
+             call graph: {} symbols, {} edges\n",
             self.active.len(),
             self.files,
             self.suppressed_baseline,
-            self.suppressed_allow
+            self.suppressed_allow,
+            self.symbols,
+            self.call_edges
         ));
         out
     }
@@ -122,12 +135,14 @@ pub fn run(cfg: &Config) -> Result<Report, String> {
 
 /// Lint an already-loaded workspace (also the unit-test entry point).
 pub fn run_on(ws: &Workspace, baseline: &Baseline) -> Report {
+    let graph = SymbolGraph::build(ws);
     let mut diags = Vec::new();
     for pass in passes::all() {
         for f in &ws.files {
             pass.check_file(f, &mut diags);
         }
         pass.check_workspace(ws, &mut diags);
+        pass.check_graph(ws, &graph, &mut diags);
     }
 
     let before = diags.len();
@@ -146,6 +161,8 @@ pub fn run_on(ws: &Workspace, baseline: &Baseline) -> Report {
         suppressed_allow,
         over: outcome.over,
         files: ws.files.len(),
+        symbols: graph.symbols.len(),
+        call_edges: graph.edge_count,
         groups,
     }
 }
@@ -163,7 +180,11 @@ mod tests {
                  pub fn lookup(m: &HashMap<u32, u32>, k: u32) -> u32 {\n\
                      m.get(&k).copied().unwrap()\n\
                  }\n\
-                 pub fn mtbe(observation: f64, elapsed_time: f64) -> f64 { observation + elapsed_time }\n",
+                 pub fn mtbe(observation: f64, elapsed_time: f64) -> f64 { observation + elapsed_time }\n\
+                 pub struct PipelineBuilder;\n\
+                 impl PipelineBuilder {\n\
+                     pub fn run_source(&self, m: &HashMap<u32, u32>) -> u32 { lookup(m, 1) }\n\
+                 }\n",
             ),
         ])
     }
@@ -172,13 +193,16 @@ mod tests {
     fn end_to_end_allow_baseline_and_active() {
         let report = run_on(&fixture_ws(), &Baseline::default());
         // Line 1 HashMap import is NOT allowed (comment is on line 2 and
-        // covers 2-3); line 3 HashMap is allowed; the unwrap and the
-        // unitless time param are active.
+        // covers 2-3); line 3 HashMap is allowed; the unwrap (reachable
+        // from the fixture entry point) and the unitless time param are
+        // active.
         let lints: Vec<&str> = report.active.iter().map(|d| d.lint).collect();
         assert!(lints.contains(&"determinism"), "{lints:?}");
-        assert!(lints.contains(&"panic-freedom"));
-        assert!(lints.contains(&"unit-hygiene"));
+        assert!(lints.contains(&"panic-reachability"), "{lints:?}");
+        assert!(lints.contains(&"unit-hygiene"), "{lints:?}");
         assert_eq!(report.suppressed_allow, 1);
+        assert!(report.symbols >= 3, "fixture has lookup, mtbe, run_source");
+        assert!(report.call_edges >= 1, "run_source → lookup");
 
         // Baseline all current groups: the run becomes clean.
         let ledger = Baseline::render(&report.groups);

@@ -1,0 +1,126 @@
+//! The layer-dag pass: `use` edges between workspace crates must stay
+//! inside the declared dependency DAG.
+//!
+//! The DAG itself lives in [`crate::graph::CRATES`] (mirroring the
+//! Cargo manifests, leaves first). Cargo already rejects undeclared
+//! dependencies at build time; what it cannot reject is a *declared*
+//! dependency that violates the intended layering — e.g. someone adding
+//! `dr-report` to `dr-stats`'s manifest to borrow a helper. This pass
+//! pins the layering in code, so widening it is a reviewed lint-table
+//! change rather than a quiet Cargo.toml edit. Test-region imports are
+//! exempt (dev-dependencies may reach across layers, e.g. dr-predict's
+//! test harness using dr-faults).
+
+use crate::diag::{Diagnostic, Severity};
+use crate::graph::{crate_of, SymbolGraph, CRATES};
+use crate::source::Workspace;
+use crate::Pass;
+
+pub struct LayerDagPass;
+
+pub const ID: &str = "layer-dag";
+
+impl Pass for LayerDagPass {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn check_graph(&self, _ws: &Workspace, g: &SymbolGraph, out: &mut Vec<Diagnostic>) {
+        for (path, u) in &g.uses {
+            let Some(from) = crate_of(path) else {
+                continue;
+            };
+            let Some(to) = CRATES.iter().position(|c| c.lib == u.first_segment) else {
+                continue; // std, external, or module-relative path
+            };
+            if to == from || CRATES[from].deps.contains(&to) {
+                continue;
+            }
+            out.push(Diagnostic {
+                lint: ID,
+                severity: Severity::Error,
+                path: path.clone(),
+                line: u.line,
+                col: 1,
+                message: format!(
+                    "`use {}` from `{}` violates the declared crate layer DAG; if the \
+                     layering should widen, change `CRATES` in crates/lint/src/graph.rs \
+                     alongside the manifest",
+                    u.first_segment, CRATES[from].lib
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::SymbolGraph;
+    use crate::source::{SourceFile, Workspace};
+
+    fn check(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let ws = Workspace::from_files(
+            files
+                .iter()
+                .map(|(p, s)| SourceFile::new(*p, *s))
+                .collect(),
+        );
+        let g = SymbolGraph::build(&ws);
+        let mut out = Vec::new();
+        LayerDagPass.check_graph(&ws, &g, &mut out);
+        out
+    }
+
+    #[test]
+    fn downward_use_edges_are_fine() {
+        assert!(check(&[(
+            "crates/report/src/lib.rs",
+            "use dr_stats::quantiles;\nuse resilience_core::StudyResults;\nuse std::fmt;\n"
+        )])
+        .is_empty());
+    }
+
+    #[test]
+    fn upward_use_edges_are_flagged() {
+        let d = check(&[("crates/stats/src/lib.rs", "use dr_report::figures;\n")]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].lint, ID);
+        assert!(d[0].message.contains("dr_report"));
+    }
+
+    #[test]
+    fn sideways_use_edges_are_flagged() {
+        // availsim and des are unrelated leaves.
+        let d = check(&[("crates/availsim/src/lib.rs", "use dr_des::Engine;\n")]);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn test_region_imports_are_exempt() {
+        // dr-predict dev-depends on dr-faults for its test harness.
+        assert!(check(&[(
+            "crates/predict/src/lib.rs",
+            "use dr_stats::quantiles;\n#[cfg(test)]\nmod tests {\n    use dr_faults::Campaign;\n}\n"
+        )])
+        .is_empty());
+    }
+
+    #[test]
+    fn the_root_package_may_use_everything() {
+        assert!(check(&[(
+            "src/bin/gpures.rs",
+            "use dr_report::paper;\nuse dr_lint::run;\nuse dr_predict::features;\n"
+        )])
+        .is_empty());
+    }
+
+    #[test]
+    fn non_workspace_uses_are_ignored() {
+        assert!(check(&[(
+            "crates/stats/src/lib.rs",
+            "use std::collections::BTreeMap;\nuse crate::quantile;\nuse super::histogram;\n"
+        )])
+        .is_empty());
+    }
+}

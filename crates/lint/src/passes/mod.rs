@@ -1,18 +1,22 @@
-//! The seven repo-specific lint passes.
+//! The repo-specific lint passes: six file-local, three interprocedural.
 
 pub mod determinism;
 pub mod hotalloc;
+pub mod layerdag;
 pub mod obsiso;
-pub mod panics;
+pub mod reach;
 pub mod streamhygiene;
+pub mod taint;
 pub mod taxonomy;
 pub mod units;
 
 pub use determinism::DeterminismPass;
 pub use hotalloc::HotAllocPass;
+pub use layerdag::LayerDagPass;
 pub use obsiso::ObsIsolationPass;
-pub use panics::PanicPass;
+pub use reach::ReachPass;
 pub use streamhygiene::StreamHygienePass;
+pub use taint::TaintPass;
 pub use taxonomy::TaxonomyPass;
 pub use units::UnitsPass;
 
@@ -23,10 +27,94 @@ pub fn all() -> Vec<Box<dyn Pass>> {
     vec![
         Box::new(DeterminismPass),
         Box::new(HotAllocPass),
+        Box::new(LayerDagPass),
         Box::new(ObsIsolationPass),
-        Box::new(PanicPass),
+        Box::new(ReachPass),
         Box::new(StreamHygienePass),
-        Box::new(TaxonomyPass),
+        Box::new(TaintPass),
         Box::new(UnitsPass),
+        Box::new(TaxonomyPass),
     ]
+}
+
+/// One-paragraph rationale per lint id, for `dr-lint --explain <id>`.
+pub fn explain(id: &str) -> Option<&'static str> {
+    Some(match id {
+        determinism::ID => {
+            "Forbids ambient randomness (`thread_rng`), wall-clock reads \
+             (`SystemTime::now`/`Instant::now` outside crates/obs/src/clock.rs), and \
+             `HashMap`/`HashSet` in library code. The repo's headline invariant is \
+             bit-reproducible campaigns under any thread count; these constructs break it \
+             silently. Waive order-free hash lookups with \
+             `// dr-lint: allow(determinism): <why order cannot matter>`."
+        }
+        reach::ID => {
+            "Interprocedural: computes the call-graph transitive closure from the pipeline \
+             entry points (PipelineBuilder::run_source, Campaign::run_observed, \
+             Scheduler::run_observed) and flags every reachable `.unwrap()`, `.expect(…)`, \
+             `panic!`-family macro, and indexing expression without a visible bounds guard. \
+             The graph over-approximates calls by name, so a clean run proves the closure \
+             panic-free. Legacy `allow(panic-freedom)` comments still waive findings."
+        }
+        taint::ID => {
+            "Interprocedural: seeds taint at functions reading ambient nondeterminism (wall \
+             clock, thread_rng, thread identity, hash-iteration order), propagates it from \
+             callee to caller along call edges, and flags tainted functions that touch \
+             `StudyResults`. dr-obs is a write-only sanitizer boundary: span instrumentation \
+             does not taint callers, but its read-back surface (export_json, elapsed_s, now, \
+             start) does."
+        }
+        layerdag::ID => {
+            "Interprocedural: workspace `use` edges must stay inside the crate layer DAG \
+             declared in crates/lint/src/graph.rs (CRATES, mirroring the Cargo manifests). \
+             Cargo rejects undeclared deps; this pass additionally makes *widening* the \
+             layering a reviewed change to the lint table. Test-region imports are exempt \
+             (dev-dependencies may reach across layers)."
+        }
+        obsiso::ID => {
+            "Observability must describe the run, never the results: outside crates/obs, \
+             crates/bench, and src/bin, code may not call the obs read-back surface \
+             (export_json, Stopwatch, clock::now). Keeps span timing from leaking into \
+             analysis numbers."
+        }
+        "hot-alloc" => {
+            "Flags per-record allocation patterns (format!/to_string/Vec::new in inner parse \
+             loops) on the streaming path, where they dominate 202-GB-scale extraction cost."
+        }
+        "stream-hygiene" => {
+            "Streaming sources must stay bounded-memory: no slurping whole files, no \
+             unbounded channel buffers on the campaign→extract→coalesce path."
+        }
+        "unit-hygiene" => {
+            "Time-valued parameters and fields must carry a unit suffix (_s, _ms, _h, \
+             _days): the paper's MTBE tables mix hour and day scales, and a bare `elapsed` \
+             has already caused one silent 3600x error class in review."
+        }
+        "xid-taxonomy" => {
+            "XID codes must be handled through dr-xid's taxonomy (one source of truth for \
+             the paper's studied-XID set), not ad-hoc integer literals scattered per crate."
+        }
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_pass_has_an_explanation() {
+        for pass in all() {
+            assert!(
+                explain(pass.id()).is_some(),
+                "pass `{}` has no --explain text",
+                pass.id()
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_ids_explain_to_none() {
+        assert!(explain("no-such-lint").is_none());
+    }
 }

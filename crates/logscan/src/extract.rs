@@ -451,10 +451,11 @@ impl BaselineExtractor {
         self.last_month = month;
         let at = dr_xid::Timestamp::from_civil(self.year, month, day, hour, minute, second)?;
         let body_start = m.group_span(7)?.0;
+        let body = line.get(body_start..)?;
         Some(SyslogLine {
             at,
             host: dr_xid::NodeId(host),
-            body: &line[body_start..],
+            body,
         })
     }
 

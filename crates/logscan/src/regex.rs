@@ -100,7 +100,9 @@ impl ClassBits {
         let mut bits = [0u64; 4];
         for b in 0..=255u8 {
             if set.matches(b) {
-                bits[(b >> 6) as usize] |= 1u64 << (b & 63);
+                if let Some(word) = bits.get_mut((b >> 6) as usize) {
+                    *word |= 1u64 << (b & 63);
+                }
             }
         }
         ClassBits(bits)
@@ -833,7 +835,9 @@ impl SlotPool {
 
     #[inline]
     fn retain(&mut self, id: u32) {
-        self.refs[id as usize] += 1;
+        if let Some(r) = self.refs.get_mut(id as usize) {
+            *r += 1;
+        }
     }
 
     #[inline]
@@ -875,13 +879,17 @@ impl SlotPool {
 
     #[inline]
     fn get(&self, id: u32, slot: usize) -> Option<usize> {
-        self.data[id as usize * self.width + slot]
+        self.data.get(id as usize * self.width + slot).copied().flatten()
     }
 
     /// Copy a slot set out of the pool (used once per successful find).
     fn snapshot(&self, id: u32) -> Slots {
         let base = id as usize * self.width;
-        self.data[base..base + self.width].to_vec().into_boxed_slice()
+        self.data
+            .get(base..base + self.width)
+            .unwrap_or(&[])
+            .to_vec()
+            .into_boxed_slice()
     }
 }
 
@@ -991,7 +999,7 @@ impl Match {
 
     /// Text of capture group `i` within `haystack`.
     pub fn group<'h>(&self, haystack: &'h str, i: usize) -> Option<&'h str> {
-        self.group_span(i).map(|(s, e)| &haystack[s..e])
+        self.group_span(i).and_then(|(s, e)| haystack.get(s..e))
     }
 }
 
@@ -1256,6 +1264,7 @@ impl Regex {
                     }
                     // Eps transitions were resolved by add_thread.
                     Inst::Split(..) | Inst::Jmp(..) | Inst::Save(..) | Inst::AssertStart
+                    // dr-lint: allow(panic-reachability): add_thread resolves every eps inst
                     | Inst::AssertEnd => unreachable!("eps inst in stepped list"),
                 }
                 i += 1;
@@ -1450,6 +1459,7 @@ impl Regex {
                         break;
                     }
                     Inst::Split(..) | Inst::Jmp(..) | Inst::Save(..) | Inst::AssertStart
+                    // dr-lint: allow(panic-reachability): add_thread_baseline resolves every eps inst
                     | Inst::AssertEnd => unreachable!("eps inst in stepped list"),
                 }
                 i += 1;

@@ -239,10 +239,11 @@ impl SyslogScanner {
         self.last_month = h.month;
 
         let at = Timestamp::from_civil(self.year, h.month, h.day, h.hour, h.minute, h.second)?;
+        let body = line.get(h.body_start..)?;
         Some(SyslogLine {
             at,
             host: NodeId(h.host),
-            body: &line[h.body_start..],
+            body,
         })
     }
 }

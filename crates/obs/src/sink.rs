@@ -225,7 +225,13 @@ impl MetricsSink {
     /// line — the atomic add is cheap but not free.
     pub fn add(&self, stage: Stage, counter: Counter, n: u64) {
         if let Some(reg) = &self.reg {
-            reg.counters[stage.idx()][counter.idx()].fetch_add(n, Ordering::Relaxed);
+            let cell = reg
+                .counters
+                .get(stage.idx())
+                .and_then(|row| row.get(counter.idx()));
+            if let Some(c) = cell {
+                c.fetch_add(n, Ordering::Relaxed);
+            }
         }
     }
 

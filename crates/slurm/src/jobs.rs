@@ -172,7 +172,8 @@ impl JobMix {
 
     /// Draw (gpu_count, elapsed, is_ml) for one job.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (u16, Duration, bool) {
-        let total = *self.cumulative_share.last().expect("buckets");
+        // Construction guarantees at least one bucket; 0.0 is a dead fallback.
+        let total = self.cumulative_share.last().copied().unwrap_or(0.0);
         let x = rng.gen::<f64>() * total;
         let idx = self
             .cumulative_share

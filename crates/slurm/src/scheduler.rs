@@ -189,7 +189,7 @@ impl Scheduler {
                 }
             })
             .collect();
-        arrivals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        arrivals.sort_by(f64::total_cmp);
 
         let mut jobs = Vec::with_capacity(self.cfg.total_jobs as usize);
         let mut allocated_gpu_hours = 0.0;

@@ -217,7 +217,8 @@ impl Categorical {
 
     /// Draw an index.
     pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let total = *self.cumulative.last().expect("non-empty");
+        // `new` guarantees at least one weight; 0.0 is a dead fallback.
+        let total = self.cumulative.last().copied().unwrap_or(0.0);
         let x: f64 = rng.gen::<f64>() * total;
         self.cumulative.partition_point(|&c| c <= x).min(self.len() - 1)
     }

@@ -147,13 +147,11 @@ pub struct Ecdf {
 }
 
 impl Ecdf {
-    /// Build from samples (sorts a copy; NaN values are rejected).
-    ///
-    /// # Panics
-    /// If any sample is NaN.
+    /// Build from samples (sorts a copy; NaN values sort to the top
+    /// under `total_cmp` rather than panicking).
     pub fn new(samples: &[f64]) -> Self {
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in ECDF input"));
+        sorted.sort_by(f64::total_cmp);
         Ecdf { sorted }
     }
 

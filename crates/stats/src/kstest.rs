@@ -22,18 +22,17 @@ impl KsResult {
     }
 }
 
-/// Two-sample KS test. Returns `None` if either sample is empty.
-///
-/// # Panics
-/// If any sample is NaN.
+/// Two-sample KS test. Returns `None` if either sample is empty. NaN
+/// samples sort to the top under `total_cmp` and inflate the statistic
+/// rather than panicking.
 pub fn ks_two_sample(a: &[f64], b: &[f64]) -> Option<KsResult> {
     if a.is_empty() || b.is_empty() {
         return None;
     }
     let mut xs = a.to_vec();
     let mut ys = b.to_vec();
-    xs.sort_by(|p, q| p.partial_cmp(q).expect("NaN in KS input"));
-    ys.sort_by(|p, q| p.partial_cmp(q).expect("NaN in KS input"));
+    xs.sort_by(f64::total_cmp);
+    ys.sort_by(f64::total_cmp);
 
     let (n, m) = (xs.len(), ys.len());
     let (mut i, mut j) = (0usize, 0usize);

@@ -23,7 +23,7 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
 /// Sort a copy of `samples` and extract several quantiles at once.
 pub fn quantiles(samples: &[f64], qs: &[f64]) -> Vec<Option<f64>> {
     let mut v = samples.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    v.sort_by(f64::total_cmp);
     qs.iter().map(|&q| quantile_sorted(&v, q)).collect()
 }
 
@@ -43,13 +43,13 @@ impl SummaryStats {
             return SummaryStats::default();
         }
         let mut v = samples.to_vec();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary input"));
+        v.sort_by(f64::total_cmp);
         let sum: f64 = v.iter().sum();
         SummaryStats {
             count: v.len() as u64,
             mean: sum / v.len() as f64,
-            p50: quantile_sorted(&v, 0.50).unwrap(),
-            p95: quantile_sorted(&v, 0.95).unwrap(),
+            p50: quantile_sorted(&v, 0.50).unwrap_or(0.0),
+            p95: quantile_sorted(&v, 0.95).unwrap_or(0.0),
         }
     }
 }
@@ -100,8 +100,7 @@ impl P2Quantile {
         if self.warmup.len() < 5 {
             self.warmup.push(x);
             if self.warmup.len() == 5 {
-                self.warmup
-                    .sort_by(|a, b| a.partial_cmp(b).expect("NaN in P2 input"));
+                self.warmup.sort_by(f64::total_cmp);
                 for (h, w) in self.heights.iter_mut().zip(&self.warmup) {
                     *h = *w;
                 }
@@ -153,18 +152,26 @@ impl P2Quantile {
         }
     }
 
+    /// The `(i-1, i, i+1)` neighborhood of a marker array. `push` only
+    /// adjusts interior markers (`i` in `1..4`), so the clamped reads
+    /// never actually fall back.
+    fn window(a: &[f64; 5], i: usize) -> (f64, f64, f64) {
+        let at = |k: usize| a.get(k).copied().unwrap_or(f64::NAN);
+        (at(i.saturating_sub(1)), at(i), at(i + 1))
+    }
+
     fn parabolic(&self, i: usize, d: f64) -> f64 {
-        let p = &self.positions;
-        let h = &self.heights;
-        h[i] + d / (p[i + 1] - p[i - 1])
-            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
-                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+        let (pl, pc, pr) = Self::window(&self.positions, i);
+        let (hl, hc, hr) = Self::window(&self.heights, i);
+        hc + d / (pr - pl)
+            * ((pc - pl + d) * (hr - hc) / (pr - pc) + (pr - pc - d) * (hc - hl) / (pc - pl))
     }
 
     fn linear(&self, i: usize, d: f64) -> f64 {
-        let j = if d > 0.0 { i + 1 } else { i - 1 };
-        self.heights[i]
-            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+        let (hl, hc, hr) = Self::window(&self.heights, i);
+        let (pl, pc, pr) = Self::window(&self.positions, i);
+        let (hj, pj) = if d > 0.0 { (hr, pr) } else { (hl, pl) };
+        hc + d * (hj - hc) / (pj - pc)
     }
 
     /// Current estimate; `None` before any observation.
@@ -175,7 +182,7 @@ impl P2Quantile {
         if self.warmup.len() < 5 || self.n <= 5 {
             // Fall back to exact quantile over the (tiny) warm-up set.
             let mut v = self.warmup.clone();
-            v.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
+            v.sort_by(f64::total_cmp);
             return quantile_sorted(&v, self.q);
         }
         Some(self.heights[2])

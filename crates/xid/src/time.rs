@@ -203,13 +203,14 @@ impl Timestamp {
     /// Render in classic syslog style: `Jan  2 03:04:05`.
     pub fn syslog(self) -> String {
         let c = self.civil();
+        // `civil` yields month in 1..=12; "???" is a dead fallback.
+        let month = MONTH_ABBREV
+            .get((c.month as usize).saturating_sub(1))
+            .copied()
+            .unwrap_or("???");
         format!(
-            "{} {:>2} {:02}:{:02}:{:02}",
-            MONTH_ABBREV[(c.month - 1) as usize],
-            c.day,
-            c.hour,
-            c.minute,
-            c.second
+            "{month} {:>2} {:02}:{:02}:{:02}",
+            c.day, c.hour, c.minute, c.second
         )
     }
 

@@ -2,18 +2,22 @@
 //!
 //! ```text
 //! dr-lint [--root DIR] [--baseline FILE] [--json] [--update-baseline]
+//!         [--explain LINT-ID] [--graph-dot]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings, 2 usage or I/O error. The same
 //! checks gate `cargo test` via `tests/lint_clean.rs`; this binary
-//! exists for fast local iteration and for `--update-baseline`, which
-//! rewrites the debt ledger after paying some of it down.
+//! exists for fast local iteration, for `--update-baseline` (which
+//! rewrites the debt ledger after paying some of it down), for
+//! `--explain` (what a lint id means and how to fix or waive it), and
+//! for `--graph-dot` (the workspace call graph in Graphviz form).
 
-use dr_lint::{run, Baseline, Config};
+use dr_lint::{load_workspace, passes, run, Baseline, Config, SymbolGraph};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: dr-lint [--root DIR] [--baseline FILE] [--json] [--update-baseline]";
+const USAGE: &str = "usage: dr-lint [--root DIR] [--baseline FILE] [--json] [--update-baseline] \
+                     [--explain LINT-ID] [--graph-dot]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,6 +25,7 @@ fn main() -> ExitCode {
     let mut baseline: Option<PathBuf> = None;
     let mut json = false;
     let mut update = false;
+    let mut graph_dot = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -35,6 +40,27 @@ fn main() -> ExitCode {
             },
             "--json" => json = true,
             "--update-baseline" => update = true,
+            "--graph-dot" => graph_dot = true,
+            "--explain" => match it.next() {
+                Some(id) => {
+                    return match passes::explain(id) {
+                        Some(text) => {
+                            println!("{id}\n\n{text}");
+                            ExitCode::SUCCESS
+                        }
+                        None => {
+                            let known: Vec<&str> =
+                                passes::all().iter().map(|p| p.id()).collect();
+                            eprintln!(
+                                "dr-lint: unknown lint id {id:?}; known ids: {}",
+                                known.join(", ")
+                            );
+                            ExitCode::from(2)
+                        }
+                    };
+                }
+                None => return usage_error("--explain needs a lint id"),
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -46,6 +72,19 @@ fn main() -> ExitCode {
     if !root.is_dir() {
         eprintln!("dr-lint: root {:?} is not a directory", root.display());
         return ExitCode::from(2);
+    }
+
+    if graph_dot {
+        return match load_workspace(&root) {
+            Ok(ws) => {
+                print!("{}", SymbolGraph::build(&ws).to_dot());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("dr-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
     }
 
     let baseline_path = baseline.unwrap_or_else(|| root.join("dr-lint.baseline"));

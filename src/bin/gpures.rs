@@ -73,7 +73,7 @@ const USAGE: &str = "usage:
   gpures incidents
   gpures project   [--gpus N] [--recovery-min M] [--runs R]
   gpures monitor   [--log FILE] [--nodes N] [--every K]   (FILE or stdin; live Table 1)
-  gpures bench     [--out DIR] [--smoke true]   (throughput + overhead + streaming -> BENCH_*.json)
+  gpures bench     [--out DIR] [--smoke true]   (throughput + overhead + streaming + lint -> BENCH_*.json)
 
   --metrics FILE exports per-stage spans/counters/gauges/histograms (gpures-metrics/v1 JSON)
   --chunk-bytes N pins the streaming ingestion chunk size (default: sized to the worker pool)";
@@ -500,12 +500,25 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
         }
     }
 
+    eprintln!("benchmarking dr-lint symbol-graph analysis ...");
+    let lint_doc = gpu_resilience::bench::lint::lint_report(smoke, std::path::Path::new("."))?;
+    let lint_path = out_dir.join("BENCH_lint.json");
+    std::fs::write(&lint_path, lint_doc.render()).map_err(|e| e.to_string())?;
+    let symbols = lint_doc.get("symbols").and_then(|v| v.as_f64()).unwrap_or(0.0);
+    let edges = lint_doc.get("call_edges").and_then(|v| v.as_f64()).unwrap_or(0.0);
+    let wall = lint_doc.get("wall_s").and_then(|v| v.as_f64()).unwrap_or(0.0);
     println!(
-        "wrote {}, {}, {} and {}",
+        "lint         {symbols:.0} symbols / {edges:.0} call edges analyzed in {:.1} ms",
+        wall * 1e3
+    );
+
+    println!(
+        "wrote {}, {}, {}, {} and {}",
         stage1_path.display(),
         pipe_path.display(),
         obs_path.display(),
-        stream_path.display()
+        stream_path.display(),
+        lint_path.display()
     );
     Ok(())
 }

@@ -136,6 +136,28 @@ fn stream_report_cross_checks_both_paths() {
 }
 
 #[test]
+fn lint_report_reflects_a_clean_workspace_graph() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let doc = gpu_resilience::bench::lint::lint_report(true, &root).expect("smoke report builds");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("gpures-bench-lint/v1")
+    );
+    assert!(doc.get("files").and_then(Json::as_u64).expect("files") > 50);
+    assert!(doc.get("symbols").and_then(Json::as_u64).expect("symbols") > 300);
+    assert!(doc.get("call_edges").and_then(Json::as_u64).expect("edges") > 1000);
+    assert!(doc.get("wall_s").and_then(Json::as_f64).expect("wall") >= 0.0);
+    // The committed tree is lint-clean, and the three interprocedural
+    // passes in particular must hold with zero findings.
+    assert_eq!(doc.get("active_findings").and_then(Json::as_u64), Some(0));
+    let by_pass = doc.get("findings_by_pass").expect("per-pass map");
+    for pass in ["panic-reachability", "determinism-taint", "layer-dag"] {
+        assert_eq!(by_pass.get(pass).and_then(Json::as_u64), Some(0), "{pass}");
+    }
+    assert_eq!(Json::parse(&doc.render()).expect("parses"), doc);
+}
+
+#[test]
 fn bench_cli_writes_parseable_artifacts() {
     let dir: PathBuf =
         std::env::temp_dir().join(format!("gpures-bench-smoke-{}", std::process::id()));
@@ -156,6 +178,7 @@ fn bench_cli_writes_parseable_artifacts() {
         ("BENCH_pipeline.json", "gpures-bench-pipeline/v1"),
         ("BENCH_obs.json", "gpures-bench-obs/v1"),
         ("BENCH_stream.json", "gpures-bench-stream/v1"),
+        ("BENCH_lint.json", "gpures-bench-lint/v1"),
     ] {
         let text = std::fs::read_to_string(dir.join(file)).expect(file);
         let doc = Json::parse(&text).expect("artifact parses");

@@ -28,6 +28,46 @@ fn workspace_is_lint_clean() {
 }
 
 #[test]
+fn interprocedural_passes_run_and_prove_entry_points_panic_free() {
+    // The symbol graph must actually cover the workspace (hundreds of
+    // fns, thousands of name-approximated edges) and the three
+    // graph-based passes must report zero active findings: the
+    // `run_source` / `run_observed` closures are panic-free, no
+    // nondeterminism taints `StudyResults`, and every cross-crate `use`
+    // respects the declared layer DAG.
+    let root = workspace_root();
+    let cfg = Config {
+        root: root.clone(),
+        baseline: Some(root.join("dr-lint.baseline")),
+    };
+    let report = run(&cfg).expect("dr-lint runs");
+    assert!(
+        report.symbols > 300,
+        "call graph covers only {} symbols — parser regression?",
+        report.symbols
+    );
+    assert!(
+        report.call_edges > 1000,
+        "call graph has only {} edges — resolution regression?",
+        report.call_edges
+    );
+    for pass in ["panic-reachability", "determinism-taint", "layer-dag"] {
+        let active: Vec<_> = report.active.iter().filter(|d| d.lint == pass).collect();
+        assert!(active.is_empty(), "{pass} findings: {active:?}");
+        let baselined: usize = report
+            .groups
+            .iter()
+            .filter(|((lint, _), _)| lint == pass)
+            .map(|(_, c)| c)
+            .sum();
+        assert_eq!(
+            baselined, 0,
+            "{pass} must hold with zero baselined debt, found {baselined}"
+        );
+    }
+}
+
+#[test]
 fn baseline_has_no_stale_surplus() {
     // The ledger must describe real debt: every baselined (lint, path)
     // group must still exist in the tree with a non-zero count, so paid
