@@ -244,9 +244,28 @@ pub fn stage1_report(smoke: bool) -> Result<Json, String> {
     ]))
 }
 
-/// The `BENCH_pipeline.json` document: sharded extract-and-coalesce on
-/// the noisy workload at 1 worker vs. the full pool, with coalesced
-/// output checked identical across worker counts.
+/// The worker matrix every `BENCH_pipeline.json` run sweeps. Fixed —
+/// not machine-derived — so artifacts from different hosts are
+/// comparable row for row.
+pub const WORKER_MATRIX: [usize; 4] = [1, 2, 4, 8];
+
+/// Scaling efficiency of a run: measured speedup over the 1-worker row,
+/// normalized by the parallelism that was actually available —
+/// `min(requested workers, machine pool)` — so a 4-worker row on a
+/// 2-core host is judged against 2×, not 4×.
+fn scaling_efficiency(lps: f64, lps_one: f64, requested: usize, pool: usize) -> f64 {
+    let effective = requested.min(pool).max(1);
+    (lps / lps_one.max(1e-12)) / effective as f64
+}
+
+/// The `BENCH_pipeline.json` document (schema v2): sharded
+/// extract-and-coalesce on the noisy workload swept across the
+/// [`WORKER_MATRIX`], with coalesced output checked identical at every
+/// worker count. Each run carries its `scaling_efficiency` (speedup over
+/// the 1-worker row per *effective* worker); the top-level `scaling` and
+/// `scaling_efficiency` are derived from the matrix endpoints. A
+/// non-smoke report with fewer than two runs is an error — the scaling
+/// number would be vacuous.
 pub fn pipeline_report(smoke: bool) -> Result<Json, String> {
     let (nodes, lines_per_node, min_wall_s) = if smoke {
         (3, 400, 0.0)
@@ -254,14 +273,13 @@ pub fn pipeline_report(smoke: bool) -> Result<Json, String> {
         (6, 60_000, 0.4)
     };
     let w = noisy_workload(nodes, lines_per_node);
+    // Machine parallelism, snapshotted before any override is in force.
     let pool = dr_par::max_workers();
-    let mut workers: Vec<usize> = vec![1, pool];
-    workers.dedup();
 
     let mut runs = Vec::new();
     let mut reference: Option<(usize, u64)> = None;
-    let mut lines_per_s = Vec::new();
-    for &n in &workers {
+    let mut lines_per_s: Vec<f64> = Vec::new();
+    for &n in &WORKER_MATRIX {
         dr_par::set_worker_override(Some(n));
         let (coalesced, stats) = extract_and_coalesce(&w.logs, CoalesceConfig::default(), None);
         let count = coalesced.len();
@@ -281,27 +299,55 @@ pub fn pipeline_report(smoke: bool) -> Result<Json, String> {
             }
             Some(_) => {}
         }
+        let lps_one = *lines_per_s.first().unwrap_or(&m.lines_per_s);
+        let eff = scaling_efficiency(m.lines_per_s, lps_one, n, pool);
         lines_per_s.push(m.lines_per_s);
         runs.push(Json::obj(vec![
             ("workers", Json::Num(n as f64)),
+            ("effective_workers", Json::Num(n.min(pool).max(1) as f64)),
             ("coalesced", Json::Num(count as f64)),
+            (
+                "scaling_efficiency",
+                Json::Num((eff * 1000.0).round() / 1000.0),
+            ),
             ("measurement", m.to_json()),
         ]));
     }
-    let scaling = match (lines_per_s.first(), lines_per_s.last()) {
-        (Some(one), Some(full)) => full / one.max(1e-12),
-        _ => 1.0,
+    if !smoke && runs.len() < 2 {
+        return Err(format!(
+            "pipeline report needs a worker matrix (got {} run(s)); \
+             the scaling number would be vacuous",
+            runs.len()
+        ));
+    }
+    let (scaling, efficiency) = match (lines_per_s.first(), lines_per_s.last()) {
+        (Some(&one), Some(&full)) => {
+            let top = *WORKER_MATRIX.last().unwrap_or(&1);
+            (
+                full / one.max(1e-12),
+                scaling_efficiency(full, one, top, pool),
+            )
+        }
+        _ => (1.0, 1.0),
     };
     Ok(Json::obj(vec![
-        ("schema", Json::Str("gpures-bench-pipeline/v1".to_string())),
+        ("schema", Json::Str("gpures-bench-pipeline/v2".to_string())),
         ("smoke", Json::Bool(smoke)),
         ("workload", Json::Str(w.name.to_string())),
         ("nodes", Json::Num(w.logs.len() as f64)),
         ("lines", Json::Num(w.lines as f64)),
         ("bytes", Json::Num(w.bytes as f64)),
         ("worker_pool", Json::Num(pool as f64)),
+        (
+            "worker_matrix",
+            Json::Arr(WORKER_MATRIX.iter().map(|&n| Json::Num(n as f64)).collect()),
+        ),
         ("runs", Json::Arr(runs)),
         ("scaling", Json::Num((scaling * 100.0).round() / 100.0)),
+        (
+            "scaling_efficiency",
+            Json::Num((efficiency * 1000.0).round() / 1000.0),
+        ),
     ]))
 }
 
@@ -346,10 +392,17 @@ mod tests {
         let pipe = pipeline_report(true).expect("pipeline smoke succeeds");
         assert_eq!(
             pipe.get("schema").and_then(Json::as_str),
-            Some("gpures-bench-pipeline/v1")
+            Some("gpures-bench-pipeline/v2")
         );
         let runs = pipe.get("runs").and_then(Json::as_arr).expect("runs");
-        assert!(!runs.is_empty());
+        assert_eq!(runs.len(), WORKER_MATRIX.len(), "one run per matrix entry");
+        for run in runs {
+            let eff = run
+                .get("scaling_efficiency")
+                .and_then(Json::as_f64)
+                .expect("per-run efficiency");
+            assert!(eff > 0.0);
+        }
         // Round-trip: the artifact the CLI writes must re-parse.
         assert_eq!(Json::parse(&pipe.render()).expect("parses"), pipe);
     }

@@ -4,10 +4,13 @@
 //! extract-and-coalesce front half fed from a fully materialized
 //! in-memory corpus vs. streamed from disk through
 //! [`resilience_core::source::DirSource`] at a fixed 64 KiB chunk
-//! target. For each path the artifact records throughput and the
-//! `peak_resident_bytes` high-water gauge the wave driver reports —
-//! the number that proves the streaming path is bounded-memory (peak
-//! resident text ≪ corpus size) instead of merely claiming it.
+//! target — the disk path measured both synchronously and with the
+//! wave-prefetch I/O thread (the A/B that shows how much of the
+//! dir-vs-memory throughput gap the overlap recovers). For each path
+//! the artifact records throughput and the `peak_resident_bytes`
+//! high-water gauge the wave driver reports — the number that proves
+//! the streaming path is bounded-memory (peak resident text ≪ corpus
+//! size; ≤ 2 waves with prefetch) instead of merely claiming it.
 //!
 //! Workload generation reuses [`crate::stage1::noisy_workload`]
 //! (arithmetic, not random), and the corpus written to disk round-trips
@@ -19,7 +22,10 @@ use crate::json::Json;
 use crate::stage1::{measure, noisy_workload, Workload};
 use dr_obs::MetricsSink;
 use resilience_core::source::{DirSource, InMemorySource};
-use resilience_core::{extract_and_coalesce_source_observed, CoalesceConfig};
+use resilience_core::{
+    extract_and_coalesce_source_observed, extract_and_coalesce_source_prefetch_observed,
+    CoalesceConfig,
+};
 use std::path::{Path, PathBuf};
 
 /// Chunk pull target for the streamed path: small enough that peak
@@ -106,11 +112,18 @@ impl Drop for ScratchDir {
     }
 }
 
-/// The `BENCH_stream.json` document: in-memory vs. `DirSource` streaming
-/// on the noisy workload, with coalesced output checked identical and
-/// the streamed path's peak resident bytes checked *bounded* (a fraction
-/// of the corpus) before any number is reported. `smoke` shrinks the
-/// corpus and timing floor for the tier-1 test.
+/// The `BENCH_stream.json` document (schema v2): in-memory vs.
+/// `DirSource` streaming on the noisy workload — the streamed path run
+/// twice, prefetch off (synchronous pulls) and prefetch on (the
+/// [`resilience_core::source::Prefetcher`] I/O thread overlapping wave
+/// *N+1* with extraction of wave *N*). Coalesced output is checked
+/// identical across all three paths; the streamed paths' peak resident
+/// bytes are checked *bounded* (≤ 1 wave synchronous, ≤ 2 waves
+/// prefetched, never a fraction of the corpus) before any number is
+/// reported. `prefetch_speedup` (dir-prefetch over dir-sync) and
+/// `gap_close_pct` (how much of the dir-vs-memory throughput gap the
+/// prefetch recovers) are the headline derived numbers. `smoke` shrinks
+/// the corpus and timing floor for the tier-1 test.
 pub fn stream_report(smoke: bool) -> Result<Json, String> {
     let (nodes, lines_per_node, min_wall_s) = if smoke {
         (3, 400, 0.0)
@@ -145,28 +158,83 @@ pub fn stream_report(smoke: bool) -> Result<Json, String> {
             .map_err(|e| e.to_string())
         },
     )?;
+    let (pf_count, pf_peak, pf_json) = run_path(
+        "dir-stream-prefetch",
+        &w,
+        min_wall_s,
+        Some(STREAM_CHUNK_BYTES),
+        |sink| {
+            let mut src = DirSource::open(scratch.path()).map_err(|e| e.to_string())?;
+            extract_and_coalesce_source_prefetch_observed(
+                &mut src,
+                CoalesceConfig::default(),
+                Some(STREAM_CHUNK_BYTES),
+                sink,
+            )
+            .map(|(c, _)| c.len())
+            .map_err(|e| e.to_string())
+        },
+    )?;
 
-    if mem_count != dir_count {
+    if mem_count != dir_count || mem_count != pf_count {
         return Err(format!(
             "path divergence: in-memory coalesced {mem_count} errors, \
-             dir-stream coalesced {dir_count}"
+             dir-stream {dir_count}, dir-stream-prefetch {pf_count}"
         ));
     }
     // The bounded-memory claim, enforced: one wave of 64 KiB chunks
-    // across the worker pool, not the whole corpus. (Skipped for smoke
-    // corpora small enough to fit in a single wave.)
+    // across the worker pool (two waves with prefetch), not the whole
+    // corpus. (Skipped for smoke corpora small enough to fit in a
+    // single wave.) The per-side slack covers chunk overshoot: a wave
+    // closes on the first chunk that reaches the budget, and a chunk on
+    // the first line that reaches the target.
     let wave = STREAM_CHUNK_BYTES * dr_par::max_workers() as u64;
-    if w.bytes > 4 * wave && dir_peak >= w.bytes as f64 / 2.0 {
-        return Err(format!(
-            "dir-stream peak resident bytes {dir_peak} is not bounded \
-             (corpus is {} bytes)",
-            w.bytes
-        ));
+    if w.bytes > 4 * wave {
+        if dir_peak >= w.bytes as f64 / 2.0 {
+            return Err(format!(
+                "dir-stream peak resident bytes {dir_peak} is not bounded \
+                 (corpus is {} bytes)",
+                w.bytes
+            ));
+        }
+        let slack = 2 * (STREAM_CHUNK_BYTES + 4096);
+        if pf_peak > (2 * wave + slack) as f64 {
+            return Err(format!(
+                "dir-stream-prefetch peak resident bytes {pf_peak} exceeds the \
+                 double-buffer bound of 2 waves ({} bytes + {slack} slack)",
+                2 * wave
+            ));
+        }
     }
+
+    let mem_mbps = mem_json
+        .get("measurement")
+        .and_then(|m| m.get("mb_per_s"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    let dir_mbps = dir_json
+        .get("measurement")
+        .and_then(|m| m.get("mb_per_s"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    let pf_mbps = pf_json
+        .get("measurement")
+        .and_then(|m| m.get("mb_per_s"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    let prefetch_speedup = pf_mbps / dir_mbps.max(1e-12);
+    // Of the throughput the synchronous dir path gives up vs. in-memory,
+    // how much does prefetch win back? 100 = gap fully closed (or no gap).
+    let gap = (mem_mbps - dir_mbps).max(0.0);
+    let gap_close_pct = if gap <= 1e-12 {
+        100.0
+    } else {
+        ((pf_mbps - dir_mbps) / gap * 100.0).clamp(0.0, 100.0)
+    };
 
     let reduction = mem_peak / dir_peak.max(1.0);
     Ok(Json::obj(vec![
-        ("schema", Json::Str("gpures-bench-stream/v1".to_string())),
+        ("schema", Json::Str("gpures-bench-stream/v2".to_string())),
         ("smoke", Json::Bool(smoke)),
         ("workload", Json::Str(w.name.to_string())),
         ("nodes", Json::Num(w.logs.len() as f64)),
@@ -174,10 +242,18 @@ pub fn stream_report(smoke: bool) -> Result<Json, String> {
         ("bytes", Json::Num(w.bytes as f64)),
         ("chunk_bytes", Json::Num(STREAM_CHUNK_BYTES as f64)),
         ("worker_pool", Json::Num(dr_par::max_workers() as f64)),
-        ("paths", Json::Arr(vec![mem_json, dir_json])),
+        ("paths", Json::Arr(vec![mem_json, dir_json, pf_json])),
         (
             "peak_reduction",
             Json::Num((reduction * 100.0).round() / 100.0),
+        ),
+        (
+            "prefetch_speedup",
+            Json::Num((prefetch_speedup * 100.0).round() / 100.0),
+        ),
+        (
+            "gap_close_pct",
+            Json::Num((gap_close_pct * 10.0).round() / 10.0),
         ),
     ]))
 }
@@ -191,10 +267,10 @@ mod tests {
         let doc = stream_report(true).expect("stream smoke succeeds");
         assert_eq!(
             doc.get("schema").and_then(Json::as_str),
-            Some("gpures-bench-stream/v1")
+            Some("gpures-bench-stream/v2")
         );
         let paths = doc.get("paths").and_then(Json::as_arr).expect("paths");
-        assert_eq!(paths.len(), 2);
+        assert_eq!(paths.len(), 3);
         for p in paths {
             let peak = p
                 .get("peak_resident_bytes")

@@ -60,10 +60,14 @@ pub use pipeline::{PipelineBuilder, Stage1Engine, StudyConfig, StudyResults};
 pub use propagation::{NvlinkSpread, PropagationAnalysis, PropagationEdge};
 pub use shard::{
     extract_and_coalesce, extract_and_coalesce_observed, extract_and_coalesce_source,
-    extract_and_coalesce_source_observed, extract_sharded, extract_sharded_observed,
-    extract_source, extract_source_observed, merge_and_coalesce, merge_and_coalesce_observed,
-    plan_chunks, ChunkSpec,
+    extract_and_coalesce_source_observed, extract_and_coalesce_source_prefetch_observed,
+    extract_sharded, extract_sharded_observed, extract_source, extract_source_observed,
+    extract_source_prefetch, extract_source_prefetch_observed, merge_and_coalesce,
+    merge_and_coalesce_observed, plan_chunks, ChunkSpec, WaveConfig,
 };
-pub use source::{collect_source, DirSource, GeneratorSource, InMemorySource, LogChunk, LogSource};
+pub use source::{
+    collect_source, pull_wave, DirSource, GeneratorSource, InMemorySource, LogChunk, LogSource,
+    Prefetcher, Wave, WaveRx,
+};
 pub use stats::{lost_gpu_hours, table1, LostHours, Table1Row};
 pub use stream::{OnlineRow, OnlineStats, StreamCoalescer};

@@ -36,7 +36,7 @@
 //! the same output, sorted by `(start, gpu, xid, detail)`.
 
 use crate::coalesce::{coalesce, CoalesceConfig, CoalescedError};
-use crate::source::{InMemorySource, LogChunk, LogSource};
+use crate::source::{pull_wave, InMemorySource, LogChunk, LogSource, Prefetcher, Wave};
 use crate::stream::StreamCoalescer;
 use dr_logscan::extract::scanner_update_month;
 use dr_logscan::{ExtractStats, XidExtractor};
@@ -149,15 +149,53 @@ fn apply_summary(state: (i32, u8), summary: Option<StateSummary>) -> (i32, u8) {
 /// Default chunk size: enough chunks to keep the worker pool load-balanced
 /// (4 per worker), but no smaller than 64 KiB so per-chunk overhead stays
 /// negligible at scale.
-fn default_target_bytes(total: u64) -> u64 {
-    let workers = dr_par::max_workers() as u64;
-    (total / (workers * 4).max(1)).clamp(64 * 1024, u64::MAX)
+fn default_target_bytes(total: u64, workers: usize) -> u64 {
+    (total / ((workers as u64) * 4).max(1)).clamp(64 * 1024, u64::MAX)
 }
 
 /// Chunk-size target when the source cannot report its total size
 /// (generative sources): large enough that per-chunk overhead vanishes,
 /// small enough that a wave stays comfortably resident.
 const DEFAULT_STREAM_TARGET: u64 = 256 * 1024;
+
+/// Wave sizing for one driver run, derived from a *single*
+/// `dr_par::max_workers()` snapshot. The chunk-size target and the wave
+/// budget previously each read the worker count independently; if a
+/// worker override changed between the two reads they could disagree,
+/// skewing the budget. Capturing both here makes the
+/// target/budget/worker triple self-consistent by construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaveConfig {
+    /// Worker-pool width the sizing was derived from.
+    pub workers: usize,
+    /// Per-chunk byte target handed to [`LogSource::next_chunk`].
+    pub target_bytes: u64,
+    /// Per-wave byte budget: `target_bytes × workers`.
+    pub wave_budget: u64,
+}
+
+impl WaveConfig {
+    /// Sizing from an explicit chunk target and/or a source's total-size
+    /// hint (the explicit target wins; with neither, the streaming
+    /// default applies).
+    pub fn new(target_bytes: Option<u64>, total_hint: Option<u64>) -> WaveConfig {
+        let workers = dr_par::max_workers();
+        let target = target_bytes
+            .or_else(|| total_hint.map(|t| default_target_bytes(t, workers)))
+            .unwrap_or(DEFAULT_STREAM_TARGET)
+            .max(1);
+        WaveConfig {
+            workers,
+            target_bytes: target,
+            wave_budget: target.saturating_mul(workers as u64),
+        }
+    }
+
+    /// [`WaveConfig::new`] with the hint taken from `source`.
+    pub fn for_source(source: &dyn LogSource<'_>, target_bytes: Option<u64>) -> WaveConfig {
+        WaveConfig::new(target_bytes, source.total_bytes_hint())
+    }
+}
 
 /// Sharded Stage I: extract every node's records with byte-balanced
 /// parallel chunks and replayed scanner state. Returns one time-ordered
@@ -211,60 +249,124 @@ pub fn extract_source_observed<'s>(
     sink: &dr_obs::MetricsSink,
 ) -> Result<(Vec<Vec<ErrorRecord>>, ExtractStats), DataError> {
     use dr_obs::{Counter, Stage};
-    let target = target_bytes
-        .or_else(|| source.total_bytes_hint().map(default_target_bytes))
-        .unwrap_or(DEFAULT_STREAM_TARGET)
-        .max(1);
-    let wave_budget = target.saturating_mul(dr_par::max_workers() as u64);
-
-    let n_nodes = source.nodes().len();
-    let mut per_node: Vec<Vec<ErrorRecord>> = Vec::new();
-    per_node.resize_with(n_nodes, Vec::new);
-    // Scanner state carried across waves, per node: (year, last month).
-    let mut per_node_state: Vec<(i32, u8)> = vec![(2022, 1); n_nodes];
-    let mut stats = ExtractStats::default();
-
+    let cfg = WaveConfig::for_source(&*source, target_bytes);
+    let mut driver = WaveDriver::new(source.nodes().len());
     loop {
         // Pull one wave. This is the only place log text enters memory;
-        // the gauge records the high-water mark across waves.
-        let wave: Vec<LogChunk<'_>> = {
+        // the gauge records the high-water mark across waves (with no
+        // prefetch, exactly one wave is ever resident).
+        let wave = {
             let _span = sink.span(Stage::Shard, "total");
-            let mut wave = Vec::new();
-            let mut bytes = 0u64;
-            while bytes < wave_budget {
-                let Some(chunk) = source.next_chunk(target)? else {
-                    break;
-                };
-                bytes += chunk.bytes;
-                wave.push(chunk);
-            }
-            sink.add(Stage::Shard, Counter::Bytes, bytes);
-            sink.add(Stage::Shard, Counter::Chunks, wave.len() as u64);
-            sink.gauge_max(Stage::Extract, "peak_resident_bytes", bytes as f64);
-            wave
+            pull_wave(source, cfg.target_bytes, cfg.wave_budget)?
         };
-        if wave.is_empty() {
+        let Some(wave) = wave else {
             break;
-        }
+        };
+        sink.add(Stage::Shard, Counter::Bytes, wave.bytes);
+        sink.add(Stage::Shard, Counter::Chunks, wave.chunks.len() as u64);
+        sink.gauge_max(Stage::Extract, "peak_resident_bytes", wave.bytes as f64);
+        driver.process_wave(&wave, sink);
+    }
+    Ok(driver.finish())
+}
 
+/// [`extract_source_observed`] with I/O-overlapped wave prefetch: a
+/// [`Prefetcher`] thread pulls wave *N+1* from `source` while the worker
+/// pool extracts wave *N*. Results are bit-identical to the synchronous
+/// path — wave boundaries come from the same [`pull_wave`] and the
+/// per-wave processing is the same [`WaveDriver`] — only the overlap (and
+/// therefore the `peak_resident_bytes` bound, ≤ 2 waves instead of 1)
+/// differs.
+pub fn extract_source_prefetch_observed<'s>(
+    source: &mut (dyn LogSource<'s> + Send),
+    target_bytes: Option<u64>,
+    sink: &dr_obs::MetricsSink,
+) -> Result<(Vec<Vec<ErrorRecord>>, ExtractStats), DataError> {
+    use dr_obs::{Counter, Stage};
+    let cfg = WaveConfig::for_source(&*source, target_bytes);
+    let n_nodes = source.nodes().len();
+    Prefetcher::new(source, cfg.target_bytes, cfg.wave_budget).run(|waves| {
+        let mut driver = WaveDriver::new(n_nodes);
+        loop {
+            // The span now measures only the *unhidden* part of I/O: time
+            // spent waiting on the prefetch thread.
+            let wave = {
+                let _span = sink.span(Stage::Shard, "total");
+                waves.next_wave()?
+            };
+            let Some(wave) = wave else {
+                break;
+            };
+            sink.add(Stage::Shard, Counter::Bytes, wave.bytes);
+            sink.add(Stage::Shard, Counter::Chunks, wave.chunks.len() as u64);
+            sink.gauge_max(
+                Stage::Extract,
+                "peak_resident_bytes",
+                waves.peak_resident_bytes() as f64,
+            );
+            driver.process_wave(&wave, sink);
+        }
+        Ok(driver.finish())
+    })
+}
+
+/// [`extract_source_prefetch_observed`] with a disabled sink.
+pub fn extract_source_prefetch<'s>(
+    source: &mut (dyn LogSource<'s> + Send),
+    target_bytes: Option<u64>,
+) -> Result<(Vec<Vec<ErrorRecord>>, ExtractStats), DataError> {
+    extract_source_prefetch_observed(source, target_bytes, &dr_obs::MetricsSink::disabled())
+}
+
+/// Per-run extraction state shared by the synchronous and prefetching
+/// drivers: the accumulating per-node record streams, the scanner state
+/// carried across waves, and merged stats. Both drivers feed waves (from
+/// the same [`pull_wave`] boundary rule) through the same
+/// [`WaveDriver::process_wave`], which is what makes prefetch on/off
+/// bit-identical by construction.
+struct WaveDriver {
+    per_node: Vec<Vec<ErrorRecord>>,
+    /// Scanner state carried across waves, per node: (year, last month).
+    per_node_state: Vec<(i32, u8)>,
+    stats: ExtractStats,
+}
+
+impl WaveDriver {
+    fn new(n_nodes: usize) -> WaveDriver {
+        let mut per_node: Vec<Vec<ErrorRecord>> = Vec::new();
+        per_node.resize_with(n_nodes, Vec::new);
+        WaveDriver {
+            per_node,
+            per_node_state: vec![(2022, 1); n_nodes],
+            stats: ExtractStats::default(),
+        }
+    }
+
+    /// Run the summarize → prefix-fold → extract phases on one wave and
+    /// fold the output into the per-node streams.
+    fn process_wave(&mut self, wave: &Wave<'_>, sink: &dr_obs::MetricsSink) {
+        use dr_obs::Stage;
+        let chunks = &wave.chunks;
         let span = sink.span(Stage::Extract, "total");
+        let stats_before = self.stats;
 
         // Phase 1 (parallel): per-chunk state summaries.
         let summaries: Vec<Option<StateSummary>> = {
             let _child = span.child("summarize");
-            dr_par::par_map(&wave, |c| summarize_chunk(&c.lines))
+            dr_par::par_map(chunks, |c| summarize_chunk(&c.lines))
         };
 
         // Phase 2 (serial, cheap): replay the incoming state of every
         // chunk, continuing from where the previous wave left each node.
         let work: Vec<(&LogChunk<'_>, (i32, u8))> = {
             let _child = span.child("prefix-fold");
-            let mut incoming: Vec<(i32, u8)> = Vec::with_capacity(wave.len());
-            for (c, summary) in wave.iter().zip(&summaries) {
-                incoming.push(per_node_state[c.node]);
-                per_node_state[c.node] = apply_summary(per_node_state[c.node], *summary);
+            let mut incoming: Vec<(i32, u8)> = Vec::with_capacity(chunks.len());
+            for (c, summary) in chunks.iter().zip(&summaries) {
+                incoming.push(self.per_node_state[c.node]);
+                self.per_node_state[c.node] =
+                    apply_summary(self.per_node_state[c.node], *summary);
             }
-            wave.iter().zip(incoming).collect()
+            chunks.iter().zip(incoming).collect()
         };
 
         // Phase 3 (parallel): extract each chunk from its replayed state.
@@ -283,11 +385,29 @@ pub fn extract_source_observed<'s>(
         // Stitch the wave back into per-node streams (par_map preserves
         // input order, and chunks are node-major and in-order per node).
         for ((c, _), (mut recs, s)) in work.iter().zip(extracted) {
-            per_node[c.node].append(&mut recs);
-            stats.merge(&s);
+            self.per_node[c.node].append(&mut recs);
+            self.stats.merge(&s);
+        }
+
+        // Per-wave prefilter telemetry: what fraction of this wave's
+        // lines survived the literal needle scan. Diagnosing throughput
+        // spread between corpora (noise-heavy vs XID-dense) starts here.
+        if sink.is_enabled() {
+            let lines = self.stats.lines - stats_before.lines;
+            if lines > 0 {
+                let hits = self.stats.prefilter_hits - stats_before.prefilter_hits;
+                sink.observe(
+                    Stage::Extract,
+                    "wave_prefilter_hit_pct",
+                    100.0 * hits as f64 / lines as f64,
+                );
+            }
         }
     }
-    Ok((per_node, stats))
+
+    fn finish(self) -> (Vec<Vec<ErrorRecord>>, ExtractStats) {
+        (self.per_node, self.stats)
+    }
 }
 
 /// Stage I/II handoff: k-way merge the per-node time-ordered streams into
@@ -399,6 +519,18 @@ pub fn extract_and_coalesce_source_observed<'s>(
     sink: &dr_obs::MetricsSink,
 ) -> Result<(Vec<CoalescedError>, ExtractStats), DataError> {
     let (per_node, stats) = extract_source_observed(source, target_bytes, sink)?;
+    Ok((merge_and_coalesce_observed(per_node, cfg, sink), stats))
+}
+
+/// [`extract_and_coalesce_source_observed`] on the prefetching Stage I
+/// driver: same coalesced output, I/O overlapped with extraction.
+pub fn extract_and_coalesce_source_prefetch_observed<'s>(
+    source: &mut (dyn LogSource<'s> + Send),
+    cfg: CoalesceConfig,
+    target_bytes: Option<u64>,
+    sink: &dr_obs::MetricsSink,
+) -> Result<(Vec<CoalescedError>, ExtractStats), DataError> {
+    let (per_node, stats) = extract_source_prefetch_observed(source, target_bytes, sink)?;
     Ok((merge_and_coalesce_observed(per_node, cfg, sink), stats))
 }
 

@@ -33,6 +33,9 @@ use std::borrow::Cow;
 use std::fs::File;
 use std::io::{BufRead, BufReader};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::thread;
 
 /// One unit of streamed log text: a run of consecutive lines from one
 /// node's log. `node` indexes the source's [`LogSource::nodes`] slice.
@@ -330,6 +333,169 @@ pub fn collect_source<'s>(
     Ok(out)
 }
 
+// ---------------------------------------------------------------------------
+// Wave prefetch: I/O-overlapped double buffering
+// ---------------------------------------------------------------------------
+
+/// One wave of chunks — what the shard driver extracts between source
+/// pulls. `bytes` is the summed on-disk byte volume of the chunks.
+#[derive(Debug)]
+pub struct Wave<'a> {
+    /// The wave's chunks, node-major and in source order.
+    pub chunks: Vec<LogChunk<'a>>,
+    /// Total byte volume across `chunks`.
+    pub bytes: u64,
+}
+
+/// Pull one wave (chunks of ≈ `target` bytes until ≥ `budget` bytes are
+/// gathered) from `source`; `None` once the source is exhausted. This is
+/// the *single* definition of wave boundaries: the synchronous shard
+/// driver and the [`Prefetcher`]'s I/O thread both call it, which is what
+/// keeps their waves — and therefore the extracted results — bit-identical.
+pub fn pull_wave<'s>(
+    source: &mut dyn LogSource<'s>,
+    target: u64,
+    budget: u64,
+) -> Result<Option<Wave<'s>>, DataError> {
+    let mut chunks = Vec::new();
+    let mut bytes = 0u64;
+    while bytes < budget {
+        let Some(chunk) = source.next_chunk(target)? else {
+            break;
+        };
+        bytes += chunk.bytes;
+        chunks.push(chunk);
+    }
+    if chunks.is_empty() {
+        Ok(None)
+    } else {
+        Ok(Some(Wave { chunks, bytes }))
+    }
+}
+
+/// Double-buffered wave prefetch over any [`LogSource`]: a dedicated I/O
+/// thread pulls wave *N+1* while the caller's workers extract wave *N*.
+///
+/// The two sides meet at a rendezvous channel (`sync_channel(0)`), so the
+/// producer can run at most one complete wave ahead of the consumer:
+/// once wave *N+1* is assembled, `send` blocks until the consumer asks
+/// for it. Peak resident log text is therefore bounded by the consumer's
+/// held wave plus the producer's staged wave — ≤ 2 × the wave budget
+/// (plus at most one chunk of overshoot per side, since a wave closes on
+/// the first chunk that reaches the budget). The exact high-water mark is
+/// tracked on a shared counter and exposed as
+/// [`WaveRx::peak_resident_bytes`].
+///
+/// A mid-stream read failure is forwarded through the channel and
+/// surfaces as `Err` from [`WaveRx::next_wave`] — never a panic — after
+/// which the I/O thread exits. If the consumer stops early, dropping the
+/// receiver unblocks the producer's `send` and the thread exits cleanly.
+pub struct Prefetcher<'src, 's> {
+    source: &'src mut (dyn LogSource<'s> + Send),
+    target_bytes: u64,
+    wave_budget: u64,
+}
+
+impl<'src, 's> Prefetcher<'src, 's> {
+    /// Wrap `source` for prefetching with the given chunk-size target and
+    /// per-wave byte budget (normally `target × workers`; see
+    /// `shard::WaveConfig`).
+    pub fn new(
+        source: &'src mut (dyn LogSource<'s> + Send),
+        target_bytes: u64,
+        wave_budget: u64,
+    ) -> Self {
+        Prefetcher {
+            source,
+            target_bytes: target_bytes.max(1),
+            wave_budget,
+        }
+    }
+
+    /// Run `consumer` with a [`WaveRx`] yielding prefetched waves, while
+    /// the I/O thread stays one wave ahead. Returns the consumer's value
+    /// after the I/O thread has been joined.
+    pub fn run<R>(self, consumer: impl FnOnce(&mut WaveRx<'s, '_>) -> R) -> R {
+        let resident = AtomicU64::new(0);
+        let high_water = AtomicU64::new(0);
+        let Prefetcher {
+            source,
+            target_bytes,
+            wave_budget,
+        } = self;
+        thread::scope(|scope| {
+            // Capacity 0 = rendezvous: the producer parks inside `send`
+            // holding exactly one finished wave. That parked wave is the
+            // second buffer of the double buffer.
+            let (tx, rx) = mpsc::sync_channel::<Result<Wave<'s>, DataError>>(0);
+            let (resident_ref, high_ref) = (&resident, &high_water);
+            scope.spawn(move || loop {
+                match pull_wave(source, target_bytes, wave_budget) {
+                    Ok(Some(wave)) => {
+                        // Count the wave the moment its text is fully
+                        // resident, before handing it over.
+                        let now = resident_ref.fetch_add(wave.bytes, Ordering::SeqCst) + wave.bytes;
+                        high_ref.fetch_max(now, Ordering::SeqCst);
+                        if tx.send(Ok(wave)).is_err() {
+                            break; // consumer hung up early
+                        }
+                    }
+                    Ok(None) => break, // source exhausted; drop tx to signal end
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        break;
+                    }
+                }
+            });
+            let mut waves = WaveRx {
+                rx,
+                resident: &resident,
+                high_water: &high_water,
+                held: 0,
+            };
+            consumer(&mut waves)
+        })
+    }
+}
+
+/// Consumer handle to a running [`Prefetcher`]: yields waves and reports
+/// the resident-text high-water mark across both buffer slots.
+pub struct WaveRx<'s, 'p> {
+    rx: mpsc::Receiver<Result<Wave<'s>, DataError>>,
+    resident: &'p AtomicU64,
+    high_water: &'p AtomicU64,
+    held: u64,
+}
+
+impl<'s> WaveRx<'s, '_> {
+    /// Receive the next wave, blocking until the I/O thread delivers one;
+    /// `None` once the source is exhausted. The previously yielded wave
+    /// must be dropped before calling again (the natural shape of a
+    /// `while let` loop) — its bytes are retired from the resident count
+    /// here.
+    pub fn next_wave(&mut self) -> Result<Option<Wave<'s>>, DataError> {
+        self.resident.fetch_sub(self.held, Ordering::SeqCst);
+        self.held = 0;
+        match self.rx.recv() {
+            // The producer dropped its sender: clean end of stream.
+            Err(mpsc::RecvError) => Ok(None),
+            Ok(Ok(wave)) => {
+                self.held = wave.bytes;
+                Ok(Some(wave))
+            }
+            Ok(Err(e)) => Err(e),
+        }
+    }
+
+    /// High-water mark, in bytes, of log text resident across the
+    /// consumer-held wave and the producer-staged wave, over the life of
+    /// the prefetch so far. Bounded by 2 × wave budget (+ one chunk of
+    /// overshoot per side).
+    pub fn peak_resident_bytes(&self) -> u64 {
+        self.high_water.load(Ordering::SeqCst)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,6 +534,146 @@ mod tests {
         let logs = corpus();
         let mut src = InMemorySource::new(&logs);
         assert_eq!(collect_source(&mut src).unwrap(), logs);
+    }
+
+    /// A source that yields `good` chunks of one line each, then fails.
+    struct FailingSource {
+        nodes: Vec<NodeId>,
+        yielded: usize,
+        good: usize,
+    }
+
+    impl LogSource<'static> for FailingSource {
+        fn nodes(&self) -> &[NodeId] {
+            &self.nodes
+        }
+
+        fn next_chunk(&mut self, _target: u64) -> Result<Option<LogChunk<'static>>, DataError> {
+            if self.yielded >= self.good {
+                return Err(DataError::Io {
+                    path: "<failing-source>".to_string(),
+                    message: "disk read failed mid-stream".to_string(),
+                });
+            }
+            self.yielded += 1;
+            Ok(Some(LogChunk {
+                node: 0,
+                lines: Cow::Owned(vec!["noise line".to_string()]),
+                bytes: 11,
+            }))
+        }
+
+        fn total_bytes_hint(&self) -> Option<u64> {
+            None
+        }
+    }
+
+    #[test]
+    fn prefetcher_yields_the_same_waves_as_synchronous_pulls() {
+        let logs = corpus();
+        let (target, budget) = (6u64, 12u64);
+
+        let mut sync_src = InMemorySource::new(&logs);
+        let mut sync_waves: Vec<(usize, u64)> = Vec::new();
+        while let Some(w) = pull_wave(&mut sync_src, target, budget).unwrap() {
+            sync_waves.push((w.chunks.len(), w.bytes));
+        }
+        assert!(sync_waves.len() > 1, "corpus must span several waves");
+
+        let mut src = InMemorySource::new(&logs);
+        let pf_waves = Prefetcher::new(&mut src, target, budget).run(|rx| {
+            let mut got = Vec::new();
+            while let Some(w) = rx.next_wave().unwrap() {
+                got.push((w.chunks.len(), w.bytes));
+            }
+            got
+        });
+        assert_eq!(pf_waves, sync_waves, "wave boundaries must be identical");
+    }
+
+    #[test]
+    fn prefetcher_on_an_empty_source_yields_nothing() {
+        let logs: Vec<(NodeId, Vec<String>)> = vec![];
+        let mut src = InMemorySource::new(&logs);
+        let n = Prefetcher::new(&mut src, 64, 128).run(|rx| {
+            let mut n = 0;
+            while let Some(_w) = rx.next_wave().unwrap() {
+                n += 1;
+            }
+            n
+        });
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn prefetcher_on_a_single_chunk_source_yields_one_wave() {
+        let logs = vec![(NodeId(0), vec!["only line".to_string()])];
+        let mut src = InMemorySource::new(&logs);
+        let waves = Prefetcher::new(&mut src, 1 << 20, 8 << 20).run(|rx| {
+            let mut got = Vec::new();
+            while let Some(w) = rx.next_wave().unwrap() {
+                got.push(w.chunks.len());
+            }
+            got
+        });
+        assert_eq!(waves, vec![1]);
+    }
+
+    #[test]
+    fn prefetcher_propagates_mid_stream_errors_without_panicking() {
+        let mut src = FailingSource {
+            nodes: vec![NodeId(0)],
+            yielded: 0,
+            good: 3,
+        };
+        let err = Prefetcher::new(&mut src, 11, 22).run(|rx| loop {
+            match rx.next_wave() {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("source must fail before exhaustion"),
+                Err(e) => break e,
+            }
+        });
+        assert!(
+            err.to_string().contains("disk read failed mid-stream"),
+            "error must carry the source's message, got: {err}"
+        );
+    }
+
+    #[test]
+    fn prefetcher_consumer_may_stop_early_without_deadlock() {
+        let logs = corpus();
+        let mut src = InMemorySource::new(&logs);
+        // Take a single wave and return: the producer is left blocked in
+        // `send`; dropping the receiver must release it so `run` joins.
+        let first = Prefetcher::new(&mut src, 6, 6).run(|rx| {
+            rx.next_wave().unwrap().map(|w| w.bytes)
+        });
+        assert!(first.is_some());
+    }
+
+    #[test]
+    fn prefetcher_peak_resident_never_exceeds_two_waves() {
+        let logs = corpus();
+        let (target, budget) = (6u64, 12u64);
+        // Chunk overshoot: a chunk closes on the line that crosses the
+        // target, a wave on the chunk that crosses the budget.
+        let max_line = logs
+            .iter()
+            .flat_map(|(_, l)| l.iter())
+            .map(|l| l.len() as u64 + 1)
+            .max()
+            .unwrap_or(0);
+        let bound = 2 * (budget + target + max_line);
+        let mut src = InMemorySource::new(&logs);
+        let peak = Prefetcher::new(&mut src, target, budget).run(|rx| {
+            while let Some(_w) = rx.next_wave().unwrap() {}
+            rx.peak_resident_bytes()
+        });
+        assert!(peak > 0, "high-water mark must be recorded");
+        assert!(
+            peak <= bound,
+            "peak {peak} exceeds the double-buffer bound {bound}"
+        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The repo-specific lint passes: six file-local, three interprocedural.
 
+pub mod boundedchan;
 pub mod determinism;
 pub mod hotalloc;
 pub mod layerdag;
@@ -10,6 +11,7 @@ pub mod taint;
 pub mod taxonomy;
 pub mod units;
 
+pub use boundedchan::BoundedChannelsPass;
 pub use determinism::DeterminismPass;
 pub use hotalloc::HotAllocPass;
 pub use layerdag::LayerDagPass;
@@ -25,6 +27,7 @@ use crate::Pass;
 /// Every pass, in the order findings are reported.
 pub fn all() -> Vec<Box<dyn Pass>> {
     vec![
+        Box::new(BoundedChannelsPass),
         Box::new(DeterminismPass),
         Box::new(HotAllocPass),
         Box::new(LayerDagPass),
@@ -40,6 +43,15 @@ pub fn all() -> Vec<Box<dyn Pass>> {
 /// One-paragraph rationale per lint id, for `dr-lint --explain <id>`.
 pub fn explain(id: &str) -> Option<&'static str> {
     Some(match id {
+        boundedchan::ID => {
+            "Forbids unbounded channels (`mpsc::channel`) in library crates. The pipeline's \
+             memory contract is O(workers × chunk_bytes) resident text; an unbounded queue \
+             between a fast producer and a slower consumer absorbs the corpus and repeals \
+             the bound silently. Cross-thread handoffs must use `mpsc::sync_channel(n)`, \
+             whose blocking `send` is the back-pressure (the wave prefetcher uses the \
+             capacity-0 rendezvous form). Waive a provably bounded queue with \
+             `// dr-lint: allow(bounded-channels): <why it is bounded>`."
+        }
         determinism::ID => {
             "Forbids ambient randomness (`thread_rng`), wall-clock reads \
              (`SystemTime::now`/`Instant::now` outside crates/obs/src/clock.rs), and \

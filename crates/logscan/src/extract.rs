@@ -28,6 +28,11 @@ pub struct ExtractStats {
     /// from a non-GPU host does **not** count, and a `gpub` header with
     /// an impossible date (e.g. Feb 30) does.
     pub syslog_lines: u64,
+    /// Lines that pass the literal `NVRM: Xid` needle prefilter and are
+    /// handed to the structured parser. `prefilter_hits - xid_lines` is
+    /// the near-miss count: lines mentioning the needle whose header or
+    /// report body then failed to parse.
+    pub prefilter_hits: u64,
     /// Lines containing an NVRM XID report.
     pub xid_lines: u64,
     /// XID lines with a code outside the studied set.
@@ -42,6 +47,7 @@ impl ExtractStats {
     pub fn merge(&mut self, other: &ExtractStats) {
         self.lines += other.lines;
         self.syslog_lines += other.syslog_lines;
+        self.prefilter_hits += other.prefilter_hits;
         self.xid_lines += other.xid_lines;
         self.unknown_xid += other.unknown_xid;
         self.malformed += other.malformed;
@@ -230,6 +236,7 @@ impl XidExtractor {
             }
             return None;
         }
+        self.stats.prefilter_hits += 1;
         let header = parse_header(line)?;
         self.stats.syslog_lines += 1;
         let parsed = self.scanner.resolve(line, &header)?;
@@ -316,6 +323,11 @@ impl XidExtractor {
         sink.add(Stage::Extract, Counter::Bytes, bytes);
         sink.add(Stage::Extract, Counter::Lines, after.lines - before.lines);
         sink.add(Stage::Extract, Counter::XidLines, after.xid_lines - before.xid_lines);
+        sink.add(
+            Stage::Extract,
+            Counter::PrefilterHits,
+            after.prefilter_hits - before.prefilter_hits,
+        );
         sink.add(Stage::Extract, Counter::Records, records.len() as u64);
         span.rate("chunk_mb_per_s", bytes as f64 / (1024.0 * 1024.0));
         records
@@ -396,6 +408,7 @@ impl BaselineExtractor {
             }
             return None;
         }
+        self.stats.prefilter_hits += 1;
         let parsed = self.parse_syslog(line)?;
         self.stats.syslog_lines += 1;
 
@@ -615,6 +628,7 @@ mod tests {
         let mut a = ExtractStats {
             lines: 10,
             syslog_lines: 8,
+            prefilter_hits: 4,
             xid_lines: 3,
             unknown_xid: 1,
             malformed: 1,
@@ -622,6 +636,7 @@ mod tests {
         let b = ExtractStats {
             lines: 5,
             syslog_lines: 4,
+            prefilter_hits: 2,
             xid_lines: 2,
             unknown_xid: 0,
             malformed: 1,
@@ -632,11 +647,29 @@ mod tests {
             ExtractStats {
                 lines: 15,
                 syslog_lines: 12,
+                prefilter_hits: 6,
                 xid_lines: 5,
                 unknown_xid: 1,
                 malformed: 2,
             }
         );
+    }
+
+    #[test]
+    fn prefilter_hits_count_needle_lines_including_near_misses() {
+        let mut ex = XidExtractor::new();
+        // Clean miss: no needle, no hit.
+        assert!(ex.extract_line("Jan  2 03:04:05 gpub042 kernel: eth0 up").is_none());
+        // Near miss: needle present but no parseable syslog header.
+        assert!(ex.extract_line("garbage NVRM: Xid garbage").is_none());
+        // Full hit: needle, header, and report all parse.
+        let ok = "Jan  2 03:04:05 gpub042 kernel: NVRM: Xid (PCI:0000:c1:00): 79, \
+                  pid=1, GPU has fallen off the bus.";
+        assert!(ex.extract_line(ok).is_some());
+        let s = ex.stats();
+        assert_eq!(s.lines, 3);
+        assert_eq!(s.prefilter_hits, 2);
+        assert_eq!(s.xid_lines, 1);
     }
 
     #[test]

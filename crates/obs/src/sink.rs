@@ -78,6 +78,11 @@ pub enum Counter {
     Lines,
     /// Lines carrying an `NVRM: Xid` report.
     XidLines,
+    /// Lines that survived the literal needle prefilter and reached the
+    /// structured parser. Hit rate = `prefilter_hits / lines`; the gap
+    /// `prefilter_hits - xid_lines` counts near-miss lines the parser
+    /// then rejected.
+    PrefilterHits,
     /// Structured error records produced.
     Records,
     /// Coalesced error episodes.
@@ -91,10 +96,11 @@ pub enum Counter {
 }
 
 impl Counter {
-    pub const ALL: [Counter; 8] = [
+    pub const ALL: [Counter; 9] = [
         Counter::Bytes,
         Counter::Lines,
         Counter::XidLines,
+        Counter::PrefilterHits,
         Counter::Records,
         Counter::Episodes,
         Counter::Chunks,
@@ -108,6 +114,7 @@ impl Counter {
             Counter::Bytes => "bytes",
             Counter::Lines => "lines",
             Counter::XidLines => "xid_lines",
+            Counter::PrefilterHits => "prefilter_hits",
             Counter::Records => "records",
             Counter::Episodes => "episodes",
             Counter::Chunks => "chunks",
@@ -661,7 +668,17 @@ mod tests {
         let counter_names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
         assert_eq!(
             counter_names,
-            ["bytes", "lines", "xid_lines", "records", "episodes", "chunks", "events", "jobs"]
+            [
+                "bytes",
+                "lines",
+                "xid_lines",
+                "prefilter_hits",
+                "records",
+                "episodes",
+                "chunks",
+                "events",
+                "jobs"
+            ]
         );
     }
 

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! gpures campaign  --out DIR [--shape tiny|ampere|h100] [--days N] [--seed S] [--text-nodes N] [--metrics FILE]
-//! gpures analyze   --logs DIR [--jobs FILE] [--downtime FILE] [--nodes N] [--hours H] [--dt SECS] [--chunk-bytes N] [--dot DIR] [--metrics FILE]
+//! gpures analyze   --logs DIR [--jobs FILE] [--downtime FILE] [--nodes N] [--hours H] [--dt SECS] [--chunk-bytes N] [--workers N] [--prefetch on|off] [--dot DIR] [--metrics FILE]
 //! gpures incidents
 //! gpures project   [--gpus N] [--recovery-min M] [--runs R]
 //! gpures monitor   [--log FILE] [--nodes N] [--every K]
@@ -69,14 +69,16 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   gpures campaign  --out DIR [--shape tiny|ampere|h100] [--days N] [--seed S] [--text-nodes N] [--metrics FILE]
-  gpures analyze   --logs DIR [--jobs FILE] [--downtime FILE] [--nodes N] [--hours H] [--dt SECS] [--chunk-bytes N] [--dot DIR] [--metrics FILE]
+  gpures analyze   --logs DIR [--jobs FILE] [--downtime FILE] [--nodes N] [--hours H] [--dt SECS] [--chunk-bytes N] [--workers N] [--prefetch on|off] [--dot DIR] [--metrics FILE]
   gpures incidents
   gpures project   [--gpus N] [--recovery-min M] [--runs R]
   gpures monitor   [--log FILE] [--nodes N] [--every K]   (FILE or stdin; live Table 1)
   gpures bench     [--out DIR] [--smoke true]   (throughput + overhead + streaming + lint -> BENCH_*.json)
 
   --metrics FILE exports per-stage spans/counters/gauges/histograms (gpures-metrics/v1 JSON)
-  --chunk-bytes N pins the streaming ingestion chunk size (default: sized to the worker pool)";
+  --chunk-bytes N pins the streaming ingestion chunk size (default: sized to the worker pool)
+  --workers N overrides the Stage I worker pool width (default: all cores, or DR_PAR_THREADS)
+  --prefetch on|off toggles the I/O-overlapped wave prefetch thread (default: on)";
 
 /// `--key value` option bag with typed getters.
 struct Opts(BTreeMap<String, String>);
@@ -254,6 +256,15 @@ fn cmd_analyze(opts: &Opts) -> Result<(), String> {
     let hours: f64 = opts.num("hours", default_hours)?;
     let dt: u64 = opts.num("dt", 5)?;
     let chunk_bytes: u64 = opts.num("chunk-bytes", 0)?;
+    let workers: usize = opts.num("workers", 0)?;
+    if workers > 0 {
+        gpu_resilience::par::set_worker_override(Some(workers));
+    }
+    let prefetch = match opts.str("prefetch").unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("bad --prefetch value {other:?} (on|off)")),
+    };
 
     let cfg = StudyConfig {
         coalesce: CoalesceConfig::with_window_secs(dt),
@@ -269,13 +280,16 @@ fn cmd_analyze(opts: &Opts) -> Result<(), String> {
     };
 
     eprintln!(
-        "analyzing {} node logs ({} bytes, streamed) ...",
+        "analyzing {} node logs ({} bytes, streamed, {} workers, prefetch {}) ...",
         source.nodes().len(),
-        source.total_bytes_hint().unwrap_or(0)
+        source.total_bytes_hint().unwrap_or(0),
+        gpu_resilience::par::max_workers(),
+        if prefetch { "on" } else { "off" },
     );
     let mut builder = PipelineBuilder::new(cfg)
         .maybe_jobs(jobs.as_deref())
         .maybe_downtime(downtime.as_deref())
+        .prefetch(prefetch)
         .metrics(sink.clone());
     if chunk_bytes > 0 {
         builder = builder.chunk_bytes(chunk_bytes);
@@ -468,7 +482,14 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
     std::fs::write(&pipe_path, pipe_doc.render()).map_err(|e| e.to_string())?;
     let scaling = pipe_doc.get("scaling").and_then(|v| v.as_f64()).unwrap_or(0.0);
     let pool = pipe_doc.get("worker_pool").and_then(|v| v.as_f64()).unwrap_or(0.0);
-    println!("pipeline     {pool:.0}-worker scaling {scaling:.2}x over 1 worker");
+    let eff = pipe_doc
+        .get("scaling_efficiency")
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    println!(
+        "pipeline     worker matrix scaling {scaling:.2}x over 1 worker \
+         (efficiency {eff:.2}, pool {pool:.0})"
+    );
 
     eprintln!("benchmarking observability overhead ...");
     let obs_doc = gpu_resilience::bench::obs::obs_report(smoke)?;
@@ -496,9 +517,21 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
                 .and_then(|m| m.get("mb_per_s"))
                 .and_then(|v| v.as_f64())
                 .unwrap_or(0.0);
-            println!("{name:<12} {mb:>8.2} MB/s   peak resident {peak:>12.0} bytes");
+            println!("{name:<20} {mb:>8.2} MB/s   peak resident {peak:>12.0} bytes");
         }
     }
+    let gap_close = stream_doc
+        .get("gap_close_pct")
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    let pf_speedup = stream_doc
+        .get("prefetch_speedup")
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    println!(
+        "stream       prefetch {pf_speedup:.2}x over sync dir-stream \
+         ({gap_close:.0}% of the in-memory gap closed)"
+    );
 
     eprintln!("benchmarking dr-lint symbol-graph analysis ...");
     let lint_doc = gpu_resilience::bench::lint::lint_report(smoke, std::path::Path::new("."))?;

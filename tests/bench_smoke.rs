@@ -59,7 +59,7 @@ fn pipeline_report_counts_match_batch_route() {
     let doc = stage1::pipeline_report(true).expect("smoke report builds");
     assert_eq!(
         doc.get("schema").and_then(Json::as_str),
-        Some("gpures-bench-pipeline/v1")
+        Some("gpures-bench-pipeline/v2")
     );
 
     // Same corpus as the smoke pipeline report, through the batch route.
@@ -70,7 +70,11 @@ fn pipeline_report_counts_match_batch_route() {
     assert!(reference > 0);
 
     let runs = doc.get("runs").and_then(Json::as_arr).expect("runs");
-    assert!(!runs.is_empty());
+    assert_eq!(
+        runs.len(),
+        stage1::WORKER_MATRIX.len(),
+        "one run per worker-matrix entry"
+    );
     for run in runs {
         assert_eq!(
             run.get("coalesced").and_then(Json::as_u64),
@@ -78,6 +82,35 @@ fn pipeline_report_counts_match_batch_route() {
             "every worker count must coalesce identically to the batch route"
         );
         assert!(run.get("workers").and_then(Json::as_u64).expect("workers") >= 1);
+        assert!(
+            run.get("scaling_efficiency")
+                .and_then(Json::as_f64)
+                .expect("per-run scaling_efficiency")
+                > 0.0
+        );
+    }
+    assert!(doc.get("scaling_efficiency").and_then(Json::as_f64).is_some());
+}
+
+/// The committed `BENCH_pipeline.json` artifact must come from a real
+/// worker-matrix sweep: a non-smoke report with fewer than two runs has
+/// a vacuous scaling number and fails tier-1 here.
+#[test]
+fn committed_pipeline_artifact_has_a_worker_matrix() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("BENCH_pipeline.json");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return; // artifact not generated yet (fresh checkout)
+    };
+    let doc = Json::parse(&text).expect("committed artifact parses");
+    let smoke = doc.get("smoke") == Some(&Json::Bool(true));
+    let runs = doc.get("runs").and_then(Json::as_arr).expect("runs");
+    if !smoke {
+        assert!(
+            runs.len() >= 2,
+            "non-smoke BENCH_pipeline.json must sweep a worker matrix \
+             (got {} run(s))",
+            runs.len()
+        );
     }
 }
 
@@ -107,7 +140,7 @@ fn stream_report_cross_checks_both_paths() {
     let doc = gpu_resilience::bench::stream::stream_report(true).expect("smoke report builds");
     assert_eq!(
         doc.get("schema").and_then(Json::as_str),
-        Some("gpures-bench-stream/v1")
+        Some("gpures-bench-stream/v2")
     );
     // Same smoke corpus as the pipeline report, through the batch route.
     let w = noisy_workload(3, 400);
@@ -117,7 +150,13 @@ fn stream_report_cross_checks_both_paths() {
     assert!(reference > 0);
 
     let paths = doc.get("paths").and_then(Json::as_arr).expect("paths");
-    assert_eq!(paths.len(), 2, "in-memory + dir-stream");
+    assert_eq!(
+        paths.len(),
+        3,
+        "in-memory + dir-stream + dir-stream-prefetch"
+    );
+    assert!(doc.get("prefetch_speedup").and_then(Json::as_f64).is_some());
+    assert!(doc.get("gap_close_pct").and_then(Json::as_f64).is_some());
     for p in paths {
         assert_eq!(
             p.get("coalesced").and_then(Json::as_u64),
@@ -175,9 +214,9 @@ fn bench_cli_writes_parseable_artifacts() {
 
     for (file, schema) in [
         ("BENCH_stage1.json", "gpures-bench-stage1/v1"),
-        ("BENCH_pipeline.json", "gpures-bench-pipeline/v1"),
+        ("BENCH_pipeline.json", "gpures-bench-pipeline/v2"),
         ("BENCH_obs.json", "gpures-bench-obs/v1"),
-        ("BENCH_stream.json", "gpures-bench-stream/v1"),
+        ("BENCH_stream.json", "gpures-bench-stream/v2"),
         ("BENCH_lint.json", "gpures-bench-lint/v1"),
     ] {
         let text = std::fs::read_to_string(dir.join(file)).expect(file);

@@ -97,6 +97,94 @@ fn every_source_is_bit_identical_across_chunk_sizes_and_workers() {
 }
 
 #[test]
+fn prefetch_is_bit_identical_across_workers_and_sources() {
+    let _workers = WORKER_LOCK.lock().expect("worker lock");
+    let out = campaign();
+    let cfg = study_config(&out);
+
+    // Reference: synchronous path, default chunking, default workers.
+    let reference = fingerprint(&PipelineBuilder::new(cfg).run_text(&out.text_logs));
+
+    let dir = scratch_dir("prefetch-identity");
+    let mut gen = GeneratorSource::from_campaign(&out);
+    files::write_node_logs_source(&dir, &mut gen).expect("streamed write");
+
+    // workers=1 with prefetch on is the degenerate-pool edge case: the
+    // I/O thread still runs, the extract pool is a single worker.
+    for workers in [1usize, 8] {
+        gpu_resilience::par::set_worker_override(Some(workers));
+        for prefetch in [false, true] {
+            for chunk in [None, Some(2048u64)] {
+                let mut builder = PipelineBuilder::new(cfg).prefetch(prefetch);
+                if let Some(c) = chunk {
+                    builder = builder.chunk_bytes(c);
+                }
+                let tag = format!("workers={workers} prefetch={prefetch} chunk={chunk:?}");
+
+                let mut mem = InMemorySource::new(&out.text_logs);
+                let r_mem = builder.run_source(&mut mem).expect("in-memory");
+                assert_eq!(fingerprint(&r_mem), reference, "in-memory diverged ({tag})");
+
+                let mut disk = DirSource::open(&dir).expect("reopen log dir");
+                let r_disk = builder.run_source(&mut disk).expect("dir source");
+                assert_eq!(fingerprint(&r_disk), reference, "dir source diverged ({tag})");
+            }
+        }
+    }
+    gpu_resilience::par::set_worker_override(None);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn prefetch_peak_resident_stays_within_two_wave_budgets() {
+    let _workers = WORKER_LOCK.lock().expect("worker lock");
+    let out = campaign();
+    let cfg = study_config(&out);
+    let dir = scratch_dir("prefetch-bounded");
+    let mut gen = GeneratorSource::from_campaign(&out);
+    let written = files::write_node_logs_source(&dir, &mut gen).expect("streamed write");
+
+    const CHUNK: u64 = 2048;
+    const WORKERS: usize = 8;
+    gpu_resilience::par::set_worker_override(Some(WORKERS));
+    let sink = MetricsSink::recording();
+    let mut disk = DirSource::open(&dir).expect("open log dir");
+    let _ = PipelineBuilder::new(cfg)
+        .chunk_bytes(CHUNK)
+        .prefetch(true)
+        .metrics(sink.clone())
+        .run_source(&mut disk)
+        .expect("prefetched streamed analysis");
+    gpu_resilience::par::set_worker_override(None);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let doc = sink.export_json().expect("recording sink exports");
+    let stages = doc.get("stages").and_then(Json::as_arr).expect("stages");
+    let peak = stages
+        .iter()
+        .find(|s| s.get("stage").and_then(Json::as_str) == Some("extract"))
+        .and_then(|s| s.get("gauges"))
+        .and_then(|g| g.get("peak_resident_bytes"))
+        .and_then(Json::as_f64)
+        .expect("peak_resident_bytes gauge");
+
+    // The double-buffer bound: consumer-held wave + producer-staged wave,
+    // each at most `workers × chunk` of target plus one chunk-and-a-line
+    // of overshoot. The corpus must dwarf the bound, or it proves nothing.
+    let wave_budget = (WORKERS as u64 * CHUNK) as f64;
+    let bound = 2.0 * (wave_budget + CHUNK as f64 + 4096.0);
+    assert!(
+        written.bytes as f64 > 2.0 * bound,
+        "corpus ({} bytes) too small to demonstrate the 2-wave bound",
+        written.bytes
+    );
+    assert!(
+        peak > 0.0 && peak <= bound,
+        "prefetch peak resident bytes {peak} exceeds the 2-wave bound {bound}"
+    );
+}
+
+#[test]
 fn dir_source_streams_in_bounded_memory() {
     let _workers = WORKER_LOCK.lock().expect("worker lock");
     let out = campaign();

@@ -1,0 +1,144 @@
+//! Offline in-tree subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no registry access. This stub keeps the
+//! workspace's `benches/` targets compiling (and smoke-runnable: each
+//! registered benchmark executes its routine once so `cargo bench` still
+//! exercises the code paths), but performs no timing or statistics — the
+//! tracked performance artifacts come from `gpures bench`, not criterion.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+
+/// Benchmark registry entry point; methods mirror criterion 0.5's surface.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { ran: false };
+        f(&mut b);
+        eprintln!("bench {id}: ok (smoke, untimed)");
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { ran: false };
+        f(&mut b);
+        eprintln!("bench {}/{id}: ok (smoke, untimed)", self.name);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { ran: false };
+        f(&mut b, input);
+        eprintln!("bench {}/{}: ok (smoke, untimed)", self.name, id.0);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: &str, param: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Runs each routine exactly once — a smoke execution, not a measurement.
+pub struct Bencher {
+    ran: bool,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let _ = routine();
+        self.ran = true;
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let _ = routine(setup());
+        self.ran = true;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    ($group:ident; $($rest:tt)*) => {
+        $crate::criterion_group!($group, $($rest)*);
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let _ = $config;
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,454 @@
+//! Offline in-tree subset of the `proptest` API.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of proptest its property tests use: the `proptest!` macro,
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`, `any::<T>()`,
+//! numeric range strategies, simple `"[class]{lo,hi}"` string strategies,
+//! tuple strategies, and `collection::vec`.
+//!
+//! Differences from upstream, by design:
+//! - **No shrinking.** A failing case reports its generated inputs and the
+//!   assertion message, but is not minimized.
+//! - **Deterministic.** Each test derives its RNG seed from the test name,
+//!   so failures reproduce exactly and runs never depend on ambient entropy
+//!   (which the dr-lint determinism passes forbid anyway).
+//! - Fixed case count ([`CASES`]) instead of a runner config.
+
+#![forbid(unsafe_code)]
+
+/// Number of generated cases per property test.
+pub const CASES: usize = 64;
+
+/// Sentinel error used by `prop_assume!` to discard a case without failing.
+pub const ASSUME_REJECT: &str = "__proptest_assume_reject__";
+
+/// Deterministic generator handed to [`Strategy::sample_value`].
+/// xoshiro256** seeded from the test name via FNV-1a + SplitMix64.
+pub struct Gen {
+    s: [u64; 4],
+}
+
+impl Gen {
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = h;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            *word = z ^ (z >> 31);
+        }
+        if s == [0, 0, 0, 0] {
+            s[0] = 1;
+        }
+        Gen { s }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "Gen::below(0)");
+        self.next_u64() % n
+    }
+}
+
+/// A generator of values for one property-test input.
+pub trait Strategy {
+    type Value;
+    fn sample_value(&self, gen: &mut Gen) -> Self::Value;
+}
+
+// --- numeric ranges ---------------------------------------------------------
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample_value(&self, gen: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + gen.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample_value(&self, gen: &mut Gen) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64 + 1;
+                (lo as i128 + gen.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample_value(&self, gen: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + gen.unit_f64() as $t * (self.end - self.start)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample_value(&self, gen: &mut Gen) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                lo + gen.unit_f64() as $t * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_strategy_float_range!(f32, f64);
+
+// --- any::<T>() -------------------------------------------------------------
+
+/// Types with a full-domain default strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary_value(gen: &mut Gen) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(gen: &mut Gen) -> Self {
+                gen.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(gen: &mut Gen) -> Self {
+        gen.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(gen: &mut Gen) -> Self {
+        gen.unit_f64()
+    }
+}
+
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample_value(&self, gen: &mut Gen) -> T {
+        T::arbitrary_value(gen)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+// --- string strategies ------------------------------------------------------
+
+/// A `&str` is interpreted as a `"[class]{lo,hi}"` pattern: a single
+/// character class (literal chars, `a-z` ranges, `\n`/`\t`/`\\`/`\-`/`\]`
+/// escapes) repeated a length drawn from `lo..=hi`. This covers every string
+/// strategy the workspace uses; richer regexes are deliberately unsupported.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample_value(&self, gen: &mut Gen) -> String {
+        let (chars, lo, hi) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string strategy pattern: {self:?}"));
+        let len = lo + gen.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| chars[gen.below(chars.len() as u64) as usize])
+            .collect()
+    }
+}
+
+fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let (class, tail) = rest.split_at(close);
+    let tail = tail.strip_prefix(']')?;
+    let tail = tail.strip_prefix('{')?;
+    let tail = tail.strip_suffix('}')?;
+    let (lo_s, hi_s) = tail.split_once(',')?;
+    let lo: usize = lo_s.trim().parse().ok()?;
+    let hi: usize = hi_s.trim().parse().ok()?;
+    if lo > hi {
+        return None;
+    }
+
+    let mut chars: Vec<char> = Vec::new();
+    let raw: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < raw.len() {
+        let c = match raw[i] {
+            '\\' => {
+                i += 1;
+                match raw.get(i)? {
+                    'n' => '\n',
+                    't' => '\t',
+                    other => *other,
+                }
+            }
+            other => other,
+        };
+        // Range form `a-b` (a literal `-` at either end is plain).
+        if i + 2 < raw.len() && raw[i + 1] == '-' && raw[i + 2] != ']' && raw[i] != '\\' {
+            let hi_c = raw[i + 2];
+            if c as u32 <= hi_c as u32 {
+                for u in c as u32..=hi_c as u32 {
+                    chars.push(char::from_u32(u)?);
+                }
+                i += 3;
+                continue;
+            }
+        }
+        chars.push(c);
+        i += 1;
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    Some((chars, lo, hi))
+}
+
+// --- tuples -----------------------------------------------------------------
+
+macro_rules! impl_strategy_tuple {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample_value(&self, gen: &mut Gen) -> Self::Value {
+                let ($($v,)+) = self;
+                ($($v.sample_value(gen),)+)
+            }
+        }
+    };
+}
+impl_strategy_tuple!(S1 / s1);
+impl_strategy_tuple!(S1 / s1, S2 / s2);
+impl_strategy_tuple!(S1 / s1, S2 / s2, S3 / s3);
+impl_strategy_tuple!(S1 / s1, S2 / s2, S3 / s3, S4 / s4);
+
+// --- collections ------------------------------------------------------------
+
+pub mod collection {
+    use super::{Gen, Strategy};
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    /// Accepts the size forms the workspace uses (`0..200`, `1..=8`, `5`).
+    pub trait IntoSizeRange {
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        VecStrategy { elem, lo, hi }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample_value(&self, gen: &mut Gen) -> Vec<S::Value> {
+            let len = self.lo + gen.below((self.hi - self.lo + 1) as u64) as usize;
+            (0..len).map(|_| self.elem.sample_value(gen)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    use super::{Gen, Strategy};
+
+    pub struct AnyBool;
+
+    /// `proptest::bool::ANY` — a uniform boolean strategy.
+    pub const ANY: AnyBool = AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn sample_value(&self, gen: &mut Gen) -> bool {
+            gen.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, proptest, Strategy};
+}
+
+// --- macros -----------------------------------------------------------------
+
+/// Define property tests. Each `fn name(pat in strategy, ...) { body }`
+/// expands to a plain test running [`CASES`] deterministic cases; pass-through
+/// attributes (including `#[test]`), `mut` bindings, and trailing commas are
+/// supported exactly as upstream.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($pn:pat in $ps:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut __gen = $crate::Gen::from_name(stringify!($name));
+            for __case in 0..$crate::CASES {
+                let __outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $(let $pn = $crate::Strategy::sample_value(&($ps), &mut __gen);)+
+                    $body;
+                    ::std::result::Result::Ok(())
+                })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err(e) if e == $crate::ASSUME_REJECT => {}
+                    ::std::result::Result::Err(e) =>
+
+                        panic!("property {} failed on case {}: {}", stringify!($name), __case, e),
+                }
+            }
+        }
+    )*};
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "format", args...)`: fail the
+/// current generated case (with its message) without panicking mid-closure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)` with optional trailing format message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// `prop_assume!(cond)`: discard the current case when the precondition
+/// fails, without counting it as a failure.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::ASSUME_REJECT.to_string());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn class_pattern_parses_ranges_and_escapes() {
+        let (chars, lo, hi) = super::parse_class_pattern("[ -~\\n]{0,64}").expect("parses");
+        assert_eq!((lo, hi), (0, 64));
+        assert!(chars.contains(&' '));
+        assert!(chars.contains(&'~'));
+        assert!(chars.contains(&'\n'));
+        // ' '..='~' is 95 chars, plus newline.
+        assert_eq!(chars.len(), 96);
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u32..20, y in -5i64..=5, f in 0.0f64..1.0) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies_compose(
+            xs in prop::collection::vec((0u8..4, crate::bool::ANY), 1..8),
+            s in "[a-c]{2,5}",
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 8);
+            for (v, _) in &xs {
+                prop_assert!(*v < 4);
+            }
+            prop_assert!(s.len() >= 2 && s.len() <= 5);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn assume_discards_cases(x in 0u64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+}
