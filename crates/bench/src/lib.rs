@@ -15,11 +15,15 @@
 //! [`stream`] measures bounded-memory streaming ingestion, producing
 //! `BENCH_stream.json` with in-memory vs `DirSource` throughput and
 //! peak resident chunk bytes.
+//! [`records`] measures the columnar `ErrorRecord` store, producing
+//! `BENCH_records.json` with the write-tee overhead and the replay
+//! speedup of re-analyzing from records instead of re-parsing text.
 //! [`lint`] times the dr-lint symbol-graph analysis itself, producing
 //! `BENCH_lint.json` with the graph scale and findings-by-pass counts.
 
 pub mod lint;
 pub mod obs;
+pub mod records;
 pub mod stage1;
 pub mod stream;
 

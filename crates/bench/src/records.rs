@@ -1,0 +1,252 @@
+//! The tracked record-store replay benchmark behind `gpures bench`.
+//!
+//! Produces `BENCH_records.json` at the repo root: the cost of teeing
+//! extracted `ErrorRecord`s into the columnar store during Stage I
+//! (`write_overhead_pct`), the store's size relative to the text corpus
+//! (`compression_ratio`), and — the headline — how much faster a suite
+//! of re-analyses runs when it replays the store through
+//! [`resilience_core::store::StoreRecordSource`] instead of re-parsing
+//! the syslog text (`replay_speedup`, ratcheted ≥ 20× in non-smoke
+//! runs).
+//!
+//! The replay suite is the kind of parameter sweep the paper's
+//! sensitivity analysis performs: re-coalescing at three Δt values and
+//! a propagation-window ablation, five configurations total. Every
+//! variant first runs both paths untimed and asserts the full
+//! [`resilience_core::pipeline::StudyResults`] are identical (via their
+//! `Debug` rendering — every analysis table at once), so a correctness
+//! regression cannot hide behind a fast number. Workload generation
+//! reuses [`crate::stage1::noisy_workload`] (arithmetic, not random).
+
+use crate::json::Json;
+use crate::stage1::{measure, noisy_workload, Measurement, Workload};
+use crate::stream::ScratchDir;
+use dr_obs::MetricsSink;
+use dr_xid::Duration;
+use resilience_core::source::DirSource;
+use resilience_core::{
+    extract_source_observed, extract_to_store, CoalesceConfig, PipelineBuilder, RecordStore,
+    StudyConfig,
+};
+
+/// The replay sweep: re-coalesce at three Δt values, then ablate the
+/// propagation window at the default Δt. `(name, coalesce Δt seconds,
+/// propagation window seconds)`.
+pub const REPLAY_VARIANTS: [(&str, u64, u64); 5] = [
+    ("dt1", 1, 60),
+    ("dt5", 5, 60),
+    ("dt60", 60, 60),
+    ("w30", 5, 30),
+    ("w120", 5, 120),
+];
+
+/// Study configuration for one sweep point.
+fn variant_config(dt_s: u64, window_s: u64, nodes: u32) -> StudyConfig {
+    let mut cfg = StudyConfig::ampere_study().with_window(30.0 * 24.0, nodes);
+    cfg.coalesce = CoalesceConfig {
+        window: Duration::from_secs(dt_s),
+        ..CoalesceConfig::default()
+    };
+    cfg.propagation_window = Duration::from_secs(window_s);
+    cfg
+}
+
+/// Run `measure` over a fallible pass, surfacing the first error
+/// instead of folding it into a bogus throughput number.
+fn time_pass(
+    w: &Workload,
+    min_wall_s: f64,
+    mut pass: impl FnMut() -> Result<u64, String>,
+) -> Result<Measurement, String> {
+    let mut pass_err = None;
+    let m = measure(w, min_wall_s, || match pass() {
+        Ok(n) => n,
+        Err(e) => {
+            pass_err = Some(e);
+            0
+        }
+    });
+    match pass_err {
+        Some(e) => Err(e),
+        None => Ok(m),
+    }
+}
+
+/// The `BENCH_records.json` document (schema v1). `smoke` shrinks the
+/// corpus and timing floor so the tier-1 test exercises the full path —
+/// including every cross-check — in well under a second; the ≥ 20×
+/// replay ratchet is only enforced on non-smoke runs, where the corpus
+/// is large enough for the ratio to be meaningful.
+pub fn records_report(smoke: bool) -> Result<Json, String> {
+    let (nodes, lines_per_node, min_wall_s) = if smoke {
+        (3, 400, 0.0)
+    } else {
+        (6, 100_000, 0.3)
+    };
+    let w = noisy_workload(nodes, lines_per_node);
+
+    let scratch = ScratchDir::create("records")?;
+    dr_report::files::write_node_logs(scratch.path(), &w.logs).map_err(|e| e.to_string())?;
+    let store_path = scratch.path().join("records.grcs");
+
+    // --- Write-path overhead: extract only vs. extract + store tee. ---
+    let sink = MetricsSink::disabled();
+    let extract_only = time_pass(&w, min_wall_s, || {
+        let mut src = DirSource::open(scratch.path()).map_err(|e| e.to_string())?;
+        extract_source_observed(&mut src, None, &sink)
+            .map(|(per_node, _)| per_node.iter().map(|n| n.len() as u64).sum())
+            .map_err(|e| e.to_string())
+    })?;
+    let extract_store = time_pass(&w, min_wall_s, || {
+        let mut src = DirSource::open(scratch.path()).map_err(|e| e.to_string())?;
+        extract_to_store(&mut src, None, &store_path)
+            .map(|(summary, _)| summary.records)
+            .map_err(|e| e.to_string())
+    })?;
+    if extract_only.records != extract_store.records {
+        return Err(format!(
+            "record count drifted between extract ({}) and extract-to-store ({})",
+            extract_only.records, extract_store.records
+        ));
+    }
+    let write_overhead_pct =
+        (extract_store.wall_s - extract_only.wall_s) / extract_only.wall_s.max(1e-12) * 100.0;
+
+    // The store the replay suite reads: the artifact of the last timed
+    // write pass, re-validated through the full `open` path.
+    let store = RecordStore::open(&store_path).map_err(|e| e.to_string())?;
+    let store_bytes = std::fs::metadata(&store_path)
+        .map_err(|e| format!("{}: {e}", store_path.display()))?
+        .len();
+    let compression_ratio = w.bytes as f64 / store_bytes.max(1) as f64;
+
+    // --- Replay sweep: text re-parse vs. record-store replay. ---
+    let mut variants = Vec::new();
+    let mut text_wall = 0.0f64;
+    let mut record_wall = 0.0f64;
+    for &(name, dt_s, window_s) in &REPLAY_VARIANTS {
+        let builder = PipelineBuilder::new(variant_config(dt_s, window_s, nodes));
+
+        // Cross-check first: both paths must produce the same study,
+        // table for table, before either is timed.
+        let mut src = DirSource::open(scratch.path()).map_err(|e| e.to_string())?;
+        let (text_results, _) = builder.run_source(&mut src).map_err(|e| e.to_string())?;
+        let mut reader = store.reader(&store_path).map_err(|e| e.to_string())?;
+        let record_results = builder
+            .run_record_source(&mut reader)
+            .map_err(|e| e.to_string())?;
+        if format!("{text_results:?}") != format!("{record_results:?}") {
+            return Err(format!(
+                "variant `{name}`: record-store replay diverged from the text path \
+                 ({} vs {} coalesced errors)",
+                record_results.coalesced.len(),
+                text_results.coalesced.len()
+            ));
+        }
+
+        let text = time_pass(&w, min_wall_s, || {
+            let mut src = DirSource::open(scratch.path()).map_err(|e| e.to_string())?;
+            builder
+                .run_source(&mut src)
+                .map(|(r, _)| r.coalesced.len() as u64)
+                .map_err(|e| e.to_string())
+        })?;
+        let records = time_pass(&w, min_wall_s, || {
+            let mut reader = store.reader(&store_path).map_err(|e| e.to_string())?;
+            builder
+                .run_record_source(&mut reader)
+                .map(|r| r.coalesced.len() as u64)
+                .map_err(|e| e.to_string())
+        })?;
+        if text.records != records.records {
+            return Err(format!(
+                "variant `{name}`: coalesced count drifted between timed passes \
+                 ({} vs {})",
+                text.records, records.records
+            ));
+        }
+        let speedup = text.wall_s / records.wall_s.max(1e-12);
+        text_wall += text.wall_s;
+        record_wall += records.wall_s;
+        variants.push(Json::obj(vec![
+            ("name", Json::Str(name.to_string())),
+            ("coalesce_dt_s", Json::Num(dt_s as f64)),
+            ("propagation_window_s", Json::Num(window_s as f64)),
+            ("coalesced", Json::Num(text.records as f64)),
+            ("text", text.to_json()),
+            ("records", records.to_json()),
+            ("speedup", Json::Num((speedup * 100.0).round() / 100.0)),
+        ]));
+    }
+    let replay_speedup = text_wall / record_wall.max(1e-12);
+    if !smoke && replay_speedup < 20.0 {
+        return Err(format!(
+            "replay speedup {replay_speedup:.1}x is below the 20x ratchet \
+             (text {text_wall:.3}s vs records {record_wall:.3}s across the sweep)"
+        ));
+    }
+
+    Ok(Json::obj(vec![
+        ("schema", Json::Str("gpures-bench-records/v1".to_string())),
+        ("smoke", Json::Bool(smoke)),
+        ("workload", Json::Str(w.name.to_string())),
+        ("nodes", Json::Num(w.logs.len() as f64)),
+        ("lines", Json::Num(w.lines as f64)),
+        ("bytes", Json::Num(w.bytes as f64)),
+        (
+            "store",
+            Json::obj(vec![
+                ("bytes", Json::Num(store_bytes as f64)),
+                ("blocks", Json::Num(store.blocks().len() as f64)),
+                ("records", Json::Num(store.record_count() as f64)),
+                ("gpus", Json::Num(store.gpu_count() as f64)),
+            ]),
+        ),
+        (
+            "compression_ratio",
+            Json::Num((compression_ratio * 100.0).round() / 100.0),
+        ),
+        (
+            "write",
+            Json::obj(vec![
+                ("extract", extract_only.to_json()),
+                ("extract_and_store", extract_store.to_json()),
+                (
+                    "write_overhead_pct",
+                    Json::Num((write_overhead_pct * 10.0).round() / 10.0),
+                ),
+            ]),
+        ),
+        ("variants", Json::Arr(variants)),
+        (
+            "replay_speedup",
+            Json::Num((replay_speedup * 100.0).round() / 100.0),
+        ),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_report_cross_checks_and_round_trips() {
+        let doc = records_report(true).expect("records smoke succeeds");
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("gpures-bench-records/v1")
+        );
+        let variants = doc.get("variants").and_then(Json::as_arr).expect("variants");
+        assert_eq!(variants.len(), REPLAY_VARIANTS.len());
+        for v in variants {
+            let speedup = v.get("speedup").and_then(Json::as_f64).expect("speedup");
+            assert!(speedup > 0.0);
+            let coalesced = v.get("coalesced").and_then(Json::as_u64).expect("count");
+            assert!(coalesced > 0, "variant coalesced nothing");
+        }
+        let store = doc.get("store").expect("store section");
+        let records = store.get("records").and_then(Json::as_u64).expect("records");
+        assert!(records > 0, "store captured no records");
+        assert_eq!(Json::parse(&doc.render()).expect("parses"), doc);
+    }
+}

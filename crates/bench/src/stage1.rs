@@ -265,7 +265,9 @@ fn scaling_efficiency(lps: f64, lps_one: f64, requested: usize, pool: usize) -> 
 /// the 1-worker row per *effective* worker); the top-level `scaling` and
 /// `scaling_efficiency` are derived from the matrix endpoints. A
 /// non-smoke report with fewer than two runs is an error — the scaling
-/// number would be vacuous.
+/// number would be vacuous. The artifact records the host's
+/// `available_parallelism` alongside the `dr-par` pool size so scaling
+/// rows from different machines can be judged fairly.
 pub fn pipeline_report(smoke: bool) -> Result<Json, String> {
     let (nodes, lines_per_node, min_wall_s) = if smoke {
         (3, 400, 0.0)
@@ -338,6 +340,14 @@ pub fn pipeline_report(smoke: bool) -> Result<Json, String> {
         ("lines", Json::Num(w.lines as f64)),
         ("bytes", Json::Num(w.bytes as f64)),
         ("worker_pool", Json::Num(pool as f64)),
+        (
+            "available_parallelism",
+            Json::Num(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1) as f64,
+            ),
+        ),
         (
             "worker_matrix",
             Json::Arr(WORKER_MATRIX.iter().map(|&n| Json::Num(n as f64)).collect()),

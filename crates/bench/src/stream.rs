@@ -92,16 +92,16 @@ fn run_path(
 
 /// Scratch directory for the on-disk corpus; cleaned up on drop so a
 /// failed benchmark cannot leak gigabytes into the temp dir.
-struct ScratchDir(PathBuf);
+pub(crate) struct ScratchDir(PathBuf);
 
 impl ScratchDir {
-    fn create(tag: &str) -> Result<ScratchDir, String> {
+    pub(crate) fn create(tag: &str) -> Result<ScratchDir, String> {
         let dir = std::env::temp_dir().join(format!("gpures-bench-{tag}-{}", std::process::id()));
         std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
         Ok(ScratchDir(dir))
     }
 
-    fn path(&self) -> &Path {
+    pub(crate) fn path(&self) -> &Path {
         &self.0
     }
 }

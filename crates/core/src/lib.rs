@@ -30,6 +30,10 @@
 //!   trait plus in-memory, directory, and campaign-generator
 //!   implementations, so Stage I pulls bounded chunk waves instead of a
 //!   materialized corpus.
+//! - [`store`] — the write-once columnar `ErrorRecord` store: the
+//!   extract pass tees per-node record streams into a checksummed
+//!   binary file, and [`store::RecordSource`] replays them into the
+//!   pipeline in milliseconds with bit-identical results.
 //! - [`stream`] — the online variant: incremental Algorithm 1 and a
 //!   constant-memory live Table 1 (P² quantiles) for monitoring
 //!   deployments.
@@ -50,6 +54,7 @@ pub mod propagation;
 pub mod shard;
 pub mod source;
 pub mod stats;
+pub mod store;
 pub mod stream;
 
 pub use coalesce::{coalesce, coalesce_observed, CoalesceConfig, CoalescedError};
@@ -70,4 +75,8 @@ pub use source::{
     Prefetcher, Wave, WaveRx,
 };
 pub use stats::{lost_gpu_hours, table1, LostHours, Table1Row};
+pub use store::{
+    extract_to_store, write_store, InMemoryRecordSource, RecordBatch, RecordSource, RecordStore,
+    RecordStoreWriter, StoreRecordSource, StoreSummary,
+};
 pub use stream::{OnlineRow, OnlineStats, StreamCoalescer};

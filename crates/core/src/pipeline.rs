@@ -9,8 +9,10 @@
 //! adapter), from records ([`PipelineBuilder::run_records`] — the
 //! full-fidelity path used for the flagship 855-day reproduction, where
 //! materializing ~10 M text lines would only exercise the same code the
-//! text path already validates on a node subset), or from pre-coalesced
-//! errors ([`PipelineBuilder::run_coalesced`]).
+//! text path already validates on a node subset), from a columnar
+//! record store ([`PipelineBuilder::run_record_source`] — replay a
+//! previously extracted corpus without re-paying Stage I), or from
+//! pre-coalesced errors ([`PipelineBuilder::run_coalesced`]).
 //!
 //! Observability is strictly write-only: attaching a recording
 //! [`MetricsSink`] never changes any `StudyResults` field (bit-identity
@@ -219,6 +221,7 @@ pub struct PipelineBuilder<'a> {
     chunk_bytes: Option<u64>,
     engine: Stage1Engine,
     prefetch: bool,
+    records_out: Option<std::path::PathBuf>,
     metrics: MetricsSink,
 }
 
@@ -233,6 +236,7 @@ impl<'a> PipelineBuilder<'a> {
             chunk_bytes: None,
             engine: Stage1Engine::Sharded,
             prefetch: false,
+            records_out: None,
             metrics: MetricsSink::disabled(),
         }
     }
@@ -289,6 +293,19 @@ impl<'a> PipelineBuilder<'a> {
         PipelineBuilder { prefetch, ..self }
     }
 
+    /// Tee the extract pass's per-node record streams into a columnar
+    /// store at `path` (see [`crate::store`]), so later runs can replay
+    /// the analysis from records without re-parsing text. One pass over
+    /// the corpus; the analysis results are unchanged. Only the sharded
+    /// engine extracts per node, so [`Stage1Engine::Baseline`] rejects
+    /// this with a [`DataError::Usage`].
+    pub fn record_store(self, path: impl Into<std::path::PathBuf>) -> Self {
+        PipelineBuilder {
+            records_out: Some(path.into()),
+            ..self
+        }
+    }
+
     /// Attach a metrics sink. Pass [`MetricsSink::recording`] to collect
     /// per-stage spans/counters/histograms, exportable with
     /// [`MetricsSink::export_json`]. Write-only: results are bit-identical
@@ -316,28 +333,90 @@ impl<'a> PipelineBuilder<'a> {
     ) -> Result<(StudyResults, ExtractStats), DataError> {
         match self.engine {
             Stage1Engine::Sharded => {
-                let (coalesced, stats) = if self.prefetch {
-                    crate::shard::extract_and_coalesce_source_prefetch_observed(
+                // The node table must be captured before extraction
+                // takes the mutable borrow.
+                let nodes = self
+                    .records_out
+                    .as_ref()
+                    .map(|_| source.nodes().to_vec());
+                let (per_node, stats) = if self.prefetch {
+                    crate::shard::extract_source_prefetch_observed(
                         source,
-                        self.config.coalesce,
                         self.chunk_bytes,
                         &self.metrics,
                     )?
                 } else {
-                    crate::shard::extract_and_coalesce_source_observed(
-                        source,
-                        self.config.coalesce,
-                        self.chunk_bytes,
-                        &self.metrics,
-                    )?
+                    crate::shard::extract_source_observed(source, self.chunk_bytes, &self.metrics)?
                 };
+                // Tee point: per-node streams are exactly what the store
+                // persists, before the merge consumes them.
+                if let (Some(path), Some(nodes)) = (&self.records_out, &nodes) {
+                    crate::store::write_store(path, nodes, &per_node)?;
+                }
+                let coalesced = crate::shard::merge_and_coalesce_observed(
+                    per_node,
+                    self.config.coalesce,
+                    &self.metrics,
+                );
                 Ok((self.run_coalesced(coalesced), stats))
             }
             Stage1Engine::Baseline => {
+                if let Some(path) = &self.records_out {
+                    return Err(DataError::Usage {
+                        option: "--records".to_string(),
+                        message: format!(
+                            "record store capture ({}) requires the sharded engine",
+                            path.display()
+                        ),
+                    });
+                }
                 let logs = crate::source::collect_source(source)?;
                 Ok(self.run_text(&logs))
             }
         }
+    }
+
+    /// Run from a [`crate::store::RecordSource`] — the replay front
+    /// door. Batches are pulled one block at a time (bounded memory,
+    /// `peak_resident_bytes` gauge as on the text path), reassembled
+    /// into per-node streams, and fed to the same merge + analyses as
+    /// [`PipelineBuilder::run_source`]. On the same corpus the results
+    /// are bit-identical to the text path, because the store preserves
+    /// extraction's per-node record streams exactly — only Stage I's
+    /// text parsing is skipped, which is what makes replay ≥20× faster.
+    pub fn run_record_source(
+        &self,
+        source: &mut dyn crate::store::RecordSource,
+    ) -> Result<StudyResults, DataError> {
+        use dr_obs::{Counter, Stage};
+        let sink = &self.metrics;
+        let mut per_node: Vec<Vec<ErrorRecord>> = vec![Vec::new(); source.nodes().len()];
+        loop {
+            let batch = {
+                let _span = sink.span(Stage::Shard, "total");
+                source.next_batch()?
+            };
+            let Some(batch) = batch else {
+                break;
+            };
+            sink.add(Stage::Shard, Counter::Bytes, batch.bytes);
+            sink.add(Stage::Extract, Counter::Records, batch.records.len() as u64);
+            sink.gauge_max(Stage::Extract, "peak_resident_bytes", batch.bytes as f64);
+            let Some(stream) = per_node.get_mut(batch.node) else {
+                return Err(DataError::Store {
+                    path: "<record source>".to_string(),
+                    message: format!(
+                        "batch names node index {} but the source declares {} nodes",
+                        batch.node,
+                        per_node.len()
+                    ),
+                });
+            };
+            stream.extend(batch.records);
+        }
+        let coalesced =
+            crate::shard::merge_and_coalesce_observed(per_node, self.config.coalesce, sink);
+        Ok(self.run_coalesced(coalesced))
     }
 
     /// Run from per-node syslog text: Stage I on the configured engine,
@@ -491,6 +570,45 @@ mod tests {
             assert_eq!(stats.lines, base_stats.lines);
             assert_eq!(stats.xid_lines, base_stats.xid_lines);
         }
+    }
+
+    #[test]
+    fn record_source_path_matches_text_path_exactly() {
+        let mut logs = Vec::new();
+        let mut per_node = Vec::new();
+        let mut nodes = Vec::new();
+        for node in 1..=3u32 {
+            let records: Vec<_> = (0..30)
+                .map(|k| rec(1_000 + k * 11 + node as u64, node, Xid::NvlinkError))
+                .collect();
+            let lines: Vec<String> = records.iter().map(|r| format_line(r, 0)).collect();
+            logs.push((dr_xid::NodeId(node), lines));
+            nodes.push(dr_xid::NodeId(node));
+            per_node.push(records);
+        }
+        let cfg = StudyConfig::ampere_study().with_window(1_000.0, 10);
+        let builder = PipelineBuilder::new(cfg);
+        let (from_text, _) = builder.run_text(&logs);
+        let mut source = crate::store::InMemoryRecordSource::new(&nodes, &per_node);
+        let from_records = builder.run_record_source(&mut source).expect("record path");
+        assert_eq!(
+            format!("{from_text:?}"),
+            format!("{from_records:?}"),
+            "record replay must be bit-identical to the text path"
+        );
+    }
+
+    #[test]
+    fn baseline_engine_rejects_record_store_capture() {
+        let cfg = StudyConfig::ampere_study().with_window(1_000.0, 10);
+        let logs = vec![(dr_xid::NodeId(1), Vec::<String>::new())];
+        let mut source = crate::source::InMemorySource::new(&logs);
+        let err = PipelineBuilder::new(cfg)
+            .engine(Stage1Engine::Baseline)
+            .record_store("/tmp/never-written.bin")
+            .run_source(&mut source)
+            .expect_err("baseline + record_store must be a usage error");
+        assert!(matches!(err, DataError::Usage { .. }), "{err}");
     }
 
     #[test]

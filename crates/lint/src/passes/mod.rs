@@ -62,8 +62,9 @@ pub fn explain(id: &str) -> Option<&'static str> {
         }
         reach::ID => {
             "Interprocedural: computes the call-graph transitive closure from the pipeline \
-             entry points (PipelineBuilder::run_source, Campaign::run_observed, \
-             Scheduler::run_observed) and flags every reachable `.unwrap()`, `.expect(…)`, \
+             entry points (PipelineBuilder::run_source, PipelineBuilder::run_record_source, \
+             Campaign::run_observed, Scheduler::run_observed) and flags every reachable \
+             `.unwrap()`, `.expect(…)`, \
              `panic!`-family macro, and indexing expression without a visible bounds guard. \
              The graph over-approximates calls by name, so a clean run proves the closure \
              panic-free. Legacy `allow(panic-freedom)` comments still waive findings."
@@ -94,8 +95,10 @@ pub fn explain(id: &str) -> Option<&'static str> {
              loops) on the streaming path, where they dominate 202-GB-scale extraction cost."
         }
         "stream-hygiene" => {
-            "Streaming sources must stay bounded-memory: no slurping whole files, no \
-             unbounded channel buffers on the campaign→extract→coalesce path."
+            "Streaming sources must stay bounded-memory: no slurping whole files \
+             (`read_to_string`, `fs::read`, `read_to_end`), no unbounded channel buffers \
+             on the campaign→extract→coalesce path. Record stores are read block-by-block \
+             through their footer index, never materialized whole."
         }
         "unit-hygiene" => {
             "Time-valued parameters and fields must carry a unit suffix (_s, _ms, _h, \

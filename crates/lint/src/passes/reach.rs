@@ -28,9 +28,11 @@ pub const ID: &str = "panic-reachability";
 pub const LEGACY_ID: &str = "panic-freedom";
 
 /// The long-running pipeline entry points whose closures must not
-/// panic: stage-1 extraction, fault campaigns, and the Slurm scheduler.
+/// panic: stage-1 extraction, record-store replay, fault campaigns,
+/// and the Slurm scheduler.
 pub const ENTRY_POINTS: &[(&str, &str)] = &[
     ("PipelineBuilder", "run_source"),
+    ("PipelineBuilder", "run_record_source"),
     ("Campaign", "run_observed"),
     ("Scheduler", "run_observed"),
 ];
@@ -265,10 +267,20 @@ mod tests {
     }
 
     #[test]
-    fn all_three_entry_points_root_the_closure() {
+    fn every_entry_point_roots_the_closure() {
         let src = "struct Campaign;\nimpl Campaign { pub fn run_observed(&self) { helper(); } }\nstruct Scheduler;\nimpl Scheduler { pub fn run_observed(&self) {} }\nfn helper() { Some(1).unwrap(); }\n";
         let d = check(&[("crates/demo/src/lib.rs", src)]);
         assert_eq!(d.len(), 1);
         assert!(d[0].message.contains("Campaign::run_observed → helper"));
+    }
+
+    #[test]
+    fn record_replay_entry_point_roots_the_closure() {
+        let src = "struct PipelineBuilder;\nimpl PipelineBuilder { pub fn run_record_source(&self) { replay(); } }\nfn replay() { Some(1).unwrap(); }\n";
+        let d = check(&[("crates/demo/src/lib.rs", src)]);
+        assert_eq!(d.len(), 1);
+        assert!(d[0]
+            .message
+            .contains("PipelineBuilder::run_record_source → replay"));
     }
 }

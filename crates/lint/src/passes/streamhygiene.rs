@@ -9,7 +9,10 @@
 //!
 //! * `read_to_string` — both the free function `fs::read_to_string` and
 //!   the `Read::read_to_string` method materialize an unbounded buffer;
-//! * `fs::read` — the byte-vector sibling.
+//! * `fs::read` — the byte-vector sibling;
+//! * `read_to_end` — the `Read` method form, which would let a record
+//!   store (or any binary artifact) be slurped whole instead of read
+//!   block-by-block through its footer index.
 //!
 //! Incremental primitives (`BufReader::read_line`, `fs::read_dir`)
 //! remain fine. The lint tool itself (`crates/lint/`) is exempt — its
@@ -55,6 +58,12 @@ impl Pass for StreamHygienePass {
                     "whole-file read in a library crate: `fs::read` materializes an \
                      unbounded buffer — stream line-aligned chunks through a \
                      `LogSource` instead"
+                        .to_string(),
+                ),
+                "read_to_end" => Some(
+                    "whole-file read in a library crate: `read_to_end` materializes \
+                     an unbounded buffer — read bounded block ranges (a record \
+                     store's footer index, or a `LogSource` chunk wave) instead"
                         .to_string(),
                 ),
                 _ => None,
@@ -114,6 +123,16 @@ mod tests {
     }
 
     #[test]
+    fn fires_on_read_to_end_in_library_code() {
+        let d = check_at(
+            "crates/core/src/store.rs",
+            "fn f(r: &mut impl std::io::Read) { let mut b = Vec::new(); r.read_to_end(&mut b).ok(); }",
+        );
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("read_to_end"));
+    }
+
+    #[test]
     fn fires_on_fs_read() {
         let d = check_at(
             "crates/report/src/files.rs",
@@ -135,6 +154,13 @@ mod tests {
         assert!(check_at(
             "crates/core/src/source.rs",
             "fn f(r: &mut impl std::io::Read, buf: &mut [u8]) { r.read(buf).ok(); }",
+        )
+        .is_empty());
+        // `read_exact` into a block-sized buffer is the sanctioned way
+        // to pull one indexed range out of a record store.
+        assert!(check_at(
+            "crates/core/src/store.rs",
+            "fn f(r: &mut std::fs::File, buf: &mut [u8]) { r.read_exact(buf).ok(); }",
         )
         .is_empty());
     }

@@ -1,0 +1,427 @@
+//! Columnar encoding primitives for the binary `ErrorRecord` store.
+//!
+//! The store file format itself (header, blocks, footer index) lives in
+//! `resilience_core::store`; this module owns the *byte-level codec* so
+//! encode/decode sit next to the taxonomy they serialize:
+//!
+//! - LEB128 varints and zigzag transforms for delta-encoded timestamps,
+//! - an FNV-1a 64-bit checksum (pure arithmetic — no lookup tables, so
+//!   the checksum path stays trivially panic-free),
+//! - fixed 8-byte [`GpuId`] dictionary entries,
+//! - [`RecordDict`] interning for `GpuId`/`Xid` dictionary codes, and
+//! - [`encode_block`]/[`decode_block`] for the struct-of-arrays block
+//!   payload: varint count, then a timestamp column (first value
+//!   absolute, the rest zigzag-encoded deltas so non-monotonic streams
+//!   round-trip exactly), then gpu-index, xid-index, unit, and
+//!   qualifier columns.
+//!
+//! Decoding is total: every malformed input maps to
+//! [`DataError::Store`] naming the file, never a panic.
+
+use std::collections::BTreeMap;
+
+use crate::error::DataError;
+use crate::ids::{GpuId, NodeId, PciAddr};
+use crate::record::{ErrorDetail, ErrorRecord};
+use crate::time::Timestamp;
+use crate::xid::Xid;
+
+/// Size of one fixed-width `GpuId` dictionary entry.
+pub const GPU_ENTRY_BYTES: usize = 8;
+
+/// Append `v` as an LEB128 varint (1–10 bytes).
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Read one LEB128 varint at `*pos`, advancing it. `None` on truncation
+/// or a value that does not fit in 64 bits.
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut out: u64 = 0;
+    let mut shift: u32 = 0;
+    loop {
+        let b = *buf.get(*pos)?;
+        *pos = pos.checked_add(1)?;
+        if shift >= 64 {
+            return None;
+        }
+        let low = (b & 0x7f) as u64;
+        if shift == 63 && low > 1 {
+            return None; // would overflow the top bit
+        }
+        out |= low << shift;
+        if b & 0x80 == 0 {
+            return Some(out);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-map a signed delta onto an unsigned varint-friendly value
+/// (small magnitudes of either sign encode small).
+#[inline]
+pub const fn zigzag(v: i64) -> u64 {
+    ((v as u64) << 1) ^ ((v >> 63) as u64)
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub const fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+/// FNV-1a 64-bit hash, used as the block/footer checksum.
+///
+/// Chosen over CRC-32 deliberately: it needs no lookup table, so the
+/// checksum stays free of array indexing on the panic-checked read path.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Append a fixed 8-byte `GpuId` entry: node u32 LE, domain u16 LE,
+/// bus, device.
+pub fn encode_gpu(g: GpuId, out: &mut Vec<u8>) {
+    out.extend_from_slice(&g.node.0.to_le_bytes());
+    out.extend_from_slice(&g.pci.domain.to_le_bytes());
+    out.push(g.pci.bus);
+    out.push(g.pci.device);
+}
+
+/// Decode one 8-byte `GpuId` entry; `None` if `bytes` is short.
+pub fn decode_gpu(bytes: &[u8]) -> Option<GpuId> {
+    let node = u32::from_le_bytes([*bytes.first()?, *bytes.get(1)?, *bytes.get(2)?, *bytes.get(3)?]);
+    let domain = u16::from_le_bytes([*bytes.get(4)?, *bytes.get(5)?]);
+    let bus = *bytes.get(6)?;
+    let device = *bytes.get(7)?;
+    Some(GpuId::new(NodeId(node), PciAddr::new(domain, bus, device)))
+}
+
+/// Interning dictionaries for the values a block column references by
+/// index. Shared across every block of a store file; the complete
+/// tables are serialized once into the footer.
+#[derive(Debug, Default, Clone)]
+pub struct RecordDict {
+    gpus: Vec<GpuId>,
+    gpu_index: BTreeMap<GpuId, u64>,
+    xids: Vec<Xid>,
+    xid_index: BTreeMap<u16, u64>,
+}
+
+impl RecordDict {
+    pub fn new() -> Self {
+        RecordDict::default()
+    }
+
+    /// Dictionary code for `gpu`, interning it on first sight.
+    pub fn gpu_code(&mut self, gpu: GpuId) -> u64 {
+        if let Some(&i) = self.gpu_index.get(&gpu) {
+            return i;
+        }
+        let i = self.gpus.len() as u64;
+        self.gpus.push(gpu);
+        self.gpu_index.insert(gpu, i);
+        i
+    }
+
+    /// Dictionary code for `xid`, interning it on first sight.
+    pub fn xid_code(&mut self, xid: Xid) -> u64 {
+        if let Some(&i) = self.xid_index.get(&xid.code()) {
+            return i;
+        }
+        let i = self.xids.len() as u64;
+        self.xids.push(xid);
+        self.xid_index.insert(xid.code(), i);
+        i
+    }
+
+    /// The interned `GpuId` table, in code order.
+    pub fn gpus(&self) -> &[GpuId] {
+        &self.gpus
+    }
+
+    /// The interned `Xid` table, in code order.
+    pub fn xids(&self) -> &[Xid] {
+        &self.xids
+    }
+}
+
+fn store_err(path: &str, message: impl Into<String>) -> DataError {
+    DataError::Store {
+        path: path.to_string(),
+        message: message.into(),
+    }
+}
+
+/// Encode one block of records (all from one node, in stream order) as
+/// a struct-of-arrays payload, interning dictionary entries in `dict`.
+pub fn encode_block(records: &[ErrorRecord], dict: &mut RecordDict) -> Vec<u8> {
+    // count + worst-case 10-byte varints for five columns.
+    let mut out = Vec::with_capacity(8 + records.len() * 16);
+    write_varint(&mut out, records.len() as u64);
+
+    // Timestamp column: first value absolute, then zigzag deltas.
+    // Wrapping arithmetic over u64-as-i64 round-trips *any* sequence,
+    // including the rare non-monotonic batch the merge fallback handles.
+    let mut prev: u64 = 0;
+    for (i, r) in records.iter().enumerate() {
+        let us = r.at.as_micros();
+        if i == 0 {
+            write_varint(&mut out, us);
+        } else {
+            write_varint(&mut out, zigzag(us.wrapping_sub(prev) as i64));
+        }
+        prev = us;
+    }
+    for r in records {
+        write_varint(&mut out, dict.gpu_code(r.gpu));
+    }
+    for r in records {
+        write_varint(&mut out, dict.xid_code(r.xid));
+    }
+    for r in records {
+        write_varint(&mut out, r.detail.unit as u64);
+    }
+    for r in records {
+        write_varint(&mut out, r.detail.qualifier as u64);
+    }
+    out
+}
+
+/// Decode a block payload back into records, resolving dictionary
+/// codes against the footer tables. `path` names the store file for
+/// error context. Every malformed payload — truncated column, trailing
+/// garbage, out-of-range code — is a typed [`DataError::Store`].
+pub fn decode_block(
+    payload: &[u8],
+    gpus: &[GpuId],
+    xids: &[Xid],
+    path: &str,
+) -> Result<Vec<ErrorRecord>, DataError> {
+    let mut pos = 0usize;
+    let mut next = |col: &str| -> Result<u64, DataError> {
+        read_varint(payload, &mut pos)
+            .ok_or_else(|| store_err(path, format!("truncated block ({col} column)")))
+    };
+
+    let count = next("count")?;
+    let count = usize::try_from(count)
+        .ok()
+        .filter(|&c| c <= payload.len())
+        .ok_or_else(|| store_err(path, format!("implausible block record count {count}")))?;
+
+    let mut times = Vec::with_capacity(count);
+    let mut prev: u64 = 0;
+    for i in 0..count {
+        let us = if i == 0 {
+            next("timestamp")?
+        } else {
+            prev.wrapping_add(unzigzag(next("timestamp")?) as u64)
+        };
+        prev = us;
+        times.push(Timestamp::from_micros(us));
+    }
+
+    let mut records = Vec::with_capacity(count);
+    for &at in &times {
+        let code = next("gpu")?;
+        let gpu = usize::try_from(code)
+            .ok()
+            .and_then(|c| gpus.get(c))
+            .copied()
+            .ok_or_else(|| store_err(path, format!("gpu dictionary code {code} out of range")))?;
+        records.push(ErrorRecord::new(at, gpu, Xid::DoubleBitEcc, ErrorDetail::NONE));
+    }
+    for r in records.iter_mut() {
+        let code = next("xid")?;
+        r.xid = usize::try_from(code)
+            .ok()
+            .and_then(|c| xids.get(c))
+            .copied()
+            .ok_or_else(|| store_err(path, format!("xid dictionary code {code} out of range")))?;
+    }
+    for r in records.iter_mut() {
+        let unit = next("unit")?;
+        r.detail.unit = u16::try_from(unit)
+            .map_err(|_| store_err(path, format!("unit value {unit} exceeds u16")))?;
+    }
+    for r in records.iter_mut() {
+        let q = next("qualifier")?;
+        r.detail.qualifier = u32::try_from(q)
+            .map_err(|_| store_err(path, format!("qualifier value {q} exceeds u32")))?;
+    }
+
+    if pos != payload.len() {
+        return Err(store_err(
+            path,
+            format!("{} trailing bytes after block payload", payload.len() - pos),
+        ));
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rec(us: u64, node: u32, slot: usize, xid: Xid, unit: u16, q: u32) -> ErrorRecord {
+        ErrorRecord::new(
+            Timestamp::from_micros(us),
+            GpuId::at_slot(NodeId(node), slot),
+            xid,
+            ErrorDetail::new(unit, q),
+        )
+    }
+
+    #[test]
+    fn varint_round_trips_boundary_values() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX - 1, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        let mut pos = 0;
+        assert_eq!(read_varint(&[0x80], &mut pos), None); // continuation, no next byte
+        let mut pos = 0;
+        assert_eq!(read_varint(&[], &mut pos), None);
+        // 11 continuation bytes: more than 64 bits of payload.
+        let mut pos = 0;
+        assert_eq!(read_varint(&[0xff; 11], &mut pos), None);
+        // 10th byte carrying more than the single remaining bit.
+        let mut buf = vec![0x80u8; 9];
+        buf.push(0x02);
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn zigzag_round_trips_signed_extremes() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes of either sign must encode small.
+        assert!(zigzag(-3) < 8);
+        assert!(zigzag(3) < 8);
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn gpu_entry_round_trips() {
+        let g = GpuId::new(NodeId(7001), PciAddr::new(0xabcd, 0xb7, 0x03));
+        let mut buf = Vec::new();
+        encode_gpu(g, &mut buf);
+        assert_eq!(buf.len(), GPU_ENTRY_BYTES);
+        assert_eq!(decode_gpu(&buf), Some(g));
+        assert_eq!(decode_gpu(&buf[..7]), None);
+    }
+
+    #[test]
+    fn block_round_trips_including_non_monotonic_order() {
+        let records = vec![
+            rec(5_000_000, 1, 0, Xid::DoubleBitEcc, 3, 9),
+            rec(5_000_250, 1, 1, Xid::NvlinkError, 2, 0),
+            // Out-of-order on purpose: the store must preserve stream
+            // order exactly, not silently sort.
+            rec(4_999_000, 1, 0, Xid::FallenOffBus, 0, 0),
+            rec(4_999_000, 1, 0, Xid::FallenOffBus, 0, 0),
+        ];
+        let mut dict = RecordDict::new();
+        let payload = encode_block(&records, &mut dict);
+        let back = decode_block(&payload, dict.gpus(), dict.xids(), "t").expect("decode");
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn decode_rejects_truncated_and_trailing_payloads() {
+        let records = vec![rec(1, 0, 0, Xid::RowRemapEvent, 1, 2)];
+        let mut dict = RecordDict::new();
+        let payload = encode_block(&records, &mut dict);
+
+        for cut in 0..payload.len() {
+            let err = decode_block(&payload[..cut], dict.gpus(), dict.xids(), "t")
+                .expect_err("truncated payload must fail");
+            assert!(matches!(err, DataError::Store { .. }), "cut={cut}: {err}");
+        }
+        let mut trailing = payload.clone();
+        trailing.push(0);
+        let err = decode_block(&trailing, dict.gpus(), dict.xids(), "t").expect_err("trailing");
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_dictionary_codes() {
+        let records = vec![rec(1, 0, 0, Xid::RowRemapEvent, 1, 2)];
+        let mut dict = RecordDict::new();
+        let payload = encode_block(&records, &mut dict);
+        // Decode against empty dictionaries: gpu code 0 is now dangling.
+        let err = decode_block(&payload, &[], dict.xids(), "t").expect_err("bad gpu code");
+        assert!(err.to_string().contains("gpu dictionary"), "{err}");
+        let err = decode_block(&payload, dict.gpus(), &[], "t").expect_err("bad xid code");
+        assert!(err.to_string().contains("xid dictionary"), "{err}");
+    }
+
+    #[test]
+    fn empty_block_is_one_byte_and_round_trips() {
+        let mut dict = RecordDict::new();
+        let payload = encode_block(&[], &mut dict);
+        assert_eq!(payload, vec![0]);
+        let back = decode_block(&payload, &[], &[], "t").expect("decode");
+        assert!(back.is_empty());
+    }
+
+    proptest! {
+        /// Satellite: encode→decode is the identity on arbitrary record
+        /// batches — any timestamps (any order), any slot/node mix, any
+        /// detail values, any Xid drawn from the taxonomy.
+        #[test]
+        fn arbitrary_batches_round_trip(
+            us in prop::collection::vec(0u64..1_u64 << 62, 0..200),
+            nodes in prop::collection::vec(0u32..5, 0..200),
+            slots in prop::collection::vec(0usize..8, 0..200),
+            xid_idx in prop::collection::vec(0usize..Xid::ALL.len(), 0..200),
+            units in prop::collection::vec(0u16..u16::MAX, 0..200),
+            quals in prop::collection::vec(0u32..u32::MAX, 0..200),
+        ) {
+            let n = us.len()
+                .min(nodes.len())
+                .min(slots.len())
+                .min(xid_idx.len())
+                .min(units.len())
+                .min(quals.len());
+            let records: Vec<ErrorRecord> = (0..n)
+                .map(|i| rec(us[i], nodes[i], slots[i], Xid::ALL[xid_idx[i]], units[i], quals[i]))
+                .collect();
+            let mut dict = RecordDict::new();
+            let payload = encode_block(&records, &mut dict);
+            let back = decode_block(&payload, dict.gpus(), dict.xids(), "prop")
+                .expect("round trip");
+            prop_assert_eq!(back, records);
+        }
+    }
+}

@@ -30,6 +30,15 @@ pub enum DataError {
     },
     /// A filesystem artifact could not be read or written.
     Io { path: String, message: String },
+    /// A columnar record store is truncated, corrupt, or malformed.
+    Store { path: String, message: String },
+    /// A caller supplied a degenerate option value (e.g. `--chunk-bytes 0`).
+    Usage {
+        /// The offending option, as the user spelled it.
+        option: String,
+        /// What was wrong and what to do instead.
+        message: String,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -44,6 +53,12 @@ impl fmt::Display for DataError {
                 message,
             } => write!(f, "{artifact} csv line {line}: {message}"),
             DataError::Io { path, message } => write!(f, "{path}: {message}"),
+            DataError::Store { path, message } => {
+                write!(f, "record store {path}: {message}")
+            }
+            DataError::Usage { option, message } => {
+                write!(f, "invalid value for {option}: {message}")
+            }
         }
     }
 }
@@ -67,6 +82,24 @@ mod tests {
             message: "unbalanced paren".to_string(),
         };
         assert!(e.to_string().contains("offset 3"));
+    }
+
+    #[test]
+    fn store_and_usage_errors_name_their_subject() {
+        let e = DataError::Store {
+            path: "records.bin".to_string(),
+            message: "footer checksum mismatch".to_string(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "record store records.bin: footer checksum mismatch"
+        );
+        let e = DataError::Usage {
+            option: "--chunk-bytes".to_string(),
+            message: "must be positive (omit the flag for the default)".to_string(),
+        };
+        assert!(e.to_string().contains("--chunk-bytes"));
+        assert!(e.to_string().contains("must be positive"));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! (see [`syslog`]) so that Stage I of the pipeline — regex extraction from
 //! raw text — is exercised exactly as it would be on production logs.
 
+pub mod colenc;
 pub mod error;
 pub mod ids;
 pub mod record;

@@ -22,7 +22,8 @@
 //! bit-identical with or without it).
 
 use gpu_resilience::core::{
-    CoalesceConfig, DirSource, GeneratorSource, LogSource, PipelineBuilder, StudyConfig,
+    extract_to_store, CoalesceConfig, DirSource, GeneratorSource, LogSource, PipelineBuilder,
+    RecordStore, StudyConfig,
 };
 use gpu_resilience::faults::{all_scenarios, Campaign, CampaignConfig};
 use gpu_resilience::obs::MetricsSink;
@@ -68,17 +69,20 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  gpures campaign  --out DIR [--shape tiny|ampere|h100] [--days N] [--seed S] [--text-nodes N] [--metrics FILE]
-  gpures analyze   --logs DIR [--jobs FILE] [--downtime FILE] [--nodes N] [--hours H] [--dt SECS] [--chunk-bytes N] [--workers N] [--prefetch on|off] [--dot DIR] [--metrics FILE]
+  gpures campaign  --out DIR [--shape tiny|ampere|h100] [--days N] [--seed S] [--text-nodes N] [--records FILE] [--metrics FILE]
+  gpures analyze   --logs DIR [--jobs FILE] [--downtime FILE] [--nodes N] [--hours H] [--dt SECS] [--chunk-bytes N] [--workers N] [--prefetch on|off] [--records FILE] [--dot DIR] [--metrics FILE]
+  gpures analyze   --from-records FILE [--jobs FILE] [--downtime FILE] [--nodes N] [--hours H] [--dt SECS] [--dot DIR] [--metrics FILE]
   gpures incidents
   gpures project   [--gpus N] [--recovery-min M] [--runs R]
   gpures monitor   [--log FILE] [--nodes N] [--every K]   (FILE or stdin; live Table 1)
-  gpures bench     [--out DIR] [--smoke true]   (throughput + overhead + streaming + lint -> BENCH_*.json)
+  gpures bench     [--out DIR] [--smoke true]   (throughput + overhead + streaming + lint + records -> BENCH_*.json)
 
   --metrics FILE exports per-stage spans/counters/gauges/histograms (gpures-metrics/v1 JSON)
-  --chunk-bytes N pins the streaming ingestion chunk size (default: sized to the worker pool)
-  --workers N overrides the Stage I worker pool width (default: all cores, or DR_PAR_THREADS)
-  --prefetch on|off toggles the I/O-overlapped wave prefetch thread (default: on)";
+  --chunk-bytes N pins the streaming ingestion chunk size (positive; default: sized to the worker pool)
+  --workers N overrides the Stage I worker pool width (positive; default: all cores, or DR_PAR_THREADS)
+  --prefetch on|off toggles the I/O-overlapped wave prefetch thread (default: on)
+  --records FILE tees extracted ErrorRecords into a columnar store during the extract pass
+  --from-records FILE replays a previous extraction from the store (no text re-parse)";
 
 /// `--key value` option bag with typed getters.
 struct Opts(BTreeMap<String, String>);
@@ -113,6 +117,29 @@ impl Opts {
     }
     fn required_path(&self, key: &str) -> Result<PathBuf, String> {
         self.path(key).ok_or_else(|| format!("--{key} is required"))
+    }
+
+    /// An optional numeric flag that must be **positive** when given.
+    /// An explicit `0` used to silently mean "use the default", which
+    /// made `--chunk-bytes 0` look like a working configuration; it is
+    /// now a typed usage error carrying the hint.
+    fn positive_num<T: std::str::FromStr + PartialEq + Default>(
+        &self,
+        key: &str,
+        hint: &str,
+    ) -> Result<Option<T>, String> {
+        let Some(v) = self.str(key) else {
+            return Ok(None);
+        };
+        let n: T = v.parse().map_err(|_| format!("bad --{key} value {v:?}"))?;
+        if n == T::default() {
+            return Err(gpu_resilience::xid::DataError::Usage {
+                option: format!("--{key}"),
+                message: hint.to_string(),
+            }
+            .to_string());
+        }
+        Ok(Some(n))
     }
 }
 
@@ -204,6 +231,23 @@ fn cmd_campaign(opts: &Opts) -> Result<(), String> {
         out.downtime.len(),
         out_dir.display()
     );
+    // Tee the corpus into a columnar record store: a real extract pass
+    // over a fresh generator stream, so the store holds exactly what
+    // Stage I produces (not the campaign's ground-truth records).
+    if let Some(rec_path) = opts.path("records") {
+        let (summary, _stats) = {
+            let mut text = GeneratorSource::from_campaign(&out);
+            extract_to_store(&mut text, None, &rec_path).map_err(|e| e.to_string())?
+        };
+        println!(
+            "wrote record store {} ({} records, {} blocks, {} bytes)",
+            rec_path.display(),
+            summary.records,
+            summary.blocks,
+            summary.bytes
+        );
+    }
+
     println!(
         "analyze with:\n  gpures analyze --logs {} --jobs {} --downtime {} --nodes {} --hours {:.0}",
         log_dir.display(),
@@ -228,14 +272,6 @@ fn write_metrics(path: Option<&Path>, sink: &MetricsSink) -> Result<(), String> 
 }
 
 fn cmd_analyze(opts: &Opts) -> Result<(), String> {
-    let log_dir = opts.required_path("logs")?;
-    // Streaming ingestion: the corpus is read incrementally in chunk
-    // waves, never materialized whole.
-    let mut source = DirSource::open(&log_dir).map_err(|e| e.to_string())?;
-    if source.nodes().is_empty() {
-        return Err(format!("no .log files in {}", log_dir.display()));
-    }
-
     let jobs = match opts.path("jobs") {
         None => None,
         Some(p) => {
@@ -251,14 +287,19 @@ fn cmd_analyze(opts: &Opts) -> Result<(), String> {
         }
     };
 
-    let nodes: u32 = opts.num("nodes", source.nodes().len() as u32)?;
     let default_hours = 855.0 * 24.0;
     let hours: f64 = opts.num("hours", default_hours)?;
     let dt: u64 = opts.num("dt", 5)?;
-    let chunk_bytes: u64 = opts.num("chunk-bytes", 0)?;
-    let workers: usize = opts.num("workers", 0)?;
-    if workers > 0 {
-        gpu_resilience::par::set_worker_override(Some(workers));
+    let chunk_bytes = opts.positive_num::<u64>(
+        "chunk-bytes",
+        "must be a positive byte count (omit the flag to size chunks to the worker pool)",
+    )?;
+    let workers = opts.positive_num::<usize>(
+        "workers",
+        "must be a positive worker count (omit the flag to use all cores)",
+    )?;
+    if let Some(w) = workers {
+        gpu_resilience::par::set_worker_override(Some(w));
     }
     let prefetch = match opts.str("prefetch").unwrap_or("on") {
         "on" => true,
@@ -266,11 +307,13 @@ fn cmd_analyze(opts: &Opts) -> Result<(), String> {
         other => return Err(format!("bad --prefetch value {other:?} (on|off)")),
     };
 
-    let cfg = StudyConfig {
-        coalesce: CoalesceConfig::with_window_secs(dt),
-        ..StudyConfig::ampere_study()
-    }
-    .with_window(hours, nodes);
+    let study = |nodes: u32| {
+        StudyConfig {
+            coalesce: CoalesceConfig::with_window_secs(dt),
+            ..StudyConfig::ampere_study()
+        }
+        .with_window(hours, nodes)
+    };
 
     let metrics_path = opts.path("metrics");
     let sink = if metrics_path.is_some() {
@@ -279,26 +322,71 @@ fn cmd_analyze(opts: &Opts) -> Result<(), String> {
         MetricsSink::disabled()
     };
 
-    eprintln!(
-        "analyzing {} node logs ({} bytes, streamed, {} workers, prefetch {}) ...",
-        source.nodes().len(),
-        source.total_bytes_hint().unwrap_or(0),
-        gpu_resilience::par::max_workers(),
-        if prefetch { "on" } else { "off" },
-    );
-    let mut builder = PipelineBuilder::new(cfg)
-        .maybe_jobs(jobs.as_deref())
-        .maybe_downtime(downtime.as_deref())
-        .prefetch(prefetch)
-        .metrics(sink.clone());
-    if chunk_bytes > 0 {
-        builder = builder.chunk_bytes(chunk_bytes);
-    }
-    let (results, stats) = builder.run_source(&mut source).map_err(|e| e.to_string())?;
-    eprintln!(
-        "extraction: {} lines, {} XID lines, {} unknown, {} malformed",
-        stats.lines, stats.xid_lines, stats.unknown_xid, stats.malformed
-    );
+    let results = if let Some(store_path) = opts.path("from-records") {
+        // Replay path: the corpus was already extracted once; re-run
+        // the analyses straight from the columnar store.
+        if opts.str("logs").is_some() || opts.str("records").is_some() {
+            return Err(gpu_resilience::xid::DataError::Usage {
+                option: "--from-records".to_string(),
+                message: "replay reads the store alone; drop --logs / --records".to_string(),
+            }
+            .to_string());
+        }
+        let store = RecordStore::open(&store_path).map_err(|e| e.to_string())?;
+        let nodes: u32 = opts.num("nodes", store.nodes().len() as u32)?;
+        eprintln!(
+            "replaying {} records from {} ({} nodes, {} blocks) ...",
+            store.record_count(),
+            store_path.display(),
+            store.nodes().len(),
+            store.blocks().len()
+        );
+        let mut reader = store.reader(&store_path).map_err(|e| e.to_string())?;
+        PipelineBuilder::new(study(nodes))
+            .maybe_jobs(jobs.as_deref())
+            .maybe_downtime(downtime.as_deref())
+            .metrics(sink.clone())
+            .run_record_source(&mut reader)
+            .map_err(|e| e.to_string())?
+    } else {
+        let log_dir = opts.required_path("logs")?;
+        // Streaming ingestion: the corpus is read incrementally in
+        // chunk waves, never materialized whole.
+        let mut source = DirSource::open(&log_dir).map_err(|e| e.to_string())?;
+        if source.nodes().is_empty() {
+            return Err(format!("no .log files in {}", log_dir.display()));
+        }
+        let nodes: u32 = opts.num("nodes", source.nodes().len() as u32)?;
+
+        eprintln!(
+            "analyzing {} node logs ({} bytes, streamed, {} workers, prefetch {}) ...",
+            source.nodes().len(),
+            source.total_bytes_hint().unwrap_or(0),
+            gpu_resilience::par::max_workers(),
+            if prefetch { "on" } else { "off" },
+        );
+        let records_path = opts.path("records");
+        let mut builder = PipelineBuilder::new(study(nodes))
+            .maybe_jobs(jobs.as_deref())
+            .maybe_downtime(downtime.as_deref())
+            .prefetch(prefetch)
+            .metrics(sink.clone());
+        if let Some(c) = chunk_bytes {
+            builder = builder.chunk_bytes(c);
+        }
+        if let Some(p) = &records_path {
+            builder = builder.record_store(p.clone());
+        }
+        let (results, stats) = builder.run_source(&mut source).map_err(|e| e.to_string())?;
+        eprintln!(
+            "extraction: {} lines, {} XID lines, {} unknown, {} malformed",
+            stats.lines, stats.xid_lines, stats.unknown_xid, stats.malformed
+        );
+        if let Some(p) = &records_path {
+            eprintln!("record store written to {}", p.display());
+        }
+        results
+    };
 
     println!("{}", report::render_table1(&results).render());
     if let Some(ji) = &results.job_impact {
@@ -533,6 +621,27 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
          ({gap_close:.0}% of the in-memory gap closed)"
     );
 
+    eprintln!("benchmarking record-store replay ...");
+    let rec_doc = gpu_resilience::bench::records::records_report(smoke)?;
+    let rec_path = out_dir.join("BENCH_records.json");
+    std::fs::write(&rec_path, rec_doc.render()).map_err(|e| e.to_string())?;
+    let replay = rec_doc
+        .get("replay_speedup")
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    let overhead = rec_doc
+        .get("write_overhead_pct")
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    let ratio = rec_doc
+        .get("compression_ratio")
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    println!(
+        "records      replay {replay:.1}x over re-parse-from-text \
+         (write overhead {overhead:.1}%, store {ratio:.1}x smaller than text)"
+    );
+
     eprintln!("benchmarking dr-lint symbol-graph analysis ...");
     let lint_doc = gpu_resilience::bench::lint::lint_report(smoke, std::path::Path::new("."))?;
     let lint_path = out_dir.join("BENCH_lint.json");
@@ -546,11 +655,12 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
     );
 
     println!(
-        "wrote {}, {}, {}, {} and {}",
+        "wrote {}, {}, {}, {}, {} and {}",
         stage1_path.display(),
         pipe_path.display(),
         obs_path.display(),
         stream_path.display(),
+        rec_path.display(),
         lint_path.display()
     );
     Ok(())

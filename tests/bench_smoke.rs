@@ -2,8 +2,9 @@
 //! path on the shrunken corpus, its artifact schema, and — crucially —
 //! that the numbers it reports are attached to *correct* extractions: the
 //! record counts in `BENCH_stage1.json` and the coalesced counts in
-//! `BENCH_pipeline.json` / `BENCH_stream.json` must match an independent
-//! reference run through the non-fast-path pipeline.
+//! `BENCH_pipeline.json` / `BENCH_stream.json` / `BENCH_records.json`
+//! must match an independent reference run through the non-fast-path
+//! pipeline.
 
 use gpu_resilience::bench::json::Json;
 use gpu_resilience::bench::stage1::{self, dense_workload, noisy_workload, Workload};
@@ -90,6 +91,14 @@ fn pipeline_report_counts_match_batch_route() {
         );
     }
     assert!(doc.get("scaling_efficiency").and_then(Json::as_f64).is_some());
+    // Host metadata: scaling rows are only comparable across machines
+    // when the artifact says how much parallelism the host actually had.
+    assert!(
+        doc.get("available_parallelism")
+            .and_then(Json::as_u64)
+            .expect("available_parallelism recorded")
+            >= 1
+    );
 }
 
 /// The committed `BENCH_pipeline.json` artifact must come from a real
@@ -175,6 +184,73 @@ fn stream_report_cross_checks_both_paths() {
 }
 
 #[test]
+fn records_report_cross_checks_replay_against_batch_route() {
+    let doc = gpu_resilience::bench::records::records_report(true).expect("smoke report builds");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("gpures-bench-records/v1")
+    );
+    // Same smoke corpus as the stream report, through the batch route.
+    // The `dt5` variant runs at the default Δt=5 s window, so its
+    // coalesced count must match the batch reference exactly.
+    let w = noisy_workload(3, 400);
+    let mut records = reference_records(&w);
+    sort_records(&mut records);
+    let reference = coalesce(&records, CoalesceConfig::default()).len() as u64;
+    assert!(reference > 0);
+
+    let store = doc.get("store").expect("store section");
+    assert_eq!(
+        store.get("records").and_then(Json::as_u64),
+        Some(reference_records(&w).len() as u64),
+        "the store must capture exactly the extracted record stream"
+    );
+    let variants = doc.get("variants").and_then(Json::as_arr).expect("variants");
+    assert_eq!(
+        variants.len(),
+        gpu_resilience::bench::records::REPLAY_VARIANTS.len()
+    );
+    let dt5 = variants
+        .iter()
+        .find(|v| v.get("name").and_then(Json::as_str) == Some("dt5"))
+        .expect("dt5 variant");
+    assert_eq!(
+        dt5.get("coalesced").and_then(Json::as_u64),
+        Some(reference),
+        "the default-window replay must coalesce identically to the batch route"
+    );
+    assert!(doc.get("replay_speedup").and_then(Json::as_f64).is_some());
+    assert!(doc
+        .get("write")
+        .and_then(|w| w.get("write_overhead_pct"))
+        .and_then(Json::as_f64)
+        .is_some());
+}
+
+/// The committed `BENCH_records.json` must carry a real (non-smoke)
+/// replay measurement and hold the ≥20× ratchet the optimisation
+/// claims; a smoke artifact or a regressed speedup fails tier-1 here.
+#[test]
+fn committed_records_artifact_meets_the_replay_ratchet() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("BENCH_records.json");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return; // artifact not generated yet (fresh checkout)
+    };
+    let doc = Json::parse(&text).expect("committed artifact parses");
+    if doc.get("smoke") == Some(&Json::Bool(true)) {
+        return;
+    }
+    let speedup = doc
+        .get("replay_speedup")
+        .and_then(Json::as_f64)
+        .expect("replay_speedup");
+    assert!(
+        speedup >= 20.0,
+        "committed BENCH_records.json replay speedup {speedup}x is below the 20x ratchet"
+    );
+}
+
+#[test]
 fn lint_report_reflects_a_clean_workspace_graph() {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     let doc = gpu_resilience::bench::lint::lint_report(true, &root).expect("smoke report builds");
@@ -217,6 +293,7 @@ fn bench_cli_writes_parseable_artifacts() {
         ("BENCH_pipeline.json", "gpures-bench-pipeline/v2"),
         ("BENCH_obs.json", "gpures-bench-obs/v1"),
         ("BENCH_stream.json", "gpures-bench-stream/v2"),
+        ("BENCH_records.json", "gpures-bench-records/v1"),
         ("BENCH_lint.json", "gpures-bench-lint/v1"),
     ] {
         let text = std::fs::read_to_string(dir.join(file)).expect(file);

@@ -139,6 +139,96 @@ fn incidents_and_project_commands() {
 }
 
 #[test]
+fn degenerate_stream_flags_are_usage_errors() {
+    let dir = temp_dir("degenerate");
+    // `--chunk-bytes 0` once silently disabled chunking; it must now
+    // fail fast with a usage hint, before any log I/O happens.
+    let out = gpures()
+        .args(["analyze", "--logs"])
+        .arg(&dir)
+        .args(["--chunk-bytes", "0"])
+        .output()
+        .expect("run analyze");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--chunk-bytes") && stderr.contains("positive"),
+        "expected a usage hint naming the flag, got:\n{stderr}"
+    );
+
+    let out = gpures()
+        .args(["analyze", "--logs"])
+        .arg(&dir)
+        .args(["--workers", "0"])
+        .output()
+        .expect("run analyze");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--workers") && stderr.contains("positive"),
+        "expected a usage hint naming the flag, got:\n{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn record_store_write_and_replay_round_trip() {
+    let dir = temp_dir("records");
+    let out = gpures()
+        .args(["campaign", "--out"])
+        .arg(&dir)
+        .args(["--shape", "tiny", "--seed", "9", "--days", "6", "--records"])
+        .arg(dir.join("campaign.grcs"))
+        .output()
+        .expect("run campaign");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(dir.join("campaign.grcs").exists());
+
+    // Text analysis with the store tee.
+    let store = dir.join("records.grcs");
+    let text = gpures()
+        .args(["analyze", "--logs"])
+        .arg(dir.join("logs"))
+        .args(["--nodes", "6", "--hours", "144", "--records"])
+        .arg(&store)
+        .output()
+        .expect("run analyze with tee");
+    assert!(text.status.success(), "{}", String::from_utf8_lossy(&text.stderr));
+    assert!(String::from_utf8_lossy(&text.stderr).contains("record store written"));
+
+    // Replay must print byte-identical tables from the store alone.
+    let replay = gpures()
+        .args(["analyze", "--from-records"])
+        .arg(&store)
+        .args(["--nodes", "6", "--hours", "144"])
+        .output()
+        .expect("run replay");
+    assert!(
+        replay.status.success(),
+        "{}",
+        String::from_utf8_lossy(&replay.stderr)
+    );
+    assert!(String::from_utf8_lossy(&replay.stderr).contains("replaying"));
+    assert_eq!(
+        String::from_utf8_lossy(&text.stdout),
+        String::from_utf8_lossy(&replay.stdout),
+        "replayed tables must match the text-path tables byte for byte"
+    );
+
+    // Mixing replay with text-path flags is a usage error.
+    let out = gpures()
+        .args(["analyze", "--from-records"])
+        .arg(&store)
+        .arg("--logs")
+        .arg(dir.join("logs"))
+        .output()
+        .expect("run bad mix");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--from-records"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_usage_fails_cleanly() {
     let out = gpures().output().expect("run bare");
     assert!(!out.status.success());

@@ -1,0 +1,242 @@
+//! Tier-1 record-store contract: the columnar `ErrorRecord` store
+//! written during the extract pass must replay into `StudyResults`
+//! bit-identical to the text path — at every chunk size and worker
+//! count — and a damaged store must surface as a typed `DataError`,
+//! never a panic.
+
+use gpu_resilience::core::{
+    extract_to_store, GeneratorSource, InMemorySource, PipelineBuilder, RecordSource, RecordStore,
+    StudyConfig,
+};
+use gpu_resilience::faults::{Campaign, CampaignConfig, CampaignOutput};
+use gpu_resilience::obs::json::Json;
+use gpu_resilience::obs::MetricsSink;
+use gpu_resilience::xid::ErrorRecord;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// `dr_par::set_worker_override` is process-global; tests that set it
+/// must not interleave within this binary.
+static WORKER_LOCK: Mutex<()> = Mutex::new(());
+
+fn campaign() -> CampaignOutput {
+    // Three days of the tiny fleet — the same corpus the streaming
+    // identity matrix uses, so text-path and record-path coverage agree.
+    let cfg = CampaignConfig {
+        duration_days: 3.0,
+        ..CampaignConfig::tiny(97)
+    };
+    Campaign::run(cfg)
+}
+
+fn study_config(out: &CampaignOutput) -> StudyConfig {
+    StudyConfig::ampere_study()
+        .with_window(out.observation_hours(), out.fleet.node_count() as u32)
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gpures-records-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Write the campaign's record store via the standalone extract pass.
+fn build_store(out: &CampaignOutput, path: &Path) {
+    let mut gen = GeneratorSource::from_campaign(out);
+    let (summary, _) = extract_to_store(&mut gen, None, path).expect("extract to store");
+    assert!(summary.records > 0, "campaign extracted no records");
+}
+
+/// Drain a `RecordSource` into `(node index, record)` pairs.
+fn drain(source: &mut dyn RecordSource) -> Vec<(usize, ErrorRecord)> {
+    let mut got = Vec::new();
+    while let Some(batch) = source.next_batch().expect("batch decodes") {
+        got.extend(batch.records.into_iter().map(|r| (batch.node, r)));
+    }
+    got
+}
+
+#[test]
+fn record_replay_is_bit_identical_across_chunk_sizes_and_workers() {
+    let _workers = WORKER_LOCK.lock().expect("worker lock");
+    let out = campaign();
+    let cfg = study_config(&out);
+    // The reference: the materialized text path at default chunking.
+    // `run_record_source` returns no ExtractStats (nothing was parsed),
+    // so the fingerprint is the StudyResults bundle alone.
+    let reference = format!("{:?}", PipelineBuilder::new(cfg).run_text(&out.text_logs).0);
+
+    let dir = scratch_dir("matrix");
+    for workers in [1usize, 8] {
+        gpu_resilience::par::set_worker_override(Some(workers));
+        for chunk in [512u64, 1 << 20] {
+            let tag = format!("workers={workers} chunk={chunk}");
+            let store_path = dir.join(format!("w{workers}-c{chunk}.grcs"));
+
+            // Text run with the store tee: results must be unchanged.
+            let builder = PipelineBuilder::new(cfg)
+                .chunk_bytes(chunk)
+                .record_store(&store_path);
+            let mut mem = InMemorySource::new(&out.text_logs);
+            let (teed, _) = builder.run_source(&mut mem).expect("text path with tee");
+            assert_eq!(
+                format!("{teed:?}"),
+                reference,
+                "record-store tee changed the text path ({tag})"
+            );
+
+            // Replay: same StudyResults, bit for bit, from the store.
+            let store = RecordStore::open(&store_path).expect("store opens");
+            assert!(store.record_count() > 0, "store is empty ({tag})");
+            let mut reader = store.reader(&store_path).expect("reader");
+            let replayed = PipelineBuilder::new(cfg)
+                .run_record_source(&mut reader)
+                .expect("record replay");
+            assert_eq!(
+                format!("{replayed:?}"),
+                reference,
+                "record replay diverged from the text path ({tag})"
+            );
+        }
+    }
+    gpu_resilience::par::set_worker_override(None);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn record_replay_records_peak_gauge_without_changing_results() {
+    let _workers = WORKER_LOCK.lock().expect("worker lock");
+    let out = campaign();
+    let cfg = study_config(&out);
+    let dir = scratch_dir("metrics");
+    let store_path = dir.join("records.grcs");
+    build_store(&out, &store_path);
+    let store = RecordStore::open(&store_path).expect("store opens");
+
+    let mut silent = store.reader(&store_path).expect("reader");
+    let baseline = PipelineBuilder::new(cfg)
+        .run_record_source(&mut silent)
+        .expect("silent replay");
+
+    let sink = MetricsSink::recording();
+    let mut observed = store.reader(&store_path).expect("reader");
+    let with_metrics = PipelineBuilder::new(cfg)
+        .metrics(sink.clone())
+        .run_record_source(&mut observed)
+        .expect("observed replay");
+    assert_eq!(
+        format!("{with_metrics:?}"),
+        format!("{baseline:?}"),
+        "attaching a metrics sink must never change replay results"
+    );
+
+    let doc = sink.export_json().expect("recording sink exports");
+    let stages = doc.get("stages").and_then(Json::as_arr).expect("stages");
+    let peak = stages
+        .iter()
+        .find(|s| s.get("stage").and_then(Json::as_str) == Some("extract"))
+        .and_then(|s| s.get("gauges"))
+        .and_then(|g| g.get("peak_resident_bytes"))
+        .and_then(Json::as_f64)
+        .expect("peak_resident_bytes gauge");
+    // Resident memory is one decoded block's payload, not the store.
+    let largest_block = store.blocks().iter().map(|b| b.len).max().unwrap_or(0);
+    assert!(
+        peak > 0.0 && peak <= largest_block as f64,
+        "replay peak resident bytes {peak} exceeds the largest block ({largest_block} bytes)"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn node_filter_replays_one_node_and_skips_the_rest_unread() {
+    let out = campaign();
+    let dir = scratch_dir("filter");
+    let store_path = dir.join("records.grcs");
+    build_store(&out, &store_path);
+    let store = RecordStore::open(&store_path).expect("store opens");
+    assert!(store.nodes().len() > 1, "need multiple nodes to filter");
+    let target = store.nodes()[0];
+
+    let full = drain(&mut store.reader(&store_path).expect("reader"));
+    let expect: Vec<&ErrorRecord> = full
+        .iter()
+        .filter(|(n, _)| store.nodes()[*n] == target)
+        .map(|(_, r)| r)
+        .collect();
+    assert!(!expect.is_empty(), "target node produced no records");
+
+    let mut reader = store
+        .reader(&store_path)
+        .expect("reader")
+        .select_nodes(&[target]);
+    let got = drain(&mut reader);
+    assert!(got.iter().all(|(n, _)| store.nodes()[*n] == target));
+    let got: Vec<&ErrorRecord> = got.iter().map(|(_, r)| r).collect();
+    assert_eq!(got, expect, "node filter changed the record stream");
+
+    // The footer index lets every other node's blocks go unread.
+    let other_blocks = store
+        .blocks()
+        .iter()
+        .filter(|b| store.nodes()[b.node_idx] != target)
+        .count() as u64;
+    assert!(other_blocks > 0);
+    assert_eq!(
+        reader.blocks_skipped(),
+        other_blocks,
+        "foreign blocks must be skipped via the index, not decoded"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn damaged_stores_fail_typed_not_panicking() {
+    let out = campaign();
+    let dir = scratch_dir("damage");
+    let store_path = dir.join("records.grcs");
+    build_store(&out, &store_path);
+    let healthy = std::fs::read(&store_path).expect("read store back");
+
+    // Truncation at half length: open() must fail with a Store error
+    // that names the file.
+    let half = dir.join("truncated.grcs");
+    std::fs::write(&half, &healthy[..healthy.len() / 2]).expect("write truncated");
+    let msg = RecordStore::open(&half).expect_err("truncated store").to_string();
+    assert!(
+        msg.contains("record store") && msg.contains("truncated.grcs"),
+        "error must be typed and name the path, got: {msg}"
+    );
+
+    // Empty file: typed error, not a slice panic.
+    let empty = dir.join("empty.grcs");
+    std::fs::write(&empty, b"").expect("write empty");
+    let msg = RecordStore::open(&empty).expect_err("empty store").to_string();
+    assert!(msg.contains("record store"), "got: {msg}");
+
+    // A bit flip in a block payload passes open() (the footer is intact)
+    // but must be caught by the block checksum during replay.
+    let mut flipped = healthy.clone();
+    flipped[64] ^= 0x40;
+    let bad = dir.join("bitflip.grcs");
+    std::fs::write(&bad, &flipped).expect("write corrupted");
+    let store = RecordStore::open(&bad).expect("footer is intact");
+    let mut reader = store.reader(&bad).expect("reader");
+    let mut err = None;
+    loop {
+        match reader.next_batch() {
+            Ok(Some(_)) => continue,
+            Ok(None) => break,
+            Err(e) => {
+                err = Some(e.to_string());
+                break;
+            }
+        }
+    }
+    let msg = err.expect("bit flip must not decode cleanly");
+    assert!(
+        msg.contains("checksum"),
+        "corruption must be reported as a checksum mismatch, got: {msg}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
