@@ -20,12 +20,15 @@
 //! speedup of re-analyzing from records instead of re-parsing text.
 //! [`lint`] times the dr-lint symbol-graph analysis itself, producing
 //! `BENCH_lint.json` with the graph scale and findings-by-pass counts.
+//! [`sweep`] times the scenario-battery driver behind `gpures sweep`,
+//! producing `BENCH_sweep.json` with the serial vs full-pool speedup.
 
 pub mod lint;
 pub mod obs;
 pub mod records;
 pub mod stage1;
 pub mod stream;
+pub mod sweep;
 
 pub use dr_obs::json;
 
@@ -54,13 +57,13 @@ pub fn meso_campaign() -> &'static CampaignOutput {
 pub fn text_campaign() -> &'static CampaignOutput {
     static OUT: OnceLock<CampaignOutput> = OnceLock::new();
     OUT.get_or_init(|| {
-        let cfg = CampaignConfig {
+        let mut cfg = CampaignConfig {
             shape: DeltaShape::tiny(),
             duration_days: 120.0,
-            text_nodes: 6,
-            noise_per_node_hour: 4.0,
             ..CampaignConfig::tiny(11)
         };
+        cfg.text.nodes = 6;
+        cfg.text.noise_per_node_hour = 4.0;
         Campaign::run(cfg)
     })
 }

@@ -1,0 +1,100 @@
+//! The tracked scenario-sweep benchmark behind `gpures bench`
+//! (`BENCH_sweep.json`).
+//!
+//! `gpures sweep` fans a battery of `(scenario, seed)` runs across the
+//! worker pool with `dr_par::par_map`; the whole point of the driver is
+//! that a battery of N seeds costs roughly one seed of wall-clock on an
+//! N-core box. This benchmark runs the same generated battery at one
+//! worker and at the full pool and reports the parallel speedup and
+//! efficiency, so a serialization regression in the sweep path (or in
+//! the campaign/pipeline code it drives) shows up in the tracked
+//! artifact. The battery itself is authored as `.scn` text and parsed
+//! through the real `dr-scenario` front end — the bench exercises the
+//! exact compile path the CLI uses.
+
+use crate::json::Json;
+use dr_obs::clock::Stopwatch;
+use dr_report::sweep::{run_battery, SweepOptions};
+use dr_scenario::Scenario;
+
+/// A self-contained benchmark battery: one tiny-fleet scenario fanned
+/// across `seeds` independent runs. Days are kept short — the bench
+/// measures driver fan-out, not campaign depth.
+fn battery(seeds: usize, days: f64) -> Vec<Scenario> {
+    let list: Vec<String> = (1..=seeds as u64).map(|s| s.to_string()).collect();
+    let src = format!(
+        "scenario \"bench_sweep\"\n\
+         description \"generated battery for BENCH_sweep.json\"\n\
+         fleet tiny\n\
+         duration_days = {days}\n\
+         seeds = [{}]\n\
+         rates ampere_delta\n",
+        list.join(", ")
+    );
+    vec![Scenario::parse(&src).expect("generated bench scenario parses")]
+}
+
+/// Time one full `run_battery` pass at a pinned worker count. The
+/// artifact tee options stay off: this times compute fan-out, not disk.
+fn timed_run(scenarios: &[Scenario], workers: Option<usize>) -> Result<f64, String> {
+    dr_par::set_worker_override(workers);
+    let watch = Stopwatch::start();
+    let r = run_battery(scenarios, &SweepOptions::default());
+    let wall = watch.elapsed_s();
+    dr_par::set_worker_override(None);
+    r.map_err(|e| e.to_string())?;
+    Ok(wall)
+}
+
+/// The `BENCH_sweep.json` document. `smoke` shrinks the battery to a
+/// handful of short runs — the speedup number is then meaningless, but
+/// the full parse → compile → campaign → pipeline → artifact path is
+/// exercised.
+pub fn sweep_report(smoke: bool) -> Result<Json, String> {
+    let (seeds, days) = if smoke { (2, 10.0) } else { (8, 45.0) };
+    let scenarios = battery(seeds, days);
+
+    // Warm-up run so first-touch allocation noise lands outside the
+    // measured passes, then serial vs full-pool.
+    timed_run(&scenarios, Some(1))?;
+    let serial_s = timed_run(&scenarios, Some(1))?;
+    let pool = dr_par::max_workers();
+    let parallel_s = timed_run(&scenarios, None)?;
+
+    let speedup = if parallel_s > 0.0 {
+        serial_s / parallel_s
+    } else {
+        0.0
+    };
+    let efficiency = if pool > 0 {
+        speedup / (pool.min(seeds)) as f64
+    } else {
+        0.0
+    };
+
+    Ok(Json::obj(vec![
+        ("schema", Json::Str("gpures-bench-sweep/v1".to_string())),
+        ("smoke", Json::Bool(smoke)),
+        ("scenarios", Json::Num(scenarios.len() as f64)),
+        ("runs", Json::Num(seeds as f64)),
+        ("duration_days", Json::Num(days)),
+        ("worker_pool", Json::Num(pool as f64)),
+        ("serial_s", Json::Num((serial_s * 1e6).round() / 1e6)),
+        ("parallel_s", Json::Num((parallel_s * 1e6).round() / 1e6)),
+        ("parallel_speedup", Json::Num((speedup * 1e3).round() / 1e3)),
+        ("parallel_efficiency", Json::Num((efficiency * 1e3).round() / 1e3)),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_battery_parses_and_fans_out() {
+        let b = battery(3, 5.0);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].seeds, vec![1, 2, 3]);
+        assert_eq!(b[0].name, "bench_sweep");
+    }
+}

@@ -31,8 +31,57 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::{BTreeMap, BTreeSet};
 
+/// Syslog-text emission settings: which nodes render full text and how
+/// noisy it is. Grouped so the scenario compiler (dr-scenario) can fill
+/// it from a `text { … }` block and defaults stay in one place.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TextConfig {
+    /// How many nodes (lowest ids first) also produce full syslog text.
+    pub nodes: usize,
+    /// When true, `CampaignOutput::text_logs` stays empty and callers
+    /// stream the corpus via [`CampaignOutput::text_streams`] instead of
+    /// holding the whole rendering in memory.
+    pub defer: bool,
+    /// Unrelated syslog noise per text node per hour.
+    pub noise_per_node_hour: f64,
+}
+
+impl Default for TextConfig {
+    fn default() -> Self {
+        TextConfig {
+            nodes: 0,
+            defer: false,
+            noise_per_node_hour: 1.0,
+        }
+    }
+}
+
+/// Operator-repair model: storm-repair probability and the drain+reboot
+/// duration distribution. Grouped for the scenario compiler's
+/// `repair { … }` block.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RepairConfig {
+    /// Probability that an uncontained-storm error state triggers an
+    /// operator repair (the rest clear silently when the storm ends —
+    /// the paper's "lack of monitoring" observation).
+    pub p_storm: f64,
+    /// Repair (drain + reboot) duration distribution — median/p95 hours.
+    pub median_h: f64,
+    pub p95_h: f64,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        RepairConfig {
+            p_storm: 0.80,
+            median_h: 0.2,
+            p95_h: 1.0,
+        }
+    }
+}
+
 /// Campaign configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CampaignConfig {
     pub shape: DeltaShape,
     pub duration_days: f64,
@@ -42,25 +91,19 @@ pub struct CampaignConfig {
     /// Gap between duplicated lines inside a burst (seconds). Must stay
     /// below the pipeline's coalescing Δt or bursts split.
     pub burst_gap_s: f64,
-    /// How many nodes (lowest ids first) also produce full syslog text.
-    pub text_nodes: usize,
-    /// When true, `CampaignOutput::text_logs` stays empty and callers
-    /// stream the corpus via [`CampaignOutput::text_streams`] instead of
-    /// holding the whole rendering in memory.
-    pub defer_text: bool,
-    /// Unrelated syslog noise per text node per hour.
-    pub noise_per_node_hour: f64,
-    /// Probability that an uncontained-storm error state triggers an
-    /// operator repair (the rest clear silently when the storm ends —
-    /// the paper's "lack of monitoring" observation).
-    pub p_storm_repair: f64,
-    /// Repair (drain + reboot) duration distribution — median/p95 hours.
-    pub repair_median_h: f64,
-    pub repair_p95_h: f64,
+    /// Syslog text emission.
+    pub text: TextConfig,
+    /// Operator repair model.
+    pub repair: RepairConfig,
 }
 
 impl CampaignConfig {
     /// The flagship configuration: the Ampere Table 1 study.
+    ///
+    /// Canonical definition: `scenarios/ampere_study.scn`, compiled by
+    /// dr-scenario. This constructor must stay bit-identical to the
+    /// compiled scenario — a tier-1 equivalence test in dr-scenario
+    /// pins the two together.
     pub fn ampere_study(seed: u64) -> Self {
         CampaignConfig {
             shape: DeltaShape::delta_ampere(),
@@ -69,16 +112,13 @@ impl CampaignConfig {
             tuning: RasTuning::default(),
             rates: ClassRates::ampere_delta(),
             burst_gap_s: 4.5,
-            text_nodes: 0,
-            defer_text: false,
-            noise_per_node_hour: 1.0,
-            p_storm_repair: 0.80,
-            repair_median_h: 0.2,
-            repair_p95_h: 1.0,
+            text: TextConfig::default(),
+            repair: RepairConfig::default(),
         }
     }
 
-    /// The Section 6 H100 early-deployment campaign.
+    /// The Section 6 H100 early-deployment campaign (canonical form:
+    /// `scenarios/h100_study.scn`).
     pub fn h100_study(seed: u64) -> Self {
         CampaignConfig {
             shape: DeltaShape::delta_h100(),
@@ -89,13 +129,17 @@ impl CampaignConfig {
     }
 
     /// A small, fast configuration for tests and the quickstart example:
-    /// tiny fleet, 30 days, rates scaled down to the fleet size.
+    /// tiny fleet, 30 days, rates scaled down to the fleet size
+    /// (canonical form: `scenarios/tiny.scn`).
     pub fn tiny(seed: u64) -> Self {
         CampaignConfig {
             shape: DeltaShape::tiny(),
             duration_days: 30.0,
-            rates: ClassRates::ampere_delta().scaled(0.3),
-            text_nodes: 6,
+            rates: ClassRates::ampere_delta().scale_all(0.3),
+            text: TextConfig {
+                nodes: 6,
+                ..TextConfig::default()
+            },
             ..CampaignConfig::ampere_study(seed)
         }
     }
@@ -237,7 +281,7 @@ impl Campaign {
 
             let horizon = (cfg.duration_days * US_PER_DAY as f64) as SimTime;
             Campaign {
-                repair_dist: LogNormal::from_median_p95(cfg.repair_median_h, cfg.repair_p95_h),
+                repair_dist: LogNormal::from_median_p95(cfg.repair.median_h, cfg.repair.p95_h),
                 cfg,
                 fleet,
                 mixes,
@@ -457,7 +501,7 @@ impl Campaign {
         match result.consequence {
             Consequence::GpuErrorState | Consequence::GpuLost => {
                 let is_storm = matches!(fault, Fault::UncontainedEcc { .. });
-                let repair_now = !is_storm || coin(&mut self.rng, self.cfg.p_storm_repair);
+                let repair_now = !is_storm || coin(&mut self.rng, self.cfg.repair.p_storm);
                 if repair_now {
                     self.schedule_repair(sched, gpu, fault_xid(fault));
                 } else {
@@ -714,17 +758,17 @@ impl Campaign {
             .fleet
             .nodes()
             .iter()
-            .take(self.cfg.text_nodes)
+            .take(self.cfg.text.nodes)
             .map(|n| n.id)
             .collect();
         nodes.sort_unstable();
         let text = crate::textgen::TextSpec {
             nodes,
             seed: self.cfg.seed,
-            noise_per_node_hour: self.cfg.noise_per_node_hour,
+            noise_per_node_hour: self.cfg.text.noise_per_node_hour,
             horizon: Duration::from_micros(self.horizon),
         };
-        let text_logs = if self.cfg.defer_text {
+        let text_logs = if self.cfg.text.defer {
             Vec::new()
         } else {
             crate::textgen::render_text_logs(&self.records, &text)
@@ -1047,7 +1091,7 @@ mod tests {
         // GSP primaries are heavily clustered, so a bare tiny campaign may
         // draw zero cluster heads; scale rates up for a reliable sample.
         let mut cfg = CampaignConfig::tiny(12);
-        cfg.rates = crate::rates::ClassRates::ampere_delta().scaled(3.0);
+        cfg.rates = crate::rates::ClassRates::ampere_delta().scale_all(3.0);
         let out = Campaign::run(cfg);
         let gsp_events: Vec<_> = out
             .events

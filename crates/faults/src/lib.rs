@@ -29,7 +29,10 @@ pub mod textgen;
 
 
 
-pub use campaign::{Campaign, CampaignConfig, CampaignOutput, DowntimeInterval, ErrorEvent};
+pub use campaign::{
+    Campaign, CampaignConfig, CampaignOutput, DowntimeInterval, ErrorEvent, RepairConfig,
+    TextConfig,
+};
 pub use offenders::OffenderMix;
 pub use persistence::PersistenceModel;
 pub use scenario::{all_scenarios, Scenario};

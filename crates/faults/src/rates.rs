@@ -64,7 +64,7 @@ impl FaultClass {
 }
 
 /// One primary class's calibration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ClassSpec {
     pub class: FaultClass,
     /// Expected primary arrivals over the reference campaign duration.
@@ -100,7 +100,7 @@ impl ClassSpec {
 }
 
 /// The campaign's rate table.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ClassRates {
     pub specs: Vec<ClassSpec>,
     /// Length of the early testing window (days from campaign start).
@@ -222,12 +222,39 @@ impl ClassRates {
         }
     }
 
-    /// Scale every expected count by `factor` (for stress tests).
-    pub fn scaled(mut self, factor: f64) -> Self {
+    /// Scale every expected count by `factor`, chainably (stress tests,
+    /// down-scaled presets, the DSL's `rates.* *= F`).
+    pub fn scale_all(mut self, factor: f64) -> Self {
         for s in &mut self.specs {
             s.expected_count *= factor;
         }
         self
+    }
+
+    /// Multiply one class's expected count by `factor` (the DSL's
+    /// `rates.xid79 *= F` overrides). Returns `false` when `class` has no
+    /// spec in this table — callers surface that as a configuration
+    /// error instead of silently dropping the override.
+    pub fn scale_class(&mut self, class: FaultClass, factor: f64) -> bool {
+        let mut found = false;
+        for s in &mut self.specs {
+            if s.class == class {
+                s.expected_count *= factor;
+                found = true;
+            }
+        }
+        found
+    }
+
+    /// Whether `class` has a spec in this table.
+    pub fn has_class(&self, class: FaultClass) -> bool {
+        self.specs.iter().any(|s| s.class == class)
+    }
+
+    /// Scale every expected count by `factor` (for stress tests).
+    #[deprecated(note = "use `scale_all` (whole table) or `scale_class` (one class)")]
+    pub fn scaled(self, factor: f64) -> Self {
+        self.scale_all(factor)
     }
 
     /// The testing-window boundary for a campaign of `duration_days`.
@@ -343,9 +370,38 @@ mod tests {
 
     #[test]
     fn scaling_multiplies_counts() {
-        let r = ClassRates::ampere_delta().scaled(0.25);
+        let r = ClassRates::ampere_delta().scale_all(0.25);
         let gsp = r.specs.iter().find(|s| s.class == FaultClass::GspHang).unwrap();
         assert!((gsp.expected_count - 534.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_class_scaling_touches_only_its_class() {
+        let base = ClassRates::ampere_delta();
+        let mut r = base.clone();
+        assert!(r.scale_class(FaultClass::BusDrop, 2.0));
+        for (s, b) in r.specs.iter().zip(base.specs.iter()) {
+            let want = if s.class == FaultClass::BusDrop {
+                b.expected_count * 2.0
+            } else {
+                b.expected_count
+            };
+            assert!((s.expected_count - want).abs() < 1e-12, "{:?}", s.class);
+        }
+        // Absent classes report false and leave the table untouched.
+        let before = r.clone();
+        assert!(!r.scale_class(FaultClass::Event136, 3.0));
+        assert_eq!(r, before);
+        assert!(!r.has_class(FaultClass::Event136));
+        assert!(r.has_class(FaultClass::GspHang));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_scaled_still_matches_scale_all() {
+        let a = ClassRates::ampere_delta().scaled(0.5);
+        let b = ClassRates::ampere_delta().scale_all(0.5);
+        assert_eq!(a, b);
     }
 
     #[test]

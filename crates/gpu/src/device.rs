@@ -18,7 +18,7 @@ use rand::Rng;
 /// Probability and timing knobs for the RAS machinery, calibrated from the
 /// paper's propagation graphs (Figures 5–7). All probabilities are
 /// conditional branch weights of the corresponding state machine.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RasTuning {
     /// P(containment succeeds | RRF) — Figure 7: 0.43.
     pub p_contained_after_rrf: f64,

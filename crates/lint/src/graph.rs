@@ -47,28 +47,34 @@ pub const CRATES: &[CrateInfo] = &[
     /* 8 */ CrateInfo { lib: "dr_cluster", prefix: "crates/cluster/", deps: &[0, 7] },
     /* 9 */ CrateInfo { lib: "dr_faults", prefix: "crates/faults/", deps: &[0, 3, 4, 7, 8, 5] },
     /* 10 */
-    CrateInfo { lib: "dr_slurm", prefix: "crates/slurm/", deps: &[0, 8, 4, 3, 7, 9, 5] },
+    CrateInfo { lib: "dr_scenario", prefix: "crates/scenario/", deps: &[0, 7, 8, 9] },
     /* 11 */
+    CrateInfo { lib: "dr_slurm", prefix: "crates/slurm/", deps: &[0, 8, 4, 3, 7, 9, 5] },
+    /* 12 */
     CrateInfo {
         lib: "resilience_core",
         prefix: "crates/core/",
-        deps: &[0, 6, 4, 5, 1, 8, 10, 9],
+        deps: &[0, 6, 4, 5, 1, 8, 11, 9],
     },
-    /* 12 */ CrateInfo { lib: "dr_availsim", prefix: "crates/availsim/", deps: &[4] },
-    /* 13 */ CrateInfo { lib: "dr_predict", prefix: "crates/predict/", deps: &[0, 4, 11] },
-    /* 14 */
-    CrateInfo { lib: "dr_report", prefix: "crates/report/", deps: &[0, 4, 11, 10, 9] },
+    /* 13 */ CrateInfo { lib: "dr_availsim", prefix: "crates/availsim/", deps: &[4] },
+    /* 14 */ CrateInfo { lib: "dr_predict", prefix: "crates/predict/", deps: &[0, 4, 12] },
     /* 15 */
     CrateInfo {
-        lib: "dr_bench",
-        prefix: "crates/bench/",
-        deps: &[0, 6, 4, 3, 1, 7, 8, 9, 10, 11, 12, 14, 5, 2],
+        lib: "dr_report",
+        prefix: "crates/report/",
+        deps: &[0, 4, 12, 11, 9, 10, 1, 5, 7],
     },
     /* 16 */
     CrateInfo {
+        lib: "dr_bench",
+        prefix: "crates/bench/",
+        deps: &[0, 6, 4, 3, 1, 7, 8, 9, 11, 12, 13, 15, 5, 2, 10],
+    },
+    /* 17 */
+    CrateInfo {
         lib: "gpu_resilience",
         prefix: "src/",
-        deps: &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15],
+        deps: &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16],
     },
 ];
 

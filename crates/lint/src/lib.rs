@@ -120,7 +120,12 @@ pub fn load_workspace(root: &Path) -> Result<Workspace, String> {
         let text = std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
         files.push(SourceFile::new(walk::relative_path(root, p), text));
     }
-    Ok(Workspace::from_files(files))
+    let mut scenarios = Vec::new();
+    for p in &walk::scenario_sources(root)? {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
+        scenarios.push((walk::relative_path(root, p), text));
+    }
+    Ok(Workspace::from_files(files).with_scenarios(scenarios))
 }
 
 /// Lint the workspace at `cfg.root` against its baseline.

@@ -1,4 +1,5 @@
-//! The repo-specific lint passes: six file-local, three interprocedural.
+//! The repo-specific lint passes: seven file-local, three
+//! interprocedural, one over the shipped `.scn` scenarios.
 
 pub mod boundedchan;
 pub mod determinism;
@@ -6,6 +7,7 @@ pub mod hotalloc;
 pub mod layerdag;
 pub mod obsiso;
 pub mod reach;
+pub mod scenariohygiene;
 pub mod streamhygiene;
 pub mod taint;
 pub mod taxonomy;
@@ -17,6 +19,7 @@ pub use hotalloc::HotAllocPass;
 pub use layerdag::LayerDagPass;
 pub use obsiso::ObsIsolationPass;
 pub use reach::ReachPass;
+pub use scenariohygiene::ScenarioHygienePass;
 pub use streamhygiene::StreamHygienePass;
 pub use taint::TaintPass;
 pub use taxonomy::TaxonomyPass;
@@ -33,6 +36,7 @@ pub fn all() -> Vec<Box<dyn Pass>> {
         Box::new(LayerDagPass),
         Box::new(ObsIsolationPass),
         Box::new(ReachPass),
+        Box::new(ScenarioHygienePass),
         Box::new(StreamHygienePass),
         Box::new(TaintPass),
         Box::new(UnitsPass),
@@ -93,6 +97,17 @@ pub fn explain(id: &str) -> Option<&'static str> {
         "hot-alloc" => {
             "Flags per-record allocation patterns (format!/to_string/Vec::new in inner parse \
              loops) on the streaming path, where they dominate 202-GB-scale extraction cost."
+        }
+        scenariohygiene::ID => {
+            "Keeps the `.scn` scenario front end honest from both sides. Every shipped \
+             file under scenarios/ must pass a structural check (header first and named \
+             after the file stem, known statement keywords, balanced braces, the \
+             required fleet/duration_days/rates/seeds statements present) so a battery \
+             cannot rot in-tree and only fail at `gpures sweep` time. And outside \
+             crates/faults and crates/scenario, non-test code may not build \
+             `CampaignConfig` from a from-scratch struct literal — start from a preset \
+             constructor (`..CampaignConfig::tiny(seed)`) or compile a scenario, so the \
+             coupled fleet/rates/tuning knobs cannot drift from the presets silently."
         }
         "stream-hygiene" => {
             "Streaming sources must stay bounded-memory: no slurping whole files \

@@ -1,0 +1,353 @@
+//! The scenario-hygiene pass.
+//!
+//! Two invariants around the `.scn` scenario front end:
+//!
+//! 1. **Shipped scenarios stay loadable.** Every file under
+//!    `scenarios/` is checked with a lightweight structural verifier
+//!    (header first, name matches the file stem, known statement
+//!    keywords, balanced braces, the required statements present) so a
+//!    battery file cannot rot in the tree and only fail at `gpures
+//!    sweep` time. This is deliberately *not* the real `dr-scenario`
+//!    parser — dr-lint is dependency-free — but every rule here is a
+//!    strict subset of what that parser rejects, so a clean lint never
+//!    contradicts a parse error.
+//!
+//! 2. **One compiler for campaign configs.** `CampaignConfig` carries
+//!    enough coupled knobs (fleet shape, per-class rates, RAS tuning)
+//!    that from-scratch struct literals outside its home crates drift
+//!    from the presets silently. Outside `crates/faults/` and
+//!    `crates/scenario/`, non-test code must go through a preset
+//!    constructor or the scenario compiler; functional-update literals
+//!    (`CampaignConfig { days: 60.0, ..CampaignConfig::tiny(7) }`) are
+//!    fine — they start from a preset.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+use crate::source::{SourceFile, Workspace};
+use crate::Pass;
+
+pub struct ScenarioHygienePass;
+
+pub const ID: &str = "scenario-hygiene";
+
+/// Crates allowed to build `CampaignConfig` from scratch: its home
+/// crate and the compiler that exists to produce it.
+const LITERAL_OK_PREFIXES: [&str; 2] = ["crates/faults/", "crates/scenario/"];
+
+/// Every statement keyword the `.scn` grammar accepts at top level.
+const KEYWORDS: [&str; 12] = [
+    "scenario",
+    "description",
+    "fleet",
+    "duration_days",
+    "burst_gap_s",
+    "seeds",
+    "rates",
+    "text",
+    "repair",
+    "tuning",
+    "jobs",
+    "expect",
+];
+
+/// Statements every scenario must have (the compiler refuses without
+/// them; `seeds` is additionally required by `Scenario::compile`).
+const REQUIRED: [&str; 4] = ["fleet", "duration_days", "rates", "seeds"];
+
+impl Pass for ScenarioHygienePass {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if LITERAL_OK_PREFIXES
+            .iter()
+            .any(|p| file.path.starts_with(p))
+        {
+            return;
+        }
+        check_config_literals(file, out);
+    }
+
+    fn check_workspace(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for (path, text) in &ws.scenarios {
+            check_scn(path, text, out);
+        }
+    }
+}
+
+fn diag(path: &str, line: u32, message: String) -> Diagnostic {
+    Diagnostic {
+        lint: ID,
+        severity: Severity::Error,
+        path: path.to_string(),
+        line,
+        col: 1,
+        message,
+    }
+}
+
+/// Flag from-scratch `CampaignConfig { … }` struct literals in non-test
+/// code: a literal without a `..base` functional update bypasses every
+/// preset invariant at once.
+fn check_config_literals(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let sig: Vec<usize> = (0..file.tokens.len())
+        .filter(|&i| file.tokens[i].kind != TokenKind::Comment)
+        .collect();
+    let t = |k: usize| -> &str {
+        sig.get(k).map_or("", |&i| file.tok_text(&file.tokens[i]))
+    };
+    for k in 0..sig.len() {
+        if t(k) != "CampaignConfig" || t(k + 1) != "{" || file.in_test_region(sig[k]) {
+            continue;
+        }
+        // The declaration, impl blocks, and type positions (a return
+        // type `-> CampaignConfig {`, `impl Default for CampaignConfig`)
+        // are not literals.
+        if k > 0 && matches!(t(k - 1), "struct" | "impl" | "for" | ">") {
+            continue;
+        }
+        // Scan the literal body for a `..` functional update at depth 1.
+        let mut depth = 0i32;
+        let mut has_spread = false;
+        let mut j = k + 1;
+        while j < sig.len() {
+            match t(j) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "." if depth == 1 && t(j + 1) == "." => has_spread = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !has_spread {
+            out.push(diag(
+                &file.path,
+                file.tokens[sig[k]].line,
+                "from-scratch `CampaignConfig { … }` literal outside crates/faults — start \
+                 from a preset constructor (`..CampaignConfig::tiny(seed)`) or compile a \
+                 scenario instead"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Structural check of one shipped `.scn` file. Line-oriented: strip
+/// comments/strings, track brace depth, verify the header, statement
+/// keywords, balance, and required-statement presence.
+fn check_scn(path: &str, text: &str, out: &mut Vec<Diagnostic>) {
+    let stem = path
+        .rsplit('/')
+        .next()
+        .unwrap_or(path)
+        .trim_end_matches(".scn");
+    let mut depth = 0i32;
+    let mut seen_header = false;
+    let mut seen: Vec<&str> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let (line, unterminated) = strip_scn_line(raw);
+        if unterminated {
+            out.push(diag(path, line_no, "unterminated string".to_string()));
+            return;
+        }
+        let stripped = line.trim();
+        if stripped.is_empty() {
+            continue;
+        }
+        if depth == 0 {
+            let word: &str = stripped
+                .split(|c: char| c.is_whitespace() || matches!(c, '=' | '.' | '{'))
+                .next()
+                .unwrap_or("");
+            match KEYWORDS.iter().find(|&&k| k == word) {
+                None => {
+                    out.push(diag(
+                        path,
+                        line_no,
+                        format!("`{word}` is not a .scn statement keyword"),
+                    ));
+                    return;
+                }
+                Some(&k) => {
+                    if !seen_header {
+                        if k != "scenario" {
+                            out.push(diag(
+                                path,
+                                line_no,
+                                "the `scenario \"name\"` header must come first".to_string(),
+                            ));
+                            return;
+                        }
+                        // The real parser requires the quoted name; here
+                        // we additionally pin name == file stem so
+                        // `gpures sweep scenarios/` output is navigable.
+                        let name = raw
+                            .split('"')
+                            .nth(1)
+                            .unwrap_or("");
+                        if name != stem {
+                            out.push(diag(
+                                path,
+                                line_no,
+                                format!(
+                                    "scenario is named `{name}` but the file stem is `{stem}` \
+                                     — keep them identical"
+                                ),
+                            ));
+                        }
+                        seen_header = true;
+                    }
+                    seen.push(k);
+                }
+            }
+        }
+        for c in line.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+            if depth < 0 {
+                out.push(diag(path, line_no, "unbalanced `}`".to_string()));
+                return;
+            }
+        }
+    }
+    if depth != 0 {
+        let last = text.lines().count() as u32;
+        out.push(diag(path, last.max(1), "unclosed `{` block".to_string()));
+        return;
+    }
+    if !seen_header {
+        out.push(diag(path, 1, "empty scenario file".to_string()));
+        return;
+    }
+    for req in REQUIRED {
+        if !seen.contains(&req) {
+            out.push(diag(
+                path,
+                1,
+                format!("missing required `{req}` statement"),
+            ));
+        }
+    }
+}
+
+/// One `.scn` line with comments removed and string contents blanked
+/// (so braces in strings don't count); returns `(cleaned, unterminated)`.
+fn strip_scn_line(raw: &str) -> (String, bool) {
+    let mut out = String::with_capacity(raw.len());
+    let mut in_string = false;
+    for c in raw.chars() {
+        match c {
+            '"' => {
+                in_string = !in_string;
+                out.push('"');
+            }
+            '#' if !in_string => break,
+            _ if in_string => out.push(' '),
+            _ => out.push(c),
+        }
+    }
+    (out, in_string)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{SourceFile, Workspace};
+
+    fn scn_diags(name: &str, text: &str) -> Vec<Diagnostic> {
+        let ws = Workspace::from_files(Vec::new())
+            .with_scenarios(vec![(format!("scenarios/{name}.scn"), text.to_string())]);
+        let mut out = Vec::new();
+        ScenarioHygienePass.check_workspace(&ws, &mut out);
+        out
+    }
+
+    const GOOD: &str = "scenario \"demo\"  # a comment\n\
+                        fleet tiny\n\
+                        duration_days = 30\n\
+                        seeds = [7]\n\
+                        rates ampere_delta\n\
+                        text { nodes = 4 }\n";
+
+    #[test]
+    fn well_formed_scenario_is_clean() {
+        assert!(scn_diags("demo", GOOD).is_empty());
+    }
+
+    #[test]
+    fn name_must_match_file_stem() {
+        let d = scn_diags("other", GOOD);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("file stem is `other`"), "{d:?}");
+    }
+
+    #[test]
+    fn unknown_keyword_unclosed_block_and_missing_statements_fire() {
+        let d = scn_diags("demo", "scenario \"demo\"\nbogus = 3\n");
+        assert!(d[0].message.contains("not a .scn statement keyword"));
+        assert_eq!(d[0].line, 2);
+
+        let d = scn_diags("demo", "scenario \"demo\"\ntext {\n");
+        assert!(d[0].message.contains("unclosed"), "{d:?}");
+
+        let d = scn_diags("demo", "scenario \"demo\"\nfleet tiny\n");
+        let msgs: Vec<&str> = d.iter().map(|x| x.message.as_str()).collect();
+        assert!(msgs.iter().any(|m| m.contains("`duration_days`")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("`rates`")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("`seeds`")), "{msgs:?}");
+    }
+
+    #[test]
+    fn header_must_come_first_and_braces_in_strings_are_inert() {
+        let d = scn_diags("demo", "fleet tiny\n");
+        assert!(d[0].message.contains("must come first"));
+
+        let with_brace = "scenario \"demo\"\ndescription \"curly { noise\"\nfleet tiny\n\
+                          duration_days = 30\nseeds = [7]\nrates ampere_delta\n";
+        assert!(scn_diags("demo", with_brace).is_empty());
+    }
+
+    fn rs_diags(path: &str, text: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new(path, text);
+        let mut out = Vec::new();
+        ScenarioHygienePass.check_file(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn from_scratch_config_literal_is_flagged() {
+        let d = rs_diags(
+            "crates/report/src/demo.rs",
+            "fn f() -> CampaignConfig { CampaignConfig { seed: 7, shape: DeltaShape::tiny() } }\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("preset constructor"));
+    }
+
+    #[test]
+    fn spread_literals_home_crates_and_tests_are_exempt() {
+        let spread = "fn f() { let c = CampaignConfig { duration_days: 6.0, \
+                      ..CampaignConfig::tiny(7) }; }\n";
+        assert!(rs_diags("crates/report/src/demo.rs", spread).is_empty());
+
+        let raw = "fn f() { CampaignConfig { seed: 7 }; }\n";
+        assert!(rs_diags("crates/faults/src/campaign.rs", raw).is_empty());
+        assert!(rs_diags("crates/scenario/src/parse.rs", raw).is_empty());
+
+        let in_test = "#[cfg(test)]\nmod tests {\n  fn f() { CampaignConfig { seed: 7 }; }\n}\n";
+        assert!(rs_diags("crates/report/src/demo.rs", in_test).is_empty());
+
+        let decl = "pub struct CampaignConfig { pub seed: u64 }\nimpl CampaignConfig { }\n";
+        assert!(rs_diags("crates/report/src/demo.rs", decl).is_empty());
+    }
+}

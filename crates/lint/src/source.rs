@@ -194,11 +194,24 @@ fn parse_allow_comments(
 #[derive(Clone, Debug)]
 pub struct Workspace {
     pub files: Vec<SourceFile>,
+    /// Shipped `.scn` scenario files as `(workspace-relative path, text)`.
+    /// Carried separately from `files` so the Rust lexer and the Rust
+    /// passes never see them; only `scenario-hygiene` reads this.
+    pub scenarios: Vec<(String, String)>,
 }
 
 impl Workspace {
     pub fn from_files(files: Vec<SourceFile>) -> Workspace {
-        Workspace { files }
+        Workspace {
+            files,
+            scenarios: Vec::new(),
+        }
+    }
+
+    /// Attach shipped `.scn` scenarios (see [`Workspace::scenarios`]).
+    pub fn with_scenarios(mut self, scenarios: Vec<(String, String)>) -> Workspace {
+        self.scenarios = scenarios;
+        self
     }
 
     /// Exact-path lookup (paths are workspace-relative).

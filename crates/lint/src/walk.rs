@@ -26,6 +26,22 @@ pub fn workspace_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
     Ok(out)
 }
 
+/// All shipped `.scn` scenario files under `root/scenarios/`, sorted.
+/// These feed the `scenario-hygiene` pass only — they are not Rust
+/// sources and never enter the token-level passes.
+pub fn scenario_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let dir = root.join("scenarios");
+    if !dir.is_dir() {
+        return Ok(Vec::new());
+    }
+    let mut out: Vec<PathBuf> = read_dir(&dir)?
+        .into_iter()
+        .filter(|p| p.is_file() && p.extension().is_some_and(|e| e == "scn"))
+        .collect();
+    out.sort();
+    Ok(out)
+}
+
 /// The workspace-relative, `/`-separated form of `path`.
 pub fn relative_path(root: &Path, path: &Path) -> String {
     let rel = path.strip_prefix(root).unwrap_or(path);

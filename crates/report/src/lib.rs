@@ -17,9 +17,11 @@ pub mod files;
 pub mod paper;
 pub mod figures;
 pub mod render;
+pub mod sweep;
 pub mod table;
 
 pub use expect::{Comparison, Expectation, Verdict};
+pub use sweep::{run_battery, SweepOptions};
 pub use paper::{ampere_comparison, h100_comparison};
 pub use figures::{ascii_bars, ascii_cdf, dot_graph, DotEdge};
 pub use render::{render_fig5, render_fig6, render_fig7, render_fig9a, render_fig9b, render_summary, render_table1, render_table2, render_table3};

@@ -1,0 +1,263 @@
+//! The `.scn` lexer.
+//!
+//! Hand-rolled, like `dr-lint`'s Rust lexer: the format is small enough
+//! that a character scanner with explicit line/column tracking beats any
+//! grammar machinery, and the zero-dependency rule holds. Statements are
+//! newline-separated, so unlike a freeform language the lexer emits
+//! [`TokenKind::Newline`] tokens; the parser treats them as statement
+//! terminators and skips blank runs.
+
+use dr_xid::DataError;
+
+/// One lexical token with its 1-based source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+    pub col: usize,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// Bare word: keys, preset names, `true`/`false`.
+    Ident(String),
+    /// Numeric literal, kept raw so integers round-trip exactly
+    /// (`1_445_119` stays a `u64`, never a lossy float).
+    Num(String),
+    /// Double-quoted string (no escape sequences).
+    Str(String),
+    /// Single-character punctuation: `{ } [ ] = , . *`.
+    Punct(char),
+    /// The `*=` multiplier-assignment operator.
+    StarEq,
+    /// Statement terminator.
+    Newline,
+}
+
+impl TokenKind {
+    /// Human label for "expected X, found Y" diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("`{s}`"),
+            TokenKind::Num(s) => format!("number `{s}`"),
+            TokenKind::Str(s) => format!("\"{s}\""),
+            TokenKind::Punct(c) => format!("`{c}`"),
+            TokenKind::StarEq => "`*=`".to_string(),
+            TokenKind::Newline => "end of line".to_string(),
+        }
+    }
+}
+
+/// Convenience constructor for positioned scenario errors.
+pub fn err(line: usize, col: usize, message: impl Into<String>) -> DataError {
+    DataError::Scenario {
+        line,
+        col,
+        message: message.into(),
+    }
+}
+
+/// Tokenize a full `.scn` source. `#` starts a comment running to end of
+/// line; a trailing [`TokenKind::Newline`] is always appended so the
+/// parser never has to special-case a missing final newline.
+pub fn lex(src: &str) -> Result<Vec<Token>, DataError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut chars = src.chars().peekable();
+
+    while let Some(&c) = chars.peek() {
+        let (tline, tcol) = (line, col);
+        match c {
+            '\n' => {
+                chars.next();
+                out.push(Token {
+                    kind: TokenKind::Newline,
+                    line: tline,
+                    col: tcol,
+                });
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                chars.next();
+                col += 1;
+            }
+            '#' => {
+                while let Some(&n) = chars.peek() {
+                    if n == '\n' {
+                        break;
+                    }
+                    chars.next();
+                    col += 1;
+                }
+            }
+            '"' => {
+                chars.next();
+                col += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => {
+                            col += 1;
+                            break;
+                        }
+                        Some('\n') | None => {
+                            return Err(err(tline, tcol, "unterminated string"));
+                        }
+                        Some(ch) => {
+                            col += 1;
+                            s.push(ch);
+                        }
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            '*' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    col += 1;
+                    out.push(Token {
+                        kind: TokenKind::StarEq,
+                        line: tline,
+                        col: tcol,
+                    });
+                } else {
+                    out.push(Token {
+                        kind: TokenKind::Punct('*'),
+                        line: tline,
+                        col: tcol,
+                    });
+                }
+            }
+            '{' | '}' | '[' | ']' | '=' | ',' | '.' => {
+                chars.next();
+                col += 1;
+                out.push(Token {
+                    kind: TokenKind::Punct(c),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            '0'..='9' => {
+                let mut s = String::new();
+                while let Some(&n) = chars.peek() {
+                    if n.is_ascii_digit() || n == '_' || n == '.' {
+                        // `10.gpus` style member access never occurs; a dot
+                        // after digits is always a decimal point here.
+                        s.push(n);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::Num(s),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&n) = chars.peek() {
+                    if n.is_ascii_alphanumeric() || n == '_' {
+                        s.push(n);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident(s),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            other => {
+                return Err(err(
+                    tline,
+                    tcol,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    let end_line = line;
+    out.push(Token {
+        kind: TokenKind::Newline,
+        line: end_line,
+        col,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_are_one_based_lines_and_columns() {
+        let toks = lex("fleet tiny\n  duration_days = 30.0\n").expect("lexes");
+        let fleet = &toks[0];
+        assert_eq!(fleet.kind, TokenKind::Ident("fleet".into()));
+        assert_eq!((fleet.line, fleet.col), (1, 1));
+        let dur = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("duration_days".into()))
+            .expect("duration token");
+        assert_eq!((dur.line, dur.col), (2, 3));
+    }
+
+    #[test]
+    fn star_eq_and_bare_star_are_distinct() {
+        let toks = lex("rates.* *= 0.3\nfleet delta * 10\n").expect("lexes");
+        let kinds: Vec<&TokenKind> = toks.iter().map(|t| &t.kind).collect();
+        assert!(kinds.contains(&&TokenKind::StarEq));
+        assert!(kinds.contains(&&TokenKind::Punct('*')));
+    }
+
+    #[test]
+    fn comments_and_underscored_numbers() {
+        let toks = lex("total = 1_445_119 # paper job count\n").expect("lexes");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Num("1_445_119".into())));
+        // Nothing from the comment leaks into the stream.
+        assert!(!toks
+            .iter()
+            .any(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "paper")));
+    }
+
+    #[test]
+    fn bad_character_is_a_positioned_error() {
+        let e = lex("fleet tiny\nseeds = [7; 8]\n").expect_err("semicolon rejected");
+        assert_eq!(
+            e,
+            DataError::Scenario {
+                line: 2,
+                col: 11,
+                message: "unexpected character `;`".into()
+            }
+        );
+    }
+
+    #[test]
+    fn unterminated_string_points_at_the_opening_quote() {
+        let e = lex("scenario \"drifts\n").expect_err("unterminated");
+        match e {
+            DataError::Scenario { line, col, message } => {
+                assert_eq!((line, col), (1, 10));
+                assert!(message.contains("unterminated"));
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+}

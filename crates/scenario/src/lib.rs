@@ -1,0 +1,431 @@
+//! # dr-scenario — declarative `.scn` fleet-campaign scenarios
+//!
+//! A campaign used to be something only Rust could describe: pick a
+//! [`CampaignConfig`] constructor, then mutate fields until the study you
+//! wanted emerged. This crate makes the *scenario* — fleet composition,
+//! duration, per-class fault-rate bends, RAS tuning, text generation,
+//! seeds, and the reference study to validate against — a small
+//! declarative text format instead, so a fleet operator can author a
+//! what-if battery (`gpures sweep`) without touching the simulator.
+//!
+//! ```text
+//! scenario "gh200_heavy"
+//! description "H100-dominated refresh: what does Delta look like post-upgrade?"
+//!
+//! fleet { a100x4 = 20  gh200 = 200 }
+//! duration_days = 240
+//! seeds = [616, 617]
+//!
+//! rates h100_delta
+//! rates.* *= 2.75        # fleet is 2.75x the calibration population
+//! rates.xid136 *= 1.5    # and the undocumented event runs hotter
+//! ```
+//!
+//! [`Scenario::parse`] turns that into a validated [`Scenario`];
+//! [`Scenario::compile`] lowers it onto the existing
+//! [`dr_faults::CampaignConfig`] — the DSL adds no second simulator, just
+//! a front end. Every parse or compile failure is a
+//! [`dr_xid::DataError::Scenario`] with the 1-based line and column of
+//! the offending token.
+//!
+//! The repo's own study presets ship as `.scn` files under `scenarios/`
+//! and are bundled into this crate via `include_str!` (see [`preset`]);
+//! tier-1 tests pin them bit-identical to the Rust constructors they
+//! replaced as the canonical definition.
+
+pub mod lex;
+mod parse;
+
+pub use parse::class_by_name;
+
+use dr_faults::CampaignConfig;
+use dr_xid::DataError;
+
+/// Which paper study a scenario's results should be checked against in a
+/// sweep (`expect ampere` / `expect h100`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExpectRef {
+    /// No reference: the scenario is exploratory.
+    #[default]
+    None,
+    /// Section 4-5 Ampere study tolerances.
+    Ampere,
+    /// Section 6 H100 study tolerances.
+    H100,
+}
+
+impl ExpectRef {
+    /// The DSL spelling, for artifacts and diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExpectRef::None => "none",
+            ExpectRef::Ampere => "ampere",
+            ExpectRef::H100 => "h100",
+        }
+    }
+}
+
+/// The `jobs { … }` block: run the Slurm workload model over the campaign
+/// and fold error impact into the sweep's job columns.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JobsSpec {
+    /// Absolute job count over the campaign (`total = 1_445_119`).
+    pub total: Option<u64>,
+    /// Or a size-relative load (`per_node_day = 25`), scaled by
+    /// `nodes × duration_days` at sweep time. Exactly one of the two is
+    /// set; the parser rejects both-or-neither.
+    pub per_node_day: Option<f64>,
+    /// Scheduler placement seed (default 7, the paper recipe).
+    pub seed: u64,
+    /// Error-masking draw seed (default 99, the paper recipe).
+    pub mask_seed: u64,
+}
+
+impl JobsSpec {
+    /// Resolve the job count for a concrete fleet and duration.
+    pub fn job_count(&self, nodes: u32, duration_days: f64) -> u64 {
+        match (self.total, self.per_node_day) {
+            (Some(t), _) => t,
+            (None, Some(per)) => (per * nodes as f64 * duration_days).round() as u64,
+            (None, None) => 0,
+        }
+    }
+}
+
+/// A parsed, validated scenario: everything `gpures sweep` needs to run
+/// one campaign battery entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Identifier from the `scenario "…"` header (must match the file
+    /// stem for shipped scenarios; enforced by the `scenario-hygiene`
+    /// lint).
+    pub name: String,
+    /// Free-text `description "…"` (may be empty).
+    pub description: String,
+    /// Campaign seeds to expand in a sweep; `compile` uses the first.
+    pub seeds: Vec<u64>,
+    /// Reference study for pass/fail tolerance checks.
+    pub expect: ExpectRef,
+    /// Optional workload model.
+    pub jobs: Option<JobsSpec>,
+    /// The lowered campaign with a placeholder seed; private so the only
+    /// way to obtain a runnable config is [`Scenario::compile`] /
+    /// [`Scenario::compile_seed`], which stamp a real seed.
+    pub(crate) base: CampaignConfig,
+}
+
+impl Scenario {
+    /// Parse a `.scn` source. See the crate docs for the grammar.
+    pub fn parse(src: &str) -> Result<Scenario, DataError> {
+        parse::parse(src)
+    }
+
+    /// Lower to a runnable [`CampaignConfig`] using the first declared
+    /// seed. Fails if the scenario declares none — exploratory files may
+    /// omit `seeds` and be driven entirely via [`Scenario::compile_seed`].
+    pub fn compile(&self) -> Result<CampaignConfig, DataError> {
+        match self.seeds.first() {
+            Some(&seed) => Ok(self.compile_seed(seed)),
+            None => Err(DataError::Scenario {
+                line: 1,
+                col: 1,
+                message: format!(
+                    "scenario `{}` declares no seeds; add `seeds = [...]` or use compile_seed",
+                    self.name
+                ),
+            }),
+        }
+    }
+
+    /// Lower to a runnable [`CampaignConfig`] with an explicit seed.
+    pub fn compile_seed(&self, seed: u64) -> CampaignConfig {
+        let mut cfg = self.base.clone();
+        cfg.seed = seed;
+        cfg
+    }
+
+    /// Read access to the lowered campaign (fleet shape, duration, …)
+    /// without committing to a seed.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.base
+    }
+}
+
+/// The scenarios shipped in the repo's `scenarios/` directory, bundled at
+/// compile time. Order is the battery order of `gpures sweep` presets.
+pub const BUNDLED: [&str; 6] = [
+    "ampere_study",
+    "h100_study",
+    "tiny",
+    "gh200_heavy",
+    "mixed_generation",
+    "delta_10x",
+];
+
+/// The raw `.scn` source of a bundled scenario, if `name` is one.
+pub fn preset_source(name: &str) -> Option<&'static str> {
+    Some(match name {
+        "ampere_study" => include_str!("../../../scenarios/ampere_study.scn"),
+        "h100_study" => include_str!("../../../scenarios/h100_study.scn"),
+        "tiny" => include_str!("../../../scenarios/tiny.scn"),
+        "gh200_heavy" => include_str!("../../../scenarios/gh200_heavy.scn"),
+        "mixed_generation" => include_str!("../../../scenarios/mixed_generation.scn"),
+        "delta_10x" => include_str!("../../../scenarios/delta_10x.scn"),
+        _ => return None,
+    })
+}
+
+/// Parse a bundled scenario by name.
+pub fn preset(name: &str) -> Result<Scenario, DataError> {
+    let src = preset_source(name).ok_or_else(|| DataError::Scenario {
+        line: 1,
+        col: 1,
+        message: format!(
+            "unknown bundled scenario `{name}` (bundled: {})",
+            BUNDLED.join(", ")
+        ),
+    })?;
+    Scenario::parse(src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_faults::FaultClass;
+
+    #[test]
+    fn every_bundled_scenario_parses_and_names_match() {
+        for name in BUNDLED {
+            let sc = preset(name).unwrap_or_else(|e| panic!("{name}.scn: {e}"));
+            assert_eq!(sc.name, name, "header/name mismatch in {name}.scn");
+            assert!(!sc.seeds.is_empty(), "{name}.scn must declare seeds");
+            sc.compile().unwrap_or_else(|e| panic!("{name}.scn: {e}"));
+        }
+    }
+
+    #[test]
+    fn bundled_presets_match_their_rust_constructors_bit_for_bit() {
+        // The .scn files are the canonical definitions; the constructors
+        // must stay equivalent. PartialEq on CampaignConfig covers every
+        // field including the full rate table and tuning block.
+        for seed in [0u64, 7, 616, 2024, u64::MAX] {
+            assert_eq!(
+                preset("ampere_study").expect("parses").compile_seed(seed),
+                CampaignConfig::ampere_study(seed),
+                "ampere_study.scn drifted from CampaignConfig::ampere_study"
+            );
+            assert_eq!(
+                preset("h100_study").expect("parses").compile_seed(seed),
+                CampaignConfig::h100_study(seed),
+                "h100_study.scn drifted from CampaignConfig::h100_study"
+            );
+            assert_eq!(
+                preset("tiny").expect("parses").compile_seed(seed),
+                CampaignConfig::tiny(seed),
+                "tiny.scn drifted from CampaignConfig::tiny"
+            );
+        }
+    }
+
+    #[test]
+    fn compile_uses_the_first_seed_and_fails_without_one() {
+        let sc = preset("h100_study").expect("parses");
+        assert_eq!(sc.compile().expect("has seeds").seed, sc.seeds[0]);
+
+        let src = "scenario \"bare\"\nfleet tiny\nduration_days = 1\nrates ampere_delta\n";
+        let bare = Scenario::parse(src).expect("parses without seeds");
+        let e = bare.compile().expect_err("no seeds");
+        assert!(e.to_string().contains("declares no seeds"), "{e}");
+        assert_eq!(bare.compile_seed(3).seed, 3);
+    }
+
+    #[test]
+    fn fleet_forms_compose() {
+        let inline = Scenario::parse(
+            "scenario \"custom\"\nfleet {\n  a100x4 = 20\n  gh200 = 200\n}\nduration_days = 1\nrates h100_delta\n",
+        )
+        .expect("inline fleet");
+        assert_eq!(inline.config().shape.node_count(), 220);
+        assert_eq!(inline.config().shape.gpu_count(), 880);
+
+        let scaled = Scenario::parse(
+            "scenario \"big\"\nfleet delta * 10\nduration_days = 1\nrates ampere_delta\n",
+        )
+        .expect("scaled fleet");
+        assert_eq!(scaled.config().shape.node_count(), 2860);
+        assert_eq!(scaled.config().shape.gpu_count(), 11_680);
+    }
+
+    #[test]
+    fn class_multipliers_bend_only_their_class() {
+        let sc = Scenario::parse(
+            "scenario \"bent\"\nfleet delta_ampere\nduration_days = 10\nrates ampere_delta\nrates.nvlink *= 2\nrates.xid79 *= 0.5\n",
+        )
+        .expect("parses");
+        let base = dr_faults::ClassRates::ampere_delta();
+        for (spec, orig) in sc.config().rates.specs.iter().zip(base.specs.iter()) {
+            let want = match spec.class {
+                FaultClass::Nvlink => orig.expected_count * 2.0,
+                FaultClass::BusDrop => orig.expected_count * 0.5,
+                _ => orig.expected_count,
+            };
+            assert_eq!(spec.expected_count, want, "{:?}", spec.class);
+        }
+    }
+
+    #[test]
+    fn jobs_block_resolves_load_both_ways() {
+        let total = Scenario::parse(
+            "scenario \"jt\"\nfleet tiny\nduration_days = 30\nrates ampere_delta\njobs {\n  total = 1_000\n}\n",
+        )
+        .expect("total form");
+        let spec = total.jobs.expect("jobs set");
+        assert_eq!(spec.job_count(6, 30.0), 1_000);
+        assert_eq!((spec.seed, spec.mask_seed), (7, 99), "paper-recipe defaults");
+
+        let per = Scenario::parse(
+            "scenario \"jp\"\nfleet tiny\nduration_days = 30\nrates ampere_delta\njobs {\n  per_node_day = 25\n  seed = 11\n}\n",
+        )
+        .expect("per-node form");
+        assert_eq!(per.jobs.expect("jobs set").job_count(6, 30.0), 4_500);
+    }
+
+    /// The rejection matrix: each malformed source must fail at exactly
+    /// the line/column of its defect with a message naming it.
+    #[test]
+    fn rejection_matrix_pins_line_and_column() {
+        let cases: &[(&str, usize, usize, &str)] = &[
+            ("fleet tiny\n", 1, 1, "must start with `scenario"),
+            ("scenario \"x\"\nfleet moon\n", 2, 7, "unknown fleet preset"),
+            (
+                "scenario \"x\"\nfleet tiny\nduration_days = 0\n",
+                3,
+                17,
+                "must be positive",
+            ),
+            (
+                "scenario \"x\"\nfleet tiny\nduration_weeks = 3\n",
+                3,
+                1,
+                "unknown statement",
+            ),
+            (
+                "scenario \"x\"\nrates.nvlink *= 2\n",
+                2,
+                1,
+                "before scaling",
+            ),
+            (
+                "scenario \"x\"\nrates ampere_delta\nrates.xid999 *= 2\n",
+                3,
+                7,
+                "unknown fault class",
+            ),
+            (
+                "scenario \"x\"\nrates h100_delta\nrates.nvlink *= 2\n",
+                3,
+                7,
+                "not in the base rate table",
+            ),
+            (
+                "scenario \"x\"\ntuning {\n  p_pmu_to_mmu = 1.5\n}\n",
+                3,
+                18,
+                "must be in [0, 1]",
+            ),
+            (
+                "scenario \"x\"\ntuning {\n  p_warp_drive = 0.5\n}\n",
+                3,
+                3,
+                "unknown `tuning` key",
+            ),
+            ("scenario \"x\"\nseeds = []\n", 2, 9, "must not be empty"),
+            (
+                "scenario \"x\"\nfleet tiny\nfleet tiny\n",
+                3,
+                1,
+                "duplicate `fleet`",
+            ),
+            (
+                "scenario \"x\"\nfleet delta * 0\n",
+                2,
+                15,
+                "multiplier must be >= 1",
+            ),
+            (
+                "scenario \"x\"\njobs {\n  seed = 3\n}\n",
+                2,
+                1,
+                "needs a load size",
+            ),
+            (
+                "scenario \"x\"\njobs {\n  total = 5\n  per_node_day = 1\n}\n",
+                2,
+                1,
+                "pick one",
+            ),
+            (
+                "scenario \"x\"\nexpect blackwell\n",
+                2,
+                8,
+                "unknown reference study",
+            ),
+            (
+                "scenario \"x\"\nfleet { bogus = 3\n}\n",
+                2,
+                9,
+                "unknown node flavor",
+            ),
+            ("scenario \"x\"\nseeds = [1.5]\n", 2, 10, "expected an integer"),
+        ];
+        for (src, line, col, needle) in cases {
+            match Scenario::parse(src) {
+                Ok(_) => panic!("accepted malformed source:\n{src}"),
+                Err(DataError::Scenario {
+                    line: l,
+                    col: c,
+                    message,
+                }) => {
+                    assert!(
+                        message.contains(needle),
+                        "wrong message for:\n{src}\n  got: {message}\n  want substring: {needle}"
+                    );
+                    assert_eq!(
+                        (l, c),
+                        (*line, *col),
+                        "wrong position for:\n{src}\n  ({message})"
+                    );
+                }
+                Err(other) => panic!("non-scenario error for:\n{src}\n  {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn missing_required_statements_name_the_scenario() {
+        let e = Scenario::parse("scenario \"lonely\"\n").expect_err("missing everything");
+        assert!(
+            e.to_string().contains("`lonely` is missing its required `fleet`"),
+            "{e}"
+        );
+        let e = Scenario::parse("scenario \"lonely\"\nfleet tiny\nduration_days = 1\n")
+            .expect_err("missing rates");
+        assert!(e.to_string().contains("required `rates`"), "{e}");
+    }
+
+    #[test]
+    fn expect_and_description_round_trip() {
+        let sc = preset("ampere_study").expect("parses");
+        assert_eq!(sc.expect, ExpectRef::Ampere);
+        assert!(!sc.description.is_empty());
+        assert_eq!(preset("h100_study").expect("parses").expect, ExpectRef::H100);
+        assert_eq!(preset("tiny").expect("parses").expect, ExpectRef::None);
+    }
+
+    #[test]
+    fn delta_10x_is_a_ten_thousand_gpu_fleet() {
+        let sc = preset("delta_10x").expect("parses");
+        assert!(sc.config().shape.gpu_count() >= 10_000);
+        assert_eq!(sc.config().shape.node_count(), 2_860);
+    }
+}

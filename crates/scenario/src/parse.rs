@@ -1,0 +1,706 @@
+//! The `.scn` parser and compiler.
+//!
+//! Statements are newline-terminated; the full grammar is documented in
+//! `DESIGN.md` ("Scenario DSL"). Parsing is strict by design: every
+//! unknown key, absent fault class, out-of-range probability, or missing
+//! required statement is a [`DataError::Scenario`] carrying the 1-based
+//! line and column of the offending token, so a battery author fixing a
+//! typo is pointed at the character, not the file.
+
+use crate::lex::{err, lex, Token, TokenKind};
+use crate::{ExpectRef, JobsSpec, Scenario};
+use dr_cluster::DeltaShape;
+use dr_faults::{CampaignConfig, ClassRates, FaultClass};
+use dr_xid::DataError;
+
+/// Map a DSL class name (or `xidNN` alias) to its fault class.
+pub fn class_by_name(s: &str) -> Option<FaultClass> {
+    Some(match s {
+        "mmu_app" | "xid31" => FaultClass::MmuApp,
+        "dbe" | "xid48" => FaultClass::Dbe,
+        "sbe_pair" | "xid63" => FaultClass::SbePair,
+        "nvlink" | "xid74" => FaultClass::Nvlink,
+        "bus_drop" | "xid79" => FaultClass::BusDrop,
+        "sram_contained" | "xid94" => FaultClass::SramContained,
+        "uncontained_storm" | "xid95" => FaultClass::UncontainedStorm,
+        "gsp_hang" | "xid119" => FaultClass::GspHang,
+        "pmu_spi" | "xid122" => FaultClass::PmuSpi,
+        "software_noise" | "xid13" => FaultClass::SoftwareNoise,
+        "event136" | "xid136" => FaultClass::Event136,
+        _ => return None,
+    })
+}
+
+struct Cursor {
+    toks: Vec<Token>,
+    i: usize,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.i)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.i).cloned();
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    /// Position just past the end of the source, for "missing statement"
+    /// diagnostics.
+    fn end_pos(&self) -> (usize, usize) {
+        self.toks.last().map(|t| (t.line, t.col)).unwrap_or((1, 1))
+    }
+
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek().map(|t| &t.kind), Some(TokenKind::Newline)) {
+            self.i += 1;
+        }
+    }
+
+    fn expect_newline(&mut self) -> Result<(), DataError> {
+        match self.bump() {
+            Some(Token {
+                kind: TokenKind::Newline,
+                ..
+            }) => Ok(()),
+            Some(t) => Err(err(
+                t.line,
+                t.col,
+                format!("expected end of line, found {}", t.kind.describe()),
+            )),
+            None => Ok(()),
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<Token, DataError> {
+        match self.bump() {
+            Some(t) if t.kind == TokenKind::Punct(c) => Ok(t),
+            Some(t) => Err(err(
+                t.line,
+                t.col,
+                format!("expected `{c}`, found {}", t.kind.describe()),
+            )),
+            None => {
+                let (l, co) = self.end_pos();
+                Err(err(l, co, format!("expected `{c}`, found end of file")))
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, usize, usize), DataError> {
+        match self.bump() {
+            Some(Token {
+                kind: TokenKind::Ident(s),
+                line,
+                col,
+            }) => Ok((s, line, col)),
+            Some(t) => Err(err(
+                t.line,
+                t.col,
+                format!("expected a name, found {}", t.kind.describe()),
+            )),
+            None => {
+                let (l, c) = self.end_pos();
+                Err(err(l, c, "expected a name, found end of file"))
+            }
+        }
+    }
+
+    fn expect_str(&mut self) -> Result<(String, usize, usize), DataError> {
+        match self.bump() {
+            Some(Token {
+                kind: TokenKind::Str(s),
+                line,
+                col,
+            }) => Ok((s, line, col)),
+            Some(t) => Err(err(
+                t.line,
+                t.col,
+                format!("expected a quoted string, found {}", t.kind.describe()),
+            )),
+            None => {
+                let (l, c) = self.end_pos();
+                Err(err(l, c, "expected a quoted string, found end of file"))
+            }
+        }
+    }
+
+    fn expect_f64(&mut self) -> Result<(f64, usize, usize), DataError> {
+        match self.bump() {
+            Some(Token {
+                kind: TokenKind::Num(raw),
+                line,
+                col,
+            }) => {
+                let clean: String = raw.chars().filter(|&c| c != '_').collect();
+                clean
+                    .parse::<f64>()
+                    .map(|v| (v, line, col))
+                    .map_err(|_| err(line, col, format!("malformed number `{raw}`")))
+            }
+            Some(t) => Err(err(
+                t.line,
+                t.col,
+                format!("expected a number, found {}", t.kind.describe()),
+            )),
+            None => {
+                let (l, c) = self.end_pos();
+                Err(err(l, c, "expected a number, found end of file"))
+            }
+        }
+    }
+
+    fn expect_u64(&mut self) -> Result<(u64, usize, usize), DataError> {
+        match self.bump() {
+            Some(Token {
+                kind: TokenKind::Num(raw),
+                line,
+                col,
+            }) => {
+                let clean: String = raw.chars().filter(|&c| c != '_').collect();
+                clean
+                    .parse::<u64>()
+                    .map(|v| (v, line, col))
+                    .map_err(|_| err(line, col, format!("expected an integer, found `{raw}`")))
+            }
+            Some(t) => Err(err(
+                t.line,
+                t.col,
+                format!("expected an integer, found {}", t.kind.describe()),
+            )),
+            None => {
+                let (l, c) = self.end_pos();
+                Err(err(l, c, "expected an integer, found end of file"))
+            }
+        }
+    }
+
+    fn expect_bool(&mut self) -> Result<(bool, usize, usize), DataError> {
+        let (word, line, col) = self.expect_ident()?;
+        match word.as_str() {
+            "true" => Ok((true, line, col)),
+            "false" => Ok((false, line, col)),
+            other => Err(err(line, col, format!("expected `true` or `false`, found `{other}`"))),
+        }
+    }
+
+    fn expect_star_eq(&mut self) -> Result<(), DataError> {
+        match self.bump() {
+            Some(t) if t.kind == TokenKind::StarEq => Ok(()),
+            Some(t) => Err(err(
+                t.line,
+                t.col,
+                format!("expected `*=`, found {}", t.kind.describe()),
+            )),
+            None => {
+                let (l, c) = self.end_pos();
+                Err(err(l, c, "expected `*=`, found end of file"))
+            }
+        }
+    }
+}
+
+/// Run `entry` once per `key = …` entry of a `{ … }` block. Entries are
+/// usually one per line but may share a line, separated by whitespace or
+/// an optional comma (`fleet { a100x4 = 20, gh200 = 200 }`); the
+/// callback consumes everything after the key (normally `= value`).
+fn parse_block(
+    p: &mut Cursor,
+    mut entry: impl FnMut(&mut Cursor, &str, usize, usize) -> Result<(), DataError>,
+) -> Result<(), DataError> {
+    p.expect_punct('{')?;
+    loop {
+        p.skip_newlines();
+        if matches!(p.peek().map(|t| &t.kind), Some(TokenKind::Punct('}'))) {
+            p.bump();
+            return Ok(());
+        }
+        let (key, line, col) = p.expect_ident()?;
+        entry(p, &key, line, col)?;
+        if matches!(p.peek().map(|t| &t.kind), Some(TokenKind::Punct(','))) {
+            p.bump();
+        }
+    }
+}
+
+/// A probability key must carry a probability value.
+fn check_prob(key: &str, v: f64, line: usize, col: usize) -> Result<(), DataError> {
+    if !(0.0..=1.0).contains(&v) {
+        return Err(err(
+            line,
+            col,
+            format!("`{key}` is a probability and must be in [0, 1], got {v}"),
+        ));
+    }
+    Ok(())
+}
+
+pub fn parse(src: &str) -> Result<Scenario, DataError> {
+    let mut p = Cursor {
+        toks: lex(src)?,
+        i: 0,
+    };
+
+    // The header must come first so error messages can name the scenario
+    // and so the hygiene lint can check name-matches-filename cheaply.
+    p.skip_newlines();
+    let (first, fline, fcol) = p.expect_ident()?;
+    if first != "scenario" {
+        return Err(err(
+            fline,
+            fcol,
+            format!("a scenario file must start with `scenario \"name\"`, found `{first}`"),
+        ));
+    }
+    let (name, nline, ncol) = p.expect_str()?;
+    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return Err(err(
+            nline,
+            ncol,
+            format!("scenario name `{name}` must be a non-empty [a-z0-9_]+ identifier"),
+        ));
+    }
+    p.expect_newline()?;
+
+    let mut description = String::new();
+    let mut shape: Option<DeltaShape> = None;
+    let mut duration_days: Option<f64> = None;
+    let mut seeds: Vec<u64> = Vec::new();
+    let mut burst_gap_s = 4.5_f64;
+    let mut rates: Option<ClassRates> = None;
+    let mut tuning = dr_gpu::RasTuning::default();
+    let mut text = dr_faults::TextConfig::default();
+    let mut repair = dr_faults::RepairConfig::default();
+    let mut jobs: Option<JobsSpec> = None;
+    let mut expect = ExpectRef::None;
+
+    loop {
+        p.skip_newlines();
+        let Some(tok) = p.peek() else { break };
+        let (line, col) = (tok.line, tok.col);
+        let (word, _, _) = p.expect_ident()?;
+        let dup = |what: &str| err(line, col, format!("duplicate `{what}` statement"));
+        match word.as_str() {
+            "scenario" => return Err(dup("scenario")),
+            "description" => {
+                if !description.is_empty() {
+                    return Err(dup("description"));
+                }
+                let (d, dl, dc) = p.expect_str()?;
+                if d.is_empty() {
+                    return Err(err(dl, dc, "description must not be empty"));
+                }
+                description = d;
+                p.expect_newline()?;
+            }
+            "fleet" => {
+                if shape.is_some() {
+                    return Err(dup("fleet"));
+                }
+                shape = Some(parse_fleet(&mut p)?);
+                p.expect_newline()?;
+            }
+            "duration_days" => {
+                if duration_days.is_some() {
+                    return Err(dup("duration_days"));
+                }
+                p.expect_punct('=')?;
+                let (v, vl, vc) = p.expect_f64()?;
+                if !(v > 0.0) {
+                    return Err(err(vl, vc, format!("duration_days must be positive, got {v}")));
+                }
+                duration_days = Some(v);
+                p.expect_newline()?;
+            }
+            "burst_gap_s" => {
+                p.expect_punct('=')?;
+                let (v, vl, vc) = p.expect_f64()?;
+                if !(v > 0.0) {
+                    return Err(err(vl, vc, format!("burst_gap_s must be positive, got {v}")));
+                }
+                burst_gap_s = v;
+                p.expect_newline()?;
+            }
+            "seeds" => {
+                if !seeds.is_empty() {
+                    return Err(dup("seeds"));
+                }
+                p.expect_punct('=')?;
+                let open = p.expect_punct('[')?;
+                loop {
+                    if matches!(p.peek().map(|t| &t.kind), Some(TokenKind::Punct(']'))) {
+                        p.bump();
+                        break;
+                    }
+                    let (s, _, _) = p.expect_u64()?;
+                    seeds.push(s);
+                    match p.peek().map(|t| &t.kind) {
+                        Some(TokenKind::Punct(',')) => {
+                            p.bump();
+                        }
+                        Some(TokenKind::Punct(']')) => {}
+                        _ => {
+                            let t = p.bump();
+                            let (l, c, d) = t
+                                .map(|t| (t.line, t.col, t.kind.describe()))
+                                .unwrap_or_else(|| {
+                                    let (l, c) = p.end_pos();
+                                    (l, c, "end of file".into())
+                                });
+                            return Err(err(l, c, format!("expected `,` or `]` in seed list, found {d}")));
+                        }
+                    }
+                }
+                if seeds.is_empty() {
+                    return Err(err(open.line, open.col, "seed list must not be empty"));
+                }
+                p.expect_newline()?;
+            }
+            "rates" => {
+                parse_rates(&mut p, &mut rates, line, col)?;
+                p.expect_newline()?;
+            }
+            "text" => {
+                parse_block(&mut p, |p, key, kl, kc| {
+                    p.expect_punct('=')?;
+                    match key {
+                        "nodes" => {
+                            let (v, _, _) = p.expect_u64()?;
+                            text.nodes = v as usize;
+                        }
+                        "defer" => text.defer = p.expect_bool()?.0,
+                        "noise_per_node_hour" => {
+                            let (v, vl, vc) = p.expect_f64()?;
+                            if v < 0.0 {
+                                return Err(err(vl, vc, "noise_per_node_hour must be >= 0"));
+                            }
+                            text.noise_per_node_hour = v;
+                        }
+                        other => {
+                            return Err(err(kl, kc, format!("unknown `text` key `{other}`")))
+                        }
+                    }
+                    Ok(())
+                })?;
+                p.expect_newline()?;
+            }
+            "repair" => {
+                parse_block(&mut p, |p, key, kl, kc| {
+                    p.expect_punct('=')?;
+                    let (v, vl, vc) = p.expect_f64()?;
+                    match key {
+                        "p_storm" => {
+                            check_prob(key, v, vl, vc)?;
+                            repair.p_storm = v;
+                        }
+                        "median_h" | "p95_h" => {
+                            if !(v > 0.0) {
+                                return Err(err(vl, vc, format!("`{key}` must be positive, got {v}")));
+                            }
+                            if key == "median_h" {
+                                repair.median_h = v;
+                            } else {
+                                repair.p95_h = v;
+                            }
+                        }
+                        other => {
+                            return Err(err(kl, kc, format!("unknown `repair` key `{other}`")))
+                        }
+                    }
+                    Ok(())
+                })?;
+                if repair.p95_h < repair.median_h {
+                    return Err(err(
+                        line,
+                        col,
+                        format!(
+                            "repair p95_h ({}) must be >= median_h ({})",
+                            repair.p95_h, repair.median_h
+                        ),
+                    ));
+                }
+                p.expect_newline()?;
+            }
+            "tuning" => {
+                parse_block(&mut p, |p, key, kl, kc| {
+                    p.expect_punct('=')?;
+                    if key == "nvlink_down_threshold" {
+                        let (v, vl, vc) = p.expect_u64()?;
+                        if v == 0 || v > u32::MAX as u64 {
+                            return Err(err(vl, vc, "nvlink_down_threshold must be in [1, 2^32)"));
+                        }
+                        tuning.nvlink_down_threshold = v as u32;
+                        return Ok(());
+                    }
+                    let (v, vl, vc) = p.expect_f64()?;
+                    if key.starts_with("p_") {
+                        check_prob(key, v, vl, vc)?;
+                    } else if !(v > 0.0) {
+                        return Err(err(vl, vc, format!("`{key}` must be positive, got {v}")));
+                    }
+                    match key {
+                        "p_contained_after_rrf" => tuning.p_contained_after_rrf = v,
+                        "p_error_state_after_rrf" => tuning.p_error_state_after_rrf = v,
+                        "p_gsp_cascade_pmu" => tuning.p_gsp_cascade_pmu = v,
+                        "p_pmu_to_mmu" => tuning.p_pmu_to_mmu = v,
+                        "p_nvlink_error_state" => tuning.p_nvlink_error_state = v,
+                        "p_nvlink_spread" => tuning.p_nvlink_spread = v,
+                        "dbe_to_remap_s" => tuning.dbe_to_remap_s = v,
+                        "rrf_to_containment_s" => tuning.rrf_to_containment_s = v,
+                        "gsp_to_pmu_s" => tuning.gsp_to_pmu_s = v,
+                        "pmu_to_mmu_s" => tuning.pmu_to_mmu_s = v,
+                        other => {
+                            return Err(err(kl, kc, format!("unknown `tuning` key `{other}`")))
+                        }
+                    }
+                    Ok(())
+                })?;
+                p.expect_newline()?;
+            }
+            "jobs" => {
+                if jobs.is_some() {
+                    return Err(dup("jobs"));
+                }
+                let mut spec = JobsSpec {
+                    total: None,
+                    per_node_day: None,
+                    seed: 7,
+                    mask_seed: 99,
+                };
+                parse_block(&mut p, |p, key, kl, kc| {
+                    p.expect_punct('=')?;
+                    match key {
+                        "total" => spec.total = Some(p.expect_u64()?.0),
+                        "per_node_day" => {
+                            let (v, vl, vc) = p.expect_f64()?;
+                            if !(v > 0.0) {
+                                return Err(err(vl, vc, "per_node_day must be positive"));
+                            }
+                            spec.per_node_day = Some(v);
+                        }
+                        "seed" => spec.seed = p.expect_u64()?.0,
+                        "mask_seed" => spec.mask_seed = p.expect_u64()?.0,
+                        other => {
+                            return Err(err(kl, kc, format!("unknown `jobs` key `{other}`")))
+                        }
+                    }
+                    Ok(())
+                })?;
+                match (spec.total, spec.per_node_day) {
+                    (Some(_), Some(_)) => {
+                        return Err(err(
+                            line,
+                            col,
+                            "jobs block sets both `total` and `per_node_day`; pick one",
+                        ))
+                    }
+                    (None, None) => {
+                        return Err(err(
+                            line,
+                            col,
+                            "jobs block needs a load size: set `total` or `per_node_day`",
+                        ))
+                    }
+                    _ => {}
+                }
+                jobs = Some(spec);
+                p.expect_newline()?;
+            }
+            "expect" => {
+                if expect != ExpectRef::None {
+                    return Err(dup("expect"));
+                }
+                let (which, wl, wc) = p.expect_ident()?;
+                expect = match which.as_str() {
+                    "ampere" => ExpectRef::Ampere,
+                    "h100" => ExpectRef::H100,
+                    other => {
+                        return Err(err(
+                            wl,
+                            wc,
+                            format!("unknown reference study `{other}` (expected `ampere` or `h100`)"),
+                        ))
+                    }
+                };
+                p.expect_newline()?;
+            }
+            other => {
+                return Err(err(line, col, format!("unknown statement `{other}`")));
+            }
+        }
+    }
+
+    let (el, _) = p.end_pos();
+    let missing = |what: &str| {
+        err(
+            el,
+            1,
+            format!("scenario `{name}` is missing its required `{what}` statement"),
+        )
+    };
+    let shape = shape.ok_or_else(|| missing("fleet"))?;
+    let duration_days = duration_days.ok_or_else(|| missing("duration_days"))?;
+    let rates = rates.ok_or_else(|| missing("rates"))?;
+
+    Ok(Scenario {
+        name,
+        description,
+        seeds,
+        expect,
+        jobs,
+        base: CampaignConfig {
+            shape,
+            duration_days,
+            seed: 0,
+            tuning,
+            rates,
+            burst_gap_s,
+            text,
+            repair,
+        },
+    })
+}
+
+fn parse_fleet(p: &mut Cursor) -> Result<DeltaShape, DataError> {
+    if matches!(p.peek().map(|t| &t.kind), Some(TokenKind::Punct('{'))) {
+        let mut shape = DeltaShape {
+            a40x4: 0,
+            a100x4: 0,
+            a100x8: 0,
+            gh200: 0,
+        };
+        let mut open = (0usize, 0usize);
+        if let Some(t) = p.peek() {
+            open = (t.line, t.col);
+        }
+        parse_block(p, |p, key, kl, kc| {
+            p.expect_punct('=')?;
+            let (v, vl, vc) = p.expect_u64()?;
+            let v: u32 = v
+                .try_into()
+                .map_err(|_| err(vl, vc, format!("node count {v} does not fit in u32")))?;
+            match key {
+                "a40x4" => shape.a40x4 = v,
+                "a100x4" => shape.a100x4 = v,
+                "a100x8" => shape.a100x8 = v,
+                "gh200" => shape.gh200 = v,
+                other => {
+                    return Err(err(
+                        kl,
+                        kc,
+                        format!("unknown node flavor `{other}` (a40x4, a100x4, a100x8, gh200)"),
+                    ))
+                }
+            }
+            Ok(())
+        })?;
+        if shape.node_count() == 0 {
+            return Err(err(open.0, open.1, "fleet block describes zero nodes"));
+        }
+        return Ok(shape);
+    }
+
+    let (preset, pl, pc) = p.expect_ident()?;
+    let mut shape = match preset.as_str() {
+        "delta" => DeltaShape::delta(),
+        "delta_ampere" => DeltaShape::delta_ampere(),
+        "delta_h100" => DeltaShape::delta_h100(),
+        "tiny" => DeltaShape::tiny(),
+        other => {
+            return Err(err(
+                pl,
+                pc,
+                format!("unknown fleet preset `{other}` (delta, delta_ampere, delta_h100, tiny)"),
+            ))
+        }
+    };
+    if matches!(p.peek().map(|t| &t.kind), Some(TokenKind::Punct('*'))) {
+        p.bump();
+        let (n, nl, nc) = p.expect_u64()?;
+        if n == 0 {
+            return Err(err(nl, nc, "fleet multiplier must be >= 1"));
+        }
+        let scale = |v: u32| -> Result<u32, DataError> {
+            (v as u64)
+                .checked_mul(n)
+                .and_then(|x| u32::try_from(x).ok())
+                .ok_or_else(|| err(nl, nc, format!("fleet multiplier {n} overflows node counts")))
+        };
+        shape = DeltaShape {
+            a40x4: scale(shape.a40x4)?,
+            a100x4: scale(shape.a100x4)?,
+            a100x8: scale(shape.a100x8)?,
+            gh200: scale(shape.gh200)?,
+        };
+    }
+    Ok(shape)
+}
+
+fn parse_rates(
+    p: &mut Cursor,
+    rates: &mut Option<ClassRates>,
+    line: usize,
+    col: usize,
+) -> Result<(), DataError> {
+    // Two statement forms share the keyword: `rates <base-table>` and
+    // `rates.<class>|* *= F`. Multipliers are ordered after the base so a
+    // scenario reads top-down as "start from the calibration, then bend it".
+    if matches!(p.peek().map(|t| &t.kind), Some(TokenKind::Punct('.'))) {
+        p.bump();
+        let Some(table) = rates.as_mut() else {
+            return Err(err(
+                line,
+                col,
+                "set a base rate table (`rates ampere_delta` or `rates h100_delta`) before scaling",
+            ));
+        };
+        if matches!(p.peek().map(|t| &t.kind), Some(TokenKind::Punct('*'))) {
+            p.bump();
+            p.expect_star_eq()?;
+            let (f, fl, fc) = p.expect_f64()?;
+            if f < 0.0 {
+                return Err(err(fl, fc, "rate multiplier must be >= 0"));
+            }
+            *table = table.clone().scale_all(f);
+            return Ok(());
+        }
+        let (cls_name, cl, cc) = p.expect_ident()?;
+        let Some(class) = class_by_name(&cls_name) else {
+            return Err(err(cl, cc, format!("unknown fault class `{cls_name}`")));
+        };
+        p.expect_star_eq()?;
+        let (f, fl, fc) = p.expect_f64()?;
+        if f < 0.0 {
+            return Err(err(fl, fc, "rate multiplier must be >= 0"));
+        }
+        if !table.scale_class(class, f) {
+            return Err(err(
+                cl,
+                cc,
+                format!("class `{cls_name}` is not in the base rate table of this scenario"),
+            ));
+        }
+        return Ok(());
+    }
+
+    if rates.is_some() {
+        return Err(err(line, col, "duplicate `rates` base-table statement"));
+    }
+    let (table, tl, tc) = p.expect_ident()?;
+    *rates = Some(match table.as_str() {
+        "ampere_delta" => ClassRates::ampere_delta(),
+        "h100_delta" => ClassRates::h100_delta(),
+        other => {
+            return Err(err(
+                tl,
+                tc,
+                format!("unknown rate table `{other}` (ampere_delta, h100_delta)"),
+            ))
+        }
+    });
+    Ok(())
+}

@@ -39,6 +39,14 @@ pub enum DataError {
         /// What was wrong and what to do instead.
         message: String,
     },
+    /// A `.scn` scenario failed to parse or compile (dr-scenario).
+    Scenario {
+        /// 1-based line of the offending token.
+        line: usize,
+        /// 1-based column of the offending token.
+        col: usize,
+        message: String,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -58,6 +66,9 @@ impl fmt::Display for DataError {
             }
             DataError::Usage { option, message } => {
                 write!(f, "invalid value for {option}: {message}")
+            }
+            DataError::Scenario { line, col, message } => {
+                write!(f, "scenario line {line}:{col}: {message}")
             }
         }
     }
@@ -100,6 +111,19 @@ mod tests {
         };
         assert!(e.to_string().contains("--chunk-bytes"));
         assert!(e.to_string().contains("must be positive"));
+    }
+
+    #[test]
+    fn scenario_errors_carry_line_and_column() {
+        let e = DataError::Scenario {
+            line: 12,
+            col: 5,
+            message: "unknown key `duration_weeks`".to_string(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "scenario line 12:5: unknown key `duration_weeks`"
+        );
     }
 
     #[test]

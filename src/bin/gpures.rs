@@ -1,12 +1,8 @@
 //! `gpures` — the command-line front end.
 //!
-//! ```text
-//! gpures campaign  --out DIR [--shape tiny|ampere|h100] [--days N] [--seed S] [--text-nodes N] [--metrics FILE]
-//! gpures analyze   --logs DIR [--jobs FILE] [--downtime FILE] [--nodes N] [--hours H] [--dt SECS] [--chunk-bytes N] [--workers N] [--prefetch on|off] [--dot DIR] [--metrics FILE]
-//! gpures incidents
-//! gpures project   [--gpus N] [--recovery-min M] [--runs R]
-//! gpures monitor   [--log FILE] [--nodes N] [--every K]
-//! ```
+//! Run `gpures` with no arguments for the generated usage; every
+//! subcommand's flag surface is declared as a [`cli::FlagSet`] table and
+//! the usage text is generated from the same tables the parser reads.
 //!
 //! `campaign` materializes a synthetic study on disk: per-node syslog
 //! files, the job accounting table, and the repair intervals. The syslog
@@ -16,11 +12,15 @@
 //! is the adoption path for this library: point it at your cluster's
 //! logs. Ingestion streams through a `DirSource` in bounded chunk waves
 //! (`--chunk-bytes` pins the chunk size), so peak memory is independent
-//! of corpus size. `--metrics FILE` attaches the write-only
-//! observability sink and exports per-stage spans, counters, gauges, and
-//! throughput histograms as `gpures-metrics/v1` JSON (results are
-//! bit-identical with or without it).
+//! of corpus size. `sweep` runs a battery of declarative `.scn`
+//! scenarios (see `scenarios/` and `DESIGN.md`) through the campaign →
+//! analysis pipeline in parallel and writes one deterministic
+//! cross-scenario comparison artifact. `--metrics` attaches the
+//! write-only observability sink and exports per-stage spans, counters,
+//! gauges, and throughput histograms as `gpures-metrics/v1` JSON
+//! (results are bit-identical with or without it).
 
+use gpu_resilience::cli::{self, Flag, FlagSet, CHUNK_BYTES, METRICS, RECORDS, WORKERS};
 use gpu_resilience::core::{
     extract_to_store, CoalesceConfig, DirSource, GeneratorSource, LogSource, PipelineBuilder,
     RecordStore, StudyConfig,
@@ -31,33 +31,151 @@ use gpu_resilience::report::{self, files, render_summary};
 use gpu_resilience::slurm::{
     apply_errors, csv as jobs_csv, DrainWindows, JobLoadConfig, MaskingModel, Scheduler,
 };
-use gpu_resilience::xid::{Duration, Xid};
+use gpu_resilience::xid::{DataError, Duration};
 use rand::prelude::*;
-use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+const CAMPAIGN: FlagSet = FlagSet {
+    cmd: "campaign",
+    summary: "materialize a synthetic study on disk",
+    flags: &[
+        Flag::required("out", "DIR", "output directory (logs/, jobs.csv, downtime.csv)"),
+        Flag::optional("shape", "NAME", "fleet preset: tiny|ampere|h100 (default tiny)"),
+        Flag::optional("days", "N", "campaign duration in days (default: the preset's)"),
+        Flag::optional("seed", "S", "campaign seed (default 42)"),
+        Flag::optional("text-nodes", "N", "how many nodes get full syslog text"),
+        RECORDS,
+        METRICS,
+    ],
+    positional: None,
+    positional_required: false,
+};
+
+const ANALYZE: FlagSet = FlagSet {
+    cmd: "analyze",
+    summary: "full pipeline over per-node syslog files or a record store",
+    flags: &[
+        Flag::optional("logs", "DIR", "directory of per-node .log files (streamed)"),
+        Flag::optional("from-records", "FILE", "replay a previous extraction (no text re-parse)"),
+        Flag::optional("jobs", "FILE", "Slurm accounting CSV (enables Tables 2/3)"),
+        Flag::optional("downtime", "FILE", "repair intervals CSV (enables MTTR/availability)"),
+        Flag::optional("nodes", "N", "node population for MTBE normalization"),
+        Flag::optional("hours", "H", "observation window in hours (default 855 days)"),
+        Flag::optional("dt", "SECS", "coalescing window (default 5)"),
+        CHUNK_BYTES,
+        WORKERS,
+        Flag::optional("prefetch", "on|off", "I/O-overlapped wave prefetch (default on)"),
+        RECORDS,
+        Flag::optional("dot", "DIR", "write Figure 5/6/7 propagation graphs as DOT"),
+        METRICS,
+    ],
+    positional: None,
+    positional_required: false,
+};
+
+const SWEEP: FlagSet = FlagSet {
+    cmd: "sweep",
+    summary: "run a .scn scenario battery, write one deterministic artifact",
+    flags: &[
+        Flag::required("out", "DIR", "directory for the sweep.json artifact"),
+        WORKERS,
+        Flag::optional("records", "DIR", "tee each run's ground-truth records into DIR"),
+        Flag::optional("metrics", "DIR", "export each run's pipeline metrics into DIR"),
+    ],
+    positional: Some("BATTERY..."),
+    positional_required: true,
+};
+
+const INCIDENTS: FlagSet = FlagSet {
+    cmd: "incidents",
+    summary: "replay the paper's scripted incident timelines",
+    flags: &[],
+    positional: None,
+    positional_required: false,
+};
+
+const PROJECT: FlagSet = FlagSet {
+    cmd: "project",
+    summary: "availability projection for large jobs",
+    flags: &[
+        Flag::optional("gpus", "N", "job size in GPUs"),
+        Flag::optional("recovery-min", "M", "recovery time per failure (default 40)"),
+        Flag::optional("runs", "R", "simulation runs to average (default 40)"),
+        Flag::optional("seed", "S", "simulation seed (default 1)"),
+    ],
+    positional: None,
+    positional_required: false,
+};
+
+const MONITOR: FlagSet = FlagSet {
+    cmd: "monitor",
+    summary: "live Table 1 from a syslog stream (FILE or stdin)",
+    flags: &[
+        Flag::optional("log", "FILE", "syslog file to follow (default: stdin)"),
+        Flag::optional("nodes", "N", "node population (default 206)"),
+        Flag::optional("every", "K", "print a status block every K episodes (default 500)"),
+    ],
+    positional: None,
+    positional_required: false,
+};
+
+const BENCH: FlagSet = FlagSet {
+    cmd: "bench",
+    summary: "tracked benchmarks -> BENCH_*.json",
+    flags: &[
+        Flag::optional("out", "DIR", "artifact directory (default .)"),
+        Flag::optional("smoke", "true", "shrink corpora for CI; numbers are meaningless"),
+    ],
+    positional: None,
+    positional_required: false,
+};
+
+const ALL_SETS: [&FlagSet; 7] = [
+    &CAMPAIGN, &ANALYZE, &SWEEP, &INCIDENTS, &PROJECT, &MONITOR, &BENCH,
+];
+
+fn usage() -> String {
+    let mut s = String::from("usage:\n");
+    for set in ALL_SETS {
+        s.push_str("  ");
+        s.push_str(&set.usage_line());
+        s.push('\n');
+    }
+    s.push_str(
+        "\nrun a subcommand with a bad flag to see its per-flag help;\n\
+         sweep BATTERY entries are .scn files, directories of them, or bundled names\n\
+         (ampere_study, h100_study, tiny, gh200_heavy, mixed_generation, delta_10x)",
+    );
+    s
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("{USAGE}");
+        eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
-    let opts = match parse_opts(rest) {
+    let Some(set) = ALL_SETS.iter().find(|s| s.cmd == cmd.as_str()) else {
+        eprintln!("error: unknown command {cmd:?}\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let opts = match set.parse(rest) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("error: {e}\n{USAGE}");
+            eprintln!("error: {e}\n\n{}", set.usage());
             return ExitCode::FAILURE;
         }
     };
     let result = match cmd.as_str() {
         "campaign" => cmd_campaign(&opts),
         "analyze" => cmd_analyze(&opts),
+        "sweep" => cmd_sweep(&opts),
         "incidents" => cmd_incidents(),
         "project" => cmd_project(&opts),
         "monitor" => cmd_monitor(&opts),
         "bench" => cmd_bench(&opts),
-        other => Err(format!("unknown command {other:?}")),
+        _ => unreachable!("command validated against ALL_SETS"),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -68,93 +186,31 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage:
-  gpures campaign  --out DIR [--shape tiny|ampere|h100] [--days N] [--seed S] [--text-nodes N] [--records FILE] [--metrics FILE]
-  gpures analyze   --logs DIR [--jobs FILE] [--downtime FILE] [--nodes N] [--hours H] [--dt SECS] [--chunk-bytes N] [--workers N] [--prefetch on|off] [--records FILE] [--dot DIR] [--metrics FILE]
-  gpures analyze   --from-records FILE [--jobs FILE] [--downtime FILE] [--nodes N] [--hours H] [--dt SECS] [--dot DIR] [--metrics FILE]
-  gpures incidents
-  gpures project   [--gpus N] [--recovery-min M] [--runs R]
-  gpures monitor   [--log FILE] [--nodes N] [--every K]   (FILE or stdin; live Table 1)
-  gpures bench     [--out DIR] [--smoke true]   (throughput + overhead + streaming + lint + records -> BENCH_*.json)
-
-  --metrics FILE exports per-stage spans/counters/gauges/histograms (gpures-metrics/v1 JSON)
-  --chunk-bytes N pins the streaming ingestion chunk size (positive; default: sized to the worker pool)
-  --workers N overrides the Stage I worker pool width (positive; default: all cores, or DR_PAR_THREADS)
-  --prefetch on|off toggles the I/O-overlapped wave prefetch thread (default: on)
-  --records FILE tees extracted ErrorRecords into a columnar store during the extract pass
-  --from-records FILE replays a previous extraction from the store (no text re-parse)";
-
-/// `--key value` option bag with typed getters.
-struct Opts(BTreeMap<String, String>);
-
-fn parse_opts(args: &[String]) -> Result<Opts, String> {
-    let mut map = BTreeMap::new();
-    let mut it = args.iter();
-    while let Some(k) = it.next() {
-        let key = k
-            .strip_prefix("--")
-            .ok_or_else(|| format!("expected --option, got {k:?}"))?;
-        let v = it
-            .next()
-            .ok_or_else(|| format!("--{key} needs a value"))?;
-        map.insert(key.to_string(), v.clone());
-    }
-    Ok(Opts(map))
+/// Adapter from the typed option errors to the CLI's `String` error
+/// plumbing (orphan rules forbid `From<DataError> for String`).
+trait OrString<T> {
+    fn s(self) -> Result<T, String>;
 }
 
-impl Opts {
-    fn str(&self, key: &str) -> Option<&str> {
-        self.0.get(key).map(|s| s.as_str())
-    }
-    fn path(&self, key: &str) -> Option<PathBuf> {
-        self.str(key).map(PathBuf::from)
-    }
-    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
-        match self.str(key) {
-            None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("bad --{key} value {v:?}")),
-        }
-    }
-    fn required_path(&self, key: &str) -> Result<PathBuf, String> {
-        self.path(key).ok_or_else(|| format!("--{key} is required"))
-    }
-
-    /// An optional numeric flag that must be **positive** when given.
-    /// An explicit `0` used to silently mean "use the default", which
-    /// made `--chunk-bytes 0` look like a working configuration; it is
-    /// now a typed usage error carrying the hint.
-    fn positive_num<T: std::str::FromStr + PartialEq + Default>(
-        &self,
-        key: &str,
-        hint: &str,
-    ) -> Result<Option<T>, String> {
-        let Some(v) = self.str(key) else {
-            return Ok(None);
-        };
-        let n: T = v.parse().map_err(|_| format!("bad --{key} value {v:?}"))?;
-        if n == T::default() {
-            return Err(gpu_resilience::xid::DataError::Usage {
-                option: format!("--{key}"),
-                message: hint.to_string(),
-            }
-            .to_string());
-        }
-        Ok(Some(n))
+impl<T> OrString<T> for Result<T, DataError> {
+    fn s(self) -> Result<T, String> {
+        self.map_err(|e| e.to_string())
     }
 }
 
 /// Wrap a filesystem error with the offending path, via the shared
-/// [`gpu_resilience::xid::DataError`] currency (so CLI messages read
-/// `path: reason` like every other ingest error).
+/// [`DataError`] currency (so CLI messages read `path: reason` like
+/// every other ingest error).
 fn io_err(path: &Path, e: std::io::Error) -> String {
-    gpu_resilience::xid::DataError::Io {
+    DataError::Io {
         path: path.display().to_string(),
         message: e.to_string(),
     }
     .to_string()
 }
 
-/// Read a small text artifact (CSV tables), error carrying the path.
+/// Read a small text artifact (CSV tables, .scn files), error carrying
+/// the path.
 fn read_file(path: &Path) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| io_err(path, e))
 }
@@ -164,9 +220,9 @@ fn write_file(path: &Path, body: &str) -> Result<(), String> {
     std::fs::write(path, body).map_err(|e| io_err(path, e))
 }
 
-fn cmd_campaign(opts: &Opts) -> Result<(), String> {
-    let out_dir = opts.required_path("out")?;
-    let seed: u64 = opts.num("seed", 42)?;
+fn cmd_campaign(opts: &cli::Opts) -> Result<(), String> {
+    let out_dir = opts.required_path("out").s()?;
+    let seed: u64 = opts.num("seed", 42).s()?;
     let shape = opts.str("shape").unwrap_or("tiny");
     let mut cfg = match shape {
         "tiny" => CampaignConfig::tiny(seed),
@@ -174,10 +230,10 @@ fn cmd_campaign(opts: &Opts) -> Result<(), String> {
         "h100" => CampaignConfig::h100_study(seed),
         other => return Err(format!("unknown --shape {other:?}")),
     };
-    cfg.duration_days = opts.num("days", cfg.duration_days)?;
-    cfg.text_nodes = opts.num("text-nodes", cfg.text_nodes.max(4))?;
+    cfg.duration_days = opts.num("days", cfg.duration_days).s()?;
+    cfg.text.nodes = opts.num("text-nodes", cfg.text.nodes.max(4)).s()?;
     // The CLI streams text straight to disk; never materialize it.
-    cfg.defer_text = true;
+    cfg.text.defer = true;
 
     let metrics_path = opts.path("metrics");
     let sink = if metrics_path.is_some() {
@@ -190,7 +246,7 @@ fn cmd_campaign(opts: &Opts) -> Result<(), String> {
         "running {shape} campaign: {} nodes, {:.0} days, text for {} nodes ...",
         cfg.shape.node_count(),
         cfg.duration_days,
-        cfg.text_nodes
+        cfg.text.nodes
     );
     let out = Campaign::run_observed(cfg, &sink);
 
@@ -271,7 +327,7 @@ fn write_metrics(path: Option<&Path>, sink: &MetricsSink) -> Result<(), String> 
     Ok(())
 }
 
-fn cmd_analyze(opts: &Opts) -> Result<(), String> {
+fn cmd_analyze(opts: &cli::Opts) -> Result<(), String> {
     let jobs = match opts.path("jobs") {
         None => None,
         Some(p) => {
@@ -288,24 +344,24 @@ fn cmd_analyze(opts: &Opts) -> Result<(), String> {
     };
 
     let default_hours = 855.0 * 24.0;
-    let hours: f64 = opts.num("hours", default_hours)?;
-    let dt: u64 = opts.num("dt", 5)?;
-    let chunk_bytes = opts.positive_num::<u64>(
-        "chunk-bytes",
-        "must be a positive byte count (omit the flag to size chunks to the worker pool)",
-    )?;
-    let workers = opts.positive_num::<usize>(
-        "workers",
-        "must be a positive worker count (omit the flag to use all cores)",
-    )?;
+    let hours: f64 = opts.num("hours", default_hours).s()?;
+    let dt: u64 = opts.num("dt", 5).s()?;
+    let chunk_bytes = opts
+        .positive::<u64>(
+            "chunk-bytes",
+            "must be a positive byte count (omit the flag to size chunks to the worker pool)",
+        )
+        .s()?;
+    let workers = opts
+        .positive::<usize>(
+            "workers",
+            "must be a positive worker count (omit the flag to use all cores)",
+        )
+        .s()?;
     if let Some(w) = workers {
         gpu_resilience::par::set_worker_override(Some(w));
     }
-    let prefetch = match opts.str("prefetch").unwrap_or("on") {
-        "on" => true,
-        "off" => false,
-        other => return Err(format!("bad --prefetch value {other:?} (on|off)")),
-    };
+    let prefetch = opts.on_off("prefetch", true).s()?;
 
     let study = |nodes: u32| {
         StudyConfig {
@@ -326,14 +382,14 @@ fn cmd_analyze(opts: &Opts) -> Result<(), String> {
         // Replay path: the corpus was already extracted once; re-run
         // the analyses straight from the columnar store.
         if opts.str("logs").is_some() || opts.str("records").is_some() {
-            return Err(gpu_resilience::xid::DataError::Usage {
+            return Err(DataError::Usage {
                 option: "--from-records".to_string(),
                 message: "replay reads the store alone; drop --logs / --records".to_string(),
             }
             .to_string());
         }
         let store = RecordStore::open(&store_path).map_err(|e| e.to_string())?;
-        let nodes: u32 = opts.num("nodes", store.nodes().len() as u32)?;
+        let nodes: u32 = opts.num("nodes", store.nodes().len() as u32).s()?;
         eprintln!(
             "replaying {} records from {} ({} nodes, {} blocks) ...",
             store.record_count(),
@@ -349,14 +405,14 @@ fn cmd_analyze(opts: &Opts) -> Result<(), String> {
             .run_record_source(&mut reader)
             .map_err(|e| e.to_string())?
     } else {
-        let log_dir = opts.required_path("logs")?;
+        let log_dir = opts.required_path("logs").s()?;
         // Streaming ingestion: the corpus is read incrementally in
         // chunk waves, never materialized whole.
         let mut source = DirSource::open(&log_dir).map_err(|e| e.to_string())?;
         if source.nodes().is_empty() {
             return Err(format!("no .log files in {}", log_dir.display()));
         }
-        let nodes: u32 = opts.num("nodes", source.nodes().len() as u32)?;
+        let nodes: u32 = opts.num("nodes", source.nodes().len() as u32).s()?;
 
         eprintln!(
             "analyzing {} node logs ({} bytes, streamed, {} workers, prefetch {}) ...",
@@ -413,6 +469,129 @@ fn cmd_analyze(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolve one `sweep` battery argument into `(label, source)` pairs:
+/// a `.scn` file, a directory of them (sorted by name), or a bundled
+/// scenario name.
+fn battery_sources(arg: &str) -> Result<Vec<(String, String)>, String> {
+    let p = Path::new(arg);
+    if p.is_dir() {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(p)
+            .map_err(|e| io_err(p, e))?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|q| q.extension().map(|x| x == "scn").unwrap_or(false))
+            .collect();
+        files.sort();
+        if files.is_empty() {
+            return Err(format!("no .scn files in {}", p.display()));
+        }
+        files
+            .into_iter()
+            .map(|f| Ok((f.display().to_string(), read_file(&f)?)))
+            .collect()
+    } else if p.is_file() {
+        Ok(vec![(p.display().to_string(), read_file(p)?)])
+    } else if let Some(src) = gpu_resilience::scenario::preset_source(arg) {
+        Ok(vec![(format!("bundled `{arg}`"), src.to_string())])
+    } else {
+        Err(format!(
+            "`{arg}` is not a .scn file, a directory of them, or a bundled scenario name"
+        ))
+    }
+}
+
+/// `gpures sweep`: parse the battery (all file I/O happens here — the
+/// driver library never reads disk), run every `(scenario, seed)` pair
+/// in parallel, write the deterministic `sweep.json` artifact, and print
+/// a per-run summary from the artifact itself so stdout and the JSON
+/// cannot disagree. Exits nonzero if any reference-checked scenario
+/// misses its paper tolerances.
+fn cmd_sweep(opts: &cli::Opts) -> Result<(), String> {
+    use gpu_resilience::obs::json::Json;
+    use gpu_resilience::report::sweep::{run_battery, SweepOptions};
+    use gpu_resilience::scenario::Scenario;
+
+    let out_dir = opts.required_path("out").s()?;
+    if let Some(w) = opts
+        .positive::<usize>(
+            "workers",
+            "must be a positive worker count (omit the flag to use all cores)",
+        )
+        .s()?
+    {
+        gpu_resilience::par::set_worker_override(Some(w));
+    }
+
+    let mut battery: Vec<Scenario> = Vec::new();
+    for arg in opts.positionals() {
+        for (label, src) in battery_sources(arg)? {
+            battery.push(Scenario::parse(&src).map_err(|e| format!("{label}: {e}"))?);
+        }
+    }
+    let runs: usize = battery.iter().map(|s| s.seeds.len()).sum();
+    eprintln!(
+        "sweeping {} scenarios ({} runs, {} workers) ...",
+        battery.len(),
+        runs,
+        gpu_resilience::par::max_workers()
+    );
+
+    let sweep_opts = SweepOptions {
+        records_dir: opts.path("records"),
+        metrics_dir: opts.path("metrics"),
+    };
+    let doc = run_battery(&battery, &sweep_opts).map_err(|e| e.to_string())?;
+
+    std::fs::create_dir_all(&out_dir).map_err(|e| io_err(&out_dir, e))?;
+    let artifact = out_dir.join("sweep.json");
+    write_file(&artifact, &doc.render())?;
+
+    let f = |row: &Json, key: &str| row.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN);
+    if let Some(rows) = doc.get("rows").and_then(Json::as_arr) {
+        for row in rows {
+            let name = row.get("scenario").and_then(Json::as_str).unwrap_or("?");
+            let verdict = match row.get("expect").and_then(|e| e.get("pass")) {
+                Some(Json::Bool(true)) => "pass",
+                Some(Json::Bool(false)) => "FAIL",
+                _ => "-",
+            };
+            println!(
+                "{name:<18} seed {:<6} {:>5} nodes {:>6} GPUs {:>8} events  MTBE/node {:>10}  {verdict}",
+                f(row, "seed"),
+                f(row, "nodes"),
+                f(row, "gpus"),
+                f(row, "events"),
+                row.get("mtbe_node_h")
+                    .and_then(Json::as_f64)
+                    .map(|h| format!("{h:.1} h"))
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+    }
+    let summary = doc.get("summary");
+    let checked = summary.and_then(|s| s.get("checked")).and_then(Json::as_f64).unwrap_or(0.0);
+    let passed = summary.and_then(|s| s.get("passed")).and_then(Json::as_f64).unwrap_or(0.0);
+    println!(
+        "{} runs, {checked:.0} reference-checked, {passed:.0} passed; artifact {}",
+        doc.get("runs").and_then(Json::as_f64).unwrap_or(0.0),
+        artifact.display()
+    );
+    if passed < checked {
+        let failed = summary
+            .and_then(|s| s.get("failed"))
+            .and_then(Json::as_arr)
+            .map(|a| {
+                a.iter()
+                    .filter_map(Json::as_str)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            })
+            .unwrap_or_default();
+        return Err(format!("paper-tolerance check failed for: {failed}"));
+    }
+    Ok(())
+}
+
 fn cmd_incidents() -> Result<(), String> {
     for s in all_scenarios() {
         println!("{}\n", s.render());
@@ -420,12 +599,12 @@ fn cmd_incidents() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_project(opts: &Opts) -> Result<(), String> {
+fn cmd_project(opts: &cli::Opts) -> Result<(), String> {
     use gpu_resilience::availsim::{simulate_mean, ProjectionConfig};
-    let mut cfg = ProjectionConfig::paper_scenario(opts.num("seed", 1)?);
-    cfg.job_gpus = opts.num("gpus", cfg.job_gpus)?;
-    let recovery: f64 = opts.num("recovery-min", 40.0)?;
-    let runs: u32 = opts.num("runs", 40)?;
+    let mut cfg = ProjectionConfig::paper_scenario(opts.num("seed", 1).s()?);
+    cfg.job_gpus = opts.num("gpus", cfg.job_gpus).s()?;
+    let recovery: f64 = opts.num("recovery-min", 40.0).s()?;
+    let runs: u32 = opts.num("runs", 40).s()?;
     let r = simulate_mean(&cfg.with_recovery_minutes(recovery), runs);
     println!(
         "{} GPUs, {:.0}-minute recovery: overprovision {:.1}% (~{:.0} extra GPUs), \
@@ -444,13 +623,13 @@ fn cmd_project(opts: &Opts) -> Result<(), String> {
 /// pipeline — incremental coalescing plus the constant-memory live
 /// Table 1 — and print a status block every `--every` closed episodes.
 /// This is the shape of the SRE monitor the paper's Section 4.3 calls for.
-fn cmd_monitor(opts: &Opts) -> Result<(), String> {
+fn cmd_monitor(opts: &cli::Opts) -> Result<(), String> {
     use gpu_resilience::core::{CoalesceConfig, OnlineStats, StreamCoalescer};
     use gpu_resilience::logscan::XidExtractor;
     use std::io::BufRead;
 
-    let nodes: u32 = opts.num("nodes", 206)?;
-    let every: u64 = opts.num("every", 500)?;
+    let nodes: u32 = opts.num("nodes", 206).s()?;
+    let every: u64 = opts.num("every", 500).s()?;
     let reader: Box<dyn BufRead> = match opts.path("log") {
         Some(p) => Box::new(std::io::BufReader::new(
             std::fs::File::open(&p).map_err(|e| format!("{}: {e}", p.display()))?,
@@ -525,16 +704,17 @@ fn cmd_monitor(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-/// The tracked Stage I throughput benchmark: writes `BENCH_stage1.json`
-/// (single-thread optimized vs. baseline engine) and `BENCH_pipeline.json`
-/// (sharded extract-and-coalesce worker scaling) to `--out` (default:
-/// current directory). `--smoke true` shrinks the corpus for CI — the
-/// numbers are meaningless but the full path and schema are exercised.
-fn cmd_bench(opts: &Opts) -> Result<(), String> {
+/// The tracked benchmark suite: writes `BENCH_stage1.json`,
+/// `BENCH_pipeline.json`, `BENCH_obs.json`, `BENCH_stream.json`,
+/// `BENCH_records.json`, `BENCH_lint.json` and `BENCH_sweep.json` to
+/// `--out` (default: current directory). `--smoke true` shrinks the
+/// corpora for CI — the numbers are meaningless but the full path and
+/// schema are exercised.
+fn cmd_bench(opts: &cli::Opts) -> Result<(), String> {
     use gpu_resilience::bench::stage1;
 
     let out_dir = opts.path("out").unwrap_or_else(|| PathBuf::from("."));
-    let smoke = matches!(opts.str("smoke"), Some("true" | "1" | "yes"));
+    let smoke = opts.truthy("smoke");
     std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
 
     eprintln!(
@@ -654,21 +834,28 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
         wall * 1e3
     );
 
+    eprintln!("benchmarking scenario sweep ...");
+    let sweep_doc = gpu_resilience::bench::sweep::sweep_report(smoke)?;
+    let sweep_path = out_dir.join("BENCH_sweep.json");
+    std::fs::write(&sweep_path, sweep_doc.render()).map_err(|e| e.to_string())?;
+    let par_speedup = sweep_doc
+        .get("parallel_speedup")
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    let sweep_runs = sweep_doc.get("runs").and_then(|v| v.as_f64()).unwrap_or(0.0);
     println!(
-        "wrote {}, {}, {}, {}, {} and {}",
+        "sweep        {sweep_runs:.0}-run battery, parallel {par_speedup:.2}x over 1 worker"
+    );
+
+    println!(
+        "wrote {}, {}, {}, {}, {}, {} and {}",
         stage1_path.display(),
         pipe_path.display(),
         obs_path.display(),
         stream_path.display(),
         rec_path.display(),
-        lint_path.display()
+        lint_path.display(),
+        sweep_path.display()
     );
     Ok(())
-}
-
-/// Keep Xid linked in even in minimal builds (used by analyze output).
-#[allow(dead_code)]
-fn _assert_types(p: &Path) -> Option<Xid> {
-    let _ = p;
-    None
 }

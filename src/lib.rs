@@ -31,6 +31,8 @@
 //! assert!(results.table1_row(Xid::MmuError).unwrap().count > 0);
 //! ```
 
+pub mod cli;
+
 pub use dr_availsim as availsim;
 pub use dr_bench as bench;
 pub use dr_cluster as cluster;
@@ -42,6 +44,7 @@ pub use dr_obs as obs;
 pub use dr_par as par;
 pub use dr_predict as predict;
 pub use dr_report as report;
+pub use dr_scenario as scenario;
 pub use dr_slurm as slurm;
 pub use dr_stats as stats;
 pub use dr_xid as xid;

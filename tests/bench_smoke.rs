@@ -273,6 +273,24 @@ fn lint_report_reflects_a_clean_workspace_graph() {
 }
 
 #[test]
+fn sweep_report_measures_the_real_battery_driver() {
+    let doc = gpu_resilience::bench::sweep::sweep_report(true).expect("smoke sweep bench");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("gpures-bench-sweep/v1")
+    );
+    assert_eq!(doc.get("smoke"), Some(&Json::Bool(true)));
+    assert!(doc.get("runs").and_then(Json::as_u64).expect("runs") >= 2);
+    assert!(doc.get("serial_s").and_then(Json::as_f64).expect("serial") > 0.0);
+    assert!(doc.get("parallel_s").and_then(Json::as_f64).expect("parallel") > 0.0);
+    assert!(
+        doc.get("parallel_speedup").and_then(Json::as_f64).expect("speedup") > 0.0,
+        "speedup may be ~1 on a 1-core box but must be measured"
+    );
+    assert_eq!(Json::parse(&doc.render()).expect("parses"), doc);
+}
+
+#[test]
 fn bench_cli_writes_parseable_artifacts() {
     let dir: PathBuf =
         std::env::temp_dir().join(format!("gpures-bench-smoke-{}", std::process::id()));
@@ -295,6 +313,7 @@ fn bench_cli_writes_parseable_artifacts() {
         ("BENCH_stream.json", "gpures-bench-stream/v2"),
         ("BENCH_records.json", "gpures-bench-records/v1"),
         ("BENCH_lint.json", "gpures-bench-lint/v1"),
+        ("BENCH_sweep.json", "gpures-bench-sweep/v1"),
     ] {
         let text = std::fs::read_to_string(dir.join(file)).expect(file);
         let doc = Json::parse(&text).expect("artifact parses");

@@ -229,6 +229,65 @@ fn record_store_write_and_replay_round_trip() {
 }
 
 #[test]
+fn sweep_runs_a_user_battery_and_reports_scn_errors_with_positions() {
+    let dir = temp_dir("sweep");
+    let scn = dir.join("smoke.scn");
+    std::fs::write(
+        &scn,
+        "scenario \"smoke\"\nfleet tiny\nduration_days = 12\nseeds = [3]\nrates ampere_delta\n",
+    )
+    .expect("write scn");
+    let out = gpures()
+        .arg("sweep")
+        .arg(&scn)
+        .arg("--out")
+        .arg(&dir)
+        .output()
+        .expect("run sweep");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("smoke"), "row summary missing:\n{stdout}");
+    let doc = Json::parse(&std::fs::read_to_string(dir.join("sweep.json")).expect("artifact"))
+        .expect("artifact parses");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("gpures-sweep/v1")
+    );
+    assert_eq!(doc.get("runs").and_then(Json::as_u64), Some(1));
+
+    // A malformed battery file fails naming the file and the position.
+    let bad = dir.join("bad.scn");
+    std::fs::write(&bad, "scenario \"bad\"\nfleet tiny\nbogus = 3\n").expect("write scn");
+    let out = gpures()
+        .arg("sweep")
+        .arg(&bad)
+        .arg("--out")
+        .arg(&dir)
+        .output()
+        .expect("run bad sweep");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("bad.scn") && stderr.contains("3:1"),
+        "expected file + line:col in the error, got:\n{stderr}"
+    );
+
+    // Unknown flags print the generated per-subcommand usage.
+    let out = gpures()
+        .args(["sweep", "tiny", "--nope", "x", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("run unknown flag");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown option") && stderr.contains("gpures sweep BATTERY..."),
+        "expected the sweep usage block, got:\n{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_usage_fails_cleanly() {
     let out = gpures().output().expect("run bare");
     assert!(!out.status.success());

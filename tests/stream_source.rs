@@ -247,11 +247,11 @@ fn dir_source_surfaces_io_errors_with_path_context() {
 
 #[test]
 fn deferred_campaign_text_streams_without_materializing() {
-    let cfg = CampaignConfig {
+    let mut cfg = CampaignConfig {
         duration_days: 3.0,
-        defer_text: true,
         ..CampaignConfig::tiny(97)
     };
+    cfg.text.defer = true;
     let deferred = Campaign::run(cfg);
     assert!(
         deferred.text_logs.is_empty(),

@@ -1,0 +1,147 @@
+//! Tier-1 gate for the scenario DSL and the `gpures sweep` driver:
+//! the artifact must be byte-identical across worker counts (the
+//! headline determinism invariant extended to the fleet-campaign
+//! driver), the tee side outputs must land, and the bundled reference
+//! batteries must stay loadable. The full-scale 10×-Delta smoke is
+//! `#[ignore]`d: correct but too heavy for every `cargo test`.
+
+use gpu_resilience::obs::json::Json;
+use gpu_resilience::report::sweep::{run_battery, SweepOptions};
+use gpu_resilience::scenario::Scenario;
+
+/// A small two-scenario battery exercising multi-seed fan-out, class
+/// multipliers, and the jobs block — big enough that worker scheduling
+/// could plausibly reorder something, small enough for tier 1.
+fn small_battery() -> Vec<Scenario> {
+    let a = "scenario \"det_a\"\n\
+             fleet tiny\n\
+             duration_days = 20\n\
+             seeds = [7, 8, 9]\n\
+             rates ampere_delta\n\
+             rates.gsp_hang *= 1.5\n";
+    let b = "scenario \"det_b\"\n\
+             fleet { a100x4 = 3, gh200 = 2 }\n\
+             duration_days = 15\n\
+             seeds = [11]\n\
+             rates h100_delta\n\
+             jobs { per_node_day = 12 }\n";
+    vec![
+        Scenario::parse(a).expect("det_a parses"),
+        Scenario::parse(b).expect("det_b parses"),
+    ]
+}
+
+#[test]
+fn sweep_artifact_is_byte_identical_across_worker_counts() {
+    let battery = small_battery();
+    // Sequential on purpose: the worker override is process-global, so
+    // both runs live in one test rather than racing across test threads.
+    gpu_resilience::par::set_worker_override(Some(1));
+    let serial = run_battery(&battery, &SweepOptions::default()).expect("serial sweep");
+    gpu_resilience::par::set_worker_override(Some(8));
+    let wide = run_battery(&battery, &SweepOptions::default()).expect("8-worker sweep");
+    gpu_resilience::par::set_worker_override(None);
+
+    let serial_text = serial.render();
+    assert_eq!(
+        serial_text,
+        wide.render(),
+        "sweep.json must not depend on the worker count"
+    );
+    // The artifact must not smuggle in anything wall-clock shaped.
+    for key in ["wall", "elapsed", "timestamp", "workers"] {
+        assert!(
+            !serial_text.contains(key),
+            "artifact leaks `{key}` — that breaks byte-reproducibility"
+        );
+    }
+
+    // Rows come back sorted by (scenario, seed) regardless of
+    // completion order: det_a seeds 7/8/9 then det_b seed 11.
+    let rows = serial.get("rows").and_then(Json::as_arr).expect("rows");
+    let order: Vec<(String, u64)> = rows
+        .iter()
+        .map(|r| {
+            (
+                r.get("scenario").and_then(Json::as_str).expect("name").to_string(),
+                r.get("seed").and_then(Json::as_u64).expect("seed"),
+            )
+        })
+        .collect();
+    assert_eq!(
+        order,
+        vec![
+            ("det_a".to_string(), 7),
+            ("det_a".to_string(), 8),
+            ("det_a".to_string(), 9),
+            ("det_b".to_string(), 11),
+        ]
+    );
+}
+
+#[test]
+fn sweep_tees_write_per_run_records_and_metrics() {
+    let battery = small_battery();
+    let tmp = std::env::temp_dir().join("gpures_sweep_tee_test");
+    let _ = std::fs::remove_dir_all(&tmp);
+    let opts = SweepOptions {
+        records_dir: Some(tmp.join("records")),
+        metrics_dir: Some(tmp.join("metrics")),
+    };
+    let doc = run_battery(&battery, &opts).expect("sweep with tees");
+    assert_eq!(doc.get("runs").and_then(Json::as_u64), Some(4));
+
+    for name in ["det_a_7", "det_a_8", "det_a_9", "det_b_11"] {
+        let store = tmp.join("records").join(format!("{name}.records"));
+        assert!(store.is_file(), "missing records tee {}", store.display());
+        let metrics = tmp.join("metrics").join(format!("{name}.json"));
+        assert!(metrics.is_file(), "missing metrics tee {}", metrics.display());
+        let parsed = Json::parse(
+            &std::fs::read_to_string(&metrics).expect("metrics tee readable"),
+        )
+        .expect("metrics tee is valid JSON");
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some("gpures-metrics/v1")
+        );
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
+#[test]
+fn bundled_reference_battery_passes_paper_tolerances() {
+    // The two reference scenarios compile from their .scn sources alone
+    // and the driver marks both as paper-tolerance passes. This is the
+    // acceptance gate for the DSL → campaign → pipeline → comparison
+    // path; the tiny preset rides along as an unchecked scenario.
+    let battery: Vec<Scenario> = ["ampere_study", "h100_study"]
+        .iter()
+        .map(|n| gpu_resilience::scenario::preset(n).expect("bundled preset parses"))
+        .collect();
+    let doc = run_battery(&battery, &SweepOptions::default()).expect("reference sweep");
+    let summary = doc.get("summary").expect("summary");
+    assert_eq!(summary.get("checked").and_then(Json::as_u64), Some(2));
+    assert_eq!(
+        summary.get("passed").and_then(Json::as_u64),
+        Some(2),
+        "reference scenarios must stay inside the paper tolerances: {}",
+        doc.render()
+    );
+}
+
+/// Full-scale smoke: the 10×-Delta battery is a 2,860-node /
+/// 11,680-GPU fleet — `cargo test -- --ignored` territory.
+#[test]
+#[ignore = "10x-scale fleet; run explicitly with cargo test -- --ignored"]
+fn delta_10x_battery_runs_at_ten_thousand_gpu_scale() {
+    let sc = gpu_resilience::scenario::preset("delta_10x").expect("bundled preset parses");
+    let doc = run_battery(&[sc], &SweepOptions::default()).expect("10x sweep");
+    let rows = doc.get("rows").and_then(Json::as_arr).expect("rows");
+    assert_eq!(rows.len(), 1);
+    let gpus = rows[0].get("gpus").and_then(Json::as_u64).expect("gpus");
+    assert!(gpus >= 10_000, "delta_10x must model a 10,000+-GPU fleet, got {gpus}");
+    assert!(
+        rows[0].get("events").and_then(Json::as_u64).expect("events") > 0,
+        "a 10x fleet at 10x rates must produce events"
+    );
+}
