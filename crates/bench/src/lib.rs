@@ -22,6 +22,9 @@
 //! `BENCH_lint.json` with the graph scale and findings-by-pass counts.
 //! [`sweep`] times the scenario-battery driver behind `gpures sweep`,
 //! producing `BENCH_sweep.json` with the serial vs full-pool speedup.
+//! [`watch`] times the live-tail path behind `gpures watch`, producing
+//! `BENCH_watch.json` with sustained ingest throughput and per-call
+//! snapshot latency.
 
 pub mod lint;
 pub mod obs;
@@ -29,6 +32,7 @@ pub mod records;
 pub mod stage1;
 pub mod stream;
 pub mod sweep;
+pub mod watch;
 
 pub use dr_obs::json;
 

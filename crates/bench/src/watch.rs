@@ -1,0 +1,126 @@
+//! The tracked live-watch benchmark behind `gpures bench`
+//! (`BENCH_watch.json`).
+//!
+//! `gpures watch` must keep up with a fleet's syslog volume from a
+//! single polling thread, and its `snapshot()` must be cheap enough to
+//! publish every poll. This bench drives a [`WatchSession`] over the
+//! shared text campaign through the real live chain — extract →
+//! event-time watermark → streaming coalesce → rolling-window fold —
+//! and reports sustained ingest throughput plus the per-call snapshot
+//! latency, so a regression in any live-path stage shows up in the
+//! tracked artifact. Correctness is cross-checked: the drained
+//! session's episode total must match the batch pipeline on the same
+//! corpus (the same convergence the CLI relies on).
+
+use crate::json::Json;
+use dr_obs::clock::Stopwatch;
+use dr_obs::MetricsSink;
+use resilience_core::{GeneratorSource, StudyConfig, WatchConfig, WatchSession};
+
+/// Watch configuration used by the bench: the tiny-fleet study window
+/// with rolling-window defaults, so alert detectors and windowed
+/// accumulators all do real work during the timed pass.
+fn bench_config(nodes: u32, hours: f64) -> WatchConfig {
+    WatchConfig {
+        study: StudyConfig::ampere_study().with_window(hours, nodes),
+        ..WatchConfig::default()
+    }
+}
+
+/// One timed drain of the whole generated corpus through a fresh
+/// session. Returns `(wall_s, session)` so callers can cross-check and
+/// reuse the folded state for snapshot timing.
+fn timed_drain(cfg: WatchConfig) -> Result<(f64, WatchSession), String> {
+    let out = crate::text_campaign();
+    let mut source = GeneratorSource::from_campaign(out);
+    let mut session = WatchSession::new(cfg);
+    let sink = MetricsSink::disabled();
+    let watch = Stopwatch::start();
+    session
+        .run_observed(&mut source, &sink)
+        .map_err(|e| e.to_string())?;
+    Ok((watch.elapsed_s(), session))
+}
+
+/// The `BENCH_watch.json` document. `smoke` shrinks the snapshot-latency
+/// sampling — the throughput number is then noisy but the full live
+/// path is exercised.
+pub fn watch_report(smoke: bool) -> Result<Json, String> {
+    let out = crate::text_campaign();
+    let nodes = out.fleet.node_count() as u32;
+    let hours = out.observation_hours();
+    let snap_iters: u32 = if smoke { 200 } else { 5_000 };
+
+    // Warm-up drain (first-touch allocation, lazy regex compilation),
+    // then the measured pass.
+    timed_drain(bench_config(nodes, hours))?;
+    let (ingest_s, session) = timed_drain(bench_config(nodes, hours))?;
+    let stats = session.stats();
+    let lines_per_s = if ingest_s > 0.0 {
+        stats.lines as f64 / ingest_s
+    } else {
+        0.0
+    };
+
+    // Snapshot latency over the fully-folded state: the worst case a
+    // follow-mode poll will pay.
+    let watch = Stopwatch::start();
+    let mut checksum = 0.0f64;
+    for _ in 0..snap_iters {
+        let s = session.snapshot();
+        checksum += s.windowed_mtbe.count as f64 + s.offenders.len() as f64;
+    }
+    let snapshot_us = watch.elapsed_s() / snap_iters as f64 * 1e6;
+
+    // Cross-check: the drained live session must agree with the batch
+    // pipeline on the same corpus.
+    let alerts = session.alerts().len() as u64;
+    let live = session.finish_observed(&MetricsSink::disabled());
+    let live_episodes = live.coalesced.len() as u64;
+    let (batch, _) = resilience_core::PipelineBuilder::new(
+        StudyConfig::ampere_study().with_window(hours, nodes),
+    )
+    .run_source(&mut GeneratorSource::from_campaign(out))
+    .map_err(|e| e.to_string())?;
+    if live_episodes != batch.coalesced.len() as u64 {
+        return Err(format!(
+            "watch bench diverged from batch: {live_episodes} live episodes vs {} batch",
+            batch.coalesced.len()
+        ));
+    }
+
+    Ok(Json::obj(vec![
+        ("schema", Json::Str("gpures-bench-watch/v1".to_string())),
+        ("smoke", Json::Bool(smoke)),
+        ("nodes", Json::Num(nodes as f64)),
+        ("lines", Json::Num(stats.lines as f64)),
+        ("records", Json::Num(stats.records as f64)),
+        ("episodes", Json::Num(live_episodes as f64)),
+        ("alerts", Json::Num(alerts as f64)),
+        ("late_dropped", Json::Num(stats.late_dropped as f64)),
+        ("ingest_s", Json::Num((ingest_s * 1e6).round() / 1e6)),
+        ("ingest_lines_per_s", Json::Num(lines_per_s.round())),
+        ("snapshot_iters", Json::Num(snap_iters as f64)),
+        ("snapshot_latency_us", Json::Num((snapshot_us * 1e3).round() / 1e3)),
+        // Defeat dead-code elimination of the snapshot loop; also a
+        // cheap determinism witness across runs of the same corpus.
+        ("snapshot_checksum", Json::Num(checksum)),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_report_builds_and_cross_checks() {
+        let doc = watch_report(true).expect("smoke watch bench");
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("gpures-bench-watch/v1")
+        );
+        assert!(doc.get("lines").and_then(Json::as_u64).expect("lines") > 0);
+        assert!(doc.get("episodes").and_then(Json::as_u64).expect("episodes") > 0);
+        assert_eq!(doc.get("late_dropped").and_then(Json::as_u64), Some(0));
+    }
+}

@@ -97,11 +97,27 @@ pub fn analyze_jobs(
     errors: &[CoalescedError],
     cfg: JobImpactConfig,
 ) -> JobImpactAnalysis {
-    // Index: errors per GPU, sorted by start time.
-    let mut by_gpu: BTreeMap<GpuId, Vec<&CoalescedError>> = BTreeMap::new();
+    // Index: errors per GPU in input order (the finish step sorts by
+    // start time). Owned copies — `CoalescedError` is `Copy` — so the
+    // incremental accumulator can build the identical index one error
+    // at a time without borrowing the corpus.
+    let mut by_gpu: BTreeMap<GpuId, Vec<CoalescedError>> = BTreeMap::new();
     for e in errors {
-        by_gpu.entry(e.gpu).or_default().push(e);
+        by_gpu.entry(e.gpu).or_default().push(*e);
     }
+    finish_job_impact(jobs, by_gpu, cfg)
+}
+
+/// The shared back half of the job-impact join: takes the per-GPU error
+/// index (arrival order — this function stable-sorts each list by start
+/// time), so the batch front door above and the incremental
+/// [`crate::engine::JobImpactAcc`] produce bit-identical results from
+/// bit-identical state.
+pub(crate) fn finish_job_impact(
+    jobs: &[JobRecord],
+    mut by_gpu: BTreeMap<GpuId, Vec<CoalescedError>>,
+    cfg: JobImpactConfig,
+) -> JobImpactAnalysis {
     for v in by_gpu.values_mut() {
         v.sort_by_key(|e| e.start);
     }

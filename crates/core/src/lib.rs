@@ -34,9 +34,22 @@
 //!   extract pass tees per-node record streams into a checksummed
 //!   binary file, and [`store::RecordSource`] replays them into the
 //!   pipeline in milliseconds with bit-identical results.
-//! - [`stream`] — the online variant: incremental Algorithm 1 and a
-//!   constant-memory live Table 1 (P² quantiles) for monitoring
-//!   deployments.
+//! - [`stream`] — the online variant: incremental Algorithm 1, a
+//!   constant-memory live Table 1 (P² quantiles), and the event-time
+//!   [`stream::WatermarkBuffer`] that reorders late log lines for
+//!   monitoring deployments.
+//! - [`engine`] — the fold-based analysis core: every batch analysis
+//!   restated as an [`engine::AnalysisEngine`] accumulator
+//!   (`ingest` per episode, `snapshot` at any point), composed into
+//!   [`engine::StudyEngine`] — bit-identical to the batch passes by
+//!   the tier-1 differential test.
+//! - [`tail`] — [`tail::TailSource`]: a [`source::LogSource`] that
+//!   follows growing, rotating per-node log files with inode/offset
+//!   checkpoints for resumable live ingestion.
+//! - [`watch`] — the live path: [`watch::WatchSession`] chains tailed
+//!   sources through extraction, watermarking, and incremental
+//!   coalescing into rolling-window accumulators and deterministic
+//!   event-time threshold alerts.
 //!
 //! Everything operates on plain data types (`ErrorRecord`, `JobRecord`),
 //! so the pipeline runs unchanged on synthetic campaigns or real logs.
@@ -48,6 +61,7 @@
 pub mod coalesce;
 pub mod counterfactual;
 pub mod downtime;
+pub mod engine;
 pub mod job_impact;
 pub mod pipeline;
 pub mod propagation;
@@ -56,10 +70,16 @@ pub mod source;
 pub mod stats;
 pub mod store;
 pub mod stream;
+pub mod tail;
+pub mod watch;
 
 pub use coalesce::{coalesce, coalesce_observed, CoalesceConfig, CoalescedError};
 pub use counterfactual::{counterfactual, CounterfactualReport};
-pub use downtime::{availability, DowntimeStats};
+pub use downtime::{availability, DowntimeAcc, DowntimeStats};
+pub use engine::{
+    AnalysisEngine, CategoryMtbeAcc, CounterfactualAcc, JobImpactAcc, LostHoursAcc,
+    OverallMtbeAcc, PropagationAcc, StudyEngine, Table1Acc,
+};
 pub use job_impact::{JobImpactAnalysis, Table2Row, Table3Row};
 pub use pipeline::{PipelineBuilder, Stage1Engine, StudyConfig, StudyResults};
 pub use propagation::{NvlinkSpread, PropagationAnalysis, PropagationEdge};
@@ -79,4 +99,9 @@ pub use store::{
     extract_to_store, write_store, InMemoryRecordSource, RecordBatch, RecordSource, RecordStore,
     RecordStoreWriter, StoreRecordSource, StoreSummary,
 };
-pub use stream::{OnlineRow, OnlineStats, StreamCoalescer};
+pub use stream::{OnlineRow, OnlineStats, StreamCoalescer, WatermarkBuffer};
+pub use tail::TailSource;
+pub use watch::{
+    Alert, AlertKind, OffenderRate, OffenderRateAcc, WatchConfig, WatchSession, WatchSnapshot,
+    WatchStats, WindowedMtbe, WindowedMtbeAcc, WindowedPropagation, WindowedPropagationAcc,
+};

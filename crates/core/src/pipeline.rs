@@ -19,14 +19,13 @@
 //! is a tier-1 test).
 
 use crate::coalesce::{coalesce, CoalesceConfig, CoalescedError};
-use crate::counterfactual::{counterfactual, CounterfactualReport};
+use crate::counterfactual::CounterfactualReport;
+use crate::downtime::DowntimeStats;
+use crate::engine::StudyEngine;
+use crate::job_impact::{JobImpactAnalysis, JobImpactConfig, Table3Row};
+use crate::propagation::PropagationAnalysis;
 use crate::source::{InMemorySource, LogSource};
-use crate::downtime::{availability, downtime_stats, DowntimeStats};
-use crate::job_impact::{analyze_jobs, table3, JobImpactAnalysis, JobImpactConfig, Table3Row};
-use crate::propagation::{analyze, PropagationAnalysis};
-use crate::stats::{
-    category_mtbe, lost_gpu_hours, overall_mtbe, table1, CategoryMtbe, LostHours, Table1Row,
-};
+use crate::stats::{CategoryMtbe, LostHours, Table1Row};
 use dr_faults::DowntimeInterval;
 use dr_logscan::{BaselineExtractor, ExtractStats};
 use dr_obs::MetricsSink;
@@ -110,10 +109,13 @@ impl StudyResults {
     }
 
     /// [`StudyResults::from_coalesced`] with Stage II+ observability:
-    /// stats/propagation/job-impact spans and counters. Every analysis is
-    /// a pure function of its inputs, so the results are bit-identical
-    /// with any sink.
-    fn from_coalesced_observed(
+    /// stats/propagation/job-impact spans and counters. A thin wrapper
+    /// over the incremental [`StudyEngine`]: fold the whole corpus, then
+    /// snapshot every section — bit-identical to the batch analyses by
+    /// the tier-1 differential test. Every accumulator is a pure
+    /// function of the ingested sequence, so the results are also
+    /// bit-identical with any sink.
+    pub(crate) fn from_coalesced_observed(
         coalesced: Vec<CoalescedError>,
         jobs: Option<&[JobRecord]>,
         downtime: Option<&[DowntimeInterval]>,
@@ -123,56 +125,14 @@ impl StudyResults {
         use dr_obs::{Counter, Stage};
         sink.add(Stage::Stats, Counter::Episodes, coalesced.len() as u64);
 
-        let (t1, overall, cat, lost) = {
-            let _span = sink.span(Stage::Stats, "tables");
-            (
-                table1(&coalesced, config.observation_hours, config.node_count),
-                overall_mtbe(&coalesced, config.observation_hours, config.node_count),
-                category_mtbe(&coalesced, config.observation_hours, config.node_count),
-                lost_gpu_hours(&coalesced),
-            )
-        };
-        let prop = {
-            let _span = sink.span(Stage::Propagation, "total");
-            analyze(&coalesced, config.propagation_window)
-        };
-
-        let (dt, cf, avail) = {
-            let _span = sink.span(Stage::Stats, "downtime");
-            let dt = downtime.map(downtime_stats);
-            let mttr = dt.as_ref().map(|d| d.mean_service_h).unwrap_or(0.3);
-            let cf =
-                counterfactual(&coalesced, config.observation_hours, config.node_count, mttr);
-            let avail = match (&dt, overall.1) {
-                (Some(d), Some(mtbe)) => Some(availability(mtbe, d.mean_service_h)),
-                _ => None,
-            };
-            (dt, cf, avail)
-        };
-
-        let (ji, t3) = {
-            let _span = jobs.map(|_| sink.span(Stage::JobImpact, "total"));
-            if let Some(j) = jobs {
-                sink.add(Stage::JobImpact, Counter::Jobs, j.len() as u64);
+        let mut engine = StudyEngine::new(config, jobs, downtime);
+        {
+            let _span = sink.span(Stage::Stats, "fold");
+            for e in &coalesced {
+                engine.ingest(e);
             }
-            let ji = jobs.map(|j| analyze_jobs(j, &coalesced, config.job_impact));
-            (ji, jobs.map(table3))
-        };
-
-        StudyResults {
-            config,
-            table1: t1,
-            overall_mtbe_h: overall,
-            category_mtbe: cat,
-            lost_hours: lost,
-            propagation: prop,
-            counterfactual: cf,
-            job_impact: ji,
-            table3: t3,
-            downtime: dt,
-            availability: avail,
-            coalesced,
         }
+        engine.finish_observed(coalesced, sink)
     }
 
     /// Convenience: the Table 1 row for one XID.

@@ -7,7 +7,7 @@
 
 use crate::coalesce::CoalescedError;
 use dr_stats::OnlineStats;
-use dr_xid::{Duration, Xid};
+use dr_xid::{Duration, GpuId, NodeId, Xid};
 use std::collections::BTreeMap;
 
 /// One edge of a propagation graph.
@@ -80,15 +80,31 @@ pub fn analyze_with_spread_window(
     window: Duration,
     spread_window: Duration,
 ) -> PropagationAnalysis {
-    // Per-GPU and per-node indices, each sorted by start time. Ordered
-    // maps: the Welford delay accumulators below are float-summation
-    // order sensitive, so iteration must be reproducible.
-    let mut by_gpu: BTreeMap<_, Vec<usize>> = BTreeMap::new();
-    let mut by_node: BTreeMap<_, Vec<usize>> = BTreeMap::new();
+    // Per-GPU and per-node indices in input order; the finish step sorts
+    // them by start time.
+    let mut by_gpu: BTreeMap<GpuId, Vec<usize>> = BTreeMap::new();
+    let mut by_node: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
     for (i, e) in errors.iter().enumerate() {
         by_gpu.entry(e.gpu).or_default().push(i);
         by_node.entry(e.gpu.node).or_default().push(i);
     }
+    finish_propagation(errors, by_gpu, by_node, window, spread_window)
+}
+
+/// The shared back half of the propagation analysis: takes the per-GPU /
+/// per-node index lists (arrival order — this function sorts them), so
+/// the batch front door above and the incremental
+/// [`crate::engine::PropagationAcc`] produce bit-identical results from
+/// bit-identical state. Ordered maps throughout: the Welford delay
+/// accumulators are float-summation order sensitive, so iteration must
+/// be reproducible.
+pub(crate) fn finish_propagation(
+    errors: &[CoalescedError],
+    mut by_gpu: BTreeMap<GpuId, Vec<usize>>,
+    mut by_node: BTreeMap<NodeId, Vec<usize>>,
+    window: Duration,
+    spread_window: Duration,
+) -> PropagationAnalysis {
     for v in by_gpu.values_mut() {
         v.sort_by_key(|&i| errors[i].start);
     }

@@ -155,37 +155,48 @@ fn io_err(path: &Path, e: std::io::Error) -> DataError {
     }
 }
 
+/// Scan a directory of per-node log files: every `*.log`, sorted by
+/// path, node id parsed from the digits of the file stem
+/// (`gpub017.log` → 17). Returns the node ids, their paths (parallel
+/// vectors), and the total on-disk byte count at scan time. Shared by
+/// [`DirSource`] (one-shot batch reads) and [`crate::tail::TailSource`]
+/// (live following), so both agree on which files constitute a corpus.
+pub(crate) fn scan_log_dir(dir: &Path) -> Result<(Vec<NodeId>, Vec<PathBuf>, u64), DataError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| io_err(dir, e))?;
+    let mut paths = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(dir, e))?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) == Some("log") {
+            paths.push(path);
+        }
+    }
+    paths.sort();
+    let mut nodes = Vec::with_capacity(paths.len());
+    let mut total_bytes = 0u64;
+    for path in &paths {
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or_default();
+        let id = stem
+            .trim_start_matches(|c: char| c.is_ascii_alphabetic())
+            .parse::<u32>()
+            .map_err(|e| DataError::Io {
+                path: path.display().to_string(),
+                message: format!("file name does not encode a node id: {e}"),
+            })?;
+        nodes.push(NodeId(id));
+        total_bytes += std::fs::metadata(path).map_err(|e| io_err(path, e))?.len();
+    }
+    Ok((nodes, paths, total_bytes))
+}
+
 impl DirSource {
     /// Open a log directory: every `*.log` file, sorted by path, node id
     /// parsed from the digits of the file stem (`gpub017.log` → 17).
     pub fn open(dir: &Path) -> Result<DirSource, DataError> {
-        let entries = std::fs::read_dir(dir).map_err(|e| io_err(dir, e))?;
-        let mut paths = Vec::new();
-        for entry in entries {
-            let entry = entry.map_err(|e| io_err(dir, e))?;
-            let path = entry.path();
-            if path.extension().and_then(|e| e.to_str()) == Some("log") {
-                paths.push(path);
-            }
-        }
-        paths.sort();
-        let mut nodes = Vec::with_capacity(paths.len());
-        let mut total_bytes = 0u64;
-        for path in &paths {
-            let stem = path
-                .file_stem()
-                .and_then(|s| s.to_str())
-                .unwrap_or_default();
-            let id = stem
-                .trim_start_matches(|c: char| c.is_ascii_alphabetic())
-                .parse::<u32>()
-                .map_err(|e| DataError::Io {
-                    path: path.display().to_string(),
-                    message: format!("file name does not encode a node id: {e}"),
-                })?;
-            nodes.push(NodeId(id));
-            total_bytes += std::fs::metadata(path).map_err(|e| io_err(path, e))?.len();
-        }
+        let (nodes, paths, total_bytes) = scan_log_dir(dir)?;
         Ok(DirSource {
             nodes,
             paths,

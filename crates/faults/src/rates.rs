@@ -251,12 +251,6 @@ impl ClassRates {
         self.specs.iter().any(|s| s.class == class)
     }
 
-    /// Scale every expected count by `factor` (for stress tests).
-    #[deprecated(note = "use `scale_all` (whole table) or `scale_class` (one class)")]
-    pub fn scaled(self, factor: f64) -> Self {
-        self.scale_all(factor)
-    }
-
     /// The testing-window boundary for a campaign of `duration_days`.
     ///
     /// The window scales proportionally with campaign length so that
@@ -394,14 +388,6 @@ mod tests {
         assert_eq!(r, before);
         assert!(!r.has_class(FaultClass::Event136));
         assert!(r.has_class(FaultClass::GspHang));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_scaled_still_matches_scale_all() {
-        let a = ClassRates::ampere_delta().scaled(0.5);
-        let b = ClassRates::ampere_delta().scale_all(0.5);
-        assert_eq!(a, b);
     }
 
     #[test]

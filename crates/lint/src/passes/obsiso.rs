@@ -158,6 +158,30 @@ mod tests {
     }
 
     #[test]
+    fn incremental_analysis_files_are_inside_the_fence() {
+        // The fold/tail/watch layer is long-running library code: a
+        // wall-clock read or metric read-back there would break replay
+        // determinism, so the fence must cover these files.
+        let wall = "fn f() { let t = dr_obs::clock::now(); }";
+        let read_back = "fn f(s: &MetricsSink) { let _ = s.export_json(); }";
+        for path in [
+            "crates/core/src/engine.rs",
+            "crates/core/src/tail.rs",
+            "crates/core/src/watch.rs",
+            "crates/core/src/stream.rs",
+        ] {
+            assert_eq!(check_at(path, wall).len(), 1, "{path} must fence clock::now");
+            assert_eq!(check_at(path, read_back).len(), 1, "{path} must fence export_json");
+        }
+        // gauge_set is a *write* and stays legal in library code.
+        assert!(check_at(
+            "crates/core/src/watch.rs",
+            "fn f(s: &MetricsSink) { s.gauge_set(Stage::Stats, \"watch_window_errors\", 1.0); }",
+        )
+        .is_empty());
+    }
+
+    #[test]
     fn allow_comment_records_a_waiver_for_the_runner() {
         let f = SourceFile::new(
             "crates/core/src/pipeline.rs",

@@ -29,12 +29,14 @@ pub const LEGACY_ID: &str = "panic-freedom";
 
 /// The long-running pipeline entry points whose closures must not
 /// panic: stage-1 extraction, record-store replay, fault campaigns,
-/// and the Slurm scheduler.
+/// the Slurm scheduler, and the live watch poll loop (which must
+/// survive indefinitely against growing, rotating log files).
 pub const ENTRY_POINTS: &[(&str, &str)] = &[
     ("PipelineBuilder", "run_source"),
     ("PipelineBuilder", "run_record_source"),
     ("Campaign", "run_observed"),
     ("Scheduler", "run_observed"),
+    ("WatchSession", "run_observed"),
 ];
 
 /// Identifiers whose presence in a body signals bounds discipline; an
@@ -282,5 +284,15 @@ mod tests {
         assert!(d[0]
             .message
             .contains("PipelineBuilder::run_record_source → replay"));
+    }
+
+    #[test]
+    fn watch_poll_entry_point_roots_the_closure() {
+        // The live watch loop is an entry point: a panic anywhere in its
+        // closure would kill a monitoring deployment mid-tail.
+        let src = "struct WatchSession;\nimpl WatchSession { pub fn run_observed(&mut self) { fold(); } }\nfn fold() { Some(1).unwrap(); }\n";
+        let d = check(&[("crates/demo/src/lib.rs", src)]);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("WatchSession::run_observed → fold"));
     }
 }

@@ -169,6 +169,9 @@ struct Registry {
     /// High-water marks (e.g. peak resident bytes of a streaming wave):
     /// `gauge_max` keeps the maximum ever reported per `(stage, name)`.
     gauges: Mutex<BTreeMap<(Stage, String), f64>>,
+    /// Point-in-time readings (e.g. a live session's windowed MTBE):
+    /// `gauge_set` keeps the latest value reported per `(stage, name)`.
+    gauges_last: Mutex<BTreeMap<(Stage, String), f64>>,
 }
 
 impl Registry {
@@ -178,6 +181,7 @@ impl Registry {
             spans: Mutex::new(BTreeMap::new()),
             hists: Mutex::new(BTreeMap::new()),
             gauges: Mutex::new(BTreeMap::new()),
+            gauges_last: Mutex::new(BTreeMap::new()),
         }
     }
 }
@@ -271,6 +275,20 @@ impl MetricsSink {
         }
     }
 
+    /// Report a point-in-time reading: the registry keeps the *latest*
+    /// value reported under `(stage, name)`. This is what a periodic
+    /// snapshot wants (e.g. `gpures watch` re-exporting its windowed
+    /// MTBE every interval) — each export reflects the current state,
+    /// not the maximum or a distribution. Use a distinct name space from
+    /// [`MetricsSink::gauge_max`] keys; both merge into the exported
+    /// `gauges` object.
+    pub fn gauge_set(&self, stage: Stage, name: &str, value: f64) {
+        if let Some(reg) = &self.reg {
+            let mut gauges = lock(&reg.gauges_last);
+            gauges.insert((stage, name.to_string()), value);
+        }
+    }
+
     /// Open a timed span; it records itself into the registry on drop.
     /// On a disabled sink the guard never reads the clock.
     pub fn span(&self, stage: Stage, name: &str) -> SpanGuard<'_> {
@@ -300,7 +318,13 @@ impl MetricsSink {
         let reg = self.reg.as_ref()?;
         let spans = lock(&reg.spans).clone();
         let hists = lock(&reg.hists).clone();
-        let gauges = lock(&reg.gauges).clone();
+        // Merge both gauge families into one exported object; last-value
+        // readings override a high-water mark under the same name (they
+        // should use disjoint names anyway).
+        let mut gauges = lock(&reg.gauges).clone();
+        for ((stage, name), v) in lock(&reg.gauges_last).iter() {
+            gauges.insert((*stage, name.clone()), *v);
+        }
 
         let mut stages = Vec::new();
         for stage in Stage::ALL {
@@ -645,7 +669,38 @@ mod tests {
     fn gauges_on_a_disabled_sink_are_noops() {
         let sink = MetricsSink::disabled();
         sink.gauge_max(Stage::Extract, "peak_resident_bytes", 10.0);
+        sink.gauge_set(Stage::Stats, "windowed_mtbe_h", 10.0);
         assert!(sink.export_json().is_none());
+    }
+
+    #[test]
+    fn gauge_set_keeps_the_latest_value() {
+        let sink = MetricsSink::recording();
+        sink.gauge_set(Stage::Stats, "windowed_mtbe_h", 120.0);
+        sink.gauge_set(Stage::Stats, "windowed_mtbe_h", 80.0);
+        sink.gauge_set(Stage::Stats, "windowed_mtbe_h", 95.5);
+        let doc = sink.export_json().expect("exports");
+        let stage = &doc.get("stages").and_then(Json::as_arr).expect("stages")[0];
+        let gauges = stage.get("gauges").expect("gauges");
+        assert_eq!(
+            gauges.get("windowed_mtbe_h").and_then(Json::as_f64),
+            Some(95.5)
+        );
+    }
+
+    #[test]
+    fn gauge_families_merge_into_one_exported_object() {
+        let sink = MetricsSink::recording();
+        sink.gauge_max(Stage::Coalesce, "peak_open_episodes", 17.0);
+        sink.gauge_set(Stage::Coalesce, "open_episodes", 3.0);
+        let doc = sink.export_json().expect("exports");
+        let stage = &doc.get("stages").and_then(Json::as_arr).expect("stages")[0];
+        let gauges = stage.get("gauges").expect("gauges");
+        assert_eq!(
+            gauges.get("peak_open_episodes").and_then(Json::as_f64),
+            Some(17.0)
+        );
+        assert_eq!(gauges.get("open_episodes").and_then(Json::as_f64), Some(3.0));
     }
 
     #[test]

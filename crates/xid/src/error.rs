@@ -47,6 +47,11 @@ pub enum DataError {
         col: usize,
         message: String,
     },
+    /// A live-tailed log file could not be followed (stat, seek, or
+    /// read failure while watching a growing/rotating file).
+    Tail { path: String, message: String },
+    /// A tail checkpoint file is unreadable or malformed.
+    Checkpoint { path: String, message: String },
 }
 
 impl fmt::Display for DataError {
@@ -69,6 +74,12 @@ impl fmt::Display for DataError {
             }
             DataError::Scenario { line, col, message } => {
                 write!(f, "scenario line {line}:{col}: {message}")
+            }
+            DataError::Tail { path, message } => {
+                write!(f, "tailing {path}: {message}")
+            }
+            DataError::Checkpoint { path, message } => {
+                write!(f, "checkpoint {path}: {message}")
             }
         }
     }
@@ -124,6 +135,21 @@ mod tests {
             e.to_string(),
             "scenario line 12:5: unknown key `duration_weeks`"
         );
+    }
+
+    #[test]
+    fn tail_and_checkpoint_errors_name_their_file() {
+        let e = DataError::Tail {
+            path: "logs/node3.log".to_string(),
+            message: "rotated mid-read".to_string(),
+        };
+        assert_eq!(e.to_string(), "tailing logs/node3.log: rotated mid-read");
+        let e = DataError::Checkpoint {
+            path: "watch.ckpt".to_string(),
+            message: "line 2: expected `<ino> <offset> <path>`".to_string(),
+        };
+        assert!(e.to_string().starts_with("checkpoint watch.ckpt:"));
+        assert!(e.to_string().contains("line 2"));
     }
 
     #[test]

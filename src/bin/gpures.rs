@@ -20,10 +20,10 @@
 //! gauges, and throughput histograms as `gpures-metrics/v1` JSON
 //! (results are bit-identical with or without it).
 
-use gpu_resilience::cli::{self, Flag, FlagSet, CHUNK_BYTES, METRICS, RECORDS, WORKERS};
+use gpu_resilience::cli::{self, Flag, FlagSet, CHUNK_BYTES, DT, HOURS, METRICS, NODES, RECORDS, WORKERS};
 use gpu_resilience::core::{
     extract_to_store, CoalesceConfig, DirSource, GeneratorSource, LogSource, PipelineBuilder,
-    RecordStore, StudyConfig,
+    Alert, RecordStore, StudyConfig, StudyResults, TailSource, WatchConfig, WatchSession,
 };
 use gpu_resilience::faults::{all_scenarios, Campaign, CampaignConfig};
 use gpu_resilience::obs::MetricsSink;
@@ -60,9 +60,9 @@ const ANALYZE: FlagSet = FlagSet {
         Flag::optional("from-records", "FILE", "replay a previous extraction (no text re-parse)"),
         Flag::optional("jobs", "FILE", "Slurm accounting CSV (enables Tables 2/3)"),
         Flag::optional("downtime", "FILE", "repair intervals CSV (enables MTTR/availability)"),
-        Flag::optional("nodes", "N", "node population for MTBE normalization"),
-        Flag::optional("hours", "H", "observation window in hours (default 855 days)"),
-        Flag::optional("dt", "SECS", "coalescing window (default 5)"),
+        NODES,
+        HOURS,
+        DT,
         CHUNK_BYTES,
         WORKERS,
         Flag::optional("prefetch", "on|off", "I/O-overlapped wave prefetch (default on)"),
@@ -120,6 +120,31 @@ const MONITOR: FlagSet = FlagSet {
     positional_required: false,
 };
 
+const WATCH: FlagSet = FlagSet {
+    cmd: "watch",
+    summary: "live-tail per-node syslogs: rolling-window analytics + alerts",
+    flags: &[
+        Flag::required("logs", "DIR", "directory of per-node .log files to follow"),
+        NODES,
+        HOURS,
+        DT,
+        Flag::optional("follow", "on|off", "keep polling for growth (off: drain once, analyze)"),
+        Flag::optional("checkpoint", "FILE", "tail position file (resumes if present, saved each poll)"),
+        Flag::optional("lateness-secs", "S", "event-time watermark for out-of-order lines (default 120)"),
+        Flag::optional("window-hours", "H", "rolling window for live metrics and alerts (default 24)"),
+        Flag::optional("offender-threshold", "K", "windowed episodes marking an emerging offender (default 5)"),
+        Flag::optional("storm-threshold", "K", "windowed XID-95 episodes marking storm onset (default 3)"),
+        Flag::optional("snapshots", "DIR", "write a gpures-metrics/v1 snapshot here every poll"),
+        Flag::optional("alerts", "FILE", "append alerts here as they fire"),
+        Flag::optional("interval-secs", "S", "sleep between polls while following (default 2)"),
+        Flag::optional("max-polls", "N", "stop following after N polls (default: unbounded)"),
+        CHUNK_BYTES,
+        METRICS,
+    ],
+    positional: None,
+    positional_required: false,
+};
+
 const BENCH: FlagSet = FlagSet {
     cmd: "bench",
     summary: "tracked benchmarks -> BENCH_*.json",
@@ -131,8 +156,8 @@ const BENCH: FlagSet = FlagSet {
     positional_required: false,
 };
 
-const ALL_SETS: [&FlagSet; 7] = [
-    &CAMPAIGN, &ANALYZE, &SWEEP, &INCIDENTS, &PROJECT, &MONITOR, &BENCH,
+const ALL_SETS: [&FlagSet; 8] = [
+    &CAMPAIGN, &ANALYZE, &SWEEP, &INCIDENTS, &PROJECT, &MONITOR, &WATCH, &BENCH,
 ];
 
 fn usage() -> String {
@@ -174,6 +199,7 @@ fn main() -> ExitCode {
         "incidents" => cmd_incidents(),
         "project" => cmd_project(&opts),
         "monitor" => cmd_monitor(&opts),
+        "watch" => cmd_watch(&opts),
         "bench" => cmd_bench(&opts),
         _ => unreachable!("command validated against ALL_SETS"),
     };
@@ -444,14 +470,7 @@ fn cmd_analyze(opts: &cli::Opts) -> Result<(), String> {
         results
     };
 
-    println!("{}", report::render_table1(&results).render());
-    if let Some(ji) = &results.job_impact {
-        println!("{}", report::render_table2(ji).render());
-    }
-    if let Some(t3) = &results.table3 {
-        println!("{}", report::render_table3(t3).render());
-    }
-    println!("{}", render_summary(&results));
+    print_results(&results);
 
     if let Some(dot_dir) = opts.path("dot") {
         std::fs::create_dir_all(&dot_dir).map_err(|e| e.to_string())?;
@@ -469,6 +488,21 @@ fn cmd_analyze(opts: &cli::Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Print a study's stdout report: Table 1, Tables 2/3 when jobs were
+/// joined, then the summary block. Shared by `analyze` and the `watch`
+/// drain path so a drained watch prints byte-for-byte what `analyze`
+/// prints on the same corpus.
+fn print_results(results: &StudyResults) {
+    println!("{}", report::render_table1(results).render());
+    if let Some(ji) = &results.job_impact {
+        println!("{}", report::render_table2(ji).render());
+    }
+    if let Some(t3) = &results.table3 {
+        println!("{}", report::render_table3(t3).render());
+    }
+    println!("{}", render_summary(results));
+}
+
 /// Resolve one `sweep` battery argument into `(label, source)` pairs:
 /// a `.scn` file, a directory of them (sorted by name), or a bundled
 /// scenario name.
@@ -483,7 +517,11 @@ fn battery_sources(arg: &str) -> Result<Vec<(String, String)>, String> {
             .collect();
         files.sort();
         if files.is_empty() {
-            return Err(format!("no .scn files in {}", p.display()));
+            return Err(DataError::Usage {
+                option: p.display().to_string(),
+                message: "directory contains no .scn files".to_string(),
+            }
+            .to_string());
         }
         files
             .into_iter()
@@ -494,9 +532,12 @@ fn battery_sources(arg: &str) -> Result<Vec<(String, String)>, String> {
     } else if let Some(src) = gpu_resilience::scenario::preset_source(arg) {
         Ok(vec![(format!("bundled `{arg}`"), src.to_string())])
     } else {
-        Err(format!(
-            "`{arg}` is not a .scn file, a directory of them, or a bundled scenario name"
-        ))
+        Err(DataError::Usage {
+            option: arg.to_string(),
+            message: "matches no .scn file, directory of them, or bundled scenario name"
+                .to_string(),
+        }
+        .to_string())
     }
 }
 
@@ -704,10 +745,196 @@ fn cmd_monitor(opts: &cli::Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Echo alerts to stderr and, when `--alerts FILE` was given, append
+/// them there — one rendered alert per line, in firing order.
+fn emit_alerts(alerts: &[Alert], path: Option<&Path>) -> Result<(), String> {
+    for a in alerts {
+        eprintln!("ALERT {a}");
+    }
+    let Some(p) = path else {
+        return Ok(());
+    };
+    if alerts.is_empty() {
+        return Ok(());
+    }
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(p)
+        .map_err(|e| io_err(p, e))?;
+    for a in alerts {
+        writeln!(f, "{a}").map_err(|e| io_err(p, e))?;
+    }
+    Ok(())
+}
+
+/// Publish the session's rolling-window view as last-value gauges on the
+/// sink, so every exported `gpures-metrics/v1` document carries the live
+/// state alongside the per-stage counters. Gauges are event-time
+/// quantities: re-exporting without new input re-publishes identical
+/// values.
+fn publish_watch_gauges(session: &WatchSession, sink: &MetricsSink) {
+    use gpu_resilience::obs::Stage;
+    let s = session.snapshot();
+    sink.gauge_set(Stage::Stats, "watch_window_errors", s.windowed_mtbe.count as f64);
+    sink.gauge_set(
+        Stage::Stats,
+        "watch_window_mtbe_node_h",
+        s.windowed_mtbe.mtbe_per_node_h.unwrap_or(f64::INFINITY),
+    );
+    sink.gauge_set(Stage::Stats, "watch_active_offenders", s.offenders.len() as f64);
+    sink.gauge_set(
+        Stage::Stats,
+        "watch_top_offender_count",
+        s.offenders.first().map(|o| o.count as f64).unwrap_or(0.0),
+    );
+    sink.gauge_set(
+        Stage::Propagation,
+        "watch_multi_gpu_nodes",
+        s.propagation.multi_gpu_nodes as f64,
+    );
+    sink.gauge_set(Stage::Coalesce, "watch_open_episodes", s.open_episodes as f64);
+    sink.gauge_set(Stage::Coalesce, "watch_pending_records", s.pending as f64);
+    sink.gauge_set(Stage::Coalesce, "watch_late_dropped", s.stats.late_dropped as f64);
+    sink.gauge_set(Stage::Stats, "watch_alerts_total", s.alerts_total as f64);
+}
+
+/// Live mode: follow growing/rotating per-node syslogs through the
+/// incremental pipeline — tail → extract → event-time watermark →
+/// streaming coalesce → rolling-window accumulators — and raise
+/// deterministic threshold alerts. With `--follow off` the corpus is
+/// drained once and the final report printed exactly like `analyze`;
+/// everything downstream of ingestion is keyed on event time, so a
+/// drained watch and a batch analyze agree bit-for-bit.
+fn cmd_watch(opts: &cli::Opts) -> Result<(), String> {
+    let log_dir = opts.required_path("logs").s()?;
+    let follow = opts.on_off("follow", true).s()?;
+    let hours: f64 = opts.num("hours", 855.0 * 24.0).s()?;
+    let dt: u64 = opts.num("dt", 5).s()?;
+    let lateness: u64 = opts.num("lateness-secs", 120).s()?;
+    let window_hours: f64 = opts.num("window-hours", 24.0).s()?;
+    let offender_threshold: u64 = opts.num("offender-threshold", 5).s()?;
+    let storm_threshold: u64 = opts.num("storm-threshold", 3).s()?;
+    let interval: u64 = opts.num("interval-secs", 2).s()?;
+    let max_polls: u64 = opts.num("max-polls", 0).s()?;
+    let chunk_bytes = opts
+        .positive::<u64>(
+            "chunk-bytes",
+            "must be a positive byte count (omit the flag for the default)",
+        )
+        .s()?;
+    let ckpt = opts.path("checkpoint");
+    let snapshots_dir = opts.path("snapshots");
+    let alerts_path = opts.path("alerts");
+    let metrics_path = opts.path("metrics");
+
+    let mut source = match &ckpt {
+        Some(c) => TailSource::open_with_checkpoint(&log_dir, c).map_err(|e| e.to_string())?,
+        None => TailSource::open(&log_dir).map_err(|e| e.to_string())?,
+    };
+    if source.nodes().is_empty() {
+        return Err(format!("no .log files in {}", log_dir.display()));
+    }
+    let nodes: u32 = opts.num("nodes", source.nodes().len() as u32).s()?;
+
+    let study = StudyConfig {
+        coalesce: CoalesceConfig::with_window_secs(dt),
+        ..StudyConfig::ampere_study()
+    }
+    .with_window(hours, nodes);
+    let mut cfg = WatchConfig {
+        study,
+        lateness: Duration::from_secs(lateness),
+        window: Duration::from_secs_f64(window_hours * 3600.0),
+        offender_threshold,
+        storm_threshold,
+        ..WatchConfig::default()
+    };
+    if let Some(c) = chunk_bytes {
+        cfg.chunk_bytes = c;
+    }
+
+    let recording = metrics_path.is_some() || snapshots_dir.is_some();
+    let sink = if recording {
+        MetricsSink::recording()
+    } else {
+        MetricsSink::disabled()
+    };
+    if let Some(d) = &snapshots_dir {
+        std::fs::create_dir_all(d).map_err(|e| io_err(d, e))?;
+    }
+    eprintln!(
+        "watching {} node logs in {} ({}, lateness {lateness}s, window {window_hours}h) ...",
+        source.nodes().len(),
+        log_dir.display(),
+        if follow { "following" } else { "drain once" },
+    );
+
+    let mut session = WatchSession::new(cfg);
+    let mut polls: u64 = 0;
+    loop {
+        let delta = session.run_observed(&mut source, &sink).map_err(|e| e.to_string())?;
+        polls += 1;
+
+        emit_alerts(&session.take_new_alerts(), alerts_path.as_deref())?;
+        if let Some(c) = &ckpt {
+            source.save_checkpoint(c).map_err(|e| e.to_string())?;
+        }
+        if recording {
+            publish_watch_gauges(&session, &sink);
+        }
+        if let Some(d) = &snapshots_dir {
+            if let Some(doc) = sink.export_json() {
+                let path = d.join(format!("snapshot_{polls:06}.json"));
+                std::fs::write(&path, doc.render()).map_err(|e| io_err(&path, e))?;
+            }
+        }
+        if delta.records > 0 || delta.episodes > 0 {
+            let s = session.stats();
+            eprintln!(
+                "poll {polls}: +{} lines, +{} records, +{} episodes (total {} episodes, {} pending, {} late-dropped)",
+                delta.lines,
+                delta.records,
+                delta.episodes,
+                s.episodes,
+                session.snapshot().pending,
+                s.late_dropped
+            );
+        }
+
+        if !follow || (max_polls > 0 && polls >= max_polls) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_secs(interval));
+    }
+
+    // Close the remaining open episodes so end-of-stream threshold
+    // crossings surface before the final report.
+    session.drain();
+    emit_alerts(&session.take_new_alerts(), alerts_path.as_deref())?;
+    let stats = session.stats();
+    let results = session.finish_observed(&sink);
+    print_results(&results);
+    eprintln!(
+        "watched {} polls: {} lines, {} records, {} released, {} late-dropped",
+        stats.polls, stats.lines, stats.records, stats.released, stats.late_dropped
+    );
+    if stats.late_dropped > 0 {
+        eprintln!(
+            "warning: {} records arrived beyond --lateness-secs {lateness} and were dropped; \
+             the report differs from a batch analyze",
+            stats.late_dropped
+        );
+    }
+    write_metrics(metrics_path.as_deref(), &sink)?;
+    Ok(())
+}
+
 /// The tracked benchmark suite: writes `BENCH_stage1.json`,
 /// `BENCH_pipeline.json`, `BENCH_obs.json`, `BENCH_stream.json`,
-/// `BENCH_records.json`, `BENCH_lint.json` and `BENCH_sweep.json` to
-/// `--out` (default: current directory). `--smoke true` shrinks the
+/// `BENCH_records.json`, `BENCH_lint.json`, `BENCH_watch.json` and
+/// `BENCH_sweep.json` to `--out` (default: current directory). `--smoke true` shrinks the
 /// corpora for CI — the numbers are meaningless but the full path and
 /// schema are exercised.
 fn cmd_bench(opts: &cli::Opts) -> Result<(), String> {
@@ -834,6 +1061,20 @@ fn cmd_bench(opts: &cli::Opts) -> Result<(), String> {
         wall * 1e3
     );
 
+    eprintln!("benchmarking live watch path ...");
+    let watch_doc = gpu_resilience::bench::watch::watch_report(smoke)?;
+    let watch_path = out_dir.join("BENCH_watch.json");
+    std::fs::write(&watch_path, watch_doc.render()).map_err(|e| e.to_string())?;
+    let ingest = watch_doc
+        .get("ingest_lines_per_s")
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    let snap_us = watch_doc
+        .get("snapshot_latency_us")
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    println!("watch        ingest {ingest:>12.0} lines/s   snapshot {snap_us:.1} us");
+
     eprintln!("benchmarking scenario sweep ...");
     let sweep_doc = gpu_resilience::bench::sweep::sweep_report(smoke)?;
     let sweep_path = out_dir.join("BENCH_sweep.json");
@@ -848,13 +1089,14 @@ fn cmd_bench(opts: &cli::Opts) -> Result<(), String> {
     );
 
     println!(
-        "wrote {}, {}, {}, {}, {}, {} and {}",
+        "wrote {}, {}, {}, {}, {}, {}, {} and {}",
         stage1_path.display(),
         pipe_path.display(),
         obs_path.display(),
         stream_path.display(),
         rec_path.display(),
         lint_path.display(),
+        watch_path.display(),
         sweep_path.display()
     );
     Ok(())

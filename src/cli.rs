@@ -75,6 +75,16 @@ pub const RECORDS: Flag = Flag::optional(
     "PATH",
     "tee extracted ErrorRecords into a columnar store",
 );
+/// `--nodes N`: MTBE normalization population (shared by `analyze`/`watch`).
+pub const NODES: Flag = Flag::optional("nodes", "N", "node population for MTBE normalization");
+/// `--hours H`: observation window (shared by `analyze`/`watch`).
+pub const HOURS: Flag = Flag::optional(
+    "hours",
+    "H",
+    "observation window in hours (default 855 days)",
+);
+/// `--dt SECS`: coalescing window (shared by `analyze`/`watch`).
+pub const DT: Flag = Flag::optional("dt", "SECS", "coalescing window (default 5)");
 
 /// A subcommand's declared surface: its flags plus optional positional
 /// arguments.

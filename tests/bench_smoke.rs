@@ -291,6 +291,64 @@ fn sweep_report_measures_the_real_battery_driver() {
 }
 
 #[test]
+fn watch_report_drains_the_live_path_without_drops() {
+    let doc = gpu_resilience::bench::watch::watch_report(true).expect("smoke watch bench");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("gpures-bench-watch/v1")
+    );
+    assert_eq!(doc.get("smoke"), Some(&Json::Bool(true)));
+    assert!(doc.get("lines").and_then(Json::as_u64).expect("lines") > 0);
+    assert!(doc.get("records").and_then(Json::as_u64).expect("records") > 0);
+    assert!(doc.get("episodes").and_then(Json::as_u64).expect("episodes") > 0);
+    // The bench itself cross-checks live vs batch episode counts; a
+    // late-drop would mean the generator emitted out-of-order beyond
+    // the watermark, which must never happen on a generated corpus.
+    assert_eq!(doc.get("late_dropped").and_then(Json::as_u64), Some(0));
+    assert!(
+        doc.get("ingest_lines_per_s")
+            .and_then(Json::as_f64)
+            .expect("throughput")
+            > 0.0
+    );
+    assert!(
+        doc.get("snapshot_latency_us")
+            .and_then(Json::as_f64)
+            .expect("latency")
+            >= 0.0
+    );
+    assert_eq!(Json::parse(&doc.render()).expect("parses"), doc);
+}
+
+/// The committed `BENCH_watch.json` must carry a real (non-smoke)
+/// measurement with zero late drops and a live ingest rate that keeps
+/// comfortable headroom over a fleet's actual syslog volume.
+#[test]
+fn committed_watch_artifact_meets_the_ingest_ratchet() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("BENCH_watch.json");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return; // artifact not generated yet (fresh checkout)
+    };
+    let doc = Json::parse(&text).expect("committed artifact parses");
+    assert_eq!(
+        doc.get("late_dropped").and_then(Json::as_u64),
+        Some(0),
+        "committed BENCH_watch.json must drain without late drops"
+    );
+    if doc.get("smoke") == Some(&Json::Bool(true)) {
+        return;
+    }
+    let rate = doc
+        .get("ingest_lines_per_s")
+        .and_then(Json::as_f64)
+        .expect("ingest_lines_per_s");
+    assert!(
+        rate >= 100_000.0,
+        "committed BENCH_watch.json ingest rate {rate} lines/s is below the 100k ratchet"
+    );
+}
+
+#[test]
 fn bench_cli_writes_parseable_artifacts() {
     let dir: PathBuf =
         std::env::temp_dir().join(format!("gpures-bench-smoke-{}", std::process::id()));
@@ -313,6 +371,7 @@ fn bench_cli_writes_parseable_artifacts() {
         ("BENCH_stream.json", "gpures-bench-stream/v2"),
         ("BENCH_records.json", "gpures-bench-records/v1"),
         ("BENCH_lint.json", "gpures-bench-lint/v1"),
+        ("BENCH_watch.json", "gpures-bench-watch/v1"),
         ("BENCH_sweep.json", "gpures-bench-sweep/v1"),
     ] {
         let text = std::fs::read_to_string(dir.join(file)).expect(file);

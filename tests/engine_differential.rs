@@ -1,0 +1,157 @@
+//! Tier-1 differential gate for the fold-based analysis core: a
+//! [`StudyResults`] produced by folding the corpus through the
+//! incremental `StudyEngine` must be **Debug-fingerprint-identical** to
+//! the pre-refactor batch output — the batch analysis functions applied
+//! to the same coalesced errors, assembled exactly as the old
+//! `from_coalesced_observed` did — on every existing source type (text,
+//! generator, record store) and at 1 and 8 workers.
+
+use gpu_resilience::core::stats::{category_mtbe, overall_mtbe};
+use gpu_resilience::core::{
+    availability, counterfactual, lost_gpu_hours, table1, GeneratorSource, InMemoryRecordSource,
+    PipelineBuilder, StudyConfig, StudyResults,
+};
+use gpu_resilience::core::downtime::downtime_stats;
+use gpu_resilience::core::job_impact::{analyze_jobs, table3};
+use gpu_resilience::core::propagation::analyze;
+use gpu_resilience::faults::{Campaign, CampaignConfig, DowntimeInterval};
+use gpu_resilience::slurm::{DrainWindows, JobLoadConfig, JobRecord, Scheduler};
+use gpu_resilience::xid::{ErrorRecord, NodeId};
+
+/// The pre-refactor batch pipeline, reconstructed verbatim from the
+/// retired `from_coalesced_observed` body: every section computed by its
+/// batch function, fields assembled in the same order. This is the
+/// oracle the folded engine must reproduce bit for bit.
+fn batch_oracle(
+    coalesced: Vec<gpu_resilience::core::CoalescedError>,
+    jobs: Option<&[JobRecord]>,
+    downtime: Option<&[DowntimeInterval]>,
+    config: StudyConfig,
+) -> StudyResults {
+    let t1 = table1(&coalesced, config.observation_hours, config.node_count);
+    let overall = overall_mtbe(&coalesced, config.observation_hours, config.node_count);
+    let cat = category_mtbe(&coalesced, config.observation_hours, config.node_count);
+    let lost = lost_gpu_hours(&coalesced);
+    let prop = analyze(&coalesced, config.propagation_window);
+
+    let dt = downtime.map(downtime_stats);
+    let mttr = dt.as_ref().map(|d| d.mean_service_h).unwrap_or(0.3);
+    let cf = counterfactual(&coalesced, config.observation_hours, config.node_count, mttr);
+    let avail = match (&dt, overall.1) {
+        (Some(d), Some(mtbe)) => Some(availability(mtbe, d.mean_service_h)),
+        _ => None,
+    };
+
+    let ji = jobs.map(|j| analyze_jobs(j, &coalesced, config.job_impact));
+    let t3 = jobs.map(table3);
+
+    StudyResults {
+        config,
+        table1: t1,
+        overall_mtbe_h: overall,
+        category_mtbe: cat,
+        lost_hours: lost,
+        propagation: prop,
+        counterfactual: cf,
+        job_impact: ji,
+        table3: t3,
+        downtime: dt,
+        availability: avail,
+        coalesced,
+    }
+}
+
+struct Fixture {
+    out: gpu_resilience::faults::CampaignOutput,
+    jobs: Vec<JobRecord>,
+    cfg: StudyConfig,
+}
+
+fn fixture(seed: u64) -> Fixture {
+    let out = Campaign::run(CampaignConfig::tiny(seed));
+    let drains = DrainWindows::default();
+    let jobs = Scheduler::new(JobLoadConfig::tiny(seed ^ 0x5eed))
+        .run(&out.fleet, &drains)
+        .jobs;
+    let cfg = StudyConfig::ampere_study()
+        .with_window(out.observation_hours(), out.fleet.node_count() as u32);
+    Fixture { out, jobs, cfg }
+}
+
+fn assert_fold_matches_batch(results: &StudyResults, jobs: &[JobRecord], downtime: &[DowntimeInterval], label: &str) {
+    let oracle = batch_oracle(
+        results.coalesced.clone(),
+        Some(jobs),
+        Some(downtime),
+        results.config,
+    );
+    assert_eq!(
+        format!("{results:?}"),
+        format!("{oracle:?}"),
+        "folded engine diverges from the batch oracle on the {label} source"
+    );
+}
+
+#[test]
+fn folded_engine_matches_batch_on_text_source_at_1_and_8_workers() {
+    let f = fixture(91);
+    let builder = PipelineBuilder::new(f.cfg).jobs(&f.jobs).downtime(&f.out.downtime);
+    for workers in [1usize, 8] {
+        gpu_resilience::par::set_worker_override(Some(workers));
+        let (results, _) = builder.run_text(&f.out.text_logs);
+        gpu_resilience::par::set_worker_override(None);
+        assert_fold_matches_batch(&results, &f.jobs, &f.out.downtime, "text");
+    }
+}
+
+#[test]
+fn folded_engine_matches_batch_on_generator_source_at_1_and_8_workers() {
+    let f = fixture(92);
+    let builder = PipelineBuilder::new(f.cfg).jobs(&f.jobs).downtime(&f.out.downtime);
+    for workers in [1usize, 8] {
+        gpu_resilience::par::set_worker_override(Some(workers));
+        let mut source = GeneratorSource::from_campaign(&f.out);
+        let (results, _) = builder.run_source(&mut source).expect("generator source");
+        gpu_resilience::par::set_worker_override(None);
+        assert_fold_matches_batch(&results, &f.jobs, &f.out.downtime, "generator");
+    }
+}
+
+#[test]
+fn folded_engine_matches_batch_on_record_store_source_at_1_and_8_workers() {
+    let f = fixture(93);
+    // Per-node record streams, as extraction (and therefore the store)
+    // would persist them: grouped by node, time order preserved.
+    let nodes: Vec<NodeId> = f.out.fleet.nodes().iter().map(|n| n.id).collect();
+    let per_node: Vec<Vec<ErrorRecord>> = nodes
+        .iter()
+        .map(|&id| {
+            f.out
+                .records
+                .iter()
+                .filter(|r| r.gpu.node == id)
+                .cloned()
+                .collect()
+        })
+        .collect();
+    let builder = PipelineBuilder::new(f.cfg).jobs(&f.jobs).downtime(&f.out.downtime);
+    for workers in [1usize, 8] {
+        gpu_resilience::par::set_worker_override(Some(workers));
+        let mut source = InMemoryRecordSource::new(&nodes, &per_node);
+        let results = builder.run_record_source(&mut source).expect("record source");
+        gpu_resilience::par::set_worker_override(None);
+        assert_fold_matches_batch(&results, &f.jobs, &f.out.downtime, "record-store");
+    }
+}
+
+#[test]
+fn folded_engine_matches_batch_without_jobs_or_downtime() {
+    // The optional sections (job impact, downtime, availability) must
+    // stay absent exactly as in the batch assembly.
+    let f = fixture(94);
+    let (results, _) = PipelineBuilder::new(f.cfg).run_text(&f.out.text_logs);
+    let oracle = batch_oracle(results.coalesced.clone(), None, None, results.config);
+    assert_eq!(format!("{results:?}"), format!("{oracle:?}"));
+    assert!(results.job_impact.is_none());
+    assert!(results.availability.is_none());
+}

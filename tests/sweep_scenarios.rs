@@ -109,6 +109,51 @@ fn sweep_tees_write_per_run_records_and_metrics() {
 }
 
 #[test]
+fn teed_record_store_replays_bit_identical_to_its_run() {
+    // The whole point of `--records DIR` is forensic replay: the teed
+    // store must reproduce the run that wrote it, bit for bit. Re-derive
+    // det_a seed 7 with the driver's own recipe (compile the seed, run
+    // the campaign, normalize the study window to the campaign) and
+    // check the store replay against the in-memory ground truth.
+    use gpu_resilience::core::{PipelineBuilder, RecordStore, StudyConfig};
+    use gpu_resilience::faults::Campaign;
+
+    let battery = small_battery();
+    let tmp = std::env::temp_dir().join("gpures_sweep_replay_test");
+    let _ = std::fs::remove_dir_all(&tmp);
+    let opts = SweepOptions {
+        records_dir: Some(tmp.clone()),
+        metrics_dir: None,
+    };
+    run_battery(&battery, &opts).expect("sweep with records tee");
+
+    let sc = &battery[0];
+    assert_eq!(sc.name, "det_a");
+    let cfg = sc.compile_seed(7);
+    let nodes = cfg.shape.node_count();
+    let out = Campaign::run(cfg);
+    let study =
+        StudyConfig::ampere_study().with_window(out.observation_hours(), nodes);
+    let direct = PipelineBuilder::new(study)
+        .downtime(&out.downtime)
+        .run_records(&out.records);
+
+    let path = tmp.join("det_a_7.records");
+    let store = RecordStore::open(&path).expect("teed store opens");
+    let mut reader = store.reader(&path).expect("store reader");
+    let replayed = PipelineBuilder::new(study)
+        .downtime(&out.downtime)
+        .run_record_source(&mut reader)
+        .expect("store replay");
+    assert_eq!(
+        format!("{direct:?}"),
+        format!("{replayed:?}"),
+        "teed record store must replay bit-identical to its run"
+    );
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
+#[test]
 fn bundled_reference_battery_passes_paper_tolerances() {
     // The two reference scenarios compile from their .scn sources alone
     // and the driver marks both as paper-tolerance passes. This is the
